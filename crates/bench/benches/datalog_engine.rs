@@ -1,0 +1,51 @@
+//! Naive vs semi-naive Datalog evaluation (the DESIGN.md ablation), on the
+//! transitive-closure and same-generation programs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use vpdt_structure::families;
+use vpdt_tx::datalog::{sg_program, tc_program, Strategy};
+
+fn bench_tc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datalog_tc_chain");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    let program = tc_program();
+    for n in [8usize, 16, 24] {
+        let db = families::chain(n);
+        g.bench_with_input(BenchmarkId::new("naive", n), &db, |b, db| {
+            b.iter(|| program.run(std::hint::black_box(db), Strategy::Naive).expect("runs"));
+        });
+        g.bench_with_input(BenchmarkId::new("semi_naive", n), &db, |b, db| {
+            b.iter(|| {
+                program
+                    .run(std::hint::black_box(db), Strategy::SemiNaive)
+                    .expect("runs")
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_sg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datalog_sg_tree");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    let program = sg_program();
+    for depth in [3usize, 4, 5] {
+        let db = families::complete_binary_tree(depth);
+        g.bench_with_input(BenchmarkId::new("semi_naive", db.domain_size()), &db, |b, db| {
+            b.iter(|| {
+                program
+                    .run(std::hint::black_box(db), Strategy::SemiNaive)
+                    .expect("runs")
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tc, bench_sg);
+criterion_main!(benches);

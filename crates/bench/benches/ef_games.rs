@@ -1,0 +1,41 @@
+//! EF-game cost: exponential in rounds, polynomial-ish in structure size
+//! (with memoization). The workload is the Theorem 2 Claim 1 pair
+//! `C_{2n}` vs `C_n ⊎ C_n`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use vpdt_games::ef;
+use vpdt_structure::families;
+
+fn bench_rounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ef_rounds");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    let one = families::cycle(12);
+    let two = families::two_cycles(6, 6);
+    for k in [1usize, 2, 3] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| ef::duplicator_wins(std::hint::black_box(&one), &two, k));
+        });
+    }
+    g.finish();
+}
+
+fn bench_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ef_size_rank2");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for n in [4usize, 6, 8, 10] {
+        let one = families::cycle(2 * n);
+        let two = families::two_cycles(n, n);
+        g.bench_with_input(BenchmarkId::from_parameter(2 * n), &n, |b, _| {
+            b.iter(|| ef::duplicator_wins(std::hint::black_box(&one), &two, 2));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rounds, bench_size);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Core model-checking throughput: ψ_C&C (rank 3, the guard of the
+//! Theorem 7 transaction) and μ_4 on growing inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use vpdt_eval::holds_pure;
+use vpdt_logic::library;
+use vpdt_structure::families;
+
+fn bench_psi_cc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eval_psi_cc");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    let psi = library::psi_cc();
+    for n in [10usize, 20, 40] {
+        let db = families::cc_graph(n, &[3, 4]);
+        g.bench_with_input(BenchmarkId::from_parameter(db.domain_size()), &db, |b, db| {
+            b.iter(|| holds_pure(std::hint::black_box(db), &psi).expect("evaluates"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_mu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eval_mu4");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    let mu = library::at_least_nodes(4);
+    for n in [10usize, 20, 40] {
+        let db = families::linear_order(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| holds_pure(std::hint::black_box(db), &mu).expect("evaluates"));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_psi_cc, bench_mu);
+criterion_main!(benches);

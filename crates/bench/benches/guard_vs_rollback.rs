@@ -1,0 +1,51 @@
+//! The headline integrity-maintenance comparison (E12, bench form): apply
+//! one guarded insert versus one runtime-checked insert. The guard formula
+//! (full wpc or the simplified Δ) is computed once, outside the hot path —
+//! exactly how a transaction designer would deploy it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::time::Duration;
+use vpdt_core::prerelations::compile_program;
+use vpdt_core::safe::{Guarded, RuntimeChecked};
+use vpdt_core::simplify::delta_for_insert;
+use vpdt_core::workload;
+use vpdt_core::wpc::wpc_sentence;
+use vpdt_eval::Omega;
+use vpdt_logic::{Elem, Schema};
+use vpdt_tx::program::Program;
+use vpdt_tx::traits::Transaction;
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("guard_vs_rollback");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    let schema = Schema::graph();
+    let omega = Omega::empty();
+    let inv = workload::fd_constraint();
+    for n in [8u64, 16, 32] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(n);
+        let db = workload::random_functional_graph(&mut rng, n, 0.6);
+        let prog = Program::insert_consts("E", [0, 3]);
+        let pre = compile_program("ins", &prog, &schema, &omega).expect("compiles");
+        let w = wpc_sentence(&pre, &inv).expect("translates");
+        let delta = delta_for_insert(&inv, "E", &[Elem(0), Elem(3)]).expect("supported");
+        let full = Guarded::new(pre.clone(), w, omega.clone());
+        let quick = Guarded::new(pre.clone(), delta, omega.clone());
+        let rollback = RuntimeChecked::new(pre.clone(), inv.clone(), omega.clone());
+        g.bench_with_input(BenchmarkId::new("guard_full_wpc", n), &db, |b, db| {
+            b.iter(|| full.apply(std::hint::black_box(db)).ok());
+        });
+        g.bench_with_input(BenchmarkId::new("guard_delta", n), &db, |b, db| {
+            b.iter(|| quick.apply(std::hint::black_box(db)).ok());
+        });
+        g.bench_with_input(BenchmarkId::new("runtime_rollback", n), &db, |b, db| {
+            b.iter(|| rollback.apply(std::hint::black_box(db)).ok());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Hanf r-type census cost on the `G_{n,n}` family (Theorem 2 Claim 3):
+//! linear in nodes for fixed radius, growing with the radius.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use vpdt_games::hanf;
+use vpdt_structure::families;
+
+fn bench_census(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hanf_census");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for n in [8usize, 16, 32, 64] {
+        let db = families::gnm(n, n);
+        for r in [1usize, 2] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("r{r}"), n),
+                &db,
+                |b, db| b.iter(|| hanf::r_type_census(std::hint::black_box(db), r)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_equivalence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hanf_equivalence");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for n in [8usize, 16, 32] {
+        let a = families::gnm(n, n);
+        let b_ = families::gnm(n - 1, n + 1);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| hanf::census_equivalent(std::hint::black_box(&a), &b_, 2));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_census, bench_equivalence);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Corollary 3 in wall-clock form: computing `wpc(T, α)` for the Theorem 7
+//! separator costs time ~2^qr(α) (the threshold model checking dominates),
+//! and the output's quantifier rank doubles exponentially.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use vpdt_core::theorem7::wpc_theorem7;
+use vpdt_logic::library;
+
+fn bench_rank(c: &mut Criterion) {
+    let mut g = c.benchmark_group("theorem7_wpc_rank");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for k in [1usize, 2, 3, 4] {
+        let alpha = library::at_least_nodes(k);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &alpha, |b, alpha| {
+            b.iter(|| wpc_theorem7(std::hint::black_box(alpha)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rank);
+criterion_main!(benches);

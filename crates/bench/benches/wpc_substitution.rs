@@ -1,0 +1,69 @@
+//! Cost of the Theorem 8 `WPC[γ]` translation: grows with the sentence's
+//! quantifier depth (each quantifier fans out over Γ and inserts a
+//! new-active-domain relativizer) and with the length of composed programs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::time::Duration;
+use vpdt_core::prerelations::compile_program;
+use vpdt_core::wpc::{compose, wpc_sentence};
+use vpdt_core::workload;
+use vpdt_eval::Omega;
+use vpdt_logic::Schema;
+use vpdt_tx::program::Program;
+
+fn bench_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wpc_gamma_depth");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    let pre = compile_program(
+        "ins",
+        &Program::insert_consts("E", [7, 8]),
+        &Schema::graph(),
+        &Omega::empty(),
+    )
+    .expect("compiles");
+    for depth in [2usize, 3, 4] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let gamma = workload::random_sentence(&mut rng, depth);
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &gamma, |b, gamma| {
+            b.iter(|| wpc_sentence(std::hint::black_box(&pre), gamma).expect("translates"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_composition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wpc_composition");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    let schema = Schema::graph();
+    let omega = Omega::empty();
+    let step = compile_program(
+        "ins",
+        &Program::insert_consts("E", [1, 2]),
+        &schema,
+        &omega,
+    )
+    .expect("compiles");
+    for len in [1usize, 2, 3] {
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            b.iter(|| {
+                let mut acc = vpdt_core::prerelations::Prerelation::identity(
+                    schema.clone(),
+                    omega.clone(),
+                );
+                for _ in 0..len {
+                    acc = compose(&acc, &step).expect("composes");
+                }
+                acc
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_depth, bench_composition);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! CLI driver for the experiment suite (see EXPERIMENTS.md).
+//!
+//! ```text
+//! experiments all          # run everything
+//! experiments e8 e10       # run selected experiments
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() {
+        vec!["all"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        if let Err(e) = vpdt_bench::experiments::run(id) {
+            eprintln!("error in {id}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

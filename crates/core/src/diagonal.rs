@@ -1,0 +1,349 @@
+//! Theorem 5: no transaction language captures `WPC(FOc(Ω))` (nor
+//! `WPC(FO)`), by diagonalization.
+//!
+//! The proof builds, for any enumerated transaction language `(T₁, T₂, …)`,
+//! a computable transaction `T` that (a) differs from every `T_m` on some
+//! graph, yet (b) has weakest preconditions, because for every `n` it
+//! eventually stops changing the `≡ₙ` class (agreement on the first `n`
+//! sentences of an enumeration `(φᵢ)`).
+//!
+//! [`Diagonalization`] executes this construction on finite prefixes of
+//! the three enumerations involved — sentences ([`vpdt_logic::enumerate`]),
+//! graphs ([`vpdt_structure::enumerate`], either all graphs or one per
+//! isomorphism class for the pure-FO variant), and the target transaction
+//! language — computing the `H`, `P`, `Q` functions of the proof and the
+//! diagonal transaction itself, plus the Lemma 6 weakest-precondition
+//! construction `χ ∨ (¬θ ∧ φ)` from `describe` sentences.
+//!
+//! All searches carry explicit budgets: the construction is computable but
+//! the proof's bounds are astronomically loose, so the experiment (E7)
+//! reports the small indices it can certify.
+
+use vpdt_eval::{holds, Omega};
+use vpdt_logic::enumerate::SentenceEnumerator;
+use vpdt_logic::{Formula, Schema};
+use vpdt_structure::describe::describe_exactly;
+use vpdt_structure::enumerate::{GraphEnumerator, NonIsoGraphEnumerator};
+use vpdt_structure::Database;
+use vpdt_tx::traits::{Transaction, TxError};
+
+/// The finite-prefix execution of the Theorem 5 construction.
+pub struct Diagonalization {
+    sentences: Vec<Formula>,
+    /// 1-based in the proofs: `graphs[i-1]` is `G_i`.
+    graphs: Vec<Database>,
+    /// `sat[i][s]` = `G_{i+1} ⊨ φ_s`.
+    sat: Vec<Vec<bool>>,
+    language: Vec<Box<dyn Transaction>>,
+    omega: Omega,
+}
+
+/// An error from a budget-bounded search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetExceeded(pub String);
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "diagonalization budget exceeded: {}", self.0)
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+impl Diagonalization {
+    /// Sets up the construction over *all* graphs (the `WPC(FOc(Ω))`
+    /// variant; the sentence enumeration may include constants).
+    pub fn new(
+        num_sentences: usize,
+        num_graphs: usize,
+        language: Vec<Box<dyn Transaction>>,
+        with_constants: bool,
+    ) -> Self {
+        let mut enumerator = SentenceEnumerator::new(Schema::graph(), 2);
+        if with_constants {
+            enumerator = enumerator.with_constants([vpdt_logic::Elem(0), vpdt_logic::Elem(1)]);
+        }
+        let sentences: Vec<Formula> = enumerator.take(num_sentences).collect();
+        let graphs: Vec<Database> = GraphEnumerator::new().take(num_graphs).collect();
+        Self::build(sentences, graphs, language)
+    }
+
+    /// The pure-FO variant: one representative per isomorphism class (the
+    /// `(Cₙ)` enumeration), making the diagonal transaction generic.
+    pub fn new_upto_iso(
+        num_sentences: usize,
+        num_graphs: usize,
+        language: Vec<Box<dyn Transaction>>,
+    ) -> Self {
+        let sentences: Vec<Formula> = SentenceEnumerator::new(Schema::graph(), 2)
+            .take(num_sentences)
+            .collect();
+        let graphs: Vec<Database> = NonIsoGraphEnumerator::new().take(num_graphs).collect();
+        Self::build(sentences, graphs, language)
+    }
+
+    fn build(
+        sentences: Vec<Formula>,
+        graphs: Vec<Database>,
+        language: Vec<Box<dyn Transaction>>,
+    ) -> Self {
+        let omega = Omega::empty();
+        let sat = graphs
+            .iter()
+            .map(|g| {
+                sentences
+                    .iter()
+                    .map(|s| holds(g, &omega, s).expect("enumerated sentences evaluate"))
+                    .collect()
+            })
+            .collect();
+        Diagonalization { sentences, graphs, sat, language, omega }
+    }
+
+    /// The sentence prefix `(φ₀ … )`.
+    pub fn sentences(&self) -> &[Formula] {
+        &self.sentences
+    }
+
+    /// The graph prefix (`graphs()[i-1]` is `G_i`).
+    pub fn graphs(&self) -> &[Database] {
+        &self.graphs
+    }
+
+    /// `G_i ≡ₙ G_j`: agreement on the first `n` sentences (1-based graph
+    /// indices, as in the proof).
+    pub fn equivalent_upto(&self, i: usize, j: usize, n: usize) -> bool {
+        assert!(n <= self.sentences.len(), "not enough sentences enumerated");
+        self.sat[i - 1][..n] == self.sat[j - 1][..n]
+    }
+
+    /// `H(m, n)`: a pair `(i, j)` with `m < i < j`, `G_i ≡ₙ G_j`,
+    /// `G_i ≠ G_j`, found by scanning pairs in increasing-`j` order (the
+    /// proof's "check each pair in turn"; a pair exists for every `m, n`
+    /// because `≡ₙ` has finitely many classes).
+    pub fn h(&self, m: usize, n: usize) -> Result<(usize, usize), BudgetExceeded> {
+        for j in (m + 2)..=self.graphs.len() {
+            for i in (m + 1)..j {
+                if self.graphs[i - 1] != self.graphs[j - 1] && self.equivalent_upto(i, j, n) {
+                    return Ok((i, j));
+                }
+            }
+        }
+        Err(BudgetExceeded(format!(
+            "no H({m},{n}) pair within {} graphs",
+            self.graphs.len()
+        )))
+    }
+
+    /// The `P` and `Q` tables: `P(0)=Q(0)=1`; `(P(n+1), Q(n+1)) =
+    /// H(P(n), n)`. Returns `[(P(0),Q(0)), …]` as far as the prefix allows,
+    /// up to `max_n` entries beyond index 0.
+    pub fn pq_table(&self, max_n: usize) -> Result<Vec<(usize, usize)>, BudgetExceeded> {
+        let mut out = vec![(1usize, 1usize)];
+        for n in 0..max_n {
+            if n >= self.sentences.len() {
+                return Err(BudgetExceeded("not enough sentences for P table".into()));
+            }
+            let (i, j) = self.h(out[n].0, n)?;
+            out.push((i, j));
+        }
+        Ok(out)
+    }
+
+    /// The diagonal transaction `T` of the proof, evaluated at graph index
+    /// `i` (1-based), using a `P/Q` table that must extend past any `n`
+    /// with `P(n) = i`.
+    pub fn diagonal_apply(
+        &self,
+        i: usize,
+        pq: &[(usize, usize)],
+    ) -> Result<Database, TxError> {
+        let g_i = &self.graphs[i - 1];
+        // is i in the range of P (beyond index 0)?
+        let inv = pq.iter().skip(1).position(|&(p, _)| p == i).map(|k| k + 1);
+        let Some(n) = inv else {
+            // not in range(P) — only certain if the table covers indices ≥ i
+            let max_p = pq.last().map(|&(p, _)| p).unwrap_or(0);
+            if i > max_p {
+                return Err(TxError::ResourceLimit(format!(
+                    "P table too short to decide membership of {i}"
+                )));
+            }
+            return Ok(g_i.clone());
+        };
+        // i = P(n): diagonalize against T_n (1-based language index)
+        let t_n = self.language.get(n - 1).ok_or_else(|| {
+            TxError::ResourceLimit(format!("language prefix shorter than {n}"))
+        })?;
+        let g_prime = t_n.apply(g_i)?;
+        let j = pq[n].1;
+        let g_j = &self.graphs[j - 1];
+        // pick whichever of G_i, G_j differs from T_n(G_i); if both do,
+        // pick G_min(i,j)
+        let pick_i = *g_i != g_prime;
+        let pick_j = *g_j != g_prime;
+        Ok(match (pick_i, pick_j) {
+            (true, true) => self.graphs[i.min(j) - 1].clone(),
+            (true, false) => g_i.clone(),
+            (false, true) => g_j.clone(),
+            (false, false) => unreachable!("G_i ≠ G_j, so one differs from G′"),
+        })
+    }
+
+    /// Verifies the diagonalization at index `m`: `T(G_{P(m)}) ≠
+    /// T_m(G_{P(m)})` (the language cannot express `T`).
+    pub fn diagonalizes_against(
+        &self,
+        m: usize,
+        pq: &[(usize, usize)],
+    ) -> Result<bool, TxError> {
+        let i = pq[m].0;
+        let ours = self.diagonal_apply(i, pq)?;
+        let theirs = self.language[m - 1].apply(&self.graphs[i - 1])?;
+        Ok(ours != theirs)
+    }
+
+    /// The Lemma 6 weakest-precondition for `φ = sentences()[n]` w.r.t. the
+    /// diagonal transaction: `χ ∨ (¬θ ∧ φ)` where `χ` describes the
+    /// `G_i`, `i ≤ P(n)`, with `T(G_i) ⊨ φ`, and `θ` describes all `G_i`
+    /// with `i ≤ P(n)`.
+    ///
+    /// The construction uses FOc `describe` sentences, so it matches the
+    /// `WPC(FOc(Ω))` variant; its correctness is checked by the caller on
+    /// the graph prefix (see `tests/`).
+    pub fn lemma6_wpc(
+        &self,
+        n: usize,
+        pq: &[(usize, usize)],
+    ) -> Result<Formula, TxError> {
+        let phi = &self.sentences[n];
+        let m = pq
+            .get(n)
+            .ok_or_else(|| TxError::ResourceLimit("P table too short".into()))?
+            .0;
+        let mut chi = Vec::new();
+        let mut theta = Vec::new();
+        for i in 1..=m {
+            let desc = describe_exactly(&self.graphs[i - 1]);
+            theta.push(desc.clone());
+            let out = self.diagonal_apply(i, pq)?;
+            if holds(&out, &self.omega, phi).map_err(TxError::from)? {
+                chi.push(desc);
+            }
+        }
+        Ok(Formula::or([
+            Formula::or(chi),
+            Formula::and([
+                Formula::not(Formula::or(theta)),
+                phi.clone(),
+            ]),
+        ]))
+    }
+}
+
+/// A small enumerated transaction language for demonstrations: identity,
+/// the two Proposition 1 SPJ transactions, tc, dtc, the Theorem 7
+/// separator, and a couple of update programs.
+pub fn demo_language() -> Vec<Box<dyn Transaction>> {
+    use vpdt_tx::program::{Program, ProgramTransaction};
+    vec![
+        Box::new(crate::prerelations::Prerelation::identity(
+            Schema::graph(),
+            Omega::empty(),
+        )),
+        Box::new(vpdt_tx::algebra::t1_diagonal()),
+        Box::new(vpdt_tx::algebra::t2_complete()),
+        Box::new(vpdt_tx::recursive::TcTransaction),
+        Box::new(vpdt_tx::recursive::DtcTransaction),
+        Box::new(crate::theorem7::SeparatorTransaction),
+        Box::new(ProgramTransaction::new(
+            "ins00",
+            Program::insert_consts("E", [0, 0]),
+            Omega::empty(),
+        )),
+        Box::new(ProgramTransaction::new(
+            "del00",
+            Program::delete_consts("E", [0, 0]),
+            Omega::empty(),
+        )),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Diagonalization {
+        Diagonalization::new(12, 600, demo_language(), false)
+    }
+
+    #[test]
+    fn h_finds_equivalent_distinct_pairs() {
+        let d = small();
+        let (i, j) = d.h(1, 3).expect("within budget");
+        assert!(1 < i && i < j);
+        assert!(d.equivalent_upto(i, j, 3));
+        assert_ne!(d.graphs()[i - 1], d.graphs()[j - 1]);
+    }
+
+    #[test]
+    fn pq_table_is_strictly_monotone() {
+        let d = small();
+        let pq = d.pq_table(4).expect("within budget");
+        for w in pq.windows(2) {
+            assert!(w[1].0 > w[0].0, "P strictly increasing: {pq:?}");
+        }
+        for &(p, q) in &pq[1..] {
+            assert!(p < q, "P(n) < Q(n)");
+        }
+    }
+
+    #[test]
+    fn diagonal_differs_from_every_enumerated_transaction() {
+        let d = small();
+        let lang_len = 4; // check the first few languages members
+        let pq = d.pq_table(lang_len).expect("within budget");
+        for m in 1..=lang_len {
+            assert!(
+                d.diagonalizes_against(m, &pq).expect("applies"),
+                "T coincides with T_{m} at its diagonal point"
+            );
+        }
+    }
+
+    #[test]
+    fn diagonal_is_identity_off_the_range_of_p() {
+        let d = small();
+        let pq = d.pq_table(3).expect("within budget");
+        let in_range: Vec<usize> = pq[1..].iter().map(|&(p, _)| p).collect();
+        for i in 1..=*in_range.last().expect("nonempty") {
+            if !in_range.contains(&i) {
+                let out = d.diagonal_apply(i, &pq).expect("applies");
+                assert_eq!(out, d.graphs()[i - 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn lemma6_wpc_is_correct_on_the_prefix() {
+        let d = small();
+        let n = 2;
+        let pq = d.pq_table(n + 1).expect("within budget");
+        let w = d.lemma6_wpc(n, &pq).expect("constructs");
+        let phi = &d.sentences()[n];
+        let max_p = pq.last().expect("nonempty").0;
+        for i in 1..=max_p {
+            let lhs = holds(&d.graphs()[i - 1], &Omega::empty(), &w).expect("evaluates");
+            let out = d.diagonal_apply(i, &pq).expect("applies");
+            let rhs = holds(&out, &Omega::empty(), phi).expect("evaluates");
+            assert_eq!(lhs, rhs, "wpc mismatch at G_{i}");
+        }
+    }
+
+    #[test]
+    fn iso_variant_runs() {
+        let d = Diagonalization::new_upto_iso(10, 400, demo_language());
+        let pq = d.pq_table(2).expect("within budget");
+        assert!(d.diagonalizes_against(1, &pq).expect("applies"));
+    }
+}

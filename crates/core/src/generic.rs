@@ -1,0 +1,203 @@
+//! Proposition 4: generic transactions in `WPC(FOc)` admit prerelations.
+//!
+//! The proof is constructive and implemented here: from an oracle producing
+//! weakest preconditions over FOc (we use the `WPC[γ]` algorithm on a
+//! prerelation description, but any `wpc` oracle fits), pick two fresh
+//! constants `c ≠ d`, compute
+//!
+//! ```text
+//! Ψ = wpc(T, E(c,d))        Φ = wpc(T, E(c,c))
+//! ```
+//!
+//! replace the constants by variables to get `ψ(x,y)`, `φ(x)`, form
+//!
+//! ```text
+//! γ(x,y) = (x = y ∧ φ(x)) ∨ (x ≠ y ∧ ψ(x,y))
+//! ```
+//!
+//! and finally replace every atomic subformula mentioning a *leftover*
+//! constant by `false`. Genericity makes the result `β(x,y)` a prerelation
+//! for `T` on **all** graphs ([`prerelation_from_generic`] +
+//! property tests).
+
+use crate::prerelations::Prerelation;
+use crate::wpc::{wpc_formula, WpcError};
+use vpdt_logic::{Elem, Formula, Term, Var};
+
+/// Replaces every occurrence of the constant `c` by the variable `v`
+/// (entering binders is safe: `v` must be fresh for `f`).
+pub fn constant_to_variable(f: &Formula, c: Elem, v: &Var) -> Formula {
+    assert!(
+        !f.all_vars().contains(v),
+        "replacement variable must be fresh"
+    );
+    fn term(t: &Term, c: Elem, v: &Var) -> Term {
+        match t {
+            Term::Const(k) if *k == c => Term::Var(v.clone()),
+            Term::Var(_) | Term::Const(_) => t.clone(),
+            Term::App(g, args) => {
+                Term::App(g.clone(), args.iter().map(|a| term(a, c, v)).collect())
+            }
+        }
+    }
+    f.map(&|g| match g {
+        Formula::Rel(name, ts) => {
+            Formula::Rel(name, ts.iter().map(|t| term(t, c, v)).collect())
+        }
+        Formula::Pred(p, ts) => {
+            Formula::Pred(p, ts.iter().map(|t| term(t, c, v)).collect())
+        }
+        Formula::Eq(a, b) => Formula::Eq(term(&a, c, v), term(&b, c, v)),
+        other => other,
+    })
+}
+
+/// Replaces every atomic subformula mentioning any constant *not* in
+/// `keep` by `false` — sound on databases whose domain avoids those
+/// constants, which is all the proof needs.
+pub fn drop_alien_constants(f: &Formula, keep: &[Elem]) -> Formula {
+    f.map(&|g| match &g {
+        Formula::Rel(_, ts) | Formula::Pred(_, ts) => {
+            if ts.iter().any(|t| has_alien(t, keep)) {
+                Formula::False
+            } else {
+                g
+            }
+        }
+        Formula::Eq(a, b) => {
+            if has_alien(a, keep) || has_alien(b, keep) {
+                Formula::False
+            } else {
+                g
+            }
+        }
+        _ => g,
+    })
+}
+
+fn has_alien(t: &Term, keep: &[Elem]) -> bool {
+    t.constants().iter().any(|c| !keep.contains(c))
+}
+
+/// The Proposition 4 construction: a pure-FO formula `β(x, y)` such that
+/// for every graph `G` and nodes `a, b`: `G ⊨ β(a,b) ⟺ (a,b) ∈ T(G)` —
+/// i.e. a prerelation (with `Γ = {x}`) for the generic transaction
+/// described by `pre`.
+///
+/// The input must be a generic transaction over the graph schema; the two
+/// probe constants are chosen away from everything in the description.
+pub fn prerelation_from_generic(pre: &Prerelation) -> Result<Formula, WpcError> {
+    // fresh constants c ≠ d beyond anything the description mentions
+    let mut max_const = 0u64;
+    for (_, p) in pre.pres() {
+        for e in p.formula.constants_used() {
+            max_const = max_const.max(e.0);
+        }
+    }
+    for t in pre.gamma() {
+        for e in t.constants() {
+            max_const = max_const.max(e.0);
+        }
+    }
+    let c = Elem(max_const + 1_000_001);
+    let d = Elem(max_const + 1_000_002);
+
+    let psi = wpc_formula(pre, &Formula::rel("E", [Term::Const(c), Term::Const(d)]))?;
+    let phi = wpc_formula(pre, &Formula::rel("E", [Term::Const(c), Term::Const(c)]))?;
+
+    let x = Var::new("gx");
+    let y = Var::new("gy");
+    let psi_xy = constant_to_variable(&constant_to_variable(&psi, c, &x), d, &y);
+    let phi_x = constant_to_variable(&phi, c, &x);
+
+    let gamma = Formula::or([
+        Formula::and([
+            Formula::eq(Term::Var(x.clone()), Term::Var(y.clone())),
+            phi_x,
+        ]),
+        Formula::and([
+            Formula::neq(Term::Var(x.clone()), Term::Var(y.clone())),
+            psi_xy,
+        ]),
+    ]);
+    Ok(drop_alien_constants(&gamma, &[]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpdt_eval::{eval, Env, Omega};
+    use vpdt_logic::{parse_formula, Schema};
+    use vpdt_structure::{families, Database};
+    use vpdt_tx::traits::Transaction;
+
+    fn check_is_prerelation(pre: &Prerelation, beta: &Formula, dbs: &[Database]) {
+        assert!(beta.is_pure_fo(), "β must be pure FO, got {beta}");
+        for db in dbs {
+            let out = pre.apply(db).expect("applies");
+            for &a in db.domain() {
+                for &b in db.domain() {
+                    let mut env = Env::of([
+                        (Var::new("gx"), a),
+                        (Var::new("gy"), b),
+                    ]);
+                    let by_beta =
+                        eval(db, &Omega::empty(), beta, &mut env).expect("evaluates");
+                    let by_tx = out.contains("E", &[a, b]);
+                    assert_eq!(by_beta, by_tx, "({a},{b}) on {db:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_edges_transaction() {
+        // a generic PR transaction: E := E ∪ E⁻¹
+        let pre = Prerelation::identity(Schema::graph(), Omega::empty()).with_pre(
+            "E",
+            [Var::new("x"), Var::new("y")],
+            parse_formula("E(x, y) | E(y, x)").expect("parses"),
+        );
+        let beta = prerelation_from_generic(&pre).expect("constructs");
+        check_is_prerelation(
+            &pre,
+            &beta,
+            &[
+                families::chain(3),
+                families::cycle(3),
+                Database::graph([(0, 0), (1, 2)]),
+                Database::graph([]),
+            ],
+        );
+    }
+
+    #[test]
+    fn delete_loops_transaction() {
+        let pre = Prerelation::identity(Schema::graph(), Omega::empty()).with_pre(
+            "E",
+            [Var::new("x"), Var::new("y")],
+            parse_formula("E(x, y) & x != y").expect("parses"),
+        );
+        let beta = prerelation_from_generic(&pre).expect("constructs");
+        check_is_prerelation(
+            &pre,
+            &beta,
+            &[
+                Database::graph([(0, 0), (0, 1), (2, 2)]),
+                families::diagonal([3, 4]),
+            ],
+        );
+    }
+
+    #[test]
+    fn constant_replacement_helpers() {
+        let f = parse_formula("E(5, x) & 5 = 6").expect("parses");
+        let g = constant_to_variable(&f, Elem(5), &Var::new("w"));
+        assert_eq!(g.to_string(), "E(w, x) & w = 6");
+        let dropped = drop_alien_constants(&g, &[]);
+        assert_eq!(
+            vpdt_logic::simplify::simplify(&dropped),
+            Formula::False // both atoms mention constant 6 / none kept... E(w,x) has no constant
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! # vpdt-core
+//!
+//! The paper's primary contribution, as a library:
+//!
+//! * [`prerelations`] — prerelation descriptions `(Γ, {pre_R})` of
+//!   transactions (Section 2), their operational semantics, and compilers
+//!   from update programs and relational algebra (Proposition 3:
+//!   `PR(FOc(Ω))` *is* a transaction language);
+//! * [`wpc`] — the `WPC[γ]` substitution algorithm from Theorem 8: every
+//!   transaction admitting prerelations has computable weakest
+//!   preconditions over `FOc(Ω′)` for **every** extension `Ω′ ⊇ Ω` — the
+//!   robust-verifiability direction — plus symbolic composition of
+//!   prerelation transactions;
+//! * [`theorem7`] — the separating transaction `T ∈ WPC(FO) − PR(FO)`
+//!   (tc on the chain part of a C&C graph, diagonal elsewhere) with its
+//!   complete wpc algorithm for pure FO and the `2ⁿ` quantifier-rank
+//!   blow-up of Corollary 3;
+//! * [`safe`] — the integrity-maintenance transforms of the introduction:
+//!   `if wpc(T,α) then T else abort` versus run-time check-and-rollback;
+//! * [`simplify`] — invariant-aware precondition simplification (the Δ of
+//!   Section 6, after Nicolas and Qian);
+//! * [`diagonal`] — the Theorem 5 diagonalization, executable against any
+//!   enumerable transaction language;
+//! * [`generic`] — Proposition 4's constant-elimination: generic
+//!   transactions in `WPC(FOc)` admit prerelations;
+//! * [`verify`] — bounded checking of the undecidable `Preserve(TL, L)`
+//!   and of weakest-precondition candidates;
+//! * [`workload`] — random constraints, programs and databases for the
+//!   benchmarks and property tests.
+
+pub mod diagonal;
+pub mod generic;
+pub mod prerelations;
+pub mod safe;
+pub mod simplify;
+pub mod theorem7;
+pub mod verify;
+pub mod workload;
+pub mod wpc;
+
+pub use prerelations::Prerelation;
+pub use theorem7::SeparatorTransaction;
+pub use wpc::{wpc_sentence, WpcError};

@@ -1,0 +1,556 @@
+//! Prerelations: tuple-level preconditions (Section 2).
+//!
+//! A transaction `T` *admits prerelations over L* if there is a finite set
+//! of terms `Γ` and, for every relation `Rᵢ`, a formula `pre_Rᵢ(x₁..x_nᵢ)`
+//! such that for every database `D` and every tuple `d̄ ∈ U^nᵢ`:
+//!
+//! ```text
+//! D ⊨ pre_Rᵢ(d̄)  and  d̄ ∈ Γ(D)    ⟺    T(D) ⊨ Rᵢ(d̄)
+//! ```
+//!
+//! where `Γ(D) = { τ(ā) | τ ∈ Γ, ā ∈ dom(D)^arity(τ) }` is the term
+//! extension of the active domain (it accommodates transactions that invent
+//! values, e.g. inserting constants).
+//!
+//! [`Prerelation`] is both a *description* (usable by the `WPC[γ]`
+//! algorithm of [`crate::wpc`]) and a *transaction* (Proposition 3: the
+//! descriptions form a transaction language capturing `PR(FOc(Ω))`).
+//! [`compile_program`] compiles every update program of `vpdt-tx` into an
+//! equivalent description — equivalence is property-tested in
+//! `tests/` against the operational semantics.
+
+use std::collections::{BTreeMap, BTreeSet};
+use vpdt_eval::{eval, eval_term, Env, Omega};
+use vpdt_logic::{Elem, Formula, Schema, Term, Var};
+use vpdt_structure::Database;
+use vpdt_tx::algebra::RaTransaction;
+use vpdt_tx::program::Program;
+use vpdt_tx::traits::{normalize_domain, Transaction, TxError};
+
+/// The prerelation formula of one relation: `vars` lists the tuple
+/// variables (one per column), `formula`'s free variables are ⊆ `vars`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PreRel {
+    /// The tuple variables.
+    pub vars: Vec<Var>,
+    /// The membership condition over the *old* database state.
+    pub formula: Formula,
+}
+
+/// A prerelation description `(Γ, {pre_R})` of a transaction over a schema,
+/// together with the interpretation of its Ω symbols.
+#[derive(Clone, Debug)]
+pub struct Prerelation {
+    label: String,
+    schema: Schema,
+    gamma: Vec<Term>,
+    pres: BTreeMap<String, PreRel>,
+    omega: Omega,
+}
+
+impl Prerelation {
+    /// The identity transaction on a schema: `Γ = {u}` and
+    /// `pre_R(x̄) = R(x̄)` for every relation.
+    pub fn identity(schema: Schema, omega: Omega) -> Self {
+        let mut pres = BTreeMap::new();
+        for (name, arity) in schema.iter() {
+            let vars: Vec<Var> = (0..arity).map(|i| Var::new(format!("x{i}"))).collect();
+            let formula =
+                Formula::rel(name, vars.iter().map(|v| Term::Var(v.clone())));
+            pres.insert(name.to_string(), PreRel { vars, formula });
+        }
+        Prerelation {
+            label: "identity".into(),
+            schema,
+            gamma: vec![Term::var("u")],
+            pres,
+            omega,
+        }
+    }
+
+    /// Renames the transaction.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Adds a term to `Γ`. Terms are α-normalized (variables renamed to
+    /// `g0, g1, …` in first-occurrence order) so that composition does not
+    /// accumulate α-equivalent duplicates — `Γ(D)` only depends on terms up
+    /// to variable renaming.
+    pub fn with_gamma_term(mut self, t: Term) -> Self {
+        let t = alpha_normalize(&t);
+        if !self.gamma.contains(&t) {
+            self.gamma.push(t);
+        }
+        self
+    }
+
+    /// Replaces the prerelation formula of one relation.
+    ///
+    /// # Panics
+    /// Panics if the relation is unknown, the variable count mismatches the
+    /// arity, or the formula has stray free variables.
+    pub fn with_pre(
+        mut self,
+        rel: &str,
+        vars: impl IntoIterator<Item = Var>,
+        formula: Formula,
+    ) -> Self {
+        let arity = self
+            .schema
+            .arity_of(rel)
+            .unwrap_or_else(|| panic!("relation {rel} not in schema"));
+        let vars: Vec<Var> = vars.into_iter().collect();
+        assert_eq!(vars.len(), arity, "one variable per column of {rel}");
+        for fv in formula.free_vars() {
+            assert!(
+                vars.contains(&fv),
+                "prerelation for {rel} has stray free variable {fv}"
+            );
+        }
+        self.pres
+            .insert(rel.to_string(), PreRel { vars, formula });
+        self
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The term set `Γ`.
+    pub fn gamma(&self) -> &[Term] {
+        &self.gamma
+    }
+
+    /// The prerelation formula of a relation.
+    pub fn pre(&self, rel: &str) -> &PreRel {
+        &self.pres[rel]
+    }
+
+    /// The Ω interpretation.
+    pub fn omega(&self) -> &Omega {
+        &self.omega
+    }
+
+    /// All prerelation formulas (relation name → formula).
+    pub fn pres(&self) -> impl Iterator<Item = (&str, &PreRel)> {
+        self.pres.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Whether every formula (and Γ) is pure FO — the `PR(FO)` fragment.
+    pub fn is_pure_fo(&self) -> bool {
+        self.gamma.iter().all(|t| matches!(t, Term::Var(_)))
+            && self.pres.values().all(|p| p.formula.is_pure_fo())
+    }
+
+    /// Computes the term extension `Γ(D)`.
+    pub fn gamma_extension(&self, db: &Database) -> Result<BTreeSet<Elem>, TxError> {
+        let dom: Vec<Elem> = db.domain().iter().copied().collect();
+        let mut out = BTreeSet::new();
+        for term in &self.gamma {
+            let vars = term.vars();
+            if vars.is_empty() {
+                // ground terms contribute even over the empty database
+                out.insert(eval_term(&self.omega, term, &Env::new()).map_err(TxError::from)?);
+                continue;
+            }
+            if dom.is_empty() {
+                continue;
+            }
+            let mut assignment = vec![0usize; vars.len()];
+            loop {
+                let mut env = Env::new();
+                for (v, &i) in vars.iter().zip(assignment.iter()) {
+                    env.push_elem(v.clone(), dom[i]);
+                }
+                out.insert(eval_term(&self.omega, term, &env).map_err(TxError::from)?);
+                // odometer over dom^|vars|
+                let mut k = vars.len();
+                loop {
+                    if k == 0 {
+                        break;
+                    }
+                    k -= 1;
+                    assignment[k] += 1;
+                    if assignment[k] < dom.len() {
+                        break;
+                    }
+                    assignment[k] = 0;
+                    if k == 0 {
+                        break;
+                    }
+                }
+                if assignment.iter().all(|&i| i == 0) {
+                    break;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The total number of candidate tuples `|Γ(D)|^arity` summed over
+    /// relations — a cost estimate for [`Transaction::apply`].
+    pub fn candidate_count(&self, db: &Database) -> Result<usize, TxError> {
+        let g = self.gamma_extension(db)?.len();
+        Ok(self
+            .schema
+            .iter()
+            .map(|(_, arity)| g.saturating_pow(arity as u32))
+            .sum())
+    }
+}
+
+impl Transaction for Prerelation {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    /// Applies the description: `R_new = { d̄ ∈ Γ(D)^n | D ⊨ pre_R(d̄) }`.
+    fn apply(&self, db: &Database) -> Result<Database, TxError> {
+        if db.schema() != &self.schema {
+            return Err(TxError::SchemaMismatch(format!(
+                "transaction {} expects a different schema",
+                self.label
+            )));
+        }
+        let universe: Vec<Elem> = self.gamma_extension(db)?.into_iter().collect();
+        let mut out = Database::empty(self.schema.clone());
+        for (rel, pre) in &self.pres {
+            let arity = pre.vars.len();
+            let mut idx = vec![0usize; arity];
+            if universe.is_empty() {
+                continue;
+            }
+            loop {
+                let mut env = Env::new();
+                for (v, &i) in pre.vars.iter().zip(idx.iter()) {
+                    env.push_elem(v.clone(), universe[i]);
+                }
+                if eval(db, &self.omega, &pre.formula, &mut env)? {
+                    out.insert(rel, idx.iter().map(|&i| universe[i]).collect());
+                }
+                let mut k = arity;
+                loop {
+                    if k == 0 {
+                        break;
+                    }
+                    k -= 1;
+                    idx[k] += 1;
+                    if idx[k] < universe.len() {
+                        break;
+                    }
+                    idx[k] = 0;
+                    if k == 0 {
+                        break;
+                    }
+                }
+                if idx.iter().all(|&i| i == 0) {
+                    break;
+                }
+            }
+        }
+        Ok(normalize_domain(out))
+    }
+}
+
+/// Renames a term's variables to `g0, g1, …` in first-occurrence order.
+fn alpha_normalize(t: &Term) -> Term {
+    let vars = t.vars();
+    let map: std::collections::BTreeMap<Var, Term> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v.clone(), Term::var(format!("g{i}"))))
+        .collect();
+    t.substitute(&|v| map.get(v).cloned())
+}
+
+/// Errors when compiling a program to a prerelation description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError(pub String);
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "compile error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// `∃z. z = t` — "the value of `t` is in the (old) domain". Used to guard
+/// assignments whose tuples must range over `dom(D)` even when Γ is larger.
+fn in_dom(t: Term) -> Formula {
+    Formula::exists("zdom", Formula::eq(Term::var("zdom"), t))
+}
+
+/// Compiles an update program into an equivalent prerelation description
+/// (the constructive content of Proposition 3 for this language).
+///
+/// `Seq` is compiled by symbolic composition ([`crate::wpc::compose`]), so
+/// the result is a *single* `(Γ, {pre_R})` pair whatever the program length.
+pub fn compile_program(
+    label: impl Into<String>,
+    program: &Program,
+    schema: &Schema,
+    omega: &Omega,
+) -> Result<Prerelation, CompileError> {
+    let pr = compile(program, schema, omega)?;
+    Ok(pr.with_label(label))
+}
+
+fn compile(p: &Program, schema: &Schema, omega: &Omega) -> Result<Prerelation, CompileError> {
+    let base = Prerelation::identity(schema.clone(), omega.clone());
+    match p {
+        Program::Skip => Ok(base),
+        Program::Insert { rel, tuple } => {
+            if !schema.contains(rel) {
+                return Err(CompileError(format!("unknown relation {rel}")));
+            }
+            for t in tuple {
+                if !t.is_ground() {
+                    return Err(CompileError(format!("insert term {t} is not ground")));
+                }
+            }
+            let old = base.pre(rel).clone();
+            let is_new = Formula::and(
+                old.vars
+                    .iter()
+                    .zip(tuple.iter())
+                    .map(|(v, t)| Formula::eq(Term::Var(v.clone()), t.clone())),
+            );
+            let formula = Formula::or([old.formula.clone(), is_new]);
+            let mut out = base.with_pre(rel, old.vars, formula);
+            for t in tuple {
+                out = out.with_gamma_term(t.clone());
+            }
+            Ok(out)
+        }
+        Program::DeleteWhere { rel, vars, cond } => {
+            if !schema.contains(rel) {
+                return Err(CompileError(format!("unknown relation {rel}")));
+            }
+            let atom = Formula::rel(rel.clone(), vars.iter().map(|v| Term::Var(v.clone())));
+            let formula = Formula::and([atom, Formula::not(cond.clone())]);
+            Ok(base.with_pre(rel, vars.clone(), formula))
+        }
+        Program::InsertWhere { rel, vars, cond } => {
+            if !schema.contains(rel) {
+                return Err(CompileError(format!("unknown relation {rel}")));
+            }
+            let atom = Formula::rel(rel.clone(), vars.iter().map(|v| Term::Var(v.clone())));
+            let guarded = Formula::and(
+                std::iter::once(cond.clone()).chain(
+                    vars.iter()
+                        .map(|v| in_dom(Term::Var(v.clone()))),
+                ),
+            );
+            let formula = Formula::or([atom, guarded]);
+            Ok(base.with_pre(rel, vars.clone(), formula))
+        }
+        Program::Assign { rel, vars, body } => {
+            if !schema.contains(rel) {
+                return Err(CompileError(format!("unknown relation {rel}")));
+            }
+            let guarded = Formula::and(
+                std::iter::once(body.clone()).chain(
+                    vars.iter()
+                        .map(|v| in_dom(Term::Var(v.clone()))),
+                ),
+            );
+            Ok(base.with_pre(rel, vars.clone(), guarded))
+        }
+        Program::Seq(ps) => {
+            let mut acc = base;
+            for p in ps {
+                let step = compile(p, schema, omega)?;
+                acc = crate::wpc::compose(&acc, &step)
+                    .map_err(|e| CompileError(e.to_string()))?;
+            }
+            Ok(acc)
+        }
+        Program::If { cond, then_p, else_p } => {
+            if !cond.is_sentence() {
+                return Err(CompileError("if-guard must be a sentence".into()));
+            }
+            let a = compile(then_p, schema, omega)?;
+            let b = compile(else_p, schema, omega)?;
+            let mut out = Prerelation::identity(schema.clone(), omega.clone());
+            for t in a.gamma().iter().chain(b.gamma().iter()) {
+                out = out.with_gamma_term(t.clone());
+            }
+            for (rel, _arity) in schema.iter() {
+                let pa = a.pre(rel);
+                let pb = b.pre(rel);
+                // align pb's variables with pa's
+                let map: BTreeMap<Var, Term> = pb
+                    .vars
+                    .iter()
+                    .cloned()
+                    .zip(pa.vars.iter().map(|v| Term::Var(v.clone())))
+                    .collect();
+                let pb_formula = vpdt_logic::subst::substitute_many(&pb.formula, &map);
+                let formula = Formula::or([
+                    Formula::and([cond.clone(), pa.formula.clone()]),
+                    Formula::and([Formula::not(cond.clone()), pb_formula]),
+                ]);
+                out = out.with_pre(rel, pa.vars.clone(), formula);
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Compiles a relational-algebra transaction into a prerelation description
+/// via the RA→FO compiler. RA results are always tuples of active-domain
+/// elements, so `Γ = {u}` suffices.
+pub fn compile_ra(tx: &RaTransaction, schema: &Schema) -> Result<Prerelation, CompileError> {
+    let mut out = Prerelation::identity(schema.clone(), Omega::empty())
+        .with_label(format!("{}-as-prerelation", tx.name()));
+    for (rel, expr) in tx.assignments() {
+        let arity = schema
+            .arity_of(rel)
+            .ok_or_else(|| CompileError(format!("unknown relation {rel}")))?;
+        let vars: Vec<Var> = (0..arity).map(|i| Var::new(format!("x{i}"))).collect();
+        let formula = expr
+            .to_formula(schema, &vars)
+            .map_err(|e| CompileError(e.to_string()))?;
+        out = out.with_pre(rel, vars, formula);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpdt_logic::parse_formula;
+    use vpdt_structure::families;
+    use vpdt_tx::program::ProgramTransaction;
+
+    #[test]
+    fn identity_is_identity() {
+        let id = Prerelation::identity(Schema::graph(), Omega::empty());
+        for db in [families::chain(4), families::cycle(3), Database::graph([])] {
+            assert_eq!(id.apply(&db).expect("applies"), db);
+        }
+    }
+
+    #[test]
+    fn insert_compiles_correctly() {
+        let p = Program::insert_consts("E", [7, 8]);
+        let pr = compile_program("ins", &p, &Schema::graph(), &Omega::empty()).expect("compiles");
+        let direct = ProgramTransaction::new("ins", p, Omega::empty());
+        for db in [families::chain(3), Database::graph([])] {
+            assert_eq!(
+                pr.apply(&db).expect("pr"),
+                direct.apply(&db).expect("direct"),
+                "on {db:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn delete_compiles_correctly() {
+        let p = Program::DeleteWhere {
+            rel: "E".into(),
+            vars: vec![Var::new("x"), Var::new("y")],
+            cond: parse_formula("x = y").expect("parses"),
+        };
+        let pr = compile_program("del", &p, &Schema::graph(), &Omega::empty()).expect("compiles");
+        let direct = ProgramTransaction::new("del", p, Omega::empty());
+        let mut db = families::chain(3);
+        db.insert("E", vec![Elem(1), Elem(1)]);
+        assert_eq!(
+            pr.apply(&db).expect("pr"),
+            direct.apply(&db).expect("direct")
+        );
+    }
+
+    #[test]
+    fn seq_composition_matches_direct_semantics() {
+        let p = Program::seq([
+            Program::insert_consts("E", [5, 6]),
+            Program::DeleteWhere {
+                rel: "E".into(),
+                vars: vec![Var::new("x"), Var::new("y")],
+                cond: parse_formula("x = 0").expect("parses"),
+            },
+            Program::insert_consts("E", [6, 7]),
+        ]);
+        let pr = compile_program("seq", &p, &Schema::graph(), &Omega::empty()).expect("compiles");
+        let direct = ProgramTransaction::new("seq", p, Omega::empty());
+        for db in [families::chain(4), families::cycle(3), Database::graph([])] {
+            assert_eq!(
+                pr.apply(&db).expect("pr"),
+                direct.apply(&db).expect("direct"),
+                "on {db:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn conditional_compiles_correctly() {
+        let p = Program::If {
+            cond: parse_formula("exists x. E(x, x)").expect("parses"),
+            then_p: Box::new(Program::insert_consts("E", [9, 9])),
+            else_p: Box::new(Program::delete_consts("E", [0, 1])),
+        };
+        let pr = compile_program("if", &p, &Schema::graph(), &Omega::empty()).expect("compiles");
+        let direct = ProgramTransaction::new("if", p, Omega::empty());
+        for db in [
+            Database::graph([(0, 0), (0, 1)]),
+            Database::graph([(0, 1), (1, 2)]),
+        ] {
+            assert_eq!(
+                pr.apply(&db).expect("pr"),
+                direct.apply(&db).expect("direct"),
+                "on {db:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ra_compilation_matches() {
+        let schema = Schema::graph();
+        for tx in [vpdt_tx::algebra::t1_diagonal(), vpdt_tx::algebra::t2_complete()] {
+            let pr = compile_ra(&tx, &schema).expect("compiles");
+            for db in [families::chain(4), families::two_cycles(2, 3)] {
+                assert_eq!(
+                    pr.apply(&db).expect("pr"),
+                    tx.apply(&db).expect("ra"),
+                    "{} on {db:?}",
+                    tx.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_extension_includes_ground_terms() {
+        let pr = Prerelation::identity(Schema::graph(), Omega::empty())
+            .with_gamma_term(Term::cst(42u64));
+        let g = pr.gamma_extension(&families::chain(2)).expect("computes");
+        assert!(g.contains(&Elem(42)));
+        assert!(g.contains(&Elem(0)));
+        // ground terms appear even over the empty database
+        let g0 = pr.gamma_extension(&Database::graph([])).expect("computes");
+        assert_eq!(g0, BTreeSet::from([Elem(42)]));
+    }
+
+    #[test]
+    fn omega_terms_in_gamma() {
+        let pr = Prerelation::identity(Schema::graph(), Omega::arithmetic())
+            .with_gamma_term(Term::app("succ", [Term::var("w")]));
+        let g = pr.gamma_extension(&families::chain(2)).expect("computes");
+        // dom = {0,1}; succ adds {1,2}
+        assert_eq!(g, BTreeSet::from([Elem(0), Elem(1), Elem(2)]));
+    }
+
+    #[test]
+    fn pure_fo_detection() {
+        let id = Prerelation::identity(Schema::graph(), Omega::empty());
+        assert!(id.is_pure_fo());
+        let with_const = id.clone().with_gamma_term(Term::cst(3u64));
+        assert!(!with_const.is_pure_fo());
+    }
+}

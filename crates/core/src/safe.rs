@@ -1,0 +1,185 @@
+//! Safe transactions: the integrity-maintenance transforms of Section 1.
+//!
+//! Given a transaction `T` and a constraint `α`, the paper's programme
+//! replaces `T` by
+//!
+//! ```text
+//! if wpc(T, α) then T else abort
+//! ```
+//!
+//! which *preserves `α` by construction* and never needs a rollback
+//! ([`Guarded`]). The baseline it displaces is deferred checking: run `T`,
+//! test `α` on the result, and roll the transaction back on violation
+//! ([`RuntimeChecked`]). Both are [`Transaction`]s that accept exactly the
+//! same inputs and produce identical outputs — a fact the tests exploit as
+//! an end-to-end check of the wpc algorithms — but their *costs* differ,
+//! which is what the `guard_vs_rollback` bench measures.
+
+use vpdt_eval::{holds, Omega};
+use vpdt_logic::Formula;
+use vpdt_structure::Database;
+use vpdt_tx::traits::{Transaction, TxError};
+
+/// `if pre then T else abort` — the statically verified transaction.
+#[derive(Clone, Debug)]
+pub struct Guarded<T> {
+    inner: T,
+    precondition: Formula,
+    omega: Omega,
+}
+
+impl<T: Transaction> Guarded<T> {
+    /// Wraps `inner` behind a precondition (typically `wpc(inner, α)`).
+    pub fn new(inner: T, precondition: Formula, omega: Omega) -> Self {
+        assert!(
+            precondition.is_sentence(),
+            "a precondition must be a sentence"
+        );
+        Guarded { inner, precondition, omega }
+    }
+
+    /// The guard sentence.
+    pub fn precondition(&self) -> &Formula {
+        &self.precondition
+    }
+}
+
+impl<T: Transaction> Transaction for Guarded<T> {
+    fn name(&self) -> String {
+        format!("guarded({})", self.inner.name())
+    }
+
+    fn apply(&self, db: &Database) -> Result<Database, TxError> {
+        if holds(db, &self.omega, &self.precondition)? {
+            self.inner.apply(db)
+        } else {
+            Err(TxError::Aborted(format!(
+                "precondition of {} failed",
+                self.inner.name()
+            )))
+        }
+    }
+}
+
+/// Run `T`, verify `α` on the result, roll back on violation — the
+/// deferred-checking baseline (with its "potentially expensive roll-back").
+#[derive(Clone, Debug)]
+pub struct RuntimeChecked<T> {
+    inner: T,
+    constraint: Formula,
+    omega: Omega,
+}
+
+impl<T: Transaction> RuntimeChecked<T> {
+    /// Wraps `inner` with a post-hoc constraint check.
+    pub fn new(inner: T, constraint: Formula, omega: Omega) -> Self {
+        assert!(constraint.is_sentence(), "a constraint must be a sentence");
+        RuntimeChecked { inner, constraint, omega }
+    }
+
+    /// The constraint sentence.
+    pub fn constraint(&self) -> &Formula {
+        &self.constraint
+    }
+}
+
+impl<T: Transaction> Transaction for RuntimeChecked<T> {
+    fn name(&self) -> String {
+        format!("runtime-checked({})", self.inner.name())
+    }
+
+    fn apply(&self, db: &Database) -> Result<Database, TxError> {
+        // The snapshot is the rollback cost the wpc approach avoids: a
+        // deferred checker must be able to restore the pre-state.
+        let snapshot = db.clone();
+        let out = self.inner.apply(db)?;
+        if holds(&out, &self.omega, &self.constraint)? {
+            Ok(out)
+        } else {
+            drop(snapshot); // rollback: discard the new state
+            Err(TxError::Aborted(format!(
+                "constraint violated after {}; rolled back",
+                self.inner.name()
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prerelations::compile_program;
+    use crate::wpc::wpc_sentence;
+    use vpdt_logic::parse_formula;
+    use vpdt_structure::families;
+    use vpdt_tx::program::Program;
+
+    /// Constraint: no loops. Transaction: insert (3,3) — always violates —
+    /// or insert (3,4) — violates only if already violated, i.e. never on
+    /// consistent states.
+    #[test]
+    fn guarded_and_runtime_checked_agree() {
+        let alpha = parse_formula("forall x y. E(x, y) -> x != y").expect("parses");
+        let schema = vpdt_logic::Schema::graph();
+        let omega = Omega::empty();
+        for (tuple, expect_ok_on_consistent) in [([3u64, 3], false), ([3, 4], true)] {
+            let p = Program::insert_consts("E", tuple);
+            let pre = compile_program("ins", &p, &schema, &omega).expect("compiles");
+            let w = wpc_sentence(&pre, &alpha).expect("translates");
+            let guarded = Guarded::new(pre.clone(), w, omega.clone());
+            let checked = RuntimeChecked::new(pre.clone(), alpha.clone(), omega.clone());
+            for db in [
+                families::chain(3),
+                families::complete_loopless(3),
+                vpdt_structure::Database::graph([]),
+            ] {
+                let a = guarded.apply(&db);
+                let b = checked.apply(&db);
+                match (&a, &b) {
+                    (Ok(x), Ok(y)) => assert_eq!(x, y),
+                    (Err(TxError::Aborted(_)), Err(TxError::Aborted(_))) => {}
+                    other => panic!("outcomes diverge on {db:?}: {other:?}"),
+                }
+                assert_eq!(a.is_ok(), expect_ok_on_consistent, "on {db:?}");
+            }
+        }
+    }
+
+    /// The guarded transaction preserves the constraint by construction.
+    #[test]
+    fn guarded_preserves_constraint() {
+        let alpha = parse_formula("forall x y z. E(x, y) & E(x, z) -> y = z").expect("parses");
+        let schema = vpdt_logic::Schema::graph();
+        let omega = Omega::empty();
+        let p = Program::insert_consts("E", [0, 5]);
+        let pre = compile_program("ins", &p, &schema, &omega).expect("compiles");
+        let w = wpc_sentence(&pre, &alpha).expect("translates");
+        let guarded = Guarded::new(pre, w, omega.clone());
+        for db in [
+            families::chain(4),               // satisfies the FD; insert breaks it at 0
+            vpdt_structure::Database::graph([(9, 8)]), // insert keeps it
+        ] {
+            assert!(vpdt_eval::holds(&db, &omega, &alpha).expect("evaluates"));
+            if let Ok(out) = guarded.apply(&db) {
+                assert!(
+                    vpdt_eval::holds(&out, &omega, &alpha).expect("evaluates"),
+                    "guarded output violates the constraint on {db:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn abort_reports_the_inner_name() {
+        let alpha = Formula::False;
+        let id = crate::prerelations::Prerelation::identity(
+            vpdt_logic::Schema::graph(),
+            Omega::empty(),
+        );
+        let guarded = Guarded::new(id, alpha, Omega::empty());
+        match guarded.apply(&families::chain(2)) {
+            Err(TxError::Aborted(msg)) => assert!(msg.contains("identity")),
+            other => panic!("expected abort, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Invariant-aware simplification of weakest preconditions (Section 6).
+//!
+//! "Assuming that α is always true, it may be possible to find a Δ which is
+//! much simpler than wpc(T, α), such that α → (Δ ↔ wpc(T, α))" [31, 21, 22,
+//! 28, 29]. Two mechanisms are provided:
+//!
+//! * [`delta_for_insert`] — the classical Nicolas-style residue for
+//!   inserting a ground tuple under a universally quantified constraint
+//!   with quantifier-free matrix (FDs, denial constraints, exclusion
+//!   constraints…): only the instantiations that can *touch* the new tuple
+//!   need checking. The result is **provably** a Δ (the derivation is the
+//!   unaffected-instance argument, see the module tests which verify
+//!   `α → (Δ ↔ wpc)` exhaustively on small databases).
+//! * [`simplify_under`] — a generic conjunct-pruning pass: conjuncts of the
+//!   wpc that are implied by the invariant on a family of test databases
+//!   are dropped. This one is *bounded-sound*: the implication is only
+//!   verified on the given databases, so callers should treat the result
+//!   as a candidate and re-verify (the function does re-verify equivalence
+//!   under the invariant on those databases).
+//!
+//! Deletion under purely-negative constraints is free:
+//! [`deletion_preserves`] recognizes constraints whose NNF uses the deleted
+//! relation only negatively — shrinking the relation can never violate
+//! them, so Δ = true.
+
+use std::collections::BTreeMap;
+use vpdt_eval::{holds, Omega};
+use vpdt_logic::nnf::nnf;
+use vpdt_logic::simplify::simplify as logic_simplify;
+use vpdt_logic::subst::substitute_many;
+use vpdt_logic::{Elem, Formula, Term, Var};
+use vpdt_structure::Database;
+
+/// Errors from the Δ construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The constraint is not of the supported shape `∀x̄. matrix` with a
+    /// quantifier-free matrix.
+    UnsupportedShape,
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "constraint is not a universally quantified, quantifier-free-matrix sentence")
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// Splits `∀x₁…∀x_k. matrix` into (prefix variables, matrix), requiring
+/// the matrix to be quantifier-free. Constraints not syntactically in that
+/// shape are prenexed first (e.g. `¬∃x. E(x,x)` becomes `∀x. ¬E(x,x)`);
+/// only purely universal prefixes qualify.
+fn peel_universal(c: &Formula) -> Result<(Vec<Var>, Formula), DeltaError> {
+    let mut vars = Vec::new();
+    let mut cur = c;
+    while let Formula::Forall(v, body) = cur {
+        vars.push(v.clone());
+        cur = body;
+    }
+    if cur.quantifier_rank() == 0 {
+        return Ok((vars, cur.clone()));
+    }
+    // fall back to prenexing the whole constraint
+    let p = vpdt_logic::prenex::prenex(c).map_err(|_| DeltaError::UnsupportedShape)?;
+    if !p.is_universal() {
+        return Err(DeltaError::UnsupportedShape);
+    }
+    Ok((
+        p.prefix.into_iter().map(|(_, v)| v).collect(),
+        p.matrix,
+    ))
+}
+
+/// Expands each `rel(t̄)` atom into `rel(t̄) ∨ t̄ = c̄` — the effect of the
+/// insertion on the constraint's matrix.
+fn expand_insert(matrix: &Formula, rel: &str, tuple: &[Elem]) -> Formula {
+    matrix.map(&|g| match &g {
+        Formula::Rel(name, ts) if name == rel => {
+            let eqs = Formula::and(
+                ts.iter()
+                    .zip(tuple.iter())
+                    .map(|(t, c)| Formula::eq(t.clone(), Term::Const(*c))),
+            );
+            Formula::or([g.clone(), eqs])
+        }
+        _ => g,
+    })
+}
+
+/// The simplified precondition Δ for inserting the ground `tuple` into
+/// `rel` under the invariant `constraint` (which must currently hold):
+///
+/// `constraint → (Δ ↔ wpc(insert, constraint))`.
+///
+/// Only instantiations of the universal prefix that unify some `rel`-atom
+/// with the inserted tuple are kept; everything else is already guaranteed
+/// by the invariant.
+pub fn delta_for_insert(
+    constraint: &Formula,
+    rel: &str,
+    tuple: &[Elem],
+) -> Result<Formula, DeltaError> {
+    let (prefix, matrix) = peel_universal(constraint)?;
+    let expanded = expand_insert(&matrix, rel, tuple);
+
+    // collect rel-atom argument lists
+    let mut occurrences: Vec<Vec<Term>> = Vec::new();
+    matrix.visit(&mut |g| {
+        if let Formula::Rel(name, ts) = g {
+            if name == rel {
+                occurrences.push(ts.clone());
+            }
+        }
+    });
+
+    let mut parts = Vec::new();
+    'occ: for args in &occurrences {
+        if args.len() != tuple.len() {
+            continue;
+        }
+        // unify args with the inserted tuple
+        let mut sigma: BTreeMap<Var, Term> = BTreeMap::new();
+        for (arg, c) in args.iter().zip(tuple.iter()) {
+            match arg {
+                Term::Var(v) => match sigma.get(v) {
+                    Some(Term::Const(prev)) if prev != c => continue 'occ,
+                    _ => {
+                        sigma.insert(v.clone(), Term::Const(*c));
+                    }
+                },
+                Term::Const(k) => {
+                    if k != c {
+                        continue 'occ;
+                    }
+                }
+                Term::App(..) => continue 'occ, // Ω-terms: bail to full wpc
+            }
+        }
+        let instantiated = substitute_many(&expanded, &sigma);
+        let remaining: Vec<Var> = prefix
+            .iter()
+            .filter(|v| !sigma.contains_key(v))
+            .cloned()
+            .collect();
+        parts.push(Formula::forall_many(remaining, instantiated));
+    }
+    Ok(logic_simplify(&Formula::and(parts)))
+}
+
+/// Whether deleting tuples from `rel` can never violate the constraint:
+/// true when every `rel`-atom occurs *negatively* in the constraint's NNF
+/// (the constraint is anti-monotone in `rel`), so Δ = `true`.
+pub fn deletion_preserves(constraint: &Formula, rel: &str) -> bool {
+    fn scan(f: &Formula, rel: &str, positive: bool) -> bool {
+        match f {
+            Formula::Rel(name, _) if name == rel => !positive,
+            Formula::True
+            | Formula::False
+            | Formula::Rel(..)
+            | Formula::Eq(..)
+            | Formula::Pred(..)
+            | Formula::NumLe(..)
+            | Formula::NumEq(..)
+            | Formula::Bit(..) => true,
+            Formula::Not(g) => scan(g, rel, !positive),
+            Formula::And(gs) | Formula::Or(gs) => gs.iter().all(|g| scan(g, rel, positive)),
+            Formula::Implies(a, b) => scan(a, rel, !positive) && scan(b, rel, positive),
+            Formula::Iff(a, b) => {
+                // both polarities on both sides
+                scan(a, rel, positive)
+                    && scan(a, rel, !positive)
+                    && scan(b, rel, positive)
+                    && scan(b, rel, !positive)
+            }
+            Formula::Exists(_, g)
+            | Formula::Forall(_, g)
+            | Formula::CountGe(_, _, g)
+            | Formula::NumExists(_, g)
+            | Formula::NumForall(_, g) => scan(g, rel, positive),
+        }
+    }
+    scan(&nnf(constraint), rel, true)
+}
+
+/// Conjunct pruning under an invariant, verified on test databases: a
+/// top-level conjunct of `wpc` is dropped when `inv → conjunct` holds on
+/// every test database. The returned formula satisfies
+/// `inv → (result ↔ wpc)` **on the given databases**; callers needing more
+/// should verify on a wider family.
+pub fn simplify_under(
+    inv: &Formula,
+    wpc: &Formula,
+    omega: &Omega,
+    dbs: &[Database],
+) -> Formula {
+    let flat = logic_simplify(wpc);
+    let conjuncts: Vec<Formula> = match flat {
+        Formula::And(gs) => gs,
+        other => vec![other],
+    };
+    let mut kept = Vec::new();
+    for c in conjuncts {
+        let implied = dbs.iter().all(|db| {
+            match (holds(db, omega, inv), holds(db, omega, &c)) {
+                (Ok(i), Ok(cv)) => !i || cv,
+                _ => false, // evaluation failure: keep the conjunct
+            }
+        });
+        if !implied {
+            kept.push(c);
+        }
+    }
+    logic_simplify(&Formula::and(kept))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prerelations::compile_program;
+    use crate::wpc::wpc_sentence;
+    use vpdt_logic::parse_formula;
+    use vpdt_structure::enumerate::GraphEnumerator;
+    use vpdt_tx::program::Program;
+
+    fn fd() -> Formula {
+        parse_formula("forall x y z. E(x, y) & E(x, z) -> y = z").expect("parses")
+    }
+
+    /// The defining property: inv → (Δ ↔ wpc), checked exhaustively on all
+    /// graphs with ≤ 3 nodes.
+    #[test]
+    fn delta_is_equivalent_under_invariant() {
+        let inv = fd();
+        let tuple = [Elem(0), Elem(2)];
+        let p = Program::insert_consts("E", [0, 2]);
+        let pre = compile_program("ins", &p, &vpdt_logic::Schema::graph(), &Omega::empty())
+            .expect("compiles");
+        let w = wpc_sentence(&pre, &inv).expect("translates");
+        let delta = delta_for_insert(&inv, "E", &tuple).expect("supported shape");
+        for db in GraphEnumerator::new().take(600) {
+            let inv_holds = holds(&db, &Omega::empty(), &inv).expect("evaluates");
+            if !inv_holds {
+                continue;
+            }
+            let by_delta = holds(&db, &Omega::empty(), &delta).expect("evaluates");
+            let by_wpc = holds(&db, &Omega::empty(), &w).expect("evaluates");
+            assert_eq!(by_delta, by_wpc, "on {db:?}\nΔ: {delta}");
+        }
+    }
+
+    #[test]
+    fn delta_is_much_smaller_than_wpc() {
+        let inv = fd();
+        let p = Program::insert_consts("E", [0, 2]);
+        let pre = compile_program("ins", &p, &vpdt_logic::Schema::graph(), &Omega::empty())
+            .expect("compiles");
+        let w = wpc_sentence(&pre, &inv).expect("translates");
+        let delta = delta_for_insert(&inv, "E", &[Elem(0), Elem(2)]).expect("supported");
+        assert!(
+            delta.size() * 3 < w.size(),
+            "Δ ({}) should be far smaller than wpc ({})",
+            delta.size(),
+            w.size()
+        );
+        assert!(delta.quantifier_rank() <= w.quantifier_rank());
+    }
+
+    #[test]
+    fn no_loop_constraint_delta() {
+        let inv = parse_formula("forall x y. E(x, y) -> x != y").expect("parses");
+        // inserting a loop: Δ must be unsatisfiable
+        let d_loop = delta_for_insert(&inv, "E", &[Elem(4), Elem(4)]).expect("supported");
+        assert_eq!(logic_simplify(&d_loop), Formula::False);
+        // inserting a non-loop: Δ must be valid
+        let d_ok = delta_for_insert(&inv, "E", &[Elem(4), Elem(5)]).expect("supported");
+        assert_eq!(logic_simplify(&d_ok), Formula::True);
+    }
+
+    #[test]
+    fn non_prefix_universal_constraints_are_prenexed() {
+        // ¬∃x. E(x,x) — a denial constraint written negatively
+        let inv = parse_formula("!(exists x. E(x, x))").expect("parses");
+        let d_loop = delta_for_insert(&inv, "E", &[Elem(3), Elem(3)]).expect("prenexed");
+        assert_eq!(logic_simplify(&d_loop), Formula::False);
+        let d_ok = delta_for_insert(&inv, "E", &[Elem(3), Elem(4)]).expect("prenexed");
+        assert_eq!(logic_simplify(&d_ok), Formula::True);
+        // the Δ property holds on every small database, empty included
+        let p = crate::prerelations::compile_program(
+            "ins",
+            &Program::insert_consts("E", [3, 4]),
+            &vpdt_logic::Schema::graph(),
+            &Omega::empty(),
+        )
+        .expect("compiles");
+        let w = wpc_sentence(&p, &inv).expect("translates");
+        for db in GraphEnumerator::new().take(300) {
+            if !holds(&db, &Omega::empty(), &inv).expect("evaluates") {
+                continue;
+            }
+            assert_eq!(
+                holds(&db, &Omega::empty(), &d_ok).expect("evaluates"),
+                holds(&db, &Omega::empty(), &w).expect("evaluates"),
+                "on {db:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn inclusion_style_constraints_prenex_to_universal() {
+        // ∀x. (∃y. E(x,y)) → E(x,x) prenexes to ∀x∀y. ¬E(x,y) ∨ E(x,x):
+        // inserting (0,1) obliges only the loop at 0.
+        let c = parse_formula("forall x. (exists y. E(x, y)) -> E(x, x)").expect("parses");
+        let d = delta_for_insert(&c, "E", &[Elem(0), Elem(1)]).expect("prenexable");
+        assert_eq!(d, parse_formula("E(0, 0)").expect("parses"));
+    }
+
+    #[test]
+    fn unsupported_shapes_are_rejected() {
+        // a genuine ∀∃ prefix (seriality) has no universal prenex form
+        let serial = parse_formula("forall x. exists y. E(x, y)").expect("parses");
+        assert_eq!(
+            delta_for_insert(&serial, "E", &[Elem(0), Elem(1)]).unwrap_err(),
+            DeltaError::UnsupportedShape
+        );
+    }
+
+    #[test]
+    fn deletion_monotonicity_analysis() {
+        // denial constraints use E only positively in the body of ¬(...):
+        // in NNF "∀xy. ¬E(x,y) ∨ x≠y" the atom is negative → deletes safe.
+        let no_loops = parse_formula("forall x y. E(x, y) -> x != y").expect("parses");
+        assert!(deletion_preserves(&no_loops, "E"));
+        // totality-style constraints break under deletion
+        let serial = parse_formula("forall x. exists y. E(x, y)").expect("parses");
+        assert!(!deletion_preserves(&serial, "E"));
+        // FD: E occurs negatively only → deletion-safe
+        assert!(deletion_preserves(&fd(), "E"));
+    }
+
+    #[test]
+    fn conjunct_pruning_drops_invariant_consequences() {
+        let inv = fd();
+        // wpc-like conjunction: the invariant itself ∧ an extra condition
+        let extra = parse_formula("!E(0, 0)").expect("parses");
+        let w = Formula::and([fd(), extra.clone()]);
+        let dbs: Vec<Database> = GraphEnumerator::new().take(300).collect();
+        let s = simplify_under(&inv, &w, &Omega::empty(), &dbs);
+        assert_eq!(s, extra, "the FD conjunct is implied by the invariant");
+    }
+}

@@ -1,0 +1,404 @@
+//! Theorem 7: the transaction separating `WPC(FO)` from `PR(FO)`.
+//!
+//! ```text
+//! T(G) = tc(chain(G))            if G ⊨ ψ_C&C
+//!        {(x,x) | x ∈ X}         otherwise          (X = the node set)
+//! ```
+//!
+//! `T` is generic, PTIME, Datalog¬-definable ([`theorem7_datalog`]), has
+//! first-order weakest preconditions ([`wpc_theorem7`]) — and admits **no**
+//! prerelations over pure FO, because a prerelation would make "tc of a
+//! chain" a first-order query, contradicting the bounded degree property
+//! (demonstrated empirically by `vpdt-games::locality` and experiment E8).
+//!
+//! ## The wpc algorithm
+//!
+//! Our implementation generalizes the paper's Gaifman-based Case 1–3
+//! analysis into a uniform threshold algorithm, exact for *every* pure-FO
+//! sentence `α` (the paper's algorithm handles Gaifman sentences; every FO
+//! sentence is a boolean combination of those):
+//!
+//! * On `ψ_C&C` inputs with chain part of length `j`, `T(G) ≅ L_j`, so
+//!   `T(G) ⊨ α` depends only on `j`; and `L_j ≡_k L_{j′}` once
+//!   `j, j′ ≥ 2^k − 1` (Rosenstein; the paper quotes the safe bound `2^k`).
+//!   Model-check `α` on the finitely many `L_j` below the threshold and
+//!   express the result with the chain-length sentences `p_j` / `p⁰_j`.
+//! * On other inputs with `m` nodes, `T(G) ≅ Δ_m` (the diagonal), and
+//!   `Δ_m ≡_k Δ_{m′}` once `m, m′ ≥ k`; model-check on small diagonals and
+//!   express with `μ_m`.
+//!
+//! The `p_N` sentence with `N = max(2, 2^k−1)` has quantifier rank `N + 1`,
+//! which exhibits Corollary 3's `2ⁿ` blow-up ([`wpc_rank_blowup`]).
+
+use vpdt_eval::{holds_pure, Omega};
+use vpdt_logic::{library, Formula};
+use vpdt_structure::graph::graph_from_pairs;
+use vpdt_structure::{families, Database, Graph};
+use vpdt_tx::datalog::{Atom, DatalogProgram, DatalogTransaction, DlTerm, Literal, Rule, Strategy, DOM};
+use vpdt_tx::traits::{normalize_domain, Transaction, TxError};
+
+/// The separating transaction `T` of Theorem 7.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SeparatorTransaction;
+
+impl Transaction for SeparatorTransaction {
+    fn name(&self) -> String {
+        "theorem7-separator".into()
+    }
+
+    fn apply(&self, db: &Database) -> Result<Database, TxError> {
+        let sat = holds_pure(db, &library::psi_cc()).map_err(TxError::from)?;
+        if sat {
+            let g = Graph::of_edges(db);
+            let dec = g
+                .cc_decompose()
+                .ok_or_else(|| TxError::Eval("psi_cc holds but decomposition failed".into()))?;
+            // tc of the chain component: the strict linear order on its nodes
+            let mut pairs = Vec::new();
+            for i in 0..dec.chain.len() {
+                for j in (i + 1)..dec.chain.len() {
+                    pairs.push((dec.chain[i], dec.chain[j]));
+                }
+            }
+            Ok(normalize_domain(graph_from_pairs(
+                dec.chain.iter().copied(),
+                pairs,
+            )))
+        } else {
+            let loops = db.domain().iter().map(|e| (*e, *e)).collect::<Vec<_>>();
+            Ok(normalize_domain(graph_from_pairs(
+                db.domain().iter().copied(),
+                loops,
+            )))
+        }
+    }
+}
+
+/// The weakest precondition of `α` with respect to [`SeparatorTransaction`]
+/// over pure FO: `D ⊨ wpc(T, α) ⟺ T(D) ⊨ α` for every graph database.
+///
+/// # Panics
+/// Panics if `α` is not a pure-FO sentence — with constants the wpc does
+/// not exist (Proposition 5), and with counting it does not exist either
+/// (Theorem 3).
+pub fn wpc_theorem7(alpha: &Formula) -> Formula {
+    assert!(alpha.is_sentence(), "wpc needs a sentence");
+    assert!(
+        alpha.is_pure_fo(),
+        "Theorem 7's transaction is only verifiable over pure FO (Prop. 5)"
+    );
+    let k = alpha.quantifier_rank() as u32;
+    let t = SeparatorTransaction;
+
+    // Chain branch: α on T(chain of length j) for j = 1..=n_lin; j ≥ n_lin
+    // all agree. (j = 0 is impossible under ψ_C&C: it needs a root.)
+    let n_lin = (2usize.saturating_pow(k).saturating_sub(1)).max(2);
+    let mut lin_cases = Vec::new();
+    for j in 1..=n_lin {
+        let out = t
+            .apply(&families::chain(j))
+            .expect("chains are C&C graphs");
+        if holds_pure(&out, alpha).expect("pure FO evaluates") {
+            if j < n_lin {
+                lin_cases.push(library::chain_exactly(j));
+            } else {
+                lin_cases.push(library::chain_at_least(n_lin));
+            }
+        }
+    }
+    let lin_pre = Formula::or(lin_cases);
+
+    // Diagonal branch: α on Δ_m for m = 0..=n_diag; m ≥ n_diag all agree.
+    let n_diag = (k as usize).max(1);
+    let mut diag_cases = Vec::new();
+    for m in 0..=n_diag {
+        let delta = families::diagonal(0..m as u64);
+        if holds_pure(&delta, alpha).expect("pure FO evaluates") {
+            if m < n_diag {
+                diag_cases.push(library::exactly_nodes(m));
+            } else {
+                diag_cases.push(library::at_least_nodes(n_diag));
+            }
+        }
+    }
+    let diag_pre = Formula::or(diag_cases);
+
+    let cc = library::psi_cc();
+    Formula::or([
+        Formula::and([cc.clone(), lin_pre]),
+        Formula::and([Formula::not(cc), diag_pre]),
+    ])
+}
+
+/// The quantifier-rank blow-up of Corollary 3: returns
+/// `(qr(α), qr(wpc(T,α)))`. For `α = p-style` sentences of rank `n`, the
+/// second component is ≥ `2ⁿ`.
+pub fn wpc_rank_blowup(alpha: &Formula) -> (usize, usize) {
+    let w = wpc_theorem7(alpha);
+    (alpha.quantifier_rank(), w.quantifier_rank())
+}
+
+/// The Datalog¬ definition of the separator (the "Moreover, T can be
+/// chosen to be Datalogc-definable" part of Theorem D):
+///
+/// ```text
+/// out2(w)    ← E(w,y), E(w,z), y≠z            (and the in-degree twin)
+/// root(x)    ← Dom(x), ¬hasin(x)               hasin(x) ← E(y,x)
+/// leaf(x)    ← Dom(x), ¬hasout(x)              hasout(x) ← E(x,y)
+/// bad(w)     ← Dom(w), out2(x)                 (… in2, two roots, no root,
+///                                               two leaves, no leaf)
+/// good(w)    ← Dom(w), ¬bad(w)
+/// inchain(x) ← root(x), good(x)
+/// inchain(y) ← inchain(x), E(x,y)
+/// lin(x,y)   ← inchain(x), E(x,y)
+/// lin(x,y)   ← lin(x,z), lin(z,y)  — via E-step
+/// newE(x,y)  ← lin(x,y)
+/// newE(x,x)  ← Dom(x), bad(x)
+/// ```
+pub fn theorem7_datalog(strategy: Strategy) -> DatalogTransaction {
+    let v = DlTerm::v;
+    let pos = |r: &str, args: Vec<DlTerm>| Literal::Pos(Atom::new(r, args));
+    let neg = |r: &str, args: Vec<DlTerm>| Literal::Neg(Atom::new(r, args));
+    let rules = vec![
+        // degree flags
+        Rule::new(
+            Atom::new("out2", [v("x")]),
+            vec![
+                pos("E", vec![v("x"), v("y")]),
+                pos("E", vec![v("x"), v("z")]),
+                Literal::Neq(v("y"), v("z")),
+            ],
+        ),
+        Rule::new(
+            Atom::new("in2", [v("x")]),
+            vec![
+                pos("E", vec![v("y"), v("x")]),
+                pos("E", vec![v("z"), v("x")]),
+                Literal::Neq(v("y"), v("z")),
+            ],
+        ),
+        Rule::new(
+            Atom::new("hasin", [v("x")]),
+            vec![pos("E", vec![v("y"), v("x")])],
+        ),
+        Rule::new(
+            Atom::new("hasout", [v("x")]),
+            vec![pos("E", vec![v("x"), v("y")])],
+        ),
+        Rule::new(
+            Atom::new("root", [v("x")]),
+            vec![pos(DOM, vec![v("x")]), neg("hasin", vec![v("x")])],
+        ),
+        Rule::new(
+            Atom::new("leaf", [v("x")]),
+            vec![pos(DOM, vec![v("x")]), neg("hasout", vec![v("x")])],
+        ),
+        // violations of psi_cc, broadcast to every node
+        Rule::new(
+            Atom::new("bad", [v("w")]),
+            vec![pos(DOM, vec![v("w")]), pos("out2", vec![v("x")])],
+        ),
+        Rule::new(
+            Atom::new("bad", [v("w")]),
+            vec![pos(DOM, vec![v("w")]), pos("in2", vec![v("x")])],
+        ),
+        Rule::new(
+            Atom::new("bad", [v("w")]),
+            vec![
+                pos(DOM, vec![v("w")]),
+                pos("root", vec![v("x")]),
+                pos("root", vec![v("y")]),
+                Literal::Neq(v("x"), v("y")),
+            ],
+        ),
+        Rule::new(
+            Atom::new("someroot", [v("w")]),
+            vec![pos(DOM, vec![v("w")]), pos("root", vec![v("x")])],
+        ),
+        Rule::new(
+            Atom::new("bad", [v("w")]),
+            vec![pos(DOM, vec![v("w")]), neg("someroot", vec![v("w")])],
+        ),
+        Rule::new(
+            Atom::new("bad", [v("w")]),
+            vec![
+                pos(DOM, vec![v("w")]),
+                pos("leaf", vec![v("x")]),
+                pos("leaf", vec![v("y")]),
+                Literal::Neq(v("x"), v("y")),
+            ],
+        ),
+        Rule::new(
+            Atom::new("someleaf", [v("w")]),
+            vec![pos(DOM, vec![v("w")]), pos("leaf", vec![v("x")])],
+        ),
+        Rule::new(
+            Atom::new("bad", [v("w")]),
+            vec![pos(DOM, vec![v("w")]), neg("someleaf", vec![v("w")])],
+        ),
+        Rule::new(
+            Atom::new("good", [v("w")]),
+            vec![pos(DOM, vec![v("w")]), neg("bad", vec![v("w")])],
+        ),
+        // the chain component = nodes reachable from the root
+        Rule::new(
+            Atom::new("inchain", [v("x")]),
+            vec![pos("root", vec![v("x")]), pos("good", vec![v("x")])],
+        ),
+        Rule::new(
+            Atom::new("inchain", [v("y")]),
+            vec![pos("inchain", vec![v("x")]), pos("E", vec![v("x"), v("y")])],
+        ),
+        // tc restricted to the chain
+        Rule::new(
+            Atom::new("lin", [v("x"), v("y")]),
+            vec![pos("inchain", vec![v("x")]), pos("E", vec![v("x"), v("y")])],
+        ),
+        Rule::new(
+            Atom::new("lin", [v("x"), v("y")]),
+            vec![
+                pos("lin", vec![v("x"), v("z")]),
+                pos("E", vec![v("z"), v("y")]),
+            ],
+        ),
+        // outputs
+        Rule::new(
+            Atom::new("newE", [v("x"), v("y")]),
+            vec![pos("lin", vec![v("x"), v("y")])],
+        ),
+        Rule::new(
+            Atom::new("newE", [v("x"), v("x")]),
+            vec![pos(DOM, vec![v("x")]), pos("bad", vec![v("x")])],
+        ),
+    ];
+    DatalogTransaction::new(
+        "theorem7-datalog",
+        DatalogProgram::new(rules).expect("theorem7 program is stratified and safe"),
+        [("newE", "E")],
+        strategy,
+    )
+}
+
+/// Convenience: whether `T` is generic on the given database under a
+/// permutation (re-exported check used by experiment E8).
+pub fn separator_is_generic_on(
+    db: &Database,
+    pi: &dyn Fn(vpdt_logic::Elem) -> vpdt_logic::Elem,
+) -> bool {
+    vpdt_tx::traits::commutes_with_permutation(&SeparatorTransaction, db, pi)
+        .expect("separator is total")
+}
+
+/// The identity `Omega` alias so examples don't need `vpdt-eval` directly.
+pub fn pure_omega() -> Omega {
+    Omega::empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpdt_logic::parse_formula;
+
+    #[test]
+    fn separator_on_cc_graphs_builds_linear_orders() {
+        let db = families::cc_graph(4, &[3]);
+        let out = SeparatorTransaction.apply(&db).expect("applies");
+        assert_eq!(out, families::linear_order(4));
+    }
+
+    #[test]
+    fn separator_on_non_cc_builds_diagonal() {
+        let db = families::gnm(2, 2);
+        let out = SeparatorTransaction.apply(&db).expect("applies");
+        assert_eq!(
+            out,
+            families::diagonal(db.domain().iter().map(|e| e.0))
+        );
+    }
+
+    #[test]
+    fn separator_is_generic() {
+        for db in [families::cc_graph(3, &[4]), families::cycle(5)] {
+            assert!(separator_is_generic_on(&db, &|e| vpdt_logic::Elem(
+                e.0 * 3 + 11
+            )));
+        }
+    }
+
+    /// The fundamental check: D ⊨ wpc(T,α) ⟺ T(D) ⊨ α, over a broad family
+    /// of inputs and sentences.
+    #[test]
+    fn wpc_is_a_weakest_precondition() {
+        let alphas = [
+            parse_formula("exists x. E(x, x)").expect("parses"),
+            parse_formula("forall x y. E(x, y)").expect("parses"),
+            parse_formula("forall x y. E(x, y) -> x != y").expect("parses"),
+            parse_formula("exists x y. x != y & E(x, y)").expect("parses"),
+            library::semi_complete(),
+            library::exactly_isolated(2),
+            library::at_least_nodes(3),
+        ];
+        let inputs = [
+            Database::graph([]),
+            families::chain(1),
+            families::chain(2),
+            families::chain(3),
+            families::chain(6),
+            families::cc_graph(2, &[3]),
+            families::cc_graph(5, &[3, 4]),
+            families::cycle(4),
+            families::gnm(2, 3),
+            Database::graph([(0, 0)]),
+            families::empty_graph(3),
+            families::complete_loopless(3),
+        ];
+        for alpha in &alphas {
+            let w = wpc_theorem7(alpha);
+            assert!(w.is_pure_fo(), "wpc stays pure FO");
+            for db in &inputs {
+                let lhs = holds_pure(db, &w).expect("wpc evaluates");
+                let out = SeparatorTransaction.apply(db).expect("applies");
+                let rhs = holds_pure(&out, alpha).expect("alpha evaluates");
+                assert_eq!(lhs, rhs, "α = {alpha} on {db:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_blowup_is_exponential() {
+        // α with rank 2: wpc contains p_{2^2−1} = p_3 of rank 4 ≥ 2^2.
+        let alpha = parse_formula("exists x y. x != y & E(x, y)").expect("parses");
+        let (r, w) = wpc_rank_blowup(&alpha);
+        assert_eq!(r, 2);
+        assert!(w >= 4, "wpc rank {w} < 2^{r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "pure FO")]
+    fn constants_are_rejected_per_proposition_5() {
+        let alpha = parse_formula("E(1, 2)").expect("parses");
+        let _ = wpc_theorem7(&alpha);
+    }
+
+    #[test]
+    fn datalog_version_agrees_with_native() {
+        let native = SeparatorTransaction;
+        let datalog = theorem7_datalog(Strategy::SemiNaive);
+        for db in [
+            families::chain(4),
+            families::cc_graph(3, &[3]),
+            families::cc_graph(1, &[2, 2]),
+            families::cycle(3),
+            families::gnm(2, 2),
+            families::two_cycles(2, 3),
+            Database::graph([(0, 0)]),
+            Database::graph([]),
+        ] {
+            assert_eq!(
+                native.apply(&db).expect("native"),
+                datalog.apply(&db).expect("datalog"),
+                "on {db:?}"
+            );
+        }
+    }
+}

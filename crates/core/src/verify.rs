@@ -1,0 +1,195 @@
+//! Bounded verification of the undecidable problems.
+//!
+//! `Preserve(TL, L)` — "does `T` preserve `α` on every database?" — is
+//! undecidable even for SPJ transactions and FO constraints (Fact A /
+//! Proposition 1). What *is* possible:
+//!
+//! * **bounded refutation** ([`find_preservation_counterexample`]):
+//!   exhaustively search small databases for a consistent state that `T`
+//!   drives inconsistent;
+//! * **wpc-candidate checking** ([`check_wpc_candidate`],
+//!   [`refute_wpc_candidates`]): test whether a proposed sentence β is a
+//!   weakest precondition on a family of databases — used by experiment
+//!   E14 to refute all small FOc candidates for the Theorem 7 transaction,
+//!   grounding Proposition 5.
+
+use vpdt_eval::{holds, Omega};
+use vpdt_logic::Formula;
+use vpdt_structure::enumerate::GraphEnumerator;
+use vpdt_structure::Database;
+use vpdt_tx::traits::{Transaction, TxError};
+
+/// The verdict of a bounded preservation search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PreserveVerdict {
+    /// A consistent database that `T` maps to an inconsistent one.
+    CounterexampleFound(Box<Database>),
+    /// No counterexample within the budget — *not* a proof of preservation
+    /// (the problem is undecidable), only bounded evidence.
+    NoCounterexampleWithin { checked: usize },
+}
+
+/// Searches the graph enumeration (all graphs by size) for a preservation
+/// counterexample: `D ⊨ α` but `T(D) ⊭ α`. Aborting transactions trivially
+/// preserve (no output state), so `Err(Aborted)` counts as preserving.
+pub fn find_preservation_counterexample(
+    tx: &dyn Transaction,
+    alpha: &Formula,
+    omega: &Omega,
+    budget: usize,
+) -> Result<PreserveVerdict, TxError> {
+    let mut checked = 0;
+    for db in GraphEnumerator::new().take(budget) {
+        checked += 1;
+        if !holds(&db, omega, alpha)? {
+            continue;
+        }
+        match tx.apply(&db) {
+            Ok(out) => {
+                if !holds(&out, omega, alpha)? {
+                    return Ok(PreserveVerdict::CounterexampleFound(Box::new(db)));
+                }
+            }
+            Err(TxError::Aborted(_)) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(PreserveVerdict::NoCounterexampleWithin { checked })
+}
+
+/// Tests whether β behaves as `wpc(T, α)` on the given databases; returns
+/// the first database where `D ⊨ β` and `T(D) ⊨ α` disagree.
+pub fn check_wpc_candidate<'a>(
+    tx: &dyn Transaction,
+    alpha: &Formula,
+    beta: &Formula,
+    omega: &Omega,
+    dbs: impl IntoIterator<Item = &'a Database>,
+) -> Result<Option<Database>, TxError> {
+    for db in dbs {
+        let lhs = holds(db, omega, beta)?;
+        let rhs = match tx.apply(db) {
+            Ok(out) => holds(&out, omega, alpha)?,
+            Err(TxError::Aborted(_)) => {
+                // an aborted transaction has no output state; a candidate
+                // precondition must be false there to be meaningful
+                false
+            }
+            Err(e) => return Err(e),
+        };
+        if lhs != rhs {
+            return Ok(Some(db.clone()));
+        }
+    }
+    Ok(None)
+}
+
+/// Filters a stream of candidate sentences, keeping those that survive all
+/// the test databases (i.e. that *could* be weakest preconditions as far
+/// as the tests can tell). Used to refute expressibility: if **no**
+/// candidate survives, none of them is a wpc.
+pub fn refute_wpc_candidates(
+    tx: &dyn Transaction,
+    alpha: &Formula,
+    candidates: impl IntoIterator<Item = Formula>,
+    omega: &Omega,
+    dbs: &[Database],
+) -> Result<Vec<Formula>, TxError> {
+    let mut survivors = Vec::new();
+    for beta in candidates {
+        if !beta.is_sentence() {
+            continue;
+        }
+        if check_wpc_candidate(tx, alpha, &beta, omega, dbs)?.is_none() {
+            survivors.push(beta);
+        }
+    }
+    Ok(survivors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prerelations::compile_program;
+    use crate::wpc::wpc_sentence;
+    use vpdt_logic::parse_formula;
+    use vpdt_structure::families;
+    use vpdt_tx::program::Program;
+
+    #[test]
+    fn insert_violating_fd_is_refuted_quickly() {
+        let alpha =
+            parse_formula("forall x y z. E(x, y) & E(x, z) -> y = z").expect("parses");
+        let p = Program::insert_consts("E", [0, 9]);
+        let pre = compile_program("ins", &p, &vpdt_logic::Schema::graph(), &Omega::empty())
+            .expect("compiles");
+        let verdict =
+            find_preservation_counterexample(&pre, &alpha, &Omega::empty(), 2000)
+                .expect("search runs");
+        match verdict {
+            PreserveVerdict::CounterexampleFound(db) => {
+                // the found database satisfies the FD but gains a second
+                // 0-successor after the insert
+                assert!(holds(&db, &Omega::empty(), &alpha).expect("evaluates"));
+            }
+            other => panic!("expected a counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn harmless_insert_has_no_small_counterexample() {
+        // inserting a loop cannot violate "no edge between distinct nodes
+        // in both directions simultaneously"… use a constraint the insert
+        // respects: "every edge out of 7 ends at 7".
+        let alpha = parse_formula("forall y. E(7, y) -> y = 7").expect("parses");
+        let p = Program::insert_consts("E", [7, 7]);
+        let pre = compile_program("ins", &p, &vpdt_logic::Schema::graph(), &Omega::empty())
+            .expect("compiles");
+        let verdict =
+            find_preservation_counterexample(&pre, &alpha, &Omega::empty(), 800)
+                .expect("search runs");
+        assert!(matches!(
+            verdict,
+            PreserveVerdict::NoCounterexampleWithin { .. }
+        ));
+    }
+
+    #[test]
+    fn true_wpc_survives_candidate_checking() {
+        let alpha = parse_formula("exists x. E(x, x)").expect("parses");
+        let p = Program::insert_consts("E", [2, 3]);
+        let pre = compile_program("ins", &p, &vpdt_logic::Schema::graph(), &Omega::empty())
+            .expect("compiles");
+        let w = wpc_sentence(&pre, &alpha).expect("translates");
+        let dbs: Vec<Database> = GraphEnumerator::new().take(300).collect();
+        assert_eq!(
+            check_wpc_candidate(&pre, &alpha, &w, &Omega::empty(), &dbs)
+                .expect("check runs"),
+            None
+        );
+        // and an obviously wrong candidate is refuted
+        let wrong = Formula::True;
+        assert!(check_wpc_candidate(&pre, &alpha, &wrong, &Omega::empty(), &dbs)
+            .expect("check runs")
+            .is_some());
+    }
+
+    #[test]
+    fn refutation_filters_candidates() {
+        let alpha = parse_formula("exists x. E(x, x)").expect("parses");
+        let pre = crate::prerelations::Prerelation::identity(
+            vpdt_logic::Schema::graph(),
+            Omega::empty(),
+        );
+        let dbs = vec![families::chain(2), families::diagonal([0])];
+        let candidates = vec![
+            Formula::True,
+            Formula::False,
+            alpha.clone(), // the correct one (identity transaction)
+        ];
+        let survivors =
+            refute_wpc_candidates(&pre, &alpha, candidates, &Omega::empty(), &dbs)
+                .expect("runs");
+        assert_eq!(survivors, vec![alpha]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Workload generation for benchmarks and property tests: random update
+//! programs, random pure-FO sentences, named integrity constraints, and
+//! consistent-state samplers.
+
+use rand::Rng;
+use vpdt_logic::{Formula, Term, Var};
+use vpdt_structure::Database;
+use vpdt_tx::program::Program;
+
+/// The functional-dependency constraint on the graph schema:
+/// `∀x∀y∀z. E(x,y) ∧ E(x,z) → y = z` (out-degree ≤ 1; "E is a partial
+/// function").
+pub fn fd_constraint() -> Formula {
+    vpdt_logic::parse_formula("forall x y z. E(x, y) & E(x, z) -> y = z")
+        .expect("constant formula parses")
+}
+
+/// No loops: `∀x∀y. E(x,y) → x ≠ y`.
+pub fn no_loops() -> Formula {
+    vpdt_logic::parse_formula("forall x y. E(x, y) -> x != y")
+        .expect("constant formula parses")
+}
+
+/// Antisymmetry: `∀x∀y. E(x,y) → ¬E(y,x)` (also excludes loops).
+pub fn antisymmetric() -> Formula {
+    vpdt_logic::parse_formula("forall x y. E(x, y) -> !E(y, x)")
+        .expect("constant formula parses")
+}
+
+/// A random single update: insert or delete of one random tuple over the
+/// id range `0..universe`.
+pub fn random_update(rng: &mut impl Rng, universe: u64) -> Program {
+    let a = rng.gen_range(0..universe);
+    let b = rng.gen_range(0..universe);
+    if rng.gen_bool(0.5) {
+        Program::insert_consts("E", [a, b])
+    } else {
+        Program::delete_consts("E", [a, b])
+    }
+}
+
+/// A random batch of `len` updates.
+pub fn random_batch(rng: &mut impl Rng, universe: u64, len: usize) -> Program {
+    Program::seq((0..len).map(|_| random_update(rng, universe)))
+}
+
+/// A random graph that satisfies [`fd_constraint`] by construction: each
+/// node gets at most one out-edge (a random partial function).
+pub fn random_functional_graph(rng: &mut impl Rng, n: u64, p: f64) -> Database {
+    let mut db = Database::graph([]);
+    for i in 0..n {
+        db.add_domain_elem(vpdt_logic::Elem(i));
+        if rng.gen_bool(p) {
+            let j = rng.gen_range(0..n);
+            db.insert("E", vec![vpdt_logic::Elem(i), vpdt_logic::Elem(j)]);
+        }
+    }
+    db
+}
+
+/// A random pure-FO sentence over the graph schema. `depth` bounds the AST
+/// depth; all generated formulas are closed (quantifiers introduce the
+/// variables atoms use).
+pub fn random_sentence(rng: &mut impl Rng, depth: usize) -> Formula {
+    gen_formula(rng, depth, &mut Vec::new())
+}
+
+fn gen_formula(rng: &mut impl Rng, depth: usize, scope: &mut Vec<Var>) -> Formula {
+    let leaf = depth == 0 || (scope.len() >= 2 && rng.gen_bool(0.3));
+    if leaf && !scope.is_empty() {
+        // atom over in-scope variables
+        let a = Term::Var(scope[rng.gen_range(0..scope.len())].clone());
+        let b = Term::Var(scope[rng.gen_range(0..scope.len())].clone());
+        return if rng.gen_bool(0.7) {
+            Formula::rel("E", [a, b])
+        } else {
+            Formula::eq(a, b)
+        };
+    }
+    if leaf {
+        return if rng.gen_bool(0.5) { Formula::True } else { Formula::False };
+    }
+    match rng.gen_range(0..6) {
+        0 => {
+            let v = Var::new(format!("r{}", scope.len()));
+            scope.push(v.clone());
+            let body = gen_formula(rng, depth - 1, scope);
+            scope.pop();
+            Formula::exists(v, body)
+        }
+        1 => {
+            let v = Var::new(format!("r{}", scope.len()));
+            scope.push(v.clone());
+            let body = gen_formula(rng, depth - 1, scope);
+            scope.pop();
+            Formula::forall(v, body)
+        }
+        2 => Formula::not(gen_formula(rng, depth - 1, scope)),
+        3 => Formula::and([
+            gen_formula(rng, depth - 1, scope),
+            gen_formula(rng, depth - 1, scope),
+        ]),
+        4 => Formula::or([
+            gen_formula(rng, depth - 1, scope),
+            gen_formula(rng, depth - 1, scope),
+        ]),
+        _ => Formula::implies(
+            gen_formula(rng, depth - 1, scope),
+            gen_formula(rng, depth - 1, scope),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use vpdt_eval::{holds_pure, Omega};
+    use vpdt_tx::traits::Transaction;
+
+    #[test]
+    fn random_sentences_are_closed() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let f = random_sentence(&mut rng, 4);
+            assert!(f.is_sentence(), "open: {f}");
+            assert!(f.is_pure_fo());
+        }
+    }
+
+    #[test]
+    fn functional_graphs_satisfy_fd() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let fd = fd_constraint();
+        for _ in 0..20 {
+            let db = random_functional_graph(&mut rng, 8, 0.7);
+            assert!(holds_pure(&db, &fd).expect("evaluates"));
+        }
+    }
+
+    #[test]
+    fn random_batches_execute() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let p = random_batch(&mut rng, 6, 10);
+        let tx = vpdt_tx::program::ProgramTransaction::new("batch", p, Omega::empty());
+        let db = random_functional_graph(&mut rng, 6, 0.5);
+        tx.apply(&db).expect("runs");
+    }
+}

@@ -1,0 +1,135 @@
+//! `FOcount` helpers: building and checking counting-logic sentences.
+//!
+//! Section 2 gives two flagship examples of non-first-order properties
+//! definable in FO+counting; both are constructed here and exercised by the
+//! tests:
+//!
+//! * **odd cardinality** — "there is an odd number of elements satisfying
+//!   φ": `∃i. ∃≥i x φ(x) ∧ bit(i,1) ∧ ∀j (∃≥j x φ(x) → j ≤ i)`;
+//! * **equal cardinality** of two definable sets.
+
+use vpdt_logic::{Formula, NumTerm, Var};
+
+/// `exactCount(i, x, φ)`: exactly `i` elements satisfy φ — encoded as
+/// "`∃≥i` and every `j` with `∃≥j` satisfies `j ≤ i`" on the numeric sort
+/// (avoiding a successor symbol, which FOcount does not have natively).
+pub fn exactly_count(i: NumTerm, x: impl Into<Var>, phi: Formula) -> Formula {
+    let x = x.into();
+    let j = Var::new("jc");
+    Formula::and([
+        Formula::count_ge(i.clone(), x.clone(), phi.clone()),
+        Formula::NumForall(
+            j.clone(),
+            Box::new(Formula::implies(
+                Formula::count_ge(NumTerm::Var(j.clone()), x, phi),
+                Formula::NumLe(NumTerm::Var(j), i),
+            )),
+        ),
+    ])
+}
+
+/// The paper's example: "there is an odd number of elements satisfying φ".
+pub fn odd_count(x: impl Into<Var>, phi: Formula) -> Formula {
+    let i = Var::new("ic");
+    Formula::NumExists(
+        i.clone(),
+        Box::new(Formula::and([
+            exactly_count(NumTerm::Var(i.clone()), x, phi),
+            Formula::Bit(NumTerm::Var(i), NumTerm::One),
+        ])),
+    )
+}
+
+/// "The number of elements satisfying φ equals the number satisfying ψ" —
+/// the *equal cardinality* example of Section 2.
+pub fn equal_cardinality(
+    x: impl Into<Var>,
+    phi: Formula,
+    y: impl Into<Var>,
+    psi: Formula,
+) -> Formula {
+    let i = Var::new("ie");
+    Formula::NumExists(
+        i.clone(),
+        Box::new(Formula::and([
+            exactly_count(NumTerm::Var(i.clone()), x, phi),
+            exactly_count(NumTerm::Var(i), y, psi),
+        ])),
+    )
+}
+
+/// "The domain has an even number of elements" — the property Theorem 3
+/// shows FO(≺) *cannot* test on large linear orders, but FOcount can.
+pub fn even_domain() -> Formula {
+    Formula::not(odd_count("xe", Formula::True))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fo::holds_pure;
+    use vpdt_structure::families;
+
+    fn loops(x: &str) -> Formula {
+        Formula::rel("E", [vpdt_logic::Term::var(x), vpdt_logic::Term::var(x)])
+    }
+
+    #[test]
+    fn exact_count_of_loops() {
+        // diagonal on 3 nodes within a larger domain
+        let mut db = families::diagonal([0, 1, 2]);
+        db.add_domain_elem(vpdt_logic::Elem(7));
+        db.add_domain_elem(vpdt_logic::Elem(8));
+        let three = exactly_count(NumTerm::Lit(3), "x", loops("x"));
+        assert!(holds_pure(&db, &three).expect("evaluates"));
+        let four = exactly_count(NumTerm::Lit(4), "x", loops("x"));
+        assert!(!holds_pure(&db, &four).expect("evaluates"));
+    }
+
+    #[test]
+    fn odd_and_even_cardinality() {
+        for n in 1..7usize {
+            let db = families::empty_graph(n);
+            let odd = odd_count("x", Formula::True);
+            assert_eq!(
+                holds_pure(&db, &odd).expect("evaluates"),
+                n % 2 == 1,
+                "odd_count on {n} nodes"
+            );
+            assert_eq!(
+                holds_pure(&db, &even_domain()).expect("evaluates"),
+                n % 2 == 0,
+                "even_domain on {n} nodes"
+            );
+        }
+    }
+
+    #[test]
+    fn equal_cardinality_of_roots_and_leaves() {
+        // in a chain, #roots = #endpoints = 1
+        let db = families::chain(5);
+        let root = Formula::forall(
+            "z",
+            Formula::not(Formula::rel(
+                "E",
+                [vpdt_logic::Term::var("z"), vpdt_logic::Term::var("x")],
+            )),
+        );
+        let leaf = Formula::forall(
+            "z",
+            Formula::not(Formula::rel(
+                "E",
+                [vpdt_logic::Term::var("y"), vpdt_logic::Term::var("z")],
+            )),
+        );
+        let eqc = equal_cardinality("x", root, "y", leaf);
+        assert!(holds_pure(&db, &eqc).expect("evaluates"));
+    }
+
+    #[test]
+    fn counting_zero_bound_is_trivially_true() {
+        let db = families::empty_graph(0);
+        let f = Formula::count_ge(NumTerm::Lit(0), "x", Formula::False);
+        assert!(holds_pure(&db, &f).expect("evaluates"));
+    }
+}

@@ -1,0 +1,428 @@
+//! The core evaluator: `D ⊨ α` for FO / FOc / FOc(Ω) / FOcount.
+//!
+//! First-sort quantifiers range over the database's explicit finite domain.
+//! Free variables may be bound (via [`Env`]) to arbitrary elements of `U` —
+//! this is exactly what prerelations need: the tuple variables of
+//! `pre_R(d₁..d_n)` range over the term extension `Γ(D)` while the
+//! quantifiers inside the formula still range over `dom(D)`.
+//!
+//! The numeric sort of `FOcount` is `{1..n}` where `n = |dom(D)|`
+//! (Section 2), with constants `1` and `max`, the order, and `bit(i,j)`.
+
+use std::fmt;
+use vpdt_logic::{Elem, Formula, NumTerm, Term, Var};
+use vpdt_structure::Database;
+
+use crate::omega::Omega;
+
+/// Evaluation errors: unknown symbols, arity mismatches, unbound variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError(pub String);
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "evaluation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A variable assignment: bindings for first-sort and numeric variables.
+///
+/// Implemented as stacks so that quantifier evaluation is push/pop.
+#[derive(Clone, Debug, Default)]
+pub struct Env {
+    elems: Vec<(Var, Elem)>,
+    nums: Vec<(Var, u64)>,
+}
+
+impl Env {
+    /// The empty assignment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An assignment binding the given first-sort variables.
+    pub fn of(bindings: impl IntoIterator<Item = (Var, Elem)>) -> Self {
+        Env { elems: bindings.into_iter().collect(), nums: Vec::new() }
+    }
+
+    /// Binds a first-sort variable (shadows earlier bindings).
+    pub fn push_elem(&mut self, v: Var, e: Elem) {
+        self.elems.push((v, e));
+    }
+
+    /// Removes the most recent first-sort binding.
+    pub fn pop_elem(&mut self) {
+        self.elems.pop();
+    }
+
+    /// Looks up a first-sort variable (most recent binding wins).
+    pub fn elem(&self, v: &Var) -> Option<Elem> {
+        self.elems.iter().rev().find(|(w, _)| w == v).map(|(_, e)| *e)
+    }
+
+    fn push_num(&mut self, v: Var, n: u64) {
+        self.nums.push((v, n));
+    }
+
+    fn pop_num(&mut self) {
+        self.nums.pop();
+    }
+
+    fn num(&self, v: &Var) -> Option<u64> {
+        self.nums.iter().rev().find(|(w, _)| w == v).map(|(_, n)| *n)
+    }
+}
+
+/// Evaluates a sentence: `D ⊨ α` with Ω-symbols interpreted by `omega`.
+pub fn holds(db: &Database, omega: &Omega, sentence: &Formula) -> Result<bool, EvalError> {
+    let mut env = Env::new();
+    eval(db, omega, sentence, &mut env)
+}
+
+/// Evaluates a sentence with the empty Ω (FO / FOc / FOcount).
+pub fn holds_pure(db: &Database, sentence: &Formula) -> Result<bool, EvalError> {
+    holds(db, &Omega::empty(), sentence)
+}
+
+/// Evaluates a formula under an assignment of its free variables.
+pub fn eval(
+    db: &Database,
+    omega: &Omega,
+    f: &Formula,
+    env: &mut Env,
+) -> Result<bool, EvalError> {
+    match f {
+        Formula::True => Ok(true),
+        Formula::False => Ok(false),
+        Formula::Rel(name, ts) => {
+            let arity = db
+                .schema()
+                .arity_of(name)
+                .ok_or_else(|| EvalError(format!("relation {name} not in schema")))?;
+            if arity != ts.len() {
+                return Err(EvalError(format!(
+                    "relation {name} has arity {arity}, atom has {} arguments",
+                    ts.len()
+                )));
+            }
+            let mut tuple = Vec::with_capacity(ts.len());
+            for t in ts {
+                tuple.push(eval_term(omega, t, env)?);
+            }
+            Ok(db.contains(name, &tuple))
+        }
+        Formula::Eq(a, b) => Ok(eval_term(omega, a, env)? == eval_term(omega, b, env)?),
+        Formula::Pred(p, ts) => {
+            let mut args = Vec::with_capacity(ts.len());
+            for t in ts {
+                args.push(eval_term(omega, t, env)?);
+            }
+            omega.eval_pred(p.name(), &args).map_err(EvalError)
+        }
+        Formula::Not(g) => Ok(!eval(db, omega, g, env)?),
+        Formula::And(gs) => {
+            for g in gs {
+                if !eval(db, omega, g, env)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Formula::Or(gs) => {
+            for g in gs {
+                if eval(db, omega, g, env)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Formula::Implies(a, b) => Ok(!eval(db, omega, a, env)? || eval(db, omega, b, env)?),
+        Formula::Iff(a, b) => Ok(eval(db, omega, a, env)? == eval(db, omega, b, env)?),
+        Formula::Exists(v, g) => {
+            for e in db.domain().iter().copied().collect::<Vec<_>>() {
+                env.push_elem(v.clone(), e);
+                let r = eval(db, omega, g, env)?;
+                env.pop_elem();
+                if r {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Formula::Forall(v, g) => {
+            for e in db.domain().iter().copied().collect::<Vec<_>>() {
+                env.push_elem(v.clone(), e);
+                let r = eval(db, omega, g, env)?;
+                env.pop_elem();
+                if !r {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Formula::CountGe(i, v, g) => {
+            let bound = eval_numterm(db, i, env)?;
+            if bound == 0 {
+                return Ok(true);
+            }
+            let mut count: u64 = 0;
+            for e in db.domain().iter().copied().collect::<Vec<_>>() {
+                env.push_elem(v.clone(), e);
+                let r = eval(db, omega, g, env)?;
+                env.pop_elem();
+                if r {
+                    count += 1;
+                    if count >= bound {
+                        return Ok(true);
+                    }
+                }
+            }
+            Ok(false)
+        }
+        Formula::NumExists(v, g) => {
+            let n = db.domain_size() as u64;
+            for k in 1..=n {
+                env.push_num(v.clone(), k);
+                let r = eval(db, omega, g, env)?;
+                env.pop_num();
+                if r {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Formula::NumForall(v, g) => {
+            let n = db.domain_size() as u64;
+            for k in 1..=n {
+                env.push_num(v.clone(), k);
+                let r = eval(db, omega, g, env)?;
+                env.pop_num();
+                if !r {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Formula::NumLe(a, b) => Ok(eval_numterm(db, a, env)? <= eval_numterm(db, b, env)?),
+        Formula::NumEq(a, b) => Ok(eval_numterm(db, a, env)? == eval_numterm(db, b, env)?),
+        Formula::Bit(a, b) => {
+            let i = eval_numterm(db, a, env)?;
+            let j = eval_numterm(db, b, env)?;
+            // bit positions are 1-indexed from the least significant bit
+            Ok((1..=64).contains(&j) && (i >> (j - 1)) & 1 == 1)
+        }
+    }
+}
+
+/// Evaluates a first-sort term.
+pub fn eval_term(omega: &Omega, t: &Term, env: &Env) -> Result<Elem, EvalError> {
+    match t {
+        Term::Var(v) => env
+            .elem(v)
+            .ok_or_else(|| EvalError(format!("unbound variable {v}"))),
+        Term::Const(c) => Ok(*c),
+        Term::App(f, args) => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval_term(omega, a, env)?);
+            }
+            omega.eval_func(f.name(), &vals).map_err(EvalError)
+        }
+    }
+}
+
+fn eval_numterm(db: &Database, t: &NumTerm, env: &Env) -> Result<u64, EvalError> {
+    match t {
+        NumTerm::Var(v) => env
+            .num(v)
+            .ok_or_else(|| EvalError(format!("unbound numeric variable {v}"))),
+        NumTerm::One => Ok(1),
+        NumTerm::Max => Ok(db.domain_size() as u64),
+        NumTerm::Lit(n) => Ok(*n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpdt_logic::library;
+    use vpdt_logic::parse_formula;
+    use vpdt_structure::families;
+
+    fn check(db: &Database, s: &str) -> bool {
+        holds_pure(db, &parse_formula(s).expect("parses")).expect("evaluates")
+    }
+
+    #[test]
+    fn atoms_and_quantifiers_on_a_chain() {
+        let db = families::chain(3); // 0→1→2
+        assert!(check(&db, "E(0, 1)"));
+        assert!(!check(&db, "E(1, 0)"));
+        assert!(check(&db, "exists x. E(0, x)"));
+        assert!(check(&db, "exists x y. E(x, y) & E(y, 2)"));
+        assert!(!check(&db, "forall x. exists y. E(x, y)")); // 2 is terminal
+        assert!(check(&db, "forall x y z. E(x, y) & E(x, z) -> y = z"));
+    }
+
+    #[test]
+    fn quantifiers_range_over_explicit_domain() {
+        // isolated node 9 is in the domain, so exists picks it up
+        let db = Database::graph_with_domain([9], [(0, 1)]);
+        assert!(check(&db, "exists x. x = 9"));
+        assert!(!check(&db, "exists x. x = 12"));
+        // empty database: forall is vacuously true, exists false
+        let empty = Database::graph([]);
+        assert!(check(&empty, "forall x. false"));
+        assert!(!check(&empty, "exists x. true"));
+    }
+
+    #[test]
+    fn psi_cc_recognizes_cc_graphs() {
+        let yes = [
+            families::chain(2),
+            families::chain(5),
+            families::cc_graph(3, &[4]),
+            families::cc_graph(2, &[3, 5]),
+        ];
+        for db in &yes {
+            assert!(
+                holds_pure(db, &library::psi_cc()).expect("evaluates"),
+                "psi_cc should hold on {db:?}"
+            );
+        }
+        let no = [
+            families::cycle(4),                 // no chain
+            families::two_cycles(3, 3),         // no chain
+            families::gnm(2, 2),                // branching
+            Database::graph([(0, 1), (5, 6)]),  // two chains
+            families::complete_loopless(3),
+        ];
+        for db in &no {
+            assert!(
+                !holds_pure(db, &library::psi_cc()).expect("evaluates"),
+                "psi_cc should fail on {db:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn p_s_measures_chain_length() {
+        // chain of 4 with a 3-cycle attached
+        let db = families::cc_graph(4, &[3]);
+        for s in 0..=4 {
+            assert!(
+                holds_pure(&db, &library::chain_at_least(s)).expect("evaluates"),
+                "p_{s}"
+            );
+        }
+        assert!(!holds_pure(&db, &library::chain_at_least(5)).expect("evaluates"));
+        assert!(holds_pure(&db, &library::chain_exactly(4)).expect("evaluates"));
+        assert!(!holds_pure(&db, &library::chain_exactly(3)).expect("evaluates"));
+    }
+
+    #[test]
+    fn mu_s_counts_nodes() {
+        let db = families::empty_graph(3);
+        assert!(holds_pure(&db, &library::at_least_nodes(3)).expect("evaluates"));
+        assert!(!holds_pure(&db, &library::at_least_nodes(4)).expect("evaluates"));
+        assert!(holds_pure(&db, &library::exactly_nodes(3)).expect("evaluates"));
+    }
+
+    #[test]
+    fn isolated_points_in_diagonal_graphs() {
+        let db = families::diagonal([1, 2, 3]);
+        assert!(holds_pure(&db, &library::exactly_isolated(3)).expect("evaluates"));
+        assert!(!holds_pure(&db, &library::exactly_isolated(2)).expect("evaluates"));
+        // in a chain, nothing is isolated (no loops)
+        let c = families::chain(3);
+        assert!(holds_pure(&c, &library::exactly_isolated(0)).expect("evaluates"));
+    }
+
+    #[test]
+    fn alpha0_on_gnm_and_friends() {
+        let a0 = library::alpha0_gnm_with_cycles();
+        assert!(holds_pure(&families::gnm(3, 4), &a0).expect("evaluates"));
+        let with_cycle = families::union(
+            &families::gnm(2, 2),
+            &families::cycle_from(50, 4),
+        );
+        assert!(holds_pure(&with_cycle, &a0).expect("evaluates"));
+        assert!(!holds_pure(&families::chain(4), &a0).expect("evaluates"));
+        assert!(!holds_pure(&families::cycle(4), &a0).expect("evaluates"));
+    }
+
+    #[test]
+    fn omega_predicates_and_functions() {
+        let db = families::chain(3);
+        let omega = Omega::arithmetic();
+        let f = parse_formula("forall x y. E(x, y) -> @lt(x, y)").expect("parses");
+        assert!(holds(&db, &omega, &f).expect("evaluates"));
+        let g = parse_formula("exists x. E(x, succ(x))").expect("parses");
+        assert!(holds(&db, &omega, &g).expect("evaluates"));
+        // unknown symbol errors out
+        let bad = parse_formula("@nope(0)").expect("parses");
+        assert!(holds(&db, &omega, &bad).is_err());
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error() {
+        let db = families::chain(2);
+        let f = parse_formula("E(x, y)").expect("parses");
+        assert!(holds_pure(&db, &f).is_err());
+        let mut env = Env::of([
+            (Var::new("x"), Elem(0)),
+            (Var::new("y"), Elem(1)),
+        ]);
+        assert_eq!(
+            eval(&db, &Omega::empty(), &f, &mut env),
+            Ok(true)
+        );
+    }
+
+    #[test]
+    fn free_variables_may_lie_outside_the_domain() {
+        // pre-relation style: the free variable denotes a new element
+        let db = families::chain(2);
+        let f = parse_formula("!(exists y. y = x)").expect("parses");
+        let mut env = Env::of([(Var::new("x"), Elem(77))]);
+        assert_eq!(eval(&db, &Omega::empty(), &f, &mut env), Ok(true));
+    }
+}
+
+#[cfg(test)]
+mod distance_semantics_tests {
+    use super::*;
+    use vpdt_logic::library;
+    use vpdt_structure::{families, Graph};
+
+    /// The FO distance formulas agree with BFS distances on assorted graphs.
+    #[test]
+    fn distance_formula_matches_bfs() {
+        for db in [
+            families::chain(5),
+            families::cycle(6),
+            families::gnm(2, 3),
+            families::two_cycles(3, 3),
+        ] {
+            let g = Graph::of_edges(&db);
+            for (ai, &a) in g.nodes().iter().enumerate() {
+                let dist = g.undirected_distances(ai);
+                for (bi, &b) in g.nodes().iter().enumerate() {
+                    for k in 0..4usize {
+                        let f = library::distance_at_most("x", "y", k);
+                        let mut env = Env::of([
+                            (Var::new("x"), a),
+                            (Var::new("y"), b),
+                        ]);
+                        let by_formula =
+                            eval(&db, &Omega::empty(), &f, &mut env).expect("evaluates");
+                        let by_bfs = dist.get(&bi).is_some_and(|&d| d <= k);
+                        assert_eq!(by_formula, by_bfs, "d({a},{b}) ≤ {k} on {db:?}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # vpdt-eval
+//!
+//! Model checking — the validity relation `D ⊨ α` of Section 2 — for every
+//! specification language in the paper:
+//!
+//! * FO / FOc / FOc(Ω) with first-sort quantifiers ranging over the
+//!   database's (finite, explicit) domain;
+//! * `FOcount`, the two-sorted counting logic, whose numeric sort is
+//!   `{1..n}` for `n` the domain size, with `1`, `max`, `≤` and `bit`;
+//! * monadic Σ¹₁, by exhaustive search over interpretations of the unary
+//!   set variables (exponential, with an explicit budget).
+//!
+//! Interpretations of Ω-symbols ("a recursive collection of recursive
+//! functions and predicates over U") are Rust closures registered in
+//! [`Omega`]; [`Omega::nat_order`] provides the order of type ω used in
+//! Theorem 3's `FOc(Ω ∪ {≺})` argument.
+
+pub mod counting;
+pub mod fo;
+pub mod mso;
+pub mod omega;
+
+pub use fo::{eval, eval_term, holds, holds_pure, Env, EvalError};
+pub use omega::Omega;

@@ -1,0 +1,125 @@
+//! Evaluation of monadic Σ¹₁ sentences.
+//!
+//! `D ⊨ ∃A₁…∃A_k. Ψ` is decided by exhaustive search over the `2^(k·|dom|)`
+//! interpretations of the set variables — exact but exponential, so a budget
+//! caps the number of candidate interpretations. The asymptotic
+//! inexpressibility arguments (connectivity ∉ monadic Σ¹₁, Theorem 3's
+//! Ajtai–Fagin game) live in `vpdt-games`; this evaluator grounds them on
+//! small instances.
+
+use crate::fo::{holds, EvalError};
+use crate::omega::Omega;
+use vpdt_logic::{Elem, MonadicSigma11};
+use vpdt_structure::Database;
+
+/// Default budget: maximum number of set-variable interpretations tried.
+pub const DEFAULT_BUDGET: u64 = 1 << 22;
+
+/// Evaluates a monadic Σ¹₁ sentence on a database, trying at most `budget`
+/// interpretations of the set variables (in increasing bitmask order).
+///
+/// Returns an error if the search space exceeds the budget or the matrix
+/// fails to evaluate.
+pub fn holds_sigma11(
+    db: &Database,
+    omega: &Omega,
+    sentence: &MonadicSigma11,
+    budget: Option<u64>,
+) -> Result<bool, EvalError> {
+    let budget = budget.unwrap_or(DEFAULT_BUDGET);
+    let k = sentence.set_vars.len();
+    let dom: Vec<Elem> = db.domain().iter().copied().collect();
+    let n = dom.len();
+    let bits = (k * n) as u32;
+    if bits >= 63 || (1u64 << bits) > budget {
+        return Err(EvalError(format!(
+            "monadic Sigma-1-1 search space 2^{bits} exceeds budget {budget}"
+        )));
+    }
+    let ext_schema = sentence.extended_schema(db.schema());
+    let base = db.with_schema(ext_schema);
+    for mask in 0u64..(1u64 << bits) {
+        let mut candidate = base.clone();
+        for (si, name) in sentence.set_vars.iter().enumerate() {
+            for (ei, e) in dom.iter().enumerate() {
+                if (mask >> (si * n + ei)) & 1 == 1 {
+                    candidate.insert(name, vec![*e]);
+                }
+            }
+        }
+        if holds(&candidate, omega, &sentence.matrix)? {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpdt_logic::{Formula, Schema, Term};
+    use vpdt_structure::families;
+
+    /// `∃A. (∃x A(x)) ∧ (∃x ¬A(x)) ∧ ∀x∀y (E(x,y) → (A(x) ↔ ¬A(y)))` —
+    /// proper 2-colorability of the underlying (loop-free) digraph.
+    fn two_colorable() -> MonadicSigma11 {
+        let a = |t: Term| Formula::rel("A", [t]);
+        let matrix = Formula::and([
+            Formula::forall_many(
+                ["x", "y"],
+                Formula::implies(
+                    Formula::rel("E", [Term::var("x"), Term::var("y")]),
+                    Formula::iff(
+                        a(Term::var("x")),
+                        Formula::not(a(Term::var("y"))),
+                    ),
+                ),
+            ),
+        ]);
+        MonadicSigma11::new(&Schema::graph(), ["A"], matrix)
+    }
+
+    #[test]
+    fn even_cycles_are_two_colorable_odd_are_not() {
+        let s = two_colorable();
+        for n in [2usize, 4, 6] {
+            assert!(
+                holds_sigma11(&families::cycle(n), &Omega::empty(), &s, None)
+                    .expect("within budget"),
+                "C_{n} is 2-colorable"
+            );
+        }
+        for n in [3usize, 5, 7] {
+            assert!(
+                !holds_sigma11(&families::cycle(n), &Omega::empty(), &s, None)
+                    .expect("within budget"),
+                "C_{n} is not 2-colorable"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let s = two_colorable();
+        let db = families::cycle(10);
+        let r = holds_sigma11(&db, &Omega::empty(), &s, Some(4));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn zero_set_variables_degenerates_to_fo() {
+        let s = MonadicSigma11::new(
+            &Schema::graph(),
+            Vec::<String>::new(),
+            Formula::exists("x", Formula::rel("E", [Term::var("x"), Term::var("x")])),
+        );
+        assert!(
+            holds_sigma11(&families::diagonal([1]), &Omega::empty(), &s, None)
+                .expect("within budget")
+        );
+        assert!(
+            !holds_sigma11(&families::chain(3), &Omega::empty(), &s, None)
+                .expect("within budget")
+        );
+    }
+}

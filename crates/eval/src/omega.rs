@@ -1,0 +1,160 @@
+//! Interpretations of the signatures Ω.
+//!
+//! `FOc(Ω)` extends FOc with "a recursive collection Ω of recursive
+//! functions and predicates over U" (Section 2). [`Omega`] maps symbol
+//! names to Rust closures over universe elements. The syntax side
+//! ([`vpdt_logic::OmegaSig`]) can be derived with [`Omega::sig`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use vpdt_logic::{Elem, OmegaSig};
+
+type FuncImpl = Arc<dyn Fn(&[Elem]) -> Elem + Send + Sync>;
+type PredImpl = Arc<dyn Fn(&[Elem]) -> bool + Send + Sync>;
+
+/// A recursive interpretation of an Ω signature: total computable functions
+/// and predicates over `U`.
+#[derive(Clone, Default)]
+pub struct Omega {
+    funcs: BTreeMap<String, (usize, FuncImpl)>,
+    preds: BTreeMap<String, (usize, PredImpl)>,
+}
+
+impl Omega {
+    /// The empty signature — plain FOc.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Registers a function symbol.
+    pub fn with_func(
+        mut self,
+        name: impl Into<String>,
+        arity: usize,
+        f: impl Fn(&[Elem]) -> Elem + Send + Sync + 'static,
+    ) -> Self {
+        self.funcs.insert(name.into(), (arity, Arc::new(f)));
+        self
+    }
+
+    /// Registers a predicate symbol.
+    pub fn with_pred(
+        mut self,
+        name: impl Into<String>,
+        arity: usize,
+        p: impl Fn(&[Elem]) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.preds.insert(name.into(), (arity, Arc::new(p)));
+        self
+    }
+
+    /// The order `≺` on `U` of order type ω used in Theorem 3 (the identity
+    /// order on element ids), as the binary predicate `lt`, plus `le`.
+    pub fn nat_order() -> Self {
+        Omega::empty()
+            .with_pred("lt", 2, |a| a[0] < a[1])
+            .with_pred("le", 2, |a| a[0] <= a[1])
+    }
+
+    /// A richer arithmetic signature for robustness experiments: `lt`, `le`,
+    /// `even`, `succ`, `plus`.
+    pub fn arithmetic() -> Self {
+        Omega::nat_order()
+            .with_pred("even", 1, |a| a[0].0 % 2 == 0)
+            .with_func("succ", 1, |a| Elem(a[0].0 + 1))
+            .with_func("plus", 2, |a| Elem(a[0].0.saturating_add(a[1].0)))
+    }
+
+    /// The syntactic signature (names and arities).
+    pub fn sig(&self) -> OmegaSig {
+        let mut s = OmegaSig::empty();
+        for (n, (a, _)) in &self.funcs {
+            s = s.with_func(n.clone(), *a);
+        }
+        for (n, (a, _)) in &self.preds {
+            s = s.with_pred(n.clone(), *a);
+        }
+        s
+    }
+
+    /// Evaluates a function symbol.
+    pub fn eval_func(&self, name: &str, args: &[Elem]) -> Result<Elem, String> {
+        match self.funcs.get(name) {
+            Some((arity, f)) if *arity == args.len() => Ok(f(args)),
+            Some((arity, _)) => Err(format!(
+                "function {name} has arity {arity}, called with {}",
+                args.len()
+            )),
+            None => Err(format!("unknown Omega function {name}")),
+        }
+    }
+
+    /// Evaluates a predicate symbol.
+    pub fn eval_pred(&self, name: &str, args: &[Elem]) -> Result<bool, String> {
+        match self.preds.get(name) {
+            Some((arity, p)) if *arity == args.len() => Ok(p(args)),
+            Some((arity, _)) => Err(format!(
+                "predicate {name} has arity {arity}, called with {}",
+                args.len()
+            )),
+            None => Err(format!("unknown Omega predicate {name}")),
+        }
+    }
+
+    /// Whether this interpretation extends `other` syntactically (every
+    /// symbol of `other` is present with the same arity). The semantic
+    /// agreement is the caller's responsibility — in the robustness
+    /// experiments extensions are built with [`Omega::with_pred`] /
+    /// [`Omega::with_func`] on top of the base, which guarantees it.
+    pub fn extends(&self, other: &Omega) -> bool {
+        self.sig().extends(&other.sig())
+    }
+}
+
+impl fmt::Debug for Omega {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Omega(funcs=[{}], preds=[{}])",
+            self.funcs.keys().cloned().collect::<Vec<_>>().join(","),
+            self.preds.keys().cloned().collect::<Vec<_>>().join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nat_order_is_an_omega_order() {
+        let o = Omega::nat_order();
+        assert_eq!(o.eval_pred("lt", &[Elem(1), Elem(2)]), Ok(true));
+        assert_eq!(o.eval_pred("lt", &[Elem(2), Elem(2)]), Ok(false));
+        assert_eq!(o.eval_pred("le", &[Elem(2), Elem(2)]), Ok(true));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let o = Omega::nat_order();
+        assert!(o.eval_pred("lt", &[Elem(1)]).is_err());
+        assert!(o.eval_pred("nope", &[Elem(1)]).is_err());
+    }
+
+    #[test]
+    fn arithmetic_functions() {
+        let o = Omega::arithmetic();
+        assert_eq!(o.eval_func("succ", &[Elem(4)]), Ok(Elem(5)));
+        assert_eq!(o.eval_func("plus", &[Elem(4), Elem(8)]), Ok(Elem(12)));
+        assert_eq!(o.eval_pred("even", &[Elem(4)]), Ok(true));
+    }
+
+    #[test]
+    fn extension_check() {
+        let base = Omega::nat_order();
+        let ext = Omega::arithmetic();
+        assert!(ext.extends(&base));
+        assert!(!base.extends(&ext));
+    }
+}

@@ -1,0 +1,275 @@
+//! The bijective Ehrenfeucht–Fraïssé game for counting logic.
+//!
+//! Theorem 3 extends the non-verifiability results to `FOcount` by citing
+//! Nurmonen's census transfer ("for each k it is possible to find an r such
+//! that any two structures that realize the same number of all
+//! r-neighborhoods cannot be distinguished by an FOcount sentence of
+//! quantifier rank k"). The census check lives in [`crate::hanf`]; this
+//! module supplies the *exact* game characterization so the sufficient
+//! condition can be validated against ground truth on small structures:
+//!
+//! In the k-round **bijective game** on `A`, `B` the duplicator must, each
+//! round, present a bijection `f : A → B`; the spoiler then picks any
+//! `x ∈ A` and the pair `(x, f(x))` is appended to the position. The
+//! duplicator survives a round only if the resulting position is still a
+//! partial isomorphism. The duplicator wins the k-round game iff `A` and
+//! `B` agree on all counting-logic sentences of quantifier rank ≤ k
+//! (Hella; Immerman–Lander for the finite-variable version). If
+//! `|A| ≠ |B|` the duplicator loses immediately.
+//!
+//! The decision procedure enumerates bijections, so it is factorial in the
+//! structure size — intended for the ≤ 8-node structures the experiments
+//! use.
+
+use std::collections::HashMap;
+use vpdt_logic::Elem;
+use vpdt_structure::Database;
+
+type Memo = HashMap<(Vec<(Elem, Elem)>, usize), bool>;
+
+/// Decides whether the duplicator wins the `rounds`-round bijective
+/// (counting) game on `(a, b)` — i.e. whether `A ≡ₖ B` in FOcount.
+///
+/// # Panics
+/// Panics if the structures' schemas differ, or if a structure exceeds
+/// 8 elements (the bijection enumeration would be intractable).
+pub fn duplicator_wins_counting(a: &Database, b: &Database, rounds: usize) -> bool {
+    assert_eq!(a.schema(), b.schema(), "counting game needs a common schema");
+    assert!(
+        a.domain_size() <= 8 && b.domain_size() <= 8,
+        "bijective game limited to 8 elements"
+    );
+    if a.domain_size() != b.domain_size() {
+        return false;
+    }
+    let mut memo = Memo::new();
+    wins(a, b, &mut Vec::new(), rounds, &mut memo)
+}
+
+/// The least counting rank distinguishing the structures, within a bound.
+pub fn min_distinguishing_counting_rank(
+    a: &Database,
+    b: &Database,
+    max_rounds: usize,
+) -> Option<usize> {
+    (0..=max_rounds).find(|&k| !duplicator_wins_counting(a, b, k))
+}
+
+fn wins(
+    a: &Database,
+    b: &Database,
+    pos: &mut Vec<(Elem, Elem)>,
+    rounds: usize,
+    memo: &mut Memo,
+) -> bool {
+    if !partial_iso(a, b, pos) {
+        return false;
+    }
+    if rounds == 0 {
+        return true;
+    }
+    let key = {
+        let mut canonical = pos.clone();
+        canonical.sort_unstable();
+        canonical.dedup();
+        (canonical, rounds)
+    };
+    if let Some(&r) = memo.get(&key) {
+        return r;
+    }
+    let a_dom: Vec<Elem> = a.domain().iter().copied().collect();
+    let b_dom: Vec<Elem> = b.domain().iter().copied().collect();
+    // Duplicator must exhibit SOME bijection under which EVERY spoiler
+    // choice keeps a win.
+    let mut result = false;
+    let mut perm: Vec<usize> = (0..b_dom.len()).collect();
+    'bijections: loop {
+        let mut all_choices_survive = true;
+        for (i, &x) in a_dom.iter().enumerate() {
+            let y = b_dom[perm[i]];
+            pos.push((x, y));
+            let w = wins(a, b, pos, rounds - 1, memo);
+            pos.pop();
+            if !w {
+                all_choices_survive = false;
+                break;
+            }
+        }
+        if all_choices_survive {
+            result = true;
+            break 'bijections;
+        }
+        if !next_permutation(&mut perm) {
+            break 'bijections;
+        }
+    }
+    memo.insert(key, result);
+    result
+}
+
+/// Lexicographic next permutation; false when wrapped around.
+fn next_permutation(p: &mut [usize]) -> bool {
+    if p.len() < 2 {
+        return false;
+    }
+    let mut i = p.len() - 1;
+    while i > 0 && p[i - 1] >= p[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    let mut j = p.len() - 1;
+    while p[j] <= p[i - 1] {
+        j -= 1;
+    }
+    p.swap(i - 1, j);
+    p[i..].reverse();
+    true
+}
+
+fn partial_iso(a: &Database, b: &Database, pos: &[(Elem, Elem)]) -> bool {
+    for (i, &(x1, y1)) in pos.iter().enumerate() {
+        for &(x2, y2) in &pos[i..] {
+            if (x1 == x2) != (y1 == y2) {
+                return false;
+            }
+        }
+    }
+    if pos.is_empty() {
+        return true;
+    }
+    for (rel, arity) in a.schema().iter() {
+        let mut idx = vec![0usize; arity];
+        loop {
+            let ta: Vec<Elem> = idx.iter().map(|&i| pos[i].0).collect();
+            let tb: Vec<Elem> = idx.iter().map(|&i| pos[i].1).collect();
+            if a.contains(rel, &ta) != b.contains(rel, &tb) {
+                return false;
+            }
+            let mut k = arity;
+            loop {
+                if k == 0 {
+                    break;
+                }
+                k -= 1;
+                idx[k] += 1;
+                if idx[k] < pos.len() {
+                    break;
+                }
+                idx[k] = 0;
+                if k == 0 {
+                    break;
+                }
+            }
+            if idx.iter().all(|&i| i == 0) {
+                break;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ef;
+    use vpdt_eval::counting::{exactly_count, odd_count};
+    use vpdt_eval::holds_pure;
+    use vpdt_logic::{Formula, NumTerm, Term};
+    use vpdt_structure::families;
+
+    #[test]
+    fn size_mismatch_loses_immediately() {
+        assert!(!duplicator_wins_counting(
+            &families::empty_graph(2),
+            &families::empty_graph(3),
+            0
+        ));
+        // …while the plain EF duplicator survives 1 round
+        assert!(ef::duplicator_wins(
+            &families::empty_graph(2),
+            &families::empty_graph(3),
+            1
+        ));
+    }
+
+    #[test]
+    fn counting_game_refines_ef() {
+        // Wherever the counting duplicator wins, the EF duplicator must too
+        // (FO ⊆ FOcount).
+        let pairs = [
+            (families::chain(4), families::chain(4)),
+            (families::cycle(4), families::cycle(4)),
+            (families::chain(5), families::cc_graph(2, &[3])),
+        ];
+        for (a, b) in &pairs {
+            for k in 0..3 {
+                if duplicator_wins_counting(a, b, k) {
+                    assert!(ef::duplicator_wins(a, b, k), "at rank {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isomorphic_structures_are_counting_equivalent() {
+        let a = families::cc_graph(2, &[3]);
+        let b = families::shifted(&a, 40);
+        for k in 0..3 {
+            assert!(duplicator_wins_counting(&a, &b, k));
+        }
+    }
+
+    /// The game agrees with actual FOcount sentences on a distinguishing
+    /// example: loops counted exactly.
+    #[test]
+    fn game_matches_counting_semantics() {
+        // 2 loops + 2 isolated nodes  vs  3 loops + 1 isolated node:
+        // same size; both kinds of points exist in both structures, so
+        // plain FO rank 1 is blind — but counting rank 1 is not.
+        let mut a = families::diagonal([0, 1]);
+        a.add_domain_elem(Elem(5));
+        a.add_domain_elem(Elem(6));
+        let mut b = families::diagonal([0, 1, 2]);
+        b.add_domain_elem(Elem(5));
+        // a counting sentence of rank 1 distinguishes (exactly 2 loops):
+        let loops = Formula::rel("E", [Term::var("x"), Term::var("x")]);
+        let two = exactly_count(NumTerm::Lit(2), "x", loops);
+        assert!(holds_pure(&a, &two).expect("evaluates"));
+        assert!(!holds_pure(&b, &two).expect("evaluates"));
+        // …and indeed the counting duplicator loses at rank 1:
+        assert!(!duplicator_wins_counting(&a, &b, 1));
+        // while the plain EF duplicator survives rank 1 (and even rank 2:
+        // only the multiplicities differ, not the 2-types)
+        assert!(ef::duplicator_wins(&a, &b, 1));
+    }
+
+    /// Census equivalence (Nurmonen's sufficient condition) implies
+    /// counting-game equivalence on a checkable case.
+    #[test]
+    fn census_transfer_grounded() {
+        let a = families::gnm(3, 3);
+        let b = families::gnm(2, 4);
+        // same size, equal 1-type census
+        assert!(crate::hanf::census_equivalent(&a, &b, 1));
+        // counting rank 1 cannot distinguish them
+        assert!(duplicator_wins_counting(&a, &b, 1));
+        // parity of nodes is equal too, so odd_count agrees
+        let odd = odd_count("x", Formula::True);
+        assert_eq!(
+            holds_pure(&a, &odd).expect("evaluates"),
+            holds_pure(&b, &odd).expect("evaluates")
+        );
+    }
+
+    #[test]
+    fn next_permutation_cycles_all() {
+        let mut p = vec![0usize, 1, 2];
+        let mut count = 1;
+        while next_permutation(&mut p) {
+            count += 1;
+        }
+        assert_eq!(count, 6);
+    }
+}

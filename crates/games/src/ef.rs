@@ -1,0 +1,287 @@
+//! Ehrenfeucht–Fraïssé games.
+//!
+//! The duplicator wins the k-round EF game on structures `A`, `B` iff `A`
+//! and `B` agree on all FO sentences of quantifier rank ≤ k (`A ≡_k B`).
+//! The paper leans on this repeatedly:
+//!
+//! * linear orders of size > 2^k are k-equivalent (used in Case 3 of
+//!   Theorem 7's wpc algorithm, with the reference to Gurevich/Rosenstein);
+//! * chains vs. chain-and-cycle graphs, cycles vs. pairs of cycles
+//!   (Theorems 2 and 3);
+//! * the colored-graph games in Step 4 of the Ajtai–Fagin game.
+//!
+//! [`duplicator_wins`] is an exact memoized decision procedure over any
+//! schema (colors are just unary relations).
+
+use std::collections::HashMap;
+use vpdt_logic::Elem;
+use vpdt_structure::Database;
+
+/// Memo table for game positions: (sorted pinned pairs, rounds) → winner.
+type Memo = HashMap<(Vec<(Elem, Elem)>, usize), bool>;
+
+/// Decides whether the duplicator wins the `rounds`-round EF game on
+/// `(a, b)` starting from the empty position.
+///
+/// ```
+/// use vpdt_games::ef::duplicator_wins;
+/// use vpdt_structure::families;
+/// // one 8-cycle vs two 4-cycles: rank 2 cannot tell them apart…
+/// let one = families::cycle(8);
+/// let two = families::two_cycles(4, 4);
+/// assert!(duplicator_wins(&one, &two, 2));
+/// // …rank 3 can.
+/// assert!(!duplicator_wins(&one, &two, 3));
+/// ```
+pub fn duplicator_wins(a: &Database, b: &Database, rounds: usize) -> bool {
+    duplicator_wins_from(a, b, &[], rounds)
+}
+
+/// Decides the game from a given starting position (pairs of pinned
+/// elements).
+pub fn duplicator_wins_from(
+    a: &Database,
+    b: &Database,
+    position: &[(Elem, Elem)],
+    rounds: usize,
+) -> bool {
+    assert_eq!(a.schema(), b.schema(), "EF game needs a common schema");
+    let mut memo = Memo::new();
+    let mut pos = position.to_vec();
+    wins(a, b, &mut pos, rounds, &mut memo)
+}
+
+/// `A ≡_k B` — agreement on all FO sentences of quantifier rank ≤ k.
+pub fn equivalent_rank(a: &Database, b: &Database, k: usize) -> bool {
+    duplicator_wins(a, b, k)
+}
+
+/// The least number of rounds in which the spoiler wins, if any within
+/// `max_rounds` (i.e. the least quantifier rank distinguishing the two
+/// structures, by the EF theorem).
+pub fn min_distinguishing_rank(
+    a: &Database,
+    b: &Database,
+    max_rounds: usize,
+) -> Option<usize> {
+    (0..=max_rounds).find(|&k| !duplicator_wins(a, b, k))
+}
+
+fn wins(
+    a: &Database,
+    b: &Database,
+    pos: &mut Vec<(Elem, Elem)>,
+    rounds: usize,
+    memo: &mut Memo,
+) -> bool {
+    if !is_partial_isomorphism(a, b, pos) {
+        return false;
+    }
+    if rounds == 0 {
+        return true;
+    }
+    let key = {
+        let mut canonical = pos.clone();
+        canonical.sort_unstable();
+        canonical.dedup();
+        (canonical, rounds)
+    };
+    if let Some(&r) = memo.get(&key) {
+        return r;
+    }
+    // Spoiler picks in A, duplicator answers in B — and vice versa.
+    let a_dom: Vec<Elem> = a.domain().iter().copied().collect();
+    let b_dom: Vec<Elem> = b.domain().iter().copied().collect();
+    let mut result = true;
+    'outer: for &x in &a_dom {
+        let mut answered = false;
+        for &y in &b_dom {
+            pos.push((x, y));
+            let w = wins(a, b, pos, rounds - 1, memo);
+            pos.pop();
+            if w {
+                answered = true;
+                break;
+            }
+        }
+        if !answered {
+            result = false;
+            break 'outer;
+        }
+    }
+    if result {
+        'outer2: for &y in &b_dom {
+            let mut answered = false;
+            for &x in &a_dom {
+                pos.push((x, y));
+                let w = wins(a, b, pos, rounds - 1, memo);
+                pos.pop();
+                if w {
+                    answered = true;
+                    break;
+                }
+            }
+            if !answered {
+                result = false;
+                break 'outer2;
+            }
+        }
+    }
+    // Empty-domain edge cases: if one side has an empty domain and the other
+    // does not, the side with elements lets the spoiler pick unanswerably.
+    if a_dom.is_empty() != b_dom.is_empty() {
+        result = false;
+    }
+    memo.insert(key, result);
+    result
+}
+
+/// Whether the pinned pairs form a partial isomorphism: the map is
+/// well-defined, injective, and preserves every relation both ways on the
+/// pinned elements.
+fn is_partial_isomorphism(a: &Database, b: &Database, pos: &[(Elem, Elem)]) -> bool {
+    for (i, &(x1, y1)) in pos.iter().enumerate() {
+        for &(x2, y2) in &pos[i..] {
+            if (x1 == x2) != (y1 == y2) {
+                return false;
+            }
+        }
+    }
+    // Relations: check all tuples over pinned elements.
+    for (rel, arity) in a.schema().iter() {
+        let mut idx = vec![0usize; arity];
+        if pos.is_empty() {
+            continue;
+        }
+        loop {
+            let ta: Vec<Elem> = idx.iter().map(|&i| pos[i].0).collect();
+            let tb: Vec<Elem> = idx.iter().map(|&i| pos[i].1).collect();
+            if a.contains(rel, &ta) != b.contains(rel, &tb) {
+                return false;
+            }
+            // odometer
+            let mut k = arity;
+            loop {
+                if k == 0 {
+                    break;
+                }
+                k -= 1;
+                idx[k] += 1;
+                if idx[k] < pos.len() {
+                    break;
+                }
+                idx[k] = 0;
+                if k == 0 {
+                    break;
+                }
+            }
+            if idx.iter().all(|&i| i == 0) {
+                break;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpdt_structure::families;
+
+    #[test]
+    fn isomorphic_structures_are_equivalent_at_any_rank() {
+        let a = families::chain(4);
+        let b = families::shifted(&a, 50);
+        for k in 0..4 {
+            assert!(duplicator_wins(&a, &b, k), "rank {k}");
+        }
+    }
+
+    #[test]
+    fn structures_differing_in_size_are_distinguished() {
+        // 1 node vs 2 nodes: rank 2 distinguishes (exists x exists y x≠y)
+        let a = families::empty_graph(1);
+        let b = families::empty_graph(2);
+        assert!(duplicator_wins(&a, &b, 1));
+        assert!(!duplicator_wins(&a, &b, 2));
+        assert_eq!(min_distinguishing_rank(&a, &b, 4), Some(2));
+    }
+
+    #[test]
+    fn linear_orders_threshold() {
+        // Exact threshold (Rosenstein): L_m ≡_k L_{m'} iff m = m' or both
+        // m, m' ≥ 2^k − 1. The paper uses the safe bound "size > 2^k"
+        // (Theorem 3 / Theorem 7 Case 3), which our wpc algorithm also uses.
+        let k = 2;
+        let th = (1usize << k) - 1; // 3
+        assert!(duplicator_wins(
+            &families::linear_order(th),
+            &families::linear_order(th + 1),
+            k
+        ));
+        assert!(duplicator_wins(
+            &families::linear_order(th + 1),
+            &families::linear_order(th + 3),
+            k
+        ));
+        assert!(!duplicator_wins(
+            &families::linear_order(th - 1),
+            &families::linear_order(th),
+            k
+        ));
+    }
+
+    #[test]
+    fn diagonal_graphs_threshold_k() {
+        // Δ_m ≡_k Δ_{m'} for m, m' ≥ k: the only structure is equality.
+        let k = 3;
+        assert!(duplicator_wins(
+            &families::diagonal(0..3),
+            &families::diagonal(0..4),
+            k
+        ));
+        assert!(!duplicator_wins(
+            &families::diagonal(0..2),
+            &families::diagonal(0..3),
+            k
+        ));
+    }
+
+    #[test]
+    fn cycle_vs_two_cycles_rank_2() {
+        // C_8 and C_4 ⊎ C_4 agree at rank 2 (locally identical), and are
+        // separated at rank 3 for these small sizes.
+        let one = families::cycle(8);
+        let two = families::two_cycles(4, 4);
+        assert!(duplicator_wins(&one, &two, 2));
+        assert!(!duplicator_wins(&one, &two, 3));
+    }
+
+    #[test]
+    fn chains_of_similar_length_agree_on_low_rank() {
+        assert!(duplicator_wins(&families::chain(8), &families::chain(9), 2));
+        assert!(!duplicator_wins(&families::chain(2), &families::chain(3), 2));
+    }
+
+    #[test]
+    fn empty_vs_nonempty() {
+        let empty = families::empty_graph(0);
+        let one = families::empty_graph(1);
+        assert!(duplicator_wins(&empty, &one, 0));
+        assert!(!duplicator_wins(&empty, &one, 1));
+    }
+
+    #[test]
+    fn game_from_a_bad_position_is_lost() {
+        let a = families::chain(3); // 0→1→2
+        let b = families::chain(3);
+        // pin 0 ↦ 1: not a partial isomorphism extension for long
+        assert!(!duplicator_wins_from(
+            &a,
+            &b,
+            &[(Elem(0), Elem(1))],
+            2
+        ));
+        assert!(duplicator_wins_from(&a, &b, &[(Elem(0), Elem(0))], 2));
+    }
+}

@@ -1,0 +1,680 @@
+//! Formulas of FO / FOc / FOc(Ω) and the two-sorted counting logic `FOcount`.
+//!
+//! A single AST covers all first-order specification languages of the paper;
+//! fragments are recognized by [`Formula::is_pure_fo`] and friends. The
+//! counting constructs follow Section 2: a second sort of natural numbers
+//! `{1,…,n}` (where `n` is the size of the first-sort universe), counting
+//! quantifiers `∃≥i x. φ` binding `x` but not `i`, order and equality on
+//! numbers, constants `1` and `max`, and the `bit(i,j)` predicate.
+
+use crate::term::{Elem, PredSym, Term, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A numeric-sort term of `FOcount`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NumTerm {
+    /// A numeric variable.
+    Var(Var),
+    /// The constant `1` (least element of the numeric sort).
+    One,
+    /// The constant `max` (the size `n` of the first-sort universe).
+    Max,
+    /// A numeric literal. Not part of the paper's syntax but definable from
+    /// `1` and the order; provided for convenience in tests and examples.
+    Lit(u64),
+}
+
+impl NumTerm {
+    /// Convenience constructor for a numeric variable.
+    pub fn var(name: impl AsRef<str>) -> Self {
+        NumTerm::Var(Var::new(name))
+    }
+}
+
+impl fmt::Display for NumTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumTerm::Var(v) => write!(f, "{v}"),
+            NumTerm::One => write!(f, "1#"),
+            NumTerm::Max => write!(f, "max#"),
+            NumTerm::Lit(n) => write!(f, "{n}#"),
+        }
+    }
+}
+
+impl fmt::Debug for NumTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A formula of FO / FOc / FOc(Ω) / FOcount over some relational schema.
+///
+/// Connectives `And`/`Or` are n-ary (an empty conjunction is `True`, an empty
+/// disjunction `False`), which keeps the big conjunctions of the paper's
+/// constructed sentences readable and flat.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Formula {
+    /// Truth.
+    True,
+    /// Falsity.
+    False,
+    /// A relational atom `R(t₁,…,t_n)`.
+    Rel(String, Vec<Term>),
+    /// Equality of first-sort terms.
+    Eq(Term, Term),
+    /// An interpreted Ω-predicate atom.
+    Pred(PredSym, Vec<Term>),
+    /// Negation.
+    Not(Box<Formula>),
+    /// n-ary conjunction.
+    And(Vec<Formula>),
+    /// n-ary disjunction.
+    Or(Vec<Formula>),
+    /// Implication.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Biconditional.
+    Iff(Box<Formula>, Box<Formula>),
+    /// First-sort existential quantifier.
+    Exists(Var, Box<Formula>),
+    /// First-sort universal quantifier.
+    Forall(Var, Box<Formula>),
+    /// Counting quantifier `∃≥i x. φ` — at least `i` first-sort elements
+    /// satisfy `φ`. Binds `x` but not `i` (Section 2).
+    CountGe(NumTerm, Var, Box<Formula>),
+    /// Numeric-sort existential quantifier.
+    NumExists(Var, Box<Formula>),
+    /// Numeric-sort universal quantifier.
+    NumForall(Var, Box<Formula>),
+    /// Numeric order `i ≤ j`.
+    NumLe(NumTerm, NumTerm),
+    /// Numeric equality `i = j`.
+    NumEq(NumTerm, NumTerm),
+    /// The `bit(i,j)` predicate: the `j`-th bit of the binary representation
+    /// of `i` is one (bit positions counted from 1 = least significant).
+    Bit(NumTerm, NumTerm),
+}
+
+impl Formula {
+    // ----- constructors -------------------------------------------------
+
+    /// Relational atom.
+    pub fn rel(name: impl Into<String>, args: impl IntoIterator<Item = Term>) -> Self {
+        Formula::Rel(name.into(), args.into_iter().collect())
+    }
+
+    /// Equality atom.
+    pub fn eq(a: Term, b: Term) -> Self {
+        Formula::Eq(a, b)
+    }
+
+    /// Inequality `¬(a = b)`.
+    pub fn neq(a: Term, b: Term) -> Self {
+        Formula::not(Formula::Eq(a, b))
+    }
+
+    /// Interpreted Ω-predicate atom.
+    pub fn pred(name: impl AsRef<str>, args: impl IntoIterator<Item = Term>) -> Self {
+        Formula::Pred(PredSym::new(name), args.into_iter().collect())
+    }
+
+    /// Negation (without simplification).
+    #[allow(clippy::should_implement_trait)] // constructor named after the connective
+    pub fn not(f: Formula) -> Self {
+        Formula::Not(Box::new(f))
+    }
+
+    /// n-ary conjunction. `and([])` is `True`; a singleton collapses.
+    pub fn and(fs: impl IntoIterator<Item = Formula>) -> Self {
+        let mut v: Vec<Formula> = fs.into_iter().collect();
+        match v.len() {
+            0 => Formula::True,
+            1 => v.pop().expect("len checked"),
+            _ => Formula::And(v),
+        }
+    }
+
+    /// n-ary disjunction. `or([])` is `False`; a singleton collapses.
+    pub fn or(fs: impl IntoIterator<Item = Formula>) -> Self {
+        let mut v: Vec<Formula> = fs.into_iter().collect();
+        match v.len() {
+            0 => Formula::False,
+            1 => v.pop().expect("len checked"),
+            _ => Formula::Or(v),
+        }
+    }
+
+    /// Implication.
+    pub fn implies(a: Formula, b: Formula) -> Self {
+        Formula::Implies(Box::new(a), Box::new(b))
+    }
+
+    /// Biconditional.
+    pub fn iff(a: Formula, b: Formula) -> Self {
+        Formula::Iff(Box::new(a), Box::new(b))
+    }
+
+    /// Existential quantifier.
+    pub fn exists(v: impl Into<Var>, f: Formula) -> Self {
+        Formula::Exists(v.into(), Box::new(f))
+    }
+
+    /// Universal quantifier.
+    pub fn forall(v: impl Into<Var>, f: Formula) -> Self {
+        Formula::Forall(v.into(), Box::new(f))
+    }
+
+    /// `∃v₁…∃v_k. f` for a block of variables.
+    pub fn exists_many<V: Into<Var>>(vs: impl IntoIterator<Item = V>, f: Formula) -> Self {
+        let vars: Vec<Var> = vs.into_iter().map(Into::into).collect();
+        vars.into_iter().rev().fold(f, |acc, v| Formula::exists(v, acc))
+    }
+
+    /// `∀v₁…∀v_k. f` for a block of variables.
+    pub fn forall_many<V: Into<Var>>(vs: impl IntoIterator<Item = V>, f: Formula) -> Self {
+        let vars: Vec<Var> = vs.into_iter().map(Into::into).collect();
+        vars.into_iter().rev().fold(f, |acc, v| Formula::forall(v, acc))
+    }
+
+    /// `∃!x. φ(x)` — exactly one element satisfies `φ`, encoded as
+    /// `∃x (φ(x) ∧ ∀y (φ(y) → y = x))` with a fresh `y`.
+    pub fn exists_unique(v: impl Into<Var>, f: Formula) -> Self {
+        let v = v.into();
+        let fresh = crate::subst::fresh_var(&v, &f.all_vars());
+        let fy = crate::subst::substitute(&f, &v, &Term::Var(fresh.clone()));
+        Formula::exists(
+            v.clone(),
+            Formula::and([
+                f,
+                Formula::forall(
+                    fresh.clone(),
+                    Formula::implies(fy, Formula::eq(Term::Var(fresh), Term::Var(v))),
+                ),
+            ]),
+        )
+    }
+
+    /// Counting quantifier `∃≥i x. φ`.
+    pub fn count_ge(i: NumTerm, x: impl Into<Var>, f: Formula) -> Self {
+        Formula::CountGe(i, x.into(), Box::new(f))
+    }
+
+    // ----- analysis ------------------------------------------------------
+
+    /// Free first-sort variables.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_free(&mut BTreeSet::new(), &mut out, Sort::Element);
+        out
+    }
+
+    /// Free numeric-sort variables.
+    pub fn free_num_vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_free(&mut BTreeSet::new(), &mut out, Sort::Number);
+        out
+    }
+
+    fn collect_free(&self, bound: &mut BTreeSet<Var>, out: &mut BTreeSet<Var>, sort: Sort) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Rel(_, ts) | Formula::Pred(_, ts) => {
+                if sort == Sort::Element {
+                    for t in ts {
+                        for v in t.vars() {
+                            if !bound.contains(&v) {
+                                out.insert(v);
+                            }
+                        }
+                    }
+                }
+            }
+            Formula::Eq(a, b) => {
+                if sort == Sort::Element {
+                    for t in [a, b] {
+                        for v in t.vars() {
+                            if !bound.contains(&v) {
+                                out.insert(v);
+                            }
+                        }
+                    }
+                }
+            }
+            Formula::Not(f) => f.collect_free(bound, out, sort),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free(bound, out, sort);
+                }
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                a.collect_free(bound, out, sort);
+                b.collect_free(bound, out, sort);
+            }
+            Formula::Exists(v, f) | Formula::Forall(v, f) => {
+                if sort == Sort::Element {
+                    let fresh = bound.insert(v.clone());
+                    f.collect_free(bound, out, sort);
+                    if fresh {
+                        bound.remove(v);
+                    }
+                } else {
+                    f.collect_free(bound, out, sort);
+                }
+            }
+            Formula::CountGe(i, v, f) => {
+                match sort {
+                    Sort::Element => {
+                        let fresh = bound.insert(v.clone());
+                        f.collect_free(bound, out, sort);
+                        if fresh {
+                            bound.remove(v);
+                        }
+                    }
+                    Sort::Number => {
+                        collect_numterm_free(i, bound, out);
+                        f.collect_free(bound, out, sort);
+                    }
+                }
+            }
+            Formula::NumExists(v, f) | Formula::NumForall(v, f) => {
+                if sort == Sort::Number {
+                    let fresh = bound.insert(v.clone());
+                    f.collect_free(bound, out, sort);
+                    if fresh {
+                        bound.remove(v);
+                    }
+                } else {
+                    f.collect_free(bound, out, sort);
+                }
+            }
+            Formula::NumLe(a, b) | Formula::NumEq(a, b) | Formula::Bit(a, b) => {
+                if sort == Sort::Number {
+                    collect_numterm_free(a, bound, out);
+                    collect_numterm_free(b, bound, out);
+                }
+            }
+        }
+    }
+
+    /// All variables occurring anywhere (free or bound, either sort).
+    pub fn all_vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.visit(&mut |f| match f {
+            Formula::Rel(_, ts) | Formula::Pred(_, ts) => {
+                for t in ts {
+                    out.extend(t.vars());
+                }
+            }
+            Formula::Eq(a, b) => {
+                out.extend(a.vars());
+                out.extend(b.vars());
+            }
+            Formula::Exists(v, _)
+            | Formula::Forall(v, _)
+            | Formula::CountGe(_, v, _)
+            | Formula::NumExists(v, _)
+            | Formula::NumForall(v, _) => {
+                out.insert(v.clone());
+            }
+            Formula::NumLe(a, b) | Formula::NumEq(a, b) | Formula::Bit(a, b) => {
+                for nt in [a, b] {
+                    if let NumTerm::Var(v) = nt {
+                        out.insert(v.clone());
+                    }
+                }
+            }
+            _ => {}
+        });
+        out
+    }
+
+    /// Whether the formula is a sentence (no free variables of either sort).
+    pub fn is_sentence(&self) -> bool {
+        self.free_vars().is_empty() && self.free_num_vars().is_empty()
+    }
+
+    /// Quantifier rank: maximal nesting depth of quantifiers (all kinds —
+    /// first-sort, numeric, and counting quantifiers each contribute 1).
+    pub fn quantifier_rank(&self) -> usize {
+        match self {
+            Formula::True
+            | Formula::False
+            | Formula::Rel(..)
+            | Formula::Eq(..)
+            | Formula::Pred(..)
+            | Formula::NumLe(..)
+            | Formula::NumEq(..)
+            | Formula::Bit(..) => 0,
+            Formula::Not(f) => f.quantifier_rank(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().map(Formula::quantifier_rank).max().unwrap_or(0)
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                a.quantifier_rank().max(b.quantifier_rank())
+            }
+            Formula::Exists(_, f)
+            | Formula::Forall(_, f)
+            | Formula::CountGe(_, _, f)
+            | Formula::NumExists(_, f)
+            | Formula::NumForall(_, f) => 1 + f.quantifier_rank(),
+        }
+    }
+
+    /// Number of AST nodes (terms counted too).
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True | Formula::False => 1,
+            Formula::Rel(_, ts) | Formula::Pred(_, ts) => {
+                1 + ts.iter().map(Term::size).sum::<usize>()
+            }
+            Formula::Eq(a, b) => 1 + a.size() + b.size(),
+            Formula::NumLe(..) | Formula::NumEq(..) | Formula::Bit(..) => 3,
+            Formula::Not(f) => 1 + f.size(),
+            Formula::And(fs) | Formula::Or(fs) => 1 + fs.iter().map(Formula::size).sum::<usize>(),
+            Formula::Implies(a, b) | Formula::Iff(a, b) => 1 + a.size() + b.size(),
+            Formula::Exists(_, f)
+            | Formula::Forall(_, f)
+            | Formula::CountGe(_, _, f)
+            | Formula::NumExists(_, f)
+            | Formula::NumForall(_, f) => 1 + f.size(),
+        }
+    }
+
+    /// Names of relation symbols used in atoms.
+    pub fn relations_used(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.visit(&mut |f| {
+            if let Formula::Rel(name, _) = f {
+                out.insert(name.clone());
+            }
+        });
+        out
+    }
+
+    /// Constants (elements of `U`) mentioned anywhere in the formula.
+    pub fn constants_used(&self) -> BTreeSet<Elem> {
+        let mut out = BTreeSet::new();
+        self.visit(&mut |f| match f {
+            Formula::Rel(_, ts) | Formula::Pred(_, ts) => {
+                for t in ts {
+                    out.extend(t.constants());
+                }
+            }
+            Formula::Eq(a, b) => {
+                out.extend(a.constants());
+                out.extend(b.constants());
+            }
+            _ => {}
+        });
+        out
+    }
+
+    /// Whether the formula is in *pure FO*: no constants, no Ω-symbols, no
+    /// counting constructs. This is the language called `FO` in the paper.
+    pub fn is_pure_fo(&self) -> bool {
+        self.is_fo_c() && self.constants_used().is_empty() && !self.uses_omega_functions()
+    }
+
+    /// Whether the formula is in `FOc`: first-order with constants but no
+    /// counting constructs. Ω-symbols are allowed by [`Formula::is_fo_c_omega`]
+    /// but not here.
+    pub fn is_fo_c(&self) -> bool {
+        let mut ok = true;
+        self.visit(&mut |f| {
+            if matches!(
+                f,
+                Formula::CountGe(..)
+                    | Formula::NumExists(..)
+                    | Formula::NumForall(..)
+                    | Formula::NumLe(..)
+                    | Formula::NumEq(..)
+                    | Formula::Bit(..)
+            ) {
+                ok = false;
+            }
+            if matches!(f, Formula::Pred(..)) {
+                ok = false;
+            }
+        });
+        ok && !self.uses_omega_functions()
+    }
+
+    /// Whether the formula is in `FOc(Ω)` for some Ω: first-order with
+    /// constants and interpreted symbols, but no counting constructs.
+    pub fn is_fo_c_omega(&self) -> bool {
+        let mut ok = true;
+        self.visit(&mut |f| {
+            if matches!(
+                f,
+                Formula::CountGe(..)
+                    | Formula::NumExists(..)
+                    | Formula::NumForall(..)
+                    | Formula::NumLe(..)
+                    | Formula::NumEq(..)
+                    | Formula::Bit(..)
+            ) {
+                ok = false;
+            }
+        });
+        ok
+    }
+
+    fn uses_omega_functions(&self) -> bool {
+        let mut used = false;
+        self.visit(&mut |f| {
+            let terms: &[Term] = match f {
+                Formula::Rel(_, ts) | Formula::Pred(_, ts) => ts,
+                Formula::Eq(a, _b) => std::slice::from_ref(a),
+                _ => &[],
+            };
+            fn has_app(t: &Term) -> bool {
+                match t {
+                    Term::App(..) => true,
+                    Term::Var(_) | Term::Const(_) => false,
+                }
+            }
+            if terms.iter().any(has_app) {
+                used = true;
+            }
+            if let Formula::Eq(_, b) = f {
+                if has_app(b) {
+                    used = true;
+                }
+            }
+        });
+        used
+    }
+
+    /// Calls `f` on every subformula (preorder).
+    pub fn visit(&self, f: &mut dyn FnMut(&Formula)) {
+        f(self);
+        match self {
+            Formula::True
+            | Formula::False
+            | Formula::Rel(..)
+            | Formula::Eq(..)
+            | Formula::Pred(..)
+            | Formula::NumLe(..)
+            | Formula::NumEq(..)
+            | Formula::Bit(..) => {}
+            Formula::Not(g) => g.visit(f),
+            Formula::And(gs) | Formula::Or(gs) => {
+                for g in gs {
+                    g.visit(f);
+                }
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Formula::Exists(_, g)
+            | Formula::Forall(_, g)
+            | Formula::CountGe(_, _, g)
+            | Formula::NumExists(_, g)
+            | Formula::NumForall(_, g) => g.visit(f),
+        }
+    }
+
+    /// Rebuilds the formula, applying `f` bottom-up to every subformula.
+    pub fn map(&self, f: &dyn Fn(Formula) -> Formula) -> Formula {
+        let rebuilt = match self {
+            Formula::True
+            | Formula::False
+            | Formula::Rel(..)
+            | Formula::Eq(..)
+            | Formula::Pred(..)
+            | Formula::NumLe(..)
+            | Formula::NumEq(..)
+            | Formula::Bit(..) => self.clone(),
+            Formula::Not(g) => Formula::Not(Box::new(g.map(f))),
+            Formula::And(gs) => Formula::And(gs.iter().map(|g| g.map(f)).collect()),
+            Formula::Or(gs) => Formula::Or(gs.iter().map(|g| g.map(f)).collect()),
+            Formula::Implies(a, b) => Formula::Implies(Box::new(a.map(f)), Box::new(b.map(f))),
+            Formula::Iff(a, b) => Formula::Iff(Box::new(a.map(f)), Box::new(b.map(f))),
+            Formula::Exists(v, g) => Formula::Exists(v.clone(), Box::new(g.map(f))),
+            Formula::Forall(v, g) => Formula::Forall(v.clone(), Box::new(g.map(f))),
+            Formula::CountGe(i, v, g) => {
+                Formula::CountGe(i.clone(), v.clone(), Box::new(g.map(f)))
+            }
+            Formula::NumExists(v, g) => Formula::NumExists(v.clone(), Box::new(g.map(f))),
+            Formula::NumForall(v, g) => Formula::NumForall(v.clone(), Box::new(g.map(f))),
+        };
+        f(rebuilt)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Sort {
+    Element,
+    Number,
+}
+
+fn collect_numterm_free(t: &NumTerm, bound: &BTreeSet<Var>, out: &mut BTreeSet<Var>) {
+    if let NumTerm::Var(v) = t {
+        if !bound.contains(v) {
+            out.insert(v.clone());
+        }
+    }
+}
+
+impl fmt::Debug for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn e(x: &str, y: &str) -> Formula {
+        Formula::rel("E", [Term::var(x), Term::var(y)])
+    }
+
+    #[test]
+    fn free_vars_respect_binders() {
+        let f = Formula::exists("x", e("x", "y"));
+        let fv = f.free_vars();
+        assert!(fv.contains(&Var::new("y")));
+        assert!(!fv.contains(&Var::new("x")));
+    }
+
+    #[test]
+    fn shadowing_inner_binder() {
+        // exists x. (E(x,x) & exists x. E(x,y)) — only y free.
+        let f = Formula::exists(
+            "x",
+            Formula::and([e("x", "x"), Formula::exists("x", e("x", "y"))]),
+        );
+        assert_eq!(f.free_vars(), [Var::new("y")].into_iter().collect());
+    }
+
+    #[test]
+    fn sentence_detection() {
+        let f = Formula::forall("x", Formula::exists("y", e("x", "y")));
+        assert!(f.is_sentence());
+        assert!(!e("x", "y").is_sentence());
+    }
+
+    #[test]
+    fn quantifier_rank_counts_nesting_not_total() {
+        // rank of (exists x. E(x,x)) & (exists y. exists z. E(y,z)) is 2
+        let f = Formula::and([
+            Formula::exists("x", e("x", "x")),
+            Formula::exists("y", Formula::exists("z", e("y", "z"))),
+        ]);
+        assert_eq!(f.quantifier_rank(), 2);
+    }
+
+    #[test]
+    fn counting_quantifier_rank_and_sorts() {
+        let f = Formula::count_ge(NumTerm::var("i"), "x", e("x", "x"));
+        assert_eq!(f.quantifier_rank(), 1);
+        assert_eq!(f.free_num_vars(), [Var::new("i")].into_iter().collect());
+        assert!(f.free_vars().is_empty());
+        assert!(!f.is_sentence());
+        let closed = Formula::NumExists(Var::new("i"), Box::new(f));
+        assert!(closed.is_sentence());
+        assert!(!closed.is_pure_fo());
+    }
+
+    #[test]
+    fn exists_unique_expansion_is_closed_and_rank_2() {
+        let f = Formula::exists_unique("x", e("x", "x"));
+        assert!(f.is_sentence());
+        assert_eq!(f.quantifier_rank(), 2);
+    }
+
+    #[test]
+    fn fragment_recognition() {
+        let pure = Formula::forall("x", e("x", "x"));
+        assert!(pure.is_pure_fo() && pure.is_fo_c() && pure.is_fo_c_omega());
+        let with_const = Formula::rel("E", [Term::cst(1u64), Term::var("x")]);
+        assert!(!with_const.is_pure_fo());
+        assert!(with_const.is_fo_c());
+        let with_pred = Formula::pred("lt", [Term::var("x"), Term::var("y")]);
+        assert!(!with_pred.is_fo_c());
+        assert!(with_pred.is_fo_c_omega());
+        let with_func = Formula::eq(Term::app("succ", [Term::var("x")]), Term::var("y"));
+        assert!(!with_func.is_fo_c());
+        assert!(with_func.is_fo_c_omega());
+    }
+
+    #[test]
+    fn and_or_unit_laws() {
+        assert_eq!(Formula::and([]), Formula::True);
+        assert_eq!(Formula::or([]), Formula::False);
+        let single = Formula::and([Formula::True]);
+        assert_eq!(single, Formula::True);
+    }
+
+    #[test]
+    fn exists_many_order() {
+        let f = Formula::exists_many(["x", "y"], e("x", "y"));
+        match &f {
+            Formula::Exists(v, inner) => {
+                assert_eq!(v.name(), "x");
+                match inner.as_ref() {
+                    Formula::Exists(w, _) => assert_eq!(w.name(), "y"),
+                    other => panic!("expected nested exists, got {other}"),
+                }
+            }
+            other => panic!("expected exists, got {other}"),
+        }
+    }
+
+    #[test]
+    fn constants_and_relations_used() {
+        let f = Formula::and([
+            Formula::rel("E", [Term::cst(3u64), Term::var("x")]),
+            Formula::rel("R", [Term::var("x")]),
+        ]);
+        assert_eq!(f.constants_used(), [Elem(3)].into_iter().collect());
+        assert_eq!(
+            f.relations_used(),
+            ["E".to_string(), "R".to_string()].into_iter().collect()
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! # vpdt-logic
+//!
+//! Syntax of the specification languages studied in *Verifiable Properties of
+//! Database Transactions* (Benedikt, Griffin & Libkin, PODS'96 / I&C 1998):
+//!
+//! * **FO** — pure first-order logic over a relational schema `SC`;
+//! * **FOc** — FO plus a constant symbol for every element of the countably
+//!   infinite universe `U` (here: [`Elem`], a `u64` id);
+//! * **FOc(Ω)** — FOc plus a recursive collection Ω of interpreted recursive
+//!   functions and predicates over `U` (declared via [`omega::OmegaSig`],
+//!   interpreted by `vpdt-eval`);
+//! * **FO + counting** (`FOcount`) — the two-sorted counting logic of
+//!   Section 2 of the paper, with counting quantifiers `∃≥i x. φ`, a numeric
+//!   sort `{1..n}`, order, `1`, `max`, and the `bit` predicate;
+//! * **monadic Σ¹₁** — sentences `∃A₁…∃Aₖ. ψ` with `Aᵢ` unary and `ψ` FO over
+//!   `SC ∪ {A₁..Aₖ}` ([`mso::MonadicSigma11`]).
+//!
+//! The crate is purely syntactic: ASTs, free variables, quantifier rank,
+//! capture-avoiding substitution, relation unfolding, normal forms, a parser
+//! and pretty-printer, a canonical sentence enumerator (used by the
+//! diagonalization of Theorem 5), and the concrete sentences the paper's
+//! proofs manipulate ([`library`]: `ψ_C&C`, `p_s`, `p⁰_i`, …).
+//!
+//! Model checking lives in `vpdt-eval`; structures live in `vpdt-structure`.
+
+pub mod enumerate;
+pub mod formula;
+pub mod library;
+pub mod mso;
+pub mod nnf;
+pub mod omega;
+pub mod parser;
+pub mod prenex;
+pub mod pretty;
+pub mod schema;
+pub mod simplify;
+pub mod subst;
+pub mod term;
+
+pub use formula::{Formula, NumTerm};
+pub use mso::MonadicSigma11;
+pub use omega::OmegaSig;
+pub use parser::{parse_formula, parse_term, ParseError};
+pub use schema::{RelSym, Schema};
+pub use term::{Elem, FuncSym, PredSym, Term, Var};

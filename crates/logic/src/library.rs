@@ -1,0 +1,423 @@
+//! The concrete sentences manipulated in the paper's proofs.
+//!
+//! All formulas here are over the graph schema `{E/2}` and are built exactly
+//! as in the text:
+//!
+//! * [`psi_cc`] — the sentence `ψ_C&C` of Lemma 1 defining chain-and-cycle
+//!   graphs;
+//! * [`chain_at_least`] — `p_s`, "the chain part of the input has at least
+//!   `s` points" (proof of Theorem 7, Case 2);
+//! * [`chain_exactly`] — `p⁰_i = p_i ∧ ¬p_{i+1}` (Case 3);
+//! * [`at_least_nodes`] / [`exactly_nodes`] — `μ_s`, "there are at least
+//!   (exactly) `s` distinct nodes";
+//! * [`isolated`] / [`exactly_isolated`] — isolated points ("a loop and no
+//!   other incoming or outgoing edge") and the sentences `α_i` from Claim 3
+//!   of Theorem 2;
+//! * degree formulas used by `α₀` of Theorem 3 and by `ψ_C&C`.
+
+use crate::formula::Formula;
+use crate::subst::fresh_var;
+use crate::term::{Term, Var};
+use std::collections::BTreeSet;
+
+fn v(name: &str) -> Term {
+    Term::var(name)
+}
+
+fn e(x: Term, y: Term) -> Formula {
+    Formula::rel("E", [x, y])
+}
+
+/// Numbered variables `x1..xs` based on a stem.
+fn numbered(stem: &str, n: usize) -> Vec<Var> {
+    (1..=n).map(|i| Var::new(format!("{stem}{i}"))).collect()
+}
+
+/// Pairwise-distinctness constraint over the given variables.
+pub fn pairwise_distinct(vars: &[Var]) -> Formula {
+    let mut parts = Vec::new();
+    for i in 0..vars.len() {
+        for j in i + 1..vars.len() {
+            parts.push(Formula::neq(
+                Term::Var(vars[i].clone()),
+                Term::Var(vars[j].clone()),
+            ));
+        }
+    }
+    Formula::and(parts)
+}
+
+/// `ψ_C&C` (Lemma 1): the FO sentence defining chain-and-cycle graphs.
+///
+/// A graph satisfies it iff all in/out-degrees are at most 1 and there is
+/// exactly one root (in-degree 0) and exactly one endpoint (out-degree 0).
+pub fn psi_cc() -> Formula {
+    let outdeg_le1 = Formula::forall_many(
+        ["x", "y", "z"],
+        Formula::implies(
+            Formula::and([e(v("x"), v("y")), e(v("x"), v("z"))]),
+            Formula::eq(v("z"), v("y")),
+        ),
+    );
+    let indeg_le1 = Formula::forall_many(
+        ["x", "y", "z"],
+        Formula::implies(
+            Formula::and([e(v("y"), v("x")), e(v("z"), v("x"))]),
+            Formula::eq(v("z"), v("y")),
+        ),
+    );
+    let unique_root = Formula::exists_unique(
+        "x",
+        Formula::forall("y", Formula::not(e(v("y"), v("x")))),
+    );
+    let unique_endpoint = Formula::exists_unique(
+        "x",
+        Formula::forall("y", Formula::not(e(v("x"), v("y")))),
+    );
+    Formula::and([outdeg_le1, indeg_le1, unique_root, unique_endpoint])
+}
+
+/// `p_s` (proof of Theorem 7): "the chain part of the input has at least `s`
+/// points":
+///
+/// ```text
+/// p_s ≡ ∃y₁…∃y_s. (∀z. ¬E(z,y₁)) ∧ E(y₁,y₂) ∧ … ∧ E(y_{s−1},y_s)
+/// ```
+///
+/// `p₀` is `true`. Quantifier rank is `s + 1` for `s ≥ 1` — this is the
+/// source of the `2ⁿ` blow-up of Corollary 3.
+pub fn chain_at_least(s: usize) -> Formula {
+    if s == 0 {
+        return Formula::True;
+    }
+    let ys = numbered("y", s);
+    let mut parts = vec![Formula::forall(
+        "z",
+        Formula::not(e(v("z"), Term::Var(ys[0].clone()))),
+    )];
+    for w in ys.windows(2) {
+        parts.push(e(Term::Var(w[0].clone()), Term::Var(w[1].clone())));
+    }
+    Formula::exists_many(ys, Formula::and(parts))
+}
+
+/// `p⁰_i = p_i ∧ ¬p_{i+1}`: the chain part has exactly `i` points.
+pub fn chain_exactly(i: usize) -> Formula {
+    Formula::and([
+        chain_at_least(i),
+        Formula::not(chain_at_least(i + 1)),
+    ])
+}
+
+/// `μ_s`: there exist at least `s` distinct nodes. `μ₀` is `true`.
+pub fn at_least_nodes(s: usize) -> Formula {
+    if s == 0 {
+        return Formula::True;
+    }
+    let xs = numbered("x", s);
+    let distinct = pairwise_distinct(&xs);
+    Formula::exists_many(xs, distinct)
+}
+
+/// There are exactly `s` nodes: `μ_s ∧ ¬μ_{s+1}`.
+pub fn exactly_nodes(s: usize) -> Formula {
+    Formula::and([at_least_nodes(s), Formula::not(at_least_nodes(s + 1))])
+}
+
+/// `isolated(x)`: `x` has a loop and no other incoming or outgoing edge
+/// (Claim 3 of Theorem 2 — the isolated points of a same-generation image).
+pub fn isolated(x: &str) -> Formula {
+    Formula::and([
+        e(v(x), v(x)),
+        Formula::forall(
+            "w",
+            Formula::and([
+                Formula::implies(e(v(x), v("w")), Formula::eq(v("w"), v(x))),
+                Formula::implies(e(v("w"), v(x)), Formula::eq(v("w"), v(x))),
+            ]),
+        ),
+    ])
+}
+
+/// `α_i` (Claim 3 of Theorem 2): there exist exactly `i` isolated nodes.
+pub fn exactly_isolated(i: usize) -> Formula {
+    if i == 0 {
+        return Formula::forall("q", Formula::not(isolated("q")));
+    }
+    let xs = numbered("x", i);
+    let mut parts = vec![pairwise_distinct(&xs)];
+    for x in &xs {
+        parts.push(isolated(x.name()));
+    }
+    // closure: any isolated node is one of the xᵢ
+    let q = Var::new("q");
+    parts.push(Formula::forall(
+        q.clone(),
+        Formula::implies(
+            isolated(q.name()),
+            Formula::or(
+                xs.iter()
+                    .map(|x| Formula::eq(Term::Var(q.clone()), Term::Var(x.clone()))),
+            ),
+        ),
+    ));
+    Formula::exists_many(xs, Formula::and(parts))
+}
+
+/// `α₁` as written in Theorem 3's proof: there exists a unique isolated
+/// point.
+pub fn unique_isolated() -> Formula {
+    exactly_isolated(1)
+}
+
+/// The constraint `α ≡ ∀x∀y. E(x,y)` from Claim 1 of Theorem 2 (complete
+/// graph with loops; its tc-precondition would define connectivity).
+pub fn total_relation() -> Formula {
+    Formula::forall_many(["x", "y"], e(v("x"), v("y")))
+}
+
+/// The constraint `α ≡ ∀x∀y. x≠y → E(x,y) ∨ E(y,x)` from Claim 2 of
+/// Theorem 2 (tournament-completeness; its dtc-precondition on C&C graphs
+/// would define chains).
+pub fn semi_complete() -> Formula {
+    Formula::forall_many(
+        ["x", "y"],
+        Formula::implies(
+            Formula::neq(v("x"), v("y")),
+            Formula::or([e(v("x"), v("y")), e(v("y"), v("x"))]),
+        ),
+    )
+}
+
+/// Out-degree of `x` is at least `k` (free variable `x`).
+pub fn out_degree_at_least(x: &str, k: usize) -> Formula {
+    degree_at_least(x, k, true)
+}
+
+/// In-degree of `x` is at least `k` (free variable `x`).
+pub fn in_degree_at_least(x: &str, k: usize) -> Formula {
+    degree_at_least(x, k, false)
+}
+
+fn degree_at_least(x: &str, k: usize, out: bool) -> Formula {
+    if k == 0 {
+        return Formula::True;
+    }
+    let mut avoid: BTreeSet<Var> = BTreeSet::new();
+    avoid.insert(Var::new(x));
+    let mut ws = Vec::with_capacity(k);
+    for _ in 0..k {
+        let w = fresh_var(&Var::new("w1"), &avoid);
+        avoid.insert(w.clone());
+        ws.push(w);
+    }
+    let mut parts = vec![pairwise_distinct(&ws)];
+    for w in &ws {
+        parts.push(if out {
+            e(v(x), Term::Var(w.clone()))
+        } else {
+            e(Term::Var(w.clone()), v(x))
+        });
+    }
+    Formula::exists_many(ws, Formula::and(parts))
+}
+
+/// Out-degree of `x` is exactly `k`.
+pub fn out_degree_exactly(x: &str, k: usize) -> Formula {
+    Formula::and([
+        out_degree_at_least(x, k),
+        Formula::not(out_degree_at_least(x, k + 1)),
+    ])
+}
+
+/// In-degree of `x` is exactly `k`.
+pub fn in_degree_exactly(x: &str, k: usize) -> Formula {
+    Formula::and([
+        in_degree_at_least(x, k),
+        Formula::not(in_degree_at_least(x, k + 1)),
+    ])
+}
+
+/// `α₀` from Theorem 3's monadic Σ¹₁ argument: the graph has exactly one
+/// root (in-degree 0), that root has out-degree 2, exactly two leaves
+/// (out-degree 0) each of in-degree 1, and every other node has in- and
+/// out-degree 1. A graph satisfies `α₀` iff one connected component is some
+/// `G_{n,m}` and all others are cycles.
+pub fn alpha0_gnm_with_cycles() -> Formula {
+    let root = |x: &str| in_degree_exactly(x, 0);
+    let leaf = |x: &str| out_degree_exactly(x, 0);
+    let unique_root_deg2 = Formula::and([
+        Formula::exists_unique("r", root("r")),
+        Formula::forall(
+            "r",
+            Formula::implies(root("r"), out_degree_exactly("r", 2)),
+        ),
+    ]);
+    let two_leaves = Formula::exists_many(
+        ["a", "b"],
+        Formula::and([
+            Formula::neq(v("a"), v("b")),
+            leaf("a"),
+            leaf("b"),
+            Formula::forall(
+                "c",
+                Formula::implies(
+                    leaf("c"),
+                    Formula::or([
+                        Formula::eq(v("c"), v("a")),
+                        Formula::eq(v("c"), v("b")),
+                    ]),
+                ),
+            ),
+        ]),
+    );
+    let leaves_indeg1 = Formula::forall(
+        "x",
+        Formula::implies(leaf("x"), in_degree_exactly("x", 1)),
+    );
+    let inner_degrees = Formula::forall(
+        "x",
+        Formula::implies(
+            Formula::and([Formula::not(root("x")), Formula::not(leaf("x"))]),
+            Formula::and([in_degree_exactly("x", 1), out_degree_exactly("x", 1)]),
+        ),
+    );
+    Formula::and([unique_root_deg2, two_leaves, leaves_indeg1, inner_degrees])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_library_sentences_are_sentences() {
+        for f in [
+            psi_cc(),
+            chain_at_least(3),
+            chain_exactly(2),
+            at_least_nodes(4),
+            exactly_nodes(2),
+            exactly_isolated(0),
+            exactly_isolated(2),
+            unique_isolated(),
+            total_relation(),
+            semi_complete(),
+            alpha0_gnm_with_cycles(),
+        ] {
+            assert!(f.is_sentence(), "not closed: {f}");
+            assert!(f.is_pure_fo(), "not pure FO: {f}");
+        }
+    }
+
+    #[test]
+    fn p_s_quantifier_rank_is_s_plus_one() {
+        for s in 1..6 {
+            assert_eq!(chain_at_least(s).quantifier_rank(), s + 1, "p_{s}");
+        }
+        assert_eq!(chain_at_least(0), Formula::True);
+    }
+
+    #[test]
+    fn mu_s_quantifier_rank_is_s() {
+        for s in 1..6 {
+            assert_eq!(at_least_nodes(s).quantifier_rank(), s, "mu_{s}");
+        }
+    }
+
+    #[test]
+    fn isolated_has_one_free_variable() {
+        let f = isolated("x");
+        assert_eq!(f.free_vars(), [Var::new("x")].into_iter().collect());
+    }
+
+    #[test]
+    fn degree_formulas_free_in_x_only() {
+        for f in [
+            out_degree_at_least("x", 2),
+            in_degree_exactly("x", 1),
+            out_degree_exactly("x", 0),
+        ] {
+            assert!(f.free_vars().iter().all(|w| w.name() == "x"), "{f}");
+        }
+    }
+}
+
+/// `adjacent(x, y)`: an edge in either direction — the Gaifman graph's
+/// edge relation for the schema `{E/2}`.
+pub fn adjacent(x: &str, y: &str) -> Formula {
+    Formula::or([e(v(x), v(y)), e(v(y), v(x))])
+}
+
+/// `d(x, y) ≤ k` in the Gaifman metric (unoriented paths), as a pure FO
+/// formula with free variables `x`, `y` and quantifier rank `k`.
+///
+/// This is the distance bound used by the locality machinery of Section 3
+/// (`N_r(a)` is the set of nodes within unoriented distance `r`); the dual
+/// `d(x,y) > i` of the Gaifman normal form (1) is its negation.
+pub fn distance_at_most(x: &str, y: &str, k: usize) -> Formula {
+    if k == 0 {
+        return Formula::eq(v(x), v(y));
+    }
+    let hop = Var::new(format!("h{k}"));
+    // d(x,y) ≤ k  ⟺  d(x,y) ≤ k−1 ∨ ∃h (adj(x,h) ∧ d(h,y) ≤ k−1)
+    Formula::or([
+        distance_at_most(x, y, k - 1),
+        Formula::exists(
+            hop.clone(),
+            Formula::and([
+                adjacent(x, hop.name()),
+                distance_at_most(hop.name(), y, k - 1),
+            ]),
+        ),
+    ])
+}
+
+/// `d(x, y) > k` — the Gaifman-sentence side condition of the normal form
+/// the Theorem 7 proof manipulates.
+pub fn distance_greater(x: &str, y: &str, k: usize) -> Formula {
+    Formula::not(distance_at_most(x, y, k))
+}
+
+/// A ball-relativized existential: `∃y ∈ N_k(x). φ` — the bounded
+/// quantifier `∃y ∈ N_k(x)` of the r-local formulas `ψ^(r)(x)`.
+pub fn exists_in_ball(y: &str, x: &str, k: usize, phi: Formula) -> Formula {
+    Formula::exists(
+        y,
+        Formula::and([distance_at_most(x, y, k), phi]),
+    )
+}
+
+/// A ball-relativized universal: `∀y ∈ N_k(x). φ`.
+pub fn forall_in_ball(y: &str, x: &str, k: usize, phi: Formula) -> Formula {
+    Formula::forall(
+        y,
+        Formula::implies(distance_at_most(x, y, k), phi),
+    )
+}
+
+#[cfg(test)]
+mod distance_tests {
+    use super::*;
+
+    #[test]
+    fn distance_formulas_are_well_formed() {
+        for k in 0..4 {
+            let f = distance_at_most("x", "y", k);
+            assert_eq!(f.quantifier_rank(), k, "rank of d≤{k}");
+            let fv = f.free_vars();
+            assert!(fv.contains(&Var::new("x")) && fv.contains(&Var::new("y")));
+            assert!(f.is_pure_fo());
+        }
+    }
+
+    #[test]
+    fn ball_quantifiers_bind() {
+        let f = exists_in_ball("y", "x", 2, e(v("y"), v("y")));
+        assert_eq!(
+            f.free_vars(),
+            [Var::new("x")].into_iter().collect::<std::collections::BTreeSet<_>>()
+        );
+        let g = forall_in_ball("y", "x", 1, e(v("x"), v("y")));
+        assert_eq!(g.free_vars().len(), 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Monadic Σ¹₁ sentences.
+//!
+//! A monadic Σ¹₁ sentence has the form `∃A₁ … ∃A_k. Ψ` where the `Aᵢ` are
+//! monadic (unary) predicates and `Ψ` is first-order over `SC ∪ {A₁..A_k}`
+//! (Section 2). We represent the second-order prefix explicitly and reuse
+//! the FO [`Formula`] AST for the matrix, with the set variables appearing
+//! as ordinary unary relation atoms.
+
+use crate::formula::Formula;
+use crate::schema::Schema;
+
+/// A monadic Σ¹₁ sentence `∃A₁…∃A_k. matrix`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MonadicSigma11 {
+    /// Names of the existentially quantified unary set variables.
+    pub set_vars: Vec<String>,
+    /// The first-order matrix, over the base schema extended with the set
+    /// variables as unary relation symbols.
+    pub matrix: Formula,
+}
+
+impl MonadicSigma11 {
+    /// Creates a sentence, checking the matrix is a first-order sentence and
+    /// that set variables do not clash with base-schema relations.
+    ///
+    /// # Panics
+    /// Panics on malformed input (clashing names, open matrix, non-unary use
+    /// of a set variable) — these are construction bugs, not data errors.
+    pub fn new<S: Into<String>>(
+        base: &Schema,
+        set_vars: impl IntoIterator<Item = S>,
+        matrix: Formula,
+    ) -> Self {
+        let set_vars: Vec<String> = set_vars.into_iter().map(Into::into).collect();
+        for a in &set_vars {
+            assert!(
+                !base.contains(a),
+                "set variable {a} clashes with a schema relation"
+            );
+        }
+        assert!(matrix.is_sentence(), "monadic Sigma-1-1 matrix must be closed");
+        let ext = base.extended(set_vars.iter().map(|a| (a.clone(), 1usize)));
+        for rel in matrix.relations_used() {
+            assert!(
+                ext.contains(&rel),
+                "matrix uses undeclared relation {rel}"
+            );
+        }
+        MonadicSigma11 { set_vars, matrix }
+    }
+
+    /// The schema of the matrix: base schema plus the set variables as unary
+    /// relations.
+    pub fn extended_schema(&self, base: &Schema) -> Schema {
+        base.extended(self.set_vars.iter().map(|a| (a.clone(), 1usize)))
+    }
+
+    /// Number of existentially quantified set variables (the `c` of the
+    /// (c,k) Ajtai–Fagin game: the spoiler colors with `2^c` color classes,
+    /// one per subset pattern).
+    pub fn num_set_vars(&self) -> usize {
+        self.set_vars.len()
+    }
+}
+
+impl std::fmt::Display for MonadicSigma11 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for a in &self.set_vars {
+            write!(f, "existsSet {a}. ")?;
+        }
+        write!(f, "{}", self.matrix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    #[test]
+    fn construction_and_schema_extension() {
+        let base = Schema::graph();
+        // exists A. forall x. A(x) | exists y. E(x,y)
+        let matrix = Formula::forall(
+            "x",
+            Formula::or([
+                Formula::rel("A", [Term::var("x")]),
+                Formula::exists("y", Formula::rel("E", [Term::var("x"), Term::var("y")])),
+            ]),
+        );
+        let s = MonadicSigma11::new(&base, ["A"], matrix);
+        let ext = s.extended_schema(&base);
+        assert_eq!(ext.arity_of("A"), Some(1));
+        assert_eq!(ext.arity_of("E"), Some(2));
+        assert_eq!(s.num_set_vars(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "clashes")]
+    fn clashing_set_variable_rejected() {
+        let base = Schema::graph();
+        let _ = MonadicSigma11::new(&base, ["E"], Formula::True);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be closed")]
+    fn open_matrix_rejected() {
+        let base = Schema::graph();
+        let open = Formula::rel("A", [Term::var("x")]);
+        let _ = MonadicSigma11::new(&base, ["A"], open);
+    }
+}

@@ -1,0 +1,159 @@
+//! Negation normal form.
+//!
+//! `nnf` expands `→`/`↔` and pushes negations down to atoms using De Morgan
+//! and quantifier dualities. Counting quantifiers `∃≥i x. φ` have no dual in
+//! the AST, so a negation in front of one is left in place (the body is still
+//! normalized). NNF preserves semantics in every logic of the paper and never
+//! increases quantifier rank.
+
+use crate::formula::Formula;
+
+/// Converts a formula to negation normal form.
+pub fn nnf(f: &Formula) -> Formula {
+    positive(f)
+}
+
+fn positive(f: &Formula) -> Formula {
+    match f {
+        Formula::True
+        | Formula::False
+        | Formula::Rel(..)
+        | Formula::Eq(..)
+        | Formula::Pred(..)
+        | Formula::NumLe(..)
+        | Formula::NumEq(..)
+        | Formula::Bit(..) => f.clone(),
+        Formula::Not(g) => negative(g),
+        Formula::And(gs) => Formula::And(gs.iter().map(positive).collect()),
+        Formula::Or(gs) => Formula::Or(gs.iter().map(positive).collect()),
+        Formula::Implies(a, b) => Formula::Or(vec![negative(a), positive(b)]),
+        Formula::Iff(a, b) => Formula::Or(vec![
+            Formula::And(vec![positive(a), positive(b)]),
+            Formula::And(vec![negative(a), negative(b)]),
+        ]),
+        Formula::Exists(v, g) => Formula::Exists(v.clone(), Box::new(positive(g))),
+        Formula::Forall(v, g) => Formula::Forall(v.clone(), Box::new(positive(g))),
+        Formula::CountGe(i, v, g) => {
+            Formula::CountGe(i.clone(), v.clone(), Box::new(positive(g)))
+        }
+        Formula::NumExists(v, g) => Formula::NumExists(v.clone(), Box::new(positive(g))),
+        Formula::NumForall(v, g) => Formula::NumForall(v.clone(), Box::new(positive(g))),
+    }
+}
+
+fn negative(f: &Formula) -> Formula {
+    match f {
+        Formula::True => Formula::False,
+        Formula::False => Formula::True,
+        Formula::Rel(..)
+        | Formula::Eq(..)
+        | Formula::Pred(..)
+        | Formula::NumLe(..)
+        | Formula::NumEq(..)
+        | Formula::Bit(..) => Formula::Not(Box::new(f.clone())),
+        Formula::Not(g) => positive(g),
+        Formula::And(gs) => Formula::Or(gs.iter().map(negative).collect()),
+        Formula::Or(gs) => Formula::And(gs.iter().map(negative).collect()),
+        Formula::Implies(a, b) => Formula::And(vec![positive(a), negative(b)]),
+        Formula::Iff(a, b) => Formula::Or(vec![
+            Formula::And(vec![positive(a), negative(b)]),
+            Formula::And(vec![negative(a), positive(b)]),
+        ]),
+        Formula::Exists(v, g) => Formula::Forall(v.clone(), Box::new(negative(g))),
+        Formula::Forall(v, g) => Formula::Exists(v.clone(), Box::new(negative(g))),
+        // No dual connective: keep the negation, normalize the body.
+        Formula::CountGe(i, v, g) => Formula::Not(Box::new(Formula::CountGe(
+            i.clone(),
+            v.clone(),
+            Box::new(positive(g)),
+        ))),
+        Formula::NumExists(v, g) => Formula::NumForall(v.clone(), Box::new(negative(g))),
+        Formula::NumForall(v, g) => Formula::NumExists(v.clone(), Box::new(negative(g))),
+    }
+}
+
+/// Whether a formula is in negation normal form: negations appear only
+/// directly over atoms (or counting quantifiers), and `→`/`↔` do not occur.
+pub fn is_nnf(f: &Formula) -> bool {
+    let mut ok = true;
+    f.visit(&mut |g| match g {
+        Formula::Implies(..) | Formula::Iff(..) => ok = false,
+        Formula::Not(inner)
+            if !matches!(
+                inner.as_ref(),
+                Formula::Rel(..)
+                    | Formula::Eq(..)
+                    | Formula::Pred(..)
+                    | Formula::NumLe(..)
+                    | Formula::NumEq(..)
+                    | Formula::Bit(..)
+                    | Formula::CountGe(..)
+            ) =>
+        {
+            ok = false;
+        }
+        _ => {}
+    });
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn e(x: &str, y: &str) -> Formula {
+        Formula::rel("E", [Term::var(x), Term::var(y)])
+    }
+
+    #[test]
+    fn pushes_negation_through_quantifiers() {
+        let f = Formula::not(Formula::exists("x", e("x", "x")));
+        let g = nnf(&f);
+        assert_eq!(g, Formula::forall("x", Formula::not(e("x", "x"))));
+        assert!(is_nnf(&g));
+    }
+
+    #[test]
+    fn expands_implication() {
+        let f = Formula::implies(e("x", "y"), e("y", "x"));
+        let g = nnf(&f);
+        assert_eq!(g, Formula::Or(vec![Formula::not(e("x", "y")), e("y", "x")]));
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let f = Formula::not(Formula::not(e("x", "y")));
+        assert_eq!(nnf(&f), e("x", "y"));
+    }
+
+    #[test]
+    fn rank_is_preserved() {
+        let f = Formula::not(Formula::forall(
+            "x",
+            Formula::implies(e("x", "x"), Formula::exists("y", e("x", "y"))),
+        ));
+        let g = nnf(&f);
+        assert_eq!(f.quantifier_rank(), g.quantifier_rank());
+        assert!(is_nnf(&g));
+    }
+
+    #[test]
+    fn negated_counting_quantifier_is_left_in_place() {
+        use crate::formula::NumTerm;
+        let f = Formula::not(Formula::count_ge(
+            NumTerm::One,
+            "x",
+            Formula::not(Formula::not(e("x", "x"))),
+        ));
+        let g = nnf(&f);
+        match &g {
+            Formula::Not(inner) => match inner.as_ref() {
+                Formula::CountGe(_, _, body) => assert_eq!(**body, e("x", "x")),
+                other => panic!("expected counting quantifier, got {other}"),
+            },
+            other => panic!("expected negation, got {other}"),
+        }
+        assert!(is_nnf(&g));
+    }
+}

@@ -1,0 +1,170 @@
+//! Signatures Ω of interpreted symbols.
+//!
+//! `FOc(Ω)` is first-order logic over the relational schema plus constants
+//! for all of `U` plus "a recursive collection Ω of recursive functions and
+//! predicates over U" (Section 2). Syntactically Ω is just a set of named
+//! symbols with arities; their (computable) interpretations are supplied by
+//! `vpdt-eval::Omega`. Keeping syntax and interpretation separate is what
+//! makes *robust verifiability* (Section 5) expressible: a transaction
+//! language is robustly verifiable if it stays verifiable for **every**
+//! recursive extension Ω′ ⊇ Ω, i.e. for interpretations not known when the
+//! wpc algorithm is written.
+
+use std::collections::BTreeMap;
+
+use crate::formula::Formula;
+use crate::term::Term;
+
+/// The syntactic part of an interpreted signature Ω: symbol names and arities.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OmegaSig {
+    funcs: BTreeMap<String, usize>,
+    preds: BTreeMap<String, usize>,
+}
+
+impl OmegaSig {
+    /// The empty signature (pure FOc).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Adds a function symbol.
+    pub fn with_func(mut self, name: impl Into<String>, arity: usize) -> Self {
+        self.funcs.insert(name.into(), arity);
+        self
+    }
+
+    /// Adds a predicate symbol.
+    pub fn with_pred(mut self, name: impl Into<String>, arity: usize) -> Self {
+        self.preds.insert(name.into(), arity);
+        self
+    }
+
+    /// Arity of a function symbol, if declared.
+    pub fn func_arity(&self, name: &str) -> Option<usize> {
+        self.funcs.get(name).copied()
+    }
+
+    /// Arity of a predicate symbol, if declared.
+    pub fn pred_arity(&self, name: &str) -> Option<usize> {
+        self.preds.get(name).copied()
+    }
+
+    /// Function symbols with arities.
+    pub fn funcs(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.funcs.iter().map(|(n, a)| (n.as_str(), *a))
+    }
+
+    /// Predicate symbols with arities.
+    pub fn preds(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.preds.iter().map(|(n, a)| (n.as_str(), *a))
+    }
+
+    /// Whether this signature extends `other` (contains all its symbols with
+    /// the same arities).
+    pub fn extends(&self, other: &OmegaSig) -> bool {
+        other
+            .funcs
+            .iter()
+            .all(|(n, a)| self.funcs.get(n) == Some(a))
+            && other
+                .preds
+                .iter()
+                .all(|(n, a)| self.preds.get(n) == Some(a))
+    }
+
+    /// Checks that every Ω-symbol used in `f` is declared with the right
+    /// arity; returns the first offending symbol otherwise.
+    pub fn check_formula(&self, f: &Formula) -> Result<(), String> {
+        let mut err = None;
+        f.visit(&mut |g| {
+            if err.is_some() {
+                return;
+            }
+            match g {
+                Formula::Pred(p, ts) => {
+                    if self.pred_arity(p.name()) != Some(ts.len()) {
+                        err = Some(format!(
+                            "predicate {}/{} not declared in Omega",
+                            p.name(),
+                            ts.len()
+                        ));
+                    }
+                    for t in ts {
+                        if let Err(e) = self.check_term(t) {
+                            err = Some(e);
+                        }
+                    }
+                }
+                Formula::Rel(_, ts) => {
+                    for t in ts {
+                        if let Err(e) = self.check_term(t) {
+                            err = Some(e);
+                        }
+                    }
+                }
+                Formula::Eq(a, b) => {
+                    for t in [a, b] {
+                        if let Err(e) = self.check_term(t) {
+                            err = Some(e);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Checks that every function symbol in `t` is declared with the right
+    /// arity.
+    pub fn check_term(&self, t: &Term) -> Result<(), String> {
+        match t {
+            Term::Var(_) | Term::Const(_) => Ok(()),
+            Term::App(f, args) => {
+                if self.func_arity(f.name()) != Some(args.len()) {
+                    return Err(format!(
+                        "function {}/{} not declared in Omega",
+                        f.name(),
+                        args.len()
+                    ));
+                }
+                for a in args {
+                    self.check_term(a)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extension_relation() {
+        let base = OmegaSig::empty().with_pred("lt", 2);
+        let ext = base.clone().with_func("succ", 1).with_pred("even", 1);
+        assert!(ext.extends(&base));
+        assert!(!base.extends(&ext));
+        assert!(base.extends(&OmegaSig::empty()));
+    }
+
+    #[test]
+    fn formula_checking() {
+        let sig = OmegaSig::empty().with_pred("lt", 2).with_func("succ", 1);
+        let ok = Formula::pred(
+            "lt",
+            [Term::var("x"), Term::app("succ", [Term::var("x")])],
+        );
+        assert!(sig.check_formula(&ok).is_ok());
+        let bad_arity = Formula::pred("lt", [Term::var("x")]);
+        assert!(sig.check_formula(&bad_arity).is_err());
+        let undeclared = Formula::eq(Term::app("pred", [Term::var("x")]), Term::var("x"));
+        assert!(sig.check_formula(&undeclared).is_err());
+    }
+}

@@ -1,0 +1,386 @@
+//! A recursive-descent parser for the FOc(Ω) fragment.
+//!
+//! Concrete syntax (matching the pretty-printer):
+//!
+//! ```text
+//! formula := iff
+//! iff     := imp ('<->' imp)*                 (left-assoc)
+//! imp     := or ('->' imp)?                   (right-assoc)
+//! or      := and ('|' and)*
+//! and     := unary ('&' unary)*
+//! unary   := '!' unary | quantifier | atom
+//! quant   := ('forall' | 'exists') var+ '.' formula
+//! atom    := '(' formula ')' | 'true' | 'false'
+//!          | REL '(' term,* ')'               REL starts uppercase
+//!          | '@' ident '(' term,* ')'         interpreted Ω-predicate
+//!          | term ('=' | '!=') term
+//! term    := ident ('(' term,* ')')?          lowercase ident: var or Ω-func
+//!          | number                           FOc constant
+//! ```
+//!
+//! Relation symbols start with an uppercase letter; variables and function
+//! symbols start lowercase; constants are decimal numerals denoting universe
+//! elements. Counting-logic constructs are built programmatically and are
+//! not part of the concrete syntax.
+
+use crate::formula::Formula;
+use crate::term::{Term, Var};
+use std::fmt;
+
+/// A parse error with byte position and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub pos: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a formula from its concrete syntax.
+///
+/// ```
+/// use vpdt_logic::parse_formula;
+/// let f = parse_formula("forall x. (exists y. E(x, y)) -> x != 7").unwrap();
+/// assert!(f.is_sentence());
+/// assert_eq!(f.quantifier_rank(), 2);
+/// ```
+pub fn parse_formula(input: &str) -> Result<Formula, ParseError> {
+    let mut p = Parser::new(input);
+    let f = p.formula()?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(f)
+}
+
+/// Parses a term from its concrete syntax.
+pub fn parse_term(input: &str) -> Result<Term, ParseError> {
+    let mut p = Parser::new(input);
+    let t = p.term()?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(t)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { pos: self.pos, msg: msg.into() }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Option<String> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut end = start;
+        while end < self.bytes.len()
+            && (self.bytes[end].is_ascii_alphanumeric() || self.bytes[end] == b'_')
+        {
+            end += 1;
+        }
+        if end == start || self.bytes[start].is_ascii_digit() {
+            return None;
+        }
+        self.pos = end;
+        Some(String::from_utf8_lossy(&self.bytes[start..end]).into_owned())
+    }
+
+    fn number(&mut self) -> Option<u64> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut end = start;
+        while end < self.bytes.len() && self.bytes[end].is_ascii_digit() {
+            end += 1;
+        }
+        if end == start {
+            return None;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..end]).expect("digits are utf8");
+        let n = s.parse().ok()?;
+        self.pos = end;
+        Some(n)
+    }
+
+    fn keyword_ahead(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let rest = &self.bytes[self.pos..];
+        rest.starts_with(kw.as_bytes())
+            && rest
+                .get(kw.len())
+                .is_none_or(|c| !c.is_ascii_alphanumeric() && *c != b'_')
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        self.iff()
+    }
+
+    fn iff(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.imp()?;
+        while self.eat("<->") {
+            let rhs = self.imp()?;
+            lhs = Formula::iff(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn imp(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.or()?;
+        self.skip_ws();
+        // careful: "->" but not "<->" (already consumed by caller)
+        if self.bytes[self.pos..].starts_with(b"->") {
+            self.pos += 2;
+            let rhs = self.imp()?;
+            return Ok(Formula::implies(lhs, rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn or(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.and()?];
+        loop {
+            self.skip_ws();
+            if self.bytes[self.pos..].starts_with(b"|") {
+                self.pos += 1;
+                parts.push(self.and()?);
+            } else {
+                break;
+            }
+        }
+        Ok(Formula::or(parts))
+    }
+
+    fn and(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.unary()?];
+        while self.eat("&") {
+            parts.push(self.unary()?);
+        }
+        Ok(Formula::and(parts))
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'!')
+            && self.bytes.get(self.pos + 1) != Some(&b'=')
+        {
+            self.pos += 1;
+            let f = self.unary()?;
+            return Ok(Formula::not(f));
+        }
+        if self.keyword_ahead("forall") || self.keyword_ahead("exists") {
+            let universal = self.keyword_ahead("forall");
+            let _ = self.ident();
+            let mut vars = Vec::new();
+            while let Some(v) = self.ident() {
+                vars.push(Var::new(v));
+            }
+            if vars.is_empty() {
+                return Err(self.err("quantifier needs at least one variable"));
+            }
+            self.expect(".")?;
+            let body = self.formula()?;
+            return Ok(if universal {
+                Formula::forall_many(vars, body)
+            } else {
+                Formula::exists_many(vars, body)
+            });
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Formula, ParseError> {
+        match self.peek() {
+            Some(b'(') => {
+                self.expect("(")?;
+                let f = self.formula()?;
+                self.expect(")")?;
+                Ok(f)
+            }
+            Some(b'@') => {
+                self.pos += 1;
+                let name = self.ident().ok_or_else(|| self.err("predicate name"))?;
+                let args = self.arg_list()?;
+                Ok(Formula::pred(name, args))
+            }
+            Some(c) if c.is_ascii_uppercase() => {
+                let name = self.ident().ok_or_else(|| self.err("relation name"))?;
+                let args = self.arg_list()?;
+                Ok(Formula::rel(name, args))
+            }
+            Some(_) => {
+                if self.keyword_ahead("true") {
+                    let _ = self.ident();
+                    return Ok(Formula::True);
+                }
+                if self.keyword_ahead("false") {
+                    let _ = self.ident();
+                    return Ok(Formula::False);
+                }
+                let lhs = self.term()?;
+                self.skip_ws();
+                if self.eat("!=") {
+                    let rhs = self.term()?;
+                    Ok(Formula::neq(lhs, rhs))
+                } else if self.eat("=") {
+                    let rhs = self.term()?;
+                    Ok(Formula::eq(lhs, rhs))
+                } else {
+                    Err(self.err("expected `=` or `!=` after term"))
+                }
+            }
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn arg_list(&mut self) -> Result<Vec<Term>, ParseError> {
+        self.expect("(")?;
+        let mut args = Vec::new();
+        if self.peek() != Some(b')') {
+            loop {
+                args.push(self.term()?);
+                if !self.eat(",") {
+                    break;
+                }
+            }
+        }
+        self.expect(")")?;
+        Ok(args)
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        self.skip_ws();
+        if let Some(n) = self.number() {
+            return Ok(Term::cst(n));
+        }
+        let name = self.ident().ok_or_else(|| self.err("expected term"))?;
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'(') {
+            let args = self.arg_list()?;
+            Ok(Term::app(name, args))
+        } else {
+            Ok(Term::Var(Var::new(name)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_quantified_sentence() {
+        let f = parse_formula("forall x y. E(x, y) -> E(y, x)").expect("parses");
+        assert!(f.is_sentence());
+        assert_eq!(f.quantifier_rank(), 2);
+        assert_eq!(f.to_string(), "forall x. forall y. E(x, y) -> E(y, x)");
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        let f = parse_formula("E(x,y) & E(y,x) | x = y").expect("parses");
+        match f {
+            Formula::Or(parts) => {
+                assert!(matches!(parts[0], Formula::And(_)));
+                assert!(matches!(parts[1], Formula::Eq(..)));
+            }
+            other => panic!("expected or, got {other}"),
+        }
+    }
+
+    #[test]
+    fn implication_is_right_associative() {
+        let f = parse_formula("true -> false -> true").expect("parses");
+        match f {
+            Formula::Implies(_, rhs) => assert!(matches!(*rhs, Formula::Implies(..))),
+            other => panic!("expected implies, got {other}"),
+        }
+    }
+
+    #[test]
+    fn constants_functions_and_predicates() {
+        let f = parse_formula("@lt(x, succ(3)) & E(7, x)").expect("parses");
+        assert_eq!(f.to_string(), "@lt(x, succ(3)) & E(7, x)");
+    }
+
+    #[test]
+    fn inequality() {
+        let f = parse_formula("x != y").expect("parses");
+        assert_eq!(f, Formula::neq(Term::var("x"), Term::var("y")));
+    }
+
+    #[test]
+    fn negation_of_atom_vs_neq() {
+        let f = parse_formula("!E(x, x)").expect("parses");
+        assert_eq!(f, Formula::not(Formula::rel("E", [Term::var("x"), Term::var("x")])));
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let e = parse_formula("forall . E(x,x)").expect_err("bad syntax");
+        assert!(e.msg.contains("variable"));
+        let e2 = parse_formula("E(x,y) E(y,x)").expect_err("trailing");
+        assert!(e2.msg.contains("trailing"));
+    }
+
+    #[test]
+    fn roundtrip_print_parse() {
+        let samples = [
+            "forall x. (exists y. E(x, y)) -> E(x, x)",
+            "exists x. x = 3 & !(exists y. y != x)",
+            "(true <-> false) | E(1, 2)",
+            "forall x y z. E(x, y) & E(x, z) -> z = y",
+        ];
+        for s in samples {
+            let f = parse_formula(s).expect("parses");
+            let printed = f.to_string();
+            let f2 = parse_formula(&printed).expect("reparses");
+            assert_eq!(f, f2, "roundtrip failed for {s} -> {printed}");
+        }
+    }
+}

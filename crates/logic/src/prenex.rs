@@ -1,0 +1,227 @@
+//! Prenex normal form.
+//!
+//! Converts a pure-FO/FOc(Ω) formula into `Q₁x₁ … Q_kx_k. matrix` with a
+//! quantifier-free matrix, by NNF conversion followed by quantifier
+//! extraction with capture-avoiding renaming. Semantics are preserved over
+//! every *non-empty* domain; over the empty domain prenexing is the usual
+//! classical-logic caveat (`∃x.⊤ ∨ ψ` vs `∃x.(⊤ ∨ ψ)` differ there), so
+//! [`prenex`] reports whether any quantifier was moved across a connective
+//! — callers that must be exact on empty databases can special-case them
+//! (the Δ-simplifier does: an empty database satisfies every universal
+//! constraint and every insert-Δ trivially).
+
+use crate::formula::Formula;
+use crate::nnf::nnf;
+use crate::subst::{fresh_var, substitute};
+use crate::term::{Term, Var};
+use std::collections::BTreeSet;
+
+/// A quantifier kind in a prenex prefix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Quant {
+    /// Existential.
+    Exists,
+    /// Universal.
+    Forall,
+}
+
+/// A formula in prenex normal form: a quantifier prefix over a
+/// quantifier-free matrix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Prenex {
+    /// The prefix, outermost first.
+    pub prefix: Vec<(Quant, Var)>,
+    /// The quantifier-free matrix.
+    pub matrix: Formula,
+    /// Whether any quantifier had to be pulled across a connective (if
+    /// false, the input was already in prenex shape and the result is
+    /// exactly equivalent even over the empty domain).
+    pub moved: bool,
+}
+
+impl Prenex {
+    /// Reassembles the ordinary formula.
+    pub fn to_formula(&self) -> Formula {
+        self.prefix
+            .iter()
+            .rev()
+            .fold(self.matrix.clone(), |acc, (q, v)| match q {
+                Quant::Exists => Formula::exists(v.clone(), acc),
+                Quant::Forall => Formula::forall(v.clone(), acc),
+            })
+    }
+
+    /// Whether the prefix is purely universal.
+    pub fn is_universal(&self) -> bool {
+        self.prefix.iter().all(|(q, _)| *q == Quant::Forall)
+    }
+}
+
+/// Errors from prenexing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrenexError {
+    /// Counting constructs have no prenex form in this AST.
+    CountingUnsupported,
+}
+
+impl std::fmt::Display for PrenexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "counting constructs have no prenex normal form here")
+    }
+}
+
+impl std::error::Error for PrenexError {}
+
+/// Converts to prenex normal form (NNF first, then quantifier extraction
+/// left to right with capture-avoiding renaming).
+pub fn prenex(f: &Formula) -> Result<Prenex, PrenexError> {
+    let g = nnf(f);
+    let mut used: BTreeSet<Var> = g.all_vars();
+    let mut moved = false;
+    let (prefix, matrix) = pull(&g, &mut used, &mut moved)?;
+    Ok(Prenex { prefix, matrix, moved })
+}
+
+type Prefix = Vec<(Quant, Var)>;
+
+fn pull(
+    f: &Formula,
+    used: &mut BTreeSet<Var>,
+    moved: &mut bool,
+) -> Result<(Prefix, Formula), PrenexError> {
+    match f {
+        Formula::True
+        | Formula::False
+        | Formula::Rel(..)
+        | Formula::Eq(..)
+        | Formula::Pred(..) => Ok((Vec::new(), f.clone())),
+        // NNF guarantees negations sit on atoms (or counting, rejected below)
+        Formula::Not(inner) => match inner.as_ref() {
+            Formula::Rel(..) | Formula::Eq(..) | Formula::Pred(..) => {
+                Ok((Vec::new(), f.clone()))
+            }
+            Formula::CountGe(..) => Err(PrenexError::CountingUnsupported),
+            other => {
+                // defensive: re-normalize and retry
+                let (p, m) = pull(&nnf(&Formula::not(other.clone())), used, moved)?;
+                Ok((p, m))
+            }
+        },
+        Formula::Exists(v, body) => {
+            let (v2, body2) = rename_if_needed(v, body, used);
+            let (mut p, m) = pull(&body2, used, moved)?;
+            p.insert(0, (Quant::Exists, v2));
+            Ok((p, m))
+        }
+        Formula::Forall(v, body) => {
+            let (v2, body2) = rename_if_needed(v, body, used);
+            let (mut p, m) = pull(&body2, used, moved)?;
+            p.insert(0, (Quant::Forall, v2));
+            Ok((p, m))
+        }
+        Formula::And(gs) | Formula::Or(gs) => {
+            let is_and = matches!(f, Formula::And(_));
+            let mut prefix = Vec::new();
+            let mut parts = Vec::new();
+            for g in gs {
+                let (p, m) = pull(g, used, moved)?;
+                if !p.is_empty() {
+                    *moved = true;
+                }
+                prefix.extend(p);
+                parts.push(m);
+            }
+            let matrix = if is_and {
+                Formula::and(parts)
+            } else {
+                Formula::or(parts)
+            };
+            Ok((prefix, matrix))
+        }
+        // NNF removes Implies/Iff
+        Formula::Implies(..) | Formula::Iff(..) => {
+            let (p, m) = pull(&nnf(f), used, moved)?;
+            Ok((p, m))
+        }
+        Formula::CountGe(..)
+        | Formula::NumExists(..)
+        | Formula::NumForall(..)
+        | Formula::NumLe(..)
+        | Formula::NumEq(..)
+        | Formula::Bit(..) => Err(PrenexError::CountingUnsupported),
+    }
+}
+
+/// Ensures the bound variable is globally unique before its quantifier is
+/// hoisted (otherwise hoisting could capture occurrences elsewhere).
+fn rename_if_needed(v: &Var, body: &Formula, used: &mut BTreeSet<Var>) -> (Var, Formula) {
+    // `used` contains every variable seen so far, including this binder.
+    // Rename to a fresh `pXX` if this name was already consumed by a hoisted
+    // quantifier, i.e. track consumption via a marker set.
+    let fresh = fresh_var(&Var::new(format!("p_{}", v.name())), used);
+    used.insert(fresh.clone());
+    let body2 = substitute(body, v, &Term::Var(fresh.clone()));
+    (fresh, body2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+
+    fn pnf(s: &str) -> Prenex {
+        prenex(&parse_formula(s).expect("parses")).expect("prenexes")
+    }
+
+    #[test]
+    fn already_prenex_input() {
+        let p = pnf("forall x. exists y. E(x, y)");
+        assert_eq!(p.prefix.len(), 2);
+        assert_eq!(p.prefix[0].0, Quant::Forall);
+        assert_eq!(p.prefix[1].0, Quant::Exists);
+        assert_eq!(p.matrix.quantifier_rank(), 0);
+        assert!(!p.moved);
+    }
+
+    #[test]
+    fn implication_flips_the_antecedent_quantifier() {
+        // (exists x. E(x,x)) -> false   ≡   forall x. ¬E(x,x)
+        let p = pnf("(exists x. E(x, x)) -> false");
+        assert_eq!(p.prefix.len(), 1);
+        assert_eq!(p.prefix[0].0, Quant::Forall);
+        assert!(p.is_universal());
+    }
+
+    #[test]
+    fn clashing_bound_names_are_separated() {
+        let p = pnf("(exists x. E(x, x)) & (exists x. !E(x, x))");
+        assert_eq!(p.prefix.len(), 2);
+        assert_ne!(p.prefix[0].1, p.prefix[1].1, "binders must not merge");
+        assert!(p.moved);
+    }
+
+    #[test]
+    fn matrix_is_quantifier_free_and_rank_is_preserved() {
+        for s in [
+            "forall x y. E(x, y) -> (exists z. E(y, z))",
+            "!(exists x. forall y. E(x, y))",
+            "(forall x. E(x, x)) | (exists y. !E(y, y))",
+        ] {
+            let f = parse_formula(s).expect("parses");
+            let p = prenex(&f).expect("prenexes");
+            assert_eq!(p.matrix.quantifier_rank(), 0, "{s}");
+            assert_eq!(p.prefix.len(), p.to_formula().quantifier_rank(), "{s}");
+            assert!(p.to_formula().is_sentence(), "{s}");
+        }
+    }
+
+    #[test]
+    fn counting_is_rejected() {
+        let f = crate::formula::Formula::count_ge(
+            crate::formula::NumTerm::One,
+            "x",
+            crate::formula::Formula::True,
+        );
+        assert_eq!(prenex(&f).unwrap_err(), PrenexError::CountingUnsupported);
+    }
+}

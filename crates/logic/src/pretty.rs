@@ -1,0 +1,217 @@
+//! Pretty-printing of terms and formulas.
+//!
+//! The printed syntax is the ASCII concrete syntax accepted by
+//! [`crate::parser`] (for the FOc(Ω) fragment), so printing and re-parsing a
+//! formula round-trips. Counting constructs print in a readable extended
+//! syntax (`atleast[i] x. φ`, `existsN i. φ`, …) that the parser does not
+//! accept; they are built programmatically.
+
+use crate::formula::Formula;
+use crate::term::Term;
+use std::fmt;
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{}", c.0),
+            Term::App(g, args) => {
+                write!(f, "{g}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Operator precedence levels, loosest to tightest.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Iff,
+    Implies,
+    Or,
+    And,
+    Unary,
+}
+
+fn prec_of(f: &Formula) -> Prec {
+    match f {
+        Formula::Iff(..) => Prec::Iff,
+        Formula::Implies(..) => Prec::Implies,
+        Formula::Or(..) => Prec::Or,
+        Formula::And(..) => Prec::And,
+        // Quantifiers swallow everything to their right; treat them as the
+        // loosest level so they get parenthesized as operands.
+        Formula::Exists(..)
+        | Formula::Forall(..)
+        | Formula::CountGe(..)
+        | Formula::NumExists(..)
+        | Formula::NumForall(..) => Prec::Iff,
+        _ => Prec::Unary,
+    }
+}
+
+fn write_prec(f: &Formula, min: Prec, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let this = prec_of(f);
+    let parens = this < min;
+    if parens {
+        write!(out, "(")?;
+    }
+    match f {
+        Formula::True => write!(out, "true")?,
+        Formula::False => write!(out, "false")?,
+        Formula::Rel(name, ts) => {
+            write!(out, "{name}(")?;
+            for (i, t) in ts.iter().enumerate() {
+                if i > 0 {
+                    write!(out, ", ")?;
+                }
+                write!(out, "{t}")?;
+            }
+            write!(out, ")")?;
+        }
+        Formula::Pred(p, ts) => {
+            write!(out, "@{p}(")?;
+            for (i, t) in ts.iter().enumerate() {
+                if i > 0 {
+                    write!(out, ", ")?;
+                }
+                write!(out, "{t}")?;
+            }
+            write!(out, ")")?;
+        }
+        Formula::Eq(a, b) => write!(out, "{a} = {b}")?,
+        Formula::Not(g) => {
+            if let Formula::Eq(a, b) = g.as_ref() {
+                write!(out, "{a} != {b}")?;
+            } else {
+                write!(out, "!")?;
+                write_prec(g, Prec::Unary, out)?;
+            }
+        }
+        Formula::And(gs) => {
+            if gs.is_empty() {
+                write!(out, "true")?;
+            }
+            for (i, g) in gs.iter().enumerate() {
+                if i > 0 {
+                    write!(out, " & ")?;
+                }
+                write_prec(g, Prec::Unary, out)?;
+            }
+        }
+        Formula::Or(gs) => {
+            if gs.is_empty() {
+                write!(out, "false")?;
+            }
+            for (i, g) in gs.iter().enumerate() {
+                if i > 0 {
+                    write!(out, " | ")?;
+                }
+                write_prec(g, Prec::And, out)?;
+            }
+        }
+        Formula::Implies(a, b) => {
+            write_prec(a, Prec::Or, out)?;
+            write!(out, " -> ")?;
+            write_prec(b, Prec::Implies, out)?;
+        }
+        Formula::Iff(a, b) => {
+            write_prec(a, Prec::Implies, out)?;
+            write!(out, " <-> ")?;
+            write_prec(b, Prec::Implies, out)?;
+        }
+        Formula::Exists(v, g) => {
+            write!(out, "exists {v}. ")?;
+            write_prec(g, Prec::Iff, out)?;
+        }
+        Formula::Forall(v, g) => {
+            write!(out, "forall {v}. ")?;
+            write_prec(g, Prec::Iff, out)?;
+        }
+        Formula::CountGe(i, v, g) => {
+            write!(out, "atleast[{i}] {v}. ")?;
+            write_prec(g, Prec::Iff, out)?;
+        }
+        Formula::NumExists(v, g) => {
+            write!(out, "existsN {v}. ")?;
+            write_prec(g, Prec::Iff, out)?;
+        }
+        Formula::NumForall(v, g) => {
+            write!(out, "forallN {v}. ")?;
+            write_prec(g, Prec::Iff, out)?;
+        }
+        Formula::NumLe(a, b) => write!(out, "{a} <= {b}")?,
+        Formula::NumEq(a, b) => write!(out, "{a} == {b}")?,
+        Formula::Bit(a, b) => write!(out, "bit({a}, {b})")?,
+    }
+    if parens {
+        write!(out, ")")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_prec(self, Prec::Iff, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::formula::Formula;
+    use crate::term::Term;
+
+    fn v(s: &str) -> Term {
+        Term::var(s)
+    }
+
+    #[test]
+    fn atoms_and_connectives() {
+        let f = Formula::and([
+            Formula::rel("E", [v("x"), v("y")]),
+            Formula::or([Formula::eq(v("x"), v("y")), Formula::neq(v("y"), v("z"))]),
+        ]);
+        assert_eq!(f.to_string(), "E(x, y) & (x = y | y != z)");
+    }
+
+    #[test]
+    fn quantifier_scope_is_parenthesized_as_operand() {
+        let f = Formula::and([
+            Formula::exists("x", Formula::rel("E", [v("x"), v("x")])),
+            Formula::True,
+        ]);
+        assert_eq!(f.to_string(), "(exists x. E(x, x)) & true");
+    }
+
+    #[test]
+    fn implication_right_associates() {
+        let f = Formula::implies(
+            Formula::True,
+            Formula::implies(Formula::False, Formula::True),
+        );
+        assert_eq!(f.to_string(), "true -> false -> true");
+        let g = Formula::implies(
+            Formula::implies(Formula::True, Formula::False),
+            Formula::True,
+        );
+        assert_eq!(g.to_string(), "(true -> false) -> true");
+    }
+
+    #[test]
+    fn constants_print_as_numbers() {
+        let f = Formula::rel("E", [Term::cst(3u64), v("x")]);
+        assert_eq!(f.to_string(), "E(3, x)");
+    }
+
+    #[test]
+    fn omega_symbols() {
+        let f = Formula::pred("lt", [v("x"), Term::app("succ", [v("y")])]);
+        assert_eq!(f.to_string(), "@lt(x, succ(y))");
+    }
+}

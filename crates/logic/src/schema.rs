@@ -1,0 +1,165 @@
+//! Relational schemas.
+//!
+//! A relational schema `SC = (R₁, …, R_k)` is a non-empty set of relation
+//! symbols with positive finite arities (Section 2 of the paper). Most of the
+//! paper works over the schema of a single binary predicate `E` — graphs —
+//! available as [`Schema::graph`].
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A relation symbol: a name together with its arity.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RelSym {
+    /// The relation's name.
+    pub name: String,
+    /// The relation's arity (number of columns), `> 0`.
+    pub arity: usize,
+}
+
+impl fmt::Debug for RelSym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.arity)
+    }
+}
+
+/// A relational schema: an ordered list of relation symbols with unique names.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Schema {
+    rels: Vec<RelSym>,
+    index: BTreeMap<String, usize>,
+}
+
+impl Serialize for Schema {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.rels.serialize(s)
+    }
+}
+
+impl<'de> Deserialize<'de> for Schema {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let rels = Vec::<RelSym>::deserialize(d)?;
+        Ok(Schema::new(rels.into_iter().map(|r| (r.name, r.arity))))
+    }
+}
+
+impl Schema {
+    /// Builds a schema from `(name, arity)` pairs.
+    ///
+    /// # Panics
+    /// Panics if a name repeats or an arity is zero — both are schema bugs,
+    /// not runtime conditions.
+    pub fn new<N: Into<String>>(rels: impl IntoIterator<Item = (N, usize)>) -> Self {
+        let mut out = Schema { rels: Vec::new(), index: BTreeMap::new() };
+        for (name, arity) in rels {
+            out.push(name.into(), arity);
+        }
+        out
+    }
+
+    /// The schema of finite graphs: a single binary predicate `E`.
+    pub fn graph() -> Self {
+        Schema::new([("E", 2)])
+    }
+
+    fn push(&mut self, name: String, arity: usize) {
+        assert!(arity > 0, "relation {name} must have positive arity");
+        assert!(
+            !self.index.contains_key(&name),
+            "duplicate relation name {name} in schema"
+        );
+        self.index.insert(name.clone(), self.rels.len());
+        self.rels.push(RelSym { name, arity });
+    }
+
+    /// The relation symbols, in declaration order.
+    pub fn rels(&self) -> &[RelSym] {
+        &self.rels
+    }
+
+    /// Number of relation symbols.
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Whether the schema has no relations (degenerate; [`Schema::new`] with
+    /// an empty iterator produces it, useful only in tests).
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+
+    /// Index of the relation with the given name, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Arity of the relation with the given name, if present.
+    pub fn arity_of(&self, name: &str) -> Option<usize> {
+        self.index_of(name).map(|i| self.rels[i].arity)
+    }
+
+    /// Whether the schema contains a relation with this name.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index.contains_key(name)
+    }
+
+    /// A new schema extending this one with additional relations.
+    ///
+    /// Used to adjoin the unary set symbols `A₁..A_k` of a monadic Σ¹₁
+    /// sentence, or auxiliary IDB predicates of a Datalog program.
+    pub fn extended<N: Into<String>>(&self, more: impl IntoIterator<Item = (N, usize)>) -> Self {
+        let mut out = self.clone();
+        for (name, arity) in more {
+            out.push(name.into(), arity);
+        }
+        out
+    }
+
+    /// Iterates over `(name, arity)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.rels.iter().map(|r| (r.name.as_str(), r.arity))
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Schema{:?}", self.rels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_schema_has_single_binary_e() {
+        let s = Schema::graph();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.arity_of("E"), Some(2));
+        assert_eq!(s.index_of("E"), Some(0));
+        assert!(s.contains("E"));
+        assert!(!s.contains("R"));
+    }
+
+    #[test]
+    fn extension_preserves_original_order() {
+        let s = Schema::graph().extended([("A", 1), ("B", 1)]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.index_of("E"), Some(0));
+        assert_eq!(s.index_of("A"), Some(1));
+        assert_eq!(s.arity_of("B"), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_names_rejected() {
+        let _ = Schema::new([("R", 1), ("R", 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive arity")]
+    fn zero_arity_rejected() {
+        let _ = Schema::new([("R", 0)]);
+    }
+}

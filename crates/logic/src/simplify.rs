@@ -1,0 +1,293 @@
+//! Sound structural simplification of formulas.
+//!
+//! Every rule here is an equivalence in *all* interpretations (any database,
+//! any Ω, either semantics of the quantifier domain), so the simplifier can
+//! be applied to weakest preconditions without affecting correctness. The
+//! invariant-aware simplification of Section 6 (finding a Δ with
+//! `α → (Δ ↔ wpc(T,α))`) lives in `vpdt-core::simplify`, because it needs a
+//! transaction and an invariant; this module is purely logical.
+
+use crate::formula::Formula;
+use crate::term::Term;
+
+/// Simplifies a formula by exhaustively applying sound local rewrites:
+/// unit/absorbing elements, double negation, flattening of nested `∧`/`∨`,
+/// duplicate and complementary literal elimination, trivial equalities, and
+/// implication/biconditional constant folding.
+pub fn simplify(f: &Formula) -> Formula {
+    let mut cur = f.clone();
+    // Local rewrites can cascade (e.g. flattening exposes a complementary
+    // pair); iterate to a fixpoint. Each pass strictly shrinks the AST or
+    // leaves it unchanged, so this terminates quickly.
+    loop {
+        let next = cur.map(&simplify_node);
+        if next == cur {
+            return next;
+        }
+        cur = next;
+    }
+}
+
+fn simplify_node(f: Formula) -> Formula {
+    match f {
+        Formula::Eq(a, b) if a == b => Formula::True,
+        Formula::Eq(Term::Const(a), Term::Const(b)) if a != b => Formula::False,
+        Formula::Not(g) => match *g {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(h) => *h,
+            other => Formula::Not(Box::new(other)),
+        },
+        Formula::And(gs) => {
+            let mut out: Vec<Formula> = Vec::with_capacity(gs.len());
+            for g in gs {
+                match g {
+                    Formula::True => {}
+                    Formula::False => return Formula::False,
+                    Formula::And(inner) => {
+                        for h in inner {
+                            push_unique(&mut out, h);
+                        }
+                    }
+                    other => push_unique(&mut out, other),
+                }
+            }
+            if has_complementary_pair(&out) {
+                return Formula::False;
+            }
+            Formula::and(out)
+        }
+        Formula::Or(gs) => {
+            let mut out: Vec<Formula> = Vec::with_capacity(gs.len());
+            for g in gs {
+                match g {
+                    Formula::False => {}
+                    Formula::True => return Formula::True,
+                    Formula::Or(inner) => {
+                        for h in inner {
+                            push_unique(&mut out, h);
+                        }
+                    }
+                    other => push_unique(&mut out, other),
+                }
+            }
+            if has_complementary_pair(&out) {
+                return Formula::True;
+            }
+            Formula::or(out)
+        }
+        Formula::Implies(a, b) => match (*a, *b) {
+            (Formula::True, b) => b,
+            (Formula::False, _) => Formula::True,
+            (_, Formula::True) => Formula::True,
+            (a, Formula::False) => simplify_node(Formula::Not(Box::new(a))),
+            (a, b) if a == b => Formula::True,
+            (a, b) => Formula::Implies(Box::new(a), Box::new(b)),
+        },
+        Formula::Iff(a, b) => match (*a, *b) {
+            (Formula::True, b) => b,
+            (a, Formula::True) => a,
+            (Formula::False, b) => simplify_node(Formula::Not(Box::new(b))),
+            (a, Formula::False) => simplify_node(Formula::Not(Box::new(a))),
+            (a, b) if a == b => Formula::True,
+            (a, b) => Formula::Iff(Box::new(a), Box::new(b)),
+        },
+        // NOTE: `∃x. φ` with `x` not free in `φ` is *not* equivalent to `φ`
+        // under active-domain semantics (it additionally asserts the domain
+        // is non-empty), so no quantifier-dropping rule appears here.
+        // Constant bodies are still safe to analyze:
+        Formula::Exists(_, g) if *g == Formula::False => Formula::False,
+        Formula::Forall(_, g) if *g == Formula::True => Formula::True,
+        other => other,
+    }
+}
+
+fn push_unique(out: &mut Vec<Formula>, f: Formula) {
+    if !out.contains(&f) {
+        out.push(f);
+    }
+}
+
+fn has_complementary_pair(fs: &[Formula]) -> bool {
+    fs.iter().any(|f| {
+        if let Formula::Not(inner) = f {
+            fs.contains(inner)
+        } else {
+            fs.contains(&Formula::Not(Box::new(f.clone()))) && !matches!(f, Formula::Not(_))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(x: &str, y: &str) -> Formula {
+        Formula::rel("E", [Term::var(x), Term::var(y)])
+    }
+
+    #[test]
+    fn unit_and_absorbing_elements() {
+        let f = Formula::And(vec![Formula::True, e("x", "y"), Formula::True]);
+        assert_eq!(simplify(&f), e("x", "y"));
+        let g = Formula::Or(vec![Formula::False, Formula::True, e("x", "y")]);
+        assert_eq!(simplify(&g), Formula::True);
+    }
+
+    #[test]
+    fn flattening_and_dedup() {
+        let f = Formula::And(vec![
+            e("x", "y"),
+            Formula::And(vec![e("x", "y"), e("y", "x")]),
+        ]);
+        assert_eq!(
+            simplify(&f),
+            Formula::And(vec![e("x", "y"), e("y", "x")])
+        );
+    }
+
+    #[test]
+    fn complementary_literals_collapse() {
+        let f = Formula::And(vec![e("x", "y"), Formula::not(e("x", "y"))]);
+        assert_eq!(simplify(&f), Formula::False);
+        let g = Formula::Or(vec![Formula::not(e("x", "y")), e("x", "y")]);
+        assert_eq!(simplify(&g), Formula::True);
+    }
+
+    #[test]
+    fn trivial_equalities() {
+        assert_eq!(
+            simplify(&Formula::eq(Term::var("x"), Term::var("x"))),
+            Formula::True
+        );
+        assert_eq!(
+            simplify(&Formula::eq(Term::cst(1u64), Term::cst(2u64))),
+            Formula::False
+        );
+        // distinct variables are NOT trivially equal
+        let f = Formula::eq(Term::var("x"), Term::var("y"));
+        assert_eq!(simplify(&f), f);
+    }
+
+    #[test]
+    fn quantifier_over_constant_body() {
+        let f = Formula::exists("x", Formula::And(vec![Formula::True, Formula::False]));
+        assert_eq!(simplify(&f), Formula::False);
+        // exists x. true is NOT simplified to true (empty-domain subtlety)
+        let g = Formula::exists("x", Formula::True);
+        assert_eq!(simplify(&g), g);
+    }
+
+    #[test]
+    fn implication_folding() {
+        let f = Formula::implies(Formula::True, e("x", "y"));
+        assert_eq!(simplify(&f), e("x", "y"));
+        let g = Formula::implies(e("x", "y"), Formula::False);
+        assert_eq!(simplify(&g), Formula::not(e("x", "y")));
+        let h = Formula::implies(e("x", "y"), e("x", "y"));
+        assert_eq!(simplify(&h), Formula::True);
+    }
+
+    #[test]
+    fn cascading_rewrites_reach_fixpoint() {
+        // !(!(E(x,y) & true)) -> E(x,y)
+        let f = Formula::not(Formula::not(Formula::And(vec![
+            e("x", "y"),
+            Formula::True,
+        ])));
+        assert_eq!(simplify(&f), e("x", "y"));
+    }
+}
+
+/// Canonically renames bound variables to `b0, b1, …` by nesting depth
+/// (skipping a rename whenever it would capture), then simplifies. Two
+/// α-equivalent subformulas become syntactically equal, so the duplicate
+/// elimination inside [`simplify`] can see across variable names — vital
+/// for keeping machine-generated preconditions (Theorem 8 compositions)
+/// small.
+pub fn normalize(f: &Formula) -> Formula {
+    simplify(&normalize_bound(f, 0))
+}
+
+fn normalize_bound(f: &Formula, depth: usize) -> Formula {
+    use crate::subst::substitute;
+    use crate::term::Var;
+    let rebind = |v: &Var, body: &Formula, depth: usize| -> (Var, Formula) {
+        let target = Var::new(format!("b{depth}"));
+        if *v == target || body.free_vars().contains(&target) {
+            (v.clone(), body.clone())
+        } else {
+            (target.clone(), substitute(body, v, &Term::Var(target)))
+        }
+    };
+    match f {
+        Formula::Exists(v, g) => {
+            let (w, g2) = rebind(v, g, depth);
+            Formula::Exists(w, Box::new(normalize_bound(&g2, depth + 1)))
+        }
+        Formula::Forall(v, g) => {
+            let (w, g2) = rebind(v, g, depth);
+            Formula::Forall(w, Box::new(normalize_bound(&g2, depth + 1)))
+        }
+        Formula::CountGe(i, v, g) => {
+            let (w, g2) = rebind(v, g, depth);
+            Formula::CountGe(i.clone(), w, Box::new(normalize_bound(&g2, depth + 1)))
+        }
+        Formula::Not(g) => Formula::Not(Box::new(normalize_bound(g, depth))),
+        Formula::And(gs) => {
+            Formula::And(gs.iter().map(|g| normalize_bound(g, depth)).collect())
+        }
+        Formula::Or(gs) => {
+            Formula::Or(gs.iter().map(|g| normalize_bound(g, depth)).collect())
+        }
+        Formula::Implies(a, b) => Formula::Implies(
+            Box::new(normalize_bound(a, depth)),
+            Box::new(normalize_bound(b, depth)),
+        ),
+        Formula::Iff(a, b) => Formula::Iff(
+            Box::new(normalize_bound(a, depth)),
+            Box::new(normalize_bound(b, depth)),
+        ),
+        Formula::NumExists(v, g) => {
+            Formula::NumExists(v.clone(), Box::new(normalize_bound(g, depth)))
+        }
+        Formula::NumForall(v, g) => {
+            Formula::NumForall(v.clone(), Box::new(normalize_bound(g, depth)))
+        }
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod normalize_tests {
+    use super::*;
+
+    #[test]
+    fn alpha_equivalent_disjuncts_merge() {
+        // (exists z3. E(z3,z3)) | (exists z4. E(z4,z4)) -> single disjunct
+        let mk = |name: &str| {
+            Formula::exists(name, Formula::rel("E", [Term::var(name), Term::var(name)]))
+        };
+        let f = Formula::Or(vec![mk("z3"), mk("z4")]);
+        let n = normalize(&f);
+        assert_eq!(n, mk("b0"));
+    }
+
+    #[test]
+    fn capture_is_avoided() {
+        // exists q. E(q, b0) — renaming q to b0 would capture the free b0
+        let f = Formula::exists("q", Formula::rel("E", [Term::var("q"), Term::var("b0")]));
+        let n = normalize(&f);
+        assert_eq!(n, f);
+    }
+
+    #[test]
+    fn normalization_is_idempotent() {
+        let f = Formula::exists(
+            "x",
+            Formula::forall("y", Formula::rel("E", [Term::var("x"), Term::var("y")])),
+        );
+        let once = normalize(&f);
+        assert_eq!(normalize(&once), once);
+    }
+}

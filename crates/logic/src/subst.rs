@@ -1,0 +1,327 @@
+//! Capture-avoiding substitution and relation unfolding.
+//!
+//! Substitution of terms for free first-sort variables is the syntactic
+//! engine behind both directions of the paper's Theorem 8 algorithm `WPC[γ]`
+//! (quantifier relativization substitutes Γ-terms for bound variables) and
+//! the `PR ⊆ WPC` embedding (relation atoms are unfolded into prerelation
+//! formulas).
+
+use crate::formula::Formula;
+use crate::term::{Term, Var};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Returns a variable based on `base` that does not occur in `avoid`.
+pub fn fresh_var(base: &Var, avoid: &BTreeSet<Var>) -> Var {
+    if !avoid.contains(base) {
+        return base.clone();
+    }
+    let stem = base.name().trim_end_matches(|c: char| c.is_ascii_digit());
+    let stem = if stem.is_empty() { "v" } else { stem };
+    for i in 0.. {
+        let candidate = Var::new(format!("{stem}{i}"));
+        if !avoid.contains(&candidate) {
+            return candidate;
+        }
+    }
+    unreachable!("the loop above always finds an unused suffix")
+}
+
+/// Capture-avoiding substitution `f[v := t]` of a term for a free first-sort
+/// variable.
+pub fn substitute(f: &Formula, v: &Var, t: &Term) -> Formula {
+    let mut map = BTreeMap::new();
+    map.insert(v.clone(), t.clone());
+    substitute_many(f, &map)
+}
+
+/// Capture-avoiding *simultaneous* substitution of terms for free first-sort
+/// variables.
+pub fn substitute_many(f: &Formula, map: &BTreeMap<Var, Term>) -> Formula {
+    if map.is_empty() {
+        return f.clone();
+    }
+    // Variables that may be captured if a binder reuses their name.
+    let mut range_vars = BTreeSet::new();
+    for t in map.values() {
+        range_vars.extend(t.vars());
+    }
+    go(f, map, &range_vars)
+}
+
+fn subst_term(t: &Term, map: &BTreeMap<Var, Term>) -> Term {
+    t.substitute(&|v| map.get(v).cloned())
+}
+
+fn go(f: &Formula, map: &BTreeMap<Var, Term>, range_vars: &BTreeSet<Var>) -> Formula {
+    if map.is_empty() {
+        return f.clone();
+    }
+    match f {
+        Formula::True | Formula::False => f.clone(),
+        Formula::Rel(name, ts) => {
+            Formula::Rel(name.clone(), ts.iter().map(|t| subst_term(t, map)).collect())
+        }
+        Formula::Pred(p, ts) => {
+            Formula::Pred(p.clone(), ts.iter().map(|t| subst_term(t, map)).collect())
+        }
+        Formula::Eq(a, b) => Formula::Eq(subst_term(a, map), subst_term(b, map)),
+        Formula::Not(g) => Formula::Not(Box::new(go(g, map, range_vars))),
+        Formula::And(gs) => Formula::And(gs.iter().map(|g| go(g, map, range_vars)).collect()),
+        Formula::Or(gs) => Formula::Or(gs.iter().map(|g| go(g, map, range_vars)).collect()),
+        Formula::Implies(a, b) => Formula::Implies(
+            Box::new(go(a, map, range_vars)),
+            Box::new(go(b, map, range_vars)),
+        ),
+        Formula::Iff(a, b) => Formula::Iff(
+            Box::new(go(a, map, range_vars)),
+            Box::new(go(b, map, range_vars)),
+        ),
+        Formula::Exists(v, g) => bind_elem(v, g, map, range_vars, Formula::Exists),
+        Formula::Forall(v, g) => bind_elem(v, g, map, range_vars, Formula::Forall),
+        Formula::CountGe(i, v, g) => {
+            let i = i.clone();
+            bind_elem(v, g, map, range_vars, move |w, h| {
+                Formula::CountGe(i.clone(), w, h)
+            })
+        }
+        // Numeric binders do not bind first-sort variables; descend.
+        Formula::NumExists(v, g) => {
+            Formula::NumExists(v.clone(), Box::new(go(g, map, range_vars)))
+        }
+        Formula::NumForall(v, g) => {
+            Formula::NumForall(v.clone(), Box::new(go(g, map, range_vars)))
+        }
+        Formula::NumLe(..) | Formula::NumEq(..) | Formula::Bit(..) => f.clone(),
+    }
+}
+
+fn bind_elem(
+    v: &Var,
+    body: &Formula,
+    map: &BTreeMap<Var, Term>,
+    range_vars: &BTreeSet<Var>,
+    rebuild: impl FnOnce(Var, Box<Formula>) -> Formula,
+) -> Formula {
+    // The binder shadows v: drop it from the substitution.
+    let mut inner: BTreeMap<Var, Term> = map.clone();
+    inner.remove(v);
+    if inner.is_empty() {
+        return rebuild(v.clone(), Box::new(body.clone()));
+    }
+    if range_vars.contains(v) {
+        // Capture risk: rename the binder before substituting. The fresh name
+        // must avoid substituted-in variables, the body's own variables, and
+        // the substitution domain.
+        let mut avoid = range_vars.clone();
+        avoid.extend(body.all_vars());
+        avoid.extend(inner.keys().cloned());
+        let w = fresh_var(v, &avoid);
+        let renamed = substitute(body, v, &Term::Var(w.clone()));
+        let mut inner_range = BTreeSet::new();
+        for t in inner.values() {
+            inner_range.extend(t.vars());
+        }
+        rebuild(w, Box::new(go(&renamed, &inner, &inner_range)))
+    } else {
+        rebuild(v.clone(), Box::new(go(body, &inner, range_vars)))
+    }
+}
+
+/// Replaces every atom `R(t₁..t_n)` of relation `rel` by `body[params := t̄]`.
+///
+/// This is the substitution step of the `PR(L) ⊆ WPC(L)` embedding
+/// (Section 2): "substitute all symbols for `Rᵢ` in α by the formulae
+/// defining the new state".
+///
+/// # Panics
+/// Panics if `body` has free variables outside `params`, or if an atom's
+/// width differs from `params.len()` — both indicate a malformed prerelation.
+pub fn unfold_relation(f: &Formula, rel: &str, params: &[Var], body: &Formula) -> Formula {
+    let free = body.free_vars();
+    for v in &free {
+        assert!(
+            params.contains(v),
+            "prerelation body has stray free variable {v}"
+        );
+    }
+    match f {
+        Formula::Rel(name, ts) if name == rel => {
+            assert_eq!(ts.len(), params.len(), "arity mismatch unfolding {rel}");
+            let map: BTreeMap<Var, Term> = params.iter().cloned().zip(ts.iter().cloned()).collect();
+            substitute_many(body, &map)
+        }
+        Formula::True
+        | Formula::False
+        | Formula::Rel(..)
+        | Formula::Eq(..)
+        | Formula::Pred(..)
+        | Formula::NumLe(..)
+        | Formula::NumEq(..)
+        | Formula::Bit(..) => f.clone(),
+        Formula::Not(g) => Formula::Not(Box::new(unfold_relation(g, rel, params, body))),
+        Formula::And(gs) => Formula::And(
+            gs.iter()
+                .map(|g| unfold_relation(g, rel, params, body))
+                .collect(),
+        ),
+        Formula::Or(gs) => Formula::Or(
+            gs.iter()
+                .map(|g| unfold_relation(g, rel, params, body))
+                .collect(),
+        ),
+        Formula::Implies(a, b) => Formula::Implies(
+            Box::new(unfold_relation(a, rel, params, body)),
+            Box::new(unfold_relation(b, rel, params, body)),
+        ),
+        Formula::Iff(a, b) => Formula::Iff(
+            Box::new(unfold_relation(a, rel, params, body)),
+            Box::new(unfold_relation(b, rel, params, body)),
+        ),
+        Formula::Exists(v, g) => rebind(f, v, g, rel, params, body),
+        Formula::Forall(v, g) => rebind(f, v, g, rel, params, body),
+        Formula::CountGe(_, v, g) => rebind(f, v, g, rel, params, body),
+        Formula::NumExists(v, g) => Formula::NumExists(
+            v.clone(),
+            Box::new(unfold_relation(g, rel, params, body)),
+        ),
+        Formula::NumForall(v, g) => Formula::NumForall(
+            v.clone(),
+            Box::new(unfold_relation(g, rel, params, body)),
+        ),
+    }
+}
+
+/// Handles a first-sort binder while unfolding: if the bound variable occurs
+/// (as a parameter name) in `body`, rename it first so the unfolded body's
+/// variables are not captured.
+fn rebind(
+    original: &Formula,
+    v: &Var,
+    g: &Formula,
+    rel: &str,
+    params: &[Var],
+    body: &Formula,
+) -> Formula {
+    let mut avoid: BTreeSet<Var> = body.all_vars();
+    avoid.extend(params.iter().cloned());
+    let (v2, g2);
+    if avoid.contains(v) {
+        let mut avoid_all = avoid;
+        avoid_all.extend(g.all_vars());
+        v2 = fresh_var(v, &avoid_all);
+        g2 = substitute(g, v, &Term::Var(v2.clone()));
+    } else {
+        v2 = v.clone();
+        g2 = g.clone();
+    }
+    let inner = Box::new(unfold_relation(&g2, rel, params, body));
+    match original {
+        Formula::Exists(..) => Formula::Exists(v2, inner),
+        Formula::Forall(..) => Formula::Forall(v2, inner),
+        Formula::CountGe(i, _, _) => Formula::CountGe(i.clone(), v2, inner),
+        _ => unreachable!("rebind only called for first-sort binders"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(x: Term, y: Term) -> Formula {
+        Formula::rel("E", [x, y])
+    }
+    fn v(s: &str) -> Term {
+        Term::var(s)
+    }
+
+    #[test]
+    fn simple_substitution() {
+        let f = e(v("x"), v("y"));
+        let g = substitute(&f, &Var::new("x"), &Term::cst(7u64));
+        assert_eq!(g, e(Term::cst(7u64), v("y")));
+    }
+
+    #[test]
+    fn bound_variable_not_substituted() {
+        let f = Formula::exists("x", e(v("x"), v("y")));
+        let g = substitute(&f, &Var::new("x"), &Term::cst(7u64));
+        assert_eq!(g, f);
+    }
+
+    #[test]
+    fn capture_is_avoided() {
+        // (exists y. E(x,y))[x := y]  must NOT become  exists y. E(y,y)
+        let f = Formula::exists("y", e(v("x"), v("y")));
+        let g = substitute(&f, &Var::new("x"), &v("y"));
+        match &g {
+            Formula::Exists(w, inner) => {
+                assert_ne!(w.name(), "y", "binder must be renamed");
+                assert_eq!(
+                    **inner,
+                    e(v("y"), Term::Var(w.clone())),
+                    "free y stays free, bound occurrence follows the rename"
+                );
+            }
+            other => panic!("expected exists, got {other}"),
+        }
+    }
+
+    #[test]
+    fn simultaneous_substitution_is_parallel() {
+        // E(x,y)[x:=y, y:=x] swaps, it does not chain.
+        let f = e(v("x"), v("y"));
+        let mut map = BTreeMap::new();
+        map.insert(Var::new("x"), v("y"));
+        map.insert(Var::new("y"), v("x"));
+        assert_eq!(substitute_many(&f, &map), e(v("y"), v("x")));
+    }
+
+    #[test]
+    fn unfold_relation_basic() {
+        // Replace E(a,b) by "a = b" in  forall x. E(x, x)
+        let f = Formula::forall("x", e(v("x"), v("x")));
+        let params = [Var::new("p"), Var::new("q")];
+        let body = Formula::eq(v("p"), v("q"));
+        let g = unfold_relation(&f, "E", &params, &body);
+        assert_eq!(g, Formula::forall("x", Formula::eq(v("x"), v("x"))));
+    }
+
+    #[test]
+    fn unfold_relation_renames_clashing_binder() {
+        // body mentions parameter p; formula binds p — binder must be renamed.
+        let f = Formula::exists("p", e(v("p"), v("p")));
+        let params = [Var::new("p"), Var::new("q")];
+        let body = Formula::and([
+            Formula::rel("R", [v("p")]),
+            Formula::rel("R", [v("q")]),
+        ]);
+        let g = unfold_relation(&f, "E", &params, &body);
+        match &g {
+            Formula::Exists(w, inner) => {
+                let expected = Formula::and([
+                    Formula::rel("R", [Term::Var(w.clone())]),
+                    Formula::rel("R", [Term::Var(w.clone())]),
+                ]);
+                assert_eq!(**inner, expected);
+            }
+            other => panic!("expected exists, got {other}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stray free variable")]
+    fn unfold_rejects_open_body() {
+        let f = e(v("x"), v("y"));
+        let params = [Var::new("p"), Var::new("q")];
+        let body = Formula::rel("R", [v("z")]); // z not a parameter
+        let _ = unfold_relation(&f, "E", &params, &body);
+    }
+
+    #[test]
+    fn fresh_var_avoids_collisions() {
+        let avoid: BTreeSet<Var> = ["x", "x0", "x1"].iter().map(Var::new).collect();
+        let f = fresh_var(&Var::new("x"), &avoid);
+        assert!(!avoid.contains(&f));
+        assert!(f.name().starts_with('x'));
+    }
+}

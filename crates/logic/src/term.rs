@@ -1,0 +1,312 @@
+//! First-order terms over the universe `U` and an interpreted signature Ω.
+//!
+//! The paper fixes a countably infinite universe `U`; we realize it as the
+//! set of `u64` ids ([`Elem`]). `FOc` adds a constant symbol for every
+//! element of `U` — [`Term::Const`] — and `FOc(Ω)` adds interpreted function
+//! symbols ([`Term::App`]). Pure FO terms are just variables.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// An element of the countably infinite universe `U`.
+///
+/// Databases interpret relation symbols as finite sets of tuples of `Elem`s;
+/// `FOc` constant symbols denote elements directly.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Elem(pub u64);
+
+impl fmt::Debug for Elem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Display for Elem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Elem {
+    fn from(v: u64) -> Self {
+        Elem(v)
+    }
+}
+
+/// A first-order variable, identified by name.
+///
+/// Variables are shared immutable strings, so cloning is cheap. The same type
+/// is used for the numeric sort of `FOcount`; the two sorts never mix because
+/// element variables appear only in [`Term`] positions and numeric variables
+/// only in [`crate::formula::NumTerm`] positions.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(Arc<str>);
+
+impl Var {
+    /// Creates a variable with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Var(Arc::from(name.as_ref()))
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Self {
+        Var::new(s)
+    }
+}
+
+impl Serialize for Var {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.0)
+    }
+}
+
+impl<'de> Deserialize<'de> for Var {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(Var::new(String::deserialize(d)?))
+    }
+}
+
+/// An interpreted function symbol from Ω (name only; the arity and the
+/// recursive interpretation are registered in `vpdt-eval`'s `Omega`).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncSym(Arc<str>);
+
+impl FuncSym {
+    /// Creates a function symbol with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        FuncSym(Arc::from(name.as_ref()))
+    }
+
+    /// The symbol's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for FuncSym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for FuncSym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An interpreted predicate symbol from Ω.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredSym(Arc<str>);
+
+impl PredSym {
+    /// Creates a predicate symbol with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        PredSym(Arc::from(name.as_ref()))
+    }
+
+    /// The symbol's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for PredSym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for PredSym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A first-order term: a variable, an `FOc` constant, or an Ω-function
+/// application.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A variable.
+    Var(Var),
+    /// A constant symbol denoting the universe element (FOc and beyond).
+    Const(Elem),
+    /// Application of an interpreted Ω-function symbol.
+    App(FuncSym, Vec<Term>),
+}
+
+impl Term {
+    /// Convenience constructor for a variable term.
+    pub fn var(name: impl AsRef<str>) -> Self {
+        Term::Var(Var::new(name))
+    }
+
+    /// Convenience constructor for a constant term.
+    pub fn cst(e: impl Into<Elem>) -> Self {
+        Term::Const(e.into())
+    }
+
+    /// Convenience constructor for a function application.
+    pub fn app(f: impl AsRef<str>, args: impl IntoIterator<Item = Term>) -> Self {
+        Term::App(FuncSym::new(f), args.into_iter().collect())
+    }
+
+    /// All variables occurring in the term, in depth-first order, deduplicated.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<Var>) {
+        match self {
+            Term::Var(v) => {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+            Term::Const(_) => {}
+            Term::App(_, args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Whether the variable occurs in the term.
+    pub fn contains_var(&self, v: &Var) -> bool {
+        match self {
+            Term::Var(w) => w == v,
+            Term::Const(_) => false,
+            Term::App(_, args) => args.iter().any(|a| a.contains_var(v)),
+        }
+    }
+
+    /// All constants occurring in the term.
+    pub fn constants(&self) -> Vec<Elem> {
+        let mut out = Vec::new();
+        self.collect_constants(&mut out);
+        out
+    }
+
+    fn collect_constants(&self, out: &mut Vec<Elem>) {
+        match self {
+            Term::Var(_) => {}
+            Term::Const(c) => {
+                if !out.contains(c) {
+                    out.push(*c);
+                }
+            }
+            Term::App(_, args) => {
+                for a in args {
+                    a.collect_constants(out);
+                }
+            }
+        }
+    }
+
+    /// Simultaneously substitutes terms for variables.
+    ///
+    /// Terms have no binders, so the substitution is plain structural
+    /// replacement.
+    pub fn substitute(&self, map: &dyn Fn(&Var) -> Option<Term>) -> Term {
+        match self {
+            Term::Var(v) => map(v).unwrap_or_else(|| self.clone()),
+            Term::Const(_) => self.clone(),
+            Term::App(f, args) => {
+                Term::App(f.clone(), args.iter().map(|a| a.substitute(map)).collect())
+            }
+        }
+    }
+
+    /// Substitutes a single variable by a term.
+    pub fn subst_var(&self, v: &Var, t: &Term) -> Term {
+        self.substitute(&|w| if w == v { Some(t.clone()) } else { None })
+    }
+
+    /// Whether the term is a ground (variable-free) term.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Term::Var(_) => false,
+            Term::Const(_) => true,
+            Term::App(_, args) => args.iter().all(Term::is_ground),
+        }
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            Term::Var(_) | Term::Const(_) => 1,
+            Term::App(_, args) => 1 + args.iter().map(Term::size).sum::<usize>(),
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_identity() {
+        assert_eq!(Var::new("x"), Var::new("x"));
+        assert_ne!(Var::new("x"), Var::new("y"));
+        assert_eq!(Var::new("abc").name(), "abc");
+    }
+
+    #[test]
+    fn term_vars_dedup_and_order() {
+        let t = Term::app("f", [Term::var("x"), Term::app("g", [Term::var("y"), Term::var("x")])]);
+        assert_eq!(t.vars(), vec![Var::new("x"), Var::new("y")]);
+    }
+
+    #[test]
+    fn term_substitution_is_structural() {
+        let t = Term::app("f", [Term::var("x"), Term::cst(3u64)]);
+        let s = t.subst_var(&Var::new("x"), &Term::var("z"));
+        assert_eq!(s, Term::app("f", [Term::var("z"), Term::cst(3u64)]));
+        // substituting an absent variable is the identity
+        assert_eq!(t.subst_var(&Var::new("q"), &Term::cst(0u64)), t);
+    }
+
+    #[test]
+    fn groundness_and_size() {
+        assert!(Term::cst(1u64).is_ground());
+        assert!(!Term::var("x").is_ground());
+        let t = Term::app("f", [Term::cst(1u64), Term::app("g", [Term::cst(2u64)])]);
+        assert!(t.is_ground());
+        assert_eq!(t.size(), 4);
+    }
+
+    #[test]
+    fn contains_var_looks_through_applications() {
+        let t = Term::app("f", [Term::app("g", [Term::var("deep")])]);
+        assert!(t.contains_var(&Var::new("deep")));
+        assert!(!t.contains_var(&Var::new("x")));
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests on the formula AST itself, with a genuine proptest
+//! strategy generating random pure-FO formulas (closed by construction:
+//! atoms only draw from enclosing binders).
+
+use proptest::prelude::*;
+use vpdt_logic::nnf::{is_nnf, nnf};
+use vpdt_logic::simplify::{normalize, simplify};
+use vpdt_logic::subst::{substitute, unfold_relation};
+use vpdt_logic::{parse_formula, Formula, Term, Var};
+
+/// Strategy: formulas whose free variables are among `x0..x{scope-1}`.
+fn formula_strategy(scope: usize, depth: u32) -> BoxedStrategy<Formula> {
+    let atom = {
+        let leaf = prop_oneof![Just(Formula::True), Just(Formula::False)];
+        if scope == 0 {
+            leaf.boxed()
+        } else {
+            let var = (0..scope).prop_map(|i| Term::var(format!("x{i}")));
+            prop_oneof![
+                Just(Formula::True),
+                Just(Formula::False),
+                (var.clone(), var.clone())
+                    .prop_map(|(a, b)| Formula::rel("E", [a, b])),
+                (var.clone(), var).prop_map(|(a, b)| Formula::eq(a, b)),
+            ]
+            .boxed()
+        }
+    };
+    if depth == 0 {
+        return atom;
+    }
+    let sub = formula_strategy(scope, depth - 1);
+    let sub_deeper = formula_strategy(scope + 1, depth - 1);
+    prop_oneof![
+        3 => atom,
+        2 => sub.clone().prop_map(Formula::not),
+        2 => (sub.clone(), sub.clone()).prop_map(|(a, b)| Formula::and([a, b])),
+        2 => (sub.clone(), sub.clone()).prop_map(|(a, b)| Formula::or([a, b])),
+        1 => (sub.clone(), sub).prop_map(|(a, b)| Formula::implies(a, b)),
+        2 => sub_deeper
+            .clone()
+            .prop_map(move |f| Formula::exists(Var::new(format!("x{scope}")), f)),
+        2 => sub_deeper.prop_map(move |f| Formula::forall(Var::new(format!("x{scope}")), f)),
+    ]
+    .boxed()
+}
+
+fn sentences() -> BoxedStrategy<Formula> {
+    formula_strategy(0, 4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn generated_formulas_are_closed(f in sentences()) {
+        prop_assert!(f.is_sentence(), "open: {}", f);
+        prop_assert!(f.is_pure_fo());
+    }
+
+    #[test]
+    fn print_parse_roundtrip(f in sentences()) {
+        let s = f.to_string();
+        let back = parse_formula(&s).expect("parses back");
+        prop_assert_eq!(f, back, "via {}", s);
+    }
+
+    #[test]
+    fn nnf_is_nnf_and_preserves_shape(f in sentences()) {
+        let g = nnf(&f);
+        prop_assert!(is_nnf(&g));
+        prop_assert_eq!(f.quantifier_rank(), g.quantifier_rank());
+        prop_assert_eq!(f.free_vars(), g.free_vars());
+        // nnf is idempotent
+        prop_assert_eq!(nnf(&g.clone()), g);
+    }
+
+    #[test]
+    fn simplify_never_grows_and_is_idempotent(f in sentences()) {
+        let s = simplify(&f);
+        prop_assert!(s.size() <= f.size());
+        prop_assert_eq!(simplify(&s.clone()), s);
+    }
+
+    #[test]
+    fn normalize_is_idempotent(f in sentences()) {
+        let n = normalize(&f);
+        prop_assert_eq!(normalize(&n.clone()), n);
+    }
+
+    #[test]
+    fn substitution_of_absent_variable_is_identity(f in sentences()) {
+        // sentences have no free variables, so substitution cannot act
+        let g = substitute(&f, &Var::new("zz"), &Term::cst(9u64));
+        prop_assert_eq!(f, g);
+    }
+
+    #[test]
+    fn unfolding_with_the_same_atom_is_identity_modulo_names(f in sentences()) {
+        // replacing E(p,q) by E(p,q) round-trips semantically; at least the
+        // relation census is unchanged
+        let params = [Var::new("p"), Var::new("q")];
+        let body = Formula::rel("E", [Term::var("p"), Term::var("q")]);
+        let g = unfold_relation(&f, "E", &params, &body);
+        prop_assert_eq!(f.relations_used(), g.relations_used());
+        prop_assert_eq!(f.quantifier_rank(), g.quantifier_rank());
+    }
+}

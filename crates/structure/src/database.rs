@@ -1,0 +1,407 @@
+//! Databases: finite interpretations of a relational schema.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use vpdt_logic::{Elem, Schema};
+
+/// A finite relation: a set of tuples of fixed arity over `U`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Relation {
+    arity: usize,
+    tuples: BTreeSet<Vec<Elem>>,
+}
+
+impl Relation {
+    /// An empty relation of the given arity.
+    pub fn empty(arity: usize) -> Self {
+        Relation { arity, tuples: BTreeSet::new() }
+    }
+
+    /// The relation's arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Inserts a tuple. Returns `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics on an arity mismatch (a programming error).
+    pub fn insert(&mut self, tuple: Vec<Elem>) -> bool {
+        assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
+        self.tuples.insert(tuple)
+    }
+
+    /// Removes a tuple. Returns `true` if it was present.
+    pub fn remove(&mut self, tuple: &[Elem]) -> bool {
+        self.tuples.remove(tuple)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &[Elem]) -> bool {
+        self.tuples.contains(tuple)
+    }
+
+    /// Iterates over tuples in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &Vec<Elem>> {
+        self.tuples.iter()
+    }
+
+    /// All elements appearing in some tuple.
+    pub fn active_domain(&self) -> BTreeSet<Elem> {
+        self.tuples.iter().flatten().copied().collect()
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.tuples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "(")?;
+            for (j, e) in t.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{e}")?;
+            }
+            write!(f, ")")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A database over a schema: a finite domain `⊆ U` plus an interpretation of
+/// every relation symbol as a finite relation over that domain.
+///
+/// ```
+/// use vpdt_structure::{Database, Elem};
+/// let mut db = Database::graph([(0, 1), (1, 2)]);
+/// assert_eq!(db.domain_size(), 3);
+/// db.insert("E", vec![Elem(2), Elem(0)]);
+/// assert!(db.contains("E", &[Elem(2), Elem(0)]));
+/// ```
+///
+/// The domain is always a superset of the active domain (the set of elements
+/// occurring in tuples); inserting a tuple automatically extends the domain.
+/// First-sort quantifiers of the specification languages range over the
+/// domain (see `vpdt-eval`).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Database {
+    schema: Schema,
+    domain: BTreeSet<Elem>,
+    rels: Vec<Relation>,
+}
+
+impl Database {
+    /// An empty database (empty domain, all relations empty).
+    pub fn empty(schema: Schema) -> Self {
+        let rels = schema.rels().iter().map(|r| Relation::empty(r.arity)).collect();
+        Database { schema, domain: BTreeSet::new(), rels }
+    }
+
+    /// A graph (schema `{E/2}`) with the given edges; the domain is the set
+    /// of endpoints.
+    pub fn graph(edges: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        let mut db = Database::empty(Schema::graph());
+        for (a, b) in edges {
+            db.insert("E", vec![Elem(a), Elem(b)]);
+        }
+        db
+    }
+
+    /// A graph with an explicit node set (which may include isolated nodes).
+    pub fn graph_with_domain(
+        nodes: impl IntoIterator<Item = u64>,
+        edges: impl IntoIterator<Item = (u64, u64)>,
+    ) -> Self {
+        let mut db = Database::graph(edges);
+        for n in nodes {
+            db.add_domain_elem(Elem(n));
+        }
+        db
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The explicit finite domain.
+    pub fn domain(&self) -> &BTreeSet<Elem> {
+        &self.domain
+    }
+
+    /// Number of domain elements.
+    pub fn domain_size(&self) -> usize {
+        self.domain.len()
+    }
+
+    /// The active domain: elements occurring in at least one tuple.
+    pub fn active_domain(&self) -> BTreeSet<Elem> {
+        let mut out = BTreeSet::new();
+        for r in &self.rels {
+            out.extend(r.active_domain());
+        }
+        out
+    }
+
+    /// Adds an element to the domain (it may remain isolated).
+    pub fn add_domain_elem(&mut self, e: Elem) -> bool {
+        self.domain.insert(e)
+    }
+
+    /// Restricts the domain to the active domain, dropping isolated elements.
+    pub fn shrink_domain_to_active(&mut self) {
+        self.domain = self.active_domain();
+    }
+
+    /// The relation interpreting `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is not in the schema.
+    pub fn rel(&self, name: &str) -> &Relation {
+        let i = self
+            .schema
+            .index_of(name)
+            .unwrap_or_else(|| panic!("relation {name} not in schema"));
+        &self.rels[i]
+    }
+
+    /// Inserts a tuple into `name`, extending the domain with its elements.
+    ///
+    /// # Panics
+    /// Panics if `name` is not in the schema or on arity mismatch.
+    pub fn insert(&mut self, name: &str, tuple: Vec<Elem>) -> bool {
+        let i = self
+            .schema
+            .index_of(name)
+            .unwrap_or_else(|| panic!("relation {name} not in schema"));
+        self.domain.extend(tuple.iter().copied());
+        self.rels[i].insert(tuple)
+    }
+
+    /// Removes a tuple from `name` (the domain is left unchanged).
+    pub fn remove(&mut self, name: &str, tuple: &[Elem]) -> bool {
+        let i = self
+            .schema
+            .index_of(name)
+            .unwrap_or_else(|| panic!("relation {name} not in schema"));
+        self.rels[i].remove(tuple)
+    }
+
+    /// Whether `tuple ∈ name`.
+    pub fn contains(&self, name: &str, tuple: &[Elem]) -> bool {
+        self.rel(name).contains(tuple)
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.rels.iter().map(Relation::len).sum()
+    }
+
+    /// Edges of the binary relation `E` as pairs (convenience for graphs).
+    ///
+    /// # Panics
+    /// Panics if `E` is absent or not binary.
+    pub fn edges(&self) -> Vec<(Elem, Elem)> {
+        let r = self.rel("E");
+        assert_eq!(r.arity(), 2, "E must be binary");
+        r.iter().map(|t| (t[0], t[1])).collect()
+    }
+
+    /// Applies a permutation of `U` to the whole database (domain and all
+    /// tuples). Used to test *genericity* — invariance under permutations of
+    /// the universe (Section 4).
+    pub fn permuted(&self, pi: &dyn Fn(Elem) -> Elem) -> Database {
+        let mut out = Database::empty(self.schema.clone());
+        for e in &self.domain {
+            out.add_domain_elem(pi(*e));
+        }
+        for (rel, store) in self.schema.rels().iter().zip(&self.rels) {
+            for t in store.iter() {
+                out.insert(&rel.name, t.iter().map(|e| pi(*e)).collect());
+            }
+        }
+        out
+    }
+
+    /// A database with the same relations interpreted over an extended
+    /// schema (extra relations start empty). Used to evaluate monadic Σ¹₁
+    /// matrices and Datalog programs.
+    pub fn with_schema(&self, schema: Schema) -> Database {
+        let mut out = Database::empty(schema);
+        out.domain = self.domain.clone();
+        for (rel, store) in self.schema.rels().iter().zip(&self.rels) {
+            assert_eq!(
+                out.schema.arity_of(&rel.name),
+                Some(rel.arity),
+                "extended schema must preserve {}",
+                rel.name
+            );
+            for t in store.iter() {
+                out.insert(&rel.name, t.clone());
+            }
+        }
+        // restore: inserting extended the domain, but it was already complete
+        out.domain = self.domain.clone();
+        out
+    }
+
+    /// A stable, human-readable encoding of the database. Transaction
+    /// languages in the paper are formalized as recursive functions on such
+    /// encodings (Section 2); [`Database::decode`] inverts it.
+    pub fn encode(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "dom:{}",
+            self.domain
+                .iter()
+                .map(|e| e.0.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for (rel, store) in self.schema.rels().iter().zip(&self.rels) {
+            let _ = write!(s, ";{}:", rel.name);
+            let tuples: Vec<String> = store
+                .iter()
+                .map(|t| {
+                    t.iter()
+                        .map(|e| e.0.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                })
+                .collect();
+            let _ = write!(s, "{}", tuples.join(","));
+        }
+        s
+    }
+
+    /// Parses the encoding produced by [`Database::encode`] against a schema.
+    pub fn decode(schema: Schema, s: &str) -> Result<Database, String> {
+        let mut db = Database::empty(schema);
+        for (i, part) in s.split(';').enumerate() {
+            let (name, body) = part
+                .split_once(':')
+                .ok_or_else(|| format!("missing `:` in segment {i}"))?;
+            if i == 0 {
+                if name != "dom" {
+                    return Err("first segment must be dom".into());
+                }
+                for e in body.split(',').filter(|x| !x.is_empty()) {
+                    let v: u64 = e.parse().map_err(|_| format!("bad element {e}"))?;
+                    db.add_domain_elem(Elem(v));
+                }
+            } else {
+                for t in body.split(',').filter(|x| !x.is_empty()) {
+                    let tuple: Result<Vec<Elem>, String> = t
+                        .split_whitespace()
+                        .map(|e| {
+                            e.parse::<u64>()
+                                .map(Elem)
+                                .map_err(|_| format!("bad element {e}"))
+                        })
+                        .collect();
+                    db.insert(name, tuple?);
+                }
+            }
+        }
+        Ok(db)
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Database(dom={:?}", self.domain)?;
+        for (rel, store) in self.schema.rels().iter().zip(&self.rels) {
+            write!(f, ", {}={:?}", rel.name, store)?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.encode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_extends_domain() {
+        let mut db = Database::empty(Schema::graph());
+        db.insert("E", vec![Elem(1), Elem(2)]);
+        assert_eq!(db.domain().len(), 2);
+        assert!(db.contains("E", &[Elem(1), Elem(2)]));
+        assert!(!db.contains("E", &[Elem(2), Elem(1)]));
+    }
+
+    #[test]
+    fn domain_can_exceed_active_domain() {
+        let db = Database::graph_with_domain([1, 2, 3], [(1, 2)]);
+        assert_eq!(db.domain_size(), 3);
+        assert_eq!(db.active_domain().len(), 2);
+    }
+
+    #[test]
+    fn permutation_preserves_structure() {
+        let db = Database::graph([(1, 2), (2, 3)]);
+        let swapped = db.permuted(&|e| match e.0 {
+            1 => Elem(10),
+            2 => Elem(20),
+            3 => Elem(30),
+            other => Elem(other),
+        });
+        assert!(swapped.contains("E", &[Elem(10), Elem(20)]));
+        assert!(swapped.contains("E", &[Elem(20), Elem(30)]));
+        assert_eq!(swapped.total_tuples(), 2);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let db = Database::graph_with_domain([5], [(1, 2), (2, 2)]);
+        let s = db.encode();
+        let back = Database::decode(Schema::graph(), &s).expect("decodes");
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn with_schema_keeps_relations_and_domain() {
+        let db = Database::graph_with_domain([9], [(1, 2)]);
+        let ext = db.with_schema(Schema::graph().extended([("A", 1)]));
+        assert!(ext.contains("E", &[Elem(1), Elem(2)]));
+        assert!(ext.rel("A").is_empty());
+        assert_eq!(ext.domain(), db.domain());
+    }
+
+    #[test]
+    fn relation_arity_enforced() {
+        let mut r = Relation::empty(2);
+        assert!(r.insert(vec![Elem(1), Elem(2)]));
+        assert!(!r.insert(vec![Elem(1), Elem(2)]));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn wrong_arity_panics() {
+        let mut r = Relation::empty(2);
+        r.insert(vec![Elem(1)]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Sentences axiomatizing a single finite structure.
+//!
+//! Lemma 6 (inside Theorem 5) builds a sentence `χ` "that defines this
+//! finite set" of graphs. Two variants are needed:
+//!
+//! * [`describe_exactly`] — an FOc sentence (using constants) true in `D`
+//!   and in no other database over the same schema;
+//! * [`describe_up_to_iso`] — a pure-FO sentence true exactly in the
+//!   isomorphic copies of `D` ("every finite collection of isomorphism
+//!   classes can be expressed by a sentence of FO").
+//!
+//! Both rely on the explicit-domain semantics: `∃x. x = c` asserts that the
+//! element `c` belongs to the (finite) domain.
+
+use crate::database::Database;
+use vpdt_logic::{Formula, Term, Var};
+
+/// An FOc sentence satisfied by exactly the database `db` (same schema,
+/// same domain, same relations).
+pub fn describe_exactly(db: &Database) -> Formula {
+    let mut parts = Vec::new();
+    // Domain: every listed element is present…
+    for e in db.domain() {
+        parts.push(Formula::exists(
+            "x",
+            Formula::eq(Term::var("x"), Term::Const(*e)),
+        ));
+    }
+    // …and nothing else is.
+    parts.push(Formula::forall(
+        "x",
+        Formula::or(
+            db.domain()
+                .iter()
+                .map(|e| Formula::eq(Term::var("x"), Term::Const(*e))),
+        ),
+    ));
+    // Relations: positive and negative facts over the domain.
+    for (name, arity) in db.schema().iter() {
+        for tuple in tuples_over(db, arity) {
+            let atom = Formula::rel(name, tuple.iter().map(|e| Term::Const(*e)));
+            if db.contains(name, &tuple) {
+                parts.push(atom);
+            } else {
+                parts.push(Formula::not(atom));
+            }
+        }
+    }
+    Formula::and(parts)
+}
+
+fn tuples_over(db: &Database, arity: usize) -> Vec<Vec<vpdt_logic::Elem>> {
+    let dom: Vec<vpdt_logic::Elem> = db.domain().iter().copied().collect();
+    let mut out = vec![Vec::new()];
+    for _ in 0..arity {
+        let mut next = Vec::with_capacity(out.len() * dom.len());
+        for t in &out {
+            for e in &dom {
+                let mut t2 = t.clone();
+                t2.push(*e);
+                next.push(t2);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// A pure-FO sentence satisfied by exactly the databases isomorphic to `db`.
+pub fn describe_up_to_iso(db: &Database) -> Formula {
+    let dom: Vec<vpdt_logic::Elem> = db.domain().iter().copied().collect();
+    let vars: Vec<Var> = (0..dom.len()).map(|i| Var::new(format!("n{i}"))).collect();
+    let var_of = |e: &vpdt_logic::Elem| {
+        let i = dom.iter().position(|d| d == e).expect("element in domain");
+        Term::Var(vars[i].clone())
+    };
+    let mut parts = vec![vpdt_logic::library::pairwise_distinct(&vars)];
+    // every domain element is one of the named nodes
+    parts.push(Formula::forall(
+        "y",
+        Formula::or(
+            vars.iter()
+                .map(|v| Formula::eq(Term::var("y"), Term::Var(v.clone()))),
+        ),
+    ));
+    for (name, arity) in db.schema().iter() {
+        for tuple in tuples_over(db, arity) {
+            let atom = Formula::rel(name, tuple.iter().map(&var_of));
+            if db.contains(name, &tuple) {
+                parts.push(atom);
+            } else {
+                parts.push(Formula::not(atom));
+            }
+        }
+    }
+    let body = Formula::and(parts);
+    if dom.is_empty() {
+        // the empty structure: no node exists
+        return Formula::forall("y", Formula::False);
+    }
+    Formula::exists_many(vars, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptions_are_sentences() {
+        let db = Database::graph_with_domain([5], [(1, 2), (2, 2)]);
+        assert!(describe_exactly(&db).is_sentence());
+        assert!(describe_up_to_iso(&db).is_sentence());
+        assert!(describe_up_to_iso(&db).is_pure_fo());
+        assert!(!describe_exactly(&db).is_pure_fo());
+    }
+
+    #[test]
+    fn empty_structure_description() {
+        let db = Database::graph([]);
+        let f = describe_up_to_iso(&db);
+        assert!(f.is_sentence());
+    }
+}

@@ -1,0 +1,157 @@
+//! Recursive enumerations of finite graphs.
+//!
+//! Theorem 5's diagonalization needs two enumerations:
+//!
+//! * `(Gᵢ)` — *all* finite graphs, recursively enumerated
+//!   ([`GraphEnumerator`]); we enumerate graphs whose node set is an initial
+//!   segment `{0..n−1}` of `U`, by increasing node count and then by
+//!   adjacency bitmask. (The paper enumerates graphs over arbitrary finite
+//!   subsets of `U`; initial segments are a recursive, infinite subfamily on
+//!   which the same construction goes through — see DESIGN.md §2.)
+//! * `(Cₙ)` — one representative per isomorphism class
+//!   ([`NonIsoGraphEnumerator`]), obtained by filtering `(Gᵢ)` through
+//!   canonical codes, exactly as the paper constructs it ("enumerate graphs
+//!   until we come upon one nonisomorphic to any previously enumerated").
+
+use crate::database::Database;
+use crate::iso::{graph_code, CanonCode};
+use std::collections::HashSet;
+
+/// All graphs with node set `{0..n−1}`, ordered by adjacency bitmask (bit
+/// `i*n+j` set ⇔ edge `i→j`; bit 0 is the most significant cell in the
+/// iteration order below).
+pub fn all_graphs_on(n: usize) -> impl Iterator<Item = Database> {
+    let cells = n * n;
+    assert!(cells <= 25, "2^(n^2) graphs: refuse n > 5");
+    (0u64..(1u64 << cells)).map(move |mask| graph_from_mask(n, mask))
+}
+
+/// The graph on `{0..n−1}` whose adjacency is given by `mask`.
+pub fn graph_from_mask(n: usize, mask: u64) -> Database {
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if mask >> (i * n + j) & 1 == 1 {
+                edges.push((i as u64, j as u64));
+            }
+        }
+    }
+    Database::graph_with_domain(0..n as u64, edges)
+}
+
+/// Enumerates **all** finite graphs on initial-segment node sets:
+/// `n = 0, 1, 2, …`, and within each `n` all `2^(n²)` adjacency masks.
+/// This is the `(Gᵢ)` of Theorem 5.
+#[derive(Default)]
+pub struct GraphEnumerator {
+    n: usize,
+    mask: u64,
+}
+
+impl GraphEnumerator {
+    /// Starts at the empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Iterator for GraphEnumerator {
+    type Item = Database;
+
+    fn next(&mut self) -> Option<Database> {
+        let cells = self.n * self.n;
+        assert!(cells < 63, "graph enumeration ran astronomically far");
+        let db = graph_from_mask(self.n, self.mask);
+        self.mask += 1;
+        if self.mask >= 1u64 << cells {
+            self.mask = 0;
+            self.n += 1;
+        }
+        Some(db)
+    }
+}
+
+/// Enumerates one representative per isomorphism class of finite graphs —
+/// the `(Cₙ)` of Theorem 5. Representatives appear in `(Gᵢ)` order.
+pub struct NonIsoGraphEnumerator {
+    inner: GraphEnumerator,
+    seen: HashSet<CanonCode>,
+}
+
+impl NonIsoGraphEnumerator {
+    /// Starts at the empty graph.
+    pub fn new() -> Self {
+        NonIsoGraphEnumerator { inner: GraphEnumerator::new(), seen: HashSet::new() }
+    }
+}
+
+impl Default for NonIsoGraphEnumerator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Iterator for NonIsoGraphEnumerator {
+    type Item = Database;
+
+    fn next(&mut self) -> Option<Database> {
+        for db in self.inner.by_ref() {
+            let code = graph_code(&db);
+            if self.seen.insert(code) {
+                return Some(db);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iso::graphs_isomorphic;
+
+    #[test]
+    fn counts_for_small_n() {
+        assert_eq!(all_graphs_on(0).count(), 1);
+        assert_eq!(all_graphs_on(1).count(), 2);
+        assert_eq!(all_graphs_on(2).count(), 16);
+    }
+
+    #[test]
+    fn enumerator_crosses_sizes() {
+        let firsts: Vec<Database> = GraphEnumerator::new().take(20).collect();
+        // 1 graph on 0 nodes + 2 on 1 node + 16 on 2 nodes = 19, so the
+        // 20th graph is the first on 3 nodes (empty).
+        assert_eq!(firsts[0].domain_size(), 0);
+        assert_eq!(firsts[1].domain_size(), 1);
+        assert_eq!(firsts[3].domain_size(), 2);
+        assert_eq!(firsts[19].domain_size(), 3);
+        assert_eq!(firsts[19].total_tuples(), 0);
+    }
+
+    #[test]
+    fn non_iso_enumeration_on_two_nodes() {
+        // Isomorphism classes of digraphs-with-loops on ≤ 2 nodes:
+        // n=0: 1; n=1: 2 (loop or not); n=2: the 16 masks fall into 10
+        // classes. Total first 13 classes by size ≤ 2.
+        let reps: Vec<Database> = NonIsoGraphEnumerator::new()
+            .take_while(|g| g.domain_size() <= 2)
+            .collect();
+        assert_eq!(reps.len(), 1 + 2 + 10);
+        for (i, a) in reps.iter().enumerate() {
+            for b in reps.iter().skip(i + 1) {
+                assert!(!graphs_isomorphic(a, b), "{a:?} ~ {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_graph_is_isomorphic_to_a_representative() {
+        let reps: Vec<Database> = NonIsoGraphEnumerator::new()
+            .take_while(|g| g.domain_size() <= 2)
+            .collect();
+        for g in all_graphs_on(2) {
+            assert!(reps.iter().any(|r| graphs_isomorphic(r, &g)));
+        }
+    }
+}

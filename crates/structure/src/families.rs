@@ -1,0 +1,276 @@
+//! Generators for every graph family appearing in the paper.
+//!
+//! * [`chain`], [`cycle`], [`two_cycles`] — Section 3's building blocks
+//!   (`C¹_n` is `cycle(2n)`, `C²_n` is `two_cycles(n, n)`);
+//! * [`cc_graph`] — chain-and-cycle graphs (Lemma 1);
+//! * [`gnm`] — the two-branch trees `G_{n,m}` from Claim 3 of Theorem 2 and
+//!   from Theorem 3;
+//! * [`linear_order`] — `L_n`, the transitive closure of an `n`-chain (the
+//!   image of the Theorem 7 transaction on C&C inputs);
+//! * [`diagonal`] — `{(x,x) | x ∈ X}` (the image on non-C&C inputs);
+//! * [`complete_loopless`] — `{(x,y) | x ≠ y}` (the transaction `T₂` of
+//!   Proposition 1 produces it);
+//! * [`random_graph`] — Erdős–Rényi digraphs for property tests and
+//!   workloads.
+
+use crate::database::Database;
+use rand::Rng;
+use vpdt_logic::Elem;
+
+/// A directed chain `0 → 1 → … → n−1` with `n` nodes.
+///
+/// `chain(0)` is the empty graph, `chain(1)` a single isolated node.
+pub fn chain(n: usize) -> Database {
+    chain_from(0, n)
+}
+
+/// A chain of `n` nodes using ids `start..start+n`.
+pub fn chain_from(start: u64, n: usize) -> Database {
+    let nodes = (start..start + n as u64).collect::<Vec<_>>();
+    let edges = nodes.windows(2).map(|w| (w[0], w[1])).collect::<Vec<_>>();
+    Database::graph_with_domain(nodes, edges)
+}
+
+/// A simple directed cycle on `n ≥ 1` nodes `0 → 1 → … → n−1 → 0`.
+pub fn cycle(n: usize) -> Database {
+    cycle_from(0, n)
+}
+
+/// A cycle of `n` nodes using ids `start..start+n`.
+pub fn cycle_from(start: u64, n: usize) -> Database {
+    assert!(n >= 1, "a simple cycle needs at least one node");
+    let nodes: Vec<u64> = (start..start + n as u64).collect();
+    let mut edges: Vec<(u64, u64)> = nodes.windows(2).map(|w| (w[0], w[1])).collect();
+    edges.push((nodes[n - 1], nodes[0]));
+    Database::graph_with_domain(nodes, edges)
+}
+
+/// Disjoint union of two cycles of sizes `n` and `m` (the `C²` graphs of
+/// Theorem 3's monadic Σ¹₁ argument when `n = m`).
+pub fn two_cycles(n: usize, m: usize) -> Database {
+    let a = cycle_from(0, n);
+    let b = cycle_from(n as u64, m);
+    union(&a, &b)
+}
+
+/// A chain-and-cycle graph: one chain of `chain_len` nodes plus a simple
+/// cycle of each given length, all disjoint.
+pub fn cc_graph(chain_len: usize, cycle_lens: &[usize]) -> Database {
+    let mut db = chain_from(0, chain_len);
+    let mut next = chain_len as u64;
+    for &c in cycle_lens {
+        let cyc = cycle_from(next, c);
+        db = union(&db, &cyc);
+        next += c as u64;
+    }
+    db
+}
+
+/// The tree `G_{n,m}` (figure in Section 3.1): a root whose two children
+/// start an `n`-node chain and an `m`-node chain.
+///
+/// Node ids: root `0`; first branch `1..=n`; second branch `n+1..=n+m`.
+/// Edges point away from the root. Requires `n, m ≥ 1`.
+pub fn gnm(n: usize, m: usize) -> Database {
+    assert!(n >= 1 && m >= 1, "G_(n,m) needs both branches non-empty");
+    let mut edges = vec![(0, 1), (0, n as u64 + 1)];
+    for i in 1..n as u64 {
+        edges.push((i, i + 1));
+    }
+    for i in (n as u64 + 1)..(n + m) as u64 {
+        edges.push((i, i + 1));
+    }
+    Database::graph(edges)
+}
+
+/// The strict linear order `L_n` on `n` nodes: `E(i,j)` iff `i < j`.
+/// This is `tc(chain(n))`.
+pub fn linear_order(n: usize) -> Database {
+    let nodes: Vec<u64> = (0..n as u64).collect();
+    let mut edges = Vec::new();
+    for i in 0..n as u64 {
+        for j in (i + 1)..n as u64 {
+            edges.push((i, j));
+        }
+    }
+    Database::graph_with_domain(nodes, edges)
+}
+
+/// The diagonal graph on the given node set: a loop on every node and
+/// nothing else.
+pub fn diagonal(nodes: impl IntoIterator<Item = u64>) -> Database {
+    let nodes: Vec<u64> = nodes.into_iter().collect();
+    let edges: Vec<(u64, u64)> = nodes.iter().map(|&x| (x, x)).collect();
+    Database::graph_with_domain(nodes, edges)
+}
+
+/// The complete loopless digraph `{(x,y) | x ≠ y}` on `n` nodes.
+pub fn complete_loopless(n: usize) -> Database {
+    let nodes: Vec<u64> = (0..n as u64).collect();
+    let mut edges = Vec::new();
+    for &i in &nodes {
+        for &j in &nodes {
+            if i != j {
+                edges.push((i, j));
+            }
+        }
+    }
+    Database::graph_with_domain(nodes, edges)
+}
+
+/// `n` isolated nodes, no edges.
+pub fn empty_graph(n: usize) -> Database {
+    Database::graph_with_domain(0..n as u64, [])
+}
+
+/// The complete binary tree of the given depth (depth 0 = a single root);
+/// edges point from parent to child. A convenient member of `SG_tree`
+/// test inputs.
+pub fn complete_binary_tree(depth: usize) -> Database {
+    let mut edges = Vec::new();
+    let nodes = (1u64 << (depth + 1)) - 1;
+    for i in 0..nodes {
+        for c in [2 * i + 1, 2 * i + 2] {
+            if c < nodes {
+                edges.push((i, c));
+            }
+        }
+    }
+    Database::graph_with_domain(0..nodes, edges)
+}
+
+/// An Erdős–Rényi digraph on `n` nodes: each ordered pair (including loops)
+/// is an edge independently with probability `p`.
+pub fn random_graph(n: usize, p: f64, rng: &mut impl Rng) -> Database {
+    let mut edges = Vec::new();
+    for i in 0..n as u64 {
+        for j in 0..n as u64 {
+            if rng.gen_bool(p) {
+                edges.push((i, j));
+            }
+        }
+    }
+    Database::graph_with_domain(0..n as u64, edges)
+}
+
+/// Disjoint-union of two graph databases.
+///
+/// # Panics
+/// Panics if the domains overlap (the families above allocate disjoint id
+/// ranges, so an overlap is a caller bug).
+pub fn union(a: &Database, b: &Database) -> Database {
+    let mut out = a.clone();
+    for e in b.domain() {
+        assert!(
+            !a.domain().contains(e),
+            "union requires disjoint node sets"
+        );
+        out.add_domain_elem(*e);
+    }
+    for t in b.rel("E").iter() {
+        out.insert("E", t.clone());
+    }
+    out
+}
+
+/// Relabels a graph database by adding `offset` to every node id.
+pub fn shifted(db: &Database, offset: u64) -> Database {
+    db.permuted(&|e| Elem(e.0 + offset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    #[test]
+    fn chain_sizes() {
+        assert_eq!(chain(0).domain_size(), 0);
+        assert_eq!(chain(1).domain_size(), 1);
+        let c5 = chain(5);
+        assert_eq!(c5.domain_size(), 5);
+        assert_eq!(c5.rel("E").len(), 4);
+    }
+
+    #[test]
+    fn cycle_edges_wrap() {
+        let c = cycle(3);
+        assert!(c.contains("E", &[Elem(2), Elem(0)]));
+        assert_eq!(c.rel("E").len(), 3);
+        let g = Graph::of_edges(&c);
+        assert!(g.as_cycle().is_some());
+    }
+
+    #[test]
+    fn gnm_shape() {
+        let g = gnm(3, 5);
+        assert_eq!(g.domain_size(), 9);
+        assert_eq!(g.rel("E").len(), 8);
+        let view = Graph::of_edges(&g);
+        assert!(view.is_tree());
+        let root = view.index_of(Elem(0)).expect("root");
+        assert_eq!(view.out_degree(root), 2);
+    }
+
+    #[test]
+    fn linear_order_is_tc_of_chain() {
+        let n = 6;
+        let lo = linear_order(n);
+        let tc = Graph::of_edges(&chain(n)).transitive_closure();
+        let lo_edges: std::collections::BTreeSet<(Elem, Elem)> =
+            lo.edges().into_iter().collect();
+        assert_eq!(lo_edges, tc);
+    }
+
+    #[test]
+    fn diagonal_has_only_loops() {
+        let d = diagonal([3, 5, 9]);
+        assert_eq!(d.rel("E").len(), 3);
+        assert!(d.contains("E", &[Elem(5), Elem(5)]));
+        assert!(!d.contains("E", &[Elem(3), Elem(5)]));
+    }
+
+    #[test]
+    fn complete_loopless_count() {
+        let k = complete_loopless(4);
+        assert_eq!(k.rel("E").len(), 12);
+    }
+
+    #[test]
+    fn union_is_disjoint() {
+        let u = two_cycles(3, 4);
+        assert_eq!(u.domain_size(), 7);
+        assert_eq!(u.rel("E").len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_union_panics() {
+        let _ = union(&chain(3), &chain(2));
+    }
+
+    #[test]
+    fn binary_tree_is_tree() {
+        let t = complete_binary_tree(3);
+        assert_eq!(t.domain_size(), 15);
+        assert!(Graph::of_edges(&t).is_tree());
+    }
+
+    #[test]
+    fn cc_graph_composition() {
+        let db = cc_graph(4, &[3]);
+        assert_eq!(db.domain_size(), 7);
+        let g = Graph::of_edges(&db);
+        let d = g.cc_decompose().expect("is C&C");
+        assert_eq!(d.chain, vec![Elem(0), Elem(1), Elem(2), Elem(3)]);
+        assert_eq!(d.cycles.len(), 1);
+    }
+
+    #[test]
+    fn random_graph_determinism_with_seed() {
+        use rand::SeedableRng;
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(42);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(42);
+        assert_eq!(random_graph(6, 0.3, &mut r1), random_graph(6, 0.3, &mut r2));
+    }
+}

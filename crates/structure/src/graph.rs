@@ -1,0 +1,548 @@
+//! Graph view and the graph algorithms used throughout the paper.
+//!
+//! [`Graph`] indexes a binary relation of a [`Database`] for O(1) adjacency.
+//! It implements the three recursive queries of Theorem B — transitive
+//! closure `tc`, deterministic transitive closure `dtc` (Immerman), and the
+//! same-generation query `sg` — plus chain/cycle recognition, the C&C
+//! decomposition behind the Theorem 7 transaction, and undirected
+//! (Gaifman-) distance used by Hanf locality.
+
+use crate::database::Database;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use vpdt_logic::Elem;
+
+/// An indexed view of a binary relation, with nodes = the database domain.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    nodes: Vec<Elem>,
+    index: BTreeMap<Elem, usize>,
+    out: Vec<Vec<usize>>,
+    inn: Vec<Vec<usize>>,
+}
+
+/// The decomposition of a chain-and-cycle graph: the unique chain component
+/// (as the ordered node list from root to endpoint) and the remaining simple
+/// cycles.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CcDecomposition {
+    /// Nodes of the chain component in path order (possibly a single node).
+    pub chain: Vec<Elem>,
+    /// Each cycle as its node list in cyclic order.
+    pub cycles: Vec<Vec<Elem>>,
+}
+
+impl Graph {
+    /// Builds the view of relation `rel` (default use: `"E"`).
+    ///
+    /// # Panics
+    /// Panics if `rel` is missing or not binary.
+    pub fn of(db: &Database, rel: &str) -> Self {
+        let r = db.rel(rel);
+        assert_eq!(r.arity(), 2, "{rel} must be binary");
+        let nodes: Vec<Elem> = db.domain().iter().copied().collect();
+        let index: BTreeMap<Elem, usize> =
+            nodes.iter().enumerate().map(|(i, e)| (*e, i)).collect();
+        let mut out = vec![Vec::new(); nodes.len()];
+        let mut inn = vec![Vec::new(); nodes.len()];
+        for t in r.iter() {
+            let a = index[&t[0]];
+            let b = index[&t[1]];
+            out[a].push(b);
+            inn[b].push(a);
+        }
+        for v in out.iter_mut().chain(inn.iter_mut()) {
+            v.sort_unstable();
+        }
+        Graph { nodes, index, out, inn }
+    }
+
+    /// Builds the view of the relation `E`.
+    pub fn of_edges(db: &Database) -> Self {
+        Graph::of(db, "E")
+    }
+
+    /// Number of nodes (domain elements).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node elements, sorted.
+    pub fn nodes(&self) -> &[Elem] {
+        &self.nodes
+    }
+
+    /// The internal index of a node.
+    pub fn index_of(&self, e: Elem) -> Option<usize> {
+        self.index.get(&e).copied()
+    }
+
+    /// The element at internal index `i`.
+    pub fn node(&self, i: usize) -> Elem {
+        self.nodes[i]
+    }
+
+    /// Out-neighbors (indices) of node index `i`.
+    pub fn out_neighbors(&self, i: usize) -> &[usize] {
+        &self.out[i]
+    }
+
+    /// In-neighbors (indices) of node index `i`.
+    pub fn in_neighbors(&self, i: usize) -> &[usize] {
+        &self.inn[i]
+    }
+
+    /// Out-degree of node index `i`.
+    pub fn out_degree(&self, i: usize) -> usize {
+        self.out[i].len()
+    }
+
+    /// In-degree of node index `i`.
+    pub fn in_degree(&self, i: usize) -> usize {
+        self.inn[i].len()
+    }
+
+    /// Whether the edge `(a, b)` is present (by indices).
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.out[a].binary_search(&b).is_ok()
+    }
+
+    /// Undirected neighbors (union of in- and out-neighbors, deduplicated).
+    pub fn undirected_neighbors(&self, i: usize) -> Vec<usize> {
+        let mut v: Vec<usize> = self.out[i].iter().chain(self.inn[i].iter()).copied().collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// BFS distances along *unoriented* paths from `start` (the Gaifman
+    /// metric of the graph). Unreachable nodes are absent.
+    pub fn undirected_distances(&self, start: usize) -> BTreeMap<usize, usize> {
+        let mut dist = BTreeMap::new();
+        let mut q = VecDeque::new();
+        dist.insert(start, 0);
+        q.push_back(start);
+        while let Some(u) = q.pop_front() {
+            let d = dist[&u];
+            for w in self.undirected_neighbors(u) {
+                dist.entry(w).or_insert_with(|| {
+                    q.push_back(w);
+                    d + 1
+                });
+            }
+        }
+        dist
+    }
+
+    /// Nodes within unoriented distance `r` of `center` (the r-neighborhood
+    /// `N_r(center)` of Hanf locality), as sorted indices.
+    pub fn ball(&self, center: usize, r: usize) -> Vec<usize> {
+        self.undirected_distances(center)
+            .into_iter()
+            .filter(|&(_, d)| d <= r)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Weakly connected components, each as a sorted list of indices.
+    pub fn weak_components(&self) -> Vec<Vec<usize>> {
+        let mut seen = vec![false; self.len()];
+        let mut comps = Vec::new();
+        for s in 0..self.len() {
+            if seen[s] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut q = VecDeque::from([s]);
+            seen[s] = true;
+            while let Some(u) = q.pop_front() {
+                comp.push(u);
+                for w in self.undirected_neighbors(u) {
+                    if !seen[w] {
+                        seen[w] = true;
+                        q.push_back(w);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            comps.push(comp);
+        }
+        comps
+    }
+
+    /// Whether the graph is weakly connected (true for the empty graph).
+    pub fn is_weakly_connected(&self) -> bool {
+        self.weak_components().len() <= 1
+    }
+
+    /// If the whole graph is a chain `x₁→x₂→…→x_n` (n ≥ 1, no other edges),
+    /// returns the nodes in path order.
+    pub fn as_chain(&self) -> Option<Vec<Elem>> {
+        if self.is_empty() {
+            return None;
+        }
+        let comp: Vec<usize> = (0..self.len()).collect();
+        self.component_as_chain(&comp)
+    }
+
+    /// If the given component (sorted indices) is a chain, returns its nodes
+    /// in path order. A single node with no edges counts as a chain of
+    /// length 1.
+    fn component_as_chain(&self, comp: &[usize]) -> Option<Vec<Elem>> {
+        let mut root = None;
+        for &i in comp {
+            if self.out_degree(i) > 1 || self.in_degree(i) > 1 {
+                return None;
+            }
+            if self.in_degree(i) == 0 {
+                if root.is_some() {
+                    return None;
+                }
+                root = Some(i);
+            }
+        }
+        let mut cur = root?;
+        let mut order = vec![self.nodes[cur]];
+        let mut visited = 1;
+        while let Some(&next) = self.out[cur].first() {
+            order.push(self.nodes[next]);
+            visited += 1;
+            if visited > comp.len() {
+                return None; // cycle reached through the root: impossible, defensive
+            }
+            cur = next;
+        }
+        if visited == comp.len() {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// If the given component is a simple directed cycle, returns its nodes
+    /// in cyclic order (starting from its smallest index).
+    fn component_as_cycle(&self, comp: &[usize]) -> Option<Vec<Elem>> {
+        for &i in comp {
+            if self.out_degree(i) != 1 || self.in_degree(i) != 1 {
+                return None;
+            }
+        }
+        let start = *comp.first()?;
+        let mut order = vec![self.nodes[start]];
+        let mut cur = self.out[start][0];
+        while cur != start {
+            order.push(self.nodes[cur]);
+            if order.len() > comp.len() {
+                return None;
+            }
+            cur = self.out[cur][0];
+        }
+        if order.len() == comp.len() {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the whole graph is one simple directed cycle.
+    pub fn as_cycle(&self) -> Option<Vec<Elem>> {
+        if self.is_empty() {
+            return None;
+        }
+        let comp: Vec<usize> = (0..self.len()).collect();
+        if self.weak_components().len() != 1 {
+            return None;
+        }
+        self.component_as_cycle(&comp)
+    }
+
+    /// The chain-and-cycle decomposition, if this is a C&C graph: exactly
+    /// one component is a chain, every other component a simple cycle
+    /// (Section 3). Mirrors the sentence `ψ_C&C`.
+    pub fn cc_decompose(&self) -> Option<CcDecomposition> {
+        let mut chain = None;
+        let mut cycles = Vec::new();
+        for comp in self.weak_components() {
+            if let Some(c) = self.component_as_cycle(&comp) {
+                cycles.push(c);
+            } else if let Some(p) = self.component_as_chain(&comp) {
+                if chain.is_some() {
+                    return None; // two chains
+                }
+                chain = Some(p);
+            } else {
+                return None;
+            }
+        }
+        chain.map(|chain| CcDecomposition { chain, cycles })
+    }
+
+    /// Transitive closure: pairs `(x,y)` connected by a directed path of
+    /// length ≥ 1. Returned as element pairs.
+    pub fn transitive_closure(&self) -> BTreeSet<(Elem, Elem)> {
+        let mut out = BTreeSet::new();
+        for s in 0..self.len() {
+            // BFS over directed edges, starting from s's successors.
+            let mut seen = vec![false; self.len()];
+            let mut q: VecDeque<usize> = self.out[s].iter().copied().collect();
+            for &w in &self.out[s] {
+                seen[w] = true;
+            }
+            while let Some(u) = q.pop_front() {
+                out.insert((self.nodes[s], self.nodes[u]));
+                for &w in &self.out[u] {
+                    if !seen[w] {
+                        seen[w] = true;
+                        q.push_back(w);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Deterministic transitive closure (Section 3): `(x,y)` iff `(x,y) ∈ E`
+    /// or there is a path `x = x₁ → … → x_n = y` where every `xᵢ`, `i < n`,
+    /// has out-degree 1.
+    pub fn deterministic_transitive_closure(&self) -> BTreeSet<(Elem, Elem)> {
+        let mut out = BTreeSet::new();
+        for (a, succs) in self.out.iter().enumerate() {
+            for &b in succs {
+                out.insert((self.nodes[a], self.nodes[b]));
+            }
+        }
+        for s in 0..self.len() {
+            if self.out_degree(s) != 1 {
+                continue;
+            }
+            // Follow the unique out-edges while they stay unique.
+            let mut seen = vec![false; self.len()];
+            let mut cur = s;
+            seen[s] = true;
+            while self.out_degree(cur) == 1 {
+                let next = self.out[cur][0];
+                out.insert((self.nodes[s], self.nodes[next]));
+                if seen[next] {
+                    break; // entered a cycle: all its nodes already recorded
+                }
+                seen[next] = true;
+                cur = next;
+            }
+        }
+        out
+    }
+
+    /// Same-generation (Section 3): `(x,y)` iff some node `v` has walks to
+    /// `x` and to `y` of equal length (possibly 0 — so `sg` contains the
+    /// diagonal). Computed as reachability from the diagonal in the product
+    /// graph.
+    pub fn same_generation(&self) -> BTreeSet<(Elem, Elem)> {
+        let n = self.len();
+        let mut reach = vec![false; n * n];
+        let mut q = VecDeque::new();
+        for v in 0..n {
+            reach[v * n + v] = true;
+            q.push_back((v, v));
+        }
+        while let Some((x, y)) = q.pop_front() {
+            for &x2 in &self.out[x] {
+                for &y2 in &self.out[y] {
+                    if !reach[x2 * n + y2] {
+                        reach[x2 * n + y2] = true;
+                        q.push_back((x2, y2));
+                    }
+                }
+            }
+        }
+        let mut out = BTreeSet::new();
+        for x in 0..n {
+            for y in 0..n {
+                if reach[x * n + y] {
+                    out.insert((self.nodes[x], self.nodes[y]));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the graph is a directed tree: one root (in-degree 0), every
+    /// other node in-degree 1, connected, and acyclic.
+    pub fn is_tree(&self) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        let roots: Vec<usize> = (0..self.len()).filter(|&i| self.in_degree(i) == 0).collect();
+        if roots.len() != 1 {
+            return false;
+        }
+        if (0..self.len()).any(|i| i != roots[0] && self.in_degree(i) != 1) {
+            return false;
+        }
+        // connected + |E| = n - 1 ⇒ acyclic tree
+        let edge_count: usize = self.out.iter().map(Vec::len).sum();
+        edge_count == self.len() - 1 && self.is_weakly_connected()
+    }
+
+    /// The number of distinct in-degrees plus distinct out-degrees — the
+    /// *degree count* `dc(G)` of Corollary 2 (after Libkin–Wong).
+    pub fn degree_count(&self) -> usize {
+        let ins: BTreeSet<usize> = (0..self.len()).map(|i| self.in_degree(i)).collect();
+        let outs: BTreeSet<usize> = (0..self.len()).map(|i| self.out_degree(i)).collect();
+        ins.union(&outs).count()
+    }
+}
+
+/// Builds a graph database from a set of element pairs over an explicit node
+/// set (helper for closing a query result back into a [`Database`]).
+pub fn graph_from_pairs(
+    nodes: impl IntoIterator<Item = Elem>,
+    pairs: impl IntoIterator<Item = (Elem, Elem)>,
+) -> Database {
+    let mut db = Database::graph([]);
+    for n in nodes {
+        db.add_domain_elem(n);
+    }
+    for (a, b) in pairs {
+        db.insert("E", vec![a, b]);
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+
+    #[test]
+    fn chain_recognition() {
+        let db = families::chain(5);
+        let g = Graph::of_edges(&db);
+        let order = g.as_chain().expect("a chain");
+        assert_eq!(order.len(), 5);
+        assert!(g.as_cycle().is_none());
+    }
+
+    #[test]
+    fn single_node_is_a_chain_component() {
+        let db = Database::graph_with_domain([7], []);
+        let g = Graph::of_edges(&db);
+        assert_eq!(g.as_chain(), Some(vec![Elem(7)]));
+    }
+
+    #[test]
+    fn cycle_recognition() {
+        let db = families::cycle(4);
+        let g = Graph::of_edges(&db);
+        assert_eq!(g.as_cycle().expect("a cycle").len(), 4);
+        assert!(g.as_chain().is_none());
+    }
+
+    #[test]
+    fn cc_decomposition_matches_construction() {
+        let db = families::cc_graph(3, &[4, 5]);
+        let g = Graph::of_edges(&db);
+        let d = g.cc_decompose().expect("C&C graph");
+        assert_eq!(d.chain.len(), 3);
+        let mut sizes: Vec<usize> = d.cycles.iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![4, 5]);
+    }
+
+    #[test]
+    fn two_chains_are_not_cc() {
+        let mut db = families::chain(2);
+        db.insert("E", vec![Elem(10), Elem(11)]);
+        let g = Graph::of_edges(&db);
+        assert!(g.cc_decompose().is_none());
+    }
+
+    #[test]
+    fn tc_of_chain_is_linear_order() {
+        let db = families::chain(4);
+        let g = Graph::of_edges(&db);
+        let tc = g.transitive_closure();
+        assert_eq!(tc.len(), 6); // C(4,2)
+        assert!(tc.contains(&(Elem(0), Elem(3))));
+        assert!(!tc.contains(&(Elem(3), Elem(0))));
+    }
+
+    #[test]
+    fn tc_of_cycle_is_complete_with_loops() {
+        let db = families::cycle(3);
+        let g = Graph::of_edges(&db);
+        let tc = g.transitive_closure();
+        assert_eq!(tc.len(), 9);
+        assert!(tc.contains(&(Elem(0), Elem(0))));
+    }
+
+    #[test]
+    fn dtc_on_chain_equals_tc() {
+        let db = families::chain(5);
+        let g = Graph::of_edges(&db);
+        assert_eq!(g.deterministic_transitive_closure(), g.transitive_closure());
+    }
+
+    #[test]
+    fn dtc_respects_branching() {
+        // 0 -> 1, 0 -> 2, 1 -> 3: from 0 nothing beyond direct edges
+        // (out-degree 2), but 1 -> 3 extends nowhere new.
+        let db = Database::graph([(0, 1), (0, 2), (1, 3)]);
+        let g = Graph::of_edges(&db);
+        let dtc = g.deterministic_transitive_closure();
+        assert!(dtc.contains(&(Elem(0), Elem(1))));
+        assert!(dtc.contains(&(Elem(1), Elem(3))));
+        assert!(
+            !dtc.contains(&(Elem(0), Elem(3))),
+            "0 has out-degree 2, so the path 0→1→3 does not qualify"
+        );
+    }
+
+    #[test]
+    fn same_generation_on_gnm_tree() {
+        // G_{2,2}: root with two 2-chains. Nodes at equal depth are in the
+        // same generation.
+        let db = families::gnm(2, 2);
+        let g = Graph::of_edges(&db);
+        let sg = g.same_generation();
+        // depth-1 nodes: 1 and 3 (first node of each branch)
+        assert!(sg.contains(&(Elem(1), Elem(3))));
+        // each node is same-generation with itself
+        for &n in g.nodes() {
+            assert!(sg.contains(&(n, n)));
+        }
+        // root is in nobody else's generation
+        assert!(!sg.contains(&(Elem(0), Elem(1))));
+    }
+
+    #[test]
+    fn tree_recognition() {
+        assert!(Graph::of_edges(&families::gnm(3, 4)).is_tree());
+        assert!(!Graph::of_edges(&families::cycle(3)).is_tree());
+        assert!(!Graph::of_edges(&families::two_cycles(2, 2)).is_tree());
+        assert!(Graph::of_edges(&families::chain(4)).is_tree());
+    }
+
+    #[test]
+    fn gaifman_distance_ignores_orientation() {
+        let db = families::chain(4); // 0→1→2→3
+        let g = Graph::of_edges(&db);
+        let i3 = g.index_of(Elem(3)).expect("node");
+        let d = g.undirected_distances(i3);
+        let i0 = g.index_of(Elem(0)).expect("node");
+        assert_eq!(d[&i0], 3);
+    }
+
+    #[test]
+    fn degree_count_examples() {
+        // linear order L_4 has in-degrees {0,1,2,3} and out-degrees {3,2,1,0}
+        let g = Graph::of_edges(&families::linear_order(4));
+        assert_eq!(g.degree_count(), 4);
+        // chain has degrees {0,1} both ways
+        let c = Graph::of_edges(&families::chain(10));
+        assert_eq!(c.degree_count(), 2);
+    }
+}

@@ -1,0 +1,37 @@
+//! # vpdt-structure
+//!
+//! Finite relational structures over the countably infinite universe `U`.
+//!
+//! In the paper a *database* over a schema `SC = (R₁..R_k)` interprets each
+//! `Rᵢ` as a finite subset of `U^{nᵢ}`; most of the time `SC = {E/2}` and
+//! databases are finite directed graphs whose nodes are elements of `U`.
+//! [`Database`] carries an explicit finite domain (a superset of the active
+//! domain), because several constructions in the paper distinguish graphs
+//! that differ only in isolated nodes (e.g. the diagonal graphs produced by
+//! the Theorem 7 transaction).
+//!
+//! The crate also provides:
+//! * [`graph::Graph`] — an indexed view of a binary relation with the graph
+//!   algorithms the paper relies on (transitive closure, deterministic
+//!   transitive closure, same-generation, C&C decomposition, …);
+//! * [`families`] — generators for every graph family used in the proofs
+//!   (chains, cycles, C&C graphs, the two-branch trees `G_{n,m}`, linear
+//!   orders `L_n`, diagonals, …);
+//! * [`iso`] — canonical forms and isomorphism for small colored digraphs
+//!   (used by Hanf r-type censuses and the Theorem 5 enumeration);
+//! * [`enumerate`] — recursive enumerations of all finite graphs and of one
+//!   representative per isomorphism class (the `(Gᵢ)` and `(Cₙ)` of
+//!   Theorem 5);
+//! * [`describe`] — sentences axiomatizing a single finite structure exactly
+//!   (FOc) or up to isomorphism (pure FO), as needed by Lemma 6.
+
+pub mod database;
+pub mod describe;
+pub mod enumerate;
+pub mod families;
+pub mod graph;
+pub mod iso;
+
+pub use database::{Database, Relation};
+pub use graph::Graph;
+pub use vpdt_logic::{Elem, Schema};

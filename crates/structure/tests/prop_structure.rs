@@ -1,0 +1,98 @@
+//! Property-based tests for databases, canonical forms and enumeration.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use vpdt_logic::Elem;
+use vpdt_structure::iso::{graph_code, graphs_isomorphic};
+use vpdt_structure::{families, Database, Graph, Schema};
+
+fn random_db(seed: u64, n: usize) -> Database {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    families::random_graph(n, 0.4, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Canonical codes are invariant under relabeling of the universe.
+    #[test]
+    fn canonical_code_is_permutation_invariant(seed in 0u64..10_000, n in 0usize..6,
+                                               mult in 1u64..5, off in 0u64..50) {
+        let db = random_db(seed, n);
+        let permuted = db.permuted(&|e| Elem(e.0 * (mult * 2 + 1) + off));
+        prop_assert_eq!(graph_code(&db), graph_code(&permuted));
+        prop_assert!(graphs_isomorphic(&db, &permuted));
+    }
+
+    /// Isomorphism implies equal invariants.
+    #[test]
+    fn isomorphic_graphs_share_invariants(s1 in 0u64..5_000, s2 in 0u64..5_000, n in 0usize..5) {
+        let a = random_db(s1, n);
+        let b = random_db(s2, n);
+        if graphs_isomorphic(&a, &b) {
+            prop_assert_eq!(a.domain_size(), b.domain_size());
+            prop_assert_eq!(a.rel("E").len(), b.rel("E").len());
+            prop_assert_eq!(
+                Graph::of_edges(&a).degree_count(),
+                Graph::of_edges(&b).degree_count()
+            );
+        }
+    }
+
+    /// encode/decode round-trips arbitrary databases.
+    #[test]
+    fn encode_decode_roundtrip(seed in 0u64..10_000, n in 0usize..7) {
+        let db = random_db(seed, n);
+        let back = Database::decode(Schema::graph(), &db.encode()).expect("decodes");
+        prop_assert_eq!(db, back);
+    }
+
+    /// tc is idempotent and monotone; dtc is a superset of E and subset of tc.
+    #[test]
+    fn closure_laws(seed in 0u64..10_000, n in 1usize..6) {
+        let db = random_db(seed, n);
+        let g = Graph::of_edges(&db);
+        let tc = g.transitive_closure();
+        let dtc = g.deterministic_transitive_closure();
+        // E ⊆ dtc ⊆ tc
+        for (a, b) in db.edges() {
+            prop_assert!(dtc.contains(&(a, b)));
+            prop_assert!(tc.contains(&(a, b)));
+        }
+        for p in &dtc {
+            prop_assert!(tc.contains(p), "dtc ⊄ tc at {:?}", p);
+        }
+        // tc is transitively closed
+        for &(a, b) in &tc {
+            for &(c, d) in &tc {
+                if b == c {
+                    prop_assert!(tc.contains(&(a, d)));
+                }
+            }
+        }
+    }
+
+    /// Same generation is reflexive on the domain and symmetric.
+    #[test]
+    fn same_generation_laws(seed in 0u64..10_000, n in 1usize..6) {
+        let db = random_db(seed, n);
+        let g = Graph::of_edges(&db);
+        let sg = g.same_generation();
+        for &x in g.nodes() {
+            prop_assert!(sg.contains(&(x, x)));
+        }
+        for &(a, b) in &sg {
+            prop_assert!(sg.contains(&(b, a)), "sg not symmetric at ({a},{b})");
+        }
+    }
+
+    /// The C&C decomposition and ψ-style degree conditions agree with
+    /// explicit reconstruction: chain length + cycle lengths = node count.
+    #[test]
+    fn cc_decomposition_partitions_nodes(chain_len in 1usize..6, c1 in 2usize..5, c2 in 2usize..5) {
+        let db = families::cc_graph(chain_len, &[c1, c2]);
+        let dec = Graph::of_edges(&db).cc_decompose().expect("is C&C");
+        let total = dec.chain.len() + dec.cycles.iter().map(Vec::len).sum::<usize>();
+        prop_assert_eq!(total, db.domain_size());
+    }
+}

@@ -1,0 +1,476 @@
+//! Relational algebra: select–project–join expressions and set operations.
+//!
+//! Proposition 1 proves `Preserve(TL, FO)` undecidable already when `TL`
+//! contains the select-project-join expressions of the relational algebra;
+//! its two witnesses are provided here as [`t1_diagonal`] and
+//! [`t2_complete`]:
+//!
+//! ```text
+//! T₁(E) = π₁,₃(σ₁=₃(E×E))        (the diagonal {(x,x) | x ∈ V})
+//! T₂(E) = π₁,₃(σ₁≠₃(E×E))        (the complete loopless graph on V)
+//! ```
+//!
+//! [`RaExpr::to_formula`] compiles an RA expression to an equivalent FO
+//! formula (the classical algebra→calculus translation), which is how RA
+//! transactions become prerelations in `vpdt-core`.
+
+use crate::traits::{normalize_domain, Transaction, TxError};
+use std::collections::BTreeSet;
+use vpdt_logic::{Elem, Formula, Schema, Term, Var};
+use vpdt_structure::Database;
+
+/// A selection predicate over the columns of a relation (0-indexed).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SelPred {
+    /// Column `i` equals column `j`.
+    EqCols(usize, usize),
+    /// Column `i` differs from column `j`.
+    NeqCols(usize, usize),
+    /// Column `i` equals a constant.
+    EqConst(usize, Elem),
+    /// Column `i` differs from a constant.
+    NeqConst(usize, Elem),
+    /// Conjunction.
+    And(Box<SelPred>, Box<SelPred>),
+    /// Disjunction.
+    Or(Box<SelPred>, Box<SelPred>),
+    /// Negation.
+    Not(Box<SelPred>),
+}
+
+impl SelPred {
+    fn eval(&self, t: &[Elem]) -> bool {
+        match self {
+            SelPred::EqCols(i, j) => t[*i] == t[*j],
+            SelPred::NeqCols(i, j) => t[*i] != t[*j],
+            SelPred::EqConst(i, c) => t[*i] == *c,
+            SelPred::NeqConst(i, c) => t[*i] != *c,
+            SelPred::And(a, b) => a.eval(t) && b.eval(t),
+            SelPred::Or(a, b) => a.eval(t) || b.eval(t),
+            SelPred::Not(a) => !a.eval(t),
+        }
+    }
+
+    fn max_col(&self) -> usize {
+        match self {
+            SelPred::EqCols(i, j) | SelPred::NeqCols(i, j) => *i.max(j),
+            SelPred::EqConst(i, _) | SelPred::NeqConst(i, _) => *i,
+            SelPred::And(a, b) | SelPred::Or(a, b) => a.max_col().max(b.max_col()),
+            SelPred::Not(a) => a.max_col(),
+        }
+    }
+
+    fn to_formula(&self, vars: &[Var]) -> Formula {
+        let v = |i: usize| Term::Var(vars[i].clone());
+        match self {
+            SelPred::EqCols(i, j) => Formula::eq(v(*i), v(*j)),
+            SelPred::NeqCols(i, j) => Formula::neq(v(*i), v(*j)),
+            SelPred::EqConst(i, c) => Formula::eq(v(*i), Term::Const(*c)),
+            SelPred::NeqConst(i, c) => Formula::neq(v(*i), Term::Const(*c)),
+            SelPred::And(a, b) => Formula::and([a.to_formula(vars), b.to_formula(vars)]),
+            SelPred::Or(a, b) => Formula::or([a.to_formula(vars), b.to_formula(vars)]),
+            SelPred::Not(a) => Formula::not(a.to_formula(vars)),
+        }
+    }
+}
+
+/// A relational algebra expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RaExpr {
+    /// A base relation.
+    Rel(String),
+    /// Selection σ_pred.
+    Select(Box<RaExpr>, SelPred),
+    /// Projection π_cols (columns may repeat or reorder).
+    Project(Box<RaExpr>, Vec<usize>),
+    /// Cartesian product.
+    Product(Box<RaExpr>, Box<RaExpr>),
+    /// Set union (arities must agree).
+    Union(Box<RaExpr>, Box<RaExpr>),
+    /// Set difference (arities must agree).
+    Diff(Box<RaExpr>, Box<RaExpr>),
+}
+
+impl RaExpr {
+    /// Convenience: base relation.
+    pub fn rel(name: impl Into<String>) -> Self {
+        RaExpr::Rel(name.into())
+    }
+
+    /// Convenience: selection.
+    pub fn select(self, p: SelPred) -> Self {
+        RaExpr::Select(Box::new(self), p)
+    }
+
+    /// Convenience: projection.
+    pub fn project(self, cols: impl IntoIterator<Item = usize>) -> Self {
+        RaExpr::Project(Box::new(self), cols.into_iter().collect())
+    }
+
+    /// Convenience: product.
+    pub fn product(self, other: RaExpr) -> Self {
+        RaExpr::Product(Box::new(self), Box::new(other))
+    }
+
+    /// Convenience: union.
+    pub fn union(self, other: RaExpr) -> Self {
+        RaExpr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Convenience: difference.
+    pub fn diff(self, other: RaExpr) -> Self {
+        RaExpr::Diff(Box::new(self), Box::new(other))
+    }
+
+    /// The output arity of the expression against a schema.
+    pub fn arity(&self, schema: &Schema) -> Result<usize, TxError> {
+        match self {
+            RaExpr::Rel(name) => schema
+                .arity_of(name)
+                .ok_or_else(|| TxError::SchemaMismatch(format!("unknown relation {name}"))),
+            RaExpr::Select(e, p) => {
+                let n = e.arity(schema)?;
+                if p.max_col() >= n {
+                    return Err(TxError::SchemaMismatch(format!(
+                        "selection references column {} of arity-{n} input",
+                        p.max_col()
+                    )));
+                }
+                Ok(n)
+            }
+            RaExpr::Project(e, cols) => {
+                let n = e.arity(schema)?;
+                if let Some(&bad) = cols.iter().find(|&&c| c >= n) {
+                    return Err(TxError::SchemaMismatch(format!(
+                        "projection references column {bad} of arity-{n} input"
+                    )));
+                }
+                Ok(cols.len())
+            }
+            RaExpr::Product(a, b) => Ok(a.arity(schema)? + b.arity(schema)?),
+            RaExpr::Union(a, b) | RaExpr::Diff(a, b) => {
+                let (na, nb) = (a.arity(schema)?, b.arity(schema)?);
+                if na != nb {
+                    return Err(TxError::SchemaMismatch(format!(
+                        "set operation on arities {na} and {nb}"
+                    )));
+                }
+                Ok(na)
+            }
+        }
+    }
+
+    /// Evaluates the expression to a set of tuples.
+    pub fn eval(&self, db: &Database) -> Result<BTreeSet<Vec<Elem>>, TxError> {
+        self.arity(db.schema())?; // validate once up front
+        Ok(self.eval_unchecked(db))
+    }
+
+    fn eval_unchecked(&self, db: &Database) -> BTreeSet<Vec<Elem>> {
+        match self {
+            RaExpr::Rel(name) => db.rel(name).iter().cloned().collect(),
+            RaExpr::Select(e, p) => e
+                .eval_unchecked(db)
+                .into_iter()
+                .filter(|t| p.eval(t))
+                .collect(),
+            RaExpr::Project(e, cols) => e
+                .eval_unchecked(db)
+                .into_iter()
+                .map(|t| cols.iter().map(|&c| t[c]).collect())
+                .collect(),
+            RaExpr::Product(a, b) => {
+                let ta = a.eval_unchecked(db);
+                let tb = b.eval_unchecked(db);
+                let mut out = BTreeSet::new();
+                for x in &ta {
+                    for y in &tb {
+                        let mut t = x.clone();
+                        t.extend_from_slice(y);
+                        out.insert(t);
+                    }
+                }
+                out
+            }
+            RaExpr::Union(a, b) => {
+                let mut out = a.eval_unchecked(db);
+                out.extend(b.eval_unchecked(db));
+                out
+            }
+            RaExpr::Diff(a, b) => {
+                let tb = b.eval_unchecked(db);
+                a.eval_unchecked(db)
+                    .into_iter()
+                    .filter(|t| !tb.contains(t))
+                    .collect()
+            }
+        }
+    }
+
+    /// Compiles the expression to an FO formula whose free variables (in
+    /// order) are `vars` — the classical algebra-to-calculus translation.
+    /// `vars.len()` must equal the expression's arity.
+    pub fn to_formula(&self, schema: &Schema, vars: &[Var]) -> Result<Formula, TxError> {
+        let n = self.arity(schema)?;
+        assert_eq!(vars.len(), n, "one variable per output column");
+        let mut fresh = FreshVars::avoiding(vars);
+        Ok(self.to_formula_inner(schema, vars, &mut fresh))
+    }
+
+    fn to_formula_inner(&self, schema: &Schema, vars: &[Var], fresh: &mut FreshVars) -> Formula {
+        match self {
+            RaExpr::Rel(name) => {
+                Formula::rel(name.clone(), vars.iter().map(|v| Term::Var(v.clone())))
+            }
+            RaExpr::Select(e, p) => Formula::and([
+                e.to_formula_inner(schema, vars, fresh),
+                p.to_formula(vars),
+            ]),
+            RaExpr::Project(e, cols) => {
+                let inner_arity = e
+                    .arity(schema)
+                    .expect("validated by the public entry point");
+                let inner_vars: Vec<Var> = (0..inner_arity).map(|_| fresh.next()).collect();
+                let body = e.to_formula_inner(schema, &inner_vars, fresh);
+                let bindings = cols.iter().enumerate().map(|(out_i, &c)| {
+                    Formula::eq(
+                        Term::Var(vars[out_i].clone()),
+                        Term::Var(inner_vars[c].clone()),
+                    )
+                });
+                Formula::exists_many(
+                    inner_vars.clone(),
+                    Formula::and(std::iter::once(body).chain(bindings)),
+                )
+            }
+            RaExpr::Product(a, b) => {
+                let na = a.arity(schema).expect("validated");
+                Formula::and([
+                    a.to_formula_inner(schema, &vars[..na], fresh),
+                    b.to_formula_inner(schema, &vars[na..], fresh),
+                ])
+            }
+            RaExpr::Union(a, b) => Formula::or([
+                a.to_formula_inner(schema, vars, fresh),
+                b.to_formula_inner(schema, vars, fresh),
+            ]),
+            RaExpr::Diff(a, b) => Formula::and([
+                a.to_formula_inner(schema, vars, fresh),
+                Formula::not(b.to_formula_inner(schema, vars, fresh)),
+            ]),
+        }
+    }
+}
+
+/// A supply of fresh variables `q0, q1, …` avoiding a given set.
+struct FreshVars {
+    counter: usize,
+    avoid: BTreeSet<Var>,
+}
+
+impl FreshVars {
+    fn avoiding(vars: &[Var]) -> Self {
+        FreshVars { counter: 0, avoid: vars.iter().cloned().collect() }
+    }
+
+    fn next(&mut self) -> Var {
+        loop {
+            let v = Var::new(format!("q{}", self.counter));
+            self.counter += 1;
+            if !self.avoid.contains(&v) {
+                return v;
+            }
+        }
+    }
+}
+
+/// A transaction defined by parallel RA assignments: each listed relation
+/// is replaced by the value of its expression over the *old* state;
+/// unlisted relations are kept. The result domain is its active domain.
+#[derive(Clone, Debug)]
+pub struct RaTransaction {
+    label: String,
+    assignments: Vec<(String, RaExpr)>,
+}
+
+impl RaTransaction {
+    /// Creates a named transaction from parallel assignments.
+    pub fn new(
+        label: impl Into<String>,
+        assignments: impl IntoIterator<Item = (impl Into<String>, RaExpr)>,
+    ) -> Self {
+        RaTransaction {
+            label: label.into(),
+            assignments: assignments
+                .into_iter()
+                .map(|(n, e)| (n.into(), e))
+                .collect(),
+        }
+    }
+
+    /// The assignments.
+    pub fn assignments(&self) -> &[(String, RaExpr)] {
+        &self.assignments
+    }
+}
+
+impl Transaction for RaTransaction {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn apply(&self, db: &Database) -> Result<Database, TxError> {
+        let mut results = Vec::with_capacity(self.assignments.len());
+        for (rel, expr) in &self.assignments {
+            let arity = expr.arity(db.schema())?;
+            let expected = db.schema().arity_of(rel).ok_or_else(|| {
+                TxError::SchemaMismatch(format!("unknown target relation {rel}"))
+            })?;
+            if arity != expected {
+                return Err(TxError::SchemaMismatch(format!(
+                    "assigning arity-{arity} expression to {rel}/{expected}"
+                )));
+            }
+            results.push((rel.clone(), expr.eval(db)?));
+        }
+        let mut out = Database::empty(db.schema().clone());
+        for (rel, _arity) in db.schema().iter().map(|(n, a)| (n.to_string(), a)) {
+            if let Some((_, tuples)) = results.iter().find(|(n, _)| *n == rel) {
+                for t in tuples {
+                    out.insert(&rel, t.clone());
+                }
+            } else {
+                for t in db.rel(&rel).iter() {
+                    out.insert(&rel, t.clone());
+                }
+            }
+        }
+        Ok(normalize_domain(out))
+    }
+}
+
+/// The symmetrized edge relation `E ∪ π₂,₁(E)`, whose first projection is
+/// the full node set `V = π₁(E) ∪ π₂(E)`.
+fn symmetrized() -> RaExpr {
+    RaExpr::rel("E").union(RaExpr::rel("E").project([1, 0]))
+}
+
+/// `T₁` from Proposition 1: the diagonal `{(x,x) | x ∈ V}`.
+///
+/// The paper writes `π₁,₃(σ₁=₃(E×E))` and separately stipulates "V is the
+/// union of the first and the second projections of E"; taken literally the
+/// product only covers `π₁(E)`, so we first symmetrize `E` (a
+/// select-project-join-union expression) to make the prose semantics exact.
+pub fn t1_diagonal() -> RaTransaction {
+    let s = symmetrized();
+    let expr = s
+        .clone()
+        .product(s)
+        .select(SelPred::EqCols(0, 2))
+        .project([0, 2]);
+    RaTransaction::new("T1-diagonal", [("E", expr)])
+}
+
+/// `T₂` from Proposition 1: the complete loopless graph
+/// `{(x,y) | x,y ∈ V, x ≠ y}` (same symmetrization note as
+/// [`t1_diagonal`]).
+pub fn t2_complete() -> RaTransaction {
+    let s = symmetrized();
+    let expr = s
+        .clone()
+        .product(s)
+        .select(SelPred::NeqCols(0, 2))
+        .project([0, 2]);
+    RaTransaction::new("T2-complete", [("E", expr)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpdt_eval::{eval, Env, Omega};
+    use vpdt_structure::families;
+
+    #[test]
+    fn t1_produces_diagonal() {
+        let db = families::chain(4);
+        let out = t1_diagonal().apply(&db).expect("applies");
+        assert_eq!(out, families::diagonal(0..4));
+    }
+
+    #[test]
+    fn t2_produces_complete_loopless() {
+        let db = families::chain(3);
+        let out = t2_complete().apply(&db).expect("applies");
+        assert_eq!(out, families::complete_loopless(3));
+    }
+
+    #[test]
+    fn t1_on_graph_with_loop_only() {
+        // V is the union of the projections of E, so a single loop keeps V={0}
+        let db = Database::graph([(0, 0)]);
+        let out = t1_diagonal().apply(&db).expect("applies");
+        assert_eq!(out, families::diagonal([0]));
+    }
+
+    #[test]
+    fn union_and_diff() {
+        let db = families::chain(3); // E = {(0,1),(1,2)}
+        let sym = RaExpr::rel("E").union(RaExpr::rel("E").project([1, 0]));
+        let tuples = sym.eval(&db).expect("evaluates");
+        assert_eq!(tuples.len(), 4);
+        let nothing = RaExpr::rel("E").diff(RaExpr::rel("E"));
+        assert!(nothing.eval(&db).expect("evaluates").is_empty());
+    }
+
+    #[test]
+    fn arity_errors_are_reported() {
+        let bad = RaExpr::rel("E").union(RaExpr::rel("E").project([0]));
+        assert!(matches!(
+            bad.eval(&families::chain(2)),
+            Err(TxError::SchemaMismatch(_))
+        ));
+        let bad_col = RaExpr::rel("E").project([5]);
+        assert!(bad_col.eval(&families::chain(2)).is_err());
+    }
+
+    /// The RA→FO compiler is semantics-preserving: for every tuple over the
+    /// active domain, the formula holds iff the tuple is in the result.
+    #[test]
+    fn to_formula_agrees_with_eval() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let exprs = [
+            t1_diagonal().assignments()[0].1.clone(),
+            t2_complete().assignments()[0].1.clone(),
+            RaExpr::rel("E").union(RaExpr::rel("E").project([1, 0])),
+            RaExpr::rel("E")
+                .product(RaExpr::rel("E"))
+                .select(SelPred::EqCols(1, 2))
+                .project([0, 3]), // composition E∘E
+            RaExpr::rel("E").diff(RaExpr::rel("E").project([1, 0])),
+        ];
+        for expr in &exprs {
+            for _ in 0..3 {
+                let db = families::random_graph(4, 0.4, &mut rng);
+                let vars = [Var::new("a"), Var::new("b")];
+                let f = expr
+                    .to_formula(db.schema(), &vars)
+                    .expect("compiles");
+                let tuples = expr.eval(&db).expect("evaluates");
+                let dom: Vec<Elem> = db.domain().iter().copied().collect();
+                for &x in &dom {
+                    for &y in &dom {
+                        let mut env = Env::of([
+                            (Var::new("a"), x),
+                            (Var::new("b"), y),
+                        ]);
+                        let by_formula =
+                            eval(&db, &Omega::empty(), &f, &mut env).expect("evaluates");
+                        let by_algebra = tuples.contains(&vec![x, y]);
+                        assert_eq!(by_formula, by_algebra, "{expr:?} on ({x},{y})");
+                    }
+                }
+            }
+        }
+    }
+}

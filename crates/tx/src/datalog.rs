@@ -1,0 +1,870 @@
+//! Datalog with stratified negation.
+//!
+//! Theorem B shows that a transaction language expressing transitive
+//! closure, deterministic transitive closure, or same-generation cannot be
+//! verifiable over FO (or FOcount, FOc(Ω), monadic Σ¹₁); and the separating
+//! transaction of Theorem 7 "can be chosen to be Datalog¬-definable". This
+//! module supplies the substrate: a small but complete stratified-Datalog¬
+//! engine with both naive and semi-naive evaluation (the ablation measured
+//! by the `datalog_engine` bench), plus the three recursive queries as
+//! programs.
+//!
+//! Conventions:
+//! * IDB predicates are those appearing in rule heads; every other
+//!   predicate must be a database relation, or the pseudo-EDB `Dom/1`
+//!   holding the active domain;
+//! * rules must be *safe*: every head variable and every variable of a
+//!   negated atom or (in)equality must be bound by a positive body atom
+//!   (equalities with a constant side may bind);
+//! * negation must be stratified (no recursion through negation).
+
+use crate::traits::{normalize_domain, Transaction, TxError};
+use std::collections::{BTreeMap, BTreeSet};
+use vpdt_logic::Elem;
+use vpdt_structure::Database;
+
+/// A Datalog term: variable or constant.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DlTerm {
+    /// A variable.
+    Var(String),
+    /// A constant element of `U`.
+    Const(Elem),
+}
+
+impl DlTerm {
+    /// Convenience: a variable.
+    pub fn v(name: impl Into<String>) -> Self {
+        DlTerm::Var(name.into())
+    }
+
+    /// Convenience: a constant.
+    pub fn c(e: u64) -> Self {
+        DlTerm::Const(Elem(e))
+    }
+}
+
+/// A predicate atom `p(t₁..t_n)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Atom {
+    /// Predicate name.
+    pub rel: String,
+    /// Argument terms.
+    pub args: Vec<DlTerm>,
+}
+
+impl Atom {
+    /// Builds an atom.
+    pub fn new(rel: impl Into<String>, args: impl IntoIterator<Item = DlTerm>) -> Self {
+        Atom { rel: rel.into(), args: args.into_iter().collect() }
+    }
+}
+
+/// A body literal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Literal {
+    /// A positive atom.
+    Pos(Atom),
+    /// A negated atom (stratified).
+    Neg(Atom),
+    /// Term equality.
+    Eq(DlTerm, DlTerm),
+    /// Term disequality.
+    Neq(DlTerm, DlTerm),
+}
+
+/// A rule `head ← body`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rule {
+    /// The head atom (an IDB predicate).
+    pub head: Atom,
+    /// The body literals.
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    /// Builds a rule.
+    pub fn new(head: Atom, body: impl IntoIterator<Item = Literal>) -> Self {
+        Rule { head, body: body.into_iter().collect() }
+    }
+}
+
+/// Evaluation strategy (the bench ablation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Re-derive everything each iteration.
+    Naive,
+    /// Derive only from at least one delta atom each iteration.
+    SemiNaive,
+}
+
+/// A stratified Datalog¬ program.
+#[derive(Clone, Debug)]
+pub struct DatalogProgram {
+    rules: Vec<Rule>,
+    idb: BTreeSet<String>,
+    strata: Vec<Vec<usize>>, // rule indices per stratum, in evaluation order
+}
+
+/// The name of the pseudo-EDB predicate holding the active domain.
+pub const DOM: &str = "Dom";
+
+impl DatalogProgram {
+    /// Builds and validates a program: checks safety and stratifiability.
+    pub fn new(rules: Vec<Rule>) -> Result<Self, TxError> {
+        let idb: BTreeSet<String> = rules.iter().map(|r| r.head.rel.clone()).collect();
+        for r in &rules {
+            check_safety(r)?;
+        }
+        let strata = stratify(&rules, &idb)?;
+        Ok(DatalogProgram { rules, idb, strata })
+    }
+
+    /// The IDB predicates (rule heads) with their arities.
+    pub fn idb_arities(&self) -> BTreeMap<String, usize> {
+        let mut out = BTreeMap::new();
+        for r in &self.rules {
+            out.insert(r.head.rel.clone(), r.head.args.len());
+        }
+        out
+    }
+
+    /// Number of strata.
+    pub fn num_strata(&self) -> usize {
+        self.strata.len()
+    }
+
+    /// Runs the program on a database, returning all derived IDB facts.
+    pub fn run(
+        &self,
+        db: &Database,
+        strategy: Strategy,
+    ) -> Result<BTreeMap<String, BTreeSet<Vec<Elem>>>, TxError> {
+        // EDB facts from the database (+ Dom pseudo-relation).
+        let mut facts: BTreeMap<String, BTreeSet<Vec<Elem>>> = BTreeMap::new();
+        for (name, _arity) in db.schema().iter() {
+            if self.idb.contains(name) {
+                return Err(TxError::SchemaMismatch(format!(
+                    "IDB predicate {name} shadows a database relation"
+                )));
+            }
+            facts.insert(name.to_string(), db.rel(name).iter().cloned().collect());
+        }
+        if !facts.contains_key(DOM) {
+            facts.insert(
+                DOM.to_string(),
+                db.domain().iter().map(|e| vec![*e]).collect(),
+            );
+        }
+        for (p, _) in self.idb_arities() {
+            facts.insert(p.clone(), BTreeSet::new());
+        }
+
+        for stratum in &self.strata {
+            let stratum_preds: BTreeSet<&str> = stratum
+                .iter()
+                .map(|&ri| self.rules[ri].head.rel.as_str())
+                .collect();
+            match strategy {
+                Strategy::Naive => loop {
+                    let mut changed = false;
+                    for &ri in stratum {
+                        let rule = &self.rules[ri];
+                        let derived = eval_rule(rule, &facts, None)?;
+                        let store = facts.get_mut(&rule.head.rel).expect("idb initialized");
+                        for t in derived {
+                            changed |= store.insert(t);
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                },
+                Strategy::SemiNaive => {
+                    // Round 0: full evaluation seeds the deltas.
+                    let mut delta: BTreeMap<String, BTreeSet<Vec<Elem>>> = BTreeMap::new();
+                    for &ri in stratum {
+                        let rule = &self.rules[ri];
+                        let derived = eval_rule(rule, &facts, None)?;
+                        let store = facts.get_mut(&rule.head.rel).expect("idb initialized");
+                        let d = delta.entry(rule.head.rel.clone()).or_default();
+                        for t in derived {
+                            if store.insert(t.clone()) {
+                                d.insert(t);
+                            }
+                        }
+                    }
+                    // Iterate: each derivation must use ≥1 delta atom of
+                    // this stratum.
+                    while delta.values().any(|d| !d.is_empty()) {
+                        let mut next_delta: BTreeMap<String, BTreeSet<Vec<Elem>>> =
+                            BTreeMap::new();
+                        for &ri in stratum {
+                            let rule = &self.rules[ri];
+                            for (li, lit) in rule.body.iter().enumerate() {
+                                let Literal::Pos(a) = lit else { continue };
+                                if !stratum_preds.contains(a.rel.as_str()) {
+                                    continue;
+                                }
+                                let derived =
+                                    eval_rule(rule, &facts, Some((li, &delta)))?;
+                                let store =
+                                    facts.get_mut(&rule.head.rel).expect("idb initialized");
+                                let d = next_delta.entry(rule.head.rel.clone()).or_default();
+                                for t in derived {
+                                    if store.insert(t.clone()) {
+                                        d.insert(t);
+                                    }
+                                }
+                            }
+                        }
+                        delta = next_delta;
+                    }
+                }
+            }
+        }
+
+        Ok(self
+            .idb_arities()
+            .into_keys()
+            .map(|p| {
+                let f = facts.remove(&p).expect("idb present");
+                (p, f)
+            })
+            .collect())
+    }
+}
+
+/// Safety: head vars, negated-atom vars, and disequality vars must be bound
+/// by positive atoms; equalities may propagate constants.
+fn check_safety(rule: &Rule) -> Result<(), TxError> {
+    let mut bound: BTreeSet<&str> = BTreeSet::new();
+    for lit in &rule.body {
+        if let Literal::Pos(a) = lit {
+            for t in &a.args {
+                if let DlTerm::Var(v) = t {
+                    bound.insert(v);
+                }
+            }
+        }
+    }
+    // Equality with a constant or bound side binds the other side (one pass
+    // to a fixpoint).
+    loop {
+        let mut grew = false;
+        for lit in &rule.body {
+            if let Literal::Eq(a, b) = lit {
+                let a_ok = match a {
+                    DlTerm::Const(_) => true,
+                    DlTerm::Var(v) => bound.contains(v.as_str()),
+                };
+                let b_ok = match b {
+                    DlTerm::Const(_) => true,
+                    DlTerm::Var(v) => bound.contains(v.as_str()),
+                };
+                if a_ok && !b_ok {
+                    if let DlTerm::Var(v) = b {
+                        grew |= bound.insert(v);
+                    }
+                }
+                if b_ok && !a_ok {
+                    if let DlTerm::Var(v) = a {
+                        grew |= bound.insert(v);
+                    }
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    let mut need: Vec<&DlTerm> = rule.head.args.iter().collect();
+    for lit in &rule.body {
+        match lit {
+            Literal::Neg(a) => need.extend(a.args.iter()),
+            Literal::Neq(a, b) => {
+                need.push(a);
+                need.push(b);
+            }
+            _ => {}
+        }
+    }
+    for t in need {
+        if let DlTerm::Var(v) = t {
+            if !bound.contains(v.as_str()) {
+                return Err(TxError::Eval(format!(
+                    "unsafe rule: variable {v} not bound by a positive atom in {:?}",
+                    rule.head
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Assigns strata: `σ(p) ≥ σ(q)` for positive dependencies, `σ(p) > σ(q)`
+/// for negative ones. Fails if negation is recursive.
+fn stratify(rules: &[Rule], idb: &BTreeSet<String>) -> Result<Vec<Vec<usize>>, TxError> {
+    let preds: Vec<&str> = idb.iter().map(String::as_str).collect();
+    let index: BTreeMap<&str, usize> = preds.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+    let mut stratum = vec![0usize; preds.len()];
+    let max_rounds = preds.len() * preds.len() + 1;
+    for round in 0..=max_rounds {
+        let mut changed = false;
+        for r in rules {
+            let h = index[r.head.rel.as_str()];
+            for lit in &r.body {
+                match lit {
+                    Literal::Pos(a) => {
+                        if let Some(&q) = index.get(a.rel.as_str()) {
+                            if stratum[h] < stratum[q] {
+                                stratum[h] = stratum[q];
+                                changed = true;
+                            }
+                        }
+                    }
+                    Literal::Neg(a) => {
+                        if let Some(&q) = index.get(a.rel.as_str()) {
+                            if stratum[h] < stratum[q] + 1 {
+                                stratum[h] = stratum[q] + 1;
+                                changed = true;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+        if round == max_rounds {
+            return Err(TxError::Eval(
+                "program is not stratifiable (recursion through negation)".to_string(),
+            ));
+        }
+    }
+    let max_stratum = stratum.iter().copied().max().unwrap_or(0);
+    let mut out = vec![Vec::new(); max_stratum + 1];
+    for (ri, r) in rules.iter().enumerate() {
+        out[stratum[index[r.head.rel.as_str()]]].push(ri);
+    }
+    out.retain(|s| !s.is_empty());
+    Ok(out)
+}
+
+type FactStore = BTreeMap<String, BTreeSet<Vec<Elem>>>;
+
+/// Evaluates one rule against the fact store. With `delta = Some((li, d))`,
+/// the positive literal at index `li` ranges over `d[pred]` instead of the
+/// full store (semi-naive restriction).
+fn eval_rule(
+    rule: &Rule,
+    facts: &FactStore,
+    delta: Option<(usize, &FactStore)>,
+) -> Result<BTreeSet<Vec<Elem>>, TxError> {
+    // Order literals greedily so that each is evaluable when reached.
+    let order = plan(rule)?;
+    let mut out = BTreeSet::new();
+    let mut env: BTreeMap<String, Elem> = BTreeMap::new();
+    search(rule, &order, 0, facts, delta, &mut env, &mut out)?;
+    Ok(out)
+}
+
+/// A literal evaluation order where every literal is ready when reached.
+fn plan(rule: &Rule) -> Result<Vec<usize>, TxError> {
+    let mut order = Vec::with_capacity(rule.body.len());
+    let mut bound: BTreeSet<&str> = BTreeSet::new();
+    let mut remaining: Vec<usize> = (0..rule.body.len()).collect();
+    while !remaining.is_empty() {
+        let ready = remaining.iter().position(|&li| match &rule.body[li] {
+            Literal::Pos(_) => true,
+            Literal::Neg(a) => a.args.iter().all(|t| match t {
+                DlTerm::Var(v) => bound.contains(v.as_str()),
+                DlTerm::Const(_) => true,
+            }),
+            Literal::Eq(a, b) => {
+                let is_bound = |t: &DlTerm| match t {
+                    DlTerm::Var(v) => bound.contains(v.as_str()),
+                    DlTerm::Const(_) => true,
+                };
+                is_bound(a) || is_bound(b)
+            }
+            Literal::Neq(a, b) => [a, b].iter().all(|t| match t {
+                DlTerm::Var(v) => bound.contains(v.as_str()),
+                DlTerm::Const(_) => true,
+            }),
+        });
+        let Some(pos) = ready else {
+            return Err(TxError::Eval("no evaluable literal order (unsafe rule)".into()));
+        };
+        let li = remaining.remove(pos);
+        match &rule.body[li] {
+            Literal::Pos(a) => {
+                for t in &a.args {
+                    if let DlTerm::Var(v) = t {
+                        bound.insert(v);
+                    }
+                }
+            }
+            Literal::Eq(a, b) => {
+                for t in [a, b] {
+                    if let DlTerm::Var(v) = t {
+                        bound.insert(v);
+                    }
+                }
+            }
+            _ => {}
+        }
+        order.push(li);
+    }
+    Ok(order)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    rule: &Rule,
+    order: &[usize],
+    step: usize,
+    facts: &FactStore,
+    delta: Option<(usize, &FactStore)>,
+    env: &mut BTreeMap<String, Elem>,
+    out: &mut BTreeSet<Vec<Elem>>,
+) -> Result<(), TxError> {
+    if step == order.len() {
+        let tuple: Vec<Elem> = rule
+            .head
+            .args
+            .iter()
+            .map(|t| value(t, env).expect("safety guarantees head bound"))
+            .collect();
+        out.insert(tuple);
+        return Ok(());
+    }
+    let li = order[step];
+    match &rule.body[li] {
+        Literal::Pos(a) => {
+            let store = match delta {
+                Some((dli, d)) if dli == li => d.get(&a.rel),
+                _ => facts.get(&a.rel),
+            };
+            let Some(tuples) = store else {
+                // delta without entries for this predicate, or unknown EDB
+                if facts.contains_key(&a.rel) || delta.is_some() {
+                    return Ok(());
+                }
+                return Err(TxError::SchemaMismatch(format!(
+                    "unknown predicate {}",
+                    a.rel
+                )));
+            };
+            for t in tuples {
+                if t.len() != a.args.len() {
+                    return Err(TxError::SchemaMismatch(format!(
+                        "arity mismatch on {}",
+                        a.rel
+                    )));
+                }
+                let mut added: Vec<String> = Vec::new();
+                let mut ok = true;
+                for (arg, val) in a.args.iter().zip(t.iter()) {
+                    match arg {
+                        DlTerm::Const(c) => {
+                            if c != val {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        DlTerm::Var(v) => match env.get(v) {
+                            Some(e) if e != val => {
+                                ok = false;
+                                break;
+                            }
+                            Some(_) => {}
+                            None => {
+                                env.insert(v.clone(), *val);
+                                added.push(v.clone());
+                            }
+                        },
+                    }
+                }
+                if ok {
+                    search(rule, order, step + 1, facts, delta, env, out)?;
+                }
+                for v in added {
+                    env.remove(&v);
+                }
+            }
+            Ok(())
+        }
+        Literal::Neg(a) => {
+            let tuple: Vec<Elem> = a
+                .args
+                .iter()
+                .map(|t| value(t, env).expect("plan guarantees bound"))
+                .collect();
+            let present = facts.get(&a.rel).is_some_and(|s| s.contains(&tuple));
+            if !present {
+                search(rule, order, step + 1, facts, delta, env, out)?;
+            }
+            Ok(())
+        }
+        Literal::Eq(a, b) => {
+            match (value(a, env), value(b, env)) {
+                (Some(x), Some(y)) => {
+                    if x == y {
+                        search(rule, order, step + 1, facts, delta, env, out)?;
+                    }
+                }
+                (Some(x), None) => {
+                    if let DlTerm::Var(v) = b {
+                        env.insert(v.clone(), x);
+                        search(rule, order, step + 1, facts, delta, env, out)?;
+                        env.remove(v);
+                    }
+                }
+                (None, Some(y)) => {
+                    if let DlTerm::Var(v) = a {
+                        env.insert(v.clone(), y);
+                        search(rule, order, step + 1, facts, delta, env, out)?;
+                        env.remove(v);
+                    }
+                }
+                (None, None) => {
+                    return Err(TxError::Eval("equality with both sides unbound".into()))
+                }
+            }
+            Ok(())
+        }
+        Literal::Neq(a, b) => {
+            let x = value(a, env).expect("plan guarantees bound");
+            let y = value(b, env).expect("plan guarantees bound");
+            if x != y {
+                search(rule, order, step + 1, facts, delta, env, out)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn value(t: &DlTerm, env: &BTreeMap<String, Elem>) -> Option<Elem> {
+    match t {
+        DlTerm::Const(c) => Some(*c),
+        DlTerm::Var(v) => env.get(v).copied(),
+    }
+}
+
+/// A transaction defined by a Datalog¬ program: runs the program, then
+/// replaces each listed database relation by the contents of an IDB
+/// predicate. Unlisted relations are kept.
+#[derive(Clone, Debug)]
+pub struct DatalogTransaction {
+    label: String,
+    program: DatalogProgram,
+    outputs: Vec<(String, String)>, // (idb predicate, target relation)
+    strategy: Strategy,
+}
+
+impl DatalogTransaction {
+    /// Builds the transaction. `outputs` maps IDB predicates to target
+    /// schema relations.
+    pub fn new(
+        label: impl Into<String>,
+        program: DatalogProgram,
+        outputs: impl IntoIterator<Item = (impl Into<String>, impl Into<String>)>,
+        strategy: Strategy,
+    ) -> Self {
+        DatalogTransaction {
+            label: label.into(),
+            program,
+            outputs: outputs
+                .into_iter()
+                .map(|(a, b)| (a.into(), b.into()))
+                .collect(),
+            strategy,
+        }
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &DatalogProgram {
+        &self.program
+    }
+}
+
+impl Transaction for DatalogTransaction {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn apply(&self, db: &Database) -> Result<Database, TxError> {
+        let derived = self.program.run(db, self.strategy)?;
+        let mut out = db.clone();
+        for (idb, target) in &self.outputs {
+            let tuples = derived
+                .get(idb)
+                .ok_or_else(|| TxError::Eval(format!("no IDB predicate {idb}")))?;
+            let old: Vec<Vec<Elem>> = out.rel(target).iter().cloned().collect();
+            for t in old {
+                out.remove(target, &t);
+            }
+            for t in tuples {
+                out.insert(target, t.clone());
+            }
+        }
+        Ok(normalize_domain(out))
+    }
+}
+
+/// `tc(x,y) ← E(x,y);  tc(x,y) ← E(x,z), tc(z,y)` — transitive closure.
+pub fn tc_program() -> DatalogProgram {
+    let v = DlTerm::v;
+    DatalogProgram::new(vec![
+        Rule::new(
+            Atom::new("tc", [v("x"), v("y")]),
+            [Literal::Pos(Atom::new("E", [v("x"), v("y")]))],
+        ),
+        Rule::new(
+            Atom::new("tc", [v("x"), v("y")]),
+            [
+                Literal::Pos(Atom::new("E", [v("x"), v("z")])),
+                Literal::Pos(Atom::new("tc", [v("z"), v("y")])),
+            ],
+        ),
+    ])
+    .expect("tc program is valid")
+}
+
+/// Deterministic transitive closure via stratified negation. `dpath(x,y)`
+/// holds when there is a path from `x` to `y` all of whose nodes *except
+/// possibly `y`* have out-degree 1 — exactly the side condition of the
+/// definition in Section 3 ("each `xᵢ` has out-degree 1, `i = 1..n−1`"):
+///
+/// ```text
+/// multi(x)   ← E(x,y), E(x,z), y≠z
+/// only(x,y)  ← E(x,y), ¬multi(x)
+/// dpath(x,y) ← only(x,y)
+/// dpath(x,y) ← only(x,z), dpath(z,y)
+/// dtc(x,y)   ← E(x,y)
+/// dtc(x,y)   ← dpath(x,y)
+/// ```
+pub fn dtc_program() -> DatalogProgram {
+    let v = DlTerm::v;
+    DatalogProgram::new(vec![
+        Rule::new(
+            Atom::new("multi", [v("x")]),
+            [
+                Literal::Pos(Atom::new("E", [v("x"), v("y")])),
+                Literal::Pos(Atom::new("E", [v("x"), v("z")])),
+                Literal::Neq(v("y"), v("z")),
+            ],
+        ),
+        Rule::new(
+            Atom::new("only", [v("x"), v("y")]),
+            [
+                Literal::Pos(Atom::new("E", [v("x"), v("y")])),
+                Literal::Neg(Atom::new("multi", [v("x")])),
+            ],
+        ),
+        Rule::new(
+            Atom::new("dpath", [v("x"), v("y")]),
+            [Literal::Pos(Atom::new("only", [v("x"), v("y")]))],
+        ),
+        Rule::new(
+            Atom::new("dpath", [v("x"), v("y")]),
+            [
+                Literal::Pos(Atom::new("only", [v("x"), v("z")])),
+                Literal::Pos(Atom::new("dpath", [v("z"), v("y")])),
+            ],
+        ),
+        Rule::new(
+            Atom::new("dtc", [v("x"), v("y")]),
+            [Literal::Pos(Atom::new("E", [v("x"), v("y")]))],
+        ),
+        Rule::new(
+            Atom::new("dtc", [v("x"), v("y")]),
+            [Literal::Pos(Atom::new("dpath", [v("x"), v("y")]))],
+        ),
+    ])
+    .expect("dtc program is valid")
+}
+
+/// Same-generation from the diagonal:
+///
+/// ```text
+/// sg(x,x) ← Dom(x)
+/// sg(x,y) ← E(u,x), E(w,y), sg(u,w)
+/// ```
+pub fn sg_program() -> DatalogProgram {
+    let v = DlTerm::v;
+    DatalogProgram::new(vec![
+        Rule::new(
+            Atom::new("sg", [v("x"), v("x")]),
+            [Literal::Pos(Atom::new(DOM, [v("x")]))],
+        ),
+        Rule::new(
+            Atom::new("sg", [v("x"), v("y")]),
+            [
+                Literal::Pos(Atom::new("E", [v("u"), v("x")])),
+                Literal::Pos(Atom::new("E", [v("w"), v("y")])),
+                Literal::Pos(Atom::new("sg", [v("u"), v("w")])),
+            ],
+        ),
+    ])
+    .expect("sg program is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpdt_structure::{families, Graph};
+
+    fn run_tc(db: &Database, s: Strategy) -> BTreeSet<(Elem, Elem)> {
+        tc_program()
+            .run(db, s)
+            .expect("runs")
+            .remove("tc")
+            .expect("tc derived")
+            .into_iter()
+            .map(|t| (t[0], t[1]))
+            .collect()
+    }
+
+    #[test]
+    fn tc_matches_graph_algorithm() {
+        for db in [
+            families::chain(5),
+            families::cycle(4),
+            families::cc_graph(3, &[4]),
+            families::gnm(2, 3),
+        ] {
+            let expect = Graph::of_edges(&db).transitive_closure();
+            assert_eq!(run_tc(&db, Strategy::Naive), expect);
+            assert_eq!(run_tc(&db, Strategy::SemiNaive), expect);
+        }
+    }
+
+    #[test]
+    fn dtc_matches_graph_algorithm() {
+        for db in [
+            families::chain(5),
+            families::cycle(4),
+            Database::graph([(0, 1), (0, 2), (1, 3), (3, 4)]),
+        ] {
+            let expect = Graph::of_edges(&db).deterministic_transitive_closure();
+            let got: BTreeSet<(Elem, Elem)> = dtc_program()
+                .run(&db, Strategy::SemiNaive)
+                .expect("runs")
+                .remove("dtc")
+                .expect("dtc derived")
+                .into_iter()
+                .map(|t| (t[0], t[1]))
+                .collect();
+            assert_eq!(got, expect, "on {db:?}");
+        }
+    }
+
+    #[test]
+    fn sg_matches_graph_algorithm() {
+        for db in [families::gnm(3, 3), families::complete_binary_tree(3)] {
+            let expect = Graph::of_edges(&db).same_generation();
+            let got: BTreeSet<(Elem, Elem)> = sg_program()
+                .run(&db, Strategy::SemiNaive)
+                .expect("runs")
+                .remove("sg")
+                .expect("sg derived")
+                .into_iter()
+                .map(|t| (t[0], t[1]))
+                .collect();
+            assert_eq!(got, expect, "on {db:?}");
+        }
+    }
+
+    #[test]
+    fn datalog_transaction_replaces_relation() {
+        let tx = DatalogTransaction::new(
+            "tc",
+            tc_program(),
+            [("tc", "E")],
+            Strategy::SemiNaive,
+        );
+        let out = tx.apply(&families::chain(4)).expect("applies");
+        assert_eq!(out, families::linear_order(4));
+    }
+
+    #[test]
+    fn unsafe_rules_rejected() {
+        let v = DlTerm::v;
+        // head variable y unbound
+        let bad = DatalogProgram::new(vec![Rule::new(
+            Atom::new("p", [v("x"), v("y")]),
+            [Literal::Pos(Atom::new("E", [v("x"), v("x")]))],
+        )]);
+        assert!(bad.is_err());
+        // negated variable unbound
+        let bad2 = DatalogProgram::new(vec![Rule::new(
+            Atom::new("p", [v("x")]),
+            [
+                Literal::Pos(Atom::new("E", [v("x"), v("x")])),
+                Literal::Neg(Atom::new("E", [v("x"), v("z")])),
+            ],
+        )]);
+        assert!(bad2.is_err());
+    }
+
+    #[test]
+    fn recursion_through_negation_rejected() {
+        let v = DlTerm::v;
+        let bad = DatalogProgram::new(vec![
+            Rule::new(
+                Atom::new("p", [v("x")]),
+                [
+                    Literal::Pos(Atom::new("E", [v("x"), v("x")])),
+                    Literal::Neg(Atom::new("q", [v("x")])),
+                ],
+            ),
+            Rule::new(
+                Atom::new("q", [v("x")]),
+                [
+                    Literal::Pos(Atom::new("E", [v("x"), v("x")])),
+                    Literal::Neg(Atom::new("p", [v("x")])),
+                ],
+            ),
+        ]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn constants_in_rules() {
+        let v = DlTerm::v;
+        let p = DatalogProgram::new(vec![Rule::new(
+            Atom::new("from0", [v("y")]),
+            [Literal::Pos(Atom::new("E", [DlTerm::c(0), v("y")]))],
+        )])
+        .expect("valid");
+        let db = families::chain(3);
+        let got = p.run(&db, Strategy::SemiNaive).expect("runs");
+        assert_eq!(got["from0"], BTreeSet::from([vec![Elem(1)]]));
+    }
+
+    #[test]
+    fn equality_binding() {
+        let v = DlTerm::v;
+        let p = DatalogProgram::new(vec![Rule::new(
+            Atom::new("pairs", [v("x"), v("y")]),
+            [
+                Literal::Pos(Atom::new("E", [v("x"), v("z")])),
+                Literal::Eq(v("y"), v("z")),
+            ],
+        )])
+        .expect("valid");
+        let db = families::chain(3);
+        let got = p.run(&db, Strategy::SemiNaive).expect("runs");
+        assert_eq!(got["pairs"].len(), 2);
+    }
+
+    #[test]
+    fn strata_count() {
+        assert_eq!(tc_program().num_strata(), 1);
+        assert_eq!(dtc_program().num_strata(), 2);
+    }
+}

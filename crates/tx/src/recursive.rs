@@ -1,0 +1,163 @@
+//! The recursive transactions of Theorem B as native [`Transaction`]s:
+//! transitive closure, deterministic transitive closure, and
+//! same-generation. Cross-checked against their Datalog¬ and while-language
+//! definitions (three independent implementations of each semantics).
+
+use crate::datalog::{dtc_program, sg_program, tc_program, DatalogTransaction, Strategy};
+use crate::traits::{normalize_domain, Transaction, TxError};
+use vpdt_structure::graph::graph_from_pairs;
+use vpdt_structure::{Database, Graph};
+
+/// `tc`: replaces `E` by its transitive closure; the node set is preserved
+/// by the closure's own edges (every endpoint keeps at least one edge).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TcTransaction;
+
+impl Transaction for TcTransaction {
+    fn name(&self) -> String {
+        "tc".into()
+    }
+
+    fn apply(&self, db: &Database) -> Result<Database, TxError> {
+        let g = Graph::of_edges(db);
+        Ok(normalize_domain(graph_from_pairs(
+            db.domain().iter().copied(),
+            g.transitive_closure(),
+        )))
+    }
+}
+
+/// `dtc`: deterministic transitive closure (Section 3).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DtcTransaction;
+
+impl Transaction for DtcTransaction {
+    fn name(&self) -> String {
+        "dtc".into()
+    }
+
+    fn apply(&self, db: &Database) -> Result<Database, TxError> {
+        let g = Graph::of_edges(db);
+        Ok(normalize_domain(graph_from_pairs(
+            db.domain().iter().copied(),
+            g.deterministic_transitive_closure(),
+        )))
+    }
+}
+
+/// `sg`: the same-generation query (a member of `SG_tree`; on trees it
+/// computes exactly `sg(G)`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SgTransaction;
+
+impl Transaction for SgTransaction {
+    fn name(&self) -> String {
+        "sg".into()
+    }
+
+    fn apply(&self, db: &Database) -> Result<Database, TxError> {
+        let g = Graph::of_edges(db);
+        Ok(normalize_domain(graph_from_pairs(
+            db.domain().iter().copied(),
+            g.same_generation(),
+        )))
+    }
+}
+
+/// The Datalog¬ version of [`TcTransaction`].
+pub fn tc_datalog(strategy: Strategy) -> DatalogTransaction {
+    DatalogTransaction::new("tc-datalog", tc_program(), [("tc", "E")], strategy)
+}
+
+/// The Datalog¬ version of [`DtcTransaction`].
+pub fn dtc_datalog(strategy: Strategy) -> DatalogTransaction {
+    DatalogTransaction::new("dtc-datalog", dtc_program(), [("dtc", "E")], strategy)
+}
+
+/// The Datalog¬ version of [`SgTransaction`].
+pub fn sg_datalog(strategy: Strategy) -> DatalogTransaction {
+    DatalogTransaction::new("sg-datalog", sg_program(), [("sg", "E")], strategy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::while_lang::tc_while;
+    use rand::SeedableRng;
+    use vpdt_structure::families;
+
+    fn test_graphs() -> Vec<Database> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut out = vec![
+            families::chain(6),
+            families::cycle(5),
+            families::cc_graph(3, &[4]),
+            families::gnm(3, 4),
+            families::complete_binary_tree(2),
+            Database::graph([]),
+        ];
+        for _ in 0..4 {
+            out.push(families::random_graph(5, 0.3, &mut rng));
+        }
+        out
+    }
+
+    #[test]
+    fn three_tc_implementations_agree() {
+        let native = TcTransaction;
+        let datalog = tc_datalog(Strategy::SemiNaive);
+        let while_p = tc_while();
+        for db in test_graphs() {
+            let a = native.apply(&db).expect("native");
+            let b = datalog.apply(&db).expect("datalog");
+            let c = while_p.apply(&db).expect("while");
+            assert_eq!(a, b, "native vs datalog on {db:?}");
+            assert_eq!(a, c, "native vs while on {db:?}");
+        }
+    }
+
+    #[test]
+    fn dtc_implementations_agree() {
+        let native = DtcTransaction;
+        let datalog = dtc_datalog(Strategy::SemiNaive);
+        for db in test_graphs() {
+            assert_eq!(
+                native.apply(&db).expect("native"),
+                datalog.apply(&db).expect("datalog"),
+                "on {db:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sg_implementations_agree() {
+        let native = SgTransaction;
+        let datalog = sg_datalog(Strategy::SemiNaive);
+        for db in test_graphs() {
+            assert_eq!(
+                native.apply(&db).expect("native"),
+                datalog.apply(&db).expect("datalog"),
+                "on {db:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sg_on_gnm_counts_isolated_points() {
+        // Claim 3 of Theorem 2: in sg(G_{n,m}) with n ≤ m there are exactly
+        // m − n isolated points if n≠m… more precisely |n−m| depth levels
+        // are singletons, plus the root's generation is {root}. The sentence
+        // α_i counts i isolated nodes and G_{n,m} ⊨ wpc(sg, α_i) iff
+        // |n−m| = i−1.
+        for (n, m) in [(2usize, 4usize), (3, 3), (2, 5)] {
+            let db = families::gnm(n, m);
+            let out = SgTransaction.apply(&db).expect("applies");
+            let i = n.abs_diff(m) + 1;
+            let alpha = vpdt_logic::library::exactly_isolated(i);
+            assert!(
+                vpdt_eval::holds_pure(&out, &alpha).expect("evaluates"),
+                "G_({n},{m}) should have exactly {i} isolated points in sg"
+            );
+        }
+    }
+}

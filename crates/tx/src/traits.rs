@@ -1,0 +1,129 @@
+//! The transaction interface.
+
+use std::fmt;
+use vpdt_eval::EvalError;
+use vpdt_structure::Database;
+
+/// Errors a transaction can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxError {
+    /// A formula or expression failed to evaluate (unknown symbol, arity…).
+    Eval(String),
+    /// The transaction aborted deliberately (e.g. a guard failed — the
+    /// `if wpc(T,α) then T else abort` transform of the introduction).
+    Aborted(String),
+    /// The input database's schema does not match the transaction's.
+    SchemaMismatch(String),
+    /// A resource limit was hit (e.g. a while-program that did not
+    /// converge within its iteration bound).
+    ResourceLimit(String),
+}
+
+impl fmt::Display for TxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxError::Eval(m) => write!(f, "evaluation failure: {m}"),
+            TxError::Aborted(m) => write!(f, "transaction aborted: {m}"),
+            TxError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            TxError::ResourceLimit(m) => write!(f, "resource limit: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+impl From<EvalError> for TxError {
+    fn from(e: EvalError) -> Self {
+        TxError::Eval(e.0)
+    }
+}
+
+/// A transaction: a total map from databases to databases (Section 2).
+///
+/// Implementations must normalize the result domain to the active domain
+/// (use [`normalize_domain`]) — in the paper `dom(D)` *is* the set of
+/// elements occurring in the database.
+pub trait Transaction {
+    /// A short human-readable name for reports.
+    fn name(&self) -> String;
+
+    /// Applies the transaction.
+    fn apply(&self, db: &Database) -> Result<Database, TxError>;
+}
+
+impl<T: Transaction + ?Sized> Transaction for &T {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn apply(&self, db: &Database) -> Result<Database, TxError> {
+        (**self).apply(db)
+    }
+}
+
+impl<T: Transaction + ?Sized> Transaction for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn apply(&self, db: &Database) -> Result<Database, TxError> {
+        (**self).apply(db)
+    }
+}
+
+/// Restricts the domain to the active domain — the output convention for
+/// every transaction in this workspace.
+pub fn normalize_domain(mut db: Database) -> Database {
+    db.shrink_domain_to_active();
+    db
+}
+
+/// Spot-checks genericity (invariance under permutations of `U`,
+/// Section 4): applies each permutation π and verifies
+/// `T(π(D)) = π(T(D))`. A `false` is a definite counterexample; `true` is
+/// evidence, not proof.
+pub fn commutes_with_permutation(
+    tx: &dyn Transaction,
+    db: &Database,
+    pi: &dyn Fn(vpdt_logic::Elem) -> vpdt_logic::Elem,
+) -> Result<bool, TxError> {
+    let lhs = tx.apply(&db.permuted(pi))?;
+    let rhs = tx.apply(db)?.permuted(pi);
+    Ok(lhs == rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpdt_logic::Elem;
+
+    struct Id;
+    impl Transaction for Id {
+        fn name(&self) -> String {
+            "identity".into()
+        }
+        fn apply(&self, db: &Database) -> Result<Database, TxError> {
+            Ok(normalize_domain(db.clone()))
+        }
+    }
+
+    #[test]
+    fn identity_is_generic() {
+        let db = Database::graph([(1, 2), (2, 3)]);
+        let ok = commutes_with_permutation(&Id, &db, &|e| Elem(e.0 + 7)).expect("applies");
+        assert!(ok);
+    }
+
+    #[test]
+    fn normalization_drops_isolated_nodes() {
+        let db = Database::graph_with_domain([9], [(1, 2)]);
+        let out = Id.apply(&db).expect("applies");
+        assert_eq!(out.domain_size(), 2);
+    }
+
+    #[test]
+    fn boxed_transactions_delegate() {
+        let b: Box<dyn Transaction> = Box::new(Id);
+        assert_eq!(b.name(), "identity");
+        let db = Database::graph([(0, 1)]);
+        assert_eq!(b.apply(&db).expect("applies"), db);
+    }
+}

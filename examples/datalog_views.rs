@@ -1,0 +1,68 @@
+//! The recursive substrate: Datalog¬ views as transactions — and why
+//! recursion destroys verifiability (Theorem B).
+//!
+//! ```text
+//! cargo run --example datalog_views
+//! ```
+
+use vpdt::structure::{families, Database};
+use vpdt::tx::datalog::{sg_program, tc_program, Strategy};
+use vpdt::tx::recursive::{tc_datalog, SgTransaction};
+use vpdt::tx::traits::Transaction;
+
+fn main() {
+    // A small family tree: parent edges.
+    let family = Database::graph([
+        (0, 1),
+        (0, 2), // 0's children: 1, 2
+        (1, 3),
+        (1, 4), // 1's children: 3, 4
+        (2, 5), // 2's child: 5
+    ]);
+    println!("family tree: {family:?}\n");
+
+    // Ancestor = transitive closure, as a Datalog view.
+    let ancestors = tc_program()
+        .run(&family, Strategy::SemiNaive)
+        .expect("runs");
+    println!("ancestor pairs (tc): {} tuples", ancestors["tc"].len());
+    for t in &ancestors["tc"] {
+        println!("   {} is an ancestor of {}", t[0], t[1]);
+    }
+
+    // Same generation: siblings and cousins.
+    let gens = sg_program().run(&family, Strategy::SemiNaive).expect("runs");
+    let mut cousins: Vec<String> = gens["sg"]
+        .iter()
+        .filter(|t| t[0] < t[1])
+        .map(|t| format!("{} ~ {}", t[0], t[1]))
+        .collect();
+    cousins.sort();
+    println!("\nsame-generation pairs (sg): {}", cousins.join(", "));
+
+    // As a *transaction* (replace E by its closure), tc is a perfectly good
+    // total map on databases — but by Theorem B it has no FO weakest
+    // preconditions, so it cannot be statically verified against FO
+    // constraints. See the locality_lab example for the game argument.
+    let tx = tc_datalog(Strategy::SemiNaive);
+    let closed = tx.apply(&family).expect("applies");
+    println!(
+        "\ntc-as-transaction: {} edges -> {} edges",
+        family.rel("E").len(),
+        closed.rel("E").len()
+    );
+
+    // Cross-check against the native graph algorithm.
+    let native = vpdt::tx::recursive::TcTransaction.apply(&family).expect("applies");
+    assert_eq!(closed, native);
+    println!("datalog and native tc agree ✓");
+
+    // And sg on a perfect tree for good measure.
+    let tree = families::complete_binary_tree(3);
+    let sg = SgTransaction.apply(&tree).expect("applies");
+    println!(
+        "\nsg on the depth-3 binary tree: {} nodes, {} same-generation pairs",
+        tree.domain_size(),
+        sg.rel("E").len()
+    );
+}

@@ -1,0 +1,79 @@
+//! Quickstart: statically verified database transactions in five steps.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! 1. declare a schema and an integrity constraint α;
+//! 2. write a transaction as an update program;
+//! 3. compile it to a prerelation description (Γ, {pre_R});
+//! 4. compute the weakest precondition wpc(T, α) — Theorem 8's WPC[γ];
+//! 5. run `if wpc(T,α) then T else abort`: consistency is maintained with
+//!    no rollbacks, ever.
+
+use vpdt::core::prerelations::compile_program;
+use vpdt::core::safe::Guarded;
+use vpdt::core::wpc::wpc_sentence;
+use vpdt::eval::{holds, Omega};
+use vpdt::logic::{parse_formula, Schema};
+use vpdt::structure::Database;
+use vpdt::tx::program::Program;
+use vpdt::tx::traits::Transaction;
+
+fn main() {
+    // 1. A graph schema and a functional-dependency constraint:
+    //    every node has at most one successor.
+    let schema = Schema::graph();
+    let omega = Omega::empty();
+    let alpha = parse_formula("forall x y z. E(x, y) & E(x, z) -> y = z")
+        .expect("constraint parses");
+
+    // 2. The transaction: link 1 → 4, then unlink 0 → 1.
+    let program = Program::seq([
+        Program::insert_consts("E", [1, 4]),
+        Program::delete_consts("E", [0, 1]),
+    ]);
+
+    // 3. Compile to a prerelation description (Proposition 3): a finite
+    //    term set Γ and a formula pre_E(x,y) over the *old* state.
+    let pre = compile_program("relink", &program, &schema, &omega).expect("compiles");
+    println!("Γ = {:?}", pre.gamma());
+    let pre_e = vpdt::logic::simplify::normalize(&pre.pre("E").formula);
+    let shown = pre_e.to_string();
+    if shown.len() <= 400 {
+        println!("pre_E(x0,x1) = {shown}");
+    } else {
+        println!(
+            "pre_E(x0,x1) = <{} AST nodes; starts: {}…>",
+            pre_e.size(),
+            &shown[..200]
+        );
+    }
+
+    // 4. The weakest precondition (Theorem 8): D ⊨ wpc ⟺ T(D) ⊨ α.
+    let wpc = wpc_sentence(&pre, &alpha).expect("translates");
+    println!("\nwpc(T, α) has {} AST nodes, rank {}", wpc.size(), wpc.quantifier_rank());
+
+    // 5. The safe transaction.
+    let safe = Guarded::new(pre, wpc, omega.clone());
+
+    // A consistent database where the transaction is harmless…
+    let ok_db = Database::graph([(0, 1), (2, 3)]);
+    assert!(holds(&ok_db, &omega, &alpha).expect("evaluates"));
+    match safe.apply(&ok_db) {
+        Ok(out) => {
+            assert!(holds(&out, &omega, &alpha).expect("evaluates"));
+            println!("\naccepted: {ok_db:?}\n       -> {out:?}");
+        }
+        Err(e) => println!("unexpected abort: {e}"),
+    }
+
+    // …and one where blindly running it would violate α (1 already has a
+    // successor), so the guard aborts *before* touching the data.
+    let risky_db = Database::graph([(0, 1), (1, 2)]);
+    assert!(holds(&risky_db, &omega, &alpha).expect("evaluates"));
+    match safe.apply(&risky_db) {
+        Ok(_) => println!("should have aborted!"),
+        Err(e) => println!("\nrejected: {risky_db:?}\n       ({e})"),
+    }
+}

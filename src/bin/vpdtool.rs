@@ -1,0 +1,241 @@
+//! `vpdtool` — statically verified transactions from the command line.
+//!
+//! ```text
+//! vpdtool check    --db 'dom:0,1,2;E:0 1,1 2' --formula 'exists x. E(x, x)'
+//! vpdtool apply    --db '…' --insert E:1,4 --delete E:0,1
+//! vpdtool wpc      --constraint 'forall x y z. E(x,y) & E(x,z) -> y = z' --insert E:1,4
+//! vpdtool guard    --db '…' --constraint '…' --insert E:1,4
+//! vpdtool preserve --constraint '…' --insert E:1,4 --budget 2000
+//! ```
+//!
+//! Databases use the textual encoding of `Database::encode`
+//! (`dom:<ids>;R:<tuples>`); the default schema is the single binary
+//! relation `E`, overridable with `--schema 'R:2,S:1'`.
+
+use std::process::ExitCode;
+use vpdt::core::prerelations::compile_program;
+use vpdt::core::safe::Guarded;
+use vpdt::core::verify::{find_preservation_counterexample, PreserveVerdict};
+use vpdt::core::wpc::wpc_sentence;
+use vpdt::eval::{holds, Omega};
+use vpdt::logic::{parse_formula, Schema};
+use vpdt::structure::Database;
+use vpdt::tx::program::Program;
+use vpdt::tx::traits::{Transaction, TxError};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("vpdtool: {e}");
+            eprintln!("run `vpdtool help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Options {
+    db: Option<String>,
+    formula: Option<String>,
+    constraint: Option<String>,
+    schema: Option<String>,
+    omega: Option<String>,
+    updates: Vec<(bool, String)>, // (is_insert, "R:a,b")
+    budget: usize,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options {
+        db: None,
+        formula: None,
+        constraint: None,
+        schema: None,
+        omega: None,
+        updates: Vec::new(),
+        budget: 2000,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = &args[i];
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .clone();
+        match flag.as_str() {
+            "--db" => o.db = Some(value),
+            "--formula" => o.formula = Some(value),
+            "--constraint" => o.constraint = Some(value),
+            "--schema" => o.schema = Some(value),
+            "--omega" => o.omega = Some(value),
+            "--insert" => o.updates.push((true, value)),
+            "--delete" => o.updates.push((false, value)),
+            "--budget" => {
+                o.budget = value.parse().map_err(|_| "bad --budget".to_string())?
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    Ok(o)
+}
+
+fn schema_of(o: &Options) -> Result<Schema, String> {
+    match &o.schema {
+        None => Ok(Schema::graph()),
+        Some(s) => {
+            let mut rels = Vec::new();
+            for part in s.split(',') {
+                let (name, arity) = part
+                    .split_once(':')
+                    .ok_or_else(|| format!("bad schema item {part}"))?;
+                let arity: usize =
+                    arity.parse().map_err(|_| format!("bad arity in {part}"))?;
+                rels.push((name.trim().to_string(), arity));
+            }
+            Ok(Schema::new(rels))
+        }
+    }
+}
+
+fn omega_of(o: &Options) -> Result<Omega, String> {
+    match o.omega.as_deref() {
+        None | Some("empty") => Ok(Omega::empty()),
+        Some("order") => Ok(Omega::nat_order()),
+        Some("arithmetic") => Ok(Omega::arithmetic()),
+        Some(other) => Err(format!("unknown omega {other} (empty|order|arithmetic)")),
+    }
+}
+
+fn database_of(o: &Options, schema: &Schema) -> Result<Database, String> {
+    let enc = o.db.as_deref().ok_or("--db is required")?;
+    Database::decode(schema.clone(), enc)
+}
+
+fn program_of(o: &Options) -> Result<Program, String> {
+    if o.updates.is_empty() {
+        return Err("at least one --insert/--delete is required".into());
+    }
+    let mut steps = Vec::new();
+    for (is_insert, spec) in &o.updates {
+        let (rel, tuple) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("bad update spec {spec} (want R:a,b)"))?;
+        let ids: Result<Vec<u64>, _> =
+            tuple.split(',').map(|x| x.trim().parse::<u64>()).collect();
+        let ids = ids.map_err(|_| format!("bad tuple in {spec}"))?;
+        steps.push(if *is_insert {
+            Program::insert_consts(rel, ids)
+        } else {
+            Program::delete_consts(rel, ids)
+        });
+    }
+    Ok(Program::seq(steps))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("missing command".into());
+    };
+    let o = parse_options(rest)?;
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => {
+            println!(
+                "vpdtool — statically verified transactions\n\n\
+                 commands:\n  \
+                 check    --db ENC --formula F [--omega O]      does D ⊨ F hold?\n  \
+                 apply    --db ENC --insert R:a,b …             run the updates\n  \
+                 wpc      --constraint F --insert R:a,b …       print wpc(T, F)\n  \
+                 guard    --db ENC --constraint F --insert …    run `if wpc then T else abort`\n  \
+                 preserve --constraint F --insert … [--budget N] bounded Preserve(T, F) check\n\n\
+                 common flags: --schema 'R:2,S:1' (default E:2), --omega empty|order|arithmetic"
+            );
+            Ok(())
+        }
+        "check" => {
+            let schema = schema_of(&o)?;
+            let db = database_of(&o, &schema)?;
+            let f = parse_formula(o.formula.as_deref().ok_or("--formula is required")?)
+                .map_err(|e| e.to_string())?;
+            let omega = omega_of(&o)?;
+            let r = holds(&db, &omega, &f).map_err(|e| e.to_string())?;
+            println!("{r}");
+            Ok(())
+        }
+        "apply" => {
+            let schema = schema_of(&o)?;
+            let db = database_of(&o, &schema)?;
+            let omega = omega_of(&o)?;
+            let pre = compile_program("cli", &program_of(&o)?, &schema, &omega)
+                .map_err(|e| e.to_string())?;
+            let out = pre.apply(&db).map_err(|e| e.to_string())?;
+            println!("{}", out.encode());
+            Ok(())
+        }
+        "wpc" => {
+            let schema = schema_of(&o)?;
+            let omega = omega_of(&o)?;
+            let alpha =
+                parse_formula(o.constraint.as_deref().ok_or("--constraint is required")?)
+                    .map_err(|e| e.to_string())?;
+            let pre = compile_program("cli", &program_of(&o)?, &schema, &omega)
+                .map_err(|e| e.to_string())?;
+            let w = wpc_sentence(&pre, &alpha).map_err(|e| e.to_string())?;
+            println!("{w}");
+            eprintln!(
+                "# {} AST nodes, quantifier rank {}",
+                w.size(),
+                w.quantifier_rank()
+            );
+            Ok(())
+        }
+        "guard" => {
+            let schema = schema_of(&o)?;
+            let db = database_of(&o, &schema)?;
+            let omega = omega_of(&o)?;
+            let alpha =
+                parse_formula(o.constraint.as_deref().ok_or("--constraint is required")?)
+                    .map_err(|e| e.to_string())?;
+            let pre = compile_program("cli", &program_of(&o)?, &schema, &omega)
+                .map_err(|e| e.to_string())?;
+            let w = wpc_sentence(&pre, &alpha).map_err(|e| e.to_string())?;
+            let safe = Guarded::new(pre, w, omega);
+            match safe.apply(&db) {
+                Ok(out) => {
+                    println!("committed: {}", out.encode());
+                    Ok(())
+                }
+                Err(TxError::Aborted(msg)) => {
+                    println!("aborted: {msg}");
+                    Ok(())
+                }
+                Err(e) => Err(e.to_string()),
+            }
+        }
+        "preserve" => {
+            let schema = schema_of(&o)?;
+            let omega = omega_of(&o)?;
+            let alpha =
+                parse_formula(o.constraint.as_deref().ok_or("--constraint is required")?)
+                    .map_err(|e| e.to_string())?;
+            let pre = compile_program("cli", &program_of(&o)?, &schema, &omega)
+                .map_err(|e| e.to_string())?;
+            match find_preservation_counterexample(&pre, &alpha, &omega, o.budget)
+                .map_err(|e| e.to_string())?
+            {
+                PreserveVerdict::CounterexampleFound(db) => {
+                    println!("NOT preserved; counterexample: {}", db.encode());
+                }
+                PreserveVerdict::NoCounterexampleWithin { checked } => {
+                    println!(
+                        "no counterexample among the first {checked} databases \
+                         (Preserve is undecidable: this is evidence, not proof — \
+                          use `wpc` + guard for a guarantee)"
+                    );
+                }
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}")),
+    }
+}

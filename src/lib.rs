@@ -1,0 +1,43 @@
+//! # vpdt — Verifiable Properties of Database Transactions
+//!
+//! Facade crate re-exporting the whole workspace. See the README for a tour.
+//!
+//! This library reproduces Benedikt, Griffin & Libkin, *Verifiable Properties
+//! of Database Transactions* (PODS'96; Information and Computation 147:57-88,
+//! 1998): weakest preconditions, prerelations, the separating transaction of
+//! Theorem 7, the `WPC` substitution algorithm of Theorem 8, and the finite
+//! model theory toolkit (EF games, Hanf locality, Ajtai-Fagin games) used in
+//! the paper's proofs.
+//!
+//! ```
+//! use vpdt::core::{prerelations::compile_program, safe::Guarded, wpc::wpc_sentence};
+//! use vpdt::eval::Omega;
+//! use vpdt::logic::{parse_formula, Schema};
+//! use vpdt::structure::Database;
+//! use vpdt::tx::program::Program;
+//! use vpdt::tx::traits::{Transaction, TxError};
+//!
+//! // constraint: out-degree at most one (a functional dependency)
+//! let alpha = parse_formula("forall x y z. E(x, y) & E(x, z) -> y = z").unwrap();
+//! // transaction: insert the edge 1 -> 4
+//! let t = Program::insert_consts("E", [1, 4]);
+//! let pre = compile_program("link", &t, &Schema::graph(), &Omega::empty()).unwrap();
+//! // wpc(T, alpha): holds in D iff alpha holds in T(D)  (Theorem 8)
+//! let wpc = wpc_sentence(&pre, &alpha).unwrap();
+//! let safe = Guarded::new(pre, wpc, Omega::empty());
+//!
+//! // node 1 has no successor here: the insert is safe
+//! assert!(safe.apply(&Database::graph([(0, 1)])).is_ok());
+//! // node 1 already points at 2: the guard aborts *before* running T
+//! assert!(matches!(
+//!     safe.apply(&Database::graph([(1, 2)])),
+//!     Err(TxError::Aborted(_))
+//! ));
+//! ```
+
+pub use vpdt_core as core;
+pub use vpdt_eval as eval;
+pub use vpdt_games as games;
+pub use vpdt_logic as logic;
+pub use vpdt_structure as structure;
+pub use vpdt_tx as tx;

@@ -1,0 +1,107 @@
+//! Integration tests for the `vpdtool` CLI binary.
+
+use std::process::Command;
+
+fn vpdtool(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_vpdtool"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn check_evaluates_sentences() {
+    let (out, _, ok) = vpdtool(&[
+        "check",
+        "--db",
+        "dom:0,1,2;E:0 1,1 2",
+        "--formula",
+        "exists x. E(x, 2)",
+    ]);
+    assert!(ok);
+    assert_eq!(out.trim(), "true");
+    let (out, _, ok) = vpdtool(&[
+        "check",
+        "--db",
+        "dom:0,1;E:0 1",
+        "--formula",
+        "E(1, 0)",
+    ]);
+    assert!(ok);
+    assert_eq!(out.trim(), "false");
+}
+
+#[test]
+fn apply_runs_updates() {
+    let (out, _, ok) = vpdtool(&[
+        "apply",
+        "--db",
+        "dom:0,1;E:0 1",
+        "--insert",
+        "E:1,2",
+        "--delete",
+        "E:0,1",
+    ]);
+    assert!(ok);
+    assert_eq!(out.trim(), "dom:1,2;E:1 2");
+}
+
+#[test]
+fn guard_aborts_on_violation_and_commits_otherwise() {
+    let fd = "forall x y z. E(x,y) & E(x,z) -> y = z";
+    let (out, _, ok) = vpdtool(&[
+        "guard", "--db", "dom:0,1;E:0 1", "--constraint", fd, "--insert", "E:0,2",
+    ]);
+    assert!(ok);
+    assert!(out.starts_with("aborted:"), "{out}");
+    let (out, _, ok) = vpdtool(&[
+        "guard", "--db", "dom:0,1;E:0 1", "--constraint", fd, "--insert", "E:1,2",
+    ]);
+    assert!(ok);
+    assert!(out.starts_with("committed:"), "{out}");
+}
+
+#[test]
+fn preserve_finds_counterexamples() {
+    let (out, _, ok) = vpdtool(&[
+        "preserve",
+        "--constraint",
+        "forall x y. E(x,y) -> x != y",
+        "--insert",
+        "E:3,3",
+        "--budget",
+        "200",
+    ]);
+    assert!(ok);
+    assert!(out.starts_with("NOT preserved"), "{out}");
+}
+
+#[test]
+fn wpc_prints_a_sentence() {
+    let (out, _, ok) = vpdtool(&[
+        "wpc",
+        "--constraint",
+        "forall x y. E(x,y) -> x != y",
+        "--insert",
+        "E:4,5",
+    ]);
+    assert!(ok);
+    assert!(!out.trim().is_empty());
+    // the printed wpc parses back
+    assert!(vpdt::logic::parse_formula(out.trim()).is_ok());
+}
+
+#[test]
+fn errors_are_reported() {
+    let (_, err, ok) = vpdtool(&["check", "--db", "dom:0;E:"]);
+    assert!(!ok);
+    assert!(err.contains("--formula"));
+    let (_, err2, ok2) = vpdtool(&["frobnicate"]);
+    assert!(!ok2);
+    assert!(err2.contains("unknown command"));
+}

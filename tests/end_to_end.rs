@@ -1,0 +1,172 @@
+//! End-to-end scenarios across every crate: a user-shaped walk through the
+//! whole pipeline, and smoke tests for the experiment suite.
+
+use vpdt::core::prerelations::{compile_program, compile_ra};
+use vpdt::core::safe::Guarded;
+use vpdt::core::simplify::{delta_for_insert, deletion_preserves};
+use vpdt::core::workload;
+use vpdt::core::wpc::wpc_sentence;
+use vpdt::eval::{holds, Omega};
+use vpdt::logic::{parse_formula, Elem, Schema};
+use vpdt::structure::Database;
+use vpdt::tx::program::Program;
+use vpdt::tx::traits::{Transaction, TxError};
+
+/// The README walkthrough: schema → constraint → program → prerelation →
+/// wpc → guarded transaction, with both accept and reject paths.
+#[test]
+fn full_pipeline_walkthrough() {
+    let schema = Schema::graph();
+    let omega = Omega::empty();
+    let alpha = workload::fd_constraint();
+
+    let program = Program::seq([
+        Program::insert_consts("E", [1, 4]),
+        Program::delete_consts("E", [0, 1]),
+    ]);
+    let pre = compile_program("relink", &program, &schema, &omega).expect("compiles");
+    let wpc = wpc_sentence(&pre, &alpha).expect("translates");
+    let safe = Guarded::new(pre, wpc, omega.clone());
+
+    let ok_db = Database::graph([(0, 1), (2, 3)]);
+    let out = safe.apply(&ok_db).expect("accepted");
+    assert!(holds(&out, &omega, &alpha).expect("evaluates"));
+    assert!(out.contains("E", &[Elem(1), Elem(4)]));
+    assert!(!out.contains("E", &[Elem(0), Elem(1)]));
+
+    let risky = Database::graph([(0, 1), (1, 2)]);
+    assert!(matches!(safe.apply(&risky), Err(TxError::Aborted(_))));
+}
+
+/// An RA view refresh guarded against a denial constraint.
+#[test]
+fn ra_transaction_pipeline() {
+    let schema = Schema::graph();
+    let omega = Omega::empty();
+    // "E stays irreflexive"
+    let alpha = workload::no_loops();
+    let t2 = vpdt::tx::algebra::t2_complete();
+    let pre = compile_ra(&t2, &schema).expect("compiles");
+    let wpc = wpc_sentence(&pre, &alpha).expect("translates");
+    let safe = Guarded::new(pre, wpc, omega.clone());
+    // the complete loopless graph is always irreflexive — every input passes
+    for db in [
+        Database::graph([(0, 1)]),
+        Database::graph([(0, 0)]), // even with an input loop, the image has none
+    ] {
+        let out = safe.apply(&db).expect("accepted");
+        assert!(holds(&out, &omega, &alpha).expect("evaluates"));
+    }
+}
+
+/// The Section 6 simplification story on a composite constraint set.
+#[test]
+fn delta_simplification_pipeline() {
+    let fd = workload::fd_constraint();
+    let no_loops = workload::no_loops();
+    // deletes can never break either constraint (both anti-monotone in E)
+    assert!(deletion_preserves(&fd, "E"));
+    assert!(deletion_preserves(&no_loops, "E"));
+    // inserting (2,2): Δ for no_loops is False — statically rejected
+    let d = delta_for_insert(&no_loops, "E", &[Elem(2), Elem(2)]).expect("supported");
+    assert_eq!(vpdt::logic::simplify::simplify(&d), vpdt::logic::Formula::False);
+    // inserting (2,3): Δ for the FD is a small residue, far below the wpc
+    let d2 = delta_for_insert(&fd, "E", &[Elem(2), Elem(3)]).expect("supported");
+    let pre = compile_program(
+        "ins",
+        &Program::insert_consts("E", [2, 3]),
+        &Schema::graph(),
+        &Omega::empty(),
+    )
+    .expect("compiles");
+    let w = wpc_sentence(&pre, &fd).expect("translates");
+    assert!(d2.size() < w.size());
+}
+
+/// Multi-relation schema: compile and verify over `{R/2, S/1}` with an
+/// inclusion-flavored constraint (exercises the arbitrary-schema paths).
+#[test]
+fn multi_relation_schema() {
+    let schema = Schema::new([("R", 2), ("S", 1)]);
+    let omega = Omega::empty();
+    // "second components of R are S-members" (inclusion dependency)
+    let alpha = parse_formula("forall x y. R(x, y) -> S(y)").expect("parses");
+    let program = Program::seq([
+        Program::Insert {
+            rel: "S".into(),
+            tuple: vec![vpdt::logic::Term::cst(9u64)],
+        },
+        Program::insert_consts("R", [3, 9]),
+    ]);
+    let pre = compile_program("enroll", &program, &schema, &omega).expect("compiles");
+    let w = wpc_sentence(&pre, &alpha).expect("translates");
+    // consistent start state
+    let mut db = Database::empty(schema.clone());
+    db.insert("S", vec![Elem(5)]);
+    db.insert("R", vec![Elem(1), Elem(5)]);
+    assert!(holds(&db, &omega, &alpha).expect("evaluates"));
+    // the program inserts S(9) before R(3,9), so α is preserved: wpc holds
+    assert!(holds(&db, &omega, &w).expect("evaluates"));
+    let out = pre.apply(&db).expect("applies");
+    assert!(holds(&out, &omega, &alpha).expect("evaluates"));
+    // sanity: the reversed program (R first, without S) would violate
+    let bad = Program::insert_consts("R", [3, 7]);
+    let pre_bad = compile_program("bad", &bad, &schema, &omega).expect("compiles");
+    let w_bad = wpc_sentence(&pre_bad, &alpha).expect("translates");
+    assert!(!holds(&db, &omega, &w_bad).expect("evaluates"));
+}
+
+/// Every experiment in the suite runs to completion (the slow ones are
+/// exercised with their own smaller internal budgets in the binary; here we
+/// spot-run the cheap ones).
+#[test]
+fn experiment_smoke() {
+    for id in ["e1", "e6", "e9", "e11", "e13"] {
+        vpdt_bench_smoke(id);
+    }
+}
+
+fn vpdt_bench_smoke(id: &str) {
+    // The experiments crate is a sibling, not a dependency of the facade;
+    // invoke the binary through cargo only when available. Here we re-check
+    // the underlying claims cheaply instead of shelling out.
+    match id {
+        "e1" => {
+            let t1 = vpdt::tx::algebra::t1_diagonal();
+            let out = t1
+                .apply(&vpdt::structure::families::chain(3))
+                .expect("applies");
+            assert_eq!(out, vpdt::structure::families::diagonal(0..3));
+        }
+        "e6" => {
+            assert_eq!(vpdt::games::lemma4::paper_bound(1, 1), 7);
+        }
+        "e9" => {
+            let t = vpdt::core::theorem7::SeparatorTransaction;
+            let img = t
+                .apply(&vpdt::structure::families::chain(6))
+                .expect("applies");
+            assert_eq!(vpdt::games::locality::degree_count(&img), 6);
+        }
+        "e11" => {
+            let pre = vpdt::core::prerelations::Prerelation::identity(
+                Schema::graph(),
+                Omega::empty(),
+            );
+            let beta =
+                vpdt::core::generic::prerelation_from_generic(&pre).expect("constructs");
+            assert!(beta.is_pure_fo());
+        }
+        "e13" => {
+            let tc = vpdt::tx::recursive::TcTransaction;
+            let db = vpdt::structure::families::chain(4);
+            let theta = parse_formula("exists x. E(x, 0) | E(0, x)").expect("parses");
+            let before = vpdt::eval::holds_pure(&db, &theta).expect("evaluates");
+            let after =
+                vpdt::eval::holds_pure(&tc.apply(&db).expect("applies"), &theta)
+                    .expect("evaluates");
+            assert_eq!(before, after);
+        }
+        _ => unreachable!(),
+    }
+}

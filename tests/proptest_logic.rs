@@ -1,0 +1,106 @@
+//! Property-based tests for the logic layer, with semantics checked
+//! against the evaluator: normal forms and simplification must preserve
+//! truth on every database, substitution must obey the substitution lemma,
+//! and printing must round-trip through the parser.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use vpdt::core::workload::random_sentence;
+use vpdt::eval::{eval, holds_pure, Env, Omega};
+use vpdt::logic::nnf::{is_nnf, nnf};
+use vpdt::logic::simplify::{normalize, simplify};
+use vpdt::logic::subst::substitute;
+use vpdt::logic::{parse_formula, Formula, Term, Var};
+use vpdt::structure::{families, Database};
+
+/// A pseudo-random sentence from a seed (deterministic, shrinkable by seed).
+fn sentence(seed: u64, depth: usize) -> Formula {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    random_sentence(&mut rng, depth)
+}
+
+fn graph(seed: u64, n: usize) -> Database {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    families::random_graph(n, 0.35, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn nnf_preserves_truth(fseed in 0u64..5000, gseed in 0u64..5000, n in 0usize..5) {
+        let f = sentence(fseed, 3);
+        let g = nnf(&f);
+        prop_assert!(is_nnf(&g));
+        let db = graph(gseed, n);
+        prop_assert_eq!(
+            holds_pure(&db, &f).expect("evaluates"),
+            holds_pure(&db, &g).expect("evaluates"),
+            "nnf changed truth of {} on {:?}", f, db
+        );
+    }
+
+    #[test]
+    fn simplify_preserves_truth(fseed in 0u64..5000, gseed in 0u64..5000, n in 0usize..5) {
+        let f = sentence(fseed, 4);
+        let s = simplify(&f);
+        prop_assert!(s.size() <= f.size(), "simplify grew {} -> {}", f.size(), s.size());
+        let db = graph(gseed, n);
+        prop_assert_eq!(
+            holds_pure(&db, &f).expect("evaluates"),
+            holds_pure(&db, &s).expect("evaluates"),
+            "simplify changed truth of {} on {:?}", f, db
+        );
+    }
+
+    #[test]
+    fn normalize_preserves_truth(fseed in 0u64..5000, gseed in 0u64..5000, n in 0usize..5) {
+        let f = sentence(fseed, 4);
+        let s = normalize(&f);
+        let db = graph(gseed, n);
+        prop_assert_eq!(
+            holds_pure(&db, &f).expect("evaluates"),
+            holds_pure(&db, &s).expect("evaluates"),
+            "normalize changed truth of {} on {:?}", f, db
+        );
+    }
+
+    #[test]
+    fn print_parse_roundtrip(fseed in 0u64..5000) {
+        let f = sentence(fseed, 4);
+        let printed = f.to_string();
+        let back = parse_formula(&printed).expect("printed formula parses");
+        prop_assert_eq!(&f, &back, "roundtrip failed via {}", printed);
+    }
+
+    /// The substitution lemma: D, env[x:=c] ⊨ φ ⟺ D, env ⊨ φ[x:=c].
+    #[test]
+    fn substitution_lemma(fseed in 0u64..5000, gseed in 0u64..5000, c in 0u64..6, n in 1usize..5) {
+        // build an open formula by stripping one quantifier when possible
+        let f = sentence(fseed, 3);
+        let (var, body) = match &f {
+            Formula::Exists(v, g) | Formula::Forall(v, g) => (v.clone(), (**g).clone()),
+            _ => (Var::new("x"), f.clone()),
+        };
+        let db = graph(gseed, n);
+        let substituted = substitute(&body, &var, &Term::cst(c));
+        let mut env = Env::new();
+        let direct = eval(&db, &Omega::empty(), &substituted, &mut env);
+        let mut env2 = Env::of([(var, vpdt::logic::Elem(c))]);
+        let via_env = eval(&db, &Omega::empty(), &body, &mut env2);
+        prop_assert_eq!(direct.expect("evaluates"), via_env.expect("evaluates"));
+    }
+
+    /// Quantifier rank never increases under nnf, and the set of free
+    /// variables is preserved by both normal forms.
+    #[test]
+    fn structural_invariants(fseed in 0u64..5000) {
+        let f = sentence(fseed, 4);
+        let g = nnf(&f);
+        prop_assert!(g.quantifier_rank() <= f.quantifier_rank().max(g.quantifier_rank()));
+        prop_assert_eq!(f.quantifier_rank(), g.quantifier_rank());
+        prop_assert_eq!(f.free_vars(), g.free_vars());
+        let s = normalize(&f);
+        prop_assert_eq!(f.free_vars(), s.free_vars());
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the paper's central equivalences, end to end:
+//!
+//! * **Theorem 8 / Proposition 3**: for every compiled update program `T`
+//!   and sentence γ, `D ⊨ WPC[γ] ⟺ T(D) ⊨ γ`;
+//! * compilation preserves semantics: the prerelation description and the
+//!   operational program semantics produce identical databases;
+//! * symbolic composition = sequential application;
+//! * `Guarded(T, wpc(T,α))` and `RuntimeChecked(T, α)` accept exactly the
+//!   same states and produce identical results.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use vpdt::core::prerelations::compile_program;
+use vpdt::core::safe::{Guarded, RuntimeChecked};
+use vpdt::core::workload::{random_batch, random_sentence};
+use vpdt::core::wpc::{compose, wpc_sentence};
+use vpdt::eval::{holds, Omega};
+use vpdt::logic::Schema;
+use vpdt::structure::{families, Database};
+use vpdt::tx::program::{Program, ProgramTransaction};
+use vpdt::tx::traits::{Transaction, TxError};
+
+fn program(seed: u64, len: usize) -> Program {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    random_batch(&mut rng, 4, len)
+}
+
+fn graph(seed: u64, n: usize) -> Database {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+    families::random_graph(n, 0.4, &mut rng)
+}
+
+fn sentence(seed: u64, depth: usize) -> vpdt::logic::Formula {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x51f1);
+    random_sentence(&mut rng, depth)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Compilation to prerelations is semantics-preserving.
+    #[test]
+    fn compile_preserves_semantics(pseed in 0u64..3000, gseed in 0u64..3000,
+                                   len in 1usize..4, n in 0usize..5) {
+        let schema = Schema::graph();
+        let omega = Omega::empty();
+        let p = program(pseed, len);
+        let pre = compile_program("w", &p, &schema, &omega).expect("compiles");
+        let direct = ProgramTransaction::new("w", p, omega.clone());
+        let db = graph(gseed, n);
+        prop_assert_eq!(
+            pre.apply(&db).expect("prerelation applies"),
+            direct.apply(&db).expect("program applies")
+        );
+    }
+
+    /// The fundamental theorem: D ⊨ WPC[γ] ⟺ T(D) ⊨ γ.
+    #[test]
+    fn wpc_is_weakest_precondition(pseed in 0u64..3000, fseed in 0u64..3000,
+                                   gseed in 0u64..3000, n in 0usize..5) {
+        let schema = Schema::graph();
+        let omega = Omega::empty();
+        let p = program(pseed, 2);
+        let pre = compile_program("w", &p, &schema, &omega).expect("compiles");
+        let gamma = sentence(fseed, 3);
+        let w = wpc_sentence(&pre, &gamma).expect("translates");
+        let db = graph(gseed, n);
+        let lhs = holds(&db, &omega, &w).expect("wpc evaluates");
+        let rhs = holds(&pre.apply(&db).expect("applies"), &omega, &gamma)
+            .expect("gamma evaluates");
+        prop_assert_eq!(lhs, rhs, "γ = {} on {:?}", gamma, db);
+    }
+
+    /// compose(T1, T2) behaves as T2 ∘ T1.
+    #[test]
+    fn composition_is_sequential_application(s1 in 0u64..3000, s2 in 0u64..3000,
+                                             gseed in 0u64..3000, n in 0usize..5) {
+        let schema = Schema::graph();
+        let omega = Omega::empty();
+        let first = compile_program("a", &program(s1, 1), &schema, &omega).expect("compiles");
+        let second = compile_program("b", &program(s2, 1), &schema, &omega).expect("compiles");
+        let composed = compose(&first, &second).expect("composes");
+        let db = graph(gseed, n);
+        let sequential = second
+            .apply(&first.apply(&db).expect("first applies"))
+            .expect("second applies");
+        prop_assert_eq!(composed.apply(&db).expect("composed applies"), sequential);
+    }
+
+    /// Static guarding and dynamic checking accept the same states and
+    /// agree on results — the introduction's `if wpc then T else abort`
+    /// equivalence.
+    #[test]
+    fn guarded_equals_runtime_checked(pseed in 0u64..3000, fseed in 0u64..3000,
+                                      gseed in 0u64..3000, n in 0usize..5) {
+        let schema = Schema::graph();
+        let omega = Omega::empty();
+        let pre = compile_program("w", &program(pseed, 2), &schema, &omega).expect("compiles");
+        let alpha = sentence(fseed, 3);
+        let w = wpc_sentence(&pre, &alpha).expect("translates");
+        let guarded = Guarded::new(pre.clone(), w, omega.clone());
+        let checked = RuntimeChecked::new(pre, alpha, omega.clone());
+        let db = graph(gseed, n);
+        match (guarded.apply(&db), checked.apply(&db)) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(TxError::Aborted(_)), Err(TxError::Aborted(_))) => {}
+            other => prop_assert!(false, "strategies diverged: {:?}", other),
+        }
+    }
+}
