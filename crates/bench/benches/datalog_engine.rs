@@ -15,7 +15,11 @@ fn bench_tc(c: &mut Criterion) {
     for n in [8usize, 16, 24] {
         let db = families::chain(n);
         g.bench_with_input(BenchmarkId::new("naive", n), &db, |b, db| {
-            b.iter(|| program.run(std::hint::black_box(db), Strategy::Naive).expect("runs"));
+            b.iter(|| {
+                program
+                    .run(std::hint::black_box(db), Strategy::Naive)
+                    .expect("runs")
+            });
         });
         g.bench_with_input(BenchmarkId::new("semi_naive", n), &db, |b, db| {
             b.iter(|| {
@@ -36,13 +40,17 @@ fn bench_sg(c: &mut Criterion) {
     let program = sg_program();
     for depth in [3usize, 4, 5] {
         let db = families::complete_binary_tree(depth);
-        g.bench_with_input(BenchmarkId::new("semi_naive", db.domain_size()), &db, |b, db| {
-            b.iter(|| {
-                program
-                    .run(std::hint::black_box(db), Strategy::SemiNaive)
-                    .expect("runs")
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("semi_naive", db.domain_size()),
+            &db,
+            |b, db| {
+                b.iter(|| {
+                    program
+                        .run(std::hint::black_box(db), Strategy::SemiNaive)
+                        .expect("runs")
+                });
+            },
+        );
     }
     g.finish();
 }

@@ -15,9 +15,13 @@ fn bench_psi_cc(c: &mut Criterion) {
     let psi = library::psi_cc();
     for n in [10usize, 20, 40] {
         let db = families::cc_graph(n, &[3, 4]);
-        g.bench_with_input(BenchmarkId::from_parameter(db.domain_size()), &db, |b, db| {
-            b.iter(|| holds_pure(std::hint::black_box(db), &psi).expect("evaluates"));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(db.domain_size()),
+            &db,
+            |b, db| {
+                b.iter(|| holds_pure(std::hint::black_box(db), &psi).expect("evaluates"));
+            },
+        );
     }
     g.finish();
 }

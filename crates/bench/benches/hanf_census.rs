@@ -14,11 +14,9 @@ fn bench_census(c: &mut Criterion) {
     for n in [8usize, 16, 32, 64] {
         let db = families::gnm(n, n);
         for r in [1usize, 2] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("r{r}"), n),
-                &db,
-                |b, db| b.iter(|| hanf::r_type_census(std::hint::black_box(db), r)),
-            );
+            g.bench_with_input(BenchmarkId::new(format!("r{r}"), n), &db, |b, db| {
+                b.iter(|| hanf::r_type_census(std::hint::black_box(db), r))
+            });
         }
     }
     g.finish();

@@ -1,0 +1,83 @@
+//! Store throughput: guarded-concurrent pipeline vs serial
+//! check-and-rollback on the same deterministic sharded workload, plus the
+//! marginal cost of one guarded transaction with a warm cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use vpdt_eval::Omega;
+use vpdt_store::{run_jobs, run_serial_rollback, workload, GuardCache, VersionedStore};
+
+const RELS: usize = 8;
+const UNIVERSE: u64 = 6;
+const SEED: u64 = 99;
+
+fn bench_pipelines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_pipeline");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    let alpha = workload::sharded_fd_constraint(RELS);
+    let omega = Omega::empty();
+    let initial = workload::sharded_initial(SEED, RELS, UNIVERSE, 0.5);
+    let jobs = workload::sharded_jobs(SEED, 4, 100, RELS, UNIVERSE);
+
+    for threads in [1usize, 4] {
+        // One warm cache per configuration: compilation is a one-time cost
+        // by design, the bench measures the steady state.
+        let cache = GuardCache::new(initial.schema().clone(), alpha.clone(), omega.clone());
+        for job in &jobs {
+            cache.get_or_compile(&job.program).expect("compiles");
+        }
+        g.bench_with_input(
+            BenchmarkId::new("guarded_concurrent", threads),
+            &jobs,
+            |b, jobs| {
+                b.iter(|| {
+                    let store = VersionedStore::new(initial.clone());
+                    run_jobs(&store, &cache, std::hint::black_box(jobs), threads)
+                });
+            },
+        );
+    }
+    g.bench_with_input(BenchmarkId::new("rollback_serial", 1), &jobs, |b, jobs| {
+        b.iter(|| run_serial_rollback(initial.clone(), std::hint::black_box(jobs), &alpha, &omega));
+    });
+    g.finish();
+}
+
+fn bench_guard_eval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_guard_eval");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    let alpha = workload::sharded_fd_constraint(RELS);
+    let omega = Omega::empty();
+    let initial = workload::sharded_initial(SEED, RELS, UNIVERSE, 0.5);
+    let cache = GuardCache::new(initial.schema().clone(), alpha.clone(), omega.clone());
+    let program = vpdt_tx::program::Program::insert_consts("R0", [0, 3]);
+    let prepared = cache.get_or_compile(&program).expect("compiles");
+
+    // Δ (what the executor runs) vs reduced wpc (one conjunct) vs full wpc
+    g.bench_with_input(BenchmarkId::new("delta_fast", RELS), &initial, |b, db| {
+        b.iter(|| {
+            vpdt_eval::holds(std::hint::black_box(db), &omega, &prepared.compiled.fast)
+                .expect("evaluates")
+        });
+    });
+    g.bench_with_input(BenchmarkId::new("reduced_wpc", RELS), &initial, |b, db| {
+        b.iter(|| {
+            vpdt_eval::holds(std::hint::black_box(db), &omega, &prepared.compiled.reduced)
+                .expect("evaluates")
+        });
+    });
+    g.bench_with_input(BenchmarkId::new("full_wpc", RELS), &initial, |b, db| {
+        b.iter(|| {
+            vpdt_eval::holds(std::hint::black_box(db), &omega, &prepared.compiled.wpc)
+                .expect("evaluates")
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipelines, bench_guard_eval);
+criterion_main!(benches);

@@ -6,8 +6,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use std::time::Duration;
 use vpdt_core::prerelations::compile_program;
-use vpdt_core::wpc::{compose, wpc_sentence};
 use vpdt_core::workload;
+use vpdt_core::wpc::{compose, wpc_sentence};
 use vpdt_eval::Omega;
 use vpdt_logic::Schema;
 use vpdt_tx::program::Program;
@@ -41,20 +41,13 @@ fn bench_composition(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(900));
     let schema = Schema::graph();
     let omega = Omega::empty();
-    let step = compile_program(
-        "ins",
-        &Program::insert_consts("E", [1, 2]),
-        &schema,
-        &omega,
-    )
-    .expect("compiles");
+    let step = compile_program("ins", &Program::insert_consts("E", [1, 2]), &schema, &omega)
+        .expect("compiles");
     for len in [1usize, 2, 3] {
         g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
             b.iter(|| {
-                let mut acc = vpdt_core::prerelations::Prerelation::identity(
-                    schema.clone(),
-                    omega.clone(),
-                );
+                let mut acc =
+                    vpdt_core::prerelations::Prerelation::identity(schema.clone(), omega.clone());
                 for _ in 0..len {
                     acc = compose(&acc, &step).expect("composes");
                 }

@@ -1,0 +1,236 @@
+//! `store_bench` — the acceptance benchmark for `vpdt-store`.
+//!
+//! Runs one deterministic multi-relation workload twice:
+//!
+//! * **guarded-concurrent** — the store pipeline: cached `wpc` guards,
+//!   N worker threads, relation-granular optimistic commits;
+//! * **rollback-serial** — the baseline the paper's programme displaces:
+//!   one thread, run each transaction, test `α` on the result, roll back
+//!   on violation.
+//!
+//! It then audits the concurrent history (replaying every commit through
+//! the check-and-rollback path) and writes `BENCH_store.json` with the
+//! throughput comparison. Exit code is non-zero if the audit fails, a
+//! constraint violation is observed, or the run falls short of the
+//! acceptance thresholds (≥ 10_000 commits across ≥ 4 threads).
+//!
+//! ```text
+//! cargo run --release -p vpdt-bench --bin store_bench
+//! cargo run --release -p vpdt-bench --bin store_bench -- \
+//!     --threads 8 --clients 16 --per-client 2000 --rels 8 --universe 6
+//! ```
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+use vpdt_eval::Omega;
+use vpdt_store::{audit, run_jobs, run_serial_rollback, workload, GuardCache, VersionedStore};
+
+struct Config {
+    threads: usize,
+    clients: u64,
+    per_client: usize,
+    rels: usize,
+    universe: u64,
+    seed: u64,
+    out: String,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            threads: 4,
+            clients: 8,
+            per_client: 2500,
+            rels: 8,
+            universe: 6,
+            seed: 2024,
+            out: "BENCH_store.json".to_string(),
+        }
+    }
+}
+
+fn parse_args() -> Result<Config, String> {
+    let mut cfg = Config::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = &args[i];
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--threads" => cfg.threads = value.parse().map_err(|_| "bad --threads")?,
+            "--clients" => cfg.clients = value.parse().map_err(|_| "bad --clients")?,
+            "--per-client" => cfg.per_client = value.parse().map_err(|_| "bad --per-client")?,
+            "--rels" => cfg.rels = value.parse().map_err(|_| "bad --rels")?,
+            "--universe" => cfg.universe = value.parse().map_err(|_| "bad --universe")?,
+            "--seed" => cfg.seed = value.parse().map_err(|_| "bad --seed")?,
+            "--out" => cfg.out = value.clone(),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    Ok(cfg)
+}
+
+fn main() -> std::process::ExitCode {
+    let cfg = match parse_args() {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("store_bench: {e}");
+            return std::process::ExitCode::from(2);
+        }
+    };
+    match run(cfg) {
+        Ok(true) => std::process::ExitCode::SUCCESS,
+        Ok(false) => std::process::ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("store_bench: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(cfg: Config) -> Result<bool, String> {
+    let alpha = workload::sharded_fd_constraint(cfg.rels);
+    let omega = Omega::empty();
+    let initial = workload::sharded_initial(cfg.seed, cfg.rels, cfg.universe, 0.5);
+    let jobs = workload::sharded_jobs(
+        cfg.seed,
+        cfg.clients,
+        cfg.per_client,
+        cfg.rels,
+        cfg.universe,
+    );
+    println!(
+        "workload: {} transactions over {} relations (universe {}), {} threads",
+        jobs.len(),
+        cfg.rels,
+        cfg.universe,
+        cfg.threads
+    );
+
+    // --- guarded-concurrent -------------------------------------------------
+    let store = VersionedStore::new(initial.clone());
+    let cache = GuardCache::new(store.schema().clone(), alpha.clone(), omega.clone());
+    // Compile the statement menu up front so the measured section is the
+    // steady state; compilation is a one-time cost by design and is
+    // reported separately.
+    let compile_start = Instant::now();
+    for job in &jobs {
+        cache
+            .get_or_compile(&job.program)
+            .map_err(|e| e.to_string())?;
+    }
+    let compile_secs = compile_start.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let concurrent = run_jobs(&store, &cache, &jobs, cfg.threads);
+    let concurrent_secs = t0.elapsed().as_secs_f64();
+    let concurrent_tps = concurrent.committed as f64 / concurrent_secs;
+    println!(
+        "guarded-concurrent: {} committed / {} aborted / {} failed in {:.3}s \
+         ({:.0} commits/s, {} conflicts, cache {}h/{}m, compile {:.3}s)",
+        concurrent.committed,
+        concurrent.aborted,
+        concurrent.failed,
+        concurrent_secs,
+        concurrent_tps,
+        concurrent.conflicts,
+        concurrent.guard_hits,
+        concurrent.guard_misses,
+        compile_secs,
+    );
+
+    // --- rollback-serial ----------------------------------------------------
+    let t1 = Instant::now();
+    let (_serial_state, serial) = run_serial_rollback(initial.clone(), &jobs, &alpha, &omega);
+    let serial_secs = t1.elapsed().as_secs_f64();
+    let serial_tps = serial.committed as f64 / serial_secs;
+    println!(
+        "rollback-serial:    {} committed / {} aborted in {:.3}s ({:.0} commits/s)",
+        serial.committed, serial.aborted, serial_secs, serial_tps,
+    );
+
+    // --- audit --------------------------------------------------------------
+    let t2 = Instant::now();
+    let programs: BTreeMap<_, _> = jobs.iter().map(|j| (j.id, j.program.clone())).collect();
+    let report = audit(
+        &alpha,
+        &omega,
+        &initial,
+        &store.snapshot().db,
+        &store.history().events(),
+        &programs,
+    );
+    let audit_secs = t2.elapsed().as_secs_f64();
+    println!("{report} ({audit_secs:.3}s)");
+
+    // --- verdicts -----------------------------------------------------------
+    let violations = report
+        .problems
+        .iter()
+        .filter(|p| p.contains("constraint"))
+        .count();
+    let speedup = concurrent_tps / serial_tps;
+    let enough_commits = concurrent.committed >= 10_000;
+    let enough_threads = cfg.threads >= 4;
+    let beats_baseline = concurrent_tps > serial_tps;
+    let ok =
+        report.ok() && concurrent.failed == 0 && enough_commits && enough_threads && beats_baseline;
+
+    let json = format!(
+        "{{\n  \"workload\": {{\n    \"transactions\": {},\n    \"relations\": {},\n    \
+         \"universe\": {},\n    \"threads\": {},\n    \"clients\": {},\n    \"seed\": {}\n  }},\n  \
+         \"guarded_concurrent\": {{\n    \"committed\": {},\n    \"aborted\": {},\n    \
+         \"failed\": {},\n    \"conflicts\": {},\n    \"guard_cache_hits\": {},\n    \
+         \"guard_cache_misses\": {},\n    \"compile_secs\": {:.6},\n    \"secs\": {:.6},\n    \
+         \"commits_per_sec\": {:.1}\n  }},\n  \"rollback_serial\": {{\n    \"committed\": {},\n    \
+         \"aborted\": {},\n    \"secs\": {:.6},\n    \"commits_per_sec\": {:.1}\n  }},\n  \
+         \"speedup\": {:.3},\n  \"constraint_violations\": {},\n  \"audit_ok\": {},\n  \
+         \"audit_commits_checked\": {},\n  \"audit_aborts_checked\": {},\n  \"accepted\": {}\n}}\n",
+        jobs.len(),
+        cfg.rels,
+        cfg.universe,
+        cfg.threads,
+        cfg.clients,
+        cfg.seed,
+        concurrent.committed,
+        concurrent.aborted,
+        concurrent.failed,
+        concurrent.conflicts,
+        concurrent.guard_hits,
+        concurrent.guard_misses,
+        compile_secs,
+        concurrent_secs,
+        concurrent_tps,
+        serial.committed,
+        serial.aborted,
+        serial_secs,
+        serial_tps,
+        speedup,
+        violations,
+        report.ok(),
+        report.commits_checked,
+        report.aborts_checked,
+        ok,
+    );
+    std::fs::write(&cfg.out, &json).map_err(|e| format!("writing {}: {e}", cfg.out))?;
+    println!(
+        "speedup (concurrent vs serial): {speedup:.2}x -> {}",
+        cfg.out
+    );
+
+    if !enough_commits {
+        eprintln!(
+            "ACCEPTANCE: need >= 10000 commits, got {}",
+            concurrent.committed
+        );
+    }
+    if !beats_baseline {
+        eprintln!(
+            "ACCEPTANCE: concurrent ({concurrent_tps:.0}/s) did not beat serial ({serial_tps:.0}/s)"
+        );
+    }
+    Ok(ok)
+}

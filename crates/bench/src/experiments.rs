@@ -14,8 +14,8 @@ use vpdt_core::prerelations::{compile_program, Prerelation};
 use vpdt_core::safe::{Guarded, RuntimeChecked};
 use vpdt_core::theorem7::{wpc_theorem7, SeparatorTransaction};
 use vpdt_core::verify::{find_preservation_counterexample, PreserveVerdict};
-use vpdt_core::wpc::wpc_sentence;
 use vpdt_core::workload;
+use vpdt_core::wpc::wpc_sentence;
 use vpdt_eval::{holds, holds_pure, Omega};
 use vpdt_games::ajtai_fagin::{duplicator_round_growing, striped_spoiler, AfParams};
 use vpdt_games::{ef, hanf, lemma4, locality};
@@ -68,7 +68,10 @@ fn ok(b: bool) -> &'static str {
 
 /// E1 — Proposition 1: the undecidability reduction's two SPJ transactions.
 pub fn e1() -> Result<(), String> {
-    banner("E1", "Proposition 1: Preserve(SPJ, FO) is undecidable — the reduction artifacts");
+    banner(
+        "E1",
+        "Proposition 1: Preserve(SPJ, FO) is undecidable — the reduction artifacts",
+    );
     let t1 = t1_diagonal();
     let t2 = t2_complete();
     println!("T1 (diagonal):       E := pi_0,2(sigma_0=2((E ∪ E^-1) × (E ∪ E^-1)))");
@@ -77,8 +80,16 @@ pub fn e1() -> Result<(), String> {
     // sides of the bridge on two sample β's via bounded search.
     let zeta = parse_formula("exists x. E(x, x)").map_err(|e| e.to_string())?;
     let betas = [
-        ("β = ∀x∀y. E(x,y) → E(y,x)  (not valid)", parse_formula("forall x y. E(x, y) -> E(y, x)").map_err(|e| e.to_string())?, false),
-        ("β = ∀x. E(x,x) → E(x,x)    (valid)", parse_formula("forall x. E(x, x) -> E(x, x)").map_err(|e| e.to_string())?, true),
+        (
+            "β = ∀x∀y. E(x,y) → E(y,x)  (not valid)",
+            parse_formula("forall x y. E(x, y) -> E(y, x)").map_err(|e| e.to_string())?,
+            false,
+        ),
+        (
+            "β = ∀x. E(x,x) → E(x,x)    (valid)",
+            parse_formula("forall x. E(x, x) -> E(x, x)").map_err(|e| e.to_string())?,
+            true,
+        ),
     ];
     let mut rows = Vec::new();
     for (label, beta, valid) in &betas {
@@ -97,7 +108,12 @@ pub fn e1() -> Result<(), String> {
     println!(
         "{}",
         render(
-            &["instance", "β∨ζ finitely valid", "T1 preserves ¬β∧¬ζ (bounded)", "bridge"],
+            &[
+                "instance",
+                "β∨ζ finitely valid",
+                "T1 preserves ¬β∧¬ζ (bounded)",
+                "bridge"
+            ],
             &rows
         )
     );
@@ -113,7 +129,10 @@ pub fn e1() -> Result<(), String> {
 /// E2 — Theorem 2, Claim 1: tc has no FO weakest preconditions because
 /// wpc(tc, ∀x∀y E(x,y)) would define connectivity.
 pub fn e2() -> Result<(), String> {
-    banner("E2", "Theorem 2 Claim 1: tc ∉ WPC(FO) — connectivity via EF games");
+    banner(
+        "E2",
+        "Theorem 2 Claim 1: tc ∉ WPC(FO) — connectivity via EF games",
+    );
     let alpha = library::total_relation();
     let tc = TcTransaction;
     let mut rows = Vec::new();
@@ -142,7 +161,12 @@ pub fn e2() -> Result<(), String> {
     println!(
         "{}",
         render(
-            &["k (rank)", "min n: C_2n ≡_k C_n⊎C_n", "tc(·) ⊨ α (conn / disconn)", "separation"],
+            &[
+                "k (rank)",
+                "min n: C_2n ≡_k C_n⊎C_n",
+                "tc(·) ⊨ α (conn / disconn)",
+                "separation"
+            ],
             &rows
         )
     );
@@ -152,7 +176,10 @@ pub fn e2() -> Result<(), String> {
 
 /// E3 — Theorem 2, Claim 2: dtc ∉ WPC(FO) — testing for chains.
 pub fn e3() -> Result<(), String> {
-    banner("E3", "Theorem 2 Claim 2: dtc ∉ WPC(FO) — chains vs chain-and-cycle graphs");
+    banner(
+        "E3",
+        "Theorem 2 Claim 2: dtc ∉ WPC(FO) — chains vs chain-and-cycle graphs",
+    );
     let alpha = library::semi_complete();
     let dtc = DtcTransaction;
     // ψ_C&C recognizes C&C graphs (Lemma 1):
@@ -178,11 +205,8 @@ pub fn e3() -> Result<(), String> {
             if ef::duplicator_wins(&chain, &with_cycle, k) {
                 let a = holds_pure(&dtc.apply(&chain).map_err(|e| e.to_string())?, &alpha)
                     .map_err(|e| e.to_string())?;
-                let b = holds_pure(
-                    &dtc.apply(&with_cycle).map_err(|e| e.to_string())?,
-                    &alpha,
-                )
-                .map_err(|e| e.to_string())?;
+                let b = holds_pure(&dtc.apply(&with_cycle).map_err(|e| e.to_string())?, &alpha)
+                    .map_err(|e| e.to_string())?;
                 rows.push(row!(k, c, n, format!("{a}/{b}"), ok(a != b)));
                 found = true;
                 break;
@@ -195,7 +219,13 @@ pub fn e3() -> Result<(), String> {
     println!(
         "{}",
         render(
-            &["k", "cycle len", "min n: chain_n ≡_k cc(n−c,[c])", "dtc(·) ⊨ α (chain / cc)", "separation"],
+            &[
+                "k",
+                "cycle len",
+                "min n: chain_n ≡_k cc(n−c,[c])",
+                "dtc(·) ⊨ α (chain / cc)",
+                "separation"
+            ],
             &rows
         )
     );
@@ -205,7 +235,10 @@ pub fn e3() -> Result<(), String> {
 /// E4 — Theorem 2, Claim 3 (and the paper's G_{n,m} figure): the Hanf
 /// census argument for same-generation.
 pub fn e4() -> Result<(), String> {
-    banner("E4", "Theorem 2 Claim 3: sg ∉ WPC(FO) — the G_{n,n} vs G_{n−1,n+1} census");
+    banner(
+        "E4",
+        "Theorem 2 Claim 3: sg ∉ WPC(FO) — the G_{n,n} vs G_{n−1,n+1} census",
+    );
     let sg = SgTransaction;
     let mut rows = Vec::new();
     for r in 1..=3usize {
@@ -219,12 +252,24 @@ pub fn e4() -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         let ib = holds_pure(&sg.apply(&b).map_err(|e| e.to_string())?, &alpha3)
             .map_err(|e| e.to_string())?;
-        rows.push(row!(r, n, census_eq, format!("{ia}/{ib}"), ok(census_eq && !ia && ib)));
+        rows.push(row!(
+            r,
+            n,
+            census_eq,
+            format!("{ia}/{ib}"),
+            ok(census_eq && !ia && ib)
+        ));
     }
     println!(
         "{}",
         render(
-            &["r", "n = 2r+2", "equal r-census", "sg(·) ⊨ α₃ (G_nn / G_n−1,n+1)", "separation"],
+            &[
+                "r",
+                "n = 2r+2",
+                "equal r-census",
+                "sg(·) ⊨ α₃ (G_nn / G_n−1,n+1)",
+                "separation"
+            ],
             &rows
         )
     );
@@ -234,7 +279,10 @@ pub fn e4() -> Result<(), String> {
 
 /// E5 — Theorem 3: the three stronger logics.
 pub fn e5() -> Result<(), String> {
-    banner("E5", "Theorem 3: FOcount, FOc(Ω), and monadic Σ¹₁ fail as well");
+    banner(
+        "E5",
+        "Theorem 3: FOcount, FOc(Ω), and monadic Σ¹₁ fail as well",
+    );
     // (a) FOcount via Nurmonen: the census transfer also covers counting.
     let n = 6;
     let a = families::gnm(n, n);
@@ -309,9 +357,18 @@ pub fn e5() -> Result<(), String> {
 
 /// E6 — Lemma 4: empirical minimal N vs the proof's bound.
 pub fn e6() -> Result<(), String> {
-    banner("E6", "Lemma 4: N[p,l] — paper bound vs empirically minimal N");
+    banner(
+        "E6",
+        "Lemma 4: N[p,l] — paper bound vs empirically minimal N",
+    );
     let mut rows = Vec::new();
-    for (p, l, limit) in [(1usize, 1usize, 8usize), (1, 2, 12), (2, 1, 10), (2, 2, 14), (1, 3, 14)] {
+    for (p, l, limit) in [
+        (1usize, 1usize, 8usize),
+        (1, 2, 12),
+        (2, 1, 10),
+        (2, 2, 14),
+        (1, 3, 14),
+    ] {
         let bound = lemma4::paper_bound(p as u64, l as u64);
         let emp = lemma4::empirical_minimal_n(l, p, limit)
             .map(|n| n.to_string())
@@ -320,7 +377,10 @@ pub fn e6() -> Result<(), String> {
     }
     println!(
         "{}",
-        render(&["p", "l", "paper bound 4f⁴+f(f+1)+1", "empirical minimal N"], &rows)
+        render(
+            &["p", "l", "paper bound 4f⁴+f(f+1)+1", "empirical minimal N"],
+            &rows
+        )
     );
     println!("The explicit bound is extremely loose — as the proof itself remarks, only existence matters.");
     Ok(())
@@ -328,7 +388,10 @@ pub fn e6() -> Result<(), String> {
 
 /// E7 — Theorem 5: the diagonalization, executed.
 pub fn e7() -> Result<(), String> {
-    banner("E7", "Theorem 5: no transaction language captures WPC(FO) — diagonalization");
+    banner(
+        "E7",
+        "Theorem 5: no transaction language captures WPC(FO) — diagonalization",
+    );
     let d = vpdt_core::diagonal::Diagonalization::new(
         12,
         600,
@@ -359,7 +422,10 @@ pub fn e7() -> Result<(), String> {
 
 /// E8 — Theorem 7 and Corollary 3: the separator's wpc and its blow-up.
 pub fn e8() -> Result<(), String> {
-    banner("E8", "Theorem 7: T ∈ WPC(FO) − PR(FO); Corollary 3: the 2ⁿ rank blow-up");
+    banner(
+        "E8",
+        "Theorem 7: T ∈ WPC(FO) − PR(FO); Corollary 3: the 2ⁿ rank blow-up",
+    );
     let t = SeparatorTransaction;
     // correctness sweep
     let alphas = [
@@ -419,7 +485,10 @@ pub fn e8() -> Result<(), String> {
 
 /// E9 — Corollary 2: no degree-count characterization of WPC(FO).
 pub fn e9() -> Result<(), String> {
-    banner("E9", "Corollary 2: degree counts cannot characterize WPC(FO)");
+    banner(
+        "E9",
+        "Corollary 2: degree counts cannot characterize WPC(FO)",
+    );
     let t = SeparatorTransaction;
     let mut rows = Vec::new();
     for n in [3usize, 5, 8, 12] {
@@ -469,20 +538,15 @@ pub fn e10() -> Result<(), String> {
         let mut max_rank = 0usize;
         for _ in 0..6 {
             let prog = workload::random_batch(&mut rng, 4, 2);
-            let pre = compile_program("w", &prog, &schema, &omega)
-                .map_err(|e| e.to_string())?;
+            let pre = compile_program("w", &prog, &schema, &omega).map_err(|e| e.to_string())?;
             let gamma = workload::random_sentence(&mut rng, depth);
             let w = wpc_sentence(&pre, &gamma).map_err(|e| e.to_string())?;
             max_size = max_size.max(w.size());
             max_rank = max_rank.max(w.quantifier_rank());
             for db in &dbs {
                 let lhs = holds(db, &omega, &w).map_err(|e| e.to_string())?;
-                let rhs = holds(
-                    &pre.apply(db).map_err(|e| e.to_string())?,
-                    &omega,
-                    &gamma,
-                )
-                .map_err(|e| e.to_string())?;
+                let rhs = holds(&pre.apply(db).map_err(|e| e.to_string())?, &omega, &gamma)
+                    .map_err(|e| e.to_string())?;
                 if lhs != rhs {
                     return Err(format!("WPC mismatch: γ={gamma} on {db:?}"));
                 }
@@ -497,13 +561,8 @@ pub fn e10() -> Result<(), String> {
         render(&["γ depth", "max |WPC[γ]|", "max qr(WPC[γ])"], &rows)
     );
     // robustness: same translation works under an Ω′ extension
-    let pre = compile_program(
-        "ins",
-        &Program::insert_consts("E", [2, 3]),
-        &schema,
-        &omega,
-    )
-    .map_err(|e| e.to_string())?;
+    let pre = compile_program("ins", &Program::insert_consts("E", [2, 3]), &schema, &omega)
+        .map_err(|e| e.to_string())?;
     let gamma = parse_formula("forall x y. E(x, y) -> @lt(x, y)").map_err(|e| e.to_string())?;
     let w = wpc_sentence(&pre, &gamma).map_err(|e| e.to_string())?;
     let ext = Omega::arithmetic();
@@ -520,7 +579,10 @@ pub fn e10() -> Result<(), String> {
 
 /// E11 — Proposition 4: generic WPC(FOc) transactions admit prerelations.
 pub fn e11() -> Result<(), String> {
-    banner("E11", "Proposition 4: constant elimination for generic transactions");
+    banner(
+        "E11",
+        "Proposition 4: constant elimination for generic transactions",
+    );
     let cases: Vec<(&str, Prerelation)> = vec![
         (
             "symmetrize",
@@ -541,8 +603,7 @@ pub fn e11() -> Result<(), String> {
     ];
     let mut rows = Vec::new();
     for (name, pre) in &cases {
-        let beta =
-            vpdt_core::generic::prerelation_from_generic(pre).map_err(|e| e.to_string())?;
+        let beta = vpdt_core::generic::prerelation_from_generic(pre).map_err(|e| e.to_string())?;
         let mut agree = true;
         for db in [
             families::chain(3),
@@ -566,14 +627,20 @@ pub fn e11() -> Result<(), String> {
     }
     println!(
         "{}",
-        render(&["transaction", "β pure FO", "|β|", "β defines T(G) edgewise"], &rows)
+        render(
+            &["transaction", "β pure FO", "|β|", "β defines T(G) edgewise"],
+            &rows
+        )
     );
     Ok(())
 }
 
 /// E12 — the motivation: wpc-guarded maintenance vs run-time rollback.
 pub fn e12() -> Result<(), String> {
-    banner("E12", "Integrity maintenance: guarded (wpc / Δ) vs run-time check-and-rollback");
+    banner(
+        "E12",
+        "Integrity maintenance: guarded (wpc / Δ) vs run-time check-and-rollback",
+    );
     let schema = Schema::graph();
     let omega = Omega::empty();
     let inv = workload::fd_constraint();
@@ -594,8 +661,7 @@ pub fn e12() -> Result<(), String> {
         let mut states = [db0.clone(), db0.clone(), db0.clone()];
         for &(a, b) in &updates {
             let prog = Program::insert_consts("E", [a, b]);
-            let pre =
-                compile_program("ins", &prog, &schema, &omega).map_err(|e| e.to_string())?;
+            let pre = compile_program("ins", &prog, &schema, &omega).map_err(|e| e.to_string())?;
             let w = wpc_sentence(&pre, &inv).map_err(|e| e.to_string())?;
             let delta = vpdt_core::simplify::delta_for_insert(&inv, "E", &[Elem(a), Elem(b)])
                 .map_err(|e| e.to_string())?;
@@ -673,7 +739,10 @@ pub fn e13() -> Result<(), String> {
             ok_all &= before == after;
         }
     }
-    println!("(b) D ⊨ θ_u ⟺ tc(D) ⊨ θ_u on all samples (so wpc over L is the identity): {}", ok(ok_all));
+    println!(
+        "(b) D ⊨ θ_u ⟺ tc(D) ⊨ θ_u on all samples (so wpc over L is the identity): {}",
+        ok(ok_all)
+    );
     println!("    while tc ∉ WPC(FOc) ⊒ L by Theorem 3 (E2/E5).");
     println!("(c) conversely tc IS definable in FO+fixpoint (our Datalog tc program, E2),");
     println!("    so tc ∈ WPC(FO+fixpoint) − WPC(FO): verifiability is not antimonotone either.");
@@ -683,20 +752,21 @@ pub fn e13() -> Result<(), String> {
 /// E14 — Proposition 5: the Theorem 7 transaction is not in WPC(FOc),
 /// by bounded refutation of every small candidate precondition.
 pub fn e14() -> Result<(), String> {
-    banner("E14", "Proposition 5: T ∉ WPC(FOc) — refuting all small FOc candidates");
+    banner(
+        "E14",
+        "Proposition 5: T ∉ WPC(FOc) — refuting all small FOc candidates",
+    );
     let t = SeparatorTransaction;
     // α from the proof, with the constant c = 0:
     // "some non-loop edge exists, and 0 is not a node of the graph"
-    let alpha = parse_formula(
-        "(exists x y. E(x, y) & x != y) & (forall x. !E(x, 0) & !E(0, x))",
-    )
-    .map_err(|e| e.to_string())?;
+    let alpha = parse_formula("(exists x y. E(x, y) & x != y) & (forall x. !E(x, 0) & !E(0, x))")
+        .map_err(|e| e.to_string())?;
     // test databases: chains and C&C graphs placing 0 inside/outside
     let dbs: Vec<Database> = vec![
-        families::chain(3),                         // contains 0, is a chain
-        families::shifted(&families::chain(3), 10), // avoids 0, chain
+        families::chain(3),                                  // contains 0, is a chain
+        families::shifted(&families::chain(3), 10),          // avoids 0, chain
         families::shifted(&families::cc_graph(2, &[3]), 10), // avoids 0, not chain
-        families::cc_graph(2, &[3]),                // contains 0
+        families::cc_graph(2, &[3]),                         // contains 0
         families::shifted(&families::chain(2), 5),
         families::shifted(&families::cc_graph(1, &[2]), 7),
         Database::graph([]),
@@ -705,14 +775,9 @@ pub fn e14() -> Result<(), String> {
     let candidates = SentenceEnumerator::new(Schema::graph(), 2)
         .with_constants([Elem(0)])
         .take(budget);
-    let survivors = vpdt_core::verify::refute_wpc_candidates(
-        &t,
-        &alpha,
-        candidates,
-        &Omega::empty(),
-        &dbs,
-    )
-    .map_err(|e| e.to_string())?;
+    let survivors =
+        vpdt_core::verify::refute_wpc_candidates(&t, &alpha, candidates, &Omega::empty(), &dbs)
+            .map_err(|e| e.to_string())?;
     println!(
         "first {budget} FOc sentences as wpc candidates: {} refuted, {} survive the small test set",
         budget - survivors.len(),
@@ -727,14 +792,9 @@ pub fn e14() -> Result<(), String> {
             ]
         })
         .collect();
-    let final_survivors = vpdt_core::verify::refute_wpc_candidates(
-        &t,
-        &alpha,
-        survivors,
-        &Omega::empty(),
-        &wide,
-    )
-    .map_err(|e| e.to_string())?;
+    let final_survivors =
+        vpdt_core::verify::refute_wpc_candidates(&t, &alpha, survivors, &Omega::empty(), &wide)
+            .map_err(|e| e.to_string())?;
     println!(
         "after widening to chains/C&C graphs up to 8 nodes: {} candidates survive {}",
         final_survivors.len(),

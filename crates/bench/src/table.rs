@@ -50,10 +50,7 @@ mod tests {
 
     #[test]
     fn renders_aligned() {
-        let t = render(
-            &["k", "value"],
-            &[row!(1, "abc"), row!(22, "d")],
-        );
+        let t = render(&["k", "value"], &[row!(1, "abc"), row!(22, "d")]);
         assert!(t.contains("| k  | value |"));
         assert!(t.contains("| 22 | d     |"));
     }

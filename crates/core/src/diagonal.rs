@@ -97,7 +97,13 @@ impl Diagonalization {
                     .collect()
             })
             .collect();
-        Diagonalization { sentences, graphs, sat, language, omega }
+        Diagonalization {
+            sentences,
+            graphs,
+            sat,
+            language,
+            omega,
+        }
     }
 
     /// The sentence prefix `(φ₀ … )`.
@@ -153,11 +159,7 @@ impl Diagonalization {
     /// The diagonal transaction `T` of the proof, evaluated at graph index
     /// `i` (1-based), using a `P/Q` table that must extend past any `n`
     /// with `P(n) = i`.
-    pub fn diagonal_apply(
-        &self,
-        i: usize,
-        pq: &[(usize, usize)],
-    ) -> Result<Database, TxError> {
+    pub fn diagonal_apply(&self, i: usize, pq: &[(usize, usize)]) -> Result<Database, TxError> {
         let g_i = &self.graphs[i - 1];
         // is i in the range of P (beyond index 0)?
         let inv = pq.iter().skip(1).position(|&(p, _)| p == i).map(|k| k + 1);
@@ -172,9 +174,10 @@ impl Diagonalization {
             return Ok(g_i.clone());
         };
         // i = P(n): diagonalize against T_n (1-based language index)
-        let t_n = self.language.get(n - 1).ok_or_else(|| {
-            TxError::ResourceLimit(format!("language prefix shorter than {n}"))
-        })?;
+        let t_n = self
+            .language
+            .get(n - 1)
+            .ok_or_else(|| TxError::ResourceLimit(format!("language prefix shorter than {n}")))?;
         let g_prime = t_n.apply(g_i)?;
         let j = pq[n].1;
         let g_j = &self.graphs[j - 1];
@@ -192,11 +195,7 @@ impl Diagonalization {
 
     /// Verifies the diagonalization at index `m`: `T(G_{P(m)}) ≠
     /// T_m(G_{P(m)})` (the language cannot express `T`).
-    pub fn diagonalizes_against(
-        &self,
-        m: usize,
-        pq: &[(usize, usize)],
-    ) -> Result<bool, TxError> {
+    pub fn diagonalizes_against(&self, m: usize, pq: &[(usize, usize)]) -> Result<bool, TxError> {
         let i = pq[m].0;
         let ours = self.diagonal_apply(i, pq)?;
         let theirs = self.language[m - 1].apply(&self.graphs[i - 1])?;
@@ -211,11 +210,7 @@ impl Diagonalization {
     /// The construction uses FOc `describe` sentences, so it matches the
     /// `WPC(FOc(Ω))` variant; its correctness is checked by the caller on
     /// the graph prefix (see `tests/`).
-    pub fn lemma6_wpc(
-        &self,
-        n: usize,
-        pq: &[(usize, usize)],
-    ) -> Result<Formula, TxError> {
+    pub fn lemma6_wpc(&self, n: usize, pq: &[(usize, usize)]) -> Result<Formula, TxError> {
         let phi = &self.sentences[n];
         let m = pq
             .get(n)
@@ -233,10 +228,7 @@ impl Diagonalization {
         }
         Ok(Formula::or([
             Formula::or(chi),
-            Formula::and([
-                Formula::not(Formula::or(theta)),
-                phi.clone(),
-            ]),
+            Formula::and([Formula::not(Formula::or(theta)), phi.clone()]),
         ]))
     }
 }

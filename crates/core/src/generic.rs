@@ -41,12 +41,8 @@ pub fn constant_to_variable(f: &Formula, c: Elem, v: &Var) -> Formula {
         }
     }
     f.map(&|g| match g {
-        Formula::Rel(name, ts) => {
-            Formula::Rel(name, ts.iter().map(|t| term(t, c, v)).collect())
-        }
-        Formula::Pred(p, ts) => {
-            Formula::Pred(p, ts.iter().map(|t| term(t, c, v)).collect())
-        }
+        Formula::Rel(name, ts) => Formula::Rel(name, ts.iter().map(|t| term(t, c, v)).collect()),
+        Formula::Pred(p, ts) => Formula::Pred(p, ts.iter().map(|t| term(t, c, v)).collect()),
         Formula::Eq(a, b) => Formula::Eq(term(&a, c, v), term(&b, c, v)),
         other => other,
     })
@@ -137,12 +133,8 @@ mod tests {
             let out = pre.apply(db).expect("applies");
             for &a in db.domain() {
                 for &b in db.domain() {
-                    let mut env = Env::of([
-                        (Var::new("gx"), a),
-                        (Var::new("gy"), b),
-                    ]);
-                    let by_beta =
-                        eval(db, &Omega::empty(), beta, &mut env).expect("evaluates");
+                    let mut env = Env::of([(Var::new("gx"), a), (Var::new("gy"), b)]);
+                    let by_beta = eval(db, &Omega::empty(), beta, &mut env).expect("evaluates");
                     let by_tx = out.contains("E", &[a, b]);
                     assert_eq!(by_beta, by_tx, "({a},{b}) on {db:?}");
                 }

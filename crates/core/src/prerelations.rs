@@ -55,8 +55,7 @@ impl Prerelation {
         let mut pres = BTreeMap::new();
         for (name, arity) in schema.iter() {
             let vars: Vec<Var> = (0..arity).map(|i| Var::new(format!("x{i}"))).collect();
-            let formula =
-                Formula::rel(name, vars.iter().map(|v| Term::Var(v.clone())));
+            let formula = Formula::rel(name, vars.iter().map(|v| Term::Var(v.clone())));
             pres.insert(name.to_string(), PreRel { vars, formula });
         }
         Prerelation {
@@ -109,8 +108,7 @@ impl Prerelation {
                 "prerelation for {rel} has stray free variable {fv}"
             );
         }
-        self.pres
-            .insert(rel.to_string(), PreRel { vars, formula });
+        self.pres.insert(rel.to_string(), PreRel { vars, formula });
         self
     }
 
@@ -340,10 +338,8 @@ fn compile(p: &Program, schema: &Schema, omega: &Omega) -> Result<Prerelation, C
             }
             let atom = Formula::rel(rel.clone(), vars.iter().map(|v| Term::Var(v.clone())));
             let guarded = Formula::and(
-                std::iter::once(cond.clone()).chain(
-                    vars.iter()
-                        .map(|v| in_dom(Term::Var(v.clone()))),
-                ),
+                std::iter::once(cond.clone())
+                    .chain(vars.iter().map(|v| in_dom(Term::Var(v.clone())))),
             );
             let formula = Formula::or([atom, guarded]);
             Ok(base.with_pre(rel, vars.clone(), formula))
@@ -353,10 +349,8 @@ fn compile(p: &Program, schema: &Schema, omega: &Omega) -> Result<Prerelation, C
                 return Err(CompileError(format!("unknown relation {rel}")));
             }
             let guarded = Formula::and(
-                std::iter::once(body.clone()).chain(
-                    vars.iter()
-                        .map(|v| in_dom(Term::Var(v.clone()))),
-                ),
+                std::iter::once(body.clone())
+                    .chain(vars.iter().map(|v| in_dom(Term::Var(v.clone())))),
             );
             Ok(base.with_pre(rel, vars.clone(), guarded))
         }
@@ -364,12 +358,15 @@ fn compile(p: &Program, schema: &Schema, omega: &Omega) -> Result<Prerelation, C
             let mut acc = base;
             for p in ps {
                 let step = compile(p, schema, omega)?;
-                acc = crate::wpc::compose(&acc, &step)
-                    .map_err(|e| CompileError(e.to_string()))?;
+                acc = crate::wpc::compose(&acc, &step).map_err(|e| CompileError(e.to_string()))?;
             }
             Ok(acc)
         }
-        Program::If { cond, then_p, else_p } => {
+        Program::If {
+            cond,
+            then_p,
+            else_p,
+        } => {
             if !cond.is_sentence() {
                 return Err(CompileError("if-guard must be a sentence".into()));
             }
@@ -512,7 +509,10 @@ mod tests {
     #[test]
     fn ra_compilation_matches() {
         let schema = Schema::graph();
-        for tx in [vpdt_tx::algebra::t1_diagonal(), vpdt_tx::algebra::t2_complete()] {
+        for tx in [
+            vpdt_tx::algebra::t1_diagonal(),
+            vpdt_tx::algebra::t2_complete(),
+        ] {
             let pr = compile_ra(&tx, &schema).expect("compiles");
             for db in [families::chain(4), families::two_cycles(2, 3)] {
                 assert_eq!(

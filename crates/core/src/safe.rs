@@ -15,9 +15,15 @@
 //! an end-to-end check of the wpc algorithms — but their *costs* differ,
 //! which is what the `guard_vs_rollback` bench measures.
 
+use crate::prerelations::{compile_program, CompileError, Prerelation};
+use crate::simplify::{deletion_preserves, delta_for_insert};
+use crate::wpc::{wpc_sentence, WpcError};
+use std::collections::BTreeSet;
 use vpdt_eval::{holds, Omega};
-use vpdt_logic::Formula;
+use vpdt_logic::domain::is_domain_independent;
+use vpdt_logic::{Elem, Formula, Schema, Term};
 use vpdt_structure::Database;
+use vpdt_tx::program::Program;
 use vpdt_tx::traits::{Transaction, TxError};
 
 /// `if pre then T else abort` — the statically verified transaction.
@@ -35,7 +41,11 @@ impl<T: Transaction> Guarded<T> {
             precondition.is_sentence(),
             "a precondition must be a sentence"
         );
-        Guarded { inner, precondition, omega }
+        Guarded {
+            inner,
+            precondition,
+            omega,
+        }
     }
 
     /// The guard sentence.
@@ -74,7 +84,11 @@ impl<T: Transaction> RuntimeChecked<T> {
     /// Wraps `inner` with a post-hoc constraint check.
     pub fn new(inner: T, constraint: Formula, omega: Omega) -> Self {
         assert!(constraint.is_sentence(), "a constraint must be a sentence");
-        RuntimeChecked { inner, constraint, omega }
+        RuntimeChecked {
+            inner,
+            constraint,
+            omega,
+        }
     }
 
     /// The constraint sentence.
@@ -102,6 +116,206 @@ impl<T: Transaction> Transaction for RuntimeChecked<T> {
                 self.inner.name()
             )))
         }
+    }
+}
+
+/// Errors from [`compile_guard`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GuardError {
+    /// The program does not compile to a prerelation description.
+    Compile(CompileError),
+    /// The wpc translation failed (counting constructs, unknown relation).
+    Wpc(WpcError),
+}
+
+impl std::fmt::Display for GuardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GuardError::Compile(e) => write!(f, "{e}"),
+            GuardError::Wpc(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for GuardError {}
+
+impl From<CompileError> for GuardError {
+    fn from(e: CompileError) -> Self {
+        GuardError::Compile(e)
+    }
+}
+
+impl From<WpcError> for GuardError {
+    fn from(e: WpcError) -> Self {
+        GuardError::Wpc(e)
+    }
+}
+
+/// A transaction compiled once into everything a server needs to run it
+/// statically guarded: the prerelation description, the full `wpc(T, α)`
+/// sentence, the invariant-reduced guard of Section 6, and the read/write
+/// relation footprints used for conflict detection.
+///
+/// Produced by [`compile_guard`]; consumed by `vpdt-store`'s guard cache.
+#[derive(Clone, Debug)]
+pub struct GuardCompilation {
+    /// The prerelation description of the transaction.
+    pub pre: Prerelation,
+    /// The full weakest precondition `wpc(T, α)` (Theorem 8): exact on
+    /// every state.
+    pub wpc: Formula,
+    /// The invariant-reduced guard: the conjunction of `wpc(T, αᵢ)` over
+    /// exactly those conjuncts `αᵢ` of `α` the transaction can disturb.
+    /// Sound only on states already satisfying `α` (see [`compile_guard`]).
+    pub reduced: Formula,
+    /// The cheapest guard — the Δ of Section 6 where one is derivable
+    /// (Nicolas-style insertion residues, anti-monotone deletions), the
+    /// `wpc` conjunct otherwise. Equivalent to [`reduced`](Self::reduced)
+    /// (and hence to [`wpc`](Self::wpc)) on states satisfying `α`; this is
+    /// what a server should evaluate per transaction.
+    pub fast: Formula,
+    /// Relations whose old contents the guard or the program consult.
+    pub reads: BTreeSet<String>,
+    /// Relations the program may modify.
+    pub writes: BTreeSet<String>,
+    /// Whether guard and conditions are domain-independent, so evaluating
+    /// them against a snapshot that differs only in *other* relations (and
+    /// hence in isolated domain elements) is exact.
+    pub domain_independent: bool,
+}
+
+/// Compiles `program` once into a [`GuardCompilation`] for the constraint
+/// `α` — the static-verification analogue of preparing a statement.
+///
+/// The reduced guard implements the invariant-aware simplification of
+/// Section 6 (after Nicolas and Qian): on a state already satisfying `α`,
+/// a conjunct `αᵢ` whose relations the transaction does not write — and
+/// which is domain-independent, so the transaction's incidental domain
+/// changes cannot flip it — is preserved automatically, and its `wpc`
+/// conjunct can be dropped from the guard. Conjuncts that fail either test
+/// are kept. Consequently:
+///
+/// * `D ⊨ wpc  ⟺  T(D) ⊨ α` (exact, any `D`), and
+/// * if `D ⊨ α` then `D ⊨ reduced ⟺ T(D) ⊨ α`.
+pub fn compile_guard(
+    label: impl Into<String>,
+    program: &Program,
+    alpha: &Formula,
+    schema: &Schema,
+    omega: &Omega,
+) -> Result<GuardCompilation, GuardError> {
+    assert!(alpha.is_sentence(), "a constraint must be a sentence");
+    let pre = compile_program(label, program, schema, omega)?;
+
+    let writes = program.touched_relations();
+    let single = as_single_update(program);
+    let mut full = Vec::new();
+    let mut kept = Vec::new();
+    let mut fast_parts = Vec::new();
+    let mut reads: BTreeSet<String> = program.read_relations();
+    let mut all_conjuncts_independent = true;
+    for conjunct in alpha.conjuncts() {
+        let w = wpc_sentence(&pre, conjunct)?;
+        let independent = is_domain_independent(conjunct);
+        all_conjuncts_independent &= independent;
+        if !(independent && conjunct.relations_used().is_disjoint(&writes)) {
+            fast_parts.push(fast_guard_for(conjunct, &w, single.as_ref(), independent));
+            kept.push(w.clone());
+            // The conjunct's own relations — not its wpc's. The wpc
+            // mentions every relation through Γ-relativization of its
+            // quantifiers, but by exactness its verdict only depends on
+            // the conjunct's relations in the transaction's output.
+            reads.extend(conjunct.relations_used());
+        }
+        full.push(w);
+    }
+    // wpc distributes over conjunction (both sides say "α's conjuncts all
+    // hold in T(D)"), so the exact full guard is the conjunction of the
+    // per-conjunct translations.
+    let wpc = Formula::and(full);
+    let reduced = Formula::and(kept);
+    let fast = Formula::and(fast_parts);
+    reads.extend(writes.iter().cloned());
+
+    // The guard `wpc(T, αᵢ)` is *exact* — `D ⊨ wpc(T, αᵢ) ⟺ T(D) ⊨ αᵢ` —
+    // so evaluating it against a snapshot that agrees on `reads` is decided
+    // by `αᵢ` on the transaction's output, which agrees across such
+    // snapshots exactly when every αᵢ is domain-independent and the
+    // program itself never consults the domain. The check therefore runs on
+    // the constraint's conjuncts, never on the (Γ-relativized) wpc output.
+    let domain_independent = all_conjuncts_independent
+        && !program.enumerates_domain()
+        && program
+            .condition_formulas()
+            .iter()
+            .all(|c| is_domain_independent(c));
+
+    Ok(GuardCompilation {
+        pre,
+        wpc,
+        reduced,
+        fast,
+        reads,
+        writes,
+        domain_independent,
+    })
+}
+
+/// A program that is a single tuple-level update, for which the Δ
+/// machinery of [`crate::simplify`] applies directly.
+enum SingleUpdate<'a> {
+    /// One ground-constant insert.
+    Insert { rel: &'a str, tuple: Vec<Elem> },
+    /// One conditional delete (pure shrinkage of `rel`).
+    Delete { rel: &'a str },
+}
+
+fn as_single_update(p: &Program) -> Option<SingleUpdate<'_>> {
+    match p {
+        Program::Insert { rel, tuple } => tuple
+            .iter()
+            .map(|t| match t {
+                Term::Const(e) => Some(*e),
+                _ => None,
+            })
+            .collect::<Option<Vec<Elem>>>()
+            .map(|tuple| SingleUpdate::Insert { rel, tuple }),
+        Program::DeleteWhere { rel, .. } => Some(SingleUpdate::Delete { rel }),
+        Program::Seq(ps) if ps.len() == 1 => as_single_update(&ps[0]),
+        _ => None,
+    }
+}
+
+/// The cheapest sound guard for one kept conjunct: a Section 6 Δ when the
+/// program is a single update of a supported shape, the conjunct's wpc
+/// otherwise. Both options satisfy `α → (guard ↔ wpc(T, conjunct))`.
+///
+/// The Δ shortcuts are gated on the conjunct's domain independence: the
+/// residue argument accounts for the inserted/deleted *tuples*, not for
+/// the domain growth/shrinkage that comes with them, so for a
+/// domain-dependent conjunct (e.g. `∀x. F(x, x)`, broken by any insert
+/// that enlarges the domain) only the exact wpc is sound.
+fn fast_guard_for(
+    conjunct: &Formula,
+    wpc: &Formula,
+    single: Option<&SingleUpdate<'_>>,
+    domain_independent: bool,
+) -> Formula {
+    if !domain_independent {
+        return wpc.clone();
+    }
+    match single {
+        Some(SingleUpdate::Insert { rel, tuple }) => {
+            delta_for_insert(conjunct, rel, tuple).unwrap_or_else(|_| wpc.clone())
+        }
+        Some(SingleUpdate::Delete { rel }) => {
+            if deletion_preserves(conjunct, rel) {
+                Formula::True
+            } else {
+                wpc.clone()
+            }
+        }
+        None => wpc.clone(),
     }
 }
 
@@ -156,7 +370,7 @@ mod tests {
         let w = wpc_sentence(&pre, &alpha).expect("translates");
         let guarded = Guarded::new(pre, w, omega.clone());
         for db in [
-            families::chain(4),               // satisfies the FD; insert breaks it at 0
+            families::chain(4), // satisfies the FD; insert breaks it at 0
             vpdt_structure::Database::graph([(9, 8)]), // insert keeps it
         ] {
             assert!(vpdt_eval::holds(&db, &omega, &alpha).expect("evaluates"));
@@ -172,14 +386,183 @@ mod tests {
     #[test]
     fn abort_reports_the_inner_name() {
         let alpha = Formula::False;
-        let id = crate::prerelations::Prerelation::identity(
-            vpdt_logic::Schema::graph(),
-            Omega::empty(),
-        );
+        let id =
+            crate::prerelations::Prerelation::identity(vpdt_logic::Schema::graph(), Omega::empty());
         let guarded = Guarded::new(id, alpha, Omega::empty());
         match guarded.apply(&families::chain(2)) {
             Err(TxError::Aborted(msg)) => assert!(msg.contains("identity")),
             other => panic!("expected abort, got {other:?}"),
         }
+    }
+
+    /// The reduced guard drops exactly the conjuncts over relations the
+    /// transaction does not write, and agrees with the full wpc on
+    /// consistent states.
+    #[test]
+    fn reduced_guard_prunes_untouched_conjuncts() {
+        let schema = vpdt_logic::Schema::new([("E", 2), ("F", 2)]);
+        let omega = Omega::empty();
+        // fd on E ∧ fd on F; the transaction writes only E
+        let alpha = parse_formula(
+            "(forall x y z. E(x, y) & E(x, z) -> y = z) \
+             & (forall x y z. F(x, y) & F(x, z) -> y = z)",
+        )
+        .expect("parses");
+        let g = compile_guard(
+            "ins",
+            &Program::insert_consts("E", [0, 3]),
+            &alpha,
+            &schema,
+            &omega,
+        )
+        .expect("compiles");
+        assert!(g.domain_independent);
+        // the F conjunct was pruned: the reduced guard is strictly smaller
+        assert!(g.reduced.size() < g.wpc.size());
+        assert_eq!(g.writes.iter().collect::<Vec<_>>(), [&"E".to_string()]);
+        assert!(g.reads.contains("E") && !g.reads.contains("F"));
+
+        // on consistent states the reduced guard decides exactly like wpc
+        for edges in [vec![], vec![(0, 1)], vec![(9, 8), (0, 3)]] {
+            let mut db = Database::empty(schema.clone());
+            for (a, b) in edges {
+                db.insert("E", vec![vpdt_logic::Elem(a), vpdt_logic::Elem(b)]);
+            }
+            db.insert("F", vec![vpdt_logic::Elem(4), vpdt_logic::Elem(5)]);
+            assert!(
+                holds(&db, &omega, &alpha).expect("evaluates"),
+                "state consistent"
+            );
+            assert_eq!(
+                holds(&db, &omega, &g.reduced).expect("evaluates"),
+                holds(&db, &omega, &g.wpc).expect("evaluates"),
+                "on {db:?}"
+            );
+        }
+    }
+
+    /// A constraint whose conjunct is not domain-independent is never
+    /// pruned, even when its relations are untouched.
+    #[test]
+    fn non_domain_independent_conjuncts_are_kept() {
+        let schema = vpdt_logic::Schema::new([("E", 2), ("F", 2)]);
+        let alpha = parse_formula(
+            "(forall x y z. E(x, y) & E(x, z) -> y = z) & (forall x. exists y. F(x, y))",
+        )
+        .expect("parses");
+        let g = compile_guard(
+            "ins",
+            &Program::insert_consts("E", [0, 3]),
+            &alpha,
+            &schema,
+            &Omega::empty(),
+        )
+        .expect("compiles");
+        assert!(g.reduced.relations_used().contains("F"));
+        assert!(g.reads.contains("F"));
+        assert!(!g.domain_independent);
+    }
+
+    /// The fast guard (Δ where derivable) decides exactly like the reduced
+    /// and full wpc guards on consistent states, and is far smaller.
+    #[test]
+    fn fast_guard_agrees_and_is_small() {
+        let schema = vpdt_logic::Schema::new([("E", 2), ("F", 2)]);
+        let omega = Omega::empty();
+        let alpha = parse_formula(
+            "(forall x y z. E(x, y) & E(x, z) -> y = z) \
+             & (forall x y z. F(x, y) & F(x, z) -> y = z)",
+        )
+        .expect("parses");
+        for program in [
+            Program::insert_consts("E", [0, 3]),
+            Program::insert_consts("E", [2, 2]),
+            Program::delete_consts("E", [0, 1]),
+        ] {
+            let g = compile_guard("u", &program, &alpha, &schema, &omega).expect("compiles");
+            assert!(
+                g.fast.size() <= g.reduced.size(),
+                "fast ({}) should not exceed reduced ({}) for {program:?}",
+                g.fast.size(),
+                g.reduced.size()
+            );
+            for edges in [
+                vec![],
+                vec![(0u64, 1u64)],
+                vec![(0, 3), (4, 4)],
+                vec![(2, 9)],
+            ] {
+                let mut db = Database::empty(schema.clone());
+                for (a, b) in edges {
+                    db.insert("E", vec![vpdt_logic::Elem(a), vpdt_logic::Elem(b)]);
+                }
+                db.insert("F", vec![vpdt_logic::Elem(1), vpdt_logic::Elem(5)]);
+                if !holds(&db, &omega, &alpha).expect("evaluates") {
+                    continue;
+                }
+                let by_fast = holds(&db, &omega, &g.fast).expect("evaluates");
+                let by_reduced = holds(&db, &omega, &g.reduced).expect("evaluates");
+                let by_wpc = holds(&db, &omega, &g.wpc).expect("evaluates");
+                assert_eq!(by_fast, by_reduced, "{program:?} on {db:?}");
+                assert_eq!(by_reduced, by_wpc, "{program:?} on {db:?}");
+            }
+        }
+    }
+
+    /// The Δ shortcut must not fire for domain-dependent conjuncts: an
+    /// E-insert enlarges the domain and can thereby break `∀x. F(x, x)`
+    /// even though it never writes F, and can break `∀x. E(x, x)` without
+    /// any unifiable occurrence. Both need the exact wpc.
+    #[test]
+    fn fast_guard_keeps_wpc_for_domain_dependent_conjuncts() {
+        let omega = Omega::empty();
+        // cross-relation: state {F(0,0)} satisfies α; inserting E(5,6)
+        // adds 5 and 6 to the domain, so ∀x. F(x,x) must now fail
+        let schema = vpdt_logic::Schema::new([("E", 2), ("F", 2)]);
+        let alpha =
+            parse_formula("(forall x y z. E(x, y) & E(x, z) -> y = z) & (forall x. F(x, x))")
+                .expect("parses");
+        let g = compile_guard(
+            "ins",
+            &Program::insert_consts("E", [5, 6]),
+            &alpha,
+            &schema,
+            &omega,
+        )
+        .expect("compiles");
+        assert!(!g.domain_independent);
+        let mut db = Database::empty(schema);
+        db.insert("F", vec![vpdt_logic::Elem(0), vpdt_logic::Elem(0)]);
+        assert!(holds(&db, &omega, &alpha).expect("evaluates"));
+        assert_eq!(
+            holds(&db, &omega, &g.fast).expect("evaluates"),
+            holds(&db, &omega, &g.wpc).expect("evaluates"),
+            "fast guard must agree with wpc"
+        );
+        assert!(!holds(&db, &omega, &g.fast).expect("evaluates"));
+
+        // same-relation: ∀x. E(x,x) on the empty database; inserting
+        // E(5,6) violates it at 5 and 6 with no unifiable occurrence
+        let schema = vpdt_logic::Schema::graph();
+        let alpha = parse_formula("forall x. E(x, x)").expect("parses");
+        let g = compile_guard(
+            "ins",
+            &Program::insert_consts("E", [5, 6]),
+            &alpha,
+            &schema,
+            &omega,
+        )
+        .expect("compiles");
+        let empty = Database::graph([]);
+        assert!(holds(&empty, &omega, &alpha).expect("evaluates"));
+        assert!(!holds(&empty, &omega, &g.fast).expect("evaluates"));
+    }
+
+    #[test]
+    fn guard_compilations_cross_threads() {
+        fn assert_bounds<T: Send + Sync + Clone + 'static>() {}
+        assert_bounds::<GuardCompilation>();
+        assert_bounds::<Guarded<Prerelation>>();
+        assert_bounds::<RuntimeChecked<Prerelation>>();
     }
 }

@@ -41,7 +41,10 @@ pub enum DeltaError {
 
 impl std::fmt::Display for DeltaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "constraint is not a universally quantified, quantifier-free-matrix sentence")
+        write!(
+            f,
+            "constraint is not a universally quantified, quantifier-free-matrix sentence"
+        )
     }
 }
 
@@ -66,10 +69,7 @@ fn peel_universal(c: &Formula) -> Result<(Vec<Var>, Formula), DeltaError> {
     if !p.is_universal() {
         return Err(DeltaError::UnsupportedShape);
     }
-    Ok((
-        p.prefix.into_iter().map(|(_, v)| v).collect(),
-        p.matrix,
-    ))
+    Ok((p.prefix.into_iter().map(|(_, v)| v).collect(), p.matrix))
 }
 
 /// Expands each `rel(t̄)` atom into `rel(t̄) ∨ t̄ = c̄` — the effect of the
@@ -188,12 +188,7 @@ pub fn deletion_preserves(constraint: &Formula, rel: &str) -> bool {
 /// every test database. The returned formula satisfies
 /// `inv → (result ↔ wpc)` **on the given databases**; callers needing more
 /// should verify on a wider family.
-pub fn simplify_under(
-    inv: &Formula,
-    wpc: &Formula,
-    omega: &Omega,
-    dbs: &[Database],
-) -> Formula {
+pub fn simplify_under(inv: &Formula, wpc: &Formula, omega: &Omega, dbs: &[Database]) -> Formula {
     let flat = logic_simplify(wpc);
     let conjuncts: Vec<Formula> = match flat {
         Formula::And(gs) => gs,

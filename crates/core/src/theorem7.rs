@@ -34,7 +34,9 @@ use vpdt_eval::{holds_pure, Omega};
 use vpdt_logic::{library, Formula};
 use vpdt_structure::graph::graph_from_pairs;
 use vpdt_structure::{families, Database, Graph};
-use vpdt_tx::datalog::{Atom, DatalogProgram, DatalogTransaction, DlTerm, Literal, Rule, Strategy, DOM};
+use vpdt_tx::datalog::{
+    Atom, DatalogProgram, DatalogTransaction, DlTerm, Literal, Rule, Strategy, DOM,
+};
 use vpdt_tx::traits::{normalize_domain, Transaction, TxError};
 
 /// The separating transaction `T` of Theorem 7.
@@ -95,9 +97,7 @@ pub fn wpc_theorem7(alpha: &Formula) -> Formula {
     let n_lin = (2usize.saturating_pow(k).saturating_sub(1)).max(2);
     let mut lin_cases = Vec::new();
     for j in 1..=n_lin {
-        let out = t
-            .apply(&families::chain(j))
-            .expect("chains are C&C graphs");
+        let out = t.apply(&families::chain(j)).expect("chains are C&C graphs");
         if holds_pure(&out, alpha).expect("pure FO evaluates") {
             if j < n_lin {
                 lin_cases.push(library::chain_exactly(j));
@@ -310,10 +310,7 @@ mod tests {
     fn separator_on_non_cc_builds_diagonal() {
         let db = families::gnm(2, 2);
         let out = SeparatorTransaction.apply(&db).expect("applies");
-        assert_eq!(
-            out,
-            families::diagonal(db.domain().iter().map(|e| e.0))
-        );
+        assert_eq!(out, families::diagonal(db.domain().iter().map(|e| e.0)));
     }
 
     #[test]

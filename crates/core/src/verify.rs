@@ -118,14 +118,12 @@ mod tests {
 
     #[test]
     fn insert_violating_fd_is_refuted_quickly() {
-        let alpha =
-            parse_formula("forall x y z. E(x, y) & E(x, z) -> y = z").expect("parses");
+        let alpha = parse_formula("forall x y z. E(x, y) & E(x, z) -> y = z").expect("parses");
         let p = Program::insert_consts("E", [0, 9]);
         let pre = compile_program("ins", &p, &vpdt_logic::Schema::graph(), &Omega::empty())
             .expect("compiles");
-        let verdict =
-            find_preservation_counterexample(&pre, &alpha, &Omega::empty(), 2000)
-                .expect("search runs");
+        let verdict = find_preservation_counterexample(&pre, &alpha, &Omega::empty(), 2000)
+            .expect("search runs");
         match verdict {
             PreserveVerdict::CounterexampleFound(db) => {
                 // the found database satisfies the FD but gains a second
@@ -145,9 +143,8 @@ mod tests {
         let p = Program::insert_consts("E", [7, 7]);
         let pre = compile_program("ins", &p, &vpdt_logic::Schema::graph(), &Omega::empty())
             .expect("compiles");
-        let verdict =
-            find_preservation_counterexample(&pre, &alpha, &Omega::empty(), 800)
-                .expect("search runs");
+        let verdict = find_preservation_counterexample(&pre, &alpha, &Omega::empty(), 800)
+            .expect("search runs");
         assert!(matches!(
             verdict,
             PreserveVerdict::NoCounterexampleWithin { .. }
@@ -163,24 +160,23 @@ mod tests {
         let w = wpc_sentence(&pre, &alpha).expect("translates");
         let dbs: Vec<Database> = GraphEnumerator::new().take(300).collect();
         assert_eq!(
-            check_wpc_candidate(&pre, &alpha, &w, &Omega::empty(), &dbs)
-                .expect("check runs"),
+            check_wpc_candidate(&pre, &alpha, &w, &Omega::empty(), &dbs).expect("check runs"),
             None
         );
         // and an obviously wrong candidate is refuted
         let wrong = Formula::True;
-        assert!(check_wpc_candidate(&pre, &alpha, &wrong, &Omega::empty(), &dbs)
-            .expect("check runs")
-            .is_some());
+        assert!(
+            check_wpc_candidate(&pre, &alpha, &wrong, &Omega::empty(), &dbs)
+                .expect("check runs")
+                .is_some()
+        );
     }
 
     #[test]
     fn refutation_filters_candidates() {
         let alpha = parse_formula("exists x. E(x, x)").expect("parses");
-        let pre = crate::prerelations::Prerelation::identity(
-            vpdt_logic::Schema::graph(),
-            Omega::empty(),
-        );
+        let pre =
+            crate::prerelations::Prerelation::identity(vpdt_logic::Schema::graph(), Omega::empty());
         let dbs = vec![families::chain(2), families::diagonal([0])];
         let candidates = vec![
             Formula::True,
@@ -188,8 +184,7 @@ mod tests {
             alpha.clone(), // the correct one (identity transaction)
         ];
         let survivors =
-            refute_wpc_candidates(&pre, &alpha, candidates, &Omega::empty(), &dbs)
-                .expect("runs");
+            refute_wpc_candidates(&pre, &alpha, candidates, &Omega::empty(), &dbs).expect("runs");
         assert_eq!(survivors, vec![alpha]);
     }
 }

@@ -17,14 +17,12 @@ pub fn fd_constraint() -> Formula {
 
 /// No loops: `∀x∀y. E(x,y) → x ≠ y`.
 pub fn no_loops() -> Formula {
-    vpdt_logic::parse_formula("forall x y. E(x, y) -> x != y")
-        .expect("constant formula parses")
+    vpdt_logic::parse_formula("forall x y. E(x, y) -> x != y").expect("constant formula parses")
 }
 
 /// Antisymmetry: `∀x∀y. E(x,y) → ¬E(y,x)` (also excludes loops).
 pub fn antisymmetric() -> Formula {
-    vpdt_logic::parse_formula("forall x y. E(x, y) -> !E(y, x)")
-        .expect("constant formula parses")
+    vpdt_logic::parse_formula("forall x y. E(x, y) -> !E(y, x)").expect("constant formula parses")
 }
 
 /// A random single update: insert or delete of one random tuple over the
@@ -78,7 +76,11 @@ fn gen_formula(rng: &mut impl Rng, depth: usize, scope: &mut Vec<Var>) -> Formul
         };
     }
     if leaf {
-        return if rng.gen_bool(0.5) { Formula::True } else { Formula::False };
+        return if rng.gen_bool(0.5) {
+            Formula::True
+        } else {
+            Formula::False
+        };
     }
     match rng.gen_range(0..6) {
         0 => {

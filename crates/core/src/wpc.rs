@@ -87,10 +87,7 @@ pub fn gamma_membership(pre: &Prerelation, t: &Term, avoid: &BTreeSet<Var>) -> F
     let mut cases = Vec::new();
     for tau in pre.gamma() {
         let (tau2, zs) = freshen_term(tau, &mut avoid);
-        cases.push(Formula::exists_many(
-            zs,
-            Formula::eq(t.clone(), tau2),
-        ));
+        cases.push(Formula::exists_many(zs, Formula::eq(t.clone(), tau2)));
     }
     Formula::or(cases)
 }
@@ -121,15 +118,16 @@ impl<'a> Ctx<'a> {
             Formula::Rel(name, args) => self.translate_atom(name, args),
             Formula::Not(g) => Ok(Formula::not(self.translate(g)?)),
             Formula::And(gs) => Ok(Formula::And(
-                gs.iter().map(|g| self.translate(g)).collect::<Result<_, _>>()?,
+                gs.iter()
+                    .map(|g| self.translate(g))
+                    .collect::<Result<_, _>>()?,
             )),
             Formula::Or(gs) => Ok(Formula::Or(
-                gs.iter().map(|g| self.translate(g)).collect::<Result<_, _>>()?,
+                gs.iter()
+                    .map(|g| self.translate(g))
+                    .collect::<Result<_, _>>()?,
             )),
-            Formula::Implies(a, b) => Ok(Formula::implies(
-                self.translate(a)?,
-                self.translate(b)?,
-            )),
+            Formula::Implies(a, b) => Ok(Formula::implies(self.translate(a)?, self.translate(b)?)),
             Formula::Iff(a, b) => Ok(Formula::iff(self.translate(a)?, self.translate(b)?)),
             Formula::Exists(v, g) => self.translate_quantifier(v, g, true),
             Formula::Forall(v, g) => self.translate_quantifier(v, g, false),
@@ -152,8 +150,7 @@ impl<'a> Ctx<'a> {
             .iter()
             .map(|t| gamma_membership(self.pre, t, &self.avoid))
             .collect();
-        let map: BTreeMap<Var, Term> =
-            p.vars.iter().cloned().zip(args.iter().cloned()).collect();
+        let map: BTreeMap<Var, Term> = p.vars.iter().cloned().zip(args.iter().cloned()).collect();
         parts.push(substitute_many(&p.formula, &map));
         Ok(Formula::and(parts))
     }
@@ -173,8 +170,7 @@ impl<'a> Ctx<'a> {
         let mut cases = Vec::new();
         for tau in self.pre.gamma() {
             let (tau2, zs) = freshen_term(tau, &mut avoid);
-            let membership =
-                vpdt_logic::simplify::normalize(&self.new_adom(&tau2, &avoid)?);
+            let membership = vpdt_logic::simplify::normalize(&self.new_adom(&tau2, &avoid)?);
             let mut map = BTreeMap::new();
             map.insert(v.clone(), tau2);
             let instantiated = substitute_many(&w_body, &map);
@@ -273,11 +269,9 @@ pub fn compose(first: &Prerelation, second: &Prerelation) -> Result<Prerelation,
         second.schema(),
         "composition needs a common schema"
     );
-    let mut out = crate::prerelations::Prerelation::identity(
-        first.schema().clone(),
-        first.omega().clone(),
-    )
-    .with_label(format!("{};{}", first.name(), second.name()));
+    let mut out =
+        crate::prerelations::Prerelation::identity(first.schema().clone(), first.omega().clone())
+            .with_label(format!("{};{}", first.name(), second.name()));
 
     // Composed Γ: substitute first's terms (with disjoint fresh variables)
     // into each variable of second's terms, in all combinations.
@@ -349,7 +343,8 @@ mod tests {
             let out = pre.apply(db).expect("applies");
             let rhs = holds(&out, pre.omega(), gamma).expect("gamma evaluates");
             assert_eq!(
-                lhs, rhs,
+                lhs,
+                rhs,
                 "wpc mismatch for {} on {db:?}\n  gamma: {gamma}\n  wpc:   {w}",
                 pre.name()
             );
@@ -384,8 +379,7 @@ mod tests {
     #[test]
     fn insert_wpc() {
         let p = Program::insert_consts("E", [7, 8]);
-        let pre =
-            compile_program("ins", &p, &Schema::graph(), &Omega::empty()).expect("compiles");
+        let pre = compile_program("ins", &p, &Schema::graph(), &Omega::empty()).expect("compiles");
         for gamma in [
             parse_formula("exists x. E(x, x)").expect("parses"),
             parse_formula("forall x y. E(x, y) -> x != y").expect("parses"),
@@ -405,8 +399,7 @@ mod tests {
             cond: parse_formula("x = y").expect("parses"),
         };
         let pre =
-            compile_program("del-loops", &p, &Schema::graph(), &Omega::empty())
-                .expect("compiles");
+            compile_program("del-loops", &p, &Schema::graph(), &Omega::empty()).expect("compiles");
         for gamma in [
             parse_formula("exists x. E(x, x)").expect("parses"),
             library::psi_cc(),
@@ -425,8 +418,7 @@ mod tests {
             vars: vec![Var::new("x"), Var::new("y")],
             body: Formula::False,
         };
-        let pre =
-            compile_program("wipe", &p, &Schema::graph(), &Omega::empty()).expect("compiles");
+        let pre = compile_program("wipe", &p, &Schema::graph(), &Omega::empty()).expect("compiles");
         let gamma = parse_formula("E(1, 2)").expect("parses");
         check_wpc(&pre, &gamma, &graphs());
         let w = wpc_sentence(&pre, &gamma).expect("translates");
@@ -441,8 +433,7 @@ mod tests {
         // Ω′ = arithmetic. The same translation remains a weakest
         // precondition — Theorem 8's robustness.
         let p = Program::insert_consts("E", [4, 5]);
-        let pre =
-            compile_program("ins", &p, &Schema::graph(), &Omega::empty()).expect("compiles");
+        let pre = compile_program("ins", &p, &Schema::graph(), &Omega::empty()).expect("compiles");
         let gamma = parse_formula("forall x y. E(x, y) -> @lt(x, y)").expect("parses");
         let w = wpc_sentence(&pre, &gamma).expect("translates");
         let ext = Omega::arithmetic();

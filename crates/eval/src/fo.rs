@@ -44,7 +44,10 @@ impl Env {
 
     /// An assignment binding the given first-sort variables.
     pub fn of(bindings: impl IntoIterator<Item = (Var, Elem)>) -> Self {
-        Env { elems: bindings.into_iter().collect(), nums: Vec::new() }
+        Env {
+            elems: bindings.into_iter().collect(),
+            nums: Vec::new(),
+        }
     }
 
     /// Binds a first-sort variable (shadows earlier bindings).
@@ -59,7 +62,11 @@ impl Env {
 
     /// Looks up a first-sort variable (most recent binding wins).
     pub fn elem(&self, v: &Var) -> Option<Elem> {
-        self.elems.iter().rev().find(|(w, _)| w == v).map(|(_, e)| *e)
+        self.elems
+            .iter()
+            .rev()
+            .find(|(w, _)| w == v)
+            .map(|(_, e)| *e)
     }
 
     fn push_num(&mut self, v: Var, n: u64) {
@@ -71,7 +78,11 @@ impl Env {
     }
 
     fn num(&self, v: &Var) -> Option<u64> {
-        self.nums.iter().rev().find(|(w, _)| w == v).map(|(_, n)| *n)
+        self.nums
+            .iter()
+            .rev()
+            .find(|(w, _)| w == v)
+            .map(|(_, n)| *n)
     }
 }
 
@@ -87,12 +98,7 @@ pub fn holds_pure(db: &Database, sentence: &Formula) -> Result<bool, EvalError> 
 }
 
 /// Evaluates a formula under an assignment of its free variables.
-pub fn eval(
-    db: &Database,
-    omega: &Omega,
-    f: &Formula,
-    env: &mut Env,
-) -> Result<bool, EvalError> {
+pub fn eval(db: &Database, omega: &Omega, f: &Formula, env: &mut Env) -> Result<bool, EvalError> {
     match f {
         Formula::True => Ok(true),
         Formula::False => Ok(false),
@@ -293,10 +299,10 @@ mod tests {
             );
         }
         let no = [
-            families::cycle(4),                 // no chain
-            families::two_cycles(3, 3),         // no chain
-            families::gnm(2, 2),                // branching
-            Database::graph([(0, 1), (5, 6)]),  // two chains
+            families::cycle(4),                // no chain
+            families::two_cycles(3, 3),        // no chain
+            families::gnm(2, 2),               // branching
+            Database::graph([(0, 1), (5, 6)]), // two chains
             families::complete_loopless(3),
         ];
         for db in &no {
@@ -344,10 +350,7 @@ mod tests {
     fn alpha0_on_gnm_and_friends() {
         let a0 = library::alpha0_gnm_with_cycles();
         assert!(holds_pure(&families::gnm(3, 4), &a0).expect("evaluates"));
-        let with_cycle = families::union(
-            &families::gnm(2, 2),
-            &families::cycle_from(50, 4),
-        );
+        let with_cycle = families::union(&families::gnm(2, 2), &families::cycle_from(50, 4));
         assert!(holds_pure(&with_cycle, &a0).expect("evaluates"));
         assert!(!holds_pure(&families::chain(4), &a0).expect("evaluates"));
         assert!(!holds_pure(&families::cycle(4), &a0).expect("evaluates"));
@@ -371,14 +374,8 @@ mod tests {
         let db = families::chain(2);
         let f = parse_formula("E(x, y)").expect("parses");
         assert!(holds_pure(&db, &f).is_err());
-        let mut env = Env::of([
-            (Var::new("x"), Elem(0)),
-            (Var::new("y"), Elem(1)),
-        ]);
-        assert_eq!(
-            eval(&db, &Omega::empty(), &f, &mut env),
-            Ok(true)
-        );
+        let mut env = Env::of([(Var::new("x"), Elem(0)), (Var::new("y"), Elem(1))]);
+        assert_eq!(eval(&db, &Omega::empty(), &f, &mut env), Ok(true));
     }
 
     #[test]
@@ -412,10 +409,7 @@ mod distance_semantics_tests {
                 for (bi, &b) in g.nodes().iter().enumerate() {
                     for k in 0..4usize {
                         let f = library::distance_at_most("x", "y", k);
-                        let mut env = Env::of([
-                            (Var::new("x"), a),
-                            (Var::new("y"), b),
-                        ]);
+                        let mut env = Env::of([(Var::new("x"), a), (Var::new("y"), b)]);
                         let by_formula =
                             eval(&db, &Omega::empty(), &f, &mut env).expect("evaluates");
                         let by_bfs = dist.get(&bi).is_some_and(|&d| d <= k);

@@ -64,18 +64,13 @@ mod tests {
     /// proper 2-colorability of the underlying (loop-free) digraph.
     fn two_colorable() -> MonadicSigma11 {
         let a = |t: Term| Formula::rel("A", [t]);
-        let matrix = Formula::and([
-            Formula::forall_many(
-                ["x", "y"],
-                Formula::implies(
-                    Formula::rel("E", [Term::var("x"), Term::var("y")]),
-                    Formula::iff(
-                        a(Term::var("x")),
-                        Formula::not(a(Term::var("y"))),
-                    ),
-                ),
+        let matrix = Formula::and([Formula::forall_many(
+            ["x", "y"],
+            Formula::implies(
+                Formula::rel("E", [Term::var("x"), Term::var("y")]),
+                Formula::iff(a(Term::var("x")), Formula::not(a(Term::var("y")))),
             ),
-        ]);
+        )]);
         MonadicSigma11::new(&Schema::graph(), ["A"], matrix)
     }
 
@@ -118,8 +113,7 @@ mod tests {
                 .expect("within budget")
         );
         assert!(
-            !holds_sigma11(&families::chain(3), &Omega::empty(), &s, None)
-                .expect("within budget")
+            !holds_sigma11(&families::chain(3), &Omega::empty(), &s, None).expect("within budget")
         );
     }
 }

@@ -94,9 +94,8 @@ pub fn duplicator_round(
     n_override: Option<usize>,
     spoiler: &dyn Fn(&Database) -> Vec<u64>,
 ) -> Result<AfTranscript, AfError> {
-    let n = n_override.unwrap_or_else(|| {
-        usize::try_from(params.safe_n()).expect("safe n fits in usize")
-    });
+    let n = n_override
+        .unwrap_or_else(|| usize::try_from(params.safe_n()).expect("safe n fits in usize"));
     let d = params.d;
     let m = params.m;
     assert!(n > 2 * (d + 1), "n too small for internal nodes to exist");
@@ -244,7 +243,10 @@ mod tests {
         // G2 is a tree but not a G_{n,n}
         let g2 = Graph::of_edges(&t.g2);
         assert!(g2.is_tree());
-        assert_eq!(t.g2.domain_size(), t.g1.domain_size() - (t.collapsed.1 .0 - t.collapsed.0 .0) as usize);
+        assert_eq!(
+            t.g2.domain_size(),
+            t.g1.domain_size() - (t.collapsed.1 .0 - t.collapsed.0 .0) as usize
+        );
     }
 
     #[test]
@@ -262,12 +264,14 @@ mod tests {
         // With tiny parameters the full step-4 game is checkable: the
         // duplicator wins 1 round on the colored structures.
         let params = AfParams { c: 2, d: 1, m: 2 };
-        let t = duplicator_round(params, Some(24), &striped_spoiler(2))
-            .expect("strategy succeeds");
+        let t = duplicator_round(params, Some(24), &striped_spoiler(2)).expect("strategy succeeds");
         assert!(t.hanf_ok);
         let a = colored_database(&t.g1, &t.colors1, 2);
         let b = colored_database(&t.g2, &t.colors2, 2);
-        assert!(ef::duplicator_wins(&a, &b, 1), "1-round EF on colored graphs");
+        assert!(
+            ef::duplicator_wins(&a, &b, 1),
+            "1-round EF on colored graphs"
+        );
     }
 
     #[test]

@@ -34,7 +34,11 @@ type Memo = HashMap<(Vec<(Elem, Elem)>, usize), bool>;
 /// Panics if the structures' schemas differ, or if a structure exceeds
 /// 8 elements (the bijection enumeration would be intractable).
 pub fn duplicator_wins_counting(a: &Database, b: &Database, rounds: usize) -> bool {
-    assert_eq!(a.schema(), b.schema(), "counting game needs a common schema");
+    assert_eq!(
+        a.schema(),
+        b.schema(),
+        "counting game needs a common schema"
+    );
     assert!(
         a.domain_size() <= 8 && b.domain_size() <= 8,
         "bijective game limited to 8 elements"

@@ -59,11 +59,7 @@ pub fn equivalent_rank(a: &Database, b: &Database, k: usize) -> bool {
 /// The least number of rounds in which the spoiler wins, if any within
 /// `max_rounds` (i.e. the least quantifier rank distinguishing the two
 /// structures, by the EF theorem).
-pub fn min_distinguishing_rank(
-    a: &Database,
-    b: &Database,
-    max_rounds: usize,
-) -> Option<usize> {
+pub fn min_distinguishing_rank(a: &Database, b: &Database, max_rounds: usize) -> Option<usize> {
     (0..=max_rounds).find(|&k| !duplicator_wins(a, b, k))
 }
 
@@ -260,7 +256,11 @@ mod tests {
     #[test]
     fn chains_of_similar_length_agree_on_low_rank() {
         assert!(duplicator_wins(&families::chain(8), &families::chain(9), 2));
-        assert!(!duplicator_wins(&families::chain(2), &families::chain(3), 2));
+        assert!(!duplicator_wins(
+            &families::chain(2),
+            &families::chain(3),
+            2
+        ));
     }
 
     #[test]
@@ -276,12 +276,7 @@ mod tests {
         let a = families::chain(3); // 0→1→2
         let b = families::chain(3);
         // pin 0 ↦ 1: not a partial isomorphism extension for long
-        assert!(!duplicator_wins_from(
-            &a,
-            &b,
-            &[(Elem(0), Elem(1))],
-            2
-        ));
+        assert!(!duplicator_wins_from(&a, &b, &[(Elem(0), Elem(1))], 2));
         assert!(duplicator_wins_from(&a, &b, &[(Elem(0), Elem(0))], 2));
     }
 }

@@ -71,10 +71,7 @@ mod tests {
         for n in [3usize, 5, 8] {
             let chain = families::chain(n);
             let tc = Graph::of_edges(&chain).transitive_closure();
-            let img = vpdt_structure::graph::graph_from_pairs(
-                chain.domain().iter().copied(),
-                tc,
-            );
+            let img = vpdt_structure::graph::graph_from_pairs(chain.domain().iter().copied(), tc);
             assert_eq!(degree_count(&chain), 2);
             assert_eq!(degree_count(&img), n);
         }

@@ -1,0 +1,163 @@
+//! Conservative domain-independence analysis.
+//!
+//! Truth of a sentence is evaluated over the database's explicit finite
+//! domain, which is a superset of the active domain (elements occurring in
+//! tuples). A sentence is *domain-independent* when its truth value depends
+//! only on the relation contents — adding or removing isolated domain
+//! elements cannot flip it. The classical sufficient condition is
+//! *relativization*: every quantifier is guarded so that only active-domain
+//! elements (or named constants) matter.
+//!
+//! [`is_domain_independent`] implements a conservative syntactic check for
+//! that condition on the NNF of the sentence:
+//!
+//! * `∃v. φ` qualifies when some conjunct of `φ` is **false** whenever `v`
+//!   is an isolated element — a positive relation atom containing `v` — so
+//!   no isolated element can be a witness;
+//! * `∀v. φ` qualifies when some disjunct of `φ` is **true** whenever `v`
+//!   is isolated — a negated relation atom containing `v` — so isolated
+//!   elements satisfy the body vacuously;
+//! * counting and numeric quantifiers never qualify (the numeric sort is
+//!   `{1..n}` for `n` the domain size, which is domain-dependent by
+//!   definition).
+//!
+//! Note that an equality `v = c` with `c` a constant does **not** guard a
+//! quantifier: an isolated element may well be the element `c` denotes, so
+//! `∃x. x = c ∧ …` genuinely depends on whether `c` is in the domain.
+//!
+//! A `false` answer means "unknown", never "definitely dependent".
+//!
+//! The store (`vpdt-store`) uses this to decide which conjuncts of an
+//! integrity constraint are preserved by transactions that do not write the
+//! conjunct's relations, and hence which guard evaluations may run against
+//! a stale-but-disjoint snapshot.
+
+use crate::formula::Formula;
+use crate::nnf::nnf;
+use crate::term::Var;
+
+/// Whether the sentence is (conservatively, syntactically) domain-independent:
+/// its truth value is unchanged by adding or removing isolated domain
+/// elements. `false` means "could not establish it", not "dependent".
+pub fn is_domain_independent(f: &Formula) -> bool {
+    di(&nnf(f))
+}
+
+fn di(f: &Formula) -> bool {
+    match f {
+        Formula::True
+        | Formula::False
+        | Formula::Rel(..)
+        | Formula::Eq(..)
+        | Formula::Pred(..)
+        | Formula::NumLe(..)
+        | Formula::NumEq(..)
+        | Formula::Bit(..) => true,
+        // NNF pushes negation onto atoms.
+        Formula::Not(g) => di(g),
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().all(di),
+        // nnf eliminates these; if one survives, stay conservative.
+        Formula::Implies(..) | Formula::Iff(..) => false,
+        Formula::Exists(v, body) => di(body) && body.conjuncts().iter().any(|g| fresh_false(g, v)),
+        Formula::Forall(v, body) => di(body) && disjuncts(body).iter().any(|g| fresh_true(g, v)),
+        // The numeric sort ranges over {1..|dom|}: domain-dependent.
+        Formula::CountGe(..) | Formula::NumExists(..) | Formula::NumForall(..) => false,
+    }
+}
+
+fn disjuncts(f: &Formula) -> Vec<&Formula> {
+    match f {
+        Formula::Or(fs) => fs.iter().flat_map(disjuncts).collect(),
+        other => vec![other],
+    }
+}
+
+/// Whether `f` is false under every valuation mapping `v` to an isolated
+/// element (one occurring in no tuple), whatever the other variables denote.
+fn fresh_false(f: &Formula, v: &Var) -> bool {
+    match f {
+        Formula::False => true,
+        // An isolated element occurs in no tuple.
+        Formula::Rel(_, ts) => ts.iter().any(|t| t.contains_var(v)),
+        Formula::And(fs) => fs.iter().any(|g| fresh_false(g, v)),
+        Formula::Or(fs) => fs.iter().all(|g| fresh_false(g, v)),
+        // False at every instance ⇒ no witness. A binder shadowing `v`
+        // makes inner occurrences refer to a different variable: stop.
+        Formula::Exists(w, body) => w != v && fresh_false(body, v),
+        _ => false,
+    }
+}
+
+/// Whether `f` is true under every valuation mapping `v` to an isolated
+/// element, whatever the other variables denote.
+fn fresh_true(f: &Formula, v: &Var) -> bool {
+    match f {
+        Formula::True => true,
+        Formula::Not(g) => fresh_false(g, v),
+        Formula::And(fs) => fs.iter().all(|g| fresh_true(g, v)),
+        Formula::Or(fs) => fs.iter().any(|g| fresh_true(g, v)),
+        // True at every instance ⇒ true universally, and (the domain being
+        // non-empty — it contains `v`) also existentially. A binder
+        // shadowing `v` makes inner occurrences a different variable: stop.
+        Formula::Forall(w, body) | Formula::Exists(w, body) => w != v && fresh_true(body, v),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+
+    fn check(s: &str) -> bool {
+        is_domain_independent(&parse_formula(s).expect("parses"))
+    }
+
+    #[test]
+    fn relativized_universals_are_independent() {
+        // the functional dependency, no-loops, antisymmetry
+        assert!(check("forall x y z. E(x, y) & E(x, z) -> y = z"));
+        assert!(check("forall x y. E(x, y) -> x != y"));
+        assert!(check("forall x y. E(x, y) -> !E(y, x)"));
+    }
+
+    #[test]
+    fn guarded_existentials_are_independent() {
+        assert!(check("exists x. E(x, x)"));
+        assert!(check("exists x y. E(x, y) & x != y"));
+    }
+
+    #[test]
+    fn unguarded_quantifiers_are_not_established() {
+        // truth flips when an isolated element joins the domain
+        assert!(!check("forall x. E(x, x)"));
+        assert!(!check("forall x. exists y. E(x, y)"));
+        assert!(!check("exists x. !E(x, x)"));
+        // an isolated element may *be* the element 3: pinning by a constant
+        // is not a guard ("3 is in the domain and has no loop")
+        assert!(!check("exists x. x = 3 & !E(x, x)"));
+    }
+
+    #[test]
+    fn shadowed_binders_do_not_guard_the_outer_variable() {
+        // the E(x,x) atom belongs to the inner x; the outer x is only
+        // pinned by x = 3, so truth depends on 3 being in the domain
+        assert!(!check("exists x. (exists x. E(x, x)) & x = 3"));
+        assert!(!check("forall x. (forall x. !E(x, x)) | x != 3"));
+        // a *distinctly named* inner binder changes nothing
+        assert!(check("exists x. E(x, x) & (exists y. E(y, y))"));
+    }
+
+    #[test]
+    fn quantifier_free_sentences_are_independent() {
+        assert!(check("E(1, 2) | !E(2, 1)"));
+        assert!(check("1 = 1"));
+    }
+
+    #[test]
+    fn counting_is_domain_dependent() {
+        use crate::formula::NumTerm;
+        let f = Formula::CountGe(NumTerm::One, Var::new("x"), Box::new(Formula::True));
+        assert!(!is_domain_independent(&f));
+    }
+}

@@ -189,28 +189,28 @@ mod tests {
 
     #[test]
     fn enumeration_is_deterministic() {
-        let a: Vec<Formula> = SentenceEnumerator::new(Schema::graph(), 2).take(100).collect();
-        let b: Vec<Formula> = SentenceEnumerator::new(Schema::graph(), 2).take(100).collect();
+        let a: Vec<Formula> = SentenceEnumerator::new(Schema::graph(), 2)
+            .take(100)
+            .collect();
+        let b: Vec<Formula> = SentenceEnumerator::new(Schema::graph(), 2)
+            .take(100)
+            .collect();
         assert_eq!(a, b);
     }
 
     #[test]
     fn contains_basic_graph_sentences() {
-        let sentences: Vec<Formula> =
-            SentenceEnumerator::new(Schema::graph(), 2).take(2000).collect();
+        let sentences: Vec<Formula> = SentenceEnumerator::new(Schema::graph(), 2)
+            .take(2000)
+            .collect();
         // ∃x0. E(x0,x0) — "some loop exists"
-        let some_loop = Formula::exists(
-            "x0",
-            Formula::rel("E", [Term::var("x0"), Term::var("x0")]),
-        );
+        let some_loop =
+            Formula::exists("x0", Formula::rel("E", [Term::var("x0"), Term::var("x0")]));
         assert!(sentences.contains(&some_loop));
         // ∀x0. ∃x1. E(x0,x1)
         let serial = Formula::forall(
             "x0",
-            Formula::exists(
-                "x1",
-                Formula::rel("E", [Term::var("x0"), Term::var("x1")]),
-            ),
+            Formula::exists("x1", Formula::rel("E", [Term::var("x0"), Term::var("x1")])),
         );
         assert!(sentences.contains(&serial));
     }

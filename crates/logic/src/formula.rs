@@ -125,6 +125,15 @@ impl Formula {
         Formula::Not(Box::new(f))
     }
 
+    /// The formula's top-level conjuncts, flattening nested `And`s; a
+    /// non-conjunction is its own single conjunct.
+    pub fn conjuncts(&self) -> Vec<&Formula> {
+        match self {
+            Formula::And(fs) => fs.iter().flat_map(Formula::conjuncts).collect(),
+            other => vec![other],
+        }
+    }
+
     /// n-ary conjunction. `and([])` is `True`; a singleton collapses.
     pub fn and(fs: impl IntoIterator<Item = Formula>) -> Self {
         let mut v: Vec<Formula> = fs.into_iter().collect();
@@ -168,13 +177,17 @@ impl Formula {
     /// `∃v₁…∃v_k. f` for a block of variables.
     pub fn exists_many<V: Into<Var>>(vs: impl IntoIterator<Item = V>, f: Formula) -> Self {
         let vars: Vec<Var> = vs.into_iter().map(Into::into).collect();
-        vars.into_iter().rev().fold(f, |acc, v| Formula::exists(v, acc))
+        vars.into_iter()
+            .rev()
+            .fold(f, |acc, v| Formula::exists(v, acc))
     }
 
     /// `∀v₁…∀v_k. f` for a block of variables.
     pub fn forall_many<V: Into<Var>>(vs: impl IntoIterator<Item = V>, f: Formula) -> Self {
         let vars: Vec<Var> = vs.into_iter().map(Into::into).collect();
-        vars.into_iter().rev().fold(f, |acc, v| Formula::forall(v, acc))
+        vars.into_iter()
+            .rev()
+            .fold(f, |acc, v| Formula::forall(v, acc))
     }
 
     /// `∃!x. φ(x)` — exactly one element satisfies `φ`, encoded as
@@ -262,21 +275,19 @@ impl Formula {
                     f.collect_free(bound, out, sort);
                 }
             }
-            Formula::CountGe(i, v, f) => {
-                match sort {
-                    Sort::Element => {
-                        let fresh = bound.insert(v.clone());
-                        f.collect_free(bound, out, sort);
-                        if fresh {
-                            bound.remove(v);
-                        }
-                    }
-                    Sort::Number => {
-                        collect_numterm_free(i, bound, out);
-                        f.collect_free(bound, out, sort);
+            Formula::CountGe(i, v, f) => match sort {
+                Sort::Element => {
+                    let fresh = bound.insert(v.clone());
+                    f.collect_free(bound, out, sort);
+                    if fresh {
+                        bound.remove(v);
                     }
                 }
-            }
+                Sort::Number => {
+                    collect_numterm_free(i, bound, out);
+                    f.collect_free(bound, out, sort);
+                }
+            },
             Formula::NumExists(v, f) | Formula::NumForall(v, f) => {
                 if sort == Sort::Number {
                     let fresh = bound.insert(v.clone());
@@ -534,9 +545,7 @@ impl Formula {
             Formula::Iff(a, b) => Formula::Iff(Box::new(a.map(f)), Box::new(b.map(f))),
             Formula::Exists(v, g) => Formula::Exists(v.clone(), Box::new(g.map(f))),
             Formula::Forall(v, g) => Formula::Forall(v.clone(), Box::new(g.map(f))),
-            Formula::CountGe(i, v, g) => {
-                Formula::CountGe(i.clone(), v.clone(), Box::new(g.map(f)))
-            }
+            Formula::CountGe(i, v, g) => Formula::CountGe(i.clone(), v.clone(), Box::new(g.map(f))),
             Formula::NumExists(v, g) => Formula::NumExists(v.clone(), Box::new(g.map(f))),
             Formula::NumForall(v, g) => Formula::NumForall(v.clone(), Box::new(g.map(f))),
         };

@@ -23,6 +23,7 @@
 //!
 //! Model checking lives in `vpdt-eval`; structures live in `vpdt-structure`.
 
+pub mod domain;
 pub mod enumerate;
 pub mod formula;
 pub mod library;

@@ -66,14 +66,10 @@ pub fn psi_cc() -> Formula {
             Formula::eq(v("z"), v("y")),
         ),
     );
-    let unique_root = Formula::exists_unique(
-        "x",
-        Formula::forall("y", Formula::not(e(v("y"), v("x")))),
-    );
-    let unique_endpoint = Formula::exists_unique(
-        "x",
-        Formula::forall("y", Formula::not(e(v("x"), v("y")))),
-    );
+    let unique_root =
+        Formula::exists_unique("x", Formula::forall("y", Formula::not(e(v("y"), v("x")))));
+    let unique_endpoint =
+        Formula::exists_unique("x", Formula::forall("y", Formula::not(e(v("x"), v("y")))));
     Formula::and([outdeg_le1, indeg_le1, unique_root, unique_endpoint])
 }
 
@@ -103,10 +99,7 @@ pub fn chain_at_least(s: usize) -> Formula {
 
 /// `p⁰_i = p_i ∧ ¬p_{i+1}`: the chain part has exactly `i` points.
 pub fn chain_exactly(i: usize) -> Formula {
-    Formula::and([
-        chain_at_least(i),
-        Formula::not(chain_at_least(i + 1)),
-    ])
+    Formula::and([chain_at_least(i), Formula::not(chain_at_least(i + 1))])
 }
 
 /// `μ_s`: there exist at least `s` distinct nodes. `μ₀` is `true`.
@@ -248,10 +241,7 @@ pub fn alpha0_gnm_with_cycles() -> Formula {
     let leaf = |x: &str| out_degree_exactly(x, 0);
     let unique_root_deg2 = Formula::and([
         Formula::exists_unique("r", root("r")),
-        Formula::forall(
-            "r",
-            Formula::implies(root("r"), out_degree_exactly("r", 2)),
-        ),
+        Formula::forall("r", Formula::implies(root("r"), out_degree_exactly("r", 2))),
     ]);
     let two_leaves = Formula::exists_many(
         ["a", "b"],
@@ -263,18 +253,13 @@ pub fn alpha0_gnm_with_cycles() -> Formula {
                 "c",
                 Formula::implies(
                     leaf("c"),
-                    Formula::or([
-                        Formula::eq(v("c"), v("a")),
-                        Formula::eq(v("c"), v("b")),
-                    ]),
+                    Formula::or([Formula::eq(v("c"), v("a")), Formula::eq(v("c"), v("b"))]),
                 ),
             ),
         ]),
     );
-    let leaves_indeg1 = Formula::forall(
-        "x",
-        Formula::implies(leaf("x"), in_degree_exactly("x", 1)),
-    );
+    let leaves_indeg1 =
+        Formula::forall("x", Formula::implies(leaf("x"), in_degree_exactly("x", 1)));
     let inner_degrees = Formula::forall(
         "x",
         Formula::implies(
@@ -381,18 +366,12 @@ pub fn distance_greater(x: &str, y: &str, k: usize) -> Formula {
 /// A ball-relativized existential: `∃y ∈ N_k(x). φ` — the bounded
 /// quantifier `∃y ∈ N_k(x)` of the r-local formulas `ψ^(r)(x)`.
 pub fn exists_in_ball(y: &str, x: &str, k: usize, phi: Formula) -> Formula {
-    Formula::exists(
-        y,
-        Formula::and([distance_at_most(x, y, k), phi]),
-    )
+    Formula::exists(y, Formula::and([distance_at_most(x, y, k), phi]))
 }
 
 /// A ball-relativized universal: `∀y ∈ N_k(x). φ`.
 pub fn forall_in_ball(y: &str, x: &str, k: usize, phi: Formula) -> Formula {
-    Formula::forall(
-        y,
-        Formula::implies(distance_at_most(x, y, k), phi),
-    )
+    Formula::forall(y, Formula::implies(distance_at_most(x, y, k), phi))
 }
 
 #[cfg(test)]
@@ -415,7 +394,9 @@ mod distance_tests {
         let f = exists_in_ball("y", "x", 2, e(v("y"), v("y")));
         assert_eq!(
             f.free_vars(),
-            [Var::new("x")].into_iter().collect::<std::collections::BTreeSet<_>>()
+            [Var::new("x")]
+                .into_iter()
+                .collect::<std::collections::BTreeSet<_>>()
         );
         let g = forall_in_ball("y", "x", 1, e(v("x"), v("y")));
         assert_eq!(g.free_vars().len(), 1);

@@ -38,13 +38,13 @@ impl MonadicSigma11 {
                 "set variable {a} clashes with a schema relation"
             );
         }
-        assert!(matrix.is_sentence(), "monadic Sigma-1-1 matrix must be closed");
+        assert!(
+            matrix.is_sentence(),
+            "monadic Sigma-1-1 matrix must be closed"
+        );
         let ext = base.extended(set_vars.iter().map(|a| (a.clone(), 1usize)));
         for rel in matrix.relations_used() {
-            assert!(
-                ext.contains(&rel),
-                "matrix uses undeclared relation {rel}"
-            );
+            assert!(ext.contains(&rel), "matrix uses undeclared relation {rel}");
         }
         MonadicSigma11 { set_vars, matrix }
     }

@@ -33,9 +33,7 @@ fn positive(f: &Formula) -> Formula {
         ]),
         Formula::Exists(v, g) => Formula::Exists(v.clone(), Box::new(positive(g))),
         Formula::Forall(v, g) => Formula::Forall(v.clone(), Box::new(positive(g))),
-        Formula::CountGe(i, v, g) => {
-            Formula::CountGe(i.clone(), v.clone(), Box::new(positive(g)))
-        }
+        Formula::CountGe(i, v, g) => Formula::CountGe(i.clone(), v.clone(), Box::new(positive(g))),
         Formula::NumExists(v, g) => Formula::NumExists(v.clone(), Box::new(positive(g))),
         Formula::NumForall(v, g) => Formula::NumForall(v.clone(), Box::new(positive(g))),
     }

@@ -157,10 +157,7 @@ mod tests {
     #[test]
     fn formula_checking() {
         let sig = OmegaSig::empty().with_pred("lt", 2).with_func("succ", 1);
-        let ok = Formula::pred(
-            "lt",
-            [Term::var("x"), Term::app("succ", [Term::var("x")])],
-        );
+        let ok = Formula::pred("lt", [Term::var("x"), Term::app("succ", [Term::var("x")])]);
         assert!(sig.check_formula(&ok).is_ok());
         let bad_arity = Formula::pred("lt", [Term::var("x")]);
         assert!(sig.check_formula(&bad_arity).is_err());

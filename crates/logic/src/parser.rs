@@ -80,11 +80,17 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(s: &'a str) -> Self {
-        Parser { bytes: s.as_bytes(), pos: 0 }
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { pos: self.pos, msg: msg.into() }
+        ParseError {
+            pos: self.pos,
+            msg: msg.into(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -206,9 +212,7 @@ impl<'a> Parser<'a> {
 
     fn unary(&mut self) -> Result<Formula, ParseError> {
         self.skip_ws();
-        if self.bytes.get(self.pos) == Some(&b'!')
-            && self.bytes.get(self.pos + 1) != Some(&b'=')
-        {
+        if self.bytes.get(self.pos) == Some(&b'!') && self.bytes.get(self.pos + 1) != Some(&b'=') {
             self.pos += 1;
             let f = self.unary()?;
             return Ok(Formula::not(f));
@@ -357,7 +361,10 @@ mod tests {
     #[test]
     fn negation_of_atom_vs_neq() {
         let f = parse_formula("!E(x, x)").expect("parses");
-        assert_eq!(f, Formula::not(Formula::rel("E", [Term::var("x"), Term::var("x")])));
+        assert_eq!(
+            f,
+            Formula::not(Formula::rel("E", [Term::var("x"), Term::var("x")]))
+        );
     }
 
     #[test]

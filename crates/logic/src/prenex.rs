@@ -79,7 +79,11 @@ pub fn prenex(f: &Formula) -> Result<Prenex, PrenexError> {
     let mut used: BTreeSet<Var> = g.all_vars();
     let mut moved = false;
     let (prefix, matrix) = pull(&g, &mut used, &mut moved)?;
-    Ok(Prenex { prefix, matrix, moved })
+    Ok(Prenex {
+        prefix,
+        matrix,
+        moved,
+    })
 }
 
 type Prefix = Vec<(Quant, Var)>;
@@ -90,16 +94,12 @@ fn pull(
     moved: &mut bool,
 ) -> Result<(Prefix, Formula), PrenexError> {
     match f {
-        Formula::True
-        | Formula::False
-        | Formula::Rel(..)
-        | Formula::Eq(..)
-        | Formula::Pred(..) => Ok((Vec::new(), f.clone())),
+        Formula::True | Formula::False | Formula::Rel(..) | Formula::Eq(..) | Formula::Pred(..) => {
+            Ok((Vec::new(), f.clone()))
+        }
         // NNF guarantees negations sit on atoms (or counting, rejected below)
         Formula::Not(inner) => match inner.as_ref() {
-            Formula::Rel(..) | Formula::Eq(..) | Formula::Pred(..) => {
-                Ok((Vec::new(), f.clone()))
-            }
+            Formula::Rel(..) | Formula::Eq(..) | Formula::Pred(..) => Ok((Vec::new(), f.clone())),
             Formula::CountGe(..) => Err(PrenexError::CountingUnsupported),
             other => {
                 // defensive: re-normalize and retry

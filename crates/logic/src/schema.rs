@@ -5,12 +5,11 @@
 //! paper works over the schema of a single binary predicate `E` — graphs —
 //! available as [`Schema::graph`].
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A relation symbol: a name together with its arity.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RelSym {
     /// The relation's name.
     pub name: String,
@@ -31,19 +30,6 @@ pub struct Schema {
     index: BTreeMap<String, usize>,
 }
 
-impl Serialize for Schema {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        self.rels.serialize(s)
-    }
-}
-
-impl<'de> Deserialize<'de> for Schema {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        let rels = Vec::<RelSym>::deserialize(d)?;
-        Ok(Schema::new(rels.into_iter().map(|r| (r.name, r.arity))))
-    }
-}
-
 impl Schema {
     /// Builds a schema from `(name, arity)` pairs.
     ///
@@ -51,7 +37,10 @@ impl Schema {
     /// Panics if a name repeats or an arity is zero — both are schema bugs,
     /// not runtime conditions.
     pub fn new<N: Into<String>>(rels: impl IntoIterator<Item = (N, usize)>) -> Self {
-        let mut out = Schema { rels: Vec::new(), index: BTreeMap::new() };
+        let mut out = Schema {
+            rels: Vec::new(),
+            index: BTreeMap::new(),
+        };
         for (name, arity) in rels {
             out.push(name.into(), arity);
         }

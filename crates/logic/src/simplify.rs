@@ -140,10 +140,7 @@ mod tests {
             e("x", "y"),
             Formula::And(vec![e("x", "y"), e("y", "x")]),
         ]);
-        assert_eq!(
-            simplify(&f),
-            Formula::And(vec![e("x", "y"), e("y", "x")])
-        );
+        assert_eq!(simplify(&f), Formula::And(vec![e("x", "y"), e("y", "x")]));
     }
 
     #[test]
@@ -191,10 +188,7 @@ mod tests {
     #[test]
     fn cascading_rewrites_reach_fixpoint() {
         // !(!(E(x,y) & true)) -> E(x,y)
-        let f = Formula::not(Formula::not(Formula::And(vec![
-            e("x", "y"),
-            Formula::True,
-        ])));
+        let f = Formula::not(Formula::not(Formula::And(vec![e("x", "y"), Formula::True])));
         assert_eq!(simplify(&f), e("x", "y"));
     }
 }
@@ -234,12 +228,8 @@ fn normalize_bound(f: &Formula, depth: usize) -> Formula {
             Formula::CountGe(i.clone(), w, Box::new(normalize_bound(&g2, depth + 1)))
         }
         Formula::Not(g) => Formula::Not(Box::new(normalize_bound(g, depth))),
-        Formula::And(gs) => {
-            Formula::And(gs.iter().map(|g| normalize_bound(g, depth)).collect())
-        }
-        Formula::Or(gs) => {
-            Formula::Or(gs.iter().map(|g| normalize_bound(g, depth)).collect())
-        }
+        Formula::And(gs) => Formula::And(gs.iter().map(|g| normalize_bound(g, depth)).collect()),
+        Formula::Or(gs) => Formula::Or(gs.iter().map(|g| normalize_bound(g, depth)).collect()),
         Formula::Implies(a, b) => Formula::Implies(
             Box::new(normalize_bound(a, depth)),
             Box::new(normalize_bound(b, depth)),

@@ -58,9 +58,10 @@ fn go(f: &Formula, map: &BTreeMap<Var, Term>, range_vars: &BTreeSet<Var>) -> For
     }
     match f {
         Formula::True | Formula::False => f.clone(),
-        Formula::Rel(name, ts) => {
-            Formula::Rel(name.clone(), ts.iter().map(|t| subst_term(t, map)).collect())
-        }
+        Formula::Rel(name, ts) => Formula::Rel(
+            name.clone(),
+            ts.iter().map(|t| subst_term(t, map)).collect(),
+        ),
         Formula::Pred(p, ts) => {
             Formula::Pred(p.clone(), ts.iter().map(|t| subst_term(t, map)).collect())
         }
@@ -85,12 +86,8 @@ fn go(f: &Formula, map: &BTreeMap<Var, Term>, range_vars: &BTreeSet<Var>) -> For
             })
         }
         // Numeric binders do not bind first-sort variables; descend.
-        Formula::NumExists(v, g) => {
-            Formula::NumExists(v.clone(), Box::new(go(g, map, range_vars)))
-        }
-        Formula::NumForall(v, g) => {
-            Formula::NumForall(v.clone(), Box::new(go(g, map, range_vars)))
-        }
+        Formula::NumExists(v, g) => Formula::NumExists(v.clone(), Box::new(go(g, map, range_vars))),
+        Formula::NumForall(v, g) => Formula::NumForall(v.clone(), Box::new(go(g, map, range_vars))),
         Formula::NumLe(..) | Formula::NumEq(..) | Formula::Bit(..) => f.clone(),
     }
 }
@@ -180,14 +177,12 @@ pub fn unfold_relation(f: &Formula, rel: &str, params: &[Var], body: &Formula) -
         Formula::Exists(v, g) => rebind(f, v, g, rel, params, body),
         Formula::Forall(v, g) => rebind(f, v, g, rel, params, body),
         Formula::CountGe(_, v, g) => rebind(f, v, g, rel, params, body),
-        Formula::NumExists(v, g) => Formula::NumExists(
-            v.clone(),
-            Box::new(unfold_relation(g, rel, params, body)),
-        ),
-        Formula::NumForall(v, g) => Formula::NumForall(
-            v.clone(),
-            Box::new(unfold_relation(g, rel, params, body)),
-        ),
+        Formula::NumExists(v, g) => {
+            Formula::NumExists(v.clone(), Box::new(unfold_relation(g, rel, params, body)))
+        }
+        Formula::NumForall(v, g) => {
+            Formula::NumForall(v.clone(), Box::new(unfold_relation(g, rel, params, body)))
+        }
     }
 }
 
@@ -291,10 +286,7 @@ mod tests {
         // body mentions parameter p; formula binds p — binder must be renamed.
         let f = Formula::exists("p", e(v("p"), v("p")));
         let params = [Var::new("p"), Var::new("q")];
-        let body = Formula::and([
-            Formula::rel("R", [v("p")]),
-            Formula::rel("R", [v("q")]),
-        ]);
+        let body = Formula::and([Formula::rel("R", [v("p")]), Formula::rel("R", [v("q")])]);
         let g = unfold_relation(&f, "E", &params, &body);
         match &g {
             Formula::Exists(w, inner) => {

@@ -5,7 +5,6 @@
 //! element of `U` — [`Term::Const`] — and `FOc(Ω)` adds interpreted function
 //! symbols ([`Term::App`]). Pure FO terms are just variables.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
@@ -13,7 +12,7 @@ use std::sync::Arc;
 ///
 /// Databases interpret relation symbols as finite sets of tuples of `Elem`s;
 /// `FOc` constant symbols denote elements directly.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Elem(pub u64);
 
 impl fmt::Debug for Elem {
@@ -70,18 +69,6 @@ impl fmt::Display for Var {
 impl From<&str> for Var {
     fn from(s: &str) -> Self {
         Var::new(s)
-    }
-}
-
-impl Serialize for Var {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_str(&self.0)
-    }
-}
-
-impl<'de> Deserialize<'de> for Var {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        Ok(Var::new(String::deserialize(d)?))
     }
 }
 
@@ -281,7 +268,13 @@ mod tests {
 
     #[test]
     fn term_vars_dedup_and_order() {
-        let t = Term::app("f", [Term::var("x"), Term::app("g", [Term::var("y"), Term::var("x")])]);
+        let t = Term::app(
+            "f",
+            [
+                Term::var("x"),
+                Term::app("g", [Term::var("y"), Term::var("x")]),
+            ],
+        );
         assert_eq!(t.vars(), vec![Var::new("x"), Var::new("y")]);
     }
 

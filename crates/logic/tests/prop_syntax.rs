@@ -19,8 +19,7 @@ fn formula_strategy(scope: usize, depth: u32) -> BoxedStrategy<Formula> {
             prop_oneof![
                 Just(Formula::True),
                 Just(Formula::False),
-                (var.clone(), var.clone())
-                    .prop_map(|(a, b)| Formula::rel("E", [a, b])),
+                (var.clone(), var.clone()).prop_map(|(a, b)| Formula::rel("E", [a, b])),
                 (var.clone(), var).prop_map(|(a, b)| Formula::eq(a, b)),
             ]
             .boxed()

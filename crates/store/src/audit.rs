@@ -1,0 +1,217 @@
+//! History audit: replay what the store committed and re-verify it on the
+//! *other* side of the paper's comparison.
+//!
+//! The executor commits through the statically guarded path
+//! (`if wpc(T, α) then T else abort`); the audit replays the committed
+//! history through the run-time check-and-rollback path
+//! ([`RuntimeChecked`]) and demands that the two agree everywhere:
+//!
+//! * commit versions are gapless and in log order — the log order *is* a
+//!   serialization, and replaying it must reproduce every recorded state
+//!   hash and the final state;
+//! * every replayed commit passes the deferred `α` check (so `α` holds at
+//!   every committed version — zero constraint violations);
+//! * every commit's write set matches its program's declared writes;
+//! * every commit was preceded by a passing guard evaluation at the
+//!   version it validated against, and every abort's failing guard agrees
+//!   with check-and-rollback at the version it observed.
+//!
+//! A tampered history — a reordered commit, a forged hash, a commit the
+//! guard never passed — is rejected with a concrete complaint.
+
+use crate::history::{state_hash, Event};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use vpdt_core::safe::RuntimeChecked;
+use vpdt_eval::{holds, Omega};
+use vpdt_logic::Formula;
+use vpdt_structure::Database;
+use vpdt_tx::program::{Program, ProgramTransaction};
+use vpdt_tx::traits::{Transaction, TxError};
+
+/// What the audit found.
+#[derive(Clone, Debug)]
+pub struct AuditReport {
+    /// Complaints; empty means the history verified.
+    pub problems: Vec<String>,
+    /// Commits replayed.
+    pub commits_checked: usize,
+    /// Aborts cross-checked against the rollback path.
+    pub aborts_checked: usize,
+}
+
+impl AuditReport {
+    /// Whether the history verified.
+    pub fn ok(&self) -> bool {
+        self.problems.is_empty()
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.ok() {
+            write!(
+                f,
+                "audit OK: {} commits replayed, {} aborts cross-checked",
+                self.commits_checked, self.aborts_checked
+            )
+        } else {
+            writeln!(
+                f,
+                "audit FAILED ({} problems over {} commits):",
+                self.problems.len(),
+                self.commits_checked
+            )?;
+            for p in &self.problems {
+                writeln!(f, "  - {p}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Replays `events` from `initial` (version 0) and verifies the run.
+///
+/// `programs` maps transaction ids to the programs the executor ran;
+/// `final_db` is the store's state at the end of the run.
+pub fn audit(
+    alpha: &Formula,
+    omega: &Omega,
+    initial: &Database,
+    final_db: &Database,
+    events: &[Event],
+    programs: &BTreeMap<u64, Program>,
+) -> AuditReport {
+    let mut problems = Vec::new();
+    let mut commits_checked = 0;
+    let mut aborts_checked = 0;
+
+    match holds(initial, omega, alpha) {
+        Ok(true) => {}
+        Ok(false) => problems.push("initial state violates the constraint".to_string()),
+        Err(e) => problems.push(format!(
+            "constraint does not evaluate on the initial state: {e}"
+        )),
+    }
+
+    // Replay commits in log order; remember every version's state so abort
+    // events can be cross-checked against the snapshot they observed.
+    let mut states: Vec<Database> = vec![initial.clone()];
+    let mut passed_guards: BTreeSet<(u64, u64)> = BTreeSet::new();
+
+    for event in events {
+        match event {
+            Event::GuardEval { tx, version, pass } => {
+                if *pass {
+                    passed_guards.insert((*tx, *version));
+                }
+            }
+            Event::Commit {
+                tx,
+                based_on,
+                version,
+                writes,
+                state_hash: recorded_hash,
+            } => {
+                commits_checked += 1;
+                let expected = states.len() as u64;
+                if *version != expected {
+                    problems.push(format!(
+                        "commit of tx {tx} has version {version}, expected {expected} \
+                         (reordered or dropped commit)"
+                    ));
+                    continue;
+                }
+                let Some(program) = programs.get(tx) else {
+                    problems.push(format!("commit of unknown tx {tx}"));
+                    continue;
+                };
+                if !passed_guards.contains(&(*tx, *based_on)) {
+                    problems.push(format!(
+                        "tx {tx} committed at version {version} without a passing guard \
+                         evaluation at its base version {based_on}"
+                    ));
+                }
+                if program
+                    .touched_relations()
+                    .iter()
+                    .cloned()
+                    .collect::<Vec<_>>()
+                    != *writes
+                {
+                    problems.push(format!(
+                        "tx {tx} recorded writes {writes:?} but its program touches {:?}",
+                        program.touched_relations()
+                    ));
+                }
+                // The cross-check: the deferred check-and-rollback path
+                // must accept the same transaction at the same point.
+                let prev = states.last().expect("states never empty");
+                let checked = RuntimeChecked::new(
+                    ProgramTransaction::new("audit", program.clone(), omega.clone()),
+                    alpha.clone(),
+                    omega.clone(),
+                );
+                match checked.apply(prev) {
+                    Ok(next) => {
+                        if state_hash(&next) != *recorded_hash {
+                            problems.push(format!(
+                                "replaying tx {tx} at version {version} produces state hash \
+                                 {:#x}, history records {recorded_hash:#x} (reordered or \
+                                 tampered history)",
+                                state_hash(&next)
+                            ));
+                        }
+                        states.push(next);
+                    }
+                    Err(TxError::Aborted(reason)) => {
+                        problems.push(format!(
+                            "tx {tx} committed at version {version}, but check-and-rollback \
+                             aborts it there: {reason}"
+                        ));
+                        states.push(prev.clone());
+                    }
+                    Err(e) => {
+                        problems.push(format!("tx {tx} fails to replay at version {version}: {e}"));
+                        states.push(prev.clone());
+                    }
+                }
+            }
+            Event::Abort { tx, version, .. } => {
+                // The guard said "would violate α". If we know the state it
+                // observed, check-and-rollback must agree.
+                if let (Some(program), Some(state)) =
+                    (programs.get(tx), states.get(*version as usize))
+                {
+                    aborts_checked += 1;
+                    let checked = RuntimeChecked::new(
+                        ProgramTransaction::new("audit", program.clone(), omega.clone()),
+                        alpha.clone(),
+                        omega.clone(),
+                    );
+                    match checked.apply(state) {
+                        Err(TxError::Aborted(_)) => {}
+                        Ok(_) => problems.push(format!(
+                            "tx {tx} aborted at version {version}, but check-and-rollback \
+                             accepts it there (guard and rollback paths disagree)"
+                        )),
+                        Err(e) => problems.push(format!(
+                            "tx {tx} fails to replay its abort at version {version}: {e}"
+                        )),
+                    }
+                }
+            }
+            Event::Begin { .. } => {}
+        }
+    }
+
+    if states.last().expect("states never empty") != final_db {
+        problems.push("replayed final state differs from the store's final state".to_string());
+    }
+
+    AuditReport {
+        problems,
+        commits_checked,
+        aborts_checked,
+    }
+}

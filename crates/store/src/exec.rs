@@ -1,0 +1,327 @@
+//! The execution pipeline: submit, guard, commit — across worker threads.
+//!
+//! [`Submitter`] assigns transaction ids; [`run_jobs`] fans the jobs out
+//! over `threads` workers. Each worker, per transaction:
+//!
+//! 1. pulls a fresh [`Snapshot`](crate::Snapshot) (lock-free reads of an
+//!    `Arc`),
+//! 2. evaluates the cached guard against it — `if wpc(T, α) then T else
+//!    abort`, with the guard compiled once in the [`GuardCache`] down to
+//!    its cheapest sound form (the Δ of Section 6 where derivable),
+//! 3. on pass, applies the program operationally and offers the result to
+//!    [`VersionedStore::try_commit`]; a relation-footprint conflict loops
+//!    back to step 1 (the guard re-evaluates in tens of microseconds; the
+//!    compilation never re-runs).
+//!
+//! [`run_serial_rollback`] is the baseline the paper's programme displaces:
+//! one thread, no guard — run the transaction, test `α` on the result, roll
+//! back on violation.
+
+use crate::guard::GuardCache;
+use crate::history::Event;
+use crate::snapshot::{CommitOutcome, CommitRequest, VersionedStore};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use vpdt_core::safe::RuntimeChecked;
+use vpdt_eval::{holds, Omega};
+use vpdt_logic::Formula;
+use vpdt_structure::Database;
+use vpdt_tx::program::{Program, ProgramTransaction};
+use vpdt_tx::traits::{Transaction, TxError};
+
+/// A transaction queued for execution.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// Unique transaction id (assigned by [`Submitter`]).
+    pub id: u64,
+    /// The update program to run.
+    pub program: Program,
+}
+
+/// Assigns transaction ids and accumulates a batch of jobs.
+#[derive(Debug, Default)]
+pub struct Submitter {
+    jobs: Vec<Job>,
+}
+
+impl Submitter {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Submitter::default()
+    }
+
+    /// Queues a program; returns its transaction id.
+    pub fn submit(&mut self, program: Program) -> u64 {
+        let id = self.jobs.len() as u64;
+        self.jobs.push(Job { id, program });
+        id
+    }
+
+    /// The queued jobs.
+    pub fn into_jobs(self) -> Vec<Job> {
+        self.jobs
+    }
+}
+
+/// How one transaction ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxStatus {
+    /// Committed at this store version.
+    Committed {
+        /// The version the commit produced.
+        version: u64,
+    },
+    /// The guard failed: the transaction would have violated `α`.
+    Aborted {
+        /// Why.
+        reason: String,
+    },
+    /// An execution error (not a deliberate abort).
+    Failed {
+        /// The error text.
+        error: String,
+    },
+}
+
+/// Per-transaction outcomes plus pipeline counters.
+#[derive(Clone, Debug)]
+pub struct ExecReport {
+    /// Outcome per transaction, indexed by job id.
+    pub outcomes: Vec<(u64, TxStatus)>,
+    /// Transactions that committed.
+    pub committed: usize,
+    /// Transactions the guard aborted.
+    pub aborted: usize,
+    /// Transactions that failed with an error.
+    pub failed: usize,
+    /// Commit offers rejected by footprint validation (each one cost a
+    /// guard re-evaluation).
+    pub conflicts: u64,
+    /// Guard-cache hits.
+    pub guard_hits: u64,
+    /// Guard-cache misses (compilations).
+    pub guard_misses: u64,
+}
+
+/// Runs the batch across `threads` workers against the store. Outcomes are
+/// returned in job order; counters aggregate the whole run.
+///
+/// The guards are only sound on states satisfying `α` (that is the whole
+/// point of the Section 6 reduction), so the base case is established
+/// here: if the store's current state violates `α` — or `α` fails to
+/// evaluate — every job fails fast and nothing commits.
+pub fn run_jobs(
+    store: &VersionedStore,
+    cache: &GuardCache,
+    jobs: &[Job],
+    threads: usize,
+) -> ExecReport {
+    let entry = store.snapshot();
+    match holds(&entry.db, cache.omega(), cache.alpha()) {
+        Ok(true) => {}
+        verdict => {
+            let error = match verdict {
+                Ok(false) => format!(
+                    "store state at version {} violates the constraint; guards would be unsound",
+                    entry.version
+                ),
+                Err(e) => format!("constraint does not evaluate on the store state: {e}"),
+                Ok(true) => unreachable!(),
+            };
+            let outcomes: Vec<(u64, TxStatus)> = jobs
+                .iter()
+                .map(|j| {
+                    (
+                        j.id,
+                        TxStatus::Failed {
+                            error: error.clone(),
+                        },
+                    )
+                })
+                .collect();
+            let failed = outcomes.len();
+            return ExecReport {
+                outcomes,
+                committed: 0,
+                aborted: 0,
+                failed,
+                conflicts: 0,
+                guard_hits: 0,
+                guard_misses: 0,
+            };
+        }
+    }
+
+    let next = AtomicUsize::new(0);
+    let conflicts = AtomicU64::new(0);
+    let outcomes: Mutex<Vec<(u64, TxStatus)>> = Mutex::new(Vec::with_capacity(jobs.len()));
+    let workers = threads.clamp(1, jobs.len().max(1));
+    let (hits0, misses0) = cache.stats();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    let status = run_one(store, cache, job, &conflicts);
+                    local.push((job.id, status));
+                }
+                outcomes
+                    .lock()
+                    .expect("outcome lock poisoned")
+                    .extend(local);
+            });
+        }
+    });
+
+    let mut outcomes = outcomes.into_inner().expect("outcome lock poisoned");
+    outcomes.sort_by_key(|(id, _)| *id);
+    let committed = outcomes
+        .iter()
+        .filter(|(_, s)| matches!(s, TxStatus::Committed { .. }))
+        .count();
+    let aborted = outcomes
+        .iter()
+        .filter(|(_, s)| matches!(s, TxStatus::Aborted { .. }))
+        .count();
+    let failed = outcomes.len() - committed - aborted;
+    let (hits1, misses1) = cache.stats();
+    ExecReport {
+        outcomes,
+        committed,
+        aborted,
+        failed,
+        conflicts: conflicts.load(Ordering::Relaxed),
+        guard_hits: hits1 - hits0,
+        guard_misses: misses1 - misses0,
+    }
+}
+
+fn run_one(
+    store: &VersionedStore,
+    cache: &GuardCache,
+    job: &Job,
+    conflicts: &AtomicU64,
+) -> TxStatus {
+    let prepared = match cache.get_or_compile(&job.program) {
+        Ok(p) => p,
+        Err(e) => {
+            return TxStatus::Failed {
+                error: e.to_string(),
+            }
+        }
+    };
+    let history = store.history();
+    let mut first = true;
+    loop {
+        let snap = store.snapshot();
+        if first {
+            history.record(Event::Begin {
+                tx: job.id,
+                version: snap.version,
+            });
+            first = false;
+        }
+        let pass = match holds(&snap.db, cache.omega(), &prepared.compiled.fast) {
+            Ok(p) => p,
+            Err(e) => {
+                return TxStatus::Failed {
+                    error: e.to_string(),
+                }
+            }
+        };
+        history.record(Event::GuardEval {
+            tx: job.id,
+            version: snap.version,
+            pass,
+        });
+        if !pass {
+            let reason = format!("guard failed at version {}", snap.version);
+            history.record(Event::Abort {
+                tx: job.id,
+                version: snap.version,
+                reason: reason.clone(),
+            });
+            return TxStatus::Aborted { reason };
+        }
+        let new_db = match prepared.tx.apply(&snap.db) {
+            Ok(db) => db,
+            Err(e) => {
+                return TxStatus::Failed {
+                    error: e.to_string(),
+                }
+            }
+        };
+        let req = CommitRequest {
+            tx: job.id,
+            based_on: snap.version,
+            reads: prepared.reads.clone(),
+            writes: prepared.compiled.writes.clone(),
+            new_db,
+        };
+        match store.try_commit(req) {
+            CommitOutcome::Committed { version } => return TxStatus::Committed { version },
+            CommitOutcome::Conflict { .. } => {
+                conflicts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// The deferred-checking baseline: one thread applies each job in order via
+/// [`RuntimeChecked`] (run, test `α` on the result, roll back on violation).
+/// Returns the final state and the per-job outcomes, shaped like
+/// [`run_jobs`]'s report for direct comparison.
+pub fn run_serial_rollback(
+    initial: Database,
+    jobs: &[Job],
+    alpha: &Formula,
+    omega: &Omega,
+) -> (Database, ExecReport) {
+    let mut state = initial;
+    let mut outcomes = Vec::with_capacity(jobs.len());
+    let mut committed = 0;
+    let mut aborted = 0;
+    let mut failed = 0;
+    for (i, job) in jobs.iter().enumerate() {
+        let tx = ProgramTransaction::new("serial", job.program.clone(), omega.clone());
+        let checked = RuntimeChecked::new(tx, alpha.clone(), omega.clone());
+        match checked.apply(&state) {
+            Ok(next) => {
+                state = next;
+                committed += 1;
+                outcomes.push((
+                    job.id,
+                    TxStatus::Committed {
+                        version: i as u64 + 1,
+                    },
+                ));
+            }
+            Err(TxError::Aborted(reason)) => {
+                aborted += 1;
+                outcomes.push((job.id, TxStatus::Aborted { reason }));
+            }
+            Err(e) => {
+                failed += 1;
+                outcomes.push((
+                    job.id,
+                    TxStatus::Failed {
+                        error: e.to_string(),
+                    },
+                ));
+            }
+        }
+    }
+    let report = ExecReport {
+        outcomes,
+        committed,
+        aborted,
+        failed,
+        conflicts: 0,
+        guard_hits: 0,
+        guard_misses: 0,
+    };
+    (state, report)
+}

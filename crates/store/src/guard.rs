@@ -1,0 +1,153 @@
+//! The keyed guard cache: compile once, evaluate everywhere.
+//!
+//! Guard compilation — program → prerelations → `wpc` → invariant-reduced
+//! guard — is the expensive, *per-program-shape* step of the pipeline; the
+//! per-transaction step is a single formula evaluation. The cache keys
+//! compilations by the program's structure, so a workload of `P` prepared
+//! statements pays for `P` compilations regardless of how many transactions
+//! run, and worker threads share the compiled guards through `Arc`s.
+
+use crate::StoreError;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use vpdt_core::safe::{compile_guard, GuardCompilation};
+use vpdt_eval::Omega;
+use vpdt_logic::{Formula, Schema};
+use vpdt_tx::program::{Program, ProgramTransaction};
+
+/// A fully prepared transaction: the compilation plus the operational
+/// applier and the footprint the store validates against.
+#[derive(Clone, Debug)]
+pub struct PreparedTx {
+    /// The guard compilation (prerelations, wpc, reduced guard, footprint).
+    pub compiled: GuardCompilation,
+    /// The operational applier (direct program semantics — much cheaper
+    /// than applying the prerelation description tuple-by-tuple).
+    pub tx: ProgramTransaction,
+    /// The footprint validated at commit: the compilation's reads, widened
+    /// to the whole schema when the guard could not be shown exact under
+    /// disjoint interleaving (see `GuardCompilation::domain_independent`).
+    pub reads: BTreeSet<String>,
+}
+
+/// A thread-safe cache of [`PreparedTx`]s for one store configuration
+/// (schema, constraint `α`, Ω interpretation).
+pub struct GuardCache {
+    schema: Schema,
+    alpha: Formula,
+    omega: Omega,
+    map: RwLock<HashMap<String, Arc<PreparedTx>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl GuardCache {
+    /// An empty cache for the given configuration.
+    pub fn new(schema: Schema, alpha: Formula, omega: Omega) -> Self {
+        assert!(alpha.is_sentence(), "a constraint must be a sentence");
+        GuardCache {
+            schema,
+            alpha,
+            omega,
+            map: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The constraint `α` all guards protect.
+    pub fn alpha(&self) -> &Formula {
+        &self.alpha
+    }
+
+    /// The Ω interpretation guards are evaluated under.
+    pub fn omega(&self) -> &Omega {
+        &self.omega
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Returns the prepared transaction for `program`, compiling it on
+    /// first sight. Concurrent first sights may compile redundantly; the
+    /// cache keeps one winner.
+    pub fn get_or_compile(&self, program: &Program) -> Result<Arc<PreparedTx>, StoreError> {
+        let key = format!("{program:?}");
+        if let Some(hit) = self.map.read().expect("guard cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+
+        let compiled = compile_guard("store", program, &self.alpha, &self.schema, &self.omega)?;
+        let reads = if compiled.domain_independent {
+            compiled.reads.clone()
+        } else {
+            // Exactness under disjoint interleaving is not established:
+            // validate against everything, i.e. serialize.
+            self.schema
+                .iter()
+                .map(|(name, _)| name.to_string())
+                .collect()
+        };
+        let prepared = Arc::new(PreparedTx {
+            compiled,
+            tx: ProgramTransaction::new("store", program.clone(), self.omega.clone()),
+            reads,
+        });
+        let mut map = self.map.write().expect("guard cache poisoned");
+        Ok(Arc::clone(map.entry(key).or_insert(prepared)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpdt_logic::parse_formula;
+
+    fn cache() -> GuardCache {
+        GuardCache::new(
+            Schema::graph(),
+            parse_formula("forall x y z. E(x, y) & E(x, z) -> y = z").expect("parses"),
+            Omega::empty(),
+        )
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let c = cache();
+        let p = Program::insert_consts("E", [1, 4]);
+        let a = c.get_or_compile(&p).expect("compiles");
+        let b = c.get_or_compile(&p).expect("compiles");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn distinct_programs_compile_separately() {
+        let c = cache();
+        c.get_or_compile(&Program::insert_consts("E", [1, 4]))
+            .expect("compiles");
+        c.get_or_compile(&Program::insert_consts("E", [2, 4]))
+            .expect("compiles");
+        assert_eq!(c.stats(), (0, 2));
+    }
+
+    #[test]
+    fn prepared_transactions_cross_threads() {
+        fn assert_bounds<T: Send + Sync>() {}
+        assert_bounds::<PreparedTx>();
+        assert_bounds::<GuardCache>();
+    }
+}

@@ -1,0 +1,102 @@
+//! # vpdt-store
+//!
+//! A concurrent, guard-verified transaction store: the paper's
+//! integrity-maintenance programme (Section 6) turned into a server-shaped
+//! subsystem.
+//!
+//! The introduction of *Verifiable Properties of Database Transactions*
+//! contrasts two ways to keep a constraint `α` invariant: run every
+//! transaction `T` and roll back when the result violates `α`, or — given
+//! computable weakest preconditions (Theorem 8) — replace `T` by the
+//! statically verified `if wpc(T, α) then T else abort`, which never needs
+//! a rollback. This crate scales the second strategy to many concurrent
+//! clients:
+//!
+//! * [`snapshot::VersionedStore`] — a versioned, copy-on-write in-memory
+//!   store. Readers share immutable [`Snapshot`]s behind `Arc`; commits are
+//!   validated optimistically at *relation granularity*, so transactions
+//!   with disjoint footprints commit concurrently without interfering;
+//! * [`guard::GuardCache`] — compiles each distinct program **once** into a
+//!   [`vpdt_core::safe::GuardCompilation`] (prerelations + `wpc` + the
+//!   invariant-reduced guard Δ of Section 6) and shares the result across
+//!   threads;
+//! * [`exec`] — a [`Submitter`]/[`Executor`](exec) pipeline batching guarded
+//!   transactions across worker threads, plus the serial check-and-rollback
+//!   baseline it displaces;
+//! * [`history`] — a begin/guard-eval/commit/abort event log with snapshot
+//!   versions and state hashes;
+//! * [`audit`] — replays a history through the *rollback* path
+//!   ([`vpdt_core::safe::RuntimeChecked`]), checking that the commit order
+//!   is a gapless serialization, that `α` holds at every committed version,
+//!   and that the guard path and the check-and-rollback path agreed on
+//!   every decision;
+//! * [`workload`] — deterministic (caller-seeded) multi-relation workloads
+//!   for the benches and tests.
+//!
+//! The concurrency argument, in one paragraph: every commit is validated
+//! against the relation-versions of its read-and-write footprint, so the
+//! committed history is equivalent to the serial execution in commit-version
+//! order — which is exactly what the audit replays. Guards evaluated on a
+//! snapshot that is stale only *outside* the footprint are still exact
+//! because `wpc` is exact and the kept constraint conjuncts are
+//! domain-independent (see [`vpdt_core::safe::compile_guard`]); guards that
+//! cannot establish that property fall back to whole-store footprints and
+//! hence serial validation.
+
+pub mod audit;
+pub mod exec;
+pub mod guard;
+pub mod history;
+pub mod snapshot;
+pub mod workload;
+
+pub use audit::{audit, AuditReport};
+pub use exec::{run_jobs, run_serial_rollback, ExecReport, Job, Submitter, TxStatus};
+pub use guard::GuardCache;
+pub use history::{Event, History};
+pub use snapshot::{CommitOutcome, CommitRequest, Snapshot, VersionedStore};
+
+use vpdt_core::safe::GuardError;
+use vpdt_tx::traits::TxError;
+
+/// Errors surfaced by the store pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Guard compilation failed (program does not admit prerelations, or
+    /// the constraint uses counting constructs).
+    Guard(String),
+    /// A transaction failed while executing (not a deliberate abort).
+    Tx(String),
+    /// A formula failed to evaluate.
+    Eval(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Guard(m) => write!(f, "guard compilation: {m}"),
+            StoreError::Tx(m) => write!(f, "transaction: {m}"),
+            StoreError::Eval(m) => write!(f, "evaluation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<GuardError> for StoreError {
+    fn from(e: GuardError) -> Self {
+        StoreError::Guard(e.to_string())
+    }
+}
+
+impl From<TxError> for StoreError {
+    fn from(e: TxError) -> Self {
+        StoreError::Tx(e.to_string())
+    }
+}
+
+impl From<vpdt_eval::EvalError> for StoreError {
+    fn from(e: vpdt_eval::EvalError) -> Self {
+        StoreError::Eval(e.0)
+    }
+}

@@ -1,0 +1,275 @@
+//! The versioned store: copy-on-write snapshots with relation-granular
+//! optimistic commit validation.
+//!
+//! The store keeps one immutable [`Database`] per version behind an `Arc`;
+//! readers clone the `Arc` and never block writers. A commit declares the
+//! relations it read and wrote; validation compares those relations'
+//! last-writer versions against the snapshot the transaction ran on. Two
+//! consequences:
+//!
+//! * transactions whose footprints are disjoint commit concurrently even
+//!   when they interleave — the committed relations are merged tuple-wise
+//!   into the current state (the per-relation sharding of the issue);
+//! * transactions that raced on a common relation are rejected with
+//!   [`CommitOutcome::Conflict`] and re-validate on a fresh snapshot.
+//!
+//! Commit events are appended to the store's [`History`] inside the commit
+//! critical section, so log order = serialization order.
+
+use crate::history::{state_hash, Event, History};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, RwLock};
+use vpdt_logic::Schema;
+use vpdt_structure::Database;
+use vpdt_tx::traits::normalize_domain;
+
+/// An immutable view of the store at one version.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// The version number (0 is the ingested initial state).
+    pub version: u64,
+    /// The database at that version.
+    pub db: Arc<Database>,
+}
+
+/// A commit offer: the transaction's footprint plus the state it computed.
+#[derive(Clone, Debug)]
+pub struct CommitRequest {
+    /// Transaction id (for the history log).
+    pub tx: u64,
+    /// The snapshot version the guard and the application ran against.
+    pub based_on: u64,
+    /// Relations whose old contents the guard or the program consulted.
+    pub reads: BTreeSet<String>,
+    /// Relations the program wrote.
+    pub writes: BTreeSet<String>,
+    /// The computed post-state (its `writes` relations are authoritative).
+    pub new_db: Database,
+}
+
+/// The store's answer to a commit offer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// Validation passed; the store now holds the new state at `version`.
+    Committed {
+        /// The version assigned to the commit.
+        version: u64,
+    },
+    /// Some footprint relation changed after `based_on`; re-validate
+    /// against the current version.
+    Conflict {
+        /// The store version at rejection time.
+        version: u64,
+    },
+}
+
+struct State {
+    version: u64,
+    db: Arc<Database>,
+    /// Last version that wrote each relation.
+    rel_versions: BTreeMap<String, u64>,
+}
+
+/// A thread-safe, versioned, in-memory store.
+pub struct VersionedStore {
+    schema: Schema,
+    state: RwLock<State>,
+    history: History,
+}
+
+impl VersionedStore {
+    /// Ingests an initial state as version 0.
+    pub fn new(initial: Database) -> Self {
+        let schema = initial.schema().clone();
+        let rel_versions = schema
+            .iter()
+            .map(|(name, _)| (name.to_string(), 0))
+            .collect();
+        VersionedStore {
+            schema,
+            state: RwLock::new(State {
+                version: 0,
+                db: Arc::new(initial),
+                rel_versions,
+            }),
+            history: History::new(),
+        }
+    }
+
+    /// The store's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The shared history log.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// The current version and state (cheap: clones an `Arc`).
+    pub fn snapshot(&self) -> Snapshot {
+        let s = self.state.read().expect("store lock poisoned");
+        Snapshot {
+            version: s.version,
+            db: Arc::clone(&s.db),
+        }
+    }
+
+    /// The current version.
+    pub fn version(&self) -> u64 {
+        self.state.read().expect("store lock poisoned").version
+    }
+
+    /// Offers a commit. Validation: every relation in the request's
+    /// read-and-write footprint must be unwritten since `based_on`. On
+    /// success the written relations are merged into the current state
+    /// (other relations keep their latest contents) and a commit event is
+    /// logged; on conflict nothing changes.
+    pub fn try_commit(&self, req: CommitRequest) -> CommitOutcome {
+        let mut s = self.state.write().expect("store lock poisoned");
+        let stale = req
+            .reads
+            .iter()
+            .chain(req.writes.iter())
+            .any(|rel| s.rel_versions.get(rel).copied().unwrap_or(0) > req.based_on);
+        if stale {
+            return CommitOutcome::Conflict { version: s.version };
+        }
+
+        let merged = if s.version == req.based_on {
+            // Fast path: nothing moved at all; the computed state is the
+            // next state verbatim.
+            req.new_db
+        } else {
+            // Disjoint interleaving: keep the current contents of
+            // unwritten relations, take the written ones from the
+            // transaction's output.
+            let mut out = Database::empty(self.schema.clone());
+            for (rel, _) in self.schema.iter() {
+                let source = if req.writes.contains(rel) {
+                    &req.new_db
+                } else {
+                    &*s.db
+                };
+                for t in source.rel(rel).iter() {
+                    out.insert(rel, t.clone());
+                }
+            }
+            normalize_domain(out)
+        };
+
+        s.version += 1;
+        let version = s.version;
+        for rel in &req.writes {
+            s.rel_versions.insert(rel.clone(), version);
+        }
+        let hash = state_hash(&merged);
+        s.db = Arc::new(merged);
+        self.history.record(Event::Commit {
+            tx: req.tx,
+            based_on: req.based_on,
+            version,
+            writes: req.writes.iter().cloned().collect(),
+            state_hash: hash,
+        });
+        CommitOutcome::Committed { version }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpdt_logic::Elem;
+
+    fn store2() -> VersionedStore {
+        let schema = Schema::new([("R0", 2), ("R1", 2)]);
+        VersionedStore::new(Database::empty(schema))
+    }
+
+    fn with_edge(schema: &Schema, rel: &str, a: u64, b: u64) -> Database {
+        let mut db = Database::empty(schema.clone());
+        db.insert(rel, vec![Elem(a), Elem(b)]);
+        db
+    }
+
+    #[test]
+    fn disjoint_footprints_merge() {
+        let store = store2();
+        let schema = store.schema().clone();
+        // both transactions ran against version 0
+        let a = CommitRequest {
+            tx: 1,
+            based_on: 0,
+            reads: BTreeSet::from(["R0".to_string()]),
+            writes: BTreeSet::from(["R0".to_string()]),
+            new_db: with_edge(&schema, "R0", 1, 2),
+        };
+        let b = CommitRequest {
+            tx: 2,
+            based_on: 0,
+            reads: BTreeSet::from(["R1".to_string()]),
+            writes: BTreeSet::from(["R1".to_string()]),
+            new_db: with_edge(&schema, "R1", 7, 8),
+        };
+        assert_eq!(store.try_commit(a), CommitOutcome::Committed { version: 1 });
+        // b is stale (based_on 0 < version 1) but its footprint is untouched
+        assert_eq!(store.try_commit(b), CommitOutcome::Committed { version: 2 });
+        let snap = store.snapshot();
+        assert!(snap.db.contains("R0", &[Elem(1), Elem(2)]));
+        assert!(snap.db.contains("R1", &[Elem(7), Elem(8)]));
+    }
+
+    #[test]
+    fn overlapping_footprints_conflict() {
+        let store = store2();
+        let schema = store.schema().clone();
+        let mk = |tx, new_db| CommitRequest {
+            tx,
+            based_on: 0,
+            reads: BTreeSet::from(["R0".to_string()]),
+            writes: BTreeSet::from(["R0".to_string()]),
+            new_db,
+        };
+        assert_eq!(
+            store.try_commit(mk(1, with_edge(&schema, "R0", 1, 2))),
+            CommitOutcome::Committed { version: 1 }
+        );
+        assert_eq!(
+            store.try_commit(mk(2, with_edge(&schema, "R0", 3, 4))),
+            CommitOutcome::Conflict { version: 1 }
+        );
+        // nothing changed on conflict
+        assert_eq!(store.version(), 1);
+        assert!(store.snapshot().db.contains("R0", &[Elem(1), Elem(2)]));
+    }
+
+    #[test]
+    fn commit_events_are_gapless_and_ordered() {
+        let store = store2();
+        let schema = store.schema().clone();
+        for i in 0..4u64 {
+            let v = store.version();
+            let req = CommitRequest {
+                tx: i,
+                based_on: v,
+                reads: BTreeSet::from(["R0".to_string()]),
+                writes: BTreeSet::from(["R0".to_string()]),
+                new_db: with_edge(&schema, "R0", i, i + 1),
+            };
+            assert!(matches!(
+                store.try_commit(req),
+                CommitOutcome::Committed { .. }
+            ));
+        }
+        let versions: Vec<u64> = store
+            .history()
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::Commit { version, .. } => Some(*version),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(versions, vec![1, 2, 3, 4]);
+    }
+}

@@ -14,7 +14,10 @@ pub struct Relation {
 impl Relation {
     /// An empty relation of the given arity.
     pub fn empty(arity: usize) -> Self {
-        Relation { arity, tuples: BTreeSet::new() }
+        Relation {
+            arity,
+            tuples: BTreeSet::new(),
+        }
     }
 
     /// The relation's arity.
@@ -107,8 +110,16 @@ pub struct Database {
 impl Database {
     /// An empty database (empty domain, all relations empty).
     pub fn empty(schema: Schema) -> Self {
-        let rels = schema.rels().iter().map(|r| Relation::empty(r.arity)).collect();
-        Database { schema, domain: BTreeSet::new(), rels }
+        let rels = schema
+            .rels()
+            .iter()
+            .map(|r| Relation::empty(r.arity))
+            .collect();
+        Database {
+            schema,
+            domain: BTreeSet::new(),
+            rels,
+        }
     }
 
     /// A graph (schema `{E/2}`) with the given edges; the domain is the set

@@ -81,7 +81,10 @@ pub struct NonIsoGraphEnumerator {
 impl NonIsoGraphEnumerator {
     /// Starts at the empty graph.
     pub fn new() -> Self {
-        NonIsoGraphEnumerator { inner: GraphEnumerator::new(), seen: HashSet::new() }
+        NonIsoGraphEnumerator {
+            inner: GraphEnumerator::new(),
+            seen: HashSet::new(),
+        }
     }
 }
 

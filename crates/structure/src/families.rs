@@ -161,10 +161,7 @@ pub fn random_graph(n: usize, p: f64, rng: &mut impl Rng) -> Database {
 pub fn union(a: &Database, b: &Database) -> Database {
     let mut out = a.clone();
     for e in b.domain() {
-        assert!(
-            !a.domain().contains(e),
-            "union requires disjoint node sets"
-        );
+        assert!(!a.domain().contains(e), "union requires disjoint node sets");
         out.add_domain_elem(*e);
     }
     for t in b.rel("E").iter() {
@@ -217,8 +214,7 @@ mod tests {
         let n = 6;
         let lo = linear_order(n);
         let tc = Graph::of_edges(&chain(n)).transitive_closure();
-        let lo_edges: std::collections::BTreeSet<(Elem, Elem)> =
-            lo.edges().into_iter().collect();
+        let lo_edges: std::collections::BTreeSet<(Elem, Elem)> = lo.edges().into_iter().collect();
         assert_eq!(lo_edges, tc);
     }
 

@@ -40,8 +40,7 @@ impl Graph {
         let r = db.rel(rel);
         assert_eq!(r.arity(), 2, "{rel} must be binary");
         let nodes: Vec<Elem> = db.domain().iter().copied().collect();
-        let index: BTreeMap<Elem, usize> =
-            nodes.iter().enumerate().map(|(i, e)| (*e, i)).collect();
+        let index: BTreeMap<Elem, usize> = nodes.iter().enumerate().map(|(i, e)| (*e, i)).collect();
         let mut out = vec![Vec::new(); nodes.len()];
         let mut inn = vec![Vec::new(); nodes.len()];
         for t in r.iter() {
@@ -53,7 +52,12 @@ impl Graph {
         for v in out.iter_mut().chain(inn.iter_mut()) {
             v.sort_unstable();
         }
-        Graph { nodes, index, out, inn }
+        Graph {
+            nodes,
+            index,
+            out,
+            inn,
+        }
     }
 
     /// Builds the view of the relation `E`.
@@ -113,7 +117,11 @@ impl Graph {
 
     /// Undirected neighbors (union of in- and out-neighbors, deduplicated).
     pub fn undirected_neighbors(&self, i: usize) -> Vec<usize> {
-        let mut v: Vec<usize> = self.out[i].iter().chain(self.inn[i].iter()).copied().collect();
+        let mut v: Vec<usize> = self.out[i]
+            .iter()
+            .chain(self.inn[i].iter())
+            .copied()
+            .collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -375,7 +383,9 @@ impl Graph {
         if self.is_empty() {
             return false;
         }
-        let roots: Vec<usize> = (0..self.len()).filter(|&i| self.in_degree(i) == 0).collect();
+        let roots: Vec<usize> = (0..self.len())
+            .filter(|&i| self.in_degree(i) == 0)
+            .collect();
         if roots.len() != 1 {
             return false;
         }

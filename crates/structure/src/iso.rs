@@ -38,19 +38,19 @@ impl ColoredDigraph {
             assert!(a < n && b < n, "edge endpoint out of range");
             adj[a * n + b] = true;
         }
-        ColoredDigraph { n, adj, colors: vec![0; n] }
+        ColoredDigraph {
+            n,
+            adj,
+            colors: vec![0; n],
+        }
     }
 
     /// Builds from a graph database (relation `E`), nodes indexed in sorted
     /// element order. Returns the digraph and the element order used.
     pub fn from_database(db: &Database) -> (Self, Vec<Elem>) {
         let nodes: Vec<Elem> = db.domain().iter().copied().collect();
-        let index: BTreeMap<Elem, usize> =
-            nodes.iter().enumerate().map(|(i, e)| (*e, i)).collect();
-        let edges = db
-            .edges()
-            .into_iter()
-            .map(|(a, b)| (index[&a], index[&b]));
+        let index: BTreeMap<Elem, usize> = nodes.iter().enumerate().map(|(i, e)| (*e, i)).collect();
+        let edges = db.edges().into_iter().map(|(a, b)| (index[&a], index[&b]));
         (ColoredDigraph::new(nodes.len(), edges), nodes)
     }
 
@@ -260,10 +260,12 @@ mod tests {
         // are not... as *di*graphs:
         let v = Database::graph([(0, 1), (0, 2)]);
         let lambda = Database::graph([(1, 0), (2, 0)]);
-        assert!(!graphs_isomorphic(&v, &lambda) || {
-            // they ARE isomorphic iff direction is ignored; as digraphs no
-            false
-        });
+        assert!(
+            !graphs_isomorphic(&v, &lambda) || {
+                // they ARE isomorphic iff direction is ignored; as digraphs no
+                false
+            }
+        );
     }
 
     #[test]
@@ -278,8 +280,14 @@ mod tests {
 
     #[test]
     fn gnm_asymmetry() {
-        assert!(graphs_isomorphic(&families::gnm(3, 4), &families::gnm(4, 3)));
-        assert!(!graphs_isomorphic(&families::gnm(3, 4), &families::gnm(3, 5)));
+        assert!(graphs_isomorphic(
+            &families::gnm(3, 4),
+            &families::gnm(4, 3)
+        ));
+        assert!(!graphs_isomorphic(
+            &families::gnm(3, 4),
+            &families::gnm(3, 5)
+        ));
     }
 
     #[test]

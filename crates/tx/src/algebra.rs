@@ -222,10 +222,9 @@ impl RaExpr {
             RaExpr::Rel(name) => {
                 Formula::rel(name.clone(), vars.iter().map(|v| Term::Var(v.clone())))
             }
-            RaExpr::Select(e, p) => Formula::and([
-                e.to_formula_inner(schema, vars, fresh),
-                p.to_formula(vars),
-            ]),
+            RaExpr::Select(e, p) => {
+                Formula::and([e.to_formula_inner(schema, vars, fresh), p.to_formula(vars)])
+            }
             RaExpr::Project(e, cols) => {
                 let inner_arity = e
                     .arity(schema)
@@ -270,7 +269,10 @@ struct FreshVars {
 
 impl FreshVars {
     fn avoiding(vars: &[Var]) -> Self {
-        FreshVars { counter: 0, avoid: vars.iter().cloned().collect() }
+        FreshVars {
+            counter: 0,
+            avoid: vars.iter().cloned().collect(),
+        }
     }
 
     fn next(&mut self) -> Var {
@@ -323,9 +325,10 @@ impl Transaction for RaTransaction {
         let mut results = Vec::with_capacity(self.assignments.len());
         for (rel, expr) in &self.assignments {
             let arity = expr.arity(db.schema())?;
-            let expected = db.schema().arity_of(rel).ok_or_else(|| {
-                TxError::SchemaMismatch(format!("unknown target relation {rel}"))
-            })?;
+            let expected = db
+                .schema()
+                .arity_of(rel)
+                .ok_or_else(|| TxError::SchemaMismatch(format!("unknown target relation {rel}")))?;
             if arity != expected {
                 return Err(TxError::SchemaMismatch(format!(
                     "assigning arity-{arity} expression to {rel}/{expected}"
@@ -453,17 +456,12 @@ mod tests {
             for _ in 0..3 {
                 let db = families::random_graph(4, 0.4, &mut rng);
                 let vars = [Var::new("a"), Var::new("b")];
-                let f = expr
-                    .to_formula(db.schema(), &vars)
-                    .expect("compiles");
+                let f = expr.to_formula(db.schema(), &vars).expect("compiles");
                 let tuples = expr.eval(&db).expect("evaluates");
                 let dom: Vec<Elem> = db.domain().iter().copied().collect();
                 for &x in &dom {
                     for &y in &dom {
-                        let mut env = Env::of([
-                            (Var::new("a"), x),
-                            (Var::new("b"), y),
-                        ]);
+                        let mut env = Env::of([(Var::new("a"), x), (Var::new("b"), y)]);
                         let by_formula =
                             eval(&db, &Omega::empty(), &f, &mut env).expect("evaluates");
                         let by_algebra = tuples.contains(&vec![x, y]);

@@ -56,7 +56,10 @@ pub struct Atom {
 impl Atom {
     /// Builds an atom.
     pub fn new(rel: impl Into<String>, args: impl IntoIterator<Item = DlTerm>) -> Self {
-        Atom { rel: rel.into(), args: args.into_iter().collect() }
+        Atom {
+            rel: rel.into(),
+            args: args.into_iter().collect(),
+        }
     }
 }
 
@@ -85,7 +88,10 @@ pub struct Rule {
 impl Rule {
     /// Builds a rule.
     pub fn new(head: Atom, body: impl IntoIterator<Item = Literal>) -> Self {
-        Rule { head, body: body.into_iter().collect() }
+        Rule {
+            head,
+            body: body.into_iter().collect(),
+        }
     }
 }
 
@@ -197,8 +203,7 @@ impl DatalogProgram {
                     // Iterate: each derivation must use ≥1 delta atom of
                     // this stratum.
                     while delta.values().any(|d| !d.is_empty()) {
-                        let mut next_delta: BTreeMap<String, BTreeSet<Vec<Elem>>> =
-                            BTreeMap::new();
+                        let mut next_delta: BTreeMap<String, BTreeSet<Vec<Elem>>> = BTreeMap::new();
                         for &ri in stratum {
                             let rule = &self.rules[ri];
                             for (li, lit) in rule.body.iter().enumerate() {
@@ -206,10 +211,8 @@ impl DatalogProgram {
                                 if !stratum_preds.contains(a.rel.as_str()) {
                                     continue;
                                 }
-                                let derived =
-                                    eval_rule(rule, &facts, Some((li, &delta)))?;
-                                let store =
-                                    facts.get_mut(&rule.head.rel).expect("idb initialized");
+                                let derived = eval_rule(rule, &facts, Some((li, &delta)))?;
+                                let store = facts.get_mut(&rule.head.rel).expect("idb initialized");
                                 let d = next_delta.entry(rule.head.rel.clone()).or_default();
                                 for t in derived {
                                     if store.insert(t.clone()) {
@@ -396,7 +399,9 @@ fn plan(rule: &Rule) -> Result<Vec<usize>, TxError> {
             }),
         });
         let Some(pos) = ready else {
-            return Err(TxError::Eval("no evaluable literal order (unsafe rule)".into()));
+            return Err(TxError::Eval(
+                "no evaluable literal order (unsafe rule)".into(),
+            ));
         };
         let li = remaining.remove(pos);
         match &rule.body[li] {
@@ -781,12 +786,7 @@ mod tests {
 
     #[test]
     fn datalog_transaction_replaces_relation() {
-        let tx = DatalogTransaction::new(
-            "tc",
-            tc_program(),
-            [("tc", "E")],
-            Strategy::SemiNaive,
-        );
+        let tx = DatalogTransaction::new("tc", tc_program(), [("tc", "E")], Strategy::SemiNaive);
         let out = tx.apply(&families::chain(4)).expect("applies");
         assert_eq!(out, families::linear_order(4));
     }

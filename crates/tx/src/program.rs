@@ -80,13 +80,19 @@ impl Program {
     /// Deletion of one constant tuple.
     pub fn delete_consts(rel: impl Into<String>, tuple: impl IntoIterator<Item = u64>) -> Self {
         let tuple: Vec<u64> = tuple.into_iter().collect();
-        let vars: Vec<Var> = (0..tuple.len()).map(|i| Var::new(format!("d{i}"))).collect();
+        let vars: Vec<Var> = (0..tuple.len())
+            .map(|i| Var::new(format!("d{i}")))
+            .collect();
         let cond = Formula::and(
             vars.iter()
                 .zip(tuple.iter())
                 .map(|(v, c)| Formula::eq(Term::Var(v.clone()), Term::cst(*c))),
         );
-        Program::DeleteWhere { rel: rel.into(), vars, cond }
+        Program::DeleteWhere {
+            rel: rel.into(),
+            vars,
+            cond,
+        }
     }
 
     /// Applies the program to a database state (domain evolves with inserts
@@ -113,8 +119,7 @@ impl Program {
             Program::DeleteWhere { rel, vars, cond } => {
                 check_cond(vars, cond)?;
                 let mut out = db.clone();
-                let tuples: Vec<Vec<vpdt_logic::Elem>> =
-                    db.rel(rel).iter().cloned().collect();
+                let tuples: Vec<Vec<vpdt_logic::Elem>> = db.rel(rel).iter().cloned().collect();
                 for t in tuples {
                     let mut env = Env::new();
                     for (v, e) in vars.iter().zip(t.iter()) {
@@ -165,11 +170,13 @@ impl Program {
                 }
                 Ok(cur)
             }
-            Program::If { cond, then_p, else_p } => {
+            Program::If {
+                cond,
+                then_p,
+                else_p,
+            } => {
                 if !cond.is_sentence() {
-                    return Err(TxError::Eval(
-                        "if-guard must be a sentence".to_string(),
-                    ));
+                    return Err(TxError::Eval("if-guard must be a sentence".to_string()));
                 }
                 if holds(db, omega, cond)? {
                     then_p.run(db, omega)
@@ -204,6 +211,89 @@ impl Program {
             Program::If { then_p, else_p, .. } => {
                 then_p.collect_touched(out);
                 else_p.collect_touched(out);
+            }
+        }
+    }
+
+    /// All relations whose *old* contents the program's semantics consults:
+    /// relations mentioned by conditions, plus the target relations of
+    /// updates that rewrite existing tuples. A sound superset — `Seq` is
+    /// approximated by the union over its steps.
+    pub fn read_relations(&self) -> std::collections::BTreeSet<String> {
+        let mut out = std::collections::BTreeSet::new();
+        self.collect_reads(&mut out);
+        out
+    }
+
+    fn collect_reads(&self, out: &mut std::collections::BTreeSet<String>) {
+        match self {
+            Program::Skip | Program::Insert { .. } => {}
+            Program::DeleteWhere { rel, cond, .. } | Program::InsertWhere { rel, cond, .. } => {
+                out.insert(rel.clone());
+                out.extend(cond.relations_used());
+            }
+            Program::Assign { body, .. } => {
+                out.extend(body.relations_used());
+            }
+            Program::Seq(ps) => {
+                for p in ps {
+                    p.collect_reads(out);
+                }
+            }
+            Program::If {
+                cond,
+                then_p,
+                else_p,
+            } => {
+                out.extend(cond.relations_used());
+                then_p.collect_reads(out);
+                else_p.collect_reads(out);
+            }
+        }
+    }
+
+    /// Every condition formula the program evaluates, in syntactic order
+    /// (deletion/insertion conditions, assignment bodies, `if` guards).
+    pub fn condition_formulas(&self) -> Vec<&Formula> {
+        let mut out = Vec::new();
+        self.collect_conditions(&mut out);
+        out
+    }
+
+    fn collect_conditions<'a>(&'a self, out: &mut Vec<&'a Formula>) {
+        match self {
+            Program::Skip | Program::Insert { .. } => {}
+            Program::DeleteWhere { cond, .. } | Program::InsertWhere { cond, .. } => {
+                out.push(cond);
+            }
+            Program::Assign { body, .. } => out.push(body),
+            Program::Seq(ps) => {
+                for p in ps {
+                    p.collect_conditions(out);
+                }
+            }
+            Program::If {
+                cond,
+                then_p,
+                else_p,
+            } => {
+                out.push(cond);
+                then_p.collect_conditions(out);
+                else_p.collect_conditions(out);
+            }
+        }
+    }
+
+    /// Whether some step enumerates candidate tuples over the whole domain
+    /// (`InsertWhere` and `Assign` range over `dom(D)^n`, so their output
+    /// depends on the domain, not only on relation contents).
+    pub fn enumerates_domain(&self) -> bool {
+        match self {
+            Program::Skip | Program::Insert { .. } | Program::DeleteWhere { .. } => false,
+            Program::InsertWhere { .. } | Program::Assign { .. } => true,
+            Program::Seq(ps) => ps.iter().any(Program::enumerates_domain),
+            Program::If { then_p, else_p, .. } => {
+                then_p.enumerates_domain() || else_p.enumerates_domain()
             }
         }
     }
@@ -248,7 +338,11 @@ pub struct ProgramTransaction {
 impl ProgramTransaction {
     /// Wraps a program with an interpretation of its Ω symbols.
     pub fn new(label: impl Into<String>, program: Program, omega: Omega) -> Self {
-        ProgramTransaction { label: label.into(), program, omega }
+        ProgramTransaction {
+            label: label.into(),
+            program,
+            omega,
+        }
     }
 
     /// The underlying program.
@@ -342,7 +436,10 @@ mod tests {
             Program::delete_consts("E", [0, 1]),
         ]);
         let out = pt(p).apply(&db).expect("applies");
-        assert_eq!(out.edges(), vec![(vpdt_logic::Elem(1), vpdt_logic::Elem(2))]);
+        assert_eq!(
+            out.edges(),
+            vec![(vpdt_logic::Elem(1), vpdt_logic::Elem(2))]
+        );
     }
 
     #[test]
@@ -359,6 +456,43 @@ mod tests {
         let without = Database::graph([(0, 1)]);
         let added = pt(p).apply(&without).expect("applies");
         assert!(added.contains("E", &[vpdt_logic::Elem(0), vpdt_logic::Elem(0)]));
+    }
+
+    #[test]
+    fn footprints_cover_reads_and_writes() {
+        let p = Program::seq([
+            Program::insert_consts("E", [1, 2]),
+            Program::If {
+                cond: parse_formula("exists x. A(x)").expect("parses"),
+                then_p: Box::new(Program::DeleteWhere {
+                    rel: "E".into(),
+                    vars: vec![Var::new("x"), Var::new("y")],
+                    cond: parse_formula("B(x)").expect("parses"),
+                }),
+                else_p: Box::new(Program::Skip),
+            },
+        ]);
+        let writes: Vec<_> = p.touched_relations().into_iter().collect();
+        assert_eq!(writes, ["E"]);
+        let reads: Vec<_> = p.read_relations().into_iter().collect();
+        assert_eq!(reads, ["A", "B", "E"]);
+        assert_eq!(p.condition_formulas().len(), 2);
+        assert!(!p.enumerates_domain());
+        assert!(Program::Assign {
+            rel: "E".into(),
+            vars: vec![Var::new("x"), Var::new("y")],
+            body: Formula::True,
+        }
+        .enumerates_domain());
+    }
+
+    /// Programs and compiled transactions cross worker threads in
+    /// `vpdt-store`; these bounds are load-bearing, not incidental.
+    #[test]
+    fn programs_are_send_sync_clone() {
+        fn assert_bounds<T: Send + Sync + Clone + 'static>() {}
+        assert_bounds::<Program>();
+        assert_bounds::<ProgramTransaction>();
     }
 
     #[test]

@@ -67,8 +67,7 @@ impl WhileProgram {
             match s {
                 Stmt::Assign(var, expr) => {
                     let tuples = expr.eval(state)?;
-                    let old: Vec<Vec<vpdt_logic::Elem>> =
-                        state.rel(var).iter().cloned().collect();
+                    let old: Vec<Vec<vpdt_logic::Elem>> = state.rel(var).iter().cloned().collect();
                     for t in old {
                         state.remove(var, &t);
                     }
@@ -155,14 +154,12 @@ mod tests {
 
     #[test]
     fn tc_while_matches_graph_tc() {
-        for db in [
-            families::chain(5),
-            families::cycle(4),
-            families::gnm(2, 3),
-        ] {
+        for db in [families::chain(5), families::cycle(4), families::gnm(2, 3)] {
             let out = tc_while().apply(&db).expect("applies");
-            let expect: std::collections::BTreeSet<_> =
-                Graph::of_edges(&db).transitive_closure().into_iter().collect();
+            let expect: std::collections::BTreeSet<_> = Graph::of_edges(&db)
+                .transitive_closure()
+                .into_iter()
+                .collect();
             let got: std::collections::BTreeSet<_> = out.edges().into_iter().collect();
             assert_eq!(got, expect);
         }

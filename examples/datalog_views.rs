@@ -31,7 +31,9 @@ fn main() {
     }
 
     // Same generation: siblings and cousins.
-    let gens = sg_program().run(&family, Strategy::SemiNaive).expect("runs");
+    let gens = sg_program()
+        .run(&family, Strategy::SemiNaive)
+        .expect("runs");
     let mut cousins: Vec<String> = gens["sg"]
         .iter()
         .filter(|t| t[0] < t[1])
@@ -53,7 +55,9 @@ fn main() {
     );
 
     // Cross-check against the native graph algorithm.
-    let native = vpdt::tx::recursive::TcTransaction.apply(&family).expect("applies");
+    let native = vpdt::tx::recursive::TcTransaction
+        .apply(&family)
+        .expect("applies");
     assert_eq!(closed, native);
     println!("datalog and native tc agree ✓");
 

@@ -48,8 +48,7 @@ fn main() {
     for step in 0..100 {
         let (a, b) = (rng.gen_range(0..staff), rng.gen_range(0..staff));
         let update = Program::insert_consts("E", [a, b]);
-        let pre = compile_program("assign-manager", &update, &schema, &omega)
-            .expect("compiles");
+        let pre = compile_program("assign-manager", &update, &schema, &omega).expect("compiles");
 
         let full = Guarded::new(
             pre.clone(),
@@ -91,12 +90,17 @@ fn main() {
 
     assert_eq!(states[0], states[1]);
     assert_eq!(states[1], states[2]);
-    println!("\n100 updates: {commits} committed, {aborts} rejected (identically by all strategies)");
+    println!(
+        "\n100 updates: {commits} committed, {aborts} rejected (identically by all strategies)"
+    );
     println!("final state consistent: {}", {
         vpdt::eval::holds(&states[0], &omega, &alpha).expect("evaluates")
     });
     println!("\ncumulative apply() time:");
     println!("  full-wpc guard     {:>8} µs", times[0]);
-    println!("  Δ guard            {:>8} µs   <- Section 6's simplification", times[1]);
+    println!(
+        "  Δ guard            {:>8} µs   <- Section 6's simplification",
+        times[1]
+    );
     println!("  runtime + rollback {:>8} µs", times[2]);
 }

@@ -27,11 +27,7 @@ fn main() {
     println!("\n2. Hanf censuses of G_(n,n) vs G_(n-1,n+1)");
     for r in 1..=3usize {
         let n = 2 * r + 2;
-        let equal = hanf::census_equivalent(
-            &families::gnm(n, n),
-            &families::gnm(n - 1, n + 1),
-            r,
-        );
+        let equal = hanf::census_equivalent(&families::gnm(n, n), &families::gnm(n - 1, n + 1), r);
         println!("   r = {r}, n = {n}: equal r-type census: {equal}");
     }
 
@@ -49,7 +45,11 @@ fn main() {
             &families::linear_order(th),
             k,
         );
-        println!("   k = {k}: L_{th} ≡ L_{} : {same};  L_{} ≡ L_{th} : {diff}", th + 2, th - 1);
+        println!(
+            "   k = {k}: L_{th} ≡ L_{} : {same};  L_{} ≡ L_{th} : {diff}",
+            th + 2,
+            th - 1
+        );
     }
 
     // 4. One full Ajtai–Fagin round for monadic Σ¹₁.
@@ -61,7 +61,10 @@ fn main() {
         "   G_(n,n) with n = {}; collapsed nodes {} and {} -> G' in Tree − G",
         t.n, t.collapsed.0, t.collapsed.1
     );
-    println!("   Hanf (d,m)-equivalence of the colored graphs: {}", t.hanf_ok);
+    println!(
+        "   Hanf (d,m)-equivalence of the colored graphs: {}",
+        t.hanf_ok
+    );
     let a = colored_database(&t.g1, &t.colors1, 2);
     let b = colored_database(&t.g2, &t.colors2, 2);
     println!(

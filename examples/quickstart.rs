@@ -25,8 +25,8 @@ fn main() {
     //    every node has at most one successor.
     let schema = Schema::graph();
     let omega = Omega::empty();
-    let alpha = parse_formula("forall x y z. E(x, y) & E(x, z) -> y = z")
-        .expect("constraint parses");
+    let alpha =
+        parse_formula("forall x y z. E(x, y) & E(x, z) -> y = z").expect("constraint parses");
 
     // 2. The transaction: link 1 → 4, then unlink 0 → 1.
     let program = Program::seq([
@@ -52,7 +52,11 @@ fn main() {
 
     // 4. The weakest precondition (Theorem 8): D ⊨ wpc ⟺ T(D) ⊨ α.
     let wpc = wpc_sentence(&pre, &alpha).expect("translates");
-    println!("\nwpc(T, α) has {} AST nodes, rank {}", wpc.size(), wpc.quantifier_rank());
+    println!(
+        "\nwpc(T, α) has {} AST nodes, rank {}",
+        wpc.size(),
+        wpc.quantifier_rank()
+    );
 
     // 5. The safe transaction.
     let safe = Guarded::new(pre, wpc, omega.clone());

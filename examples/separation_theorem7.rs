@@ -31,7 +31,11 @@ fn main() {
     let alpha = parse_formula("forall x. exists y. E(x, y)").expect("parses");
     let wpc = wpc_theorem7(&alpha);
     println!("\nα  = {alpha}");
-    println!("wpc has rank {} and {} nodes", wpc.quantifier_rank(), wpc.size());
+    println!(
+        "wpc has rank {} and {} nodes",
+        wpc.quantifier_rank(),
+        wpc.size()
+    );
     for (name, db) in &samples {
         let before = holds_pure(db, &wpc).expect("evaluates");
         let after = holds_pure(&t.apply(db).expect("applies"), &alpha).expect("evaluates");
@@ -44,7 +48,11 @@ fn main() {
     for k in 1..=4usize {
         let a = library::at_least_nodes(k);
         let w = wpc_theorem7(&a);
-        println!("  qr(α) = {k}  qr(wpc) = {:2}   2^k = {:2}", w.quantifier_rank(), 1 << k);
+        println!(
+            "  qr(α) = {k}  qr(wpc) = {:2}   2^k = {:2}",
+            w.quantifier_rank(),
+            1 << k
+        );
     }
 
     // Why no FO prerelation exists: the bounded degree property.
@@ -58,5 +66,7 @@ fn main() {
             locality::degree_count(&img)
         );
     }
-    println!("An FO-definable map keeps dc bounded; T does not. Hence wpc ∈ FO but prerelations ∉ FO.");
+    println!(
+        "An FO-definable map keeps dc bounded; T does not. Hence wpc ∈ FO but prerelations ∉ FO."
+    );
 }

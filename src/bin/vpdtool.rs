@@ -6,6 +6,7 @@
 //! vpdtool wpc      --constraint 'forall x y z. E(x,y) & E(x,z) -> y = z' --insert E:1,4
 //! vpdtool guard    --db '…' --constraint '…' --insert E:1,4
 //! vpdtool preserve --constraint '…' --insert E:1,4 --budget 2000
+//! vpdtool store    --threads 4 --clients 8 --txs 200 --rels 4 --universe 6 --seed 42
 //! ```
 //!
 //! Databases use the textual encoding of `Database::encode`
@@ -70,9 +71,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--omega" => o.omega = Some(value),
             "--insert" => o.updates.push((true, value)),
             "--delete" => o.updates.push((false, value)),
-            "--budget" => {
-                o.budget = value.parse().map_err(|_| "bad --budget".to_string())?
-            }
+            "--budget" => o.budget = value.parse().map_err(|_| "bad --budget".to_string())?,
             other => return Err(format!("unknown flag {other}")),
         }
         i += 2;
@@ -89,8 +88,7 @@ fn schema_of(o: &Options) -> Result<Schema, String> {
                 let (name, arity) = part
                     .split_once(':')
                     .ok_or_else(|| format!("bad schema item {part}"))?;
-                let arity: usize =
-                    arity.parse().map_err(|_| format!("bad arity in {part}"))?;
+                let arity: usize = arity.parse().map_err(|_| format!("bad arity in {part}"))?;
                 rels.push((name.trim().to_string(), arity));
             }
             Ok(Schema::new(rels))
@@ -121,8 +119,7 @@ fn program_of(o: &Options) -> Result<Program, String> {
         let (rel, tuple) = spec
             .split_once(':')
             .ok_or_else(|| format!("bad update spec {spec} (want R:a,b)"))?;
-        let ids: Result<Vec<u64>, _> =
-            tuple.split(',').map(|x| x.trim().parse::<u64>()).collect();
+        let ids: Result<Vec<u64>, _> = tuple.split(',').map(|x| x.trim().parse::<u64>()).collect();
         let ids = ids.map_err(|_| format!("bad tuple in {spec}"))?;
         steps.push(if *is_insert {
             Program::insert_consts(rel, ids)
@@ -137,6 +134,10 @@ fn run(args: &[String]) -> Result<(), String> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err("missing command".into());
     };
+    // `store` has its own flag set; dispatch before the common parser.
+    if cmd == "store" {
+        return run_store(rest);
+    }
     let o = parse_options(rest)?;
     match cmd.as_str() {
         "help" | "--help" | "-h" => {
@@ -147,7 +148,9 @@ fn run(args: &[String]) -> Result<(), String> {
                  apply    --db ENC --insert R:a,b …             run the updates\n  \
                  wpc      --constraint F --insert R:a,b …       print wpc(T, F)\n  \
                  guard    --db ENC --constraint F --insert …    run `if wpc then T else abort`\n  \
-                 preserve --constraint F --insert … [--budget N] bounded Preserve(T, F) check\n\n\
+                 preserve --constraint F --insert … [--budget N] bounded Preserve(T, F) check\n  \
+                 store    [--threads N] [--clients N] [--txs N] [--rels N] [--universe N] [--seed N]\n           \
+                 run a concurrent guarded workload against the vpdt-store pipeline and audit it\n\n\
                  common flags: --schema 'R:2,S:1' (default E:2), --omega empty|order|arithmetic"
             );
             Ok(())
@@ -175,9 +178,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "wpc" => {
             let schema = schema_of(&o)?;
             let omega = omega_of(&o)?;
-            let alpha =
-                parse_formula(o.constraint.as_deref().ok_or("--constraint is required")?)
-                    .map_err(|e| e.to_string())?;
+            let alpha = parse_formula(o.constraint.as_deref().ok_or("--constraint is required")?)
+                .map_err(|e| e.to_string())?;
             let pre = compile_program("cli", &program_of(&o)?, &schema, &omega)
                 .map_err(|e| e.to_string())?;
             let w = wpc_sentence(&pre, &alpha).map_err(|e| e.to_string())?;
@@ -193,9 +195,8 @@ fn run(args: &[String]) -> Result<(), String> {
             let schema = schema_of(&o)?;
             let db = database_of(&o, &schema)?;
             let omega = omega_of(&o)?;
-            let alpha =
-                parse_formula(o.constraint.as_deref().ok_or("--constraint is required")?)
-                    .map_err(|e| e.to_string())?;
+            let alpha = parse_formula(o.constraint.as_deref().ok_or("--constraint is required")?)
+                .map_err(|e| e.to_string())?;
             let pre = compile_program("cli", &program_of(&o)?, &schema, &omega)
                 .map_err(|e| e.to_string())?;
             let w = wpc_sentence(&pre, &alpha).map_err(|e| e.to_string())?;
@@ -215,9 +216,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "preserve" => {
             let schema = schema_of(&o)?;
             let omega = omega_of(&o)?;
-            let alpha =
-                parse_formula(o.constraint.as_deref().ok_or("--constraint is required")?)
-                    .map_err(|e| e.to_string())?;
+            let alpha = parse_formula(o.constraint.as_deref().ok_or("--constraint is required")?)
+                .map_err(|e| e.to_string())?;
             let pre = compile_program("cli", &program_of(&o)?, &schema, &omega)
                 .map_err(|e| e.to_string())?;
             match find_preservation_counterexample(&pre, &alpha, &omega, o.budget)
@@ -237,5 +237,78 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!("unknown command {other}")),
+    }
+}
+
+/// `vpdtool store`: a self-contained demonstration of the concurrent
+/// guarded store — deterministic sharded workload, N worker threads,
+/// guard cache, history audit.
+fn run_store(args: &[String]) -> Result<(), String> {
+    let mut threads = 4usize;
+    let mut clients = 8u64;
+    let mut txs = 200usize;
+    let mut rels = 4usize;
+    let mut universe = 6u64;
+    let mut seed = 42u64;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = &args[i];
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--threads" => threads = value.parse().map_err(|_| "bad --threads")?,
+            "--clients" => clients = value.parse().map_err(|_| "bad --clients")?,
+            "--txs" => txs = value.parse().map_err(|_| "bad --txs")?,
+            "--rels" => rels = value.parse().map_err(|_| "bad --rels")?,
+            "--universe" => universe = value.parse().map_err(|_| "bad --universe")?,
+            "--seed" => seed = value.parse().map_err(|_| "bad --seed")?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    if rels == 0 || universe == 0 {
+        return Err("--rels and --universe must be positive".into());
+    }
+
+    use vpdt::store::{audit, run_jobs, workload, GuardCache, VersionedStore};
+    let alpha = workload::sharded_fd_constraint(rels);
+    let omega = Omega::empty();
+    let initial = workload::sharded_initial(seed, rels, universe, 0.5);
+    let store = VersionedStore::new(initial.clone());
+    let cache = GuardCache::new(store.schema().clone(), alpha.clone(), omega.clone());
+    let jobs = workload::sharded_jobs(seed, clients, txs, rels, universe);
+    println!(
+        "running {} transactions from {clients} clients over {rels} relations on {threads} threads",
+        jobs.len()
+    );
+    let report = run_jobs(&store, &cache, &jobs, threads);
+    let (hits, misses) = cache.stats();
+    println!(
+        "committed {} / aborted {} / failed {} at store version {} \
+         ({} conflicts retried, guard cache {hits} hits / {misses} compiles)",
+        report.committed,
+        report.aborted,
+        report.failed,
+        store.version(),
+        report.conflicts,
+    );
+    let programs = jobs
+        .iter()
+        .map(|j| (j.id, j.program.clone()))
+        .collect::<std::collections::BTreeMap<_, _>>();
+    let verdict = audit(
+        &alpha,
+        &omega,
+        &initial,
+        &store.snapshot().db,
+        &store.history().events(),
+        &programs,
+    );
+    println!("{verdict}");
+    if verdict.ok() && report.failed == 0 {
+        Ok(())
+    } else {
+        Err("store run failed verification".into())
     }
 }

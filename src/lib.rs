@@ -39,5 +39,6 @@ pub use vpdt_core as core;
 pub use vpdt_eval as eval;
 pub use vpdt_games as games;
 pub use vpdt_logic as logic;
+pub use vpdt_store as store;
 pub use vpdt_structure as structure;
 pub use vpdt_tx as tx;

@@ -25,13 +25,7 @@ fn check_evaluates_sentences() {
     ]);
     assert!(ok);
     assert_eq!(out.trim(), "true");
-    let (out, _, ok) = vpdtool(&[
-        "check",
-        "--db",
-        "dom:0,1;E:0 1",
-        "--formula",
-        "E(1, 0)",
-    ]);
+    let (out, _, ok) = vpdtool(&["check", "--db", "dom:0,1;E:0 1", "--formula", "E(1, 0)"]);
     assert!(ok);
     assert_eq!(out.trim(), "false");
 }
@@ -55,12 +49,24 @@ fn apply_runs_updates() {
 fn guard_aborts_on_violation_and_commits_otherwise() {
     let fd = "forall x y z. E(x,y) & E(x,z) -> y = z";
     let (out, _, ok) = vpdtool(&[
-        "guard", "--db", "dom:0,1;E:0 1", "--constraint", fd, "--insert", "E:0,2",
+        "guard",
+        "--db",
+        "dom:0,1;E:0 1",
+        "--constraint",
+        fd,
+        "--insert",
+        "E:0,2",
     ]);
     assert!(ok);
     assert!(out.starts_with("aborted:"), "{out}");
     let (out, _, ok) = vpdtool(&[
-        "guard", "--db", "dom:0,1;E:0 1", "--constraint", fd, "--insert", "E:1,2",
+        "guard",
+        "--db",
+        "dom:0,1;E:0 1",
+        "--constraint",
+        fd,
+        "--insert",
+        "E:1,2",
     ]);
     assert!(ok);
     assert!(out.starts_with("committed:"), "{out}");
@@ -94,6 +100,28 @@ fn wpc_prints_a_sentence() {
     assert!(!out.trim().is_empty());
     // the printed wpc parses back
     assert!(vpdt::logic::parse_formula(out.trim()).is_ok());
+}
+
+#[test]
+fn store_runs_and_audits_a_concurrent_workload() {
+    let (out, _, ok) = vpdtool(&[
+        "store",
+        "--threads",
+        "2",
+        "--clients",
+        "2",
+        "--txs",
+        "20",
+        "--rels",
+        "3",
+        "--universe",
+        "3",
+        "--seed",
+        "5",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("running 40 transactions"), "{out}");
+    assert!(out.contains("audit OK"), "{out}");
 }
 
 #[test]

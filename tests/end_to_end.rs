@@ -3,7 +3,7 @@
 
 use vpdt::core::prerelations::{compile_program, compile_ra};
 use vpdt::core::safe::Guarded;
-use vpdt::core::simplify::{delta_for_insert, deletion_preserves};
+use vpdt::core::simplify::{deletion_preserves, delta_for_insert};
 use vpdt::core::workload;
 use vpdt::core::wpc::wpc_sentence;
 use vpdt::eval::{holds, Omega};
@@ -69,7 +69,10 @@ fn delta_simplification_pipeline() {
     assert!(deletion_preserves(&no_loops, "E"));
     // inserting (2,2): Δ for no_loops is False — statically rejected
     let d = delta_for_insert(&no_loops, "E", &[Elem(2), Elem(2)]).expect("supported");
-    assert_eq!(vpdt::logic::simplify::simplify(&d), vpdt::logic::Formula::False);
+    assert_eq!(
+        vpdt::logic::simplify::simplify(&d),
+        vpdt::logic::Formula::False
+    );
     // inserting (2,3): Δ for the FD is a small residue, far below the wpc
     let d2 = delta_for_insert(&fd, "E", &[Elem(2), Elem(3)]).expect("supported");
     let pre = compile_program(
@@ -149,12 +152,9 @@ fn vpdt_bench_smoke(id: &str) {
             assert_eq!(vpdt::games::locality::degree_count(&img), 6);
         }
         "e11" => {
-            let pre = vpdt::core::prerelations::Prerelation::identity(
-                Schema::graph(),
-                Omega::empty(),
-            );
-            let beta =
-                vpdt::core::generic::prerelation_from_generic(&pre).expect("constructs");
+            let pre =
+                vpdt::core::prerelations::Prerelation::identity(Schema::graph(), Omega::empty());
+            let beta = vpdt::core::generic::prerelation_from_generic(&pre).expect("constructs");
             assert!(beta.is_pure_fo());
         }
         "e13" => {
@@ -162,9 +162,8 @@ fn vpdt_bench_smoke(id: &str) {
             let db = vpdt::structure::families::chain(4);
             let theta = parse_formula("exists x. E(x, 0) | E(0, x)").expect("parses");
             let before = vpdt::eval::holds_pure(&db, &theta).expect("evaluates");
-            let after =
-                vpdt::eval::holds_pure(&tc.apply(&db).expect("applies"), &theta)
-                    .expect("evaluates");
+            let after = vpdt::eval::holds_pure(&tc.apply(&db).expect("applies"), &theta)
+                .expect("evaluates");
             assert_eq!(before, after);
         }
         _ => unreachable!(),

@@ -55,8 +55,7 @@ fn theorem7_wpc_exhaustive_small() {
         for n in 0..=3usize {
             for db in all_graphs_on(n) {
                 let lhs = holds_pure(&db, &w).expect("evaluates");
-                let rhs = holds_pure(&t.apply(&db).expect("applies"), alpha)
-                    .expect("evaluates");
+                let rhs = holds_pure(&t.apply(&db).expect("applies"), alpha).expect("evaluates");
                 assert_eq!(lhs, rhs, "α = {alpha} on {db:?}");
             }
         }
@@ -192,8 +191,7 @@ fn genericity_of_builtin_transactions() {
     for tx in &txs {
         for db in GraphEnumerator::new().take(100) {
             assert!(
-                vpdt::tx::traits::commutes_with_permutation(tx, &db, &pi)
-                    .expect("applies"),
+                vpdt::tx::traits::commutes_with_permutation(tx, &db, &pi).expect("applies"),
                 "{} is not generic on {db:?}",
                 tx.name()
             );
@@ -222,12 +220,8 @@ fn robust_verifiability_across_extensions() {
         let w = vpdt::core::wpc::wpc_sentence(&pre, gamma).expect("translates");
         for db in GraphEnumerator::new().take(200) {
             let lhs = vpdt::eval::holds(&db, &extension, &w).expect("evaluates");
-            let rhs = vpdt::eval::holds(
-                &pre.apply(&db).expect("applies"),
-                &extension,
-                gamma,
-            )
-            .expect("evaluates");
+            let rhs = vpdt::eval::holds(&pre.apply(&db).expect("applies"), &extension, gamma)
+                .expect("evaluates");
             assert_eq!(lhs, rhs, "γ = {gamma} on {db:?}");
         }
     }

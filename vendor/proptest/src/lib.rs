@@ -1,0 +1,90 @@
+//! A minimal, dependency-free stand-in for the subset of the `proptest` API
+//! this workspace uses: the [`proptest!`] macro, integer-range / `Just` /
+//! tuple / `prop_map` / `prop_oneof!` strategies, `BoxedStrategy`, and the
+//! `prop_assert*` macros.
+//!
+//! Builds run with no registry access, so the workspace vendors this shim.
+//! Semantics differ from real proptest in one deliberate way: cases are
+//! generated from a fixed deterministic seed per case index and failures are
+//! **not** shrunk — a failing case is reproduced exactly by rerunning the
+//! test, which is all the workspace's property tests need.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Everything the property tests import.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` for `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg); $($rest)*);
+    };
+    (@expand ($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::deterministic(
+                        0x5eed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    // A closure so `return Ok(())` (proptest's early-accept
+                    // idiom) skips one case, not the whole test.
+                    let case_body = move || -> ::core::result::Result<(), ::std::string::String> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                    if let ::core::result::Result::Err(e) = case_body() {
+                        panic!("property rejected case {case}: {e}");
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// A weighted (or unweighted) choice among strategies with a common value
+/// type. Every arm is boxed, so arms of different strategy types mix freely.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}

@@ -1,0 +1,194 @@
+//! Value-generation strategies: integer ranges, `Just`, tuples, `prop_map`,
+//! boxing, and weighted choice.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy generating `f` of this strategy's values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map {
+            source: self,
+            map: f,
+        }
+    }
+
+    /// Type-erases the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// A type-erased, clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy produced by [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// Weighted choice among boxed strategies (built by `prop_oneof!`).
+pub struct OneOf<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> OneOf<T> {
+    /// A choice over the given `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof needs at least one positive weight");
+        OneOf { arms, total }
+    }
+}
+
+impl<T> Clone for OneOf<T> {
+    fn clone(&self) -> Self {
+        OneOf {
+            arms: self.arms.clone(),
+            total: self.total,
+        }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.next_u64() % self.total;
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights covered above")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128) - (self.start as i128);
+                ((self.start as i128) + (rng.next_u64() as i128).rem_euclid(span)) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident),+)),+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_sample_uniformly_enough() {
+        let mut rng = TestRng::deterministic(1);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[(1usize..6).generate(&mut rng) - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let mut rng = TestRng::deterministic(2);
+        let s = (0u64..10, 0u64..10).prop_map(|(a, b)| a + b);
+        for _ in 0..100 {
+            assert!(s.generate(&mut rng) < 20);
+        }
+    }
+
+    #[test]
+    fn oneof_respects_zero_weight_arms() {
+        let mut rng = TestRng::deterministic(3);
+        let s = OneOf::new(vec![(0, Just(1u8).boxed()), (5, Just(2u8).boxed())]);
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn boxed_strategies_clone_and_share() {
+        let mut rng = TestRng::deterministic(4);
+        let a = (5u32..6).boxed();
+        let b = a.clone();
+        assert_eq!(a.generate(&mut rng), 5);
+        assert_eq!(b.generate(&mut rng), 5);
+    }
+}
