@@ -56,25 +56,27 @@ fn bench_guard_eval(c: &mut Criterion) {
     let cache = GuardCache::new(initial.schema().clone(), alpha.clone(), omega.clone());
     let program = vpdt_tx::program::Program::insert_consts("R0", [0, 3]);
     let prepared = cache.get_or_compile(&program).expect("compiles");
+    let reduced = prepared
+        .shape
+        .compiled
+        .instantiate_reduced(&prepared.bindings);
+    let wpc = prepared.shape.compiled.instantiate_wpc(&prepared.bindings);
 
+    // instantiation: the per-transaction cost of a warm prepared statement
+    g.bench_with_input(BenchmarkId::new("instantiate", RELS), &program, |b, p| {
+        b.iter(|| cache.get_or_compile(std::hint::black_box(p)).expect("hits"));
+    });
     // Δ (what the executor runs) vs reduced wpc (one conjunct) vs full wpc
     g.bench_with_input(BenchmarkId::new("delta_fast", RELS), &initial, |b, db| {
         b.iter(|| {
-            vpdt_eval::holds(std::hint::black_box(db), &omega, &prepared.compiled.fast)
-                .expect("evaluates")
+            vpdt_eval::holds(std::hint::black_box(db), &omega, &prepared.guard).expect("evaluates")
         });
     });
     g.bench_with_input(BenchmarkId::new("reduced_wpc", RELS), &initial, |b, db| {
-        b.iter(|| {
-            vpdt_eval::holds(std::hint::black_box(db), &omega, &prepared.compiled.reduced)
-                .expect("evaluates")
-        });
+        b.iter(|| vpdt_eval::holds(std::hint::black_box(db), &omega, &reduced).expect("evaluates"));
     });
     g.bench_with_input(BenchmarkId::new("full_wpc", RELS), &initial, |b, db| {
-        b.iter(|| {
-            vpdt_eval::holds(std::hint::black_box(db), &omega, &prepared.compiled.wpc)
-                .expect("evaluates")
-        });
+        b.iter(|| vpdt_eval::holds(std::hint::black_box(db), &omega, &wpc).expect("evaluates"));
     });
     g.finish();
 }

@@ -32,6 +32,8 @@ struct Config {
     rels: usize,
     universe: u64,
     seed: u64,
+    cache_cap: usize,
+    smoke: bool,
     out: String,
 }
 
@@ -44,6 +46,8 @@ impl Default for Config {
             rels: 8,
             universe: 6,
             seed: 2024,
+            cache_cap: vpdt_store::guard::DEFAULT_CAPACITY,
+            smoke: false,
             out: "BENCH_store.json".to_string(),
         }
     }
@@ -52,9 +56,15 @@ impl Default for Config {
 fn parse_args() -> Result<Config, String> {
     let mut cfg = Config::default();
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut set: Vec<&str> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let flag = &args[i];
+        if flag == "--smoke" {
+            cfg.smoke = true;
+            i += 1;
+            continue;
+        }
         let value = args
             .get(i + 1)
             .ok_or_else(|| format!("{flag} needs a value"))?;
@@ -65,10 +75,35 @@ fn parse_args() -> Result<Config, String> {
             "--rels" => cfg.rels = value.parse().map_err(|_| "bad --rels")?,
             "--universe" => cfg.universe = value.parse().map_err(|_| "bad --universe")?,
             "--seed" => cfg.seed = value.parse().map_err(|_| "bad --seed")?,
+            "--cache-cap" => cfg.cache_cap = value.parse().map_err(|_| "bad --cache-cap")?,
             "--out" => cfg.out = value.clone(),
             other => return Err(format!("unknown flag {other}")),
         }
+        set.push(match flag.as_str() {
+            "--threads" => "threads",
+            "--clients" => "clients",
+            "--per-client" => "per-client",
+            "--out" => "out",
+            _ => "",
+        });
         i += 2;
+    }
+    if cfg.smoke {
+        // a fast sanity configuration for CI: tiny workload, relaxed
+        // acceptance thresholds, separate output file. Applied after the
+        // loop so explicit flags win regardless of their position.
+        if !set.contains(&"clients") {
+            cfg.clients = 4;
+        }
+        if !set.contains(&"per-client") {
+            cfg.per_client = 100;
+        }
+        if !set.contains(&"threads") {
+            cfg.threads = 2;
+        }
+        if !set.contains(&"out") {
+            cfg.out = "BENCH_store_smoke.json".to_string();
+        }
     }
     Ok(cfg)
 }
@@ -112,10 +147,16 @@ fn run(cfg: Config) -> Result<bool, String> {
 
     // --- guarded-concurrent -------------------------------------------------
     let store = VersionedStore::new(initial.clone());
-    let cache = GuardCache::new(store.schema().clone(), alpha.clone(), omega.clone());
-    // Compile the statement menu up front so the measured section is the
-    // steady state; compilation is a one-time cost by design and is
-    // reported separately.
+    let cache = GuardCache::with_capacity(
+        store.schema().clone(),
+        alpha.clone(),
+        omega.clone(),
+        cfg.cache_cap,
+    );
+    // Warm the prepared-statement cache up front so the measured section is
+    // the steady state. Only distinct statement *shapes* compile — the
+    // whole ground menu collapses to O(shapes) compilations, so this cost
+    // is independent of the universe size.
     let compile_start = Instant::now();
     for job in &jobs {
         cache
@@ -123,14 +164,22 @@ fn run(cfg: Config) -> Result<bool, String> {
             .map_err(|e| e.to_string())?;
     }
     let compile_secs = compile_start.elapsed().as_secs_f64();
+    let warm = cache.cache_stats();
+    let compile_secs_per_shape = if warm.shapes > 0 {
+        compile_secs / warm.shapes as f64
+    } else {
+        0.0
+    };
 
     let t0 = Instant::now();
     let concurrent = run_jobs(&store, &cache, &jobs, cfg.threads);
     let concurrent_secs = t0.elapsed().as_secs_f64();
     let concurrent_tps = concurrent.committed as f64 / concurrent_secs;
+    let cache_end = cache.cache_stats();
     println!(
         "guarded-concurrent: {} committed / {} aborted / {} failed in {:.3}s \
-         ({:.0} commits/s, {} conflicts, cache {}h/{}m, compile {:.3}s)",
+         ({:.0} commits/s, {} conflicts, cache {}h/{}m, {} shapes compiled \
+         in {:.3}s = {:.1}ms/shape, {} live entries, {} evictions)",
         concurrent.committed,
         concurrent.aborted,
         concurrent.failed,
@@ -139,7 +188,11 @@ fn run(cfg: Config) -> Result<bool, String> {
         concurrent.conflicts,
         concurrent.guard_hits,
         concurrent.guard_misses,
+        cache_end.shapes,
         compile_secs,
+        compile_secs_per_shape * 1e3,
+        cache_end.entries,
+        cache_end.evictions,
     );
 
     // --- rollback-serial ----------------------------------------------------
@@ -162,6 +215,7 @@ fn run(cfg: Config) -> Result<bool, String> {
         &store.snapshot().db,
         &store.history().events(),
         &programs,
+        &cache.templates(),
     );
     let audit_secs = t2.elapsed().as_secs_f64();
     println!("{report} ({audit_secs:.3}s)");
@@ -173,18 +227,29 @@ fn run(cfg: Config) -> Result<bool, String> {
         .filter(|p| p.contains("constraint"))
         .count();
     let speedup = concurrent_tps / serial_tps;
-    let enough_commits = concurrent.committed >= 10_000;
-    let enough_threads = cfg.threads >= 4;
-    let beats_baseline = concurrent_tps > serial_tps;
-    let ok =
-        report.ok() && concurrent.failed == 0 && enough_commits && enough_threads && beats_baseline;
+    let enough_commits = cfg.smoke || concurrent.committed >= 10_000;
+    let enough_threads = cfg.smoke || cfg.threads >= 4;
+    let beats_baseline = cfg.smoke || concurrent_tps > serial_tps;
+    // The O(shapes) claim: the cache may never hold more compilations than
+    // there are statement shapes (2 per relation for this workload's menu),
+    // however large the universe.
+    let shape_bound = cache_end.shapes <= 2 * cfg.rels && cache_end.entries <= cache_end.shapes;
+    let ok = report.ok()
+        && concurrent.failed == 0
+        && enough_commits
+        && enough_threads
+        && beats_baseline
+        && shape_bound;
 
     let json = format!(
         "{{\n  \"workload\": {{\n    \"transactions\": {},\n    \"relations\": {},\n    \
-         \"universe\": {},\n    \"threads\": {},\n    \"clients\": {},\n    \"seed\": {}\n  }},\n  \
+         \"universe\": {},\n    \"threads\": {},\n    \"clients\": {},\n    \"seed\": {},\n    \
+         \"cache_capacity\": {},\n    \"smoke\": {}\n  }},\n  \
          \"guarded_concurrent\": {{\n    \"committed\": {},\n    \"aborted\": {},\n    \
          \"failed\": {},\n    \"conflicts\": {},\n    \"guard_cache_hits\": {},\n    \
-         \"guard_cache_misses\": {},\n    \"compile_secs\": {:.6},\n    \"secs\": {:.6},\n    \
+         \"guard_cache_misses\": {},\n    \"statement_shapes\": {},\n    \
+         \"cache_entries\": {},\n    \"evictions\": {},\n    \"compile_secs\": {:.6},\n    \
+         \"compile_secs_per_shape\": {:.6},\n    \"secs\": {:.6},\n    \
          \"commits_per_sec\": {:.1}\n  }},\n  \"rollback_serial\": {{\n    \"committed\": {},\n    \
          \"aborted\": {},\n    \"secs\": {:.6},\n    \"commits_per_sec\": {:.1}\n  }},\n  \
          \"speedup\": {:.3},\n  \"constraint_violations\": {},\n  \"audit_ok\": {},\n  \
@@ -195,13 +260,19 @@ fn run(cfg: Config) -> Result<bool, String> {
         cfg.threads,
         cfg.clients,
         cfg.seed,
+        cfg.cache_cap,
+        cfg.smoke,
         concurrent.committed,
         concurrent.aborted,
         concurrent.failed,
         concurrent.conflicts,
         concurrent.guard_hits,
         concurrent.guard_misses,
+        cache_end.shapes,
+        cache_end.entries,
+        cache_end.evictions,
         compile_secs,
+        compile_secs_per_shape,
         concurrent_secs,
         concurrent_tps,
         serial.committed,
@@ -230,6 +301,15 @@ fn run(cfg: Config) -> Result<bool, String> {
     if !beats_baseline {
         eprintln!(
             "ACCEPTANCE: concurrent ({concurrent_tps:.0}/s) did not beat serial ({serial_tps:.0}/s)"
+        );
+    }
+    if !shape_bound {
+        eprintln!(
+            "ACCEPTANCE: cache must hold O(statement shapes) entries, got {} entries over {} \
+             shapes (menu has {})",
+            cache_end.entries,
+            cache_end.shapes,
+            2 * cfg.rels
         );
     }
     Ok(ok)

@@ -16,14 +16,16 @@
 //! which is what the `guard_vs_rollback` bench measures.
 
 use crate::prerelations::{compile_program, CompileError, Prerelation};
-use crate::simplify::{deletion_preserves, delta_for_insert};
+use crate::simplify::{deletion_preserves, delta_for_insert_terms};
 use crate::wpc::{wpc_sentence, WpcError};
 use std::collections::BTreeSet;
 use vpdt_eval::{holds, Omega};
-use vpdt_logic::domain::is_domain_independent;
+use vpdt_logic::domain::{is_domain_independent, is_domain_independent_parametric};
+use vpdt_logic::subst::instantiate_params;
 use vpdt_logic::{Elem, Formula, Schema, Term};
 use vpdt_structure::Database;
 use vpdt_tx::program::Program;
+use vpdt_tx::template::Template;
 use vpdt_tx::traits::{Transaction, TxError};
 
 /// `if pre then T else abort` — the statically verified transaction.
@@ -180,8 +182,30 @@ pub struct GuardCompilation {
     pub writes: BTreeSet<String>,
     /// Whether guard and conditions are domain-independent, so evaluating
     /// them against a snapshot that differs only in *other* relations (and
-    /// hence in isolated domain elements) is exact.
+    /// hence in isolated domain elements) is exact. For a template
+    /// compilation the analysis runs parametrically
+    /// ([`is_domain_independent_parametric`]), so the verdict covers every
+    /// instantiation of the placeholders.
     pub domain_independent: bool,
+}
+
+impl GuardCompilation {
+    /// Instantiates the cheapest guard ([`fast`](Self::fast)) with a
+    /// prepared statement's bindings — the per-transaction step of a
+    /// template compilation. One structural walk; no recompilation.
+    pub fn instantiate_fast(&self, bindings: &[Elem]) -> Formula {
+        instantiate_params(&self.fast, bindings)
+    }
+
+    /// Instantiates the full wpc sentence with bindings (audits and tests).
+    pub fn instantiate_wpc(&self, bindings: &[Elem]) -> Formula {
+        instantiate_params(&self.wpc, bindings)
+    }
+
+    /// Instantiates the invariant-reduced guard with bindings.
+    pub fn instantiate_reduced(&self, bindings: &[Elem]) -> Formula {
+        instantiate_params(&self.reduced, bindings)
+    }
 }
 
 /// Compiles `program` once into a [`GuardCompilation`] for the constraint
@@ -243,12 +267,15 @@ pub fn compile_guard(
     // snapshots exactly when every αᵢ is domain-independent and the
     // program itself never consults the domain. The check therefore runs on
     // the constraint's conjuncts, never on the (Γ-relativized) wpc output.
+    // Program conditions may contain prepared-statement placeholders (the
+    // constraint α never does), so their analysis runs parametrically: a
+    // `true` verdict covers every binding of the template.
     let domain_independent = all_conjuncts_independent
         && !program.enumerates_domain()
         && program
             .condition_formulas()
             .iter()
-            .all(|c| is_domain_independent(c));
+            .all(|c| is_domain_independent_parametric(c));
 
     Ok(GuardCompilation {
         pre,
@@ -261,11 +288,41 @@ pub fn compile_guard(
     })
 }
 
+/// Compiles a statement *template* once for all its instantiations: the
+/// prerelations, the wpc, the reduced guard, and the Δ are derived over the
+/// shape's placeholder terms, and a concrete transaction's guard is obtained
+/// by [`GuardCompilation::instantiate_fast`] — a substitution whose cost is
+/// the size of the (small) guard, independent of the domain.
+///
+/// **Why the one compilation covers every binding.** The pipeline treats
+/// placeholders as opaque ground terms end to end: prerelation construction
+/// and the `WPC[γ]` substitution never inspect a ground term's identity, the
+/// structural simplifier folds `?i = ?i` to true (same binding index, always
+/// equal) but never equates or distinguishes *different* placeholders, the
+/// Δ derivation refuses when a unification decision would depend on the
+/// binding ([`delta_for_insert_terms`]), and the domain-independence check
+/// runs parametrically. So for every binding `b`:
+/// `instantiate(compile(shape), b) ≡ compile(instantiate(shape, b))` — the
+/// two sides may differ syntactically (ground compilation folds constant
+/// equalities the template must keep symbolic) but decide identically on
+/// every database, which is what the prepared-statement property tests
+/// check end to end.
+pub fn compile_guard_template(
+    label: impl Into<String>,
+    template: &Template,
+    alpha: &Formula,
+    schema: &Schema,
+    omega: &Omega,
+) -> Result<GuardCompilation, GuardError> {
+    compile_guard(label, template.shape(), alpha, schema, omega)
+}
+
 /// A program that is a single tuple-level update, for which the Δ
 /// machinery of [`crate::simplify`] applies directly.
 enum SingleUpdate<'a> {
-    /// One ground-constant insert.
-    Insert { rel: &'a str, tuple: Vec<Elem> },
+    /// One insert of constants and/or placeholders (the two symbolic ground
+    /// forms [`delta_for_insert_terms`] can unify statically).
+    Insert { rel: &'a str, tuple: Vec<Term> },
     /// One conditional delete (pure shrinkage of `rel`).
     Delete { rel: &'a str },
 }
@@ -274,12 +331,11 @@ fn as_single_update(p: &Program) -> Option<SingleUpdate<'_>> {
     match p {
         Program::Insert { rel, tuple } => tuple
             .iter()
-            .map(|t| match t {
-                Term::Const(e) => Some(*e),
-                _ => None,
-            })
-            .collect::<Option<Vec<Elem>>>()
-            .map(|tuple| SingleUpdate::Insert { rel, tuple }),
+            .all(|t| matches!(t, Term::Const(_)) || t.as_param().is_some())
+            .then(|| SingleUpdate::Insert {
+                rel,
+                tuple: tuple.clone(),
+            }),
         Program::DeleteWhere { rel, .. } => Some(SingleUpdate::Delete { rel }),
         Program::Seq(ps) if ps.len() == 1 => as_single_update(&ps[0]),
         _ => None,
@@ -306,7 +362,7 @@ fn fast_guard_for(
     }
     match single {
         Some(SingleUpdate::Insert { rel, tuple }) => {
-            delta_for_insert(conjunct, rel, tuple).unwrap_or_else(|_| wpc.clone())
+            delta_for_insert_terms(conjunct, rel, tuple).unwrap_or_else(|_| wpc.clone())
         }
         Some(SingleUpdate::Delete { rel }) => {
             if deletion_preserves(conjunct, rel) {
@@ -556,6 +612,61 @@ mod tests {
         let empty = Database::graph([]);
         assert!(holds(&empty, &omega, &alpha).expect("evaluates"));
         assert!(!holds(&empty, &omega, &g.fast).expect("evaluates"));
+    }
+
+    /// Compile-once-per-shape: the template compilation, instantiated with
+    /// a binding, decides exactly like compiling the ground program — on
+    /// fast, reduced, and full-wpc guards alike — and preserves the
+    /// footprints and the domain-independence verdict.
+    #[test]
+    fn template_compilation_agrees_with_ground_compilation() {
+        let schema = vpdt_logic::Schema::new([("E", 2), ("F", 2)]);
+        let omega = Omega::empty();
+        let alpha = parse_formula(
+            "(forall x y z. E(x, y) & E(x, z) -> y = z) \
+             & (forall x y z. F(x, y) & F(x, z) -> y = z)",
+        )
+        .expect("parses");
+        for ground in [
+            Program::insert_consts("E", [0, 3]),
+            Program::insert_consts("E", [2, 2]),
+            Program::delete_consts("F", [1, 4]),
+        ] {
+            let (template, bindings) =
+                vpdt_tx::template::canonicalize(&ground).expect("canonicalizes");
+            let shape = compile_guard_template("tpl", &template, &alpha, &schema, &omega)
+                .expect("template compiles");
+            let direct = compile_guard("gnd", &ground, &alpha, &schema, &omega).expect("compiles");
+            assert_eq!(shape.reads, direct.reads, "{ground:?}");
+            assert_eq!(shape.writes, direct.writes, "{ground:?}");
+            assert_eq!(
+                shape.domain_independent, direct.domain_independent,
+                "{ground:?}"
+            );
+            for edges in [
+                vec![],
+                vec![(0u64, 1u64)],
+                vec![(0, 3), (4, 4)],
+                vec![(2, 9)],
+            ] {
+                let mut db = Database::empty(schema.clone());
+                for (a, b) in edges {
+                    db.insert("E", vec![Elem(a), Elem(b)]);
+                }
+                db.insert("F", vec![Elem(1), Elem(4)]);
+                for (inst, ground_guard) in [
+                    (shape.instantiate_fast(&bindings), &direct.fast),
+                    (shape.instantiate_reduced(&bindings), &direct.reduced),
+                    (shape.instantiate_wpc(&bindings), &direct.wpc),
+                ] {
+                    assert_eq!(
+                        holds(&db, &omega, &inst).expect("evaluates"),
+                        holds(&db, &omega, ground_guard).expect("evaluates"),
+                        "{ground:?} on {db:?}\n  instantiated: {inst}\n  ground: {ground_guard}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

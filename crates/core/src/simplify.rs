@@ -74,13 +74,13 @@ fn peel_universal(c: &Formula) -> Result<(Vec<Var>, Formula), DeltaError> {
 
 /// Expands each `rel(t̄)` atom into `rel(t̄) ∨ t̄ = c̄` — the effect of the
 /// insertion on the constraint's matrix.
-fn expand_insert(matrix: &Formula, rel: &str, tuple: &[Elem]) -> Formula {
+fn expand_insert(matrix: &Formula, rel: &str, tuple: &[Term]) -> Formula {
     matrix.map(&|g| match &g {
         Formula::Rel(name, ts) if name == rel => {
             let eqs = Formula::and(
                 ts.iter()
                     .zip(tuple.iter())
-                    .map(|(t, c)| Formula::eq(t.clone(), Term::Const(*c))),
+                    .map(|(t, c)| Formula::eq(t.clone(), c.clone())),
             );
             Formula::or([g.clone(), eqs])
         }
@@ -101,6 +101,33 @@ pub fn delta_for_insert(
     rel: &str,
     tuple: &[Elem],
 ) -> Result<Formula, DeltaError> {
+    let terms: Vec<Term> = tuple.iter().map(|e| Term::Const(*e)).collect();
+    delta_for_insert_terms(constraint, rel, &terms)
+}
+
+/// [`delta_for_insert`] over *symbolic* ground tuples: the inserted terms
+/// may be prepared-statement placeholders (`Term::param`), so one residue
+/// is derived per statement shape and instantiated per binding.
+///
+/// The unification step must then be decidable *statically*: two distinct
+/// constants never unify (the occurrence is dropped, as before), but a
+/// placeholder is only known to unify with a syntactically identical term.
+/// When a decision would depend on the eventual binding — a placeholder
+/// meeting a different constant, a different placeholder already bound to
+/// the same prefix variable, or an Ω-application — the construction
+/// conservatively refuses ([`DeltaError::UnsupportedShape`]) and the caller
+/// falls back to the exact wpc, which is sound for every binding.
+pub fn delta_for_insert_terms(
+    constraint: &Formula,
+    rel: &str,
+    tuple: &[Term],
+) -> Result<Formula, DeltaError> {
+    // A non-ground tuple term would be substituted under the remaining
+    // universal prefix (possible capture) and yield a semantically wrong
+    // residue; refuse rather than trust the caller.
+    if !tuple.iter().all(Term::is_ground) {
+        return Err(DeltaError::UnsupportedShape);
+    }
     let (prefix, matrix) = peel_universal(constraint)?;
     let expanded = expand_insert(&matrix, rel, tuple);
 
@@ -124,16 +151,21 @@ pub fn delta_for_insert(
         for (arg, c) in args.iter().zip(tuple.iter()) {
             match arg {
                 Term::Var(v) => match sigma.get(v) {
-                    Some(Term::Const(prev)) if prev != c => continue 'occ,
-                    _ => {
-                        sigma.insert(v.clone(), Term::Const(*c));
+                    Some(prev) if prev == c => {}
+                    Some(Term::Const(prev)) if matches!(c, Term::Const(k) if k != prev) => {
+                        continue 'occ
+                    }
+                    Some(_) => return Err(DeltaError::UnsupportedShape),
+                    None => {
+                        sigma.insert(v.clone(), c.clone());
                     }
                 },
-                Term::Const(k) => {
-                    if k != c {
-                        continue 'occ;
-                    }
-                }
+                Term::Const(k) => match c {
+                    Term::Const(c) if k == c => {}
+                    Term::Const(_) => continue 'occ,
+                    // equality with a placeholder is binding-dependent
+                    _ => return Err(DeltaError::UnsupportedShape),
+                },
                 Term::App(..) => continue 'occ, // Ω-terms: bail to full wpc
             }
         }
@@ -308,6 +340,48 @@ mod tests {
         let c = parse_formula("forall x. (exists y. E(x, y)) -> E(x, x)").expect("parses");
         let d = delta_for_insert(&c, "E", &[Elem(0), Elem(1)]).expect("prenexable");
         assert_eq!(d, parse_formula("E(0, 0)").expect("parses"));
+    }
+
+    /// The residue for a *template* insert (placeholders instead of
+    /// constants), instantiated with a binding, decides exactly like the
+    /// residue derived from the ground tuple directly.
+    #[test]
+    fn template_delta_instantiates_to_ground_delta() {
+        use vpdt_logic::subst::instantiate_params;
+        let inv = fd();
+        let shape_delta =
+            delta_for_insert_terms(&inv, "E", &[Term::param(0), Term::param(1)]).expect("derives");
+        for (a, b) in [(0u64, 2u64), (1, 1), (4, 0)] {
+            let ground = delta_for_insert(&inv, "E", &[Elem(a), Elem(b)]).expect("derives");
+            let inst = instantiate_params(&shape_delta, &[Elem(a), Elem(b)]);
+            for db in GraphEnumerator::new().take(300) {
+                assert_eq!(
+                    holds(&db, &Omega::empty(), &inst).expect("evaluates"),
+                    holds(&db, &Omega::empty(), &ground).expect("evaluates"),
+                    "bindings ({a},{b}) on {db:?}\n  template Δ: {inst}\n  ground Δ: {ground}"
+                );
+            }
+        }
+    }
+
+    /// A unification decision that would depend on the eventual binding —
+    /// here a repeated variable meeting two distinct placeholders — must
+    /// refuse, not guess.
+    #[test]
+    fn binding_dependent_unification_refuses() {
+        let reflexive_only = parse_formula("forall x. E(x, x) -> !E(x, x)").expect("parses");
+        // ground tuples decide the repeated variable statically...
+        assert!(delta_for_insert(&reflexive_only, "E", &[Elem(1), Elem(2)]).is_ok());
+        // ...distinct placeholders cannot
+        assert_eq!(
+            delta_for_insert_terms(&reflexive_only, "E", &[Term::param(0), Term::param(1)])
+                .unwrap_err(),
+            DeltaError::UnsupportedShape
+        );
+        // the *same* placeholder twice is decided syntactically
+        assert!(
+            delta_for_insert_terms(&reflexive_only, "E", &[Term::param(0), Term::param(0)]).is_ok()
+        );
     }
 
     #[test]

@@ -34,13 +34,44 @@
 
 use crate::formula::Formula;
 use crate::nnf::nnf;
-use crate::term::Var;
+use crate::subst::{formula_params, instantiate_params};
+use crate::term::{Elem, Var};
 
 /// Whether the sentence is (conservatively, syntactically) domain-independent:
 /// its truth value is unchanged by adding or removing isolated domain
 /// elements. `false` means "could not establish it", not "dependent".
 pub fn is_domain_independent(f: &Formula) -> bool {
     di(&nnf(f))
+}
+
+/// Domain independence for a formula that may contain prepared-statement
+/// placeholders (`Term::param`): a `true` verdict means *every* ground
+/// instantiation of the placeholders is domain-independent, so one analysis
+/// of a statement template covers all its bindings.
+///
+/// **Soundness under placeholders.** The analysis above branches only on
+/// formula structure and on variable occurrence (`contains_var`); it never
+/// inspects the identity of a ground subterm. Substituting a constant for a
+/// placeholder changes neither, so the verdict on the template and on any
+/// instantiation coincide — in particular, an equality `v = ?i` is exactly
+/// as useless as a guard as `v = 3` is (the note above about constants not
+/// guarding quantifiers applies verbatim to placeholders). The function
+/// still cross-checks that invariance on two probe instantiations (all
+/// placeholders equal, all distinct) and conservatively answers `false` if
+/// any disagrees, so a future refinement of the analysis that *does* read
+/// constants cannot silently make template verdicts unsound.
+pub fn is_domain_independent_parametric(f: &Formula) -> bool {
+    let verdict = is_domain_independent(f);
+    let params = formula_params(f);
+    if params.is_empty() {
+        return verdict;
+    }
+    let n = params.iter().max().expect("non-empty") + 1;
+    let equal: Vec<Elem> = vec![Elem(0); n];
+    let distinct: Vec<Elem> = (0..n as u64).map(Elem).collect();
+    verdict
+        && is_domain_independent(&instantiate_params(f, &equal))
+        && is_domain_independent(&instantiate_params(f, &distinct))
 }
 
 fn di(f: &Formula) -> bool {
@@ -152,6 +183,40 @@ mod tests {
     fn quantifier_free_sentences_are_independent() {
         assert!(check("E(1, 2) | !E(2, 1)"));
         assert!(check("1 = 1"));
+    }
+
+    #[test]
+    fn parametric_verdicts_cover_all_instantiations() {
+        use crate::term::Term;
+        // the shape of delete_consts: ∀xy. E(x,y) → ¬(x = ?0 ∧ y = ?1) —
+        // the Rel atom guards both quantifiers; placeholders are inert
+        let shape = Formula::forall_many(
+            ["x", "y"],
+            Formula::implies(
+                Formula::rel("E", [Term::var("x"), Term::var("y")]),
+                Formula::not(Formula::and([
+                    Formula::eq(Term::var("x"), Term::param(0)),
+                    Formula::eq(Term::var("y"), Term::param(1)),
+                ])),
+            ),
+        );
+        assert!(is_domain_independent_parametric(&shape));
+        for b in [[Elem(0), Elem(0)], [Elem(3), Elem(7)]] {
+            assert!(
+                is_domain_independent(&instantiate_params(&shape, &b)),
+                "instantiation with {b:?} must agree with the template verdict"
+            );
+        }
+        // pinning a quantifier by a placeholder is not a guard, exactly as
+        // for a constant (the instantiated element may be isolated)
+        let pinned = Formula::exists(
+            "x",
+            Formula::and([
+                Formula::eq(Term::var("x"), Term::param(0)),
+                Formula::not(Formula::rel("E", [Term::var("x"), Term::var("x")])),
+            ]),
+        );
+        assert!(!is_domain_independent_parametric(&pinned));
     }
 
     #[test]

@@ -124,6 +124,100 @@ fn bind_elem(
     }
 }
 
+/// Rebuilds a formula, applying `f` to every term occurrence (in relation
+/// atoms, Ω-predicate atoms, and equalities). Terms contain no binders, so
+/// this is plain structural replacement — but callers substituting terms
+/// with free *variables* must handle capture themselves ([`substitute_many`]
+/// does; placeholder instantiation needs no care, placeholders are ground).
+/// The rewriter is `FnMut`, so stateful rewrites (e.g. the canonicalizer's
+/// constant lifting) can thread an accumulator through the walk.
+pub fn map_terms(f: &Formula, rewrite: &mut dyn FnMut(&Term) -> Term) -> Formula {
+    match f {
+        Formula::True
+        | Formula::False
+        | Formula::NumLe(..)
+        | Formula::NumEq(..)
+        | Formula::Bit(..) => f.clone(),
+        Formula::Rel(name, ts) => Formula::Rel(name.clone(), ts.iter().map(rewrite).collect()),
+        Formula::Pred(p, ts) => Formula::Pred(p.clone(), ts.iter().map(rewrite).collect()),
+        Formula::Eq(a, b) => Formula::Eq(rewrite(a), rewrite(b)),
+        Formula::Not(g) => Formula::Not(Box::new(map_terms(g, rewrite))),
+        Formula::And(gs) => Formula::And(gs.iter().map(|g| map_terms(g, rewrite)).collect()),
+        Formula::Or(gs) => Formula::Or(gs.iter().map(|g| map_terms(g, rewrite)).collect()),
+        Formula::Implies(a, b) => Formula::Implies(
+            Box::new(map_terms(a, rewrite)),
+            Box::new(map_terms(b, rewrite)),
+        ),
+        Formula::Iff(a, b) => Formula::Iff(
+            Box::new(map_terms(a, rewrite)),
+            Box::new(map_terms(b, rewrite)),
+        ),
+        Formula::Exists(v, g) => Formula::Exists(v.clone(), Box::new(map_terms(g, rewrite))),
+        Formula::Forall(v, g) => Formula::Forall(v.clone(), Box::new(map_terms(g, rewrite))),
+        Formula::CountGe(i, v, g) => {
+            Formula::CountGe(i.clone(), v.clone(), Box::new(map_terms(g, rewrite)))
+        }
+        Formula::NumExists(v, g) => Formula::NumExists(v.clone(), Box::new(map_terms(g, rewrite))),
+        Formula::NumForall(v, g) => Formula::NumForall(v.clone(), Box::new(map_terms(g, rewrite))),
+    }
+}
+
+/// Replaces every placeholder `?i` in the term by `Const(bindings[i])`.
+/// Placeholders whose index is out of range are left in place (callers
+/// validate the binding count; see `Template::instantiate` in `vpdt-tx`).
+pub fn instantiate_params_term(t: &Term, bindings: &[crate::term::Elem]) -> Term {
+    if let Some(i) = t.as_param() {
+        if let Some(e) = bindings.get(i) {
+            return Term::Const(*e);
+        }
+        return t.clone();
+    }
+    match t {
+        Term::Var(_) | Term::Const(_) => t.clone(),
+        Term::App(f, args) => Term::App(
+            f.clone(),
+            args.iter()
+                .map(|a| instantiate_params_term(a, bindings))
+                .collect(),
+        ),
+    }
+}
+
+/// Replaces every placeholder `?i` in the formula by `Const(bindings[i])` —
+/// the per-transaction instantiation step of a compiled statement template.
+/// Placeholders are ground, so no capture can occur and the cost is one
+/// structural walk, independent of the database and of the compilation cost.
+pub fn instantiate_params(f: &Formula, bindings: &[crate::term::Elem]) -> Formula {
+    map_terms(f, &mut |t| instantiate_params_term(t, bindings))
+}
+
+/// All placeholder indices occurring in the formula.
+pub fn formula_params(f: &Formula) -> BTreeSet<usize> {
+    fn term_params(t: &Term, out: &mut BTreeSet<usize>) {
+        if let Some(i) = t.as_param() {
+            out.insert(i);
+        } else if let Term::App(_, args) = t {
+            for a in args {
+                term_params(a, out);
+            }
+        }
+    }
+    let mut out = BTreeSet::new();
+    f.visit(&mut |g| match g {
+        Formula::Rel(_, ts) | Formula::Pred(_, ts) => {
+            for t in ts {
+                term_params(t, &mut out);
+            }
+        }
+        Formula::Eq(a, b) => {
+            term_params(a, &mut out);
+            term_params(b, &mut out);
+        }
+        _ => {}
+    });
+    out
+}
+
 /// Replaces every atom `R(t₁..t_n)` of relation `rel` by `body[params := t̄]`.
 ///
 /// This is the substitution step of the `PR(L) ⊆ WPC(L)` embedding
@@ -307,6 +401,46 @@ mod tests {
         let params = [Var::new("p"), Var::new("q")];
         let body = Formula::rel("R", [v("z")]); // z not a parameter
         let _ = unfold_relation(&f, "E", &params, &body);
+    }
+
+    #[test]
+    fn params_instantiate_structurally() {
+        use crate::term::Elem;
+        // E(?0, x) & ?1 = succ(?0)  with bindings [7, 9]
+        let f = Formula::and([
+            e(Term::param(0), v("x")),
+            Formula::eq(Term::param(1), Term::app("succ", [Term::param(0)])),
+        ]);
+        assert_eq!(formula_params(&f), BTreeSet::from([0, 1]));
+        let g = instantiate_params(&f, &[Elem(7), Elem(9)]);
+        assert_eq!(
+            g,
+            Formula::and([
+                e(Term::cst(7u64), v("x")),
+                Formula::eq(Term::cst(9u64), Term::app("succ", [Term::cst(7u64)])),
+            ])
+        );
+        assert!(formula_params(&g).is_empty());
+        // out-of-range placeholders are left in place for the caller to catch
+        let partial = instantiate_params(&f, &[Elem(7)]);
+        assert_eq!(formula_params(&partial), BTreeSet::from([1]));
+    }
+
+    #[test]
+    fn params_under_binders_are_instantiated() {
+        use crate::term::Elem;
+        let f = Formula::forall(
+            "x",
+            Formula::implies(e(v("x"), Term::param(0)), e(v("x"), v("x"))),
+        );
+        let g = instantiate_params(&f, &[Elem(4)]);
+        assert_eq!(
+            g,
+            Formula::forall(
+                "x",
+                Formula::implies(e(v("x"), Term::cst(4u64)), e(v("x"), v("x")))
+            )
+        );
     }
 
     #[test]

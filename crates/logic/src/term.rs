@@ -157,6 +157,40 @@ impl Term {
         Term::App(FuncSym::new(f), args.into_iter().collect())
     }
 
+    /// The `i`-th prepared-statement placeholder `?i`.
+    ///
+    /// Placeholders are the parameter positions of a statement *template*
+    /// (see `vpdt-tx`'s canonicalizer): a ground program is split into a
+    /// constant-free shape plus a binding vector, and the shape marks each
+    /// lifted constant with a placeholder. They are represented as nullary
+    /// applications of the reserved function symbol `?i`, which makes them
+    /// ground terms (so the whole compilation pipeline — prerelations, wpc,
+    /// Γ-terms — treats them as opaque constants it cannot fold), while any
+    /// attempt to *evaluate* an un-instantiated template fails loudly (no Ω
+    /// interprets `?i`).
+    pub fn param(i: usize) -> Self {
+        Term::App(FuncSym::new(format!("?{i}")), Vec::new())
+    }
+
+    /// The placeholder index if the term is a placeholder `?i`.
+    pub fn as_param(&self) -> Option<usize> {
+        match self {
+            Term::App(f, args) if args.is_empty() => f.name().strip_prefix('?')?.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Whether any placeholder occurs in the term.
+    pub fn has_params(&self) -> bool {
+        match self {
+            Term::Var(_) | Term::Const(_) => false,
+            Term::App(..) => {
+                self.as_param().is_some()
+                    || matches!(self, Term::App(_, args) if args.iter().any(Term::has_params))
+            }
+        }
+    }
+
     /// All variables occurring in the term, in depth-first order, deduplicated.
     pub fn vars(&self) -> Vec<Var> {
         let mut out = Vec::new();
@@ -294,6 +328,21 @@ mod tests {
         let t = Term::app("f", [Term::cst(1u64), Term::app("g", [Term::cst(2u64)])]);
         assert!(t.is_ground());
         assert_eq!(t.size(), 4);
+    }
+
+    #[test]
+    fn params_are_ground_and_recognizable() {
+        let p = Term::param(3);
+        assert!(p.is_ground(), "placeholders must be ground terms");
+        assert_eq!(p.as_param(), Some(3));
+        assert!(p.has_params());
+        assert_eq!(Term::cst(3u64).as_param(), None);
+        assert_eq!(Term::var("x").as_param(), None);
+        // a real Ω application is not a placeholder, but may contain one
+        let t = Term::app("succ", [Term::param(0)]);
+        assert_eq!(t.as_param(), None);
+        assert!(t.has_params());
+        assert!(!Term::app("succ", [Term::cst(1u64)]).has_params());
     }
 
     #[test]

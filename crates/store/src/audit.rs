@@ -12,12 +12,16 @@
 //! * every replayed commit passes the deferred `α` check (so `α` holds at
 //!   every committed version — zero constraint violations);
 //! * every commit's write set matches its program's declared writes;
+//! * every commit's recorded prepared-statement provenance — the shape id
+//!   and binding vector threaded through the pipeline — instantiates back
+//!   to exactly the program the client submitted;
 //! * every commit was preceded by a passing guard evaluation at the
 //!   version it validated against, and every abort's failing guard agrees
 //!   with check-and-rollback at the version it observed.
 //!
 //! A tampered history — a reordered commit, a forged hash, a commit the
-//! guard never passed — is rejected with a concrete complaint.
+//! guard never passed, a forged binding — is rejected with a concrete
+//! complaint.
 
 use crate::history::{state_hash, Event};
 use std::collections::{BTreeMap, BTreeSet};
@@ -27,6 +31,7 @@ use vpdt_eval::{holds, Omega};
 use vpdt_logic::Formula;
 use vpdt_structure::Database;
 use vpdt_tx::program::{Program, ProgramTransaction};
+use vpdt_tx::template::Template;
 use vpdt_tx::traits::{Transaction, TxError};
 
 /// What the audit found.
@@ -72,7 +77,10 @@ impl fmt::Display for AuditReport {
 
 /// Replays `events` from `initial` (version 0) and verifies the run.
 ///
-/// `programs` maps transaction ids to the programs the executor ran;
+/// `programs` maps transaction ids to the programs the clients submitted;
+/// `templates` maps statement-shape ids (as recorded in `Begin`/`Commit`
+/// events) to their canonicalized templates — `GuardCache::templates`
+/// provides it, including shapes whose compiled guards were since evicted;
 /// `final_db` is the store's state at the end of the run.
 pub fn audit(
     alpha: &Formula,
@@ -81,6 +89,7 @@ pub fn audit(
     final_db: &Database,
     events: &[Event],
     programs: &BTreeMap<u64, Program>,
+    templates: &BTreeMap<u64, Template>,
 ) -> AuditReport {
     let mut problems = Vec::new();
     let mut commits_checked = 0;
@@ -111,6 +120,8 @@ pub fn audit(
                 based_on,
                 version,
                 writes,
+                shape,
+                bindings,
                 state_hash: recorded_hash,
             } => {
                 commits_checked += 1;
@@ -126,6 +137,19 @@ pub fn audit(
                     problems.push(format!("commit of unknown tx {tx}"));
                     continue;
                 };
+                // Provenance: the recorded (shape, bindings) must
+                // instantiate to exactly the submitted program, so a log
+                // with forged bindings or a swapped statement shape cannot
+                // masquerade as the original run.
+                check_provenance(
+                    &mut problems,
+                    programs,
+                    templates,
+                    "commit",
+                    *tx,
+                    *shape,
+                    bindings,
+                );
                 if !passed_guards.contains(&(*tx, *based_on)) {
                     problems.push(format!(
                         "tx {tx} committed at version {version} without a passing guard \
@@ -201,7 +225,24 @@ pub fn audit(
                     }
                 }
             }
-            Event::Begin { .. } => {}
+            Event::Begin {
+                tx,
+                shape,
+                bindings,
+                ..
+            } => {
+                // Begin provenance is checked too, so a forged binding on a
+                // transaction that went on to *abort* is also caught.
+                check_provenance(
+                    &mut problems,
+                    programs,
+                    templates,
+                    "begin",
+                    *tx,
+                    *shape,
+                    bindings,
+                );
+            }
         }
     }
 
@@ -213,5 +254,42 @@ pub fn audit(
         problems,
         commits_checked,
         aborts_checked,
+    }
+}
+
+/// Checks one event's recorded `(shape, bindings)` provenance against the
+/// submitted program: the statement shape must be known and must
+/// instantiate to exactly what the client submitted. Unknown transaction
+/// ids are skipped here — commits of unknown txs draw their own complaint.
+fn check_provenance(
+    problems: &mut Vec<String>,
+    programs: &BTreeMap<u64, Program>,
+    templates: &BTreeMap<u64, Template>,
+    what: &str,
+    tx: u64,
+    shape: u64,
+    bindings: &[vpdt_logic::Elem],
+) {
+    let Some(program) = programs.get(&tx) else {
+        return;
+    };
+    match templates.get(&shape) {
+        None => problems.push(format!(
+            "{what} of tx {tx} references unknown statement shape {shape}"
+        )),
+        Some(template) => match template.instantiate(bindings) {
+            Ok(ground) => {
+                if &ground != program {
+                    problems.push(format!(
+                        "tx {tx}'s {what} records statement (shape {shape}, bindings \
+                         {bindings:?}) which instantiates to {ground:?}, not the \
+                         submitted program {program:?}"
+                    ));
+                }
+            }
+            Err(e) => problems.push(format!(
+                "tx {tx}'s {what} bindings do not fit shape {shape}: {e}"
+            )),
+        },
     }
 }

@@ -5,9 +5,10 @@
 //!
 //! 1. pulls a fresh [`Snapshot`](crate::Snapshot) (lock-free reads of an
 //!    `Arc`),
-//! 2. evaluates the cached guard against it — `if wpc(T, α) then T else
-//!    abort`, with the guard compiled once in the [`GuardCache`] down to
-//!    its cheapest sound form (the Δ of Section 6 where derivable),
+//! 2. evaluates its prepared guard against it — `if wpc(T, α) then T else
+//!    abort`, with the guard compiled once *per statement shape* in the
+//!    [`GuardCache`] down to its cheapest sound form (the Δ of Section 6
+//!    where derivable) and instantiated with the transaction's bindings,
 //! 3. on pass, applies the program operationally and offers the result to
 //!    [`VersionedStore::try_commit`]; a relation-footprint conflict loops
 //!    back to step 1 (the guard re-evaluates in tens of microseconds; the
@@ -27,7 +28,7 @@ use vpdt_eval::{holds, Omega};
 use vpdt_logic::Formula;
 use vpdt_structure::Database;
 use vpdt_tx::program::{Program, ProgramTransaction};
-use vpdt_tx::traits::{Transaction, TxError};
+use vpdt_tx::traits::{normalize_domain, Transaction, TxError};
 
 /// A transaction queued for execution.
 #[derive(Clone, Debug)]
@@ -205,6 +206,9 @@ fn run_one(
     job: &Job,
     conflicts: &AtomicU64,
 ) -> TxStatus {
+    // Canonicalize → fetch-or-compile the shape → instantiate the guard.
+    // The compilation is shared per statement shape; the per-transaction
+    // work from here on is one binding substitution plus evaluations.
     let prepared = match cache.get_or_compile(&job.program) {
         Ok(p) => p,
         Err(e) => {
@@ -221,10 +225,12 @@ fn run_one(
             history.record(Event::Begin {
                 tx: job.id,
                 version: snap.version,
+                shape: prepared.shape.id,
+                bindings: prepared.bindings.clone(),
             });
             first = false;
         }
-        let pass = match holds(&snap.db, cache.omega(), &prepared.compiled.fast) {
+        let pass = match holds(&snap.db, cache.omega(), &prepared.guard) {
             Ok(p) => p,
             Err(e) => {
                 return TxStatus::Failed {
@@ -246,7 +252,13 @@ fn run_one(
             });
             return TxStatus::Aborted { reason };
         }
-        let new_db = match prepared.tx.apply(&snap.db) {
+        // Direct operational semantics on the ground program the job
+        // already owns — no per-transaction applier is allocated.
+        let new_db = match job
+            .program
+            .run(&snap.db, cache.omega())
+            .map(normalize_domain)
+        {
             Ok(db) => db,
             Err(e) => {
                 return TxStatus::Failed {
@@ -257,8 +269,10 @@ fn run_one(
         let req = CommitRequest {
             tx: job.id,
             based_on: snap.version,
-            reads: prepared.reads.clone(),
-            writes: prepared.compiled.writes.clone(),
+            reads: prepared.reads().clone(),
+            writes: prepared.writes().clone(),
+            shape: prepared.shape.id,
+            bindings: prepared.bindings.clone(),
             new_db,
         };
         match store.try_commit(req) {

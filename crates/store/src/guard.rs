@@ -1,58 +1,172 @@
-//! The keyed guard cache: compile once, evaluate everywhere.
+//! The shape-keyed guard cache: compile once per *statement shape*,
+//! instantiate everywhere.
 //!
 //! Guard compilation — program → prerelations → `wpc` → invariant-reduced
-//! guard — is the expensive, *per-program-shape* step of the pipeline; the
-//! per-transaction step is a single formula evaluation. The cache keys
-//! compilations by the program's structure, so a workload of `P` prepared
-//! statements pays for `P` compilations regardless of how many transactions
-//! run, and worker threads share the compiled guards through `Arc`s.
+//! guard → Δ — is the expensive step of the pipeline. Keying it by ground
+//! program (the previous design) made the cache hold one entry per distinct
+//! constant tuple: O(universe²) entries for a binary-insert workload, all
+//! sharing a handful of statement shapes. This cache keys by the program's
+//! canonicalized [`Template`] instead: a lookup splits the ground program
+//! into `(shape, bindings)`, compiles the shape once (placeholder terms flow
+//! through the whole pipeline, see `vpdt_core::safe::compile_guard_template`),
+//! and instantiates the compiled guard per transaction by a cheap binding
+//! substitution. Compilation cost is O(statement shapes) — independent of
+//! the domain — and entries are bounded by an LRU budget with per-shape
+//! hit/compile statistics.
+//!
+//! Shape *identities* (ids and templates) are never evicted: they are what
+//! the history log records and the audit replays, so an audit must be able
+//! to resolve shapes whose compilations have long been evicted.
 
 use crate::StoreError;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
-use vpdt_core::safe::{compile_guard, GuardCompilation};
+use vpdt_core::safe::{compile_guard_template, GuardCompilation};
 use vpdt_eval::Omega;
-use vpdt_logic::{Formula, Schema};
-use vpdt_tx::program::{Program, ProgramTransaction};
+use vpdt_logic::{Elem, Formula, Schema};
+use vpdt_tx::program::Program;
+use vpdt_tx::template::{canonicalize, Template};
 
-/// A fully prepared transaction: the compilation plus the operational
-/// applier and the footprint the store validates against.
+/// Default LRU budget: comfortably above any realistic statement menu, low
+/// enough that a pathological shape flood (e.g. one-off `InsertWhere`
+/// conditions) cannot grow the *compiled* footprint without bound. The
+/// shape registry (ids + templates, needed for audit provenance) is
+/// append-only and grows with the number of distinct shapes ever seen —
+/// small per entry, but a deployment fearing unbounded distinct shapes
+/// should bound what it submits, not the cache.
+pub const DEFAULT_CAPACITY: usize = 512;
+
+/// One compiled statement shape, shared by every transaction that
+/// instantiates it.
 #[derive(Clone, Debug)]
-pub struct PreparedTx {
-    /// The guard compilation (prerelations, wpc, reduced guard, footprint).
+pub struct PreparedShape {
+    /// Stable shape id (assigned at first successful compile, survives
+    /// eviction) — what history events record.
+    pub id: u64,
+    /// The canonicalized statement template.
+    pub template: Template,
+    /// The guard compilation over the shape's placeholder terms.
     pub compiled: GuardCompilation,
-    /// The operational applier (direct program semantics — much cheaper
-    /// than applying the prerelation description tuple-by-tuple).
-    pub tx: ProgramTransaction,
     /// The footprint validated at commit: the compilation's reads, widened
     /// to the whole schema when the guard could not be shown exact under
     /// disjoint interleaving (see `GuardCompilation::domain_independent`).
     pub reads: BTreeSet<String>,
+    /// This shape's hit counter, shared with the registry so cache hits
+    /// bump it through the entry they already hold — no registry lock on
+    /// the hot path — and the count survives eviction.
+    hits: Arc<AtomicU64>,
 }
 
-/// A thread-safe cache of [`PreparedTx`]s for one store configuration
-/// (schema, constraint `α`, Ω interpretation).
+/// A fully prepared transaction: a shared compiled shape plus this
+/// transaction's bindings and instantiated guard. The executor applies the
+/// ground program it already holds (direct operational semantics), so a
+/// cache hit allocates nothing beyond the bindings and the substituted
+/// guard.
+#[derive(Clone, Debug)]
+pub struct PreparedTx {
+    /// The compiled shape (shared across threads and transactions).
+    pub shape: Arc<PreparedShape>,
+    /// The constants this transaction binds the shape's placeholders to.
+    pub bindings: Vec<Elem>,
+    /// The cheapest sound guard, instantiated with [`bindings`](Self::bindings):
+    /// what the executor evaluates per transaction.
+    pub guard: Formula,
+}
+
+impl PreparedTx {
+    /// Relations the commit validation must cover.
+    pub fn reads(&self) -> &BTreeSet<String> {
+        &self.shape.reads
+    }
+
+    /// Relations the program may modify.
+    pub fn writes(&self) -> &BTreeSet<String> {
+        &self.shape.compiled.writes
+    }
+}
+
+/// Aggregate cache counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served by a live entry.
+    pub hits: u64,
+    /// Lookups that had to compile (first sight or post-eviction).
+    pub misses: u64,
+    /// Entries removed by the LRU bound.
+    pub evictions: u64,
+    /// Live compiled entries (≤ capacity).
+    pub entries: usize,
+    /// Distinct statement shapes ever seen (never shrinks).
+    pub shapes: usize,
+}
+
+/// Per-shape counters (survive eviction).
+#[derive(Clone, Debug)]
+pub struct ShapeStat {
+    /// The shape id.
+    pub id: u64,
+    /// The shape's cache key (its debug form).
+    pub key: String,
+    /// Lookups of this shape served from cache.
+    pub hits: u64,
+    /// Times this shape was compiled (> 1 means it was evicted and came
+    /// back, or raced on first sight).
+    pub compiles: u64,
+}
+
+/// The permanent shape registry: ids, templates and per-shape statistics.
+/// Append-only — eviction removes compilations, never identities.
+#[derive(Default)]
+struct Registry {
+    by_key: HashMap<String, u64>,
+    templates: Vec<Template>,
+    /// Shared with every [`PreparedShape`] of the same id, so hits are
+    /// counted without taking the registry lock.
+    hits: Vec<Arc<AtomicU64>>,
+    compiles: Vec<AtomicU64>,
+}
+
+struct Entry {
+    shape: Arc<PreparedShape>,
+    last_used: AtomicU64,
+}
+
+/// A thread-safe, LRU-bounded cache of compiled statement shapes for one
+/// store configuration (schema, constraint `α`, Ω interpretation).
 pub struct GuardCache {
     schema: Schema,
     alpha: Formula,
     omega: Omega,
-    map: RwLock<HashMap<String, Arc<PreparedTx>>>,
+    capacity: usize,
+    map: RwLock<HashMap<String, Entry>>,
+    registry: RwLock<Registry>,
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl GuardCache {
-    /// An empty cache for the given configuration.
+    /// An empty cache with the [default capacity](DEFAULT_CAPACITY).
     pub fn new(schema: Schema, alpha: Formula, omega: Omega) -> Self {
+        Self::with_capacity(schema, alpha, omega, DEFAULT_CAPACITY)
+    }
+
+    /// An empty cache bounded to `capacity` live compilations (≥ 1).
+    pub fn with_capacity(schema: Schema, alpha: Formula, omega: Omega, capacity: usize) -> Self {
         assert!(alpha.is_sentence(), "a constraint must be a sentence");
         GuardCache {
             schema,
             alpha,
             omega,
+            capacity: capacity.max(1),
             map: RwLock::new(HashMap::new()),
+            registry: RwLock::new(Registry::default()),
+            tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -71,6 +185,11 @@ impl GuardCache {
         &self.schema
     }
 
+    /// The LRU budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// `(hits, misses)` so far.
     pub fn stats(&self) -> (u64, u64) {
         (
@@ -79,18 +198,102 @@ impl GuardCache {
         )
     }
 
-    /// Returns the prepared transaction for `program`, compiling it on
-    /// first sight. Concurrent first sights may compile redundantly; the
-    /// cache keeps one winner.
-    pub fn get_or_compile(&self, program: &Program) -> Result<Arc<PreparedTx>, StoreError> {
-        let key = format!("{program:?}");
-        if let Some(hit) = self.map.read().expect("guard cache poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(hit));
+    /// Aggregate counters plus current sizes.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.map.read().expect("guard cache poisoned").len(),
+            shapes: self
+                .registry
+                .read()
+                .expect("shape registry poisoned")
+                .templates
+                .len(),
         }
+    }
+
+    /// Per-shape hit/compile counters, ordered by shape id.
+    pub fn per_shape_stats(&self) -> Vec<ShapeStat> {
+        let reg = self.registry.read().expect("shape registry poisoned");
+        reg.templates
+            .iter()
+            .enumerate()
+            .map(|(i, t)| ShapeStat {
+                id: i as u64,
+                key: t.key(),
+                hits: reg.hits[i].load(Ordering::Relaxed),
+                compiles: reg.compiles[i].load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Every statement shape ever seen, by id — what an audit needs to
+    /// resolve the `(shape, bindings)` provenance recorded in history
+    /// events, including shapes whose compilations were evicted.
+    pub fn templates(&self) -> BTreeMap<u64, Template> {
+        let reg = self.registry.read().expect("shape registry poisoned");
+        reg.templates
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as u64, t.clone()))
+            .collect()
+    }
+
+    /// Prepares `program`: canonicalizes it to `(shape, bindings)`, fetches
+    /// or compiles the shape, and instantiates the guard. Concurrent first
+    /// sights may compile redundantly; the cache keeps one winner. The
+    /// per-call cost on a hit is the canonicalization plus one guard-sized
+    /// substitution — independent of the domain and of the universe.
+    pub fn get_or_compile(&self, program: &Program) -> Result<PreparedTx, StoreError> {
+        let (template, bindings) = canonicalize(program)?;
+        let key = template.key();
+
+        let shape = if let Some(shape) = self.lookup(&key) {
+            shape
+        } else {
+            self.compile_shape(&key, template)?
+        };
+
+        let guard = shape.compiled.instantiate_fast(&bindings);
+        Ok(PreparedTx {
+            shape,
+            bindings,
+            guard,
+        })
+    }
+
+    fn lookup(&self, key: &str) -> Option<Arc<PreparedShape>> {
+        let map = self.map.read().expect("guard cache poisoned");
+        let entry = map.get(key)?;
+        entry.last_used.store(
+            self.tick.fetch_add(1, Ordering::Relaxed) + 1,
+            Ordering::Relaxed,
+        );
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        // Per-shape hit counter is shared into the entry's shape, so no
+        // registry lock is needed on the hot path.
+        entry.shape.hits.fetch_add(1, Ordering::Relaxed);
+        Some(Arc::clone(&entry.shape))
+    }
+
+    fn compile_shape(
+        &self,
+        key: &str,
+        template: Template,
+    ) -> Result<Arc<PreparedShape>, StoreError> {
         self.misses.fetch_add(1, Ordering::Relaxed);
 
-        let compiled = compile_guard("store", program, &self.alpha, &self.schema, &self.omega)?;
+        // Compile first: a shape whose compilation fails is never
+        // registered, so the registry only ever holds usable statements.
+        let compiled =
+            compile_guard_template("store", &template, &self.alpha, &self.schema, &self.omega)?;
+        let (id, hits) = self.register(key, &template);
+        {
+            let reg = self.registry.read().expect("shape registry poisoned");
+            reg.compiles[id as usize].fetch_add(1, Ordering::Relaxed);
+        }
         let reads = if compiled.domain_independent {
             compiled.reads.clone()
         } else {
@@ -101,13 +304,57 @@ impl GuardCache {
                 .map(|(name, _)| name.to_string())
                 .collect()
         };
-        let prepared = Arc::new(PreparedTx {
+        let shape = Arc::new(PreparedShape {
+            id,
+            template,
             compiled,
-            tx: ProgramTransaction::new("store", program.clone(), self.omega.clone()),
             reads,
+            hits,
         });
+
         let mut map = self.map.write().expect("guard cache poisoned");
-        Ok(Arc::clone(map.entry(key).or_insert(prepared)))
+        let winner = match map.entry(key.to_string()) {
+            std::collections::hash_map::Entry::Occupied(e) => Arc::clone(&e.get().shape),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(Entry {
+                    shape: Arc::clone(&shape),
+                    last_used: AtomicU64::new(self.tick.fetch_add(1, Ordering::Relaxed) + 1),
+                });
+                shape
+            }
+        };
+        while map.len() > self.capacity {
+            let oldest = map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone())
+                .expect("map over capacity is non-empty");
+            map.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(winner)
+    }
+
+    /// Gets or assigns the permanent id of a shape; returns the id plus the
+    /// shared hit counter for the compiled shape to hold.
+    fn register(&self, key: &str, template: &Template) -> (u64, Arc<AtomicU64>) {
+        {
+            let reg = self.registry.read().expect("shape registry poisoned");
+            if let Some(&id) = reg.by_key.get(key) {
+                return (id, Arc::clone(&reg.hits[id as usize]));
+            }
+        }
+        let mut reg = self.registry.write().expect("shape registry poisoned");
+        if let Some(&id) = reg.by_key.get(key) {
+            return (id, Arc::clone(&reg.hits[id as usize]));
+        }
+        let id = reg.templates.len() as u64;
+        let hits = Arc::new(AtomicU64::new(0));
+        reg.by_key.insert(key.to_string(), id);
+        reg.templates.push(template.clone());
+        reg.hits.push(Arc::clone(&hits));
+        reg.compiles.push(AtomicU64::new(0));
+        (id, hits)
     }
 }
 
@@ -130,24 +377,92 @@ mod tests {
         let p = Program::insert_consts("E", [1, 4]);
         let a = c.get_or_compile(&p).expect("compiles");
         let b = c.get_or_compile(&p).expect("compiles");
-        assert!(Arc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a.shape, &b.shape));
+        assert_eq!(a.guard, b.guard);
         assert_eq!(c.stats(), (1, 1));
     }
 
+    /// The collapse the refactor buys: programs differing only in constants
+    /// share one compiled shape — the second lookup is a hit, not a compile.
     #[test]
-    fn distinct_programs_compile_separately() {
+    fn distinct_constants_share_a_shape() {
         let c = cache();
-        c.get_or_compile(&Program::insert_consts("E", [1, 4]))
+        let a = c
+            .get_or_compile(&Program::insert_consts("E", [1, 4]))
             .expect("compiles");
-        c.get_or_compile(&Program::insert_consts("E", [2, 4]))
+        let b = c
+            .get_or_compile(&Program::insert_consts("E", [2, 9]))
             .expect("compiles");
-        assert_eq!(c.stats(), (0, 2));
+        assert!(Arc::ptr_eq(&a.shape, &b.shape));
+        assert_eq!(a.bindings, vec![Elem(1), Elem(4)]);
+        assert_eq!(b.bindings, vec![Elem(2), Elem(9)]);
+        assert_ne!(a.guard, b.guard, "guards are instantiated per binding");
+        assert_eq!(c.stats(), (1, 1));
+        assert_eq!(c.cache_stats().shapes, 1);
+        // a different statement kind is a different shape
+        c.get_or_compile(&Program::delete_consts("E", [1, 4]))
+            .expect("compiles");
+        assert_eq!(c.cache_stats().shapes, 2);
+    }
+
+    #[test]
+    fn eviction_recompiles_and_is_counted() {
+        let c = GuardCache::with_capacity(
+            Schema::new([("E", 2), ("F", 2)]),
+            parse_formula(
+                "(forall x y z. E(x, y) & E(x, z) -> y = z) \
+                 & (forall x y z. F(x, y) & F(x, z) -> y = z)",
+            )
+            .expect("parses"),
+            Omega::empty(),
+            2,
+        );
+        // three shapes through a 2-entry cache, round-robin: every lookup
+        // evicts the next victim, so the third pass recompiles everything
+        let menu = [
+            Program::insert_consts("E", [0, 1]),
+            Program::delete_consts("E", [0, 1]),
+            Program::insert_consts("F", [0, 1]),
+        ];
+        for p in menu.iter().cycle().take(9) {
+            c.get_or_compile(p).expect("compiles");
+        }
+        let stats = c.cache_stats();
+        assert_eq!(stats.shapes, 3, "three shapes registered");
+        assert!(stats.entries <= 2, "LRU bound holds");
+        assert!(stats.evictions > 0, "evictions are counted");
+        assert!(
+            stats.misses > 3,
+            "evicted shapes recompile: {stats:?} should show more misses than shapes"
+        );
+        let per_shape = c.per_shape_stats();
+        assert_eq!(per_shape.len(), 3);
+        assert!(
+            per_shape.iter().any(|s| s.compiles > 1),
+            "some shape was compiled more than once: {per_shape:?}"
+        );
+        // identities survive eviction: every shape is still resolvable
+        assert_eq!(c.templates().len(), 3);
+    }
+
+    /// A client cannot smuggle placeholder terms into a submitted program:
+    /// the guard would otherwise verify a different instantiation than the
+    /// program the executor runs.
+    #[test]
+    fn programs_with_placeholders_are_refused() {
+        let c = cache();
+        let p = Program::Insert {
+            rel: "E".into(),
+            tuple: vec![vpdt_logic::Term::param(0), vpdt_logic::Term::cst(4u64)],
+        };
+        assert!(matches!(c.get_or_compile(&p), Err(StoreError::Tx(_))));
     }
 
     #[test]
     fn prepared_transactions_cross_threads() {
         fn assert_bounds<T: Send + Sync>() {}
         assert_bounds::<PreparedTx>();
+        assert_bounds::<PreparedShape>();
         assert_bounds::<GuardCache>();
     }
 }

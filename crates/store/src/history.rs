@@ -8,9 +8,16 @@
 //! tampered or reordered log.
 
 use std::sync::Mutex;
+use vpdt_logic::Elem;
 use vpdt_structure::Database;
 
 /// One entry in the history log.
+///
+/// `Begin` and `Commit` record the transaction's prepared-statement
+/// provenance — the id of its canonicalized shape plus the binding vector —
+/// so an audit can re-derive the ground program from the statement the
+/// executor actually instantiated (and reject a log whose recorded
+/// provenance does not match the submitted program).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Event {
     /// A transaction entered the pipeline; `version` is the snapshot it
@@ -20,6 +27,10 @@ pub enum Event {
         tx: u64,
         /// Snapshot version first observed.
         version: u64,
+        /// Id of the canonicalized statement shape (see `GuardCache`).
+        shape: u64,
+        /// The constants bound to the shape's placeholders.
+        bindings: Vec<Elem>,
     },
     /// The cached guard was evaluated against snapshot `version`.
     GuardEval {
@@ -41,6 +52,10 @@ pub enum Event {
         version: u64,
         /// Relations the commit wrote.
         writes: Vec<String>,
+        /// Id of the canonicalized statement shape.
+        shape: u64,
+        /// The constants bound to the shape's placeholders.
+        bindings: Vec<Elem>,
         /// FNV-1a hash of the committed state's encoding.
         state_hash: u64,
     },
@@ -110,7 +125,12 @@ mod tests {
     #[test]
     fn log_preserves_order() {
         let h = History::new();
-        h.record(Event::Begin { tx: 1, version: 0 });
+        h.record(Event::Begin {
+            tx: 1,
+            version: 0,
+            shape: 0,
+            bindings: vec![vpdt_logic::Elem(3)],
+        });
         h.record(Event::GuardEval {
             tx: 1,
             version: 0,

@@ -16,10 +16,14 @@
 //!   store. Readers share immutable [`Snapshot`]s behind `Arc`; commits are
 //!   validated optimistically at *relation granularity*, so transactions
 //!   with disjoint footprints commit concurrently without interfering;
-//! * [`guard::GuardCache`] — compiles each distinct program **once** into a
+//! * [`guard::GuardCache`] — canonicalizes each program into a prepared
+//!   statement (`vpdt_tx::template`: a constant-free *shape* plus bindings),
+//!   compiles each distinct **shape** once into a
 //!   [`vpdt_core::safe::GuardCompilation`] (prerelations + `wpc` + the
-//!   invariant-reduced guard Δ of Section 6) and shares the result across
-//!   threads;
+//!   invariant-reduced guard Δ of Section 6), instantiates guards per
+//!   transaction by binding substitution, and bounds live compilations with
+//!   LRU eviction — so compilation cost is O(statement shapes), independent
+//!   of the universe;
 //! * [`exec`] — a [`Submitter`]/[`Executor`](exec) pipeline batching guarded
 //!   transactions across worker threads, plus the serial check-and-rollback
 //!   baseline it displaces;
@@ -52,7 +56,7 @@ pub mod workload;
 
 pub use audit::{audit, AuditReport};
 pub use exec::{run_jobs, run_serial_rollback, ExecReport, Job, Submitter, TxStatus};
-pub use guard::GuardCache;
+pub use guard::{CacheStats, GuardCache, PreparedShape, PreparedTx, ShapeStat};
 pub use history::{Event, History};
 pub use snapshot::{CommitOutcome, CommitRequest, Snapshot, VersionedStore};
 

@@ -8,8 +8,11 @@
 //! consequences:
 //!
 //! * transactions whose footprints are disjoint commit concurrently even
-//!   when they interleave — the committed relations are merged tuple-wise
-//!   into the current state (the per-relation sharding of the issue);
+//!   when they interleave — the committed state keeps its written relations
+//!   and takes every unwritten relation from the current state by `Arc`
+//!   pointer swap (relations are individually shared, see
+//!   `vpdt_structure::Database::rel_handle`), so a disjoint merge costs
+//!   O(relations), not O(tuples);
 //! * transactions that raced on a common relation are rejected with
 //!   [`CommitOutcome::Conflict`] and re-validate on a fresh snapshot.
 //!
@@ -43,6 +46,11 @@ pub struct CommitRequest {
     pub reads: BTreeSet<String>,
     /// Relations the program wrote.
     pub writes: BTreeSet<String>,
+    /// Id of the transaction's canonicalized statement shape (recorded in
+    /// the commit event for audit provenance).
+    pub shape: u64,
+    /// The constants bound to the shape's placeholders.
+    pub bindings: Vec<vpdt_logic::Elem>,
     /// The computed post-state (its `writes` relations are authoritative).
     pub new_db: Database,
 }
@@ -143,16 +151,14 @@ impl VersionedStore {
         } else {
             // Disjoint interleaving: keep the current contents of
             // unwritten relations, take the written ones from the
-            // transaction's output.
-            let mut out = Database::empty(self.schema.clone());
+            // transaction's output. Relations live behind individual
+            // `Arc`s, so this is a pointer swap per unwritten relation —
+            // no tuple is copied — followed by one domain re-normalization
+            // served from the relations' cached active domains.
+            let mut out = req.new_db;
             for (rel, _) in self.schema.iter() {
-                let source = if req.writes.contains(rel) {
-                    &req.new_db
-                } else {
-                    &*s.db
-                };
-                for t in source.rel(rel).iter() {
-                    out.insert(rel, t.clone());
+                if !req.writes.contains(rel) {
+                    out.set_rel_handle(rel, s.db.rel_handle(rel));
                 }
             }
             normalize_domain(out)
@@ -170,6 +176,8 @@ impl VersionedStore {
             based_on: req.based_on,
             version,
             writes: req.writes.iter().cloned().collect(),
+            shape: req.shape,
+            bindings: req.bindings.clone(),
             state_hash: hash,
         });
         CommitOutcome::Committed { version }
@@ -202,6 +210,8 @@ mod tests {
             based_on: 0,
             reads: BTreeSet::from(["R0".to_string()]),
             writes: BTreeSet::from(["R0".to_string()]),
+            shape: 0,
+            bindings: vec![],
             new_db: with_edge(&schema, "R0", 1, 2),
         };
         let b = CommitRequest {
@@ -209,14 +219,20 @@ mod tests {
             based_on: 0,
             reads: BTreeSet::from(["R1".to_string()]),
             writes: BTreeSet::from(["R1".to_string()]),
+            shape: 1,
+            bindings: vec![],
             new_db: with_edge(&schema, "R1", 7, 8),
         };
         assert_eq!(store.try_commit(a), CommitOutcome::Committed { version: 1 });
+        let v1 = store.snapshot();
         // b is stale (based_on 0 < version 1) but its footprint is untouched
         assert_eq!(store.try_commit(b), CommitOutcome::Committed { version: 2 });
         let snap = store.snapshot();
         assert!(snap.db.contains("R0", &[Elem(1), Elem(2)]));
         assert!(snap.db.contains("R1", &[Elem(7), Elem(8)]));
+        // the disjoint merge took the unwritten R0 from version 1 by
+        // pointer swap, not by re-inserting its tuples
+        assert!(snap.db.shares_rel(&v1.db, "R0"));
     }
 
     #[test]
@@ -228,6 +244,8 @@ mod tests {
             based_on: 0,
             reads: BTreeSet::from(["R0".to_string()]),
             writes: BTreeSet::from(["R0".to_string()]),
+            shape: 0,
+            bindings: vec![],
             new_db,
         };
         assert_eq!(
@@ -254,6 +272,8 @@ mod tests {
                 based_on: v,
                 reads: BTreeSet::from(["R0".to_string()]),
                 writes: BTreeSet::from(["R0".to_string()]),
+                shape: 0,
+                bindings: vec![],
                 new_db: with_edge(&schema, "R0", i, i + 1),
             };
             assert!(matches!(

@@ -1,14 +1,29 @@
 //! Databases: finite interpretations of a relational schema.
+//!
+//! Relations are stored behind individual [`Arc`]s: ordinary mutation is
+//! copy-on-write (`Arc::make_mut`), while a versioned store merging two
+//! states with disjoint write footprints can swap whole relations by
+//! pointer ([`Database::rel_handle`] / [`Database::set_rel_handle`])
+//! instead of rebuilding the database tuple-by-tuple. Each relation also
+//! maintains its active domain incrementally (an occurrence-counted element
+//! map), so re-normalizing the domain after such a merge costs the number
+//! of *distinct elements*, not the number of tuples.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 use vpdt_logic::{Elem, Schema};
 
 /// A finite relation: a set of tuples of fixed arity over `U`.
+///
+/// `adom` caches the active domain as occurrence counts; it is derived
+/// data (a pure function of `tuples`), so the derived `Eq`/`Ord` over all
+/// fields remain consistent with tuple-set identity.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Relation {
     arity: usize,
     tuples: BTreeSet<Vec<Elem>>,
+    adom: BTreeMap<Elem, u32>,
 }
 
 impl Relation {
@@ -17,6 +32,7 @@ impl Relation {
         Relation {
             arity,
             tuples: BTreeSet::new(),
+            adom: BTreeMap::new(),
         }
     }
 
@@ -41,12 +57,30 @@ impl Relation {
     /// Panics on an arity mismatch (a programming error).
     pub fn insert(&mut self, tuple: Vec<Elem>) -> bool {
         assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
+        if self.tuples.contains(&tuple) {
+            return false;
+        }
+        for e in &tuple {
+            *self.adom.entry(*e).or_insert(0) += 1;
+        }
         self.tuples.insert(tuple)
     }
 
     /// Removes a tuple. Returns `true` if it was present.
     pub fn remove(&mut self, tuple: &[Elem]) -> bool {
-        self.tuples.remove(tuple)
+        let removed = self.tuples.remove(tuple);
+        if removed {
+            for e in tuple {
+                match self.adom.get_mut(e) {
+                    Some(n) if *n > 1 => *n -= 1,
+                    Some(_) => {
+                        self.adom.remove(e);
+                    }
+                    None => unreachable!("adom undercount for {e}"),
+                }
+            }
+        }
+        removed
     }
 
     /// Membership test.
@@ -59,9 +93,10 @@ impl Relation {
         self.tuples.iter()
     }
 
-    /// All elements appearing in some tuple.
+    /// All elements appearing in some tuple. Served from the incremental
+    /// cache: O(distinct elements), not O(tuples).
     pub fn active_domain(&self) -> BTreeSet<Elem> {
-        self.tuples.iter().flatten().copied().collect()
+        self.adom.keys().copied().collect()
     }
 }
 
@@ -104,7 +139,7 @@ impl fmt::Debug for Relation {
 pub struct Database {
     schema: Schema,
     domain: BTreeSet<Elem>,
-    rels: Vec<Relation>,
+    rels: Vec<Arc<Relation>>,
 }
 
 impl Database {
@@ -113,7 +148,7 @@ impl Database {
         let rels = schema
             .rels()
             .iter()
-            .map(|r| Relation::empty(r.arity))
+            .map(|r| Arc::new(Relation::empty(r.arity)))
             .collect();
         Database {
             schema,
@@ -159,7 +194,9 @@ impl Database {
         self.domain.len()
     }
 
-    /// The active domain: elements occurring in at least one tuple.
+    /// The active domain: elements occurring in at least one tuple. Served
+    /// from the relations' incremental caches — O(relations × distinct
+    /// elements), independent of the tuple count.
     pub fn active_domain(&self) -> BTreeSet<Elem> {
         let mut out = BTreeSet::new();
         for r in &self.rels {
@@ -200,7 +237,7 @@ impl Database {
             .index_of(name)
             .unwrap_or_else(|| panic!("relation {name} not in schema"));
         self.domain.extend(tuple.iter().copied());
-        self.rels[i].insert(tuple)
+        Arc::make_mut(&mut self.rels[i]).insert(tuple)
     }
 
     /// Removes a tuple from `name` (the domain is left unchanged).
@@ -209,7 +246,56 @@ impl Database {
             .schema
             .index_of(name)
             .unwrap_or_else(|| panic!("relation {name} not in schema"));
-        self.rels[i].remove(tuple)
+        Arc::make_mut(&mut self.rels[i]).remove(tuple)
+    }
+
+    /// The shared handle of one relation (cheap: clones an `Arc`). Together
+    /// with [`Database::set_rel_handle`] this is the pointer-swap merge
+    /// path of the versioned store: a commit whose write footprint is
+    /// disjoint from the in-flight state takes unwritten relations from the
+    /// current version by handle instead of re-inserting their tuples.
+    ///
+    /// # Panics
+    /// Panics if `name` is not in the schema.
+    pub fn rel_handle(&self, name: &str) -> Arc<Relation> {
+        let i = self
+            .schema
+            .index_of(name)
+            .unwrap_or_else(|| panic!("relation {name} not in schema"));
+        Arc::clone(&self.rels[i])
+    }
+
+    /// Replaces one relation by a shared handle (O(1), no tuple copies).
+    /// The explicit domain is *not* adjusted — callers compose swaps and
+    /// then call [`Database::shrink_domain_to_active`] once.
+    ///
+    /// # Panics
+    /// Panics if `name` is not in the schema or the arity mismatches.
+    pub fn set_rel_handle(&mut self, name: &str, rel: Arc<Relation>) {
+        let i = self
+            .schema
+            .index_of(name)
+            .unwrap_or_else(|| panic!("relation {name} not in schema"));
+        assert_eq!(
+            rel.arity(),
+            self.rels[i].arity(),
+            "arity mismatch swapping {name}"
+        );
+        self.rels[i] = rel;
+    }
+
+    /// Whether two databases share the same relation object for `name`
+    /// (pointer equality — for tests asserting the swap really is a swap).
+    pub fn shares_rel(&self, other: &Database, name: &str) -> bool {
+        let i = self
+            .schema
+            .index_of(name)
+            .unwrap_or_else(|| panic!("relation {name} not in schema"));
+        let j = other
+            .schema
+            .index_of(name)
+            .unwrap_or_else(|| panic!("relation {name} not in schema"));
+        Arc::ptr_eq(&self.rels[i], &other.rels[j])
     }
 
     /// Whether `tuple ∈ name`.
@@ -219,7 +305,7 @@ impl Database {
 
     /// Total number of tuples across all relations.
     pub fn total_tuples(&self) -> usize {
-        self.rels.iter().map(Relation::len).sum()
+        self.rels.iter().map(|r| r.len()).sum()
     }
 
     /// Edges of the binary relation `E` as pairs (convenience for graphs).
@@ -414,5 +500,44 @@ mod tests {
     fn wrong_arity_panics() {
         let mut r = Relation::empty(2);
         r.insert(vec![Elem(1)]);
+    }
+
+    /// The incremental active-domain cache stays exact across inserts,
+    /// duplicate inserts, and removals (including repeated elements).
+    #[test]
+    fn active_domain_cache_is_exact() {
+        let mut r = Relation::empty(2);
+        let recompute = |r: &Relation| -> BTreeSet<Elem> { r.iter().flatten().copied().collect() };
+        r.insert(vec![Elem(1), Elem(1)]);
+        r.insert(vec![Elem(1), Elem(2)]);
+        r.insert(vec![Elem(1), Elem(2)]); // duplicate: no double count
+        assert_eq!(r.active_domain(), recompute(&r));
+        r.remove(&[Elem(1), Elem(2)]);
+        assert_eq!(r.active_domain(), recompute(&r));
+        assert_eq!(r.active_domain(), BTreeSet::from([Elem(1)]));
+        r.remove(&[Elem(1), Elem(1)]);
+        assert!(r.active_domain().is_empty());
+        // removing an absent tuple is a no-op on the cache
+        r.insert(vec![Elem(3), Elem(4)]);
+        r.remove(&[Elem(4), Elem(3)]);
+        assert_eq!(r.active_domain(), BTreeSet::from([Elem(3), Elem(4)]));
+    }
+
+    /// Relation handles swap by pointer, and copy-on-write keeps sharing
+    /// observable but never lets mutation leak across databases.
+    #[test]
+    fn rel_handles_swap_by_pointer() {
+        let a = Database::graph([(0, 1), (1, 2)]);
+        let mut b = Database::graph([(7, 8)]);
+        assert!(!a.shares_rel(&b, "E"));
+        b.set_rel_handle("E", a.rel_handle("E"));
+        assert!(a.shares_rel(&b, "E"));
+        assert!(b.contains("E", &[Elem(0), Elem(1)]));
+        b.shrink_domain_to_active();
+        assert_eq!(b.domain(), a.domain());
+        // mutating b unshares (copy-on-write); a is untouched
+        b.insert("E", vec![Elem(9), Elem(9)]);
+        assert!(!a.shares_rel(&b, "E"));
+        assert!(!a.contains("E", &[Elem(9), Elem(9)]));
     }
 }

@@ -13,6 +13,10 @@
 //! * [`program`] — first-order update programs in the style of Qian [32]:
 //!   inserts, conditional deletes/inserts, parallel assignment, sequencing
 //!   and conditionals. These compile to prerelations in `vpdt-core`;
+//! * [`template`] — prepared statements: [`template::canonicalize`] splits a
+//!   ground program into a constant-free [`template::Template`] shape plus a
+//!   binding vector, so guard compilation can be shared across all programs
+//!   of the same shape (one cache entry per statement, not per tuple);
 //! * [`datalog`] — a stratified Datalog¬ engine (naive and semi-naive) and
 //!   Datalog-defined transactions; `tc`, `dtc` and same-generation are
 //!   provided as programs (Theorem B's recursion constructs);
@@ -30,6 +34,7 @@ pub mod algebra;
 pub mod datalog;
 pub mod program;
 pub mod recursive;
+pub mod template;
 pub mod traits;
 pub mod while_lang;
 

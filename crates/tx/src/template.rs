@@ -1,0 +1,306 @@
+//! Statement templates: prepared statements for update programs.
+//!
+//! A ground program like `insert E(3, 4)` differs from `insert E(5, 1)`
+//! only in its constants; everything the guard compiler produces for one —
+//! prerelations, the `wpc` translation, the invariant-reduced guard, the
+//! Section-6 Δ — has the same *shape* for the other. [`canonicalize`] makes
+//! that sharing explicit: it lifts every constant occurring in a program to
+//! a placeholder term ([`Term::param`]) in first-occurrence order, yielding
+//! a constant-free [`Template`] plus the binding vector of lifted values.
+//! [`Template::instantiate`] is its exact inverse:
+//!
+//! ```text
+//! canonicalize(p) = (t, b)   ⟹   t.instantiate(&b) = p        (roundtrip)
+//! ```
+//!
+//! Two ground programs canonicalize to the same template exactly when they
+//! differ only in constants, so a guard cache keyed by templates holds one
+//! entry per statement *shape* — O(1) in the size of the universe — instead
+//! of one entry per ground program.
+//!
+//! Placeholders are ground terms (nullary applications of the reserved
+//! symbol `?i`), so a template's shape is itself a well-formed [`Program`]
+//! and flows through the whole compilation pipeline unchanged; only
+//! *evaluation* of an un-instantiated placeholder is an error, which is
+//! exactly the failure mode a forgotten binding should have.
+
+use crate::program::Program;
+use crate::traits::TxError;
+use std::fmt;
+use vpdt_logic::subst::map_terms;
+use vpdt_logic::{Elem, Formula, Term};
+
+/// A canonicalized statement shape: a program whose constants have been
+/// lifted to placeholders `?0, ?1, …` in first-occurrence order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Template {
+    shape: Program,
+    params: usize,
+}
+
+impl Template {
+    /// The constant-free program shape (placeholders in constant positions).
+    pub fn shape(&self) -> &Program {
+        &self.shape
+    }
+
+    /// Number of placeholders (= length of a valid binding vector).
+    pub fn params(&self) -> usize {
+        self.params
+    }
+
+    /// A stable cache key for the shape. Two ground programs share a key
+    /// exactly when they canonicalize to the same template.
+    pub fn key(&self) -> String {
+        format!("{:?}", self.shape)
+    }
+
+    /// Substitutes `bindings[i]` for every placeholder `?i`, recovering a
+    /// ground program. The inverse of [`canonicalize`] on its own output.
+    pub fn instantiate(&self, bindings: &[Elem]) -> Result<Program, TxError> {
+        if bindings.len() != self.params {
+            return Err(TxError::Eval(format!(
+                "template with {} placeholders instantiated with {} bindings",
+                self.params,
+                bindings.len()
+            )));
+        }
+        Ok(map_program_terms(&self.shape, &mut |t| {
+            vpdt_logic::subst::instantiate_params_term(t, bindings)
+        }))
+    }
+}
+
+impl fmt::Display for Template {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "template[{} params] {:?}", self.params, self.shape)
+    }
+}
+
+/// Splits a ground program into `(shape, bindings)`: every constant —
+/// in insert tuples, inside Ω-applications, and in condition formulas —
+/// is replaced by the next placeholder and its value recorded. Constants
+/// are lifted *positionally* (two occurrences of the same value get two
+/// placeholders), which maximizes shape sharing: `insert E(3,3)` and
+/// `insert E(3,4)` are the same prepared statement with different bindings.
+///
+/// A program that already contains placeholder terms is **rejected**: the
+/// lifted indices would collide with the pre-existing `?i`, breaking the
+/// roundtrip invariant (the guard would verify a different program than
+/// the one executed). Placeholders belong to templates, not to submitted
+/// programs.
+pub fn canonicalize(p: &Program) -> Result<(Template, Vec<Elem>), TxError> {
+    if program_has_params(p) {
+        return Err(TxError::Eval(
+            "cannot canonicalize a program that already contains placeholder terms".to_string(),
+        ));
+    }
+    let mut bindings = Vec::new();
+    let shape = map_program_terms(p, &mut |t| lift_term(t, &mut bindings));
+    Ok((
+        Template {
+            shape,
+            params: bindings.len(),
+        },
+        bindings,
+    ))
+}
+
+/// Whether any placeholder term occurs in the program (insert tuples or
+/// condition formulas).
+fn program_has_params(p: &Program) -> bool {
+    fn formula_has_params(f: &Formula) -> bool {
+        !vpdt_logic::subst::formula_params(f).is_empty()
+    }
+    match p {
+        Program::Skip => false,
+        Program::Insert { tuple, .. } => tuple.iter().any(Term::has_params),
+        Program::DeleteWhere { cond, .. } | Program::InsertWhere { cond, .. } => {
+            formula_has_params(cond)
+        }
+        Program::Assign { body, .. } => formula_has_params(body),
+        Program::Seq(ps) => ps.iter().any(program_has_params),
+        Program::If {
+            cond,
+            then_p,
+            else_p,
+        } => formula_has_params(cond) || program_has_params(then_p) || program_has_params(else_p),
+    }
+}
+
+fn lift_term(t: &Term, bindings: &mut Vec<Elem>) -> Term {
+    match t {
+        Term::Var(_) => t.clone(),
+        Term::Const(e) => {
+            bindings.push(*e);
+            Term::param(bindings.len() - 1)
+        }
+        Term::App(f, args) => Term::App(
+            f.clone(),
+            args.iter().map(|a| lift_term(a, bindings)).collect(),
+        ),
+    }
+}
+
+/// Rewrites every term position of a program (insert tuples and all
+/// condition formulas) with `rewrite`.
+fn map_program_terms(p: &Program, rewrite: &mut dyn FnMut(&Term) -> Term) -> Program {
+    match p {
+        Program::Skip => Program::Skip,
+        Program::Insert { rel, tuple } => Program::Insert {
+            rel: rel.clone(),
+            tuple: tuple.iter().map(rewrite).collect(),
+        },
+        Program::DeleteWhere { rel, vars, cond } => Program::DeleteWhere {
+            rel: rel.clone(),
+            vars: vars.clone(),
+            cond: map_terms(cond, rewrite),
+        },
+        Program::InsertWhere { rel, vars, cond } => Program::InsertWhere {
+            rel: rel.clone(),
+            vars: vars.clone(),
+            cond: map_terms(cond, rewrite),
+        },
+        Program::Assign { rel, vars, body } => Program::Assign {
+            rel: rel.clone(),
+            vars: vars.clone(),
+            body: map_terms(body, rewrite),
+        },
+        Program::Seq(ps) => {
+            Program::Seq(ps.iter().map(|q| map_program_terms(q, rewrite)).collect())
+        }
+        Program::If {
+            cond,
+            then_p,
+            else_p,
+        } => Program::If {
+            cond: map_terms(cond, rewrite),
+            then_p: Box::new(map_program_terms(then_p, rewrite)),
+            else_p: Box::new(map_program_terms(else_p, rewrite)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpdt_logic::{parse_formula, Var};
+
+    fn roundtrips(p: &Program) {
+        let (t, b) = canonicalize(p).expect("canonicalizes");
+        assert_eq!(&t.instantiate(&b).expect("instantiates"), p, "{p:?}");
+    }
+
+    #[test]
+    fn canonicalize_roundtrips() {
+        for p in [
+            Program::Skip,
+            Program::insert_consts("E", [3, 4]),
+            Program::insert_consts("E", [3, 3]),
+            Program::delete_consts("E", [0, 7]),
+            Program::Insert {
+                rel: "E".into(),
+                tuple: vec![Term::cst(1u64), Term::app("succ", [Term::cst(1u64)])],
+            },
+            Program::seq([
+                Program::insert_consts("E", [1, 2]),
+                Program::If {
+                    cond: parse_formula("exists x. E(x, 5)").expect("parses"),
+                    then_p: Box::new(Program::delete_consts("E", [5, 5])),
+                    else_p: Box::new(Program::Skip),
+                },
+            ]),
+            Program::Assign {
+                rel: "E".into(),
+                vars: vec![Var::new("x"), Var::new("y")],
+                body: parse_formula("x != 9 & E(x, y)").expect("parses"),
+            },
+        ] {
+            roundtrips(&p);
+        }
+    }
+
+    #[test]
+    fn shapes_collapse_over_constants() {
+        let (a, ba) = canonicalize(&Program::insert_consts("E", [3, 4])).expect("canonicalizes");
+        let (b, bb) = canonicalize(&Program::insert_consts("E", [5, 1])).expect("canonicalizes");
+        let (c, bc) = canonicalize(&Program::insert_consts("E", [3, 3])).expect("canonicalizes");
+        assert_eq!(a, b);
+        assert_eq!(a, c, "repeated constants do not change the shape");
+        assert_eq!(a.key(), b.key());
+        assert_eq!(ba, vec![Elem(3), Elem(4)]);
+        assert_eq!(bb, vec![Elem(5), Elem(1)]);
+        assert_eq!(bc, vec![Elem(3), Elem(3)]);
+        // different statement kinds stay distinct
+        let (d, _) = canonicalize(&Program::delete_consts("E", [3, 4])).expect("canonicalizes");
+        assert_ne!(a.key(), d.key());
+        // ...and so do different relations
+        let (e, _) = canonicalize(&Program::insert_consts("F", [3, 4])).expect("canonicalizes");
+        assert_ne!(a.key(), e.key());
+    }
+
+    #[test]
+    fn shape_is_constant_free() {
+        let (t, b) = canonicalize(&Program::seq([
+            Program::insert_consts("E", [1, 2]),
+            Program::delete_consts("E", [3, 4]),
+        ]))
+        .expect("canonicalizes");
+        assert_eq!(t.params(), 4);
+        assert_eq!(b.len(), 4);
+        for cond in t.shape().condition_formulas() {
+            assert!(cond.constants_used().is_empty(), "constant left in {cond}");
+        }
+    }
+
+    #[test]
+    fn programs_with_placeholders_are_rejected() {
+        // a placeholder smuggled into a "ground" program would collide
+        // with the lifted indices and break the roundtrip invariant
+        let p = Program::Insert {
+            rel: "E".into(),
+            tuple: vec![Term::param(0), Term::cst(5u64)],
+        };
+        assert!(matches!(canonicalize(&p), Err(TxError::Eval(_))));
+        // ...also when nested in an Ω-application or a condition formula
+        let nested = Program::Insert {
+            rel: "E".into(),
+            tuple: vec![Term::cst(1u64), Term::app("succ", [Term::param(0)])],
+        };
+        assert!(canonicalize(&nested).is_err());
+        let cond = Program::DeleteWhere {
+            rel: "E".into(),
+            vars: vec![Var::new("x"), Var::new("y")],
+            cond: Formula::eq(Term::var("x"), Term::param(2)),
+        };
+        assert!(canonicalize(&cond).is_err());
+    }
+
+    #[test]
+    fn binding_arity_is_checked() {
+        let (t, _) = canonicalize(&Program::insert_consts("E", [1, 2])).expect("canonicalizes");
+        assert!(matches!(t.instantiate(&[Elem(1)]), Err(TxError::Eval(_))));
+        assert!(matches!(
+            t.instantiate(&[Elem(1), Elem(2), Elem(3)]),
+            Err(TxError::Eval(_))
+        ));
+    }
+
+    #[test]
+    fn shape_footprints_match_ground_footprints() {
+        let p = Program::seq([
+            Program::insert_consts("E", [1, 2]),
+            Program::delete_consts("F", [3, 4]),
+        ]);
+        let (t, _) = canonicalize(&p).expect("canonicalizes");
+        assert_eq!(t.shape().touched_relations(), p.touched_relations());
+        assert_eq!(t.shape().read_relations(), p.read_relations());
+        assert_eq!(t.shape().enumerates_domain(), p.enumerates_domain());
+    }
+
+    #[test]
+    fn templates_cross_threads() {
+        fn assert_bounds<T: Send + Sync + Clone + 'static>() {}
+        assert_bounds::<Template>();
+    }
+}

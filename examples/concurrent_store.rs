@@ -38,16 +38,17 @@ fn main() {
         jobs.len()
     );
 
-    // Warm the guard cache: compilation is the one-time, per-statement cost
-    // the cache exists to amortize, so it is reported separately from the
-    // serving throughput.
+    // Warm the guard cache: every ground program canonicalizes to a
+    // prepared-statement shape, and only distinct *shapes* compile —
+    // O(statements), independent of the universe size.
     let tc = Instant::now();
     for job in &jobs {
         cache.get_or_compile(&job.program).expect("compiles");
     }
     println!(
-        "compiled {} distinct guards in {:.1?}",
-        cache.stats().1,
+        "compiled {} statement shapes (from {} submitted programs) in {:.1?}",
+        cache.cache_stats().shapes,
+        jobs.len(),
         tc.elapsed()
     );
 
@@ -84,6 +85,7 @@ fn main() {
         &store.snapshot().db,
         &store.history().events(),
         &programs,
+        &cache.templates(),
     );
     println!("{verdict}");
     assert!(verdict.ok(), "the audit must verify the run");

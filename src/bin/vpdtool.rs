@@ -304,6 +304,7 @@ fn run_store(args: &[String]) -> Result<(), String> {
         &store.snapshot().db,
         &store.history().events(),
         &programs,
+        &cache.templates(),
     );
     println!("{verdict}");
     if verdict.ok() && report.failed == 0 {

@@ -16,6 +16,7 @@ struct Run {
     jobs: Vec<Job>,
     initial: vpdt::structure::Database,
     alpha: vpdt::logic::Formula,
+    templates: BTreeMap<u64, vpdt::tx::template::Template>,
 }
 
 fn run(seed: u64, clients: u64, per_client: usize, threads: usize) -> Run {
@@ -25,11 +26,13 @@ fn run(seed: u64, clients: u64, per_client: usize, threads: usize) -> Run {
     let cache = GuardCache::new(store.schema().clone(), alpha.clone(), Omega::empty());
     let jobs = workload::sharded_jobs(seed, clients, per_client, RELS, UNIVERSE);
     run_jobs(&store, &cache, &jobs, threads);
+    let templates = cache.templates();
     Run {
         store,
         jobs,
         initial,
         alpha,
+        templates,
     }
 }
 
@@ -53,6 +56,7 @@ proptest! {
             &r.store.snapshot().db,
             &r.store.history().events(),
             &programs_of(&r.jobs),
+            &r.templates,
         );
         prop_assert!(report.ok(), "seed {}: {}", seed, report);
     }
@@ -93,6 +97,7 @@ proptest! {
             &r.store.snapshot().db,
             &events,
             &programs_of(&r.jobs),
+            &r.templates,
         );
         prop_assert!(!report.ok(), "seed {}: truncated history verified", seed);
     }

@@ -18,6 +18,7 @@ struct Run {
     initial: vpdt::structure::Database,
     alpha: vpdt::logic::Formula,
     report: vpdt::store::ExecReport,
+    templates: BTreeMap<u64, vpdt::tx::template::Template>,
 }
 
 fn run(seed: u64, clients: u64, per_client: usize, threads: usize) -> Run {
@@ -27,12 +28,14 @@ fn run(seed: u64, clients: u64, per_client: usize, threads: usize) -> Run {
     let cache = GuardCache::new(store.schema().clone(), alpha.clone(), Omega::empty());
     let jobs = workload::sharded_jobs(seed, clients, per_client, RELS, UNIVERSE);
     let report = run_jobs(&store, &cache, &jobs, threads);
+    let templates = cache.templates();
     Run {
         store,
         jobs,
         initial,
         alpha,
         report,
+        templates,
     }
 }
 
@@ -110,6 +113,7 @@ fn audit_accepts_real_histories() {
         &r.store.snapshot().db,
         &r.store.history().events(),
         &programs_of(&r.jobs),
+        &r.templates,
     );
     assert!(report.ok(), "{report}");
     assert_eq!(report.commits_checked, r.report.committed);
@@ -150,6 +154,7 @@ fn audit_rejects_reordered_commits() {
         &r.store.snapshot().db,
         &events,
         &programs_of(&r.jobs),
+        &r.templates,
     );
     assert!(!report.ok(), "reordered history must not verify");
 }
@@ -173,6 +178,7 @@ fn audit_rejects_tampered_hashes() {
         &r.store.snapshot().db,
         &events,
         &programs_of(&r.jobs),
+        &r.templates,
     );
     assert!(!report.ok());
 }
