@@ -5,7 +5,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use vpdt_eval::Omega;
-use vpdt_store::{run_jobs, run_serial_rollback, workload, GuardCache, VersionedStore};
+use vpdt_store::{
+    run_jobs, run_serial_rollback, workload, GuardCache, StoreBuilder, VersionedStore,
+};
 
 const RELS: usize = 8;
 const UNIVERSE: u64 = 6;
@@ -39,6 +41,34 @@ fn bench_pipelines(c: &mut Criterion) {
             },
         );
     }
+    // The session front door, server lifecycle included: build (spawning
+    // the pool), serve the whole workload from 4 concurrent sessions,
+    // shutdown. Overhead over `guarded_concurrent` is the price of the
+    // resident queue + tickets.
+    g.bench_with_input(BenchmarkId::new("guarded_sessions", 4), &jobs, |b, jobs| {
+        b.iter(|| {
+            let server = StoreBuilder::new(initial.clone(), alpha.clone())
+                .omega(omega.clone())
+                .workers(4)
+                .build()
+                .expect("consistent initial state");
+            std::thread::scope(|scope| {
+                for chunk in jobs.chunks(100) {
+                    let session = server.session();
+                    scope.spawn(move || {
+                        let tickets: Vec<_> = chunk
+                            .iter()
+                            .map(|job| session.submit(job.program.clone()))
+                            .collect();
+                        for ticket in &tickets {
+                            ticket.wait();
+                        }
+                    });
+                }
+            });
+            server.shutdown()
+        });
+    });
     g.bench_with_input(BenchmarkId::new("rollback_serial", 1), &jobs, |b, jobs| {
         b.iter(|| run_serial_rollback(initial.clone(), std::hint::black_box(jobs), &alpha, &omega));
     });

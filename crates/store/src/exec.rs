@@ -1,7 +1,10 @@
-//! The execution pipeline: submit, guard, commit — across worker threads.
+//! The execution core: submit, guard, commit — one worker loop, two front
+//! doors.
 //!
-//! [`Submitter`] assigns transaction ids; [`run_jobs`] fans the jobs out
-//! over `threads` workers. Each worker, per transaction:
+//! The resident [`StoreServer`](crate::StoreServer) worker pool and the
+//! batch-compatibility wrapper [`run_jobs`] drive the *same* internal loop
+//! ([`worker_loop`]): work items arrive over an MPMC submission queue and
+//! each worker, per transaction:
 //!
 //! 1. pulls a fresh [`Snapshot`](crate::Snapshot) (lock-free reads of an
 //!    `Arc`),
@@ -11,8 +14,9 @@
 //!    where derivable) and instantiated with the transaction's bindings,
 //! 3. on pass, applies the program operationally and offers the result to
 //!    [`VersionedStore::try_commit`]; a relation-footprint conflict loops
-//!    back to step 1 (the guard re-evaluates in tens of microseconds; the
-//!    compilation never re-runs).
+//!    back to step 1 under the server's
+//!    [`RetryPolicy`](crate::RetryPolicy) (the guard re-evaluates in tens
+//!    of microseconds; the compilation never re-runs).
 //!
 //! [`run_serial_rollback`] is the baseline the paper's programme displaces:
 //! one thread, no guard — run the transaction, test `α` on the result, roll
@@ -20,15 +24,23 @@
 
 use crate::guard::GuardCache;
 use crate::history::Event;
+use crate::server::RetryPolicy;
+use crate::session::TicketState;
 use crate::snapshot::{CommitOutcome, CommitRequest, VersionedStore};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use crate::{AbortReason, StoreError};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use vpdt_core::safe::RuntimeChecked;
 use vpdt_eval::{holds, Omega};
 use vpdt_logic::Formula;
 use vpdt_structure::Database;
 use vpdt_tx::program::{Program, ProgramTransaction};
 use vpdt_tx::traits::{normalize_domain, Transaction, TxError};
+
+/// The session id recorded for transactions that did not come through a
+/// [`Session`](crate::Session) — the batch-compatibility path.
+pub const BATCH_SESSION: u64 = 0;
 
 /// A transaction queued for execution.
 #[derive(Clone, Debug)]
@@ -39,7 +51,10 @@ pub struct Job {
     pub program: Program,
 }
 
-/// Assigns transaction ids and accumulates a batch of jobs.
+/// Assigns transaction ids and accumulates a batch of jobs — the legacy
+/// closed-batch front door, kept for the benches' batch comparison. New
+/// code should hold a [`Session`](crate::Session) on a
+/// [`StoreServer`](crate::StoreServer) instead.
 #[derive(Debug, Default)]
 pub struct Submitter {
     jobs: Vec<Job>,
@@ -64,31 +79,38 @@ impl Submitter {
     }
 }
 
-/// How one transaction ended.
+/// How one transaction ended — fully typed: aborts carry an
+/// [`AbortReason`], failures a [`StoreError`], so clients branch on the
+/// cause instead of parsing message strings.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub enum TxStatus {
+pub enum TxOutcome {
     /// Committed at this store version.
     Committed {
         /// The version the commit produced.
         version: u64,
     },
-    /// The guard failed: the transaction would have violated `α`.
+    /// The guard (or the rollback baseline) aborted the transaction: it
+    /// would have violated `α`.
     Aborted {
-        /// Why.
-        reason: String,
+        /// Why, with the version and shape the decision observed.
+        reason: AbortReason,
     },
     /// An execution error (not a deliberate abort).
     Failed {
-        /// The error text.
-        error: String,
+        /// The typed error.
+        error: StoreError,
     },
 }
+
+/// The historical name of [`TxOutcome`], kept as an alias so batch-era
+/// call sites read unchanged.
+pub type TxStatus = TxOutcome;
 
 /// Per-transaction outcomes plus pipeline counters.
 #[derive(Clone, Debug)]
 pub struct ExecReport {
-    /// Outcome per transaction, indexed by job id.
-    pub outcomes: Vec<(u64, TxStatus)>,
+    /// Outcome per transaction, ordered by transaction id.
+    pub outcomes: Vec<(u64, TxOutcome)>,
     /// Transactions that committed.
     pub committed: usize,
     /// Transactions the guard aborted.
@@ -104,126 +126,235 @@ pub struct ExecReport {
     pub guard_misses: u64,
 }
 
-/// Runs the batch across `threads` workers against the store. Outcomes are
-/// returned in job order; counters aggregate the whole run.
-///
-/// The guards are only sound on states satisfying `α` (that is the whole
-/// point of the Section 6 reduction), so the base case is established
-/// here: if the store's current state violates `α` — or `α` fails to
-/// evaluate — every job fails fast and nothing commits.
-pub fn run_jobs(
-    store: &VersionedStore,
-    cache: &GuardCache,
-    jobs: &[Job],
-    threads: usize,
-) -> ExecReport {
-    let entry = store.snapshot();
-    match holds(&entry.db, cache.omega(), cache.alpha()) {
-        Ok(true) => {}
-        verdict => {
-            let error = match verdict {
-                Ok(false) => format!(
-                    "store state at version {} violates the constraint; guards would be unsound",
-                    entry.version
-                ),
-                Err(e) => format!("constraint does not evaluate on the store state: {e}"),
-                Ok(true) => unreachable!(),
-            };
-            let outcomes: Vec<(u64, TxStatus)> = jobs
-                .iter()
-                .map(|j| {
-                    (
-                        j.id,
-                        TxStatus::Failed {
-                            error: error.clone(),
-                        },
-                    )
-                })
-                .collect();
-            let failed = outcomes.len();
-            return ExecReport {
-                outcomes,
-                committed: 0,
-                aborted: 0,
-                failed,
-                conflicts: 0,
-                guard_hits: 0,
-                guard_misses: 0,
-            };
+impl ExecReport {
+    /// Builds a report from raw outcomes (sorted by id here) and counters.
+    pub(crate) fn from_outcomes(
+        mut outcomes: Vec<(u64, TxOutcome)>,
+        conflicts: u64,
+        guard_hits: u64,
+        guard_misses: u64,
+    ) -> Self {
+        outcomes.sort_by_key(|(id, _)| *id);
+        let committed = outcomes
+            .iter()
+            .filter(|(_, s)| matches!(s, TxOutcome::Committed { .. }))
+            .count();
+        let aborted = outcomes
+            .iter()
+            .filter(|(_, s)| matches!(s, TxOutcome::Aborted { .. }))
+            .count();
+        let failed = outcomes.len() - committed - aborted;
+        ExecReport {
+            outcomes,
+            committed,
+            aborted,
+            failed,
+            conflicts,
+            guard_hits,
+            guard_misses,
         }
-    }
-
-    let next = AtomicUsize::new(0);
-    let conflicts = AtomicU64::new(0);
-    let outcomes: Mutex<Vec<(u64, TxStatus)>> = Mutex::new(Vec::with_capacity(jobs.len()));
-    let workers = threads.clamp(1, jobs.len().max(1));
-    let (hits0, misses0) = cache.stats();
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let mut local = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(i) else { break };
-                    let status = run_one(store, cache, job, &conflicts);
-                    local.push((job.id, status));
-                }
-                outcomes
-                    .lock()
-                    .expect("outcome lock poisoned")
-                    .extend(local);
-            });
-        }
-    });
-
-    let mut outcomes = outcomes.into_inner().expect("outcome lock poisoned");
-    outcomes.sort_by_key(|(id, _)| *id);
-    let committed = outcomes
-        .iter()
-        .filter(|(_, s)| matches!(s, TxStatus::Committed { .. }))
-        .count();
-    let aborted = outcomes
-        .iter()
-        .filter(|(_, s)| matches!(s, TxStatus::Aborted { .. }))
-        .count();
-    let failed = outcomes.len() - committed - aborted;
-    let (hits1, misses1) = cache.stats();
-    ExecReport {
-        outcomes,
-        committed,
-        aborted,
-        failed,
-        conflicts: conflicts.load(Ordering::Relaxed),
-        guard_hits: hits1 - hits0,
-        guard_misses: misses1 - misses0,
     }
 }
 
-fn run_one(
+/// One unit of work on the submission queue: a transaction plus the ticket
+/// (if any) to resolve with its outcome.
+pub(crate) struct WorkItem {
+    pub tx: u64,
+    pub session: u64,
+    pub program: Program,
+    /// `None` on the batch path — outcomes are only collected in the report.
+    pub ticket: Option<Arc<TicketState>>,
+}
+
+/// The no-hang guarantee: however a work item dies — a worker panicking
+/// mid-transaction (the item unwinds), or a queue torn down with items
+/// still inside — its ticket resolves. Normal completion resolves with the
+/// real outcome first, making this a no-op.
+impl Drop for WorkItem {
+    fn drop(&mut self) {
+        if let Some(ticket) = &self.ticket {
+            ticket.resolve_if_unresolved(TxOutcome::Failed {
+                error: StoreError::WorkerLost,
+            });
+        }
+    }
+}
+
+struct QueueState {
+    items: VecDeque<WorkItem>,
+    closed: bool,
+}
+
+/// The multi-producer/multi-consumer submission queue. A deliberately
+/// simple Mutex + Condvar design rather than `std::sync::mpsc`: every
+/// worker pops directly (an idle worker parks *inside* the condvar wait,
+/// releasing the lock, so one empty-queue sleeper never serializes its
+/// siblings the way a shared blocking `Receiver` behind a mutex would),
+/// and closing is explicit, which is what gives shutdown its
+/// drain-then-stop semantics.
+pub(crate) struct WorkQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+impl WorkQueue {
+    pub(crate) fn new() -> Self {
+        WorkQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues one item. A closed queue refuses and hands the item back,
+    /// so the caller decides how its ticket resolves (dropping it would
+    /// resolve as `WorkerLost`, which is not what a refused submission
+    /// means).
+    // The large Err is the point: the refused item must come back whole,
+    // and refusal is the cold path.
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn push(&self, item: WorkItem) -> Result<(), WorkItem> {
+        let mut state = self.state.lock().expect("work queue poisoned");
+        if state.closed {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Closes the queue: no further pushes are accepted, and pops drain
+    /// what remains, then return `None`.
+    pub(crate) fn close(&self) {
+        self.state.lock().expect("work queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Blocks for the next item; `None` once the queue is closed *and*
+    /// drained.
+    pub(crate) fn pop(&self) -> Option<WorkItem> {
+        let mut state = self.state.lock().expect("work queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("work queue poisoned");
+        }
+    }
+}
+
+/// Where worker outcomes land: always the aggregate counters; the
+/// per-transaction list only when `retain` is set. A resident server
+/// serving unbounded traffic can turn retention off
+/// ([`StoreBuilder::retain_outcomes`](crate::StoreBuilder::retain_outcomes))
+/// — clients already get each outcome through their ticket, so the list is
+/// pure duplication held until shutdown.
+pub(crate) struct OutcomeSink {
+    retain: bool,
+    outcomes: Mutex<Vec<(u64, TxOutcome)>>,
+    committed: AtomicU64,
+    aborted: AtomicU64,
+    failed: AtomicU64,
+}
+
+impl OutcomeSink {
+    pub(crate) fn new(retain: bool, capacity: usize) -> Self {
+        OutcomeSink {
+            retain,
+            outcomes: Mutex::new(Vec::with_capacity(if retain { capacity } else { 0 })),
+            committed: AtomicU64::new(0),
+            aborted: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, tx: u64, outcome: TxOutcome) {
+        match &outcome {
+            TxOutcome::Committed { .. } => &self.committed,
+            TxOutcome::Aborted { .. } => &self.aborted,
+            TxOutcome::Failed { .. } => &self.failed,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        if self.retain {
+            self.outcomes
+                .lock()
+                .expect("outcome sink poisoned")
+                .push((tx, outcome));
+        }
+    }
+
+    /// Drains the sink into a report (outcomes sorted by id; empty when
+    /// retention was off — the counters are authoritative either way).
+    pub(crate) fn into_report(
+        self,
+        conflicts: u64,
+        guard_hits: u64,
+        guard_misses: u64,
+    ) -> ExecReport {
+        let mut outcomes = self.outcomes.into_inner().expect("outcome sink poisoned");
+        outcomes.sort_by_key(|(id, _)| *id);
+        ExecReport {
+            outcomes,
+            committed: self.committed.load(Ordering::Relaxed) as usize,
+            aborted: self.aborted.load(Ordering::Relaxed) as usize,
+            failed: self.failed.load(Ordering::Relaxed) as usize,
+            conflicts,
+            guard_hits,
+            guard_misses,
+        }
+    }
+}
+
+/// The worker loop both front doors run: drain the queue, execute each
+/// item, resolve its ticket, record its outcome. Returns when the queue is
+/// closed and empty (server shutdown, or the batch fully drained).
+pub(crate) fn worker_loop(
     store: &VersionedStore,
     cache: &GuardCache,
-    job: &Job,
+    retry: &RetryPolicy,
+    queue: &WorkQueue,
+    sink: &OutcomeSink,
     conflicts: &AtomicU64,
-) -> TxStatus {
-    // Canonicalize → fetch-or-compile the shape → instantiate the guard.
-    // The compilation is shared per statement shape; the per-transaction
-    // work from here on is one binding substitution plus evaluations.
-    let prepared = match cache.get_or_compile(&job.program) {
-        Ok(p) => p,
-        Err(e) => {
-            return TxStatus::Failed {
-                error: e.to_string(),
-            }
+) {
+    while let Some(item) = queue.pop() {
+        let outcome = execute_one(store, cache, retry, &item, conflicts);
+        if let Some(ticket) = &item.ticket {
+            ticket.resolve(outcome.clone());
         }
+        sink.record(item.tx, outcome);
+    }
+}
+
+/// Executes one transaction: prepare (fetch-or-compile the statement
+/// shape), guard, apply, offer to commit; on footprint conflict, retry
+/// under the policy. The compilation is shared per statement shape; the
+/// per-transaction work is one binding substitution plus evaluations.
+pub(crate) fn execute_one(
+    store: &VersionedStore,
+    cache: &GuardCache,
+    retry: &RetryPolicy,
+    item: &WorkItem,
+    conflicts: &AtomicU64,
+) -> TxOutcome {
+    let prepared = match cache.get_or_compile(&item.program) {
+        Ok(p) => p,
+        Err(error) => return TxOutcome::Failed { error },
     };
     let history = store.history();
     let mut first = true;
+    let mut retries = 0u32;
     loop {
         let snap = store.snapshot();
         if first {
             history.record(Event::Begin {
-                tx: job.id,
+                tx: item.tx,
+                session: item.session,
                 version: snap.version,
                 shape: prepared.shape.id,
                 bindings: prepared.bindings.clone(),
@@ -233,41 +364,44 @@ fn run_one(
         let pass = match holds(&snap.db, cache.omega(), &prepared.guard) {
             Ok(p) => p,
             Err(e) => {
-                return TxStatus::Failed {
-                    error: e.to_string(),
+                return TxOutcome::Failed {
+                    error: StoreError::Eval(e),
                 }
             }
         };
         history.record(Event::GuardEval {
-            tx: job.id,
+            tx: item.tx,
             version: snap.version,
             pass,
         });
         if !pass {
-            let reason = format!("guard failed at version {}", snap.version);
-            history.record(Event::Abort {
-                tx: job.id,
+            let reason = AbortReason::GuardFailed {
                 version: snap.version,
-                reason: reason.clone(),
+                shape: prepared.shape.id,
+            };
+            history.record(Event::Abort {
+                tx: item.tx,
+                version: snap.version,
+                reason: reason.to_string(),
             });
-            return TxStatus::Aborted { reason };
+            return TxOutcome::Aborted { reason };
         }
-        // Direct operational semantics on the ground program the job
+        // Direct operational semantics on the ground program the item
         // already owns — no per-transaction applier is allocated.
-        let new_db = match job
+        let new_db = match item
             .program
             .run(&snap.db, cache.omega())
             .map(normalize_domain)
         {
             Ok(db) => db,
             Err(e) => {
-                return TxStatus::Failed {
-                    error: e.to_string(),
+                return TxOutcome::Failed {
+                    error: StoreError::Tx(e),
                 }
             }
         };
         let req = CommitRequest {
-            tx: job.id,
+            tx: item.tx,
             based_on: snap.version,
             reads: prepared.reads().clone(),
             writes: prepared.writes().clone(),
@@ -276,12 +410,119 @@ fn run_one(
             new_db,
         };
         match store.try_commit(req) {
-            CommitOutcome::Committed { version } => return TxStatus::Committed { version },
-            CommitOutcome::Conflict { .. } => {
+            CommitOutcome::Committed { version } => return TxOutcome::Committed { version },
+            CommitOutcome::Conflict { version } => {
                 conflicts.fetch_add(1, Ordering::Relaxed);
+                if !retry.may_retry(retries) {
+                    return TxOutcome::Failed {
+                        error: StoreError::RetriesExhausted {
+                            retries,
+                            version,
+                            relations: prepared.reads().union(prepared.writes()).cloned().collect(),
+                        },
+                    };
+                }
+                retries += 1;
+                retry.backoff(retries);
             }
         }
     }
+}
+
+/// Fails every job with the same error — the fail-fast path when the
+/// soundness base case cannot be established.
+pub(crate) fn fail_all(jobs: &[Job], error: StoreError) -> ExecReport {
+    let outcomes = jobs
+        .iter()
+        .map(|j| {
+            (
+                j.id,
+                TxOutcome::Failed {
+                    error: error.clone(),
+                },
+            )
+        })
+        .collect();
+    ExecReport::from_outcomes(outcomes, 0, 0, 0)
+}
+
+/// Checks the guard-soundness base case: `α` must hold on the store's
+/// current state (the Section 6 guards are only sound on consistent
+/// states).
+pub(crate) fn check_base_case(
+    store: &VersionedStore,
+    cache: &GuardCache,
+) -> Result<(), StoreError> {
+    let entry = store.snapshot();
+    match holds(&entry.db, cache.omega(), cache.alpha()) {
+        Ok(true) => Ok(()),
+        Ok(false) => Err(StoreError::GuardUnsound {
+            version: entry.version,
+        }),
+        Err(error) => Err(StoreError::ConstraintUnevaluable {
+            version: entry.version,
+            error,
+        }),
+    }
+}
+
+/// Runs a closed batch across `threads` workers against the store — the
+/// legacy front door, now a thin wrapper over the same worker loop the
+/// resident [`StoreServer`](crate::StoreServer) pool runs: the jobs are
+/// enqueued on a temporary submission queue, scoped workers drain it, and
+/// the report is assembled exactly as
+/// [`StoreServer::shutdown`](crate::StoreServer::shutdown) would.
+/// Outcomes are returned in job order; counters aggregate the whole run.
+///
+/// The guards are only sound on states satisfying `α` (that is the whole
+/// point of the Section 6 reduction), so the base case is established
+/// here: if the store's current state violates `α` — or `α` fails to
+/// evaluate — every job fails fast and nothing commits. (A resident
+/// server establishes the same base case once, in
+/// [`StoreBuilder::build`](crate::StoreBuilder::build).)
+pub fn run_jobs(
+    store: &VersionedStore,
+    cache: &GuardCache,
+    jobs: &[Job],
+    threads: usize,
+) -> ExecReport {
+    if let Err(error) = check_base_case(store, cache) {
+        return fail_all(jobs, error);
+    }
+
+    let retry = RetryPolicy::unbounded();
+    let conflicts = AtomicU64::new(0);
+    let sink = OutcomeSink::new(true, jobs.len());
+    let workers = threads.clamp(1, jobs.len().max(1));
+    let (hits0, misses0) = cache.stats();
+
+    let queue = WorkQueue::new();
+    for job in jobs {
+        queue
+            .push(WorkItem {
+                tx: job.id,
+                session: BATCH_SESSION,
+                program: job.program.clone(),
+                ticket: None,
+            })
+            .unwrap_or_else(|_| unreachable!("queue not yet closed"));
+    }
+    // The whole batch is enqueued: closing turns the queue into a drain,
+    // so the workers exit when it is empty.
+    queue.close();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| worker_loop(store, cache, &retry, &queue, &sink, &conflicts));
+        }
+    });
+
+    let (hits1, misses1) = cache.stats();
+    sink.into_report(
+        conflicts.load(Ordering::Relaxed),
+        hits1 - hits0,
+        misses1 - misses0,
+    )
 }
 
 /// The deferred-checking baseline: one thread applies each job in order via
@@ -296,46 +537,37 @@ pub fn run_serial_rollback(
 ) -> (Database, ExecReport) {
     let mut state = initial;
     let mut outcomes = Vec::with_capacity(jobs.len());
-    let mut committed = 0;
-    let mut aborted = 0;
-    let mut failed = 0;
     for (i, job) in jobs.iter().enumerate() {
         let tx = ProgramTransaction::new("serial", job.program.clone(), omega.clone());
         let checked = RuntimeChecked::new(tx, alpha.clone(), omega.clone());
         match checked.apply(&state) {
             Ok(next) => {
                 state = next;
-                committed += 1;
                 outcomes.push((
                     job.id,
-                    TxStatus::Committed {
+                    TxOutcome::Committed {
                         version: i as u64 + 1,
                     },
                 ));
             }
             Err(TxError::Aborted(reason)) => {
-                aborted += 1;
-                outcomes.push((job.id, TxStatus::Aborted { reason }));
-            }
-            Err(e) => {
-                failed += 1;
                 outcomes.push((
                     job.id,
-                    TxStatus::Failed {
-                        error: e.to_string(),
+                    TxOutcome::Aborted {
+                        reason: AbortReason::RolledBack { reason },
+                    },
+                ));
+            }
+            Err(e) => {
+                outcomes.push((
+                    job.id,
+                    TxOutcome::Failed {
+                        error: StoreError::Tx(e),
                     },
                 ));
             }
         }
     }
-    let report = ExecReport {
-        outcomes,
-        committed,
-        aborted,
-        failed,
-        conflicts: 0,
-        guard_hits: 0,
-        guard_misses: 0,
-    };
+    let report = ExecReport::from_outcomes(outcomes, 0, 0, 0);
     (state, report)
 }

@@ -25,6 +25,9 @@ pub enum Event {
     Begin {
         /// Transaction id.
         tx: u64,
+        /// Id of the client session that submitted it
+        /// (`exec::BATCH_SESSION` = 0 for the legacy batch path).
+        session: u64,
         /// Snapshot version first observed.
         version: u64,
         /// Id of the canonicalized statement shape (see `GuardCache`).
@@ -127,6 +130,7 @@ mod tests {
         let h = History::new();
         h.record(Event::Begin {
             tx: 1,
+            session: 1,
             version: 0,
             shape: 0,
             bindings: vec![vpdt_logic::Elem(3)],

@@ -9,8 +9,55 @@
 //! transaction `T` and roll back when the result violates `α`, or — given
 //! computable weakest preconditions (Theorem 8) — replace `T` by the
 //! statically verified `if wpc(T, α) then T else abort`, which never needs
-//! a rollback. This crate scales the second strategy to many concurrent
-//! clients:
+//! a rollback. This crate serves that second strategy to many long-lived
+//! concurrent clients.
+//!
+//! ## The front door: a server with sessions
+//!
+//! ```no_run
+//! use vpdt_store::{StoreBuilder, TxOutcome};
+//! use vpdt_logic::parse_formula;
+//! use vpdt_structure::Database;
+//! use vpdt_tx::program::Program;
+//!
+//! let alpha = parse_formula("forall x y z. E(x, y) & E(x, z) -> y = z").unwrap();
+//! let server = StoreBuilder::new(Database::graph([(0, 1)]), alpha)
+//!     .workers(4)
+//!     .build()
+//!     .expect("initial state satisfies the constraint");
+//!
+//! let session = server.session();
+//! // async submission: get a ticket now, the outcome later
+//! let ticket = session.submit(Program::insert_consts("E", [1, 4]));
+//! match ticket.wait() {
+//!     TxOutcome::Committed { version } => println!("committed at v{version}"),
+//!     TxOutcome::Aborted { reason } => println!("guard aborted: {reason}"),
+//!     TxOutcome::Failed { error } => println!("failed: {error}"),
+//! }
+//! // ...or the one-call path
+//! let outcome = session.submit_sync(Program::delete_consts("E", [0, 1]));
+//! drop(session);
+//! let report = server.shutdown(); // drains in-flight work
+//! assert_eq!(report.exec.failed, 0);
+//! ```
+//!
+//! * [`StoreBuilder`] configures the constraint `α`, the Ω interpretation,
+//!   the guard-cache capacity, the worker-pool size, and the
+//!   [`RetryPolicy`], then spawns a resident [`StoreServer`]. The guard
+//!   soundness base case — `α` holds at admission — is established once per
+//!   server, in `build()`;
+//! * [`Session`]s are per-client handles. [`Session::submit`] enqueues a
+//!   program on the server's submission queue and returns a [`TxTicket`]
+//!   immediately; [`TxTicket::wait`] blocks for the typed [`TxOutcome`].
+//!   Tickets outlive their session — dropping a session mid-flight loses
+//!   nothing;
+//! * [`StoreServer::shutdown`] closes the queue, drains every in-flight
+//!   transaction (all outstanding tickets still resolve), joins the
+//!   workers, and returns a [`ServerReport`] — the final [`ExecReport`],
+//!   the history, the final state, and the statement templates an audit
+//!   needs.
+//!
+//! ## Underneath
 //!
 //! * [`snapshot::VersionedStore`] — a versioned, copy-on-write in-memory
 //!   store. Readers share immutable [`Snapshot`]s behind `Arc`; commits are
@@ -23,12 +70,13 @@
 //!   invariant-reduced guard Δ of Section 6), instantiates guards per
 //!   transaction by binding substitution, and bounds live compilations with
 //!   LRU eviction — so compilation cost is O(statement shapes), independent
-//!   of the universe;
-//! * [`exec`] — a [`Submitter`]/[`Executor`](exec) pipeline batching guarded
-//!   transactions across worker threads, plus the serial check-and-rollback
-//!   baseline it displaces;
+//!   of the universe. Two sessions submitting the same statement shape share
+//!   one compilation;
+//! * [`exec`] — the internal worker loop both front doors drive (the
+//!   resident server pool, and the [`run_jobs`] batch-compatibility
+//!   wrapper), plus the serial check-and-rollback baseline it displaces;
 //! * [`history`] — a begin/guard-eval/commit/abort event log with snapshot
-//!   versions and state hashes;
+//!   versions, state hashes, and per-transaction session provenance;
 //! * [`audit`] — replays a history through the *rollback* path
 //!   ([`vpdt_core::safe::RuntimeChecked`]), checking that the commit order
 //!   is a gapless serialization, that `α` holds at every committed version,
@@ -51,36 +99,102 @@ pub mod audit;
 pub mod exec;
 pub mod guard;
 pub mod history;
+pub mod server;
+pub mod session;
 pub mod snapshot;
 pub mod workload;
 
 pub use audit::{audit, AuditReport};
-pub use exec::{run_jobs, run_serial_rollback, ExecReport, Job, Submitter, TxStatus};
+pub use exec::{run_jobs, run_serial_rollback, ExecReport, Job, Submitter, TxOutcome, TxStatus};
 pub use guard::{CacheStats, GuardCache, PreparedShape, PreparedTx, ShapeStat};
 pub use history::{Event, History};
+pub use server::{RetryPolicy, ServerReport, StoreBuilder, StoreServer};
+pub use session::{Session, TxTicket};
 pub use snapshot::{CommitOutcome, CommitRequest, Snapshot, VersionedStore};
 
 use vpdt_core::safe::GuardError;
+use vpdt_eval::EvalError;
 use vpdt_tx::traits::TxError;
 
-/// Errors surfaced by the store pipeline.
+/// Errors surfaced by the store pipeline — fully typed, so clients can
+/// branch on the cause (and servers can carry the version, shape, and
+/// footprint that produced it) without parsing message strings. `Display`
+/// renders the exact text the previous stringly-typed API produced, so log
+/// output is unchanged.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StoreError {
     /// Guard compilation failed (program does not admit prerelations, or
     /// the constraint uses counting constructs).
-    Guard(String),
+    Guard(GuardError),
     /// A transaction failed while executing (not a deliberate abort).
-    Tx(String),
+    Tx(TxError),
     /// A formula failed to evaluate.
-    Eval(String),
+    Eval(EvalError),
+    /// The store's state at `version` violates `α`: the Section 6 guards
+    /// are only sound on consistent states, so nothing may run.
+    GuardUnsound {
+        /// The store version whose state violates the constraint.
+        version: u64,
+    },
+    /// The constraint itself failed to evaluate on the store's state, so
+    /// soundness of the guards cannot be established.
+    ConstraintUnevaluable {
+        /// The store version the constraint was evaluated against.
+        version: u64,
+        /// The evaluation error.
+        error: EvalError,
+    },
+    /// The transaction kept losing footprint validation and exhausted its
+    /// [`RetryPolicy`](crate::RetryPolicy) conflict budget.
+    RetriesExhausted {
+        /// Conflict retries performed before giving up.
+        retries: u32,
+        /// The store version at the final rejection.
+        version: u64,
+        /// The footprint relations that kept conflicting (reads ∪ writes).
+        relations: Vec<String>,
+    },
+    /// The server is shut down; the submission was not accepted.
+    ShutDown,
+    /// The work item died without producing an outcome — its executing
+    /// worker panicked mid-transaction, or the queue was torn down around
+    /// it. Delivered by the ticket's last-resort resolution so a waiting
+    /// client fails instead of hanging.
+    WorkerLost,
 }
 
 impl std::fmt::Display for StoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            StoreError::Guard(m) => write!(f, "guard compilation: {m}"),
-            StoreError::Tx(m) => write!(f, "transaction: {m}"),
-            StoreError::Eval(m) => write!(f, "evaluation: {m}"),
+            StoreError::Guard(e) => write!(f, "guard compilation: {e}"),
+            StoreError::Tx(e) => write!(f, "transaction: {e}"),
+            // the raw message, not EvalError's own Display — this is the
+            // exact text the stringly-typed API produced
+            StoreError::Eval(e) => write!(f, "evaluation: {}", e.0),
+            StoreError::GuardUnsound { version } => write!(
+                f,
+                "store state at version {version} violates the constraint; \
+                 guards would be unsound"
+            ),
+            StoreError::ConstraintUnevaluable { error, .. } => {
+                write!(
+                    f,
+                    "constraint does not evaluate on the store state: {error}"
+                )
+            }
+            StoreError::RetriesExhausted {
+                retries,
+                version,
+                relations,
+            } => write!(
+                f,
+                "commit conflicted {retries} times on {relations:?} \
+                 (last at version {version}); retry budget exhausted"
+            ),
+            StoreError::ShutDown => write!(f, "store server is shut down"),
+            StoreError::WorkerLost => {
+                write!(f, "transaction abandoned: its executing worker terminated")
+            }
         }
     }
 }
@@ -89,18 +203,95 @@ impl std::error::Error for StoreError {}
 
 impl From<GuardError> for StoreError {
     fn from(e: GuardError) -> Self {
-        StoreError::Guard(e.to_string())
+        StoreError::Guard(e)
     }
 }
 
 impl From<TxError> for StoreError {
     fn from(e: TxError) -> Self {
-        StoreError::Tx(e.to_string())
+        StoreError::Tx(e)
     }
 }
 
-impl From<vpdt_eval::EvalError> for StoreError {
-    fn from(e: vpdt_eval::EvalError) -> Self {
-        StoreError::Eval(e.0)
+impl From<EvalError> for StoreError {
+    fn from(e: EvalError) -> Self {
+        StoreError::Eval(e)
+    }
+}
+
+/// Why a transaction was deliberately aborted — typed, with the snapshot
+/// version and statement shape the decision was made against. `Display`
+/// matches the strings the previous API logged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The instantiated guard failed: committing would have violated `α`.
+    GuardFailed {
+        /// The snapshot version the failing guard evaluated against.
+        version: u64,
+        /// The transaction's statement-shape id (see `GuardCache`).
+        shape: u64,
+    },
+    /// The deferred check-and-rollback baseline ran the transaction, found
+    /// the constraint violated, and rolled the state back.
+    RolledBack {
+        /// The rollback path's own message.
+        reason: String,
+    },
+}
+
+impl AbortReason {
+    /// The snapshot version the abort decision observed, where known.
+    pub fn version(&self) -> Option<u64> {
+        match self {
+            AbortReason::GuardFailed { version, .. } => Some(*version),
+            AbortReason::RolledBack { .. } => None,
+        }
+    }
+}
+
+impl std::fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbortReason::GuardFailed { version, .. } => {
+                write!(f, "guard failed at version {version}")
+            }
+            AbortReason::RolledBack { reason } => write!(f, "{reason}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The typed variants must render exactly the strings the old API
+    /// produced, so existing logs and log-scraping keep working.
+    #[test]
+    fn typed_errors_display_legacy_text() {
+        assert_eq!(
+            StoreError::GuardUnsound { version: 7 }.to_string(),
+            "store state at version 7 violates the constraint; guards would be unsound"
+        );
+        assert_eq!(
+            StoreError::ConstraintUnevaluable {
+                version: 3,
+                error: EvalError("unknown relation Q".into()),
+            }
+            .to_string(),
+            "constraint does not evaluate on the store state: \
+             evaluation error: unknown relation Q"
+        );
+        assert_eq!(
+            AbortReason::GuardFailed {
+                version: 12,
+                shape: 4
+            }
+            .to_string(),
+            "guard failed at version 12"
+        );
+        assert_eq!(
+            StoreError::Tx(TxError::Aborted("x".into())).to_string(),
+            "transaction: transaction aborted: x"
+        );
     }
 }

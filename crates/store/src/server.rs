@@ -1,0 +1,371 @@
+//! The resident store server: a builder-configured worker pool serving
+//! long-lived client sessions.
+//!
+//! [`StoreBuilder`] collects a configuration — constraint `α`, the Ω
+//! interpretation, guard-cache capacity, worker-pool size, and a
+//! [`RetryPolicy`] — and [`StoreBuilder::build`] establishes the guard
+//! soundness base case (`α` holds at admission) **once per server**, then
+//! spawns the workers. From then on the server owns the execution layer:
+//! the submission queue (an MPMC queue sessions feed), the versioned
+//! store, the guard cache, and the lifecycle. Clients hold
+//! [`Session`](crate::Session) handles and receive
+//! [`TxTicket`](crate::TxTicket)s; nobody owns a batch.
+//!
+//! [`StoreServer::shutdown`] closes the queue, lets the workers drain every
+//! already-submitted transaction (outstanding tickets all resolve), joins
+//! the pool, and returns the final [`ServerReport`].
+
+use crate::exec::{self, ExecReport, OutcomeSink, TxOutcome, WorkItem, WorkQueue};
+use crate::guard::{CacheStats, GuardCache};
+use crate::history::Event;
+use crate::session::{Session, TicketState, TxTicket};
+use crate::snapshot::{Snapshot, VersionedStore};
+use crate::StoreError;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use vpdt_eval::Omega;
+use vpdt_logic::{Formula, Schema};
+use vpdt_structure::Database;
+use vpdt_tx::program::Program;
+use vpdt_tx::template::Template;
+
+/// How the workers respond to commit-footprint conflicts: how many times a
+/// transaction may re-validate, and how long to back off between attempts
+/// (linear: attempt `k` sleeps `k × backoff`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    max_retries: Option<u32>,
+    backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// Retry forever, immediately — the classical optimistic loop (and the
+    /// default). Progress is guaranteed: a conflict means some *other*
+    /// transaction committed.
+    pub fn unbounded() -> Self {
+        RetryPolicy {
+            max_retries: None,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// Give up (with [`StoreError::RetriesExhausted`]) after `max_retries`
+    /// failed re-validations, sleeping `attempt × backoff` between them.
+    pub fn bounded(max_retries: u32, backoff: Duration) -> Self {
+        RetryPolicy {
+            max_retries: Some(max_retries),
+            backoff,
+        }
+    }
+
+    /// The retry bound, if any.
+    pub fn max_retries(&self) -> Option<u32> {
+        self.max_retries
+    }
+
+    /// Whether a transaction that has already retried `done` times may try
+    /// again.
+    pub(crate) fn may_retry(&self, done: u32) -> bool {
+        match self.max_retries {
+            None => true,
+            Some(max) => done < max,
+        }
+    }
+
+    /// Sleeps the linear backoff for retry number `attempt` (1-based).
+    pub(crate) fn backoff(&self, attempt: u32) {
+        if !self.backoff.is_zero() {
+            std::thread::sleep(self.backoff * attempt);
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::unbounded()
+    }
+}
+
+/// Configuration for a [`StoreServer`]. Construct with an initial state
+/// and the constraint `α`; everything else has serviceable defaults.
+#[derive(Clone, Debug)]
+pub struct StoreBuilder {
+    initial: Database,
+    alpha: Formula,
+    omega: Omega,
+    cache_capacity: usize,
+    workers: usize,
+    retry: RetryPolicy,
+    retain_outcomes: bool,
+}
+
+impl StoreBuilder {
+    /// A builder over `initial` (ingested as version 0) guarding `α`.
+    pub fn new(initial: Database, alpha: Formula) -> Self {
+        StoreBuilder {
+            initial,
+            alpha,
+            omega: Omega::empty(),
+            cache_capacity: crate::guard::DEFAULT_CAPACITY,
+            workers: 4,
+            retry: RetryPolicy::unbounded(),
+            retain_outcomes: true,
+        }
+    }
+
+    /// The Ω interpretation guards and programs evaluate under
+    /// (default: empty).
+    pub fn omega(mut self, omega: Omega) -> Self {
+        self.omega = omega;
+        self
+    }
+
+    /// LRU budget for live guard compilations (default:
+    /// [`DEFAULT_CAPACITY`](crate::guard::DEFAULT_CAPACITY)).
+    pub fn guard_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Worker threads in the resident pool (default: 4, minimum 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The conflict [`RetryPolicy`] (default: unbounded, no backoff).
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Whether the server keeps every transaction's outcome for the final
+    /// [`ServerReport`] (default: `true`). A resident server facing
+    /// unbounded traffic should turn this off — memory then stays flat,
+    /// clients still receive every outcome through their tickets, history
+    /// and audit are unaffected, and the report's aggregate counters
+    /// remain exact; only `ServerReport::exec.outcomes` comes back empty.
+    pub fn retain_outcomes(mut self, retain: bool) -> Self {
+        self.retain_outcomes = retain;
+        self
+    }
+
+    /// Establishes the guard-soundness base case — `α` must hold (and
+    /// evaluate) on the initial state — and spawns the worker pool. A
+    /// server is only ever handed out consistent, so every guard it
+    /// evaluates is sound, and the invariant is maintained by construction
+    /// from here on.
+    pub fn build(self) -> Result<StoreServer, StoreError> {
+        let store = VersionedStore::new(self.initial);
+        let cache = GuardCache::with_capacity(
+            store.schema().clone(),
+            self.alpha,
+            self.omega,
+            self.cache_capacity,
+        );
+        exec::check_base_case(&store, &cache)?;
+
+        let shared = Arc::new(Shared {
+            store,
+            cache,
+            retry: self.retry,
+            queue: WorkQueue::new(),
+            sink: OutcomeSink::new(self.retain_outcomes, 0),
+            conflicts: AtomicU64::new(0),
+        });
+        let workers = (0..self.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("vpdt-store-worker-{i}"))
+                    .spawn(move || {
+                        exec::worker_loop(
+                            &shared.store,
+                            &shared.cache,
+                            &shared.retry,
+                            &shared.queue,
+                            &shared.sink,
+                            &shared.conflicts,
+                        );
+                    })
+                    .expect("spawning a store worker")
+            })
+            .collect();
+        Ok(StoreServer {
+            shared,
+            workers,
+            next_tx: AtomicU64::new(0),
+            next_session: AtomicU64::new(1),
+        })
+    }
+}
+
+/// State shared between the server handle and its worker threads.
+struct Shared {
+    store: VersionedStore,
+    cache: GuardCache,
+    retry: RetryPolicy,
+    queue: WorkQueue,
+    sink: OutcomeSink,
+    conflicts: AtomicU64,
+}
+
+/// A resident, session-oriented transaction server — the front door of
+/// `vpdt-store` (see the crate docs for the full tour and an example).
+///
+/// The server owns the queue, the cache, and the lifecycle; clients hold
+/// [`Session`]s. Submissions are accepted at any time from any number of
+/// sessions; [`StoreServer::shutdown`] drains and reports.
+pub struct StoreServer {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    next_tx: AtomicU64,
+    next_session: AtomicU64,
+}
+
+impl StoreServer {
+    /// Opens a new client session. Sessions are independent and cheap; ids
+    /// start at 1 (0 is the [`BATCH_SESSION`](crate::exec::BATCH_SESSION)
+    /// provenance of the legacy batch path).
+    pub fn session(&self) -> Session<'_> {
+        Session::new(self, self.next_session.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Enqueues one submission (the internal half of
+    /// [`Session::submit`](crate::Session::submit)).
+    pub(crate) fn enqueue(&self, session: u64, program: Program) -> TxTicket {
+        let tx = self.next_tx.fetch_add(1, Ordering::Relaxed);
+        let state = Arc::new(TicketState::default());
+        let item = WorkItem {
+            tx,
+            session,
+            program,
+            ticket: Some(Arc::clone(&state)),
+        };
+        if let Err(refused) = self.shared.queue.push(item) {
+            // Unreachable through a `Session` (shutdown consumes the
+            // server while sessions borrow it), but kept total: resolve
+            // the ticket rather than strand it. Resolving before the
+            // refused item drops makes its drop-guard a no-op.
+            state.resolve(TxOutcome::Failed {
+                error: StoreError::ShutDown,
+            });
+            drop(refused);
+        }
+        TxTicket::new(tx, session, state)
+    }
+
+    /// Warms the prepared-statement cache for `program` without executing
+    /// anything: canonicalize, compile the shape if unseen. Useful to take
+    /// compilation off the serving path after a deploy.
+    pub fn prepare(&self, program: &Program) -> Result<(), StoreError> {
+        self.shared.cache.get_or_compile(program).map(|_| ())
+    }
+
+    /// The store's schema.
+    pub fn schema(&self) -> &Schema {
+        self.shared.store.schema()
+    }
+
+    /// The constraint `α` every transaction is guarded with.
+    pub fn alpha(&self) -> &Formula {
+        self.shared.cache.alpha()
+    }
+
+    /// The Ω interpretation.
+    pub fn omega(&self) -> &Omega {
+        self.shared.cache.omega()
+    }
+
+    /// The current version and state (cheap: clones an `Arc`).
+    pub fn snapshot(&self) -> Snapshot {
+        self.shared.store.snapshot()
+    }
+
+    /// The current store version.
+    pub fn version(&self) -> u64 {
+        self.shared.store.version()
+    }
+
+    /// A point-in-time copy of the history log.
+    pub fn history_events(&self) -> Vec<Event> {
+        self.shared.store.history().events()
+    }
+
+    /// Guard-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.cache_stats()
+    }
+
+    /// Every statement shape ever compiled, by id — what an audit needs to
+    /// resolve history provenance.
+    pub fn templates(&self) -> BTreeMap<u64, Template> {
+        self.shared.cache.templates()
+    }
+
+    /// Closes the submission queue, drains every already-submitted
+    /// transaction (outstanding [`TxTicket`]s all resolve), joins the
+    /// worker pool, and returns the final report. Sessions borrow the
+    /// server, so the borrow checker guarantees none are left when this
+    /// runs — but tickets are independent and may be waited on after.
+    pub fn shutdown(self) -> ServerReport {
+        let StoreServer {
+            shared, workers, ..
+        } = self;
+        // Closing the queue turns it into a drain: workers finish what was
+        // submitted, then exit.
+        shared.queue.close();
+        for worker in workers {
+            worker.join().expect("store worker panicked");
+        }
+        let shared = Arc::into_inner(shared).expect("workers joined, no other owners");
+        // Cache counters here are server-lifetime totals, so `prepare`
+        // warm-ups count too; callers measuring a serving window should
+        // snapshot `cache_stats()` and subtract.
+        let (hits, misses) = shared.cache.stats();
+        let exec = shared
+            .sink
+            .into_report(shared.conflicts.load(Ordering::Relaxed), hits, misses);
+        let snap = shared.store.snapshot();
+        ServerReport {
+            exec,
+            events: shared.store.history().events(),
+            final_db: snap.db,
+            final_version: snap.version,
+            templates: shared.cache.templates(),
+            cache: shared.cache.cache_stats(),
+        }
+    }
+}
+
+impl std::fmt::Debug for StoreServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreServer")
+            .field("workers", &self.workers.len())
+            .field("version", &self.version())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Everything a shut-down server leaves behind: the aggregated execution
+/// report, the full history, the final state, and the statement templates —
+/// exactly the inputs [`audit`](crate::audit::audit) needs (callers supply
+/// their own `programs` map, since only they know what they submitted).
+#[derive(Clone, Debug)]
+pub struct ServerReport {
+    /// Per-transaction outcomes and pipeline counters.
+    pub exec: ExecReport,
+    /// The complete history log.
+    pub events: Vec<Event>,
+    /// The final state.
+    pub final_db: Arc<Database>,
+    /// The final store version.
+    pub final_version: u64,
+    /// Statement shapes by id (survives guard-cache eviction).
+    pub templates: BTreeMap<u64, Template>,
+    /// Final guard-cache counters.
+    pub cache: CacheStats,
+}

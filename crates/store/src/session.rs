@@ -1,0 +1,145 @@
+//! Per-client sessions and transaction tickets.
+//!
+//! A [`Session`] is a client's handle onto a running
+//! [`StoreServer`](crate::StoreServer): it stamps each submission with the
+//! session's id (recorded as provenance on the history's `Begin` events)
+//! and hands back a [`TxTicket`] immediately. The ticket is the client's
+//! half of a one-shot completion slot the executing worker resolves with
+//! the typed [`TxOutcome`] — so a session can pipeline many submissions and
+//! collect outcomes later, or use [`Session::submit_sync`] for the
+//! one-call path.
+//!
+//! Ownership is deliberately asymmetric: a ticket owns its completion slot
+//! independently of the session *and* of the server's queue, so dropping a
+//! `Session` mid-flight loses nothing (its transactions are already queued
+//! and keep their tickets), and tickets taken before
+//! [`StoreServer::shutdown`](crate::StoreServer::shutdown) still resolve
+//! after it — shutdown drains the queue before the workers exit.
+
+use crate::exec::TxOutcome;
+use crate::server::StoreServer;
+use std::sync::{Arc, Condvar, Mutex};
+use vpdt_tx::program::Program;
+
+/// The shared one-shot completion slot behind a [`TxTicket`].
+#[derive(Debug, Default)]
+pub(crate) struct TicketState {
+    slot: Mutex<Option<TxOutcome>>,
+    done: Condvar,
+}
+
+impl TicketState {
+    /// Resolves the ticket (called exactly once, by the executing worker —
+    /// or by the submission path itself when the server is shut down).
+    pub(crate) fn resolve(&self, outcome: TxOutcome) {
+        let mut slot = self.slot.lock().expect("ticket lock poisoned");
+        debug_assert!(slot.is_none(), "a ticket resolves exactly once");
+        *slot = Some(outcome);
+        self.done.notify_all();
+    }
+
+    /// Resolves the ticket only if nothing resolved it yet — the
+    /// last-resort path (`WorkItem::drop`) that guarantees no client ever
+    /// hangs on a ticket whose work item died without an outcome (worker
+    /// panic mid-transaction, or a queue dropped with items still in it).
+    /// Runs during unwinding, so it tolerates a poisoned lock instead of
+    /// double-panicking.
+    pub(crate) fn resolve_if_unresolved(&self, outcome: TxOutcome) {
+        let mut slot = match self.slot.lock() {
+            Ok(slot) => slot,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if slot.is_none() {
+            *slot = Some(outcome);
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) -> TxOutcome {
+        let mut slot = self.slot.lock().expect("ticket lock poisoned");
+        loop {
+            if let Some(outcome) = slot.as_ref() {
+                return outcome.clone();
+            }
+            slot = self.done.wait(slot).expect("ticket lock poisoned");
+        }
+    }
+
+    fn peek(&self) -> Option<TxOutcome> {
+        self.slot.lock().expect("ticket lock poisoned").clone()
+    }
+}
+
+/// A claim on one submitted transaction's outcome.
+///
+/// Returned immediately by [`Session::submit`]; [`TxTicket::wait`] blocks
+/// until a worker resolves it. Tickets are independent of the session and
+/// the server's lifetime — they resolve even if the session is dropped or
+/// the server is shut down after submission.
+#[derive(Debug)]
+pub struct TxTicket {
+    id: u64,
+    session: u64,
+    state: Arc<TicketState>,
+}
+
+impl TxTicket {
+    pub(crate) fn new(id: u64, session: u64, state: Arc<TicketState>) -> Self {
+        TxTicket { id, session, state }
+    }
+
+    /// The transaction id the server assigned (history events and
+    /// [`ExecReport`](crate::ExecReport) outcomes are keyed by it).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The id of the session that submitted it.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// Blocks until the transaction's typed outcome is known.
+    pub fn wait(&self) -> TxOutcome {
+        self.state.wait()
+    }
+
+    /// The outcome, if already resolved (never blocks).
+    pub fn try_outcome(&self) -> Option<TxOutcome> {
+        self.state.peek()
+    }
+}
+
+/// A client's handle onto a running [`StoreServer`].
+///
+/// Sessions are cheap (an id plus a reference) and independent: many
+/// sessions submit concurrently, and transactions from all sessions share
+/// the server's guard cache — two sessions submitting the same statement
+/// shape share one compilation.
+#[derive(Debug)]
+pub struct Session<'a> {
+    server: &'a StoreServer,
+    id: u64,
+}
+
+impl<'a> Session<'a> {
+    pub(crate) fn new(server: &'a StoreServer, id: u64) -> Self {
+        Session { server, id }
+    }
+
+    /// This session's id (recorded on its transactions' `Begin` events).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Enqueues a program for execution and returns its ticket immediately.
+    /// The transaction id is assigned here, in submission order.
+    pub fn submit(&self, program: Program) -> TxTicket {
+        self.server.enqueue(self.id, program)
+    }
+
+    /// The one-call convenience path: submit, then block for the outcome.
+    pub fn submit_sync(&self, program: Program) -> TxOutcome {
+        self.submit(program).wait()
+    }
+}

@@ -153,8 +153,10 @@ impl VersionedStore {
             // unwritten relations, take the written ones from the
             // transaction's output. Relations live behind individual
             // `Arc`s, so this is a pointer swap per unwritten relation —
-            // no tuple is copied — followed by one domain re-normalization
-            // served from the relations' cached active domains.
+            // no tuple is copied — and the domain re-normalization is O(1):
+            // it only marks the domain as the deferred active-domain view,
+            // which materializes lazily from the relations' cached domains
+            // if some later reader (a guard quantifier, an audit) asks.
             let mut out = req.new_db;
             for (rel, _) in self.schema.iter() {
                 if !req.writes.contains(rel) {

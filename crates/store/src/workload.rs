@@ -6,8 +6,11 @@
 //! every audited history is reproducible bit-for-bit.
 
 use crate::exec::{Job, Submitter};
+use crate::server::StoreServer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
 use vpdt_logic::{parse_formula, Formula, Schema};
 use vpdt_structure::Database;
 use vpdt_tx::program::Program;
@@ -78,6 +81,45 @@ pub fn sharded_jobs(
         }
     }
     submitter.into_jobs()
+}
+
+/// The canonical way to drive a job list through a running server: one
+/// session per `per_client`-sized chunk, each submitting from its own
+/// thread (pipelined — every ticket first, then every wait, so the worker
+/// pool really interleaves sessions). Returns the tx-id → program map a
+/// later [`audit`](crate::audit::audit) needs; per-transaction outcomes
+/// are in the eventual
+/// [`ServerReport`](crate::ServerReport) (and each ticket, which this
+/// helper drains). Benches wanting latency numbers or custom windowing
+/// drive sessions by hand instead.
+pub fn serve_chunked(
+    server: &StoreServer,
+    jobs: &[Job],
+    per_client: usize,
+) -> BTreeMap<u64, Program> {
+    let programs = Mutex::new(BTreeMap::new());
+    std::thread::scope(|scope| {
+        for chunk in jobs.chunks(per_client.max(1)) {
+            let session = server.session();
+            let programs = &programs;
+            scope.spawn(move || {
+                let tickets: Vec<_> = chunk
+                    .iter()
+                    .map(|job| session.submit(job.program.clone()))
+                    .collect();
+                {
+                    let mut map = programs.lock().expect("programs lock poisoned");
+                    for (ticket, job) in tickets.iter().zip(chunk) {
+                        map.insert(ticket.id(), job.program.clone());
+                    }
+                }
+                for ticket in &tickets {
+                    ticket.wait();
+                }
+            });
+        }
+    });
+    programs.into_inner().expect("programs lock poisoned")
 }
 
 /// A consistent initial state for the sharded schema: each relation gets a

@@ -6,12 +6,16 @@
 //! pointer ([`Database::rel_handle`] / [`Database::set_rel_handle`])
 //! instead of rebuilding the database tuple-by-tuple. Each relation also
 //! maintains its active domain incrementally (an occurrence-counted element
-//! map), so re-normalizing the domain after such a merge costs the number
-//! of *distinct elements*, not the number of tuples.
+//! map), and the database-level domain can defer to those caches: a
+//! normalized database ([`Database::shrink_domain_to_active`]) carries the
+//! *promise* that its domain is the active domain, materializing the flat
+//! set only on first read — so re-normalizing after a merge (or after any
+//! transaction) is O(1), and the O(distinct elements) set construction is
+//! paid at most once per state, by its first reader.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use vpdt_logic::{Elem, Schema};
 
 /// A finite relation: a set of tuples of fixed arity over `U`.
@@ -135,12 +139,44 @@ impl fmt::Debug for Relation {
 /// occurring in tuples); inserting a tuple automatically extends the domain.
 /// First-sort quantifiers of the specification languages range over the
 /// domain (see `vpdt-eval`).
-#[derive(Clone, PartialEq, Eq)]
+///
+/// Internally the domain has two representations. `Explicit` stores the set
+/// outright (needed when the domain strictly exceeds the active domain, e.g.
+/// isolated graph nodes). `Active` records only *"the domain is the active
+/// domain"* and materializes the flat set lazily, on first read, from the
+/// relations' incrementally-maintained caches — so
+/// [`Database::shrink_domain_to_active`] (and hence every transaction's
+/// output normalization and every disjoint commit merge in the versioned
+/// store) is O(1) instead of O(distinct elements). States that are never
+/// read as a whole — intermediate program steps, overwritten versions —
+/// never pay for the set at all.
+#[derive(Clone)]
 pub struct Database {
     schema: Schema,
-    domain: BTreeSet<Elem>,
+    domain: DomainRepr,
     rels: Vec<Arc<Relation>>,
 }
+
+/// How the domain is held: an explicit set, or the deferred promise that it
+/// equals the union of the relations' active domains.
+#[derive(Clone, Debug)]
+enum DomainRepr {
+    Explicit(BTreeSet<Elem>),
+    /// `domain = active domain` of the current relations; the cell caches
+    /// the materialized set once some reader asks for it.
+    Active(OnceLock<BTreeSet<Elem>>),
+}
+
+/// Equality compares the *contents*: schema, relations, and the (possibly
+/// lazily materialized) domain. Two databases whose domains are held in
+/// different representations but denote the same set are equal.
+impl PartialEq for Database {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.rels == other.rels && self.domain() == other.domain()
+    }
+}
+
+impl Eq for Database {}
 
 impl Database {
     /// An empty database (empty domain, all relations empty).
@@ -152,7 +188,7 @@ impl Database {
             .collect();
         Database {
             schema,
-            domain: BTreeSet::new(),
+            domain: DomainRepr::Explicit(BTreeSet::new()),
             rels,
         }
     }
@@ -184,14 +220,32 @@ impl Database {
         &self.schema
     }
 
-    /// The explicit finite domain.
+    /// The finite domain. For a database whose domain is the active domain
+    /// (the normalized output of every transaction), the flat set is
+    /// materialized on first read and cached; until then the state carries
+    /// no domain set at all.
     pub fn domain(&self) -> &BTreeSet<Elem> {
-        &self.domain
+        match &self.domain {
+            DomainRepr::Explicit(set) => set,
+            DomainRepr::Active(cell) => cell.get_or_init(|| self.active_domain()),
+        }
+    }
+
+    /// The domain as an explicit, mutable set — materializing it first if it
+    /// is currently the deferred active-domain view.
+    fn domain_mut(&mut self) -> &mut BTreeSet<Elem> {
+        if let DomainRepr::Active(_) = &self.domain {
+            self.domain = DomainRepr::Explicit(self.domain().clone());
+        }
+        match &mut self.domain {
+            DomainRepr::Explicit(set) => set,
+            DomainRepr::Active(_) => unreachable!("just materialized"),
+        }
     }
 
     /// Number of domain elements.
     pub fn domain_size(&self) -> usize {
-        self.domain.len()
+        self.domain().len()
     }
 
     /// The active domain: elements occurring in at least one tuple. Served
@@ -207,12 +261,15 @@ impl Database {
 
     /// Adds an element to the domain (it may remain isolated).
     pub fn add_domain_elem(&mut self, e: Elem) -> bool {
-        self.domain.insert(e)
+        self.domain_mut().insert(e)
     }
 
-    /// Restricts the domain to the active domain, dropping isolated elements.
+    /// Restricts the domain to the active domain, dropping isolated
+    /// elements. O(1): the flat set is not rebuilt here — the domain merely
+    /// switches to the deferred active-domain view, and materializes from
+    /// the relations' cached domains only if someone reads it.
     pub fn shrink_domain_to_active(&mut self) {
-        self.domain = self.active_domain();
+        self.domain = DomainRepr::Active(OnceLock::new());
     }
 
     /// The relation interpreting `name`.
@@ -236,12 +293,16 @@ impl Database {
             .schema
             .index_of(name)
             .unwrap_or_else(|| panic!("relation {name} not in schema"));
-        self.domain.extend(tuple.iter().copied());
+        self.domain_mut().extend(tuple.iter().copied());
         Arc::make_mut(&mut self.rels[i]).insert(tuple)
     }
 
     /// Removes a tuple from `name` (the domain is left unchanged).
     pub fn remove(&mut self, name: &str, tuple: &[Elem]) -> bool {
+        // Pin the domain before shrinking the relation: a deferred
+        // active-domain view recomputed *after* the removal would drop the
+        // removed elements, but removal must leave the domain as it was.
+        self.domain_mut();
         let i = self
             .schema
             .index_of(name)
@@ -266,8 +327,12 @@ impl Database {
     }
 
     /// Replaces one relation by a shared handle (O(1), no tuple copies).
-    /// The explicit domain is *not* adjusted — callers compose swaps and
-    /// then call [`Database::shrink_domain_to_active`] once.
+    /// The domain is *not* adjusted here — callers compose swaps and then
+    /// call [`Database::shrink_domain_to_active`] once (which is itself
+    /// O(1): the merged domain is derived lazily from the swapped-in
+    /// relations' cached active domains). Note that if the domain is
+    /// already the deferred active-domain view and has not been read yet,
+    /// a read between swaps observes the current relations.
     ///
     /// # Panics
     /// Panics if `name` is not in the schema or the arity mismatches.
@@ -323,7 +388,7 @@ impl Database {
     /// the universe (Section 4).
     pub fn permuted(&self, pi: &dyn Fn(Elem) -> Elem) -> Database {
         let mut out = Database::empty(self.schema.clone());
-        for e in &self.domain {
+        for e in self.domain() {
             out.add_domain_elem(pi(*e));
         }
         for (rel, store) in self.schema.rels().iter().zip(&self.rels) {
@@ -339,7 +404,6 @@ impl Database {
     /// matrices and Datalog programs.
     pub fn with_schema(&self, schema: Schema) -> Database {
         let mut out = Database::empty(schema);
-        out.domain = self.domain.clone();
         for (rel, store) in self.schema.rels().iter().zip(&self.rels) {
             assert_eq!(
                 out.schema.arity_of(&rel.name),
@@ -351,8 +415,8 @@ impl Database {
                 out.insert(&rel.name, t.clone());
             }
         }
-        // restore: inserting extended the domain, but it was already complete
-        out.domain = self.domain.clone();
+        // inserting extended the domain, but the source's was already complete
+        out.domain = DomainRepr::Explicit(self.domain().clone());
         out
     }
 
@@ -365,7 +429,7 @@ impl Database {
         let _ = write!(
             s,
             "dom:{}",
-            self.domain
+            self.domain()
                 .iter()
                 .map(|e| e.0.to_string())
                 .collect::<Vec<_>>()
@@ -422,7 +486,7 @@ impl Database {
 
 impl fmt::Debug for Database {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Database(dom={:?}", self.domain)?;
+        write!(f, "Database(dom={:?}", self.domain())?;
         for (rel, store) in self.schema.rels().iter().zip(&self.rels) {
             write!(f, ", {}={:?}", rel.name, store)?;
         }
@@ -521,6 +585,42 @@ mod tests {
         r.insert(vec![Elem(3), Elem(4)]);
         r.remove(&[Elem(4), Elem(3)]);
         assert_eq!(r.active_domain(), BTreeSet::from([Elem(3), Elem(4)]));
+    }
+
+    /// `shrink_domain_to_active` defers the flat set: the domain read back
+    /// equals the recomputed active domain, stays correct across clones and
+    /// handle swaps, and removal pins the pre-removal domain (removal never
+    /// shrinks the domain).
+    #[test]
+    fn lazy_domain_view_is_transparent() {
+        let mut db = Database::graph_with_domain([9], [(1, 2), (2, 3)]);
+        assert_eq!(db.domain_size(), 4);
+        db.shrink_domain_to_active();
+        assert_eq!(db.domain(), &BTreeSet::from([Elem(1), Elem(2), Elem(3)]));
+        // equality across representations
+        let explicit = Database::graph_with_domain([1, 2, 3], [(1, 2), (2, 3)]);
+        assert_eq!(db, explicit);
+        // a clone of an unmaterialized view materializes independently
+        let mut fresh = Database::graph([(1, 2), (2, 3)]);
+        fresh.shrink_domain_to_active();
+        let cloned = fresh.clone();
+        assert_eq!(cloned.domain(), fresh.domain());
+        // removal does not shrink the domain, even from the deferred view
+        let mut d = Database::graph([(1, 2)]);
+        d.shrink_domain_to_active();
+        d.remove("E", &[Elem(1), Elem(2)]);
+        assert_eq!(d.domain(), &BTreeSet::from([Elem(1), Elem(2)]));
+        // ...and a subsequent shrink drops the now-isolated elements
+        d.shrink_domain_to_active();
+        assert!(d.domain().is_empty());
+        // inserting through the deferred view extends correctly
+        let mut i = Database::graph([(0, 1)]);
+        i.shrink_domain_to_active();
+        i.insert("E", vec![Elem(5), Elem(6)]);
+        assert_eq!(
+            i.domain(),
+            &BTreeSet::from([Elem(0), Elem(1), Elem(5), Elem(6)])
+        );
     }
 
     /// Relation handles swap by pointer, and copy-on-write keeps sharing

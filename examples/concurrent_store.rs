@@ -1,15 +1,14 @@
-//! The guard-verified store, end to end: compile guards once, serve many
-//! clients concurrently, then audit the committed history against the
-//! check-and-rollback semantics it replaced.
+//! The guard-verified store, end to end: build a resident server, serve
+//! many concurrent client sessions, then audit the committed history
+//! against the check-and-rollback semantics it replaced.
 //!
 //! ```text
 //! cargo run --release --example concurrent_store
 //! ```
 
-use std::collections::BTreeMap;
 use std::time::Instant;
 use vpdt::eval::Omega;
-use vpdt::store::{audit, run_jobs, run_serial_rollback, workload, GuardCache, VersionedStore};
+use vpdt::store::{audit, run_serial_rollback, workload, StoreBuilder};
 
 fn main() {
     const RELS: usize = 4;
@@ -17,7 +16,7 @@ fn main() {
     const SEED: u64 = 7;
     const CLIENTS: u64 = 8;
     const PER_CLIENT: usize = 250;
-    const THREADS: usize = 4;
+    const WORKERS: usize = 4;
 
     // One constraint guards the whole store: a functional dependency per
     // relation. Each conjunct is domain-independent and mentions a single
@@ -28,43 +27,60 @@ fn main() {
     println!("constraint α:\n  {alpha}\n");
 
     let initial = workload::sharded_initial(SEED, RELS, UNIVERSE, 0.5);
-    let store = VersionedStore::new(initial.clone());
-    let cache = GuardCache::new(store.schema().clone(), alpha.clone(), omega.clone());
 
-    // A deterministic mix of prepared statements from CLIENTS seeded clients.
+    // The server owns the queue, the guard cache, and the worker pool; the
+    // soundness base case (α holds at admission) is established here, once.
+    let server = StoreBuilder::new(initial.clone(), alpha.clone())
+        .omega(omega.clone())
+        .workers(WORKERS)
+        .build()
+        .expect("initial state satisfies α");
+
+    // A deterministic mix of prepared statements for CLIENTS seeded clients.
     let jobs = workload::sharded_jobs(SEED, CLIENTS, PER_CLIENT, RELS, UNIVERSE);
-    println!(
-        "submitting {} transactions from {CLIENTS} clients across {THREADS} worker threads",
-        jobs.len()
-    );
 
     // Warm the guard cache: every ground program canonicalizes to a
     // prepared-statement shape, and only distinct *shapes* compile —
     // O(statements), independent of the universe size.
     let tc = Instant::now();
     for job in &jobs {
-        cache.get_or_compile(&job.program).expect("compiles");
+        server.prepare(&job.program).expect("compiles");
     }
     println!(
-        "compiled {} statement shapes (from {} submitted programs) in {:.1?}",
-        cache.cache_stats().shapes,
+        "compiled {} statement shapes (from {} programs) in {:.1?}",
+        server.cache_stats().shapes,
         jobs.len(),
         tc.elapsed()
     );
 
+    // Serve: one session per client, each from its own thread, pipelining
+    // submissions (tickets now, outcomes later).
+    println!("serving {CLIENTS} sessions across {WORKERS} worker threads");
     let t0 = Instant::now();
-    let report = run_jobs(&store, &cache, &jobs, THREADS);
+    let programs = workload::serve_chunked(&server, &jobs, PER_CLIENT);
     let concurrent = t0.elapsed();
-    let (hits, misses) = cache.stats();
+    let report = server.shutdown();
     println!(
-        "guarded-concurrent: {} committed, {} aborted in {:.1?} \
+        "guarded-sessions:   {} committed, {} aborted in {:.1?} \
          ({} footprint conflicts retried; guard cache: {} hits, {} compilations)",
-        report.committed, report.aborted, concurrent, report.conflicts, hits, misses
+        report.exec.committed,
+        report.exec.aborted,
+        concurrent,
+        report.exec.conflicts,
+        report.exec.guard_hits,
+        report.exec.guard_misses
     );
 
     // The baseline the paper displaces: serial check-and-rollback.
+    let jobs_for_serial: Vec<vpdt::store::Job> = programs
+        .iter()
+        .map(|(id, p)| vpdt::store::Job {
+            id: *id,
+            program: p.clone(),
+        })
+        .collect();
     let t1 = Instant::now();
-    let (_, serial) = run_serial_rollback(initial.clone(), &jobs, &alpha, &omega);
+    let (_, serial) = run_serial_rollback(initial.clone(), &jobs_for_serial, &alpha, &omega);
     let serial_time = t1.elapsed();
     println!(
         "rollback-serial:    {} committed, {} aborted in {:.1?}",
@@ -77,23 +93,24 @@ fn main() {
 
     // Audit: replay the committed history through RuntimeChecked and
     // cross-check every guard decision.
-    let programs: BTreeMap<_, _> = jobs.iter().map(|j| (j.id, j.program.clone())).collect();
     let verdict = audit(
         &alpha,
         &omega,
         &initial,
-        &store.snapshot().db,
-        &store.history().events(),
+        &report.final_db,
+        &report.events,
         &programs,
-        &cache.templates(),
+        &report.templates,
     );
     println!("{verdict}");
     assert!(verdict.ok(), "the audit must verify the run");
 
-    // A glimpse of the history log.
-    let events = store.history().events();
-    println!("\nfirst events of the {}-entry history:", events.len());
-    for e in events.iter().take(6) {
+    // A glimpse of the history log — note the session provenance on Begin.
+    println!(
+        "\nfirst events of the {}-entry history:",
+        report.events.len()
+    );
+    for e in report.events.iter().take(6) {
         println!("  {e:?}");
     }
 }

@@ -6,7 +6,7 @@
 //! vpdtool wpc      --constraint 'forall x y z. E(x,y) & E(x,z) -> y = z' --insert E:1,4
 //! vpdtool guard    --db '…' --constraint '…' --insert E:1,4
 //! vpdtool preserve --constraint '…' --insert E:1,4 --budget 2000
-//! vpdtool store    --threads 4 --clients 8 --txs 200 --rels 4 --universe 6 --seed 42
+//! vpdtool store    --workers 4 --clients 8 --txs 200 --rels 4 --universe 6 --seed 42
 //! ```
 //!
 //! Databases use the textual encoding of `Database::encode`
@@ -149,8 +149,8 @@ fn run(args: &[String]) -> Result<(), String> {
                  wpc      --constraint F --insert R:a,b …       print wpc(T, F)\n  \
                  guard    --db ENC --constraint F --insert …    run `if wpc then T else abort`\n  \
                  preserve --constraint F --insert … [--budget N] bounded Preserve(T, F) check\n  \
-                 store    [--threads N] [--clients N] [--txs N] [--rels N] [--universe N] [--seed N]\n           \
-                 run a concurrent guarded workload against the vpdt-store pipeline and audit it\n\n\
+                 store    [--workers N] [--clients N] [--txs N] [--rels N] [--universe N] [--seed N]\n           \
+                 serve a concurrent workload through StoreServer sessions and audit it\n\n\
                  common flags: --schema 'R:2,S:1' (default E:2), --omega empty|order|arithmetic"
             );
             Ok(())
@@ -240,11 +240,11 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// `vpdtool store`: a self-contained demonstration of the concurrent
-/// guarded store — deterministic sharded workload, N worker threads,
-/// guard cache, history audit.
+/// `vpdtool store`: a self-contained demonstration of the session-oriented
+/// guarded store — a resident `StoreServer`, one concurrent session per
+/// client, deterministic sharded workload, guard cache, history audit.
 fn run_store(args: &[String]) -> Result<(), String> {
-    let mut threads = 4usize;
+    let mut workers = 4usize;
     let mut clients = 8u64;
     let mut txs = 200usize;
     let mut rels = 4usize;
@@ -257,7 +257,8 @@ fn run_store(args: &[String]) -> Result<(), String> {
             .get(i + 1)
             .ok_or_else(|| format!("{flag} needs a value"))?;
         match flag.as_str() {
-            "--threads" => threads = value.parse().map_err(|_| "bad --threads")?,
+            // --threads kept as the historical spelling of --workers
+            "--threads" | "--workers" => workers = value.parse().map_err(|_| "bad --workers")?,
             "--clients" => clients = value.parse().map_err(|_| "bad --clients")?,
             "--txs" => txs = value.parse().map_err(|_| "bad --txs")?,
             "--rels" => rels = value.parse().map_err(|_| "bad --rels")?,
@@ -271,43 +272,45 @@ fn run_store(args: &[String]) -> Result<(), String> {
         return Err("--rels and --universe must be positive".into());
     }
 
-    use vpdt::store::{audit, run_jobs, workload, GuardCache, VersionedStore};
+    use vpdt::store::{audit, workload, StoreBuilder};
     let alpha = workload::sharded_fd_constraint(rels);
     let omega = Omega::empty();
     let initial = workload::sharded_initial(seed, rels, universe, 0.5);
-    let store = VersionedStore::new(initial.clone());
-    let cache = GuardCache::new(store.schema().clone(), alpha.clone(), omega.clone());
+    let server = StoreBuilder::new(initial.clone(), alpha.clone())
+        .omega(omega.clone())
+        .workers(workers)
+        .build()
+        .map_err(|e| format!("server refused to start: {e}"))?;
     let jobs = workload::sharded_jobs(seed, clients, txs, rels, universe);
     println!(
-        "running {} transactions from {clients} clients over {rels} relations on {threads} threads",
+        "serving {} transactions from {clients} sessions over {rels} relations \
+         on {workers} workers",
         jobs.len()
     );
-    let report = run_jobs(&store, &cache, &jobs, threads);
-    let (hits, misses) = cache.stats();
+    let programs = workload::serve_chunked(&server, &jobs, txs);
+    let report = server.shutdown();
     println!(
         "committed {} / aborted {} / failed {} at store version {} \
-         ({} conflicts retried, guard cache {hits} hits / {misses} compiles)",
-        report.committed,
-        report.aborted,
-        report.failed,
-        store.version(),
-        report.conflicts,
+         ({} conflicts retried, guard cache {} hits / {} compiles)",
+        report.exec.committed,
+        report.exec.aborted,
+        report.exec.failed,
+        report.final_version,
+        report.exec.conflicts,
+        report.exec.guard_hits,
+        report.exec.guard_misses,
     );
-    let programs = jobs
-        .iter()
-        .map(|j| (j.id, j.program.clone()))
-        .collect::<std::collections::BTreeMap<_, _>>();
     let verdict = audit(
         &alpha,
         &omega,
         &initial,
-        &store.snapshot().db,
-        &store.history().events(),
+        &report.final_db,
+        &report.events,
         &programs,
-        &cache.templates(),
+        &report.templates,
     );
     println!("{verdict}");
-    if verdict.ok() && report.failed == 0 {
+    if verdict.ok() && report.exec.failed == 0 {
         Ok(())
     } else {
         Err("store run failed verification".into())

@@ -120,7 +120,7 @@ fn store_runs_and_audits_a_concurrent_workload() {
         "5",
     ]);
     assert!(ok, "{out}");
-    assert!(out.contains("running 40 transactions"), "{out}");
+    assert!(out.contains("serving 40 transactions"), "{out}");
     assert!(out.contains("audit OK"), "{out}");
 }
 

@@ -1,62 +1,61 @@
-//! Property-based tests for the store's audit: every history the executor
-//! produces verifies, and every reordered-commit mutation of a history
-//! with observably distinct commits is rejected.
+//! Property-based tests for the store's audit: every history the server
+//! produces through sessions verifies, and every reordered-commit mutation
+//! of a history with observably distinct commits is rejected.
 
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use vpdt::eval::Omega;
-use vpdt::store::{audit, run_jobs, workload, Event, GuardCache, Job, VersionedStore};
+use vpdt::store::{audit, workload, Event, StoreBuilder};
 use vpdt::tx::program::Program;
 
 const RELS: usize = 3;
 const UNIVERSE: u64 = 3;
 
 struct Run {
-    store: VersionedStore,
-    jobs: Vec<Job>,
+    report: vpdt::store::ServerReport,
+    programs: BTreeMap<u64, Program>,
     initial: vpdt::structure::Database,
     alpha: vpdt::logic::Formula,
-    templates: BTreeMap<u64, vpdt::tx::template::Template>,
 }
 
-fn run(seed: u64, clients: u64, per_client: usize, threads: usize) -> Run {
+/// Serves the seeded workload through a resident server: one concurrent
+/// session per client, submissions pipelined (all tickets first, then all
+/// waits) so the worker pool really interleaves.
+fn run(seed: u64, clients: u64, per_client: usize, workers: usize) -> Run {
     let alpha = workload::sharded_fd_constraint(RELS);
     let initial = workload::sharded_initial(seed, RELS, UNIVERSE, 0.5);
-    let store = VersionedStore::new(initial.clone());
-    let cache = GuardCache::new(store.schema().clone(), alpha.clone(), Omega::empty());
+    let server = StoreBuilder::new(initial.clone(), alpha.clone())
+        .workers(workers)
+        .build()
+        .expect("consistent initial state");
     let jobs = workload::sharded_jobs(seed, clients, per_client, RELS, UNIVERSE);
-    run_jobs(&store, &cache, &jobs, threads);
-    let templates = cache.templates();
+    let programs = workload::serve_chunked(&server, &jobs, per_client);
+    let report = server.shutdown();
     Run {
-        store,
-        jobs,
+        report,
+        programs,
         initial,
         alpha,
-        templates,
     }
-}
-
-fn programs_of(jobs: &[Job]) -> BTreeMap<u64, Program> {
-    jobs.iter().map(|j| (j.id, j.program.clone())).collect()
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// Whatever the seed, client count and parallelism, the audit accepts
-    /// the history the executor actually produced.
+    /// Whatever the seed, session count and parallelism, the audit accepts
+    /// the history the server actually produced.
     #[test]
-    fn audit_accepts_every_executor_history(seed in 0u64..10_000, clients in 1u64..4,
-                                            per_client in 1usize..12, threads in 1usize..5) {
-        let r = run(seed, clients, per_client, threads);
+    fn audit_accepts_every_server_history(seed in 0u64..10_000, clients in 1u64..4,
+                                          per_client in 1usize..12, workers in 1usize..5) {
+        let r = run(seed, clients, per_client, workers);
         let report = audit(
             &r.alpha,
             &Omega::empty(),
             &r.initial,
-            &r.store.snapshot().db,
-            &r.store.history().events(),
-            &programs_of(&r.jobs),
-            &r.templates,
+            &r.report.final_db,
+            &r.report.events,
+            &r.programs,
+            &r.report.templates,
         );
         prop_assert!(report.ok(), "seed {}: {}", seed, report);
     }
@@ -71,7 +70,7 @@ proptest! {
     #[test]
     fn audit_rejects_truncated_histories(seed in 0u64..10_000) {
         let r = run(seed, 3, 10, 4);
-        let mut events = r.store.history().events();
+        let mut events = r.report.events.clone();
         let initial_hash = vpdt::store::history::state_hash(&r.initial);
         // index of the last commit whose post-state differs from its
         // predecessor's — commits after it (if any) are all no-ops, so
@@ -94,10 +93,10 @@ proptest! {
             &r.alpha,
             &Omega::empty(),
             &r.initial,
-            &r.store.snapshot().db,
+            &r.report.final_db,
             &events,
-            &programs_of(&r.jobs),
-            &r.templates,
+            &r.programs,
+            &r.report.templates,
         );
         prop_assert!(!report.ok(), "seed {}: truncated history verified", seed);
     }

@@ -1,0 +1,311 @@
+//! Session semantics of the `StoreServer` front door: ticket resolution
+//! across shutdown, session drops losing nothing, compilation sharing
+//! between sessions, retry-policy exhaustion, and audits over
+//! session-produced histories.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+use vpdt::eval::Omega;
+use vpdt::store::{audit, workload, Event, RetryPolicy, StoreBuilder, StoreError, TxOutcome};
+use vpdt::tx::program::Program;
+
+const RELS: usize = 2;
+const UNIVERSE: u64 = 4;
+
+fn server(seed: u64, workers: usize) -> (vpdt::store::StoreServer, vpdt::structure::Database) {
+    let alpha = workload::sharded_fd_constraint(RELS);
+    let initial = workload::sharded_initial(seed, RELS, UNIVERSE, 0.4);
+    let server = StoreBuilder::new(initial.clone(), alpha)
+        .workers(workers)
+        .build()
+        .expect("consistent initial state");
+    (server, initial)
+}
+
+/// Tickets taken before shutdown still resolve: shutdown drains the queue,
+/// so every outstanding ticket ends with a real outcome, and waiting on a
+/// ticket *after* the server is gone returns immediately.
+#[test]
+fn tickets_resolve_after_shutdown() {
+    let (server, _) = server(1, 2);
+    let programs = [
+        Program::insert_consts("R0", [0, 1]),
+        Program::insert_consts("R1", [2, 3]),
+        Program::delete_consts("R0", [0, 1]),
+        Program::insert_consts("R0", [3, 2]),
+    ];
+    let tickets: Vec<_> = {
+        let session = server.session();
+        programs.iter().map(|p| session.submit(p.clone())).collect()
+    };
+    let report = server.shutdown();
+    assert_eq!(report.exec.outcomes.len(), programs.len());
+    for ticket in &tickets {
+        let waited = ticket.wait();
+        let in_report = &report
+            .exec
+            .outcomes
+            .iter()
+            .find(|(id, _)| *id == ticket.id())
+            .expect("every ticket's transaction is in the report")
+            .1;
+        assert_eq!(&waited, in_report, "ticket and report agree");
+        assert!(
+            ticket.try_outcome().is_some(),
+            "resolved tickets answer try_outcome"
+        );
+    }
+}
+
+/// Dropping a session mid-flight neither loses nor duplicates its
+/// transactions: everything it submitted is executed exactly once and
+/// shows up in the final report (and history) even though the session —
+/// and its tickets — are gone.
+#[test]
+fn dropping_a_session_loses_nothing() {
+    let (server, _) = server(3, 2);
+    let mut submitted = Vec::new();
+    {
+        let doomed = server.session();
+        for i in 0..20u64 {
+            let p = Program::insert_consts("R0", [i % UNIVERSE, (i + 1) % UNIVERSE]);
+            // drop the ticket on the floor immediately
+            submitted.push(doomed.submit(p).id());
+        }
+        // the session dies here, with (very likely) work still in flight
+    }
+    let outcome = {
+        let survivor = server.session();
+        survivor.submit_sync(Program::insert_consts("R1", [0, 1]))
+    };
+    assert!(
+        matches!(
+            outcome,
+            TxOutcome::Committed { .. } | TxOutcome::Aborted { .. }
+        ),
+        "the server keeps serving after a session drop: {outcome:?}"
+    );
+    let report = server.shutdown();
+    let mut ids: Vec<u64> = report.exec.outcomes.iter().map(|(id, _)| *id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(
+        report.exec.outcomes.len(),
+        submitted.len() + 1,
+        "exactly once each: {:?}",
+        report.exec.outcomes
+    );
+    assert_eq!(ids.len(), report.exec.outcomes.len(), "no duplicates");
+    for id in &submitted {
+        assert!(ids.contains(id), "tx {id} from the dropped session is lost");
+    }
+}
+
+/// Two sessions submitting the same statement shape share one compilation:
+/// the guard cache registers the shape once, and the second session's
+/// submissions are pure cache hits.
+#[test]
+fn sessions_share_one_compilation_per_shape() {
+    let (server, _) = server(5, 2);
+    {
+        let a = server.session();
+        let b = server.session();
+        assert_ne!(a.id(), b.id());
+        // same shape (insert into R0), different constants, both sessions
+        a.submit_sync(Program::insert_consts("R0", [0, 1]));
+        b.submit_sync(Program::insert_consts("R0", [2, 3]));
+        a.submit_sync(Program::insert_consts("R0", [1, 2]));
+        b.submit_sync(Program::insert_consts("R0", [3, 0]));
+    }
+    let report = server.shutdown();
+    assert_eq!(
+        report.cache.shapes, 1,
+        "one statement shape across sessions: {:?}",
+        report.cache
+    );
+    assert_eq!(report.cache.misses, 1, "compiled exactly once");
+    assert_eq!(report.cache.hits, 3, "everything after is a hit");
+}
+
+/// A bounded retry policy surfaces exhaustion as the typed
+/// `RetriesExhausted` error carrying the conflicting footprint. Conflicts
+/// are forced by pre-committing to the same relation between the guard
+/// evaluation and the commit offer — here simulated by a zero-budget
+/// policy under heavy same-relation contention.
+#[test]
+fn bounded_retry_policy_reports_exhaustion() {
+    let alpha = workload::sharded_fd_constraint(1);
+    let initial = workload::sharded_initial(7, 1, UNIVERSE, 0.0);
+    // Conflicts require a real race (another commit between a
+    // transaction's guard evaluation and its commit offer), which on a
+    // small machine depends on preemption timing — so hammer one relation
+    // hard: many oversubscribed workers, many sessions pipelining
+    // same-footprint writes, fresh servers until the race happens.
+    for round in 0.. {
+        assert!(round < 25, "no conflict in 25 contended rounds");
+        let server = StoreBuilder::new(initial.clone(), alpha.clone())
+            .workers(8)
+            .retry_policy(RetryPolicy::bounded(0, Duration::ZERO))
+            .build()
+            .expect("consistent initial state");
+        std::thread::scope(|scope| {
+            for c in 0..8u64 {
+                let session = server.session();
+                scope.spawn(move || {
+                    // pipeline (don't wait per-tx) so several R0 writes
+                    // are genuinely in flight at once
+                    let tickets: Vec<_> = (0..150u64)
+                        .map(|i| {
+                            let a = (c + i) % UNIVERSE;
+                            let b = (c + i + 1) % UNIVERSE;
+                            session.submit(Program::insert_consts("R0", [a, b]))
+                        })
+                        .collect();
+                    for t in &tickets {
+                        t.wait();
+                    }
+                });
+            }
+        });
+        let report = server.shutdown();
+        let exhausted: Vec<&TxOutcome> = report
+            .exec
+            .outcomes
+            .iter()
+            .map(|(_, o)| o)
+            .filter(|o| {
+                matches!(
+                    o,
+                    TxOutcome::Failed {
+                        error: StoreError::RetriesExhausted { .. }
+                    }
+                )
+            })
+            .collect();
+        if exhausted.is_empty() {
+            continue;
+        }
+        if let TxOutcome::Failed {
+            error:
+                StoreError::RetriesExhausted {
+                    retries, relations, ..
+                },
+        } = exhausted[0]
+        {
+            assert_eq!(*retries, 0, "a zero budget never retries");
+            assert_eq!(
+                relations,
+                &vec!["R0".to_string()],
+                "the error names the conflicting footprint"
+            );
+        }
+        // ...and the audit still verifies what did commit: exhausted
+        // transactions left a Begin and a passing guard eval but no
+        // commit, which is a legal (incomplete) run
+        let programs: BTreeMap<u64, Program> = report
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Begin {
+                    tx,
+                    shape,
+                    bindings,
+                    ..
+                } => Some((
+                    *tx,
+                    report.templates[shape]
+                        .instantiate(bindings)
+                        .expect("provenance instantiates"),
+                )),
+                _ => None,
+            })
+            .collect();
+        let verdict = audit(
+            &alpha,
+            &Omega::empty(),
+            &initial,
+            &report.final_db,
+            &report.events,
+            &programs,
+            &report.templates,
+        );
+        assert!(verdict.ok(), "{verdict}");
+        return;
+    }
+}
+
+/// With outcome retention off (the flat-memory mode for resident servers),
+/// tickets still deliver every outcome, the aggregate counters stay exact,
+/// and the audit still verifies — only the report's per-transaction list
+/// is empty.
+#[test]
+fn retention_off_keeps_counters_and_tickets_exact() {
+    let alpha = workload::sharded_fd_constraint(RELS);
+    let initial = workload::sharded_initial(13, RELS, UNIVERSE, 0.4);
+    let server = StoreBuilder::new(initial.clone(), alpha.clone())
+        .workers(2)
+        .retain_outcomes(false)
+        .build()
+        .expect("consistent initial state");
+    let jobs = workload::sharded_jobs(13, 2, 25, RELS, UNIVERSE);
+    let mut committed = 0;
+    let mut aborted = 0;
+    {
+        let session = server.session();
+        for job in &jobs {
+            match session.submit_sync(job.program.clone()) {
+                TxOutcome::Committed { .. } => committed += 1,
+                TxOutcome::Aborted { .. } => aborted += 1,
+                TxOutcome::Failed { error } => panic!("unexpected failure: {error}"),
+            }
+        }
+    }
+    let report = server.shutdown();
+    assert!(report.exec.outcomes.is_empty(), "nothing retained");
+    assert_eq!(report.exec.committed, committed);
+    assert_eq!(report.exec.aborted, aborted);
+    assert_eq!(report.exec.failed, 0);
+    let programs: BTreeMap<u64, Program> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, job)| (i as u64, job.program.clone()))
+        .collect();
+    let verdict = audit(
+        &alpha,
+        &Omega::empty(),
+        &initial,
+        &report.final_db,
+        &report.events,
+        &programs,
+        &report.templates,
+    );
+    assert!(verdict.ok(), "{verdict}");
+}
+
+/// `submit_sync` is exactly submit-then-wait, and the audit verifies a
+/// history produced purely through sessions (including session provenance
+/// on every Begin event).
+#[test]
+fn audit_passes_on_session_history() {
+    let (server, initial) = server(11, 3);
+    let alpha = workload::sharded_fd_constraint(RELS);
+    let jobs = workload::sharded_jobs(11, 3, 30, RELS, UNIVERSE);
+    let programs = workload::serve_chunked(&server, &jobs, 30);
+    let report = server.shutdown();
+    // every transaction carries a real session id
+    assert!(report.events.iter().all(|e| match e {
+        Event::Begin { session, .. } => *session >= 1,
+        _ => true,
+    }));
+    let verdict = audit(
+        &alpha,
+        &Omega::empty(),
+        &initial,
+        &report.final_db,
+        &report.events,
+        &programs,
+        &report.templates,
+    );
+    assert!(verdict.ok(), "{verdict}");
+    assert_eq!(verdict.commits_checked, report.exec.committed);
+}
