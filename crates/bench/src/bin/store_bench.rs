@@ -11,14 +11,21 @@
 //!   path;
 //! * **rollback-serial** — the baseline the paper's programme displaces:
 //!   one thread, run each transaction, test `α` on the result, roll back
-//!   on violation.
+//!   on violation;
+//! * **guarded-sessions, persisted** — the session path again, but with
+//!   the write-ahead log attached and fsync on every commit: what
+//!   durability costs. The run is verified by recovering the directory
+//!   and checking the recovered version and state hash against the live
+//!   server's final report. `--persist DIR` keeps the artifacts (CI's
+//!   recovery smoke job then runs `vpdtool audit --log DIR` on them); by
+//!   default a temp directory is used and removed.
 //!
 //! It then audits the session history (replaying every commit through the
 //! check-and-rollback path) and writes `BENCH_store.json`. Exit code is
 //! non-zero if the audit fails, a constraint violation is observed, the
 //! run falls short of the acceptance thresholds (≥ 10_000 commits across
-//! ≥ 4 workers), or the session path falls more than 10% behind the batch
-//! path.
+//! ≥ 4 workers), the session path falls more than 10% behind the batch
+//! path, or the persisted run fails to recover to its reported state.
 //!
 //! ```text
 //! cargo run --release -p vpdt-bench --bin store_bench
@@ -50,6 +57,9 @@ struct Config {
     cache_cap: usize,
     smoke: bool,
     out: String,
+    /// Directory for the persisted run's artifacts; kept when given
+    /// (anything already there is removed first), temp + removed otherwise.
+    persist: Option<String>,
 }
 
 impl Default for Config {
@@ -64,6 +74,7 @@ impl Default for Config {
             cache_cap: vpdt_store::guard::DEFAULT_CAPACITY,
             smoke: false,
             out: "BENCH_store.json".to_string(),
+            persist: None,
         }
     }
 }
@@ -93,6 +104,7 @@ fn parse_args() -> Result<Config, String> {
             "--universe" => cfg.universe = value.parse().map_err(|_| "bad --universe")?,
             "--seed" => cfg.seed = value.parse().map_err(|_| "bad --seed")?,
             "--cache-cap" => cfg.cache_cap = value.parse().map_err(|_| "bad --cache-cap")?,
+            "--persist" => cfg.persist = Some(value.clone()),
             "--out" => cfg.out = value.clone(),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -168,11 +180,16 @@ fn run_sessions_once(
     omega: &vpdt_eval::Omega,
     initial: &vpdt_structure::Database,
     jobs: &[vpdt_store::Job],
+    persist: Option<&std::path::Path>,
 ) -> Result<SessionsRun, String> {
-    let server = StoreBuilder::new(initial.clone(), alpha.clone())
+    let mut builder = StoreBuilder::new(initial.clone(), alpha.clone())
         .omega(omega.clone())
         .workers(cfg.workers)
-        .guard_cache_capacity(cfg.cache_cap)
+        .guard_cache_capacity(cfg.cache_cap);
+    if let Some(dir) = persist {
+        builder = builder.persist(dir);
+    }
+    let server = builder
         .build()
         .map_err(|e| format!("server refused to start: {e}"))?;
 
@@ -328,7 +345,9 @@ fn run(cfg: Config) -> Result<bool, String> {
     let mut session_runs: Vec<SessionsRun> = Vec::new();
     let mut batch_runs: Vec<(vpdt_store::ExecReport, f64)> = Vec::new();
     for _ in 0..rounds {
-        session_runs.push(run_sessions_once(&cfg, &alpha, &omega, &initial, &jobs)?);
+        session_runs.push(run_sessions_once(
+            &cfg, &alpha, &omega, &initial, &jobs, None,
+        )?);
         batch_runs.push(run_batch_once(&cfg, &alpha, &omega, &initial, &jobs)?);
     }
     let mut session_tpss: Vec<f64> = session_runs
@@ -402,6 +421,42 @@ fn run(cfg: Config) -> Result<bool, String> {
         serial.committed, serial.aborted, serial_secs, serial_tps,
     );
 
+    // --- guarded-sessions, persisted (WAL + fsync per commit) ---------------
+    let persist_dir = cfg
+        .persist
+        .clone()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("vpdt-bench-wal-{}", std::process::id()))
+        });
+    let _ = std::fs::remove_dir_all(&persist_dir);
+    let persisted = run_sessions_once(&cfg, &alpha, &omega, &initial, &jobs, Some(&persist_dir))?;
+    let persisted_tps = persisted.report.exec.committed as f64 / persisted.secs;
+    // Verify durability end-to-end: recover the directory and demand the
+    // recovered version and state hash match what the live server reported.
+    let recovered =
+        vpdt_store::wal::recover(&persist_dir, &omega, vpdt_store::RecoveryOptions::default())
+            .map_err(|e| format!("recovering the persisted run: {e}"))?;
+    let recovered_ok = recovered.version == persisted.report.final_version
+        && recovered.state_hash == vpdt_store::history::state_hash(&persisted.report.final_db);
+    let persisted_vs_memory = persisted_tps / sessions_tps;
+    println!(
+        "guarded-sessions (persisted): {} committed / {} aborted / {} failed in {:.3}s \
+         ({:.0} commits/s with fsync, {:.2}x of in-memory, recovery {})",
+        persisted.report.exec.committed,
+        persisted.report.exec.aborted,
+        persisted.report.exec.failed,
+        persisted.secs,
+        persisted_tps,
+        persisted_vs_memory,
+        if recovered_ok { "OK" } else { "MISMATCH" },
+    );
+    if cfg.persist.is_none() {
+        let _ = std::fs::remove_dir_all(&persist_dir);
+    } else {
+        println!("persisted artifacts kept in {}", persist_dir.display());
+    }
+
     // --- audit (of the session history) -------------------------------------
     let t3 = Instant::now();
     let verdict = audit(
@@ -434,13 +489,17 @@ fn run(cfg: Config) -> Result<bool, String> {
     // however large the universe.
     let shape_bound =
         report.cache.shapes <= 2 * cfg.rels && report.cache.entries <= report.cache.shapes;
+    // Durability must not drop or corrupt anything (speed is reported, not
+    // gated: fsync cost is the disk's, not the code's).
+    let persisted_ok = persisted.report.exec.failed == 0 && recovered_ok;
     let ok = verdict.ok()
         && report.exec.failed == 0
         && enough_commits
         && enough_workers
         && beats_baseline
         && sessions_keep_up
-        && shape_bound;
+        && shape_bound
+        && persisted_ok;
 
     let json = format!(
         "{{\n  \"workload\": {{\n    \"transactions\": {},\n    \"relations\": {},\n    \
@@ -458,6 +517,9 @@ fn run(cfg: Config) -> Result<bool, String> {
          \"failed\": {},\n    \"conflicts\": {},\n    \"secs\": {:.6},\n    \
          \"commits_per_sec\": {:.1}\n  }},\n  \"rollback_serial\": {{\n    \"committed\": {},\n    \
          \"aborted\": {},\n    \"secs\": {:.6},\n    \"commits_per_sec\": {:.1}\n  }},\n  \
+         \"persisted\": {{\n    \"committed\": {},\n    \"aborted\": {},\n    \"failed\": {},\n    \
+         \"fsync\": true,\n    \"secs\": {:.6},\n    \"commits_per_sec\": {:.1},\n    \
+         \"vs_memory\": {:.3},\n    \"recovered_ok\": {}\n  }},\n  \
          \"speedup\": {:.3},\n  \"sessions_vs_batch\": {:.3},\n  \
          \"constraint_violations\": {},\n  \"audit_ok\": {},\n  \
          \"audit_commits_checked\": {},\n  \"audit_aborts_checked\": {},\n  \"accepted\": {}\n}}\n",
@@ -497,6 +559,13 @@ fn run(cfg: Config) -> Result<bool, String> {
         serial.aborted,
         serial_secs,
         serial_tps,
+        persisted.report.exec.committed,
+        persisted.report.exec.aborted,
+        persisted.report.exec.failed,
+        persisted.secs,
+        persisted_tps,
+        persisted_vs_memory,
+        recovered_ok,
         speedup,
         session_vs_batch,
         violations,
@@ -535,6 +604,13 @@ fn run(cfg: Config) -> Result<bool, String> {
             report.cache.entries,
             report.cache.shapes,
             2 * cfg.rels
+        );
+    }
+    if !persisted_ok {
+        eprintln!(
+            "ACCEPTANCE: persisted run must recover to its reported state \
+             ({} failed, recovery match: {recovered_ok})",
+            persisted.report.exec.failed
         );
     }
     Ok(ok)

@@ -109,6 +109,46 @@ impl Schema {
     pub fn iter(&self) -> impl Iterator<Item = (&str, usize)> {
         self.rels.iter().map(|r| (r.name.as_str(), r.arity))
     }
+
+    /// A stable textual encoding, `R:2,S:1` in declaration order — the same
+    /// concrete syntax `vpdtool --schema` accepts, and what the store's
+    /// durable checkpoints record so a cold recovery can rebuild the schema
+    /// without any out-of-band knowledge. [`Schema::decode`] inverts it.
+    pub fn encode(&self) -> String {
+        self.rels
+            .iter()
+            .map(|r| format!("{}:{}", r.name, r.arity))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Parses the encoding produced by [`Schema::encode`]. Errors (rather
+    /// than panicking like [`Schema::new`]) on malformed items, duplicate
+    /// names, or zero arities — decode input is data, not source code.
+    pub fn decode(s: &str) -> Result<Schema, String> {
+        let mut out = Schema {
+            rels: Vec::new(),
+            index: BTreeMap::new(),
+        };
+        for part in s.split(',').filter(|p| !p.is_empty()) {
+            let (name, arity) = part
+                .split_once(':')
+                .ok_or_else(|| format!("bad schema item {part} (want name:arity)"))?;
+            let arity: usize = arity
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad arity in {part}"))?;
+            let name = name.trim();
+            if arity == 0 {
+                return Err(format!("relation {name} must have positive arity"));
+            }
+            if out.index.contains_key(name) {
+                return Err(format!("duplicate relation name {name}"));
+            }
+            out.push(name.to_string(), arity);
+        }
+        Ok(out)
+    }
 }
 
 impl fmt::Debug for Schema {
@@ -129,6 +169,24 @@ mod tests {
         assert_eq!(s.index_of("E"), Some(0));
         assert!(s.contains("E"));
         assert!(!s.contains("R"));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for s in [
+            Schema::graph(),
+            Schema::new([("R0", 2), ("R1", 2), ("S", 1), ("T", 3)]),
+            Schema::new(Vec::<(String, usize)>::new()),
+        ] {
+            let enc = s.encode();
+            let back = Schema::decode(&enc).expect("decodes");
+            assert_eq!(back, s, "roundtrip of {enc:?}");
+            assert_eq!(back.encode(), enc, "byte-stable");
+        }
+        assert!(Schema::decode("R").is_err(), "missing arity");
+        assert!(Schema::decode("R:0").is_err(), "zero arity");
+        assert!(Schema::decode("R:2,R:2").is_err(), "duplicate name");
+        assert!(Schema::decode("R:x").is_err(), "non-numeric arity");
     }
 
     #[test]

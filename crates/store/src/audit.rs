@@ -257,6 +257,74 @@ pub fn audit(
     }
 }
 
+/// Audits a *cold* history — one read back from a persisted log, with no
+/// live clients to supply the tx-id → program map. The map is derived from
+/// the events' own `(shape, bindings)` provenance instead (two events of
+/// one transaction that derive different programs draw a complaint), then
+/// the full [`audit`] replay runs: gapless serialization, `α` at every
+/// version, state hashes, write sets, guard/rollback agreement. The
+/// derived programs make the *provenance* sub-check tautological — what
+/// still bites is everything replay-based, which is exactly what a cold
+/// log can prove.
+///
+/// `initial` is the genesis state (offset-0 checkpoint) and `final_db` the
+/// recovered state; [`wal::recover`](crate::wal::recover) supplies both.
+pub fn cold_audit(
+    alpha: &Formula,
+    omega: &Omega,
+    initial: &Database,
+    final_db: &Database,
+    events: &[Event],
+    templates: &BTreeMap<u64, Template>,
+) -> AuditReport {
+    let mut problems = Vec::new();
+    let mut programs: BTreeMap<u64, Program> = BTreeMap::new();
+    for event in events {
+        let (tx, shape, bindings) = match event {
+            Event::Begin {
+                tx,
+                shape,
+                bindings,
+                ..
+            }
+            | Event::Commit {
+                tx,
+                shape,
+                bindings,
+                ..
+            } => (*tx, *shape, bindings),
+            Event::GuardEval { .. } | Event::Abort { .. } => continue,
+        };
+        let Some(template) = templates.get(&shape) else {
+            problems.push(format!(
+                "tx {tx} references statement shape {shape}, which no checkpoint or shape \
+                 record declares"
+            ));
+            continue;
+        };
+        match template.instantiate(bindings) {
+            Ok(ground) => {
+                if let Some(prev) = programs.get(&tx) {
+                    if prev != &ground {
+                        problems.push(format!(
+                            "tx {tx}'s events derive two different programs from their \
+                             recorded provenance"
+                        ));
+                    }
+                } else {
+                    programs.insert(tx, ground);
+                }
+            }
+            Err(e) => problems.push(format!("tx {tx}'s bindings do not fit shape {shape}: {e}")),
+        }
+    }
+    let mut report = audit(
+        alpha, omega, initial, final_db, events, &programs, templates,
+    );
+    report.problems.splice(0..0, problems);
+    report
+}
+
 /// Checks one event's recorded `(shape, bindings)` provenance against the
 /// submitted program: the statement shape must be known and must
 /// instantiate to exactly what the client submitted. Unknown transaction

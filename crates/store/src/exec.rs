@@ -347,6 +347,11 @@ pub(crate) fn execute_one(
         Err(error) => return TxOutcome::Failed { error },
     };
     let history = store.history();
+    // Durable provenance: the statement shape is declared to the log before
+    // any event references its id, so a cold recovery can resolve every
+    // (shape, bindings) pair it replays. No-op for in-memory histories and
+    // for shapes already on disk.
+    history.declare_shape(prepared.shape.id, &prepared.shape.template);
     let mut first = true;
     let mut retries = 0u32;
     loop {

@@ -241,6 +241,32 @@ impl GuardCache {
             .collect()
     }
 
+    /// Seeds the shape registry with recovered identities, in id order —
+    /// the durable-recovery path. Ids must be contiguous from the current
+    /// registry size (recovered registries always are: the cache assigned
+    /// them sequentially), so every shape recorded in the old log keeps its
+    /// id in the resumed server and history provenance stays resolvable
+    /// across restarts. Compilations are *not* rebuilt here; each shape
+    /// recompiles lazily on first use.
+    ///
+    /// # Panics
+    /// Panics on non-contiguous ids — recovery validates the id space
+    /// before calling this.
+    pub(crate) fn seed_registry(&self, templates: &BTreeMap<u64, Template>) {
+        let mut reg = self.registry.write().expect("shape registry poisoned");
+        for (id, template) in templates {
+            assert_eq!(
+                *id as usize,
+                reg.templates.len(),
+                "recovered shape ids must be contiguous"
+            );
+            reg.by_key.insert(template.key(), *id);
+            reg.templates.push(template.clone());
+            reg.hits.push(Arc::new(AtomicU64::new(0)));
+            reg.compiles.push(AtomicU64::new(0));
+        }
+    }
+
     /// Prepares `program`: canonicalizes it to `(shape, bindings)`, fetches
     /// or compiles the shape, and instantiates the guard. Concurrent first
     /// sights may compile redundantly; the cache keeps one winner. The

@@ -6,10 +6,26 @@
 //! events interleave freely. Each commit records an [FNV-1a](fnv1a_64) hash
 //! of the full post-state encoding, which is what lets the audit detect a
 //! tampered or reordered log.
+//!
+//! A history can be made *durable* by attaching a write-ahead log
+//! ([`History::attach_wal`], done by
+//! [`StoreBuilder::persist`](crate::StoreBuilder::persist)): every event is
+//! then appended to disk inside the same critical section that appends it
+//! to memory, so the on-disk order equals the in-memory order equals (for
+//! commits) the serialization order. Commit events are flushed according to
+//! the log's [fsync policy](crate::wal::WalOptions) *before* `record`
+//! returns — and `record` for a commit runs inside the store's commit
+//! critical section, before the new version is published or any ticket
+//! resolves — which is what makes an acknowledged commit durable. A failed
+//! log write is fail-stop: a store that can no longer write its log must
+//! not keep acknowledging, so `record` panics (poisoning the store) rather
+//! than dropping events silently.
 
+use crate::wal::DurableLog;
 use std::sync::Mutex;
 use vpdt_logic::Elem;
 use vpdt_structure::Database;
+use vpdt_tx::template::Template;
 
 /// One entry in the history log.
 ///
@@ -73,10 +89,18 @@ pub enum Event {
     },
 }
 
-/// An append-only, thread-safe event log.
+#[derive(Debug, Default)]
+struct Inner {
+    events: Vec<Event>,
+    durable: Option<DurableLog>,
+}
+
+/// An append-only, thread-safe event log, optionally backed by a
+/// write-ahead log on disk (see the module docs for the ordering and
+/// durability contract).
 #[derive(Debug, Default)]
 pub struct History {
-    events: Mutex<Vec<Event>>,
+    inner: Mutex<Inner>,
 }
 
 impl History {
@@ -85,19 +109,88 @@ impl History {
         History::default()
     }
 
-    /// Appends an event.
+    /// A log seeded with recovered events (the durable-recovery path: the
+    /// resumed server's history continues where the on-disk log ends).
+    pub(crate) fn with_events(events: Vec<Event>) -> Self {
+        History {
+            inner: Mutex::new(Inner {
+                events,
+                durable: None,
+            }),
+        }
+    }
+
+    /// Attaches a write-ahead log: every subsequent [`History::record`]
+    /// appends to disk before it returns.
+    pub(crate) fn attach_wal(&self, log: DurableLog) {
+        let mut inner = self.inner.lock().expect("history lock poisoned");
+        debug_assert!(inner.durable.is_none(), "a history has at most one log");
+        inner.durable = Some(log);
+    }
+
+    /// Detaches and returns the write-ahead log (shutdown takes it back to
+    /// write the clean checkpoint).
+    pub(crate) fn detach_wal(&self) -> Option<DurableLog> {
+        self.inner
+            .lock()
+            .expect("history lock poisoned")
+            .durable
+            .take()
+    }
+
+    /// Runs `f` with exclusive access to the attached log, if any — the
+    /// mid-run checkpoint path. While `f` runs no event can be recorded,
+    /// so the log offset it observes is exact.
+    pub(crate) fn with_wal<R>(&self, f: impl FnOnce(&mut DurableLog) -> R) -> Option<R> {
+        let mut inner = self.inner.lock().expect("history lock poisoned");
+        inner.durable.as_mut().map(f)
+    }
+
+    /// Appends an event — durably first, when a log is attached.
+    ///
+    /// # Panics
+    /// Panics if the attached log fails to append or flush (fail-stop: see
+    /// the module docs).
     pub fn record(&self, e: Event) {
-        self.events.lock().expect("history lock poisoned").push(e);
+        let mut inner = self.inner.lock().expect("history lock poisoned");
+        if let Some(log) = inner.durable.as_mut() {
+            log.append_event(&e)
+                .expect("write-ahead log append failed; refusing to continue non-durably");
+        }
+        inner.events.push(e);
+    }
+
+    /// Declares a statement shape ahead of its first durable use, so a cold
+    /// recovery can resolve the `(shape, bindings)` provenance of every
+    /// event that follows. A no-op without an attached log, or when the
+    /// shape is already on disk.
+    ///
+    /// # Panics
+    /// Panics if the attached log fails to append (fail-stop).
+    pub(crate) fn declare_shape(&self, id: u64, template: &Template) {
+        let mut inner = self.inner.lock().expect("history lock poisoned");
+        if let Some(log) = inner.durable.as_mut() {
+            log.declare_shape(id, template)
+                .expect("write-ahead log append failed; refusing to continue non-durably");
+        }
     }
 
     /// A point-in-time copy of the log.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().expect("history lock poisoned").clone()
+        self.inner
+            .lock()
+            .expect("history lock poisoned")
+            .events
+            .clone()
     }
 
     /// Number of events recorded so far.
     pub fn len(&self) -> usize {
-        self.events.lock().expect("history lock poisoned").len()
+        self.inner
+            .lock()
+            .expect("history lock poisoned")
+            .events
+            .len()
     }
 
     /// Whether the log is empty.

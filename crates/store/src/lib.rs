@@ -102,15 +102,22 @@ pub mod history;
 pub mod server;
 pub mod session;
 pub mod snapshot;
+pub mod wal;
 pub mod workload;
 
-pub use audit::{audit, AuditReport};
+pub use audit::{audit, cold_audit, AuditReport};
 pub use exec::{run_jobs, run_serial_rollback, ExecReport, Job, Submitter, TxOutcome, TxStatus};
 pub use guard::{CacheStats, GuardCache, PreparedShape, PreparedTx, ShapeStat};
 pub use history::{Event, History};
 pub use server::{RetryPolicy, ServerReport, StoreBuilder, StoreServer};
 pub use session::{Session, TxTicket};
 pub use snapshot::{CommitOutcome, CommitRequest, Snapshot, VersionedStore};
+pub use wal::{Recovered, RecoveryError, RecoveryOptions, WalError, WalOptions};
+
+/// The durable name of the versioned store: `Store::recover(dir, &omega)`
+/// rebuilds one from a persisted directory, replaying snapshot + log tail
+/// with full hash and provenance verification (see [`wal`]).
+pub type Store = VersionedStore;
 
 use vpdt_core::safe::GuardError;
 use vpdt_eval::EvalError;
@@ -161,6 +168,15 @@ pub enum StoreError {
     /// it. Delivered by the ticket's last-resort resolution so a waiting
     /// client fails instead of hanging.
     WorkerLost,
+    /// The write-ahead log failed (I/O, damaged files, format mismatch) —
+    /// surfaced when persistence is being established or checkpointed; a
+    /// failure while *serving* is fail-stop instead (see
+    /// [`history`](crate::history)).
+    Wal(WalError),
+    /// Recovery refused the on-disk state (divergence, bad provenance, a
+    /// hash mismatch) — surfaced by
+    /// [`StoreBuilder::recover`](crate::StoreBuilder::recover).
+    Recovery(RecoveryError),
 }
 
 impl std::fmt::Display for StoreError {
@@ -195,7 +211,21 @@ impl std::fmt::Display for StoreError {
             StoreError::WorkerLost => {
                 write!(f, "transaction abandoned: its executing worker terminated")
             }
+            StoreError::Wal(e) => write!(f, "write-ahead log: {e}"),
+            StoreError::Recovery(e) => write!(f, "recovery: {e}"),
         }
+    }
+}
+
+impl From<WalError> for StoreError {
+    fn from(e: WalError) -> Self {
+        StoreError::Wal(e)
+    }
+}
+
+impl From<RecoveryError> for StoreError {
+    fn from(e: RecoveryError) -> Self {
+        StoreError::Recovery(e)
     }
 }
 

@@ -17,11 +17,13 @@
 
 use crate::exec::{self, ExecReport, OutcomeSink, TxOutcome, WorkItem, WorkQueue};
 use crate::guard::{CacheStats, GuardCache};
-use crate::history::Event;
+use crate::history::{state_hash, Event, History};
 use crate::session::{Session, TicketState, TxTicket};
 use crate::snapshot::{Snapshot, VersionedStore};
+use crate::wal::{self, DurableLog, RecoveryError, RecoveryOptions, WalOptions, WalWriter};
 use crate::StoreError;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -89,30 +91,70 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Where a server's state comes from: a fresh initial database, or a
+/// persisted directory to recover.
+#[derive(Clone, Debug)]
+enum Source {
+    Fresh {
+        initial: Database,
+        alpha: Formula,
+    },
+    /// Recover state, constraint, shape identities and history from `dir`,
+    /// then resume appending to its log.
+    Recover {
+        dir: PathBuf,
+    },
+}
+
 /// Configuration for a [`StoreServer`]. Construct with an initial state
-/// and the constraint `α`; everything else has serviceable defaults.
+/// and the constraint `α` ([`StoreBuilder::new`]) or from a persisted
+/// directory ([`StoreBuilder::recover`]); everything else has serviceable
+/// defaults.
 #[derive(Clone, Debug)]
 pub struct StoreBuilder {
-    initial: Database,
-    alpha: Formula,
+    source: Source,
     omega: Omega,
     cache_capacity: usize,
     workers: usize,
     retry: RetryPolicy,
     retain_outcomes: bool,
+    persist_dir: Option<PathBuf>,
+    wal_opts: WalOptions,
 }
 
 impl StoreBuilder {
     /// A builder over `initial` (ingested as version 0) guarding `α`.
     pub fn new(initial: Database, alpha: Formula) -> Self {
         StoreBuilder {
-            initial,
-            alpha,
+            source: Source::Fresh { initial, alpha },
             omega: Omega::empty(),
             cache_capacity: crate::guard::DEFAULT_CAPACITY,
             workers: 4,
             retry: RetryPolicy::unbounded(),
             retain_outcomes: true,
+            persist_dir: None,
+            wal_opts: WalOptions::default(),
+        }
+    }
+
+    /// A builder that recovers a persisted server from `dir` and resumes
+    /// appending to its log. The constraint `α`, the schema, the state, the
+    /// statement-shape identities, and the full event history all come from
+    /// the directory; [`build`](StoreBuilder::build) performs the recovery
+    /// — replaying snapshot + log tail with hash and provenance
+    /// verification, so a successful build *is* a passed cold audit of the
+    /// tail. Set the same Ω interpretation the original server ran with
+    /// ([`omega`](StoreBuilder::omega)) before building.
+    pub fn recover(dir: impl Into<PathBuf>) -> Self {
+        StoreBuilder {
+            source: Source::Recover { dir: dir.into() },
+            omega: Omega::empty(),
+            cache_capacity: crate::guard::DEFAULT_CAPACITY,
+            workers: 4,
+            retry: RetryPolicy::unbounded(),
+            retain_outcomes: true,
+            persist_dir: None,
+            wal_opts: WalOptions::default(),
         }
     }
 
@@ -142,6 +184,38 @@ impl StoreBuilder {
         self
     }
 
+    /// Makes the server durable: every history event is written ahead to a
+    /// segmented, checksummed log in `dir` (created fresh — building fails
+    /// with [`WalError::AlreadyExists`](crate::wal::WalError::AlreadyExists)
+    /// if `dir` already holds a log; use [`StoreBuilder::recover`] for
+    /// those). Commit records reach the log *before* the commit is
+    /// published or acknowledged, and are fsync'd under the default
+    /// [`WalOptions`], so an outcome observed through
+    /// [`TxTicket::wait`](crate::TxTicket::wait) is durable. A genesis
+    /// checkpoint is written at build; a clean checkpoint at
+    /// [`shutdown`](StoreServer::shutdown). Ignored by the recover path
+    /// (which always resumes its own directory's log).
+    pub fn persist(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.persist_dir = Some(dir.into());
+        self
+    }
+
+    /// [`persist`](StoreBuilder::persist) with explicit [`WalOptions`]
+    /// (segment size, fsync policy). The options also govern the resumed
+    /// log of the [`recover`](StoreBuilder::recover) path.
+    pub fn persist_with(mut self, dir: impl Into<PathBuf>, opts: WalOptions) -> Self {
+        self.persist_dir = Some(dir.into());
+        self.wal_opts = opts;
+        self
+    }
+
+    /// Sets the [`WalOptions`] without changing where (or whether) the
+    /// store persists — the knob the recover path uses.
+    pub fn wal_options(mut self, opts: WalOptions) -> Self {
+        self.wal_opts = opts;
+        self
+    }
+
     /// Whether the server keeps every transaction's outcome for the final
     /// [`ServerReport`] (default: `true`). A resident server facing
     /// unbounded traffic should turn this off — memory then stays flat,
@@ -158,15 +232,79 @@ impl StoreBuilder {
     /// server is only ever handed out consistent, so every guard it
     /// evaluates is sound, and the invariant is maintained by construction
     /// from here on.
+    ///
+    /// For a [`recover`](StoreBuilder::recover) builder this is where the
+    /// recovery runs: the log tail is replayed with hash and provenance
+    /// verification (any failure is a typed
+    /// [`StoreError::Recovery`]), shape identities are re-seeded into the
+    /// guard cache under their original ids, transaction ids continue
+    /// where the log left off, and the log is reopened for appending (its
+    /// torn tail, if any, physically truncated).
     pub fn build(self) -> Result<StoreServer, StoreError> {
-        let store = VersionedStore::new(self.initial);
-        let cache = GuardCache::with_capacity(
-            store.schema().clone(),
-            self.alpha,
-            self.omega,
-            self.cache_capacity,
-        );
-        exec::check_base_case(&store, &cache)?;
+        let (store, cache, next_tx) = match self.source {
+            Source::Fresh { initial, alpha } => {
+                let store = VersionedStore::new(initial);
+                let cache = GuardCache::with_capacity(
+                    store.schema().clone(),
+                    alpha,
+                    self.omega,
+                    self.cache_capacity,
+                );
+                exec::check_base_case(&store, &cache)?;
+                if let Some(dir) = self.persist_dir {
+                    let writer = WalWriter::create(&dir, self.wal_opts)?;
+                    let snap = store.snapshot();
+                    wal::write_checkpoint(
+                        writer.dir(),
+                        &wal::Checkpoint {
+                            offset: 0,
+                            version: 0,
+                            next_tx: 0,
+                            state_hash: state_hash(&snap.db),
+                            alpha: cache.alpha().clone(),
+                            schema: store.schema().clone(),
+                            db: (*snap.db).clone(),
+                            templates: BTreeMap::new(),
+                        },
+                    )?;
+                    store
+                        .history()
+                        .attach_wal(DurableLog::new(writer, BTreeSet::new()));
+                }
+                (store, cache, 0)
+            }
+            Source::Recover { dir } => {
+                let recovered = wal::recover(&dir, &self.omega, RecoveryOptions::default())?;
+                for (i, id) in recovered.templates.keys().enumerate() {
+                    if *id != i as u64 {
+                        return Err(StoreError::Recovery(RecoveryError::Divergence {
+                            detail: format!(
+                                "recovered shape ids are not contiguous (found {id} at \
+                                 position {i})"
+                            ),
+                        }));
+                    }
+                }
+                let store = VersionedStore::resume(
+                    recovered.db,
+                    recovered.version,
+                    History::with_events(recovered.events),
+                );
+                let cache = GuardCache::with_capacity(
+                    store.schema().clone(),
+                    recovered.alpha,
+                    self.omega,
+                    self.cache_capacity,
+                );
+                cache.seed_registry(&recovered.templates);
+                exec::check_base_case(&store, &cache)?;
+                let (writer, logged_shapes) = WalWriter::resume(&dir, self.wal_opts)?;
+                store
+                    .history()
+                    .attach_wal(DurableLog::new(writer, logged_shapes));
+                (store, cache, recovered.next_tx)
+            }
+        };
 
         let shared = Arc::new(Shared {
             store,
@@ -197,7 +335,7 @@ impl StoreBuilder {
         Ok(StoreServer {
             shared,
             workers,
-            next_tx: AtomicU64::new(0),
+            next_tx: AtomicU64::new(next_tx),
             next_session: AtomicU64::new(1),
         })
     }
@@ -306,22 +444,66 @@ impl StoreServer {
         self.shared.cache.templates()
     }
 
+    /// Writes a snapshot checkpoint of the current state to the attached
+    /// log's directory *while serving* (commits are briefly paused so the
+    /// (state, version, offset) triple is exact), returning the covered
+    /// log offset. Later recoveries start from the newest checkpoint and
+    /// replay only the tail. `Err(StoreError::Wal(WalError::NotDurable))`
+    /// when the server is not persisted.
+    pub fn checkpoint(&self) -> Result<u64, StoreError> {
+        self.shared
+            .store
+            .checkpoint_now(
+                self.shared.cache.templates(),
+                self.next_tx.load(Ordering::Relaxed),
+                self.shared.cache.alpha(),
+            )
+            .map_err(StoreError::Wal)
+    }
+
     /// Closes the submission queue, drains every already-submitted
     /// transaction (outstanding [`TxTicket`]s all resolve), joins the
     /// worker pool, and returns the final report. Sessions borrow the
     /// server, so the borrow checker guarantees none are left when this
     /// runs — but tickets are independent and may be waited on after.
-    pub fn shutdown(self) -> ServerReport {
-        let StoreServer {
-            shared, workers, ..
-        } = self;
+    ///
+    /// A persisted server also flushes its log and writes a clean
+    /// checkpoint, so the next [`StoreBuilder::recover`] starts without
+    /// replay. Both are fail-stop: an I/O error here panics rather than
+    /// reporting a durability it cannot promise. (Dropping the server
+    /// instead of calling `shutdown` also drains and joins, but skips the
+    /// checkpoint — the crash-shaped exit.)
+    pub fn shutdown(mut self) -> ServerReport {
+        let next_tx = self.next_tx.load(Ordering::Relaxed);
         // Closing the queue turns it into a drain: workers finish what was
         // submitted, then exit.
-        shared.queue.close();
-        for worker in workers {
+        self.shared.queue.close();
+        for worker in std::mem::take(&mut self.workers) {
             worker.join().expect("store worker panicked");
         }
+        let shared = Arc::clone(&self.shared);
+        drop(self); // Drop sees an empty worker list and an already-closed queue
         let shared = Arc::into_inner(shared).expect("workers joined, no other owners");
+        if let Some(mut log) = shared.store.history().detach_wal() {
+            log.writer
+                .sync()
+                .expect("write-ahead log flush at shutdown failed");
+            let snap = shared.store.snapshot();
+            wal::write_checkpoint(
+                log.writer.dir(),
+                &wal::Checkpoint {
+                    offset: log.writer.offset(),
+                    version: snap.version,
+                    next_tx,
+                    state_hash: state_hash(&snap.db),
+                    alpha: shared.cache.alpha().clone(),
+                    schema: shared.store.schema().clone(),
+                    db: (*snap.db).clone(),
+                    templates: shared.cache.templates(),
+                },
+            )
+            .expect("clean checkpoint at shutdown failed");
+        }
         // Cache counters here are server-lifetime totals, so `prepare`
         // warm-ups count too; callers measuring a serving window should
         // snapshot `cache_stats()` and subtract.
@@ -337,6 +519,23 @@ impl StoreServer {
             final_version: snap.version,
             templates: shared.cache.templates(),
             cache: shared.cache.cache_stats(),
+        }
+    }
+}
+
+/// Dropping a server without [`StoreServer::shutdown`] still drains the
+/// queue and joins the workers (no thread leaks, every ticket resolves) —
+/// but writes **no** clean checkpoint. For a persisted server this is the
+/// crash-shaped exit: the next open goes through recovery and replays the
+/// log tail. Acknowledged commits were already on disk before their
+/// tickets resolved, so none is lost.
+impl Drop for StoreServer {
+    fn drop(&mut self) {
+        self.shared.queue.close();
+        for worker in std::mem::take(&mut self.workers) {
+            // Best-effort during teardown: a panicked worker already
+            // resolved its tickets via the work-item drop guard.
+            let _ = worker.join();
         }
     }
 }

@@ -104,6 +104,28 @@ impl VersionedStore {
         }
     }
 
+    /// Resumes a store at a recovered state and version, with a pre-seeded
+    /// history — the durable-recovery path. Every relation's last-writer
+    /// version is set to `version` (conservative: the first post-recovery
+    /// commit of each relation validates against the recovery point, which
+    /// can only *reject* commits a finer record would have accepted).
+    pub(crate) fn resume(db: Database, version: u64, history: History) -> Self {
+        let schema = db.schema().clone();
+        let rel_versions = schema
+            .iter()
+            .map(|(name, _)| (name.to_string(), version))
+            .collect();
+        VersionedStore {
+            schema,
+            state: RwLock::new(State {
+                version,
+                db: Arc::new(db),
+                rel_versions,
+            }),
+            history,
+        }
+    }
+
     /// The store's schema.
     pub fn schema(&self) -> &Schema {
         &self.schema
@@ -183,6 +205,41 @@ impl VersionedStore {
             state_hash: hash,
         });
         CommitOutcome::Committed { version }
+    }
+
+    /// Writes a snapshot checkpoint of the *current* state to the attached
+    /// write-ahead log's directory, returning the log offset it covers.
+    /// Holding the state read lock across the write keeps the triple
+    /// (state, version, log offset) consistent: commits append their log
+    /// record inside the state *write* lock, so none can land in between.
+    /// Returns `Err(WalError::NotDurable)` when no log is attached.
+    pub(crate) fn checkpoint_now(
+        &self,
+        templates: std::collections::BTreeMap<u64, vpdt_tx::template::Template>,
+        next_tx: u64,
+        alpha: &vpdt_logic::Formula,
+    ) -> Result<u64, crate::wal::WalError> {
+        let s = self.state.read().expect("store lock poisoned");
+        self.history
+            .with_wal(|log| {
+                log.writer.sync()?;
+                let offset = log.writer.offset();
+                crate::wal::write_checkpoint(
+                    log.writer.dir(),
+                    &crate::wal::Checkpoint {
+                        offset,
+                        version: s.version,
+                        next_tx,
+                        state_hash: state_hash(&s.db),
+                        alpha: alpha.clone(),
+                        schema: self.schema.clone(),
+                        db: (*s.db).clone(),
+                        templates,
+                    },
+                )?;
+                Ok(offset)
+            })
+            .unwrap_or(Err(crate::wal::WalError::NotDurable))
     }
 }
 

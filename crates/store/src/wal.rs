@@ -1,0 +1,1656 @@
+//! The write-ahead log: the history made durable, and recovery made an
+//! audit.
+//!
+//! The store's history events already carry everything a verifier needs —
+//! FNV-1a state hashes, gapless commit versions, `(shape, bindings)`
+//! prepared-statement provenance. This module gives them a crash-safe home
+//! so both the *state* and the *evidence* survive a kill:
+//!
+//! * **Records.** Every event (and every first-use statement-shape
+//!   declaration) becomes one length-prefixed, checksummed record:
+//!   `[u32 payload length][u64 FNV-1a of payload][payload]`. Payloads use
+//!   the deterministic binary codec of `vpdt_tx::codec`; databases and
+//!   schemas ride as their stable textual encodings (the same bytes
+//!   [`state_hash`](crate::history::state_hash) hashes). No serde.
+//! * **Segments.** Records append to `wal-NNNNNNNN.log` files that rotate
+//!   at a size budget; each segment opens with a header record carrying the
+//!   format version, its sequence number, and the global offset of its
+//!   first record, so a scan can detect missing or reordered files.
+//! * **Durability point.** Commit records are appended — and, under the
+//!   default [`WalOptions`], fsync'd — inside the store's commit critical
+//!   section, before the new version is published or any
+//!   [`TxTicket`](crate::TxTicket) resolves. An *acknowledged* commit is
+//!   therefore on disk; everything later is best-effort.
+//! * **Checkpoints.** A checkpoint file is one checksummed record holding
+//!   the full database encoding, the guard cache's shape identities, the
+//!   constraint, and the log offset it covers. One is written at genesis
+//!   (so recovery always has a floor), on demand
+//!   ([`StoreServer::checkpoint`](crate::StoreServer::checkpoint)), and at
+//!   clean shutdown.
+//! * **Recovery is a cold audit.** [`recover`] loads a checkpoint and
+//!   replays the log tail through the *rollback* path
+//!   ([`RuntimeChecked`]): every replayed commit must re-derive from its
+//!   recorded provenance, pass the deferred constraint check, and
+//!   reproduce its recorded state hash. A torn tail (a record the crash
+//!   cut short) is detected by checksum and cleanly discarded; a corrupt
+//!   *interior* record is a hard, typed [`WalError::Corrupt`] — that log
+//!   was tampered with or the disk is lying, and no prefix of it should be
+//!   trusted silently.
+
+use crate::history::{fnv1a_64, state_hash, Event};
+use crate::snapshot::VersionedStore;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use vpdt_core::safe::RuntimeChecked;
+use vpdt_eval::Omega;
+use vpdt_logic::{Elem, Formula, Schema};
+use vpdt_structure::Database;
+use vpdt_tx::codec::{self, CodecError, Cursor};
+use vpdt_tx::program::ProgramTransaction;
+use vpdt_tx::template::Template;
+use vpdt_tx::traits::{Transaction, TxError};
+
+/// On-disk format version; bumped on any incompatible change.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Bytes of record framing: `u32` length + `u64` checksum.
+const FRAME_HEADER: usize = 12;
+
+const TAG_BEGIN: u8 = 1;
+const TAG_GUARD_EVAL: u8 = 2;
+const TAG_COMMIT: u8 = 3;
+const TAG_ABORT: u8 = 4;
+const TAG_SHAPE: u8 = 5;
+const TAG_SEGMENT: u8 = 6;
+const TAG_CHECKPOINT: u8 = 7;
+
+// --- errors ----------------------------------------------------------------
+
+/// A typed write-ahead-log failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalError {
+    /// An OS-level I/O failure.
+    Io {
+        /// The file or directory involved.
+        path: String,
+        /// The OS error message.
+        message: String,
+    },
+    /// The directory holds no log (no `wal-*.log` segments).
+    NoLog {
+        /// The directory scanned.
+        dir: String,
+    },
+    /// Refusing to create a fresh log where one already exists.
+    AlreadyExists {
+        /// The directory with the pre-existing log.
+        dir: String,
+    },
+    /// The log was written by an incompatible format version.
+    Version {
+        /// Version found on disk.
+        found: u32,
+        /// Version this build writes.
+        expected: u32,
+    },
+    /// A record before the tail fails its checksum or does not decode — the
+    /// hard case: the log is damaged where a crash cannot explain it.
+    Corrupt {
+        /// The segment file.
+        segment: String,
+        /// Byte offset of the bad record within the segment.
+        offset: u64,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The directory holds no readable checkpoint.
+    NoCheckpoint {
+        /// The directory scanned.
+        dir: String,
+    },
+    /// A checkpoint file fails its checksum or does not decode.
+    BadCheckpoint {
+        /// The checkpoint file.
+        path: String,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The operation needs an attached log, but the store is not persisted.
+    NotDurable,
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io { path, message } => write!(f, "wal I/O on {path}: {message}"),
+            WalError::NoLog { dir } => write!(f, "no write-ahead log in {dir}"),
+            WalError::AlreadyExists { dir } => {
+                write!(
+                    f,
+                    "{dir} already holds a write-ahead log; recover it instead"
+                )
+            }
+            WalError::Version { found, expected } => write!(
+                f,
+                "log format version {found} is not the supported version {expected}"
+            ),
+            WalError::Corrupt {
+                segment,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "corrupt interior record in {segment} at byte {offset}: {detail}"
+            ),
+            WalError::NoCheckpoint { dir } => write!(f, "no checkpoint in {dir}"),
+            WalError::BadCheckpoint { path, detail } => {
+                write!(f, "bad checkpoint {path}: {detail}")
+            }
+            WalError::NotDurable => write!(f, "store has no write-ahead log attached"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+fn io_err(path: &Path, e: std::io::Error) -> WalError {
+    WalError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    }
+}
+
+/// Why a recovery refused the on-disk state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// The log itself is unreadable.
+    Wal(WalError),
+    /// Snapshot and log disagree: the checkpoint points past the end of the
+    /// log, its recorded hash does not match the commit record it claims to
+    /// cover, its own state does not hash to what it recorded, or two
+    /// declarations of one shape id differ.
+    Divergence {
+        /// What diverged.
+        detail: String,
+    },
+    /// A replayed event references a statement shape no checkpoint or
+    /// shape record declares.
+    UnknownShape {
+        /// The transaction whose event referenced it.
+        tx: u64,
+        /// The unknown shape id.
+        shape: u64,
+    },
+    /// A recorded `(shape, bindings)` provenance does not instantiate.
+    Provenance {
+        /// The transaction with bad provenance.
+        tx: u64,
+        /// What was wrong.
+        detail: String,
+    },
+    /// Replaying a committed transaction produced a different state hash
+    /// than the log recorded — a tampered or reordered log.
+    HashMismatch {
+        /// The transaction.
+        tx: u64,
+        /// Its commit version.
+        version: u64,
+        /// The hash the log recorded.
+        recorded: u64,
+        /// The hash the replay produced.
+        computed: u64,
+    },
+    /// The deferred check-and-rollback path rejects a commit the log claims
+    /// happened: the constraint would have been violated.
+    Rejected {
+        /// The transaction.
+        tx: u64,
+        /// Its commit version.
+        version: u64,
+        /// The rollback path's reason.
+        reason: String,
+    },
+    /// A committed transaction fails to re-execute at all.
+    Replay {
+        /// The transaction.
+        tx: u64,
+        /// Its commit version.
+        version: u64,
+        /// The execution error.
+        detail: String,
+    },
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::Wal(e) => write!(f, "{e}"),
+            RecoveryError::Divergence { detail } => {
+                write!(f, "snapshot/log divergence: {detail}")
+            }
+            RecoveryError::UnknownShape { tx, shape } => {
+                write!(f, "tx {tx} references undeclared statement shape {shape}")
+            }
+            RecoveryError::Provenance { tx, detail } => {
+                write!(f, "tx {tx} has unusable provenance: {detail}")
+            }
+            RecoveryError::HashMismatch {
+                tx,
+                version,
+                recorded,
+                computed,
+            } => write!(
+                f,
+                "replaying tx {tx} at version {version} produces state hash {computed:#x}, \
+                 log records {recorded:#x}"
+            ),
+            RecoveryError::Rejected {
+                tx,
+                version,
+                reason,
+            } => write!(
+                f,
+                "log commits tx {tx} at version {version}, but check-and-rollback rejects \
+                 it there: {reason}"
+            ),
+            RecoveryError::Replay {
+                tx,
+                version,
+                detail,
+            } => write!(f, "tx {tx} fails to replay at version {version}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<WalError> for RecoveryError {
+    fn from(e: WalError) -> Self {
+        RecoveryError::Wal(e)
+    }
+}
+
+// --- record payloads -------------------------------------------------------
+
+/// One logical record of the log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Record {
+    /// A history event.
+    Event(Event),
+    /// First durable use of a statement shape: its id and template.
+    Shape {
+        /// The shape id history events reference.
+        id: u64,
+        /// The canonicalized template.
+        template: Template,
+    },
+}
+
+/// Encodes an event payload (without record framing). Deterministic:
+/// re-encoding a decoded event reproduces the bytes.
+pub fn encode_event(e: &Event) -> Vec<u8> {
+    let mut out = Vec::new();
+    match e {
+        Event::Begin {
+            tx,
+            session,
+            version,
+            shape,
+            bindings,
+        } => {
+            out.push(TAG_BEGIN);
+            codec::put_u64(&mut out, *tx);
+            codec::put_u64(&mut out, *session);
+            codec::put_u64(&mut out, *version);
+            codec::put_u64(&mut out, *shape);
+            put_bindings(&mut out, bindings);
+        }
+        Event::GuardEval { tx, version, pass } => {
+            out.push(TAG_GUARD_EVAL);
+            codec::put_u64(&mut out, *tx);
+            codec::put_u64(&mut out, *version);
+            out.push(u8::from(*pass));
+        }
+        Event::Commit {
+            tx,
+            based_on,
+            version,
+            writes,
+            shape,
+            bindings,
+            state_hash,
+        } => {
+            out.push(TAG_COMMIT);
+            codec::put_u64(&mut out, *tx);
+            codec::put_u64(&mut out, *based_on);
+            codec::put_u64(&mut out, *version);
+            codec::put_u64(&mut out, *shape);
+            codec::put_u64(&mut out, *state_hash);
+            codec::put_u32(&mut out, writes.len() as u32);
+            for w in writes {
+                codec::put_str(&mut out, w);
+            }
+            put_bindings(&mut out, bindings);
+        }
+        Event::Abort {
+            tx,
+            version,
+            reason,
+        } => {
+            out.push(TAG_ABORT);
+            codec::put_u64(&mut out, *tx);
+            codec::put_u64(&mut out, *version);
+            codec::put_str(&mut out, reason);
+        }
+    }
+    out
+}
+
+/// Decodes an event payload: the exact inverse of [`encode_event`].
+pub fn decode_event(bytes: &[u8]) -> Result<Event, CodecError> {
+    let mut c = Cursor::new(bytes);
+    let e = decode_event_body(&mut c)?;
+    c.finish()?;
+    Ok(e)
+}
+
+fn put_bindings(out: &mut Vec<u8>, bindings: &[Elem]) {
+    codec::put_u32(out, bindings.len() as u32);
+    for b in bindings {
+        codec::put_u64(out, b.0);
+    }
+}
+
+fn get_bindings(c: &mut Cursor<'_>) -> Result<Vec<Elem>, CodecError> {
+    let n = c.count("binding vector")?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(Elem(c.u64("binding")?));
+    }
+    Ok(out)
+}
+
+fn decode_event_body(c: &mut Cursor<'_>) -> Result<Event, CodecError> {
+    let at = c.pos();
+    match c.u8("event tag")? {
+        TAG_BEGIN => Ok(Event::Begin {
+            tx: c.u64("tx id")?,
+            session: c.u64("session id")?,
+            version: c.u64("version")?,
+            shape: c.u64("shape id")?,
+            bindings: get_bindings(c)?,
+        }),
+        TAG_GUARD_EVAL => Ok(Event::GuardEval {
+            tx: c.u64("tx id")?,
+            version: c.u64("version")?,
+            pass: c.u8("pass flag")? != 0,
+        }),
+        TAG_COMMIT => {
+            let tx = c.u64("tx id")?;
+            let based_on = c.u64("based_on")?;
+            let version = c.u64("version")?;
+            let shape = c.u64("shape id")?;
+            let state_hash = c.u64("state hash")?;
+            let n = c.count("write set")?;
+            let mut writes = Vec::with_capacity(n);
+            for _ in 0..n {
+                writes.push(c.str("write relation")?);
+            }
+            Ok(Event::Commit {
+                tx,
+                based_on,
+                version,
+                writes,
+                shape,
+                bindings: get_bindings(c)?,
+                state_hash,
+            })
+        }
+        TAG_ABORT => Ok(Event::Abort {
+            tx: c.u64("tx id")?,
+            version: c.u64("version")?,
+            reason: c.str("abort reason")?,
+        }),
+        tag => Err(CodecError::BadTag {
+            at,
+            what: "event",
+            tag,
+        }),
+    }
+}
+
+fn encode_record(r: &Record) -> Vec<u8> {
+    match r {
+        Record::Event(e) => encode_event(e),
+        Record::Shape { id, template } => {
+            let mut out = vec![TAG_SHAPE];
+            codec::put_u64(&mut out, *id);
+            codec::encode_program(template.shape(), &mut out);
+            out
+        }
+    }
+}
+
+/// Decodes a record payload (an event or a shape declaration). Segment
+/// headers and checkpoints are handled by their own readers.
+fn decode_record(bytes: &[u8]) -> Result<Record, String> {
+    if bytes.first() == Some(&TAG_SHAPE) {
+        let mut c = Cursor::new(&bytes[1..]);
+        let id = c.u64("shape id").map_err(|e| e.to_string())?;
+        let shape = codec::decode_program(&mut c).map_err(|e| e.to_string())?;
+        c.finish().map_err(|e| e.to_string())?;
+        let template = Template::from_shape(shape).map_err(|e| e.to_string())?;
+        Ok(Record::Shape { id, template })
+    } else {
+        decode_event(bytes)
+            .map(Record::Event)
+            .map_err(|e| e.to_string())
+    }
+}
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    codec::put_u32(&mut out, payload.len() as u32);
+    codec::put_u64(&mut out, fnv1a_64(payload));
+    out.extend_from_slice(payload);
+    out
+}
+
+// --- the writer ------------------------------------------------------------
+
+/// Tunables of the durable log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalOptions {
+    /// Rotate to a new segment once the current one reaches this size.
+    pub segment_bytes: u64,
+    /// Whether commit records are fsync'd before the commit is
+    /// acknowledged. `true` (the default) makes
+    /// [`TxTicket::wait`](crate::TxTicket::wait) a durability point that
+    /// survives power loss; `false` trades that for speed — acknowledged
+    /// commits then survive a process kill (the bytes are in the page
+    /// cache) but not necessarily a machine crash.
+    pub fsync_commits: bool,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            segment_bytes: 8 * 1024 * 1024,
+            fsync_commits: true,
+        }
+    }
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:08}.log"))
+}
+
+/// The append half of the log: owned by the server's
+/// [`History`](crate::History) while it runs, handed back at shutdown to
+/// write the clean checkpoint.
+#[derive(Debug)]
+pub struct WalWriter {
+    dir: PathBuf,
+    opts: WalOptions,
+    file: File,
+    seg_seq: u64,
+    seg_len: u64,
+    next_offset: u64,
+}
+
+impl WalWriter {
+    /// Creates a fresh log in `dir` (creating the directory if needed).
+    /// Refuses a directory that already holds *any* log artifact —
+    /// segments **or** checkpoints: stale checkpoint files next to a fresh
+    /// log would poison a later recovery, so the mixed state is rejected
+    /// here, where it is cheap to explain. Recover existing logs instead
+    /// of shadowing them.
+    pub fn create(dir: impl Into<PathBuf>, opts: WalOptions) -> Result<Self, WalError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        let entries = std::fs::read_dir(&dir).map_err(|e| io_err(&dir, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(&dir, e))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let is_segment = name.starts_with("wal-") && name.ends_with(".log");
+            let is_checkpoint = name.starts_with("checkpoint-") && name.ends_with(".ckpt");
+            if is_segment || is_checkpoint {
+                return Err(WalError::AlreadyExists {
+                    dir: dir.display().to_string(),
+                });
+            }
+        }
+        let (file, seg_len) = open_segment(&dir, 0, 0)?;
+        Ok(WalWriter {
+            dir,
+            opts,
+            file,
+            seg_seq: 0,
+            seg_len,
+            next_offset: 0,
+        })
+    }
+
+    /// Reopens an existing log for appending: scans it, truncates any torn
+    /// tail, and positions after the last valid record. Returns the writer
+    /// plus the ids of the shapes already declared on disk (so the resumed
+    /// server does not re-log them).
+    pub fn resume(
+        dir: impl Into<PathBuf>,
+        opts: WalOptions,
+    ) -> Result<(Self, BTreeSet<u64>), WalError> {
+        let dir = dir.into();
+        let scan = scan_log(&dir)?;
+        let path = segment_path(&dir, scan.last_seg_seq);
+        // Append mode: every write lands at the (post-truncation) end of
+        // the file, never over the header.
+        let mut file = OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_err(&path, e))?;
+        // Physically drop the torn tail so new records append cleanly after
+        // the last valid one.
+        file.set_len(scan.last_seg_valid_len)
+            .map_err(|e| io_err(&path, e))?;
+        // A crash between segment creation and its header write leaves a
+        // last segment with no valid header (valid length 0). Rewrite the
+        // header before appending — otherwise the appended records would
+        // start a header-less segment no later scan could read.
+        let seg_len = if scan.last_seg_valid_len == 0 {
+            write_segment_header(
+                &mut file,
+                &path,
+                scan.last_seg_seq,
+                scan.records.len() as u64,
+            )?
+        } else {
+            scan.last_seg_valid_len
+        };
+        file.sync_data().map_err(|e| io_err(&path, e))?;
+        let shapes = scan
+            .records
+            .iter()
+            .filter_map(|r| match &r.record {
+                Record::Shape { id, .. } => Some(*id),
+                Record::Event(_) => None,
+            })
+            .collect();
+        Ok((
+            WalWriter {
+                dir,
+                opts,
+                file,
+                seg_seq: scan.last_seg_seq,
+                seg_len,
+                next_offset: scan.records.len() as u64,
+            },
+            shapes,
+        ))
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Global index of the next record to be appended — equivalently, how
+    /// many records are durable so far.
+    pub fn offset(&self) -> u64 {
+        self.next_offset
+    }
+
+    /// Appends one record, rotating segments at the size budget. Returns
+    /// the record's global offset. Does not fsync.
+    pub fn append(&mut self, record: &Record) -> Result<u64, WalError> {
+        self.append_payload(&encode_record(record))
+    }
+
+    /// Appends one already-encoded record payload — the hot path, which
+    /// runs inside the commit critical section and must not clone events
+    /// just to wrap them.
+    pub(crate) fn append_payload(&mut self, payload: &[u8]) -> Result<u64, WalError> {
+        if self.seg_len >= self.opts.segment_bytes {
+            self.rotate()?;
+        }
+        let framed = frame(payload);
+        let path = segment_path(&self.dir, self.seg_seq);
+        self.file.write_all(&framed).map_err(|e| io_err(&path, e))?;
+        self.seg_len += framed.len() as u64;
+        let offset = self.next_offset;
+        self.next_offset += 1;
+        Ok(offset)
+    }
+
+    /// Flushes appended records to stable storage.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        let path = segment_path(&self.dir, self.seg_seq);
+        self.file.sync_data().map_err(|e| io_err(&path, e))
+    }
+
+    fn rotate(&mut self) -> Result<(), WalError> {
+        self.sync()?;
+        self.seg_seq += 1;
+        let (file, seg_len) = open_segment(&self.dir, self.seg_seq, self.next_offset)?;
+        self.file = file;
+        self.seg_len = seg_len;
+        Ok(())
+    }
+}
+
+/// Writes a segment header record to `file`; returns its length.
+fn write_segment_header(
+    file: &mut File,
+    path: &Path,
+    seq: u64,
+    base_offset: u64,
+) -> Result<u64, WalError> {
+    let mut payload = vec![TAG_SEGMENT];
+    codec::put_u32(&mut payload, FORMAT_VERSION);
+    codec::put_u64(&mut payload, seq);
+    codec::put_u64(&mut payload, base_offset);
+    let framed = frame(&payload);
+    file.write_all(&framed).map_err(|e| io_err(path, e))?;
+    Ok(framed.len() as u64)
+}
+
+/// Creates segment `seq` and writes its header record. The file data and
+/// (best-effort) the directory entry are fsync'd before any record lands
+/// in the segment — a commit record fsync'd into a file whose directory
+/// entry is not durable would not survive power loss.
+fn open_segment(dir: &Path, seq: u64, base_offset: u64) -> Result<(File, u64), WalError> {
+    let path = segment_path(dir, seq);
+    let mut file = OpenOptions::new()
+        .create_new(true)
+        .write(true)
+        .open(&path)
+        .map_err(|e| io_err(&path, e))?;
+    let len = write_segment_header(&mut file, &path, seq, base_offset)?;
+    file.sync_data().map_err(|e| io_err(&path, e))?;
+    // Non-fatal on filesystems that cannot open directories.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok((file, len))
+}
+
+/// The durable attachment a persisted [`History`](crate::History) carries:
+/// the writer plus the bookkeeping of which shapes are already declared on
+/// disk and whether commits fsync.
+#[derive(Debug)]
+pub(crate) struct DurableLog {
+    pub(crate) writer: WalWriter,
+    logged_shapes: BTreeSet<u64>,
+    fsync_commits: bool,
+}
+
+impl DurableLog {
+    pub(crate) fn new(writer: WalWriter, logged_shapes: BTreeSet<u64>) -> Self {
+        let fsync_commits = writer.opts.fsync_commits;
+        DurableLog {
+            writer,
+            logged_shapes,
+            fsync_commits,
+        }
+    }
+
+    /// Appends an event; commit events are flushed per the fsync policy
+    /// before this returns (the durability point). Encodes the borrowed
+    /// event directly — this runs inside the commit critical section, so
+    /// no clone is taken just to wrap it in a [`Record`].
+    pub(crate) fn append_event(&mut self, e: &Event) -> Result<(), WalError> {
+        self.writer.append_payload(&encode_event(e))?;
+        if self.fsync_commits && matches!(e, Event::Commit { .. }) {
+            self.writer.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Logs a shape declaration the first time the shape is used durably.
+    pub(crate) fn declare_shape(&mut self, id: u64, template: &Template) -> Result<(), WalError> {
+        if self.logged_shapes.insert(id) {
+            let mut payload = vec![TAG_SHAPE];
+            codec::put_u64(&mut payload, id);
+            codec::encode_program(template.shape(), &mut payload);
+            self.writer.append_payload(&payload)?;
+        }
+        Ok(())
+    }
+}
+
+// --- the reader ------------------------------------------------------------
+
+/// One valid record plus its global offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogRecord {
+    /// The record's global index in the log.
+    pub offset: u64,
+    /// The decoded record.
+    pub record: Record,
+}
+
+/// Everything a scan of the log directory found.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogScan {
+    /// All valid records across all segments, in log order.
+    pub records: Vec<LogRecord>,
+    /// Bytes of torn tail discarded from the last segment (0 = clean end).
+    pub torn_bytes: u64,
+    /// Sequence number of the last segment.
+    pub last_seg_seq: u64,
+    /// Valid length of the last segment (everything after is torn).
+    pub last_seg_valid_len: u64,
+}
+
+/// Scans every segment of the log in `dir`, validating checksums and
+/// continuity. A torn tail in the *last* segment is discarded and reported;
+/// damage anywhere else is a hard [`WalError::Corrupt`].
+pub fn scan_log(dir: impl AsRef<Path>) -> Result<LogScan, WalError> {
+    let dir = dir.as_ref();
+    let mut seqs: Vec<u64> = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| io_err(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(seq) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".log"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            seqs.push(seq);
+        }
+    }
+    if seqs.is_empty() {
+        return Err(WalError::NoLog {
+            dir: dir.display().to_string(),
+        });
+    }
+    seqs.sort_unstable();
+    for (i, &seq) in seqs.iter().enumerate() {
+        if seq != i as u64 {
+            return Err(WalError::Corrupt {
+                segment: segment_path(dir, seq).display().to_string(),
+                offset: 0,
+                detail: format!("segment sequence gap: expected wal-{:08}.log", i),
+            });
+        }
+    }
+
+    let mut records: Vec<LogRecord> = Vec::new();
+    let mut torn_bytes = 0u64;
+    let mut last_valid_len = 0u64;
+    let last_index = seqs.len() - 1;
+    for (i, &seq) in seqs.iter().enumerate() {
+        let path = segment_path(dir, seq);
+        let segment = path.display().to_string();
+        let bytes = std::fs::read(&path).map_err(|e| io_err(&path, e))?;
+        let is_last = i == last_index;
+        let mut pos = 0usize;
+        let mut first = true;
+        loop {
+            if pos == bytes.len() {
+                break;
+            }
+            let remaining = bytes.len() - pos;
+            // A record the crash cut short: its framing or payload runs off
+            // the end of the file. Only tolerable at the very tail.
+            let (len, sum) = if remaining >= FRAME_HEADER {
+                let len =
+                    u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+                let sum = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8 bytes"));
+                (len, sum)
+            } else {
+                if is_last {
+                    torn_bytes = remaining as u64;
+                    break;
+                }
+                return Err(WalError::Corrupt {
+                    segment,
+                    offset: pos as u64,
+                    detail: "truncated record framing in interior segment".to_string(),
+                });
+            };
+            if pos + FRAME_HEADER + len > bytes.len() {
+                if is_last {
+                    torn_bytes = remaining as u64;
+                    break;
+                }
+                return Err(WalError::Corrupt {
+                    segment,
+                    offset: pos as u64,
+                    detail: "record extends past interior segment end".to_string(),
+                });
+            }
+            let payload = &bytes[pos + FRAME_HEADER..pos + FRAME_HEADER + len];
+            if fnv1a_64(payload) != sum {
+                let extends_to_eof = pos + FRAME_HEADER + len == bytes.len();
+                if is_last && extends_to_eof {
+                    // The final record checksums wrong and nothing follows:
+                    // a torn write. Discard it.
+                    torn_bytes = remaining as u64;
+                    break;
+                }
+                return Err(WalError::Corrupt {
+                    segment,
+                    offset: pos as u64,
+                    detail: "checksum mismatch".to_string(),
+                });
+            }
+            if first {
+                // Every segment must open with a matching header record.
+                first = false;
+                let mut c = Cursor::new(payload);
+                let header = (|| -> Result<(u32, u64, u64), CodecError> {
+                    let at = c.pos();
+                    let tag = c.u8("segment tag")?;
+                    if tag != TAG_SEGMENT {
+                        return Err(CodecError::BadTag {
+                            at,
+                            what: "segment header",
+                            tag,
+                        });
+                    }
+                    let v = c.u32("format version")?;
+                    let s = c.u64("segment seq")?;
+                    let b = c.u64("base offset")?;
+                    c.finish()?;
+                    Ok((v, s, b))
+                })();
+                match header {
+                    Ok((v, _, _)) if v != FORMAT_VERSION => {
+                        return Err(WalError::Version {
+                            found: v,
+                            expected: FORMAT_VERSION,
+                        })
+                    }
+                    Ok((_, s, b)) => {
+                        if s != seq || b != records.len() as u64 {
+                            return Err(WalError::Corrupt {
+                                segment,
+                                offset: pos as u64,
+                                detail: format!(
+                                    "segment header (seq {s}, base {b}) does not match its \
+                                     position (seq {seq}, base {})",
+                                    records.len()
+                                ),
+                            });
+                        }
+                    }
+                    Err(e) => {
+                        return Err(WalError::Corrupt {
+                            segment,
+                            offset: pos as u64,
+                            detail: format!("bad segment header: {e}"),
+                        })
+                    }
+                }
+            } else {
+                match decode_record(payload) {
+                    Ok(record) => records.push(LogRecord {
+                        offset: records.len() as u64,
+                        record,
+                    }),
+                    Err(detail) => {
+                        // The checksum matched, so these bytes are what the
+                        // writer wrote — an undecodable record is damage a
+                        // torn write cannot explain.
+                        return Err(WalError::Corrupt {
+                            segment,
+                            offset: pos as u64,
+                            detail,
+                        });
+                    }
+                }
+            }
+            pos += FRAME_HEADER + len;
+            if is_last {
+                last_valid_len = pos as u64;
+            }
+        }
+        if is_last && torn_bytes == 0 {
+            last_valid_len = bytes.len() as u64;
+        }
+    }
+    Ok(LogScan {
+        records,
+        torn_bytes,
+        last_seg_seq: last_index as u64,
+        last_seg_valid_len: last_valid_len,
+    })
+}
+
+// --- checkpoints -----------------------------------------------------------
+
+/// A snapshot checkpoint: everything recovery needs to start from the
+/// middle of the log instead of genesis — and everything a *cold audit*
+/// needs to resolve provenance without a live server.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// Log records covered: replay starts at this global offset.
+    pub offset: u64,
+    /// The store version at the checkpoint.
+    pub version: u64,
+    /// The next transaction id (so a resumed server never reuses ids).
+    pub next_tx: u64,
+    /// FNV-1a hash of `db`'s stable encoding — self-check, and the link to
+    /// the commit record the checkpoint claims to cover.
+    pub state_hash: u64,
+    /// The constraint `α` the store guards.
+    pub alpha: Formula,
+    /// The schema.
+    pub schema: Schema,
+    /// The full state.
+    pub db: Database,
+    /// Every statement shape ever registered, by id.
+    pub templates: BTreeMap<u64, Template>,
+}
+
+fn checkpoint_path(dir: &Path, offset: u64) -> PathBuf {
+    dir.join(format!("checkpoint-{offset:020}.ckpt"))
+}
+
+/// Writes a checkpoint file atomically (temp + fsync + rename) and returns
+/// its path.
+pub fn write_checkpoint(dir: &Path, ck: &Checkpoint) -> Result<PathBuf, WalError> {
+    let mut payload = vec![TAG_CHECKPOINT];
+    codec::put_u32(&mut payload, FORMAT_VERSION);
+    codec::put_u64(&mut payload, ck.offset);
+    codec::put_u64(&mut payload, ck.version);
+    codec::put_u64(&mut payload, ck.next_tx);
+    codec::put_u64(&mut payload, ck.state_hash);
+    codec::encode_formula(&ck.alpha, &mut payload);
+    codec::put_str(&mut payload, &ck.schema.encode());
+    codec::put_str(&mut payload, &ck.db.encode());
+    codec::put_u32(&mut payload, ck.templates.len() as u32);
+    for (id, t) in &ck.templates {
+        codec::put_u64(&mut payload, *id);
+        codec::encode_program(t.shape(), &mut payload);
+    }
+    let framed = frame(&payload);
+
+    let tmp = dir.join(".checkpoint.tmp");
+    let path = checkpoint_path(dir, ck.offset);
+    {
+        let mut f = File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+        f.write_all(&framed).map_err(|e| io_err(&tmp, e))?;
+        f.sync_data().map_err(|e| io_err(&tmp, e))?;
+    }
+    std::fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+    // Durability of the rename itself; non-fatal on filesystems that do
+    // not support opening directories.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(path)
+}
+
+/// Reads and verifies one checkpoint file.
+pub fn read_checkpoint(path: impl AsRef<Path>) -> Result<Checkpoint, WalError> {
+    let path = path.as_ref();
+    let bad = |detail: String| WalError::BadCheckpoint {
+        path: path.display().to_string(),
+        detail,
+    };
+    let bytes = std::fs::read(path).map_err(|e| io_err(path, e))?;
+    if bytes.len() < FRAME_HEADER {
+        return Err(bad("file shorter than record framing".to_string()));
+    }
+    let len = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
+    let sum = u64::from_le_bytes(bytes[4..12].try_into().expect("8 bytes"));
+    if FRAME_HEADER + len != bytes.len() {
+        return Err(bad(format!(
+            "framing claims {} bytes, file has {}",
+            FRAME_HEADER + len,
+            bytes.len()
+        )));
+    }
+    let payload = &bytes[FRAME_HEADER..];
+    if fnv1a_64(payload) != sum {
+        return Err(bad("checksum mismatch".to_string()));
+    }
+    let mut c = Cursor::new(payload);
+    (|| -> Result<Checkpoint, String> {
+        let tag = c.u8("checkpoint tag").map_err(|e| e.to_string())?;
+        if tag != TAG_CHECKPOINT {
+            return Err(format!("not a checkpoint record (tag {tag:#04x})"));
+        }
+        let v = c.u32("format version").map_err(|e| e.to_string())?;
+        if v != FORMAT_VERSION {
+            return Err(WalError::Version {
+                found: v,
+                expected: FORMAT_VERSION,
+            }
+            .to_string());
+        }
+        let offset = c.u64("offset").map_err(|e| e.to_string())?;
+        let version = c.u64("version").map_err(|e| e.to_string())?;
+        let next_tx = c.u64("next_tx").map_err(|e| e.to_string())?;
+        let state_hash = c.u64("state hash").map_err(|e| e.to_string())?;
+        let alpha = codec::decode_formula(&mut c).map_err(|e| e.to_string())?;
+        let schema = Schema::decode(&c.str("schema").map_err(|e| e.to_string())?)?;
+        let db = Database::decode(
+            schema.clone(),
+            &c.str("database").map_err(|e| e.to_string())?,
+        )?;
+        let n = c.count("template count").map_err(|e| e.to_string())?;
+        let mut templates = BTreeMap::new();
+        for _ in 0..n {
+            let id = c.u64("shape id").map_err(|e| e.to_string())?;
+            let shape = codec::decode_program(&mut c).map_err(|e| e.to_string())?;
+            let t = Template::from_shape(shape).map_err(|e: TxError| e.to_string())?;
+            templates.insert(id, t);
+        }
+        c.finish().map_err(|e| e.to_string())?;
+        Ok(Checkpoint {
+            offset,
+            version,
+            next_tx,
+            state_hash,
+            alpha,
+            schema,
+            db,
+            templates,
+        })
+    })()
+    .map_err(bad)
+}
+
+/// The checkpoints present in `dir`, as `(offset, path)` sorted by offset.
+pub fn list_checkpoints(dir: impl AsRef<Path>) -> Result<Vec<(u64, PathBuf)>, WalError> {
+    let dir = dir.as_ref();
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| io_err(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(off) = name
+            .strip_prefix("checkpoint-")
+            .and_then(|s| s.strip_suffix(".ckpt"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            out.push((off, entry.path()));
+        }
+    }
+    out.sort_unstable_by_key(|(off, _)| *off);
+    Ok(out)
+}
+
+/// Reads the genesis checkpoint (offset 0) — the initial state a cold
+/// audit replays from.
+pub fn read_genesis(dir: impl AsRef<Path>) -> Result<Checkpoint, WalError> {
+    let dir = dir.as_ref();
+    let cks = list_checkpoints(dir)?;
+    match cks.first() {
+        Some((0, path)) => read_checkpoint(path),
+        _ => Err(WalError::NoCheckpoint {
+            dir: dir.display().to_string(),
+        }),
+    }
+}
+
+// --- recovery --------------------------------------------------------------
+
+/// Knobs of [`recover`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecoveryOptions {
+    /// Ignore later checkpoints and replay the entire log from the genesis
+    /// checkpoint. Slower; used by audits and by the property test that
+    /// pins `recover(checkpoint + tail)` to the full replay.
+    pub from_genesis: bool,
+}
+
+/// What a successful recovery reconstructed and verified.
+#[derive(Clone, Debug)]
+pub struct Recovered {
+    /// The recovered state.
+    pub db: Database,
+    /// The recovered store version.
+    pub version: u64,
+    /// FNV-1a hash of the recovered state — matches the last durable
+    /// commit's recorded `state_hash`.
+    pub state_hash: u64,
+    /// The next transaction id a resumed server should assign.
+    pub next_tx: u64,
+    /// Every statement shape declared by checkpoint or log, by id.
+    pub templates: BTreeMap<u64, Template>,
+    /// The full event history from genesis (shape records excluded).
+    pub events: Vec<Event>,
+    /// The constraint recorded at the checkpoint.
+    pub alpha: Formula,
+    /// The schema recorded at the checkpoint.
+    pub schema: Schema,
+    /// The initial state (from the genesis checkpoint) — what a cold audit
+    /// replays from.
+    pub initial: Database,
+    /// Commits replayed (and verified) from the log tail.
+    pub commits_replayed: usize,
+    /// Log offset of the checkpoint recovery started from.
+    pub checkpoint_offset: u64,
+    /// Torn bytes discarded from the tail (0 = the log ended cleanly).
+    pub torn_bytes: u64,
+}
+
+/// Recovers the store state from `dir`: loads the newest checkpoint
+/// (or genesis, under [`RecoveryOptions::from_genesis`]), then replays the
+/// log tail — verifying, for every commit, that its `(shape, bindings)`
+/// provenance instantiates, that the deferred check-and-rollback path
+/// accepts it, and that it reproduces the recorded state hash. Recovery
+/// *is* a cold audit of the tail; [`crate::audit::cold_audit`] extends the
+/// same verification to the whole log.
+///
+/// `omega` is the Ω interpretation programs run under — interpretations
+/// are code, not data, so the caller supplies the same one the original
+/// server ran with.
+pub fn recover(
+    dir: impl AsRef<Path>,
+    omega: &Omega,
+    opts: RecoveryOptions,
+) -> Result<Recovered, RecoveryError> {
+    let dir = dir.as_ref();
+    let scan = scan_log(dir)?;
+    let cks = list_checkpoints(dir)?;
+    let (_, latest_path) = cks.last().ok_or_else(|| WalError::NoCheckpoint {
+        dir: dir.display().to_string(),
+    })?;
+    let genesis = read_genesis(dir)?;
+    if genesis.version != 0 || genesis.offset != 0 {
+        return Err(RecoveryError::Divergence {
+            detail: "genesis checkpoint does not describe version 0 at offset 0".to_string(),
+        });
+    }
+    let ck = if opts.from_genesis {
+        genesis.clone()
+    } else {
+        read_checkpoint(latest_path)?
+    };
+
+    // The checkpoint must be internally consistent...
+    if state_hash(&ck.db) != ck.state_hash {
+        return Err(RecoveryError::Divergence {
+            detail: format!(
+                "checkpoint at offset {} records state hash {:#x} but its state hashes to {:#x}",
+                ck.offset,
+                ck.state_hash,
+                state_hash(&ck.db)
+            ),
+        });
+    }
+    // ...within the log's extent...
+    if ck.offset as usize > scan.records.len() {
+        return Err(RecoveryError::Divergence {
+            detail: format!(
+                "checkpoint covers {} records but the log holds only {}",
+                ck.offset,
+                scan.records.len()
+            ),
+        });
+    }
+    // ...and anchored to the commit record it claims to cover.
+    let last_commit_covered =
+        scan.records[..ck.offset as usize]
+            .iter()
+            .rev()
+            .find_map(|r| match &r.record {
+                Record::Event(Event::Commit {
+                    version,
+                    state_hash,
+                    ..
+                }) => Some((*version, *state_hash)),
+                _ => None,
+            });
+    match last_commit_covered {
+        Some((v, h)) => {
+            if v != ck.version || h != ck.state_hash {
+                return Err(RecoveryError::Divergence {
+                    detail: format!(
+                        "checkpoint claims version {} (hash {:#x}) but the last covered \
+                         commit is version {v} (hash {h:#x})",
+                        ck.version, ck.state_hash
+                    ),
+                });
+            }
+        }
+        None => {
+            if ck.version != 0 {
+                return Err(RecoveryError::Divergence {
+                    detail: format!(
+                        "checkpoint claims version {} but covers no commit records",
+                        ck.version
+                    ),
+                });
+            }
+        }
+    }
+
+    // Shape identities: checkpointed templates plus every declaration in
+    // the log. Conflicting declarations of one id are tampering.
+    let mut templates = ck.templates.clone();
+    for r in &scan.records {
+        if let Record::Shape { id, template } = &r.record {
+            if let Some(prev) = templates.get(id) {
+                if prev != template {
+                    return Err(RecoveryError::Divergence {
+                        detail: format!("shape {id} is declared twice with different templates"),
+                    });
+                }
+            } else {
+                templates.insert(*id, template.clone());
+            }
+        }
+    }
+
+    // Replay the tail, verifying as we go: recovery is a cold audit.
+    let mut db = ck.db.clone();
+    let mut version = ck.version;
+    let mut commits_replayed = 0usize;
+    for r in &scan.records[ck.offset as usize..] {
+        let Record::Event(Event::Commit {
+            tx,
+            version: v,
+            shape,
+            bindings,
+            state_hash: recorded,
+            ..
+        }) = &r.record
+        else {
+            continue;
+        };
+        if *v != version + 1 {
+            return Err(RecoveryError::Divergence {
+                detail: format!(
+                    "commit of tx {tx} has version {v}, expected {} (reordered or dropped \
+                     commit)",
+                    version + 1
+                ),
+            });
+        }
+        let template = templates.get(shape).ok_or(RecoveryError::UnknownShape {
+            tx: *tx,
+            shape: *shape,
+        })?;
+        let program = template
+            .instantiate(bindings)
+            .map_err(|e| RecoveryError::Provenance {
+                tx: *tx,
+                detail: e.to_string(),
+            })?;
+        let checked = RuntimeChecked::new(
+            ProgramTransaction::new("recovery", program, omega.clone()),
+            ck.alpha.clone(),
+            omega.clone(),
+        );
+        match checked.apply(&db) {
+            Ok(next) => {
+                let computed = state_hash(&next);
+                if computed != *recorded {
+                    return Err(RecoveryError::HashMismatch {
+                        tx: *tx,
+                        version: *v,
+                        recorded: *recorded,
+                        computed,
+                    });
+                }
+                db = next;
+                version = *v;
+                commits_replayed += 1;
+            }
+            Err(TxError::Aborted(reason)) => {
+                return Err(RecoveryError::Rejected {
+                    tx: *tx,
+                    version: *v,
+                    reason,
+                })
+            }
+            Err(e) => {
+                return Err(RecoveryError::Replay {
+                    tx: *tx,
+                    version: *v,
+                    detail: e.to_string(),
+                })
+            }
+        }
+    }
+
+    let events: Vec<Event> = scan
+        .records
+        .iter()
+        .filter_map(|r| match &r.record {
+            Record::Event(e) => Some(e.clone()),
+            Record::Shape { .. } => None,
+        })
+        .collect();
+    let max_tx = events
+        .iter()
+        .map(|e| match e {
+            Event::Begin { tx, .. }
+            | Event::GuardEval { tx, .. }
+            | Event::Commit { tx, .. }
+            | Event::Abort { tx, .. } => *tx,
+        })
+        .max();
+    let next_tx = ck.next_tx.max(max_tx.map_or(0, |t| t + 1));
+
+    Ok(Recovered {
+        state_hash: state_hash(&db),
+        db,
+        version,
+        next_tx,
+        templates,
+        events,
+        alpha: ck.alpha,
+        schema: ck.schema,
+        initial: genesis.db,
+        commits_replayed,
+        checkpoint_offset: ck.offset,
+        torn_bytes: scan.torn_bytes,
+    })
+}
+
+impl VersionedStore {
+    /// Recovers a store from a persisted directory: the durable analogue of
+    /// [`VersionedStore::new`] (the crate re-exports `VersionedStore` as
+    /// [`Store`](crate::Store)). Replays snapshot + log tail with full
+    /// hash and provenance verification — see [`recover`] — and returns
+    /// the live store (history seeded with the recovered events) together
+    /// with the recovery report. To resume *serving*, hand the directory to
+    /// [`StoreBuilder::recover`](crate::StoreBuilder::recover) instead.
+    pub fn recover(
+        dir: impl AsRef<Path>,
+        omega: &Omega,
+    ) -> Result<(VersionedStore, Recovered), RecoveryError> {
+        let r = recover(dir, omega, RecoveryOptions::default())?;
+        let store = VersionedStore::resume(
+            r.db.clone(),
+            r.version,
+            crate::history::History::with_events(r.events.clone()),
+        );
+        Ok((store, r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpdt_tx::program::Program;
+    use vpdt_tx::template::canonicalize;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "vpdt-wal-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn event_menu() -> Vec<Event> {
+        vec![
+            Event::Begin {
+                tx: 1,
+                session: 7,
+                version: 0,
+                shape: 3,
+                bindings: vec![Elem(5), Elem(0), Elem(u64::MAX)],
+            },
+            Event::GuardEval {
+                tx: 1,
+                version: 0,
+                pass: true,
+            },
+            Event::GuardEval {
+                tx: 2,
+                version: 9,
+                pass: false,
+            },
+            Event::Commit {
+                tx: 1,
+                based_on: 0,
+                version: 1,
+                writes: vec!["R0".into(), "R1".into()],
+                shape: 3,
+                bindings: vec![Elem(5)],
+                state_hash: 0xdead_beef_cafe_f00d,
+            },
+            Event::Abort {
+                tx: 2,
+                version: 9,
+                reason: "guard failed at version 9 — with punctuation; and\nnewlines".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn events_roundtrip_byte_for_byte() {
+        for e in event_menu() {
+            let bytes = encode_event(&e);
+            let back = decode_event(&bytes).expect("decodes");
+            assert_eq!(back, e);
+            assert_eq!(encode_event(&back), bytes);
+        }
+    }
+
+    #[test]
+    fn writer_reader_roundtrip_across_rotation() {
+        let dir = tmp_dir("rotate");
+        let mut w = WalWriter::create(
+            &dir,
+            WalOptions {
+                segment_bytes: 96, // tiny: forces several segments
+                fsync_commits: false,
+            },
+        )
+        .expect("creates");
+        let (template, _) =
+            canonicalize(&Program::insert_consts("E", [1, 2])).expect("canonicalizes");
+        w.append(&Record::Shape { id: 0, template })
+            .expect("appends");
+        for e in event_menu() {
+            w.append(&Record::Event(e)).expect("appends");
+        }
+        w.sync().expect("syncs");
+        assert_eq!(w.offset(), 6);
+
+        let scan = scan_log(&dir).expect("scans");
+        assert_eq!(scan.records.len(), 6);
+        assert_eq!(scan.torn_bytes, 0);
+        assert!(scan.last_seg_seq > 0, "rotation produced multiple segments");
+        let events: Vec<Event> = scan
+            .records
+            .iter()
+            .filter_map(|r| match &r.record {
+                Record::Event(e) => Some(e.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(events, event_menu());
+
+        // resume continues the offsets and remembers the logged shape
+        let (w2, shapes) = WalWriter::resume(
+            &dir,
+            WalOptions {
+                segment_bytes: 96,
+                fsync_commits: false,
+            },
+        )
+        .expect("resumes");
+        assert_eq!(w2.offset(), 6);
+        assert_eq!(shapes, BTreeSet::from([0]));
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_interior_corruption_is_hard() {
+        let dir = tmp_dir("torn");
+        let mut w = WalWriter::create(
+            &dir,
+            WalOptions {
+                segment_bytes: u64::MAX,
+                fsync_commits: false,
+            },
+        )
+        .expect("creates");
+        for e in event_menu() {
+            w.append(&Record::Event(e)).expect("appends");
+        }
+        w.sync().expect("syncs");
+        let seg = segment_path(&dir, 0);
+        let clean = std::fs::read(&seg).expect("reads");
+
+        // truncating anywhere inside the final record discards it cleanly
+        let full = scan_log(&dir).expect("scans").records.len();
+        for cut in 1..60 {
+            std::fs::write(&seg, &clean[..clean.len() - cut]).expect("writes");
+            let scan = scan_log(&dir).expect("torn tail must scan");
+            assert!(scan.torn_bytes > 0, "cut {cut}: tail reported");
+            assert!(scan.records.len() < full, "cut {cut}: a record was dropped");
+        }
+
+        // flipping a byte in an interior record is a hard error
+        let mut flipped = clean.clone();
+        let mid = clean.len() / 3;
+        flipped[mid] ^= 0xff;
+        std::fs::write(&seg, &flipped).expect("writes");
+        match scan_log(&dir) {
+            Err(WalError::Corrupt { .. }) => {}
+            other => panic!("interior flip: expected Corrupt, got {other:?}"),
+        }
+
+        // flipping a byte in the *final* record is a torn write: discarded
+        let mut tail_flip = clean.clone();
+        let last = clean.len() - 3;
+        tail_flip[last] ^= 0xff;
+        std::fs::write(&seg, &tail_flip).expect("writes");
+        let scan = scan_log(&dir).expect("tail flip must scan");
+        assert_eq!(scan.records.len(), full - 1);
+        assert!(scan.torn_bytes > 0);
+    }
+
+    #[test]
+    fn checkpoints_roundtrip_and_verify() {
+        let dir = tmp_dir("ckpt");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let db = Database::graph([(0, 1), (1, 2)]);
+        let (template, _) =
+            canonicalize(&Program::insert_consts("E", [1, 2])).expect("canonicalizes");
+        let ck = Checkpoint {
+            offset: 42,
+            version: 7,
+            next_tx: 19,
+            state_hash: state_hash(&db),
+            alpha: vpdt_logic::parse_formula("forall x y z. E(x, y) & E(x, z) -> y = z")
+                .expect("parses"),
+            schema: db.schema().clone(),
+            db: db.clone(),
+            templates: BTreeMap::from([(0, template)]),
+        };
+        let path = write_checkpoint(&dir, &ck).expect("writes");
+        let back = read_checkpoint(&path).expect("reads");
+        assert_eq!(back.offset, 42);
+        assert_eq!(back.version, 7);
+        assert_eq!(back.next_tx, 19);
+        assert_eq!(back.db, db);
+        assert_eq!(back.alpha, ck.alpha);
+        assert_eq!(back.templates, ck.templates);
+
+        // a flipped byte is a typed checksum failure
+        let mut bytes = std::fs::read(&path).expect("reads");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 1;
+        std::fs::write(&path, &bytes).expect("writes");
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(WalError::BadCheckpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn fresh_log_refuses_existing_directory_and_no_log_is_typed() {
+        let dir = tmp_dir("exists");
+        let _w = WalWriter::create(&dir, WalOptions::default()).expect("creates");
+        assert!(matches!(
+            WalWriter::create(&dir, WalOptions::default()),
+            Err(WalError::AlreadyExists { .. })
+        ));
+        let empty = tmp_dir("empty");
+        std::fs::create_dir_all(&empty).expect("mkdir");
+        assert!(matches!(scan_log(&empty), Err(WalError::NoLog { .. })));
+        assert!(matches!(
+            read_genesis(&empty),
+            Err(WalError::NoCheckpoint { .. })
+        ));
+        // a stale checkpoint with no segments is just as poisonous as a
+        // stale segment: refused too
+        let stale = tmp_dir("stale-ckpt");
+        std::fs::create_dir_all(&stale).expect("mkdir");
+        std::fs::write(stale.join("checkpoint-00000000000000000007.ckpt"), b"old").expect("writes");
+        assert!(matches!(
+            WalWriter::create(&stale, WalOptions::default()),
+            Err(WalError::AlreadyExists { .. })
+        ));
+    }
+
+    /// A crash between segment creation and its header write leaves a
+    /// header-less (empty or torn-header) last segment. Resume must repair
+    /// it — rewrite the header, keep appending — and the result must stay
+    /// scannable; the old bug appended records into the header-less file,
+    /// making the whole log permanently unreadable.
+    #[test]
+    fn resume_repairs_a_headerless_last_segment() {
+        let dir = tmp_dir("headerless");
+        let opts = WalOptions {
+            segment_bytes: u64::MAX,
+            fsync_commits: false,
+        };
+        let mut w = WalWriter::create(&dir, opts.clone()).expect("creates");
+        for e in event_menu() {
+            w.append(&Record::Event(e)).expect("appends");
+        }
+        w.sync().expect("syncs");
+        drop(w);
+        // simulate the crash: segment 1 exists but is empty (no header)
+        std::fs::write(segment_path(&dir, 1), b"").expect("creates empty segment");
+
+        let (mut w2, _) = WalWriter::resume(&dir, opts.clone()).expect("resumes");
+        assert_eq!(w2.offset(), event_menu().len() as u64);
+        w2.append(&Record::Event(event_menu().remove(0)))
+            .expect("appends after repair");
+        w2.sync().expect("syncs");
+        drop(w2);
+
+        let scan = scan_log(&dir).expect("repaired log scans");
+        assert_eq!(scan.records.len(), event_menu().len() + 1);
+        assert_eq!(scan.torn_bytes, 0);
+        // ...and the same holds when the bogus segment holds a torn header
+        std::fs::write(segment_path(&dir, 2), [0x07, 0x00]).expect("torn header bytes");
+        let (w3, _) = WalWriter::resume(&dir, opts).expect("resumes over torn header");
+        assert_eq!(w3.offset(), event_menu().len() as u64 + 1);
+        drop(w3);
+        scan_log(&dir).expect("still scannable");
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let dir = tmp_dir("version");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        // hand-craft a segment whose header claims format version 99
+        let mut payload = vec![TAG_SEGMENT];
+        codec::put_u32(&mut payload, 99);
+        codec::put_u64(&mut payload, 0);
+        codec::put_u64(&mut payload, 0);
+        std::fs::write(segment_path(&dir, 0), frame(&payload)).expect("writes");
+        assert_eq!(
+            scan_log(&dir),
+            Err(WalError::Version {
+                found: 99,
+                expected: FORMAT_VERSION
+            })
+        );
+    }
+}

@@ -1,0 +1,699 @@
+//! A stable binary codec for programs, formulas and terms.
+//!
+//! The durable history log persists statement *templates* (shape id →
+//! constant-free program) so that a cold audit — one that starts from
+//! nothing but the files on disk — can re-derive every transaction's ground
+//! program from its recorded `(shape, bindings)` provenance. Templates
+//! contain arbitrary condition formulas, so this module gives the whole
+//! `Program`/`Formula`/`Term` syntax a deterministic, self-delimiting
+//! binary encoding:
+//!
+//! * integers are fixed-width little-endian (`u64`/`u32`), strings are
+//!   `u32`-length-prefixed UTF-8, sequences are `u32`-count-prefixed;
+//! * every enum variant is a one-byte tag;
+//! * decoding is total: every failure is a typed [`CodecError`] with the
+//!   byte offset where it happened, never a panic.
+//!
+//! The encoding is byte-deterministic (`encode(decode(encode(x))) ==
+//! encode(x)`) — what the write-ahead log's checksums and the byte-for-byte
+//! round-trip property tests rely on. No serde: the format is owned here,
+//! versioned by the log that embeds it, and auditable with a hex dump.
+
+use crate::program::Program;
+use std::fmt;
+use vpdt_logic::{Elem, Formula, FuncSym, NumTerm, PredSym, Term, Var};
+
+/// A decoding failure: what went wrong and at which byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the value it promised.
+    Truncated {
+        /// Byte offset at which more input was needed.
+        at: usize,
+        /// What was being decoded.
+        want: &'static str,
+    },
+    /// An enum tag byte is not one of the variants.
+    BadTag {
+        /// Byte offset of the offending tag.
+        at: usize,
+        /// Which enum was being decoded.
+        what: &'static str,
+        /// The tag found.
+        tag: u8,
+    },
+    /// A length-prefixed string is not valid UTF-8.
+    BadUtf8 {
+        /// Byte offset of the string's first byte.
+        at: usize,
+    },
+    /// Decoding finished with unconsumed bytes (whole-buffer entry points).
+    Trailing {
+        /// Byte offset of the first unconsumed byte.
+        at: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { at, want } => {
+                write!(f, "input truncated at byte {at} while decoding {want}")
+            }
+            CodecError::BadTag { at, what, tag } => {
+                write!(f, "invalid {what} tag {tag:#04x} at byte {at}")
+            }
+            CodecError::BadUtf8 { at } => write!(f, "invalid UTF-8 in string at byte {at}"),
+            CodecError::Trailing { at } => {
+                write!(f, "trailing bytes after value, starting at byte {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A byte reader with an explicit position, shared by every decoder here
+/// (and by the store's write-ahead log for its record payloads).
+#[derive(Debug)]
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor over the whole buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Errors unless the buffer is fully consumed.
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.is_done() {
+            Ok(())
+        } else {
+            Err(CodecError::Trailing { at: self.pos })
+        }
+    }
+
+    fn take(&mut self, n: usize, want: &'static str) -> Result<&'a [u8], CodecError> {
+        if self.buf.len() - self.pos < n {
+            return Err(CodecError::Truncated { at: self.pos, want });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one tag byte.
+    pub fn u8(&mut self, want: &'static str) -> Result<u8, CodecError> {
+        Ok(self.take(1, want)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, want: &'static str) -> Result<u32, CodecError> {
+        let b = self.take(4, want)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, want: &'static str) -> Result<u64, CodecError> {
+        let b = self.take(8, want)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self, want: &'static str) -> Result<String, CodecError> {
+        let len = self.u32(want)? as usize;
+        let at = self.pos;
+        let bytes = self.take(len, want)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8 { at })
+    }
+
+    /// Reads a sequence count, bounded by what the remaining buffer could
+    /// possibly hold (each element is ≥ 1 byte), so a corrupt count cannot
+    /// drive a huge allocation.
+    pub fn count(&mut self, want: &'static str) -> Result<usize, CodecError> {
+        let n = self.u32(want)? as usize;
+        if n > self.buf.len() - self.pos {
+            return Err(CodecError::Truncated { at: self.pos, want });
+        }
+        Ok(n)
+    }
+}
+
+/// Appends a `u32`-length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+// --- terms -----------------------------------------------------------------
+
+const TERM_VAR: u8 = 0;
+const TERM_CONST: u8 = 1;
+const TERM_APP: u8 = 2;
+
+/// Encodes a term.
+pub fn encode_term(t: &Term, out: &mut Vec<u8>) {
+    match t {
+        Term::Var(v) => {
+            out.push(TERM_VAR);
+            put_str(out, v.name());
+        }
+        Term::Const(e) => {
+            out.push(TERM_CONST);
+            put_u64(out, e.0);
+        }
+        Term::App(f, args) => {
+            out.push(TERM_APP);
+            put_str(out, f.name());
+            put_u32(out, args.len() as u32);
+            for a in args {
+                encode_term(a, out);
+            }
+        }
+    }
+}
+
+/// Decodes a term.
+pub fn decode_term(c: &mut Cursor<'_>) -> Result<Term, CodecError> {
+    let at = c.pos();
+    match c.u8("term tag")? {
+        TERM_VAR => Ok(Term::Var(Var::new(c.str("variable name")?))),
+        TERM_CONST => Ok(Term::Const(Elem(c.u64("constant")?))),
+        TERM_APP => {
+            let f = FuncSym::new(c.str("function symbol")?);
+            let n = c.count("application arity")?;
+            let mut args = Vec::with_capacity(n);
+            for _ in 0..n {
+                args.push(decode_term(c)?);
+            }
+            Ok(Term::App(f, args))
+        }
+        tag => Err(CodecError::BadTag {
+            at,
+            what: "term",
+            tag,
+        }),
+    }
+}
+
+// --- numeric terms ---------------------------------------------------------
+
+const NUM_VAR: u8 = 0;
+const NUM_ONE: u8 = 1;
+const NUM_MAX: u8 = 2;
+const NUM_LIT: u8 = 3;
+
+fn encode_num_term(t: &NumTerm, out: &mut Vec<u8>) {
+    match t {
+        NumTerm::Var(v) => {
+            out.push(NUM_VAR);
+            put_str(out, v.name());
+        }
+        NumTerm::One => out.push(NUM_ONE),
+        NumTerm::Max => out.push(NUM_MAX),
+        NumTerm::Lit(n) => {
+            out.push(NUM_LIT);
+            put_u64(out, *n);
+        }
+    }
+}
+
+fn decode_num_term(c: &mut Cursor<'_>) -> Result<NumTerm, CodecError> {
+    let at = c.pos();
+    match c.u8("numeric term tag")? {
+        NUM_VAR => Ok(NumTerm::Var(Var::new(c.str("numeric variable")?))),
+        NUM_ONE => Ok(NumTerm::One),
+        NUM_MAX => Ok(NumTerm::Max),
+        NUM_LIT => Ok(NumTerm::Lit(c.u64("numeric literal")?)),
+        tag => Err(CodecError::BadTag {
+            at,
+            what: "numeric term",
+            tag,
+        }),
+    }
+}
+
+// --- formulas --------------------------------------------------------------
+
+const F_TRUE: u8 = 0;
+const F_FALSE: u8 = 1;
+const F_REL: u8 = 2;
+const F_EQ: u8 = 3;
+const F_PRED: u8 = 4;
+const F_NOT: u8 = 5;
+const F_AND: u8 = 6;
+const F_OR: u8 = 7;
+const F_IMPLIES: u8 = 8;
+const F_IFF: u8 = 9;
+const F_EXISTS: u8 = 10;
+const F_FORALL: u8 = 11;
+const F_COUNT_GE: u8 = 12;
+const F_NUM_EXISTS: u8 = 13;
+const F_NUM_FORALL: u8 = 14;
+const F_NUM_LE: u8 = 15;
+const F_NUM_EQ: u8 = 16;
+const F_BIT: u8 = 17;
+
+/// Encodes a formula.
+pub fn encode_formula(f: &Formula, out: &mut Vec<u8>) {
+    match f {
+        Formula::True => out.push(F_TRUE),
+        Formula::False => out.push(F_FALSE),
+        Formula::Rel(r, ts) => {
+            out.push(F_REL);
+            put_str(out, r);
+            put_u32(out, ts.len() as u32);
+            for t in ts {
+                encode_term(t, out);
+            }
+        }
+        Formula::Eq(a, b) => {
+            out.push(F_EQ);
+            encode_term(a, out);
+            encode_term(b, out);
+        }
+        Formula::Pred(p, ts) => {
+            out.push(F_PRED);
+            put_str(out, p.name());
+            put_u32(out, ts.len() as u32);
+            for t in ts {
+                encode_term(t, out);
+            }
+        }
+        Formula::Not(g) => {
+            out.push(F_NOT);
+            encode_formula(g, out);
+        }
+        Formula::And(gs) => {
+            out.push(F_AND);
+            put_u32(out, gs.len() as u32);
+            for g in gs {
+                encode_formula(g, out);
+            }
+        }
+        Formula::Or(gs) => {
+            out.push(F_OR);
+            put_u32(out, gs.len() as u32);
+            for g in gs {
+                encode_formula(g, out);
+            }
+        }
+        Formula::Implies(a, b) => {
+            out.push(F_IMPLIES);
+            encode_formula(a, out);
+            encode_formula(b, out);
+        }
+        Formula::Iff(a, b) => {
+            out.push(F_IFF);
+            encode_formula(a, out);
+            encode_formula(b, out);
+        }
+        Formula::Exists(v, g) => {
+            out.push(F_EXISTS);
+            put_str(out, v.name());
+            encode_formula(g, out);
+        }
+        Formula::Forall(v, g) => {
+            out.push(F_FORALL);
+            put_str(out, v.name());
+            encode_formula(g, out);
+        }
+        Formula::CountGe(n, v, g) => {
+            out.push(F_COUNT_GE);
+            encode_num_term(n, out);
+            put_str(out, v.name());
+            encode_formula(g, out);
+        }
+        Formula::NumExists(v, g) => {
+            out.push(F_NUM_EXISTS);
+            put_str(out, v.name());
+            encode_formula(g, out);
+        }
+        Formula::NumForall(v, g) => {
+            out.push(F_NUM_FORALL);
+            put_str(out, v.name());
+            encode_formula(g, out);
+        }
+        Formula::NumLe(a, b) => {
+            out.push(F_NUM_LE);
+            encode_num_term(a, out);
+            encode_num_term(b, out);
+        }
+        Formula::NumEq(a, b) => {
+            out.push(F_NUM_EQ);
+            encode_num_term(a, out);
+            encode_num_term(b, out);
+        }
+        Formula::Bit(a, b) => {
+            out.push(F_BIT);
+            encode_num_term(a, out);
+            encode_num_term(b, out);
+        }
+    }
+}
+
+/// Decodes a formula.
+pub fn decode_formula(c: &mut Cursor<'_>) -> Result<Formula, CodecError> {
+    let at = c.pos();
+    let tag = c.u8("formula tag")?;
+    Ok(match tag {
+        F_TRUE => Formula::True,
+        F_FALSE => Formula::False,
+        F_REL => {
+            let r = c.str("relation name")?;
+            let n = c.count("atom width")?;
+            let mut ts = Vec::with_capacity(n);
+            for _ in 0..n {
+                ts.push(decode_term(c)?);
+            }
+            Formula::Rel(r, ts)
+        }
+        F_EQ => Formula::Eq(decode_term(c)?, decode_term(c)?),
+        F_PRED => {
+            let p = PredSym::new(c.str("predicate symbol")?);
+            let n = c.count("predicate width")?;
+            let mut ts = Vec::with_capacity(n);
+            for _ in 0..n {
+                ts.push(decode_term(c)?);
+            }
+            Formula::Pred(p, ts)
+        }
+        F_NOT => Formula::Not(Box::new(decode_formula(c)?)),
+        F_AND | F_OR => {
+            let n = c.count("connective width")?;
+            let mut gs = Vec::with_capacity(n);
+            for _ in 0..n {
+                gs.push(decode_formula(c)?);
+            }
+            if tag == F_AND {
+                Formula::And(gs)
+            } else {
+                Formula::Or(gs)
+            }
+        }
+        F_IMPLIES => Formula::Implies(Box::new(decode_formula(c)?), Box::new(decode_formula(c)?)),
+        F_IFF => Formula::Iff(Box::new(decode_formula(c)?), Box::new(decode_formula(c)?)),
+        F_EXISTS => Formula::Exists(
+            Var::new(c.str("bound variable")?),
+            Box::new(decode_formula(c)?),
+        ),
+        F_FORALL => Formula::Forall(
+            Var::new(c.str("bound variable")?),
+            Box::new(decode_formula(c)?),
+        ),
+        F_COUNT_GE => {
+            let n = decode_num_term(c)?;
+            let v = Var::new(c.str("bound variable")?);
+            Formula::CountGe(n, v, Box::new(decode_formula(c)?))
+        }
+        F_NUM_EXISTS => Formula::NumExists(
+            Var::new(c.str("bound variable")?),
+            Box::new(decode_formula(c)?),
+        ),
+        F_NUM_FORALL => Formula::NumForall(
+            Var::new(c.str("bound variable")?),
+            Box::new(decode_formula(c)?),
+        ),
+        F_NUM_LE => Formula::NumLe(decode_num_term(c)?, decode_num_term(c)?),
+        F_NUM_EQ => Formula::NumEq(decode_num_term(c)?, decode_num_term(c)?),
+        F_BIT => Formula::Bit(decode_num_term(c)?, decode_num_term(c)?),
+        tag => {
+            return Err(CodecError::BadTag {
+                at,
+                what: "formula",
+                tag,
+            })
+        }
+    })
+}
+
+// --- programs --------------------------------------------------------------
+
+const P_SKIP: u8 = 0;
+const P_INSERT: u8 = 1;
+const P_DELETE_WHERE: u8 = 2;
+const P_INSERT_WHERE: u8 = 3;
+const P_ASSIGN: u8 = 4;
+const P_SEQ: u8 = 5;
+const P_IF: u8 = 6;
+
+fn put_vars(out: &mut Vec<u8>, vars: &[Var]) {
+    put_u32(out, vars.len() as u32);
+    for v in vars {
+        put_str(out, v.name());
+    }
+}
+
+fn get_vars(c: &mut Cursor<'_>) -> Result<Vec<Var>, CodecError> {
+    let n = c.count("variable list")?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(Var::new(c.str("variable name")?));
+    }
+    Ok(out)
+}
+
+/// Encodes a program into `out` (appending; self-delimiting).
+pub fn encode_program(p: &Program, out: &mut Vec<u8>) {
+    match p {
+        Program::Skip => out.push(P_SKIP),
+        Program::Insert { rel, tuple } => {
+            out.push(P_INSERT);
+            put_str(out, rel);
+            put_u32(out, tuple.len() as u32);
+            for t in tuple {
+                encode_term(t, out);
+            }
+        }
+        Program::DeleteWhere { rel, vars, cond } => {
+            out.push(P_DELETE_WHERE);
+            put_str(out, rel);
+            put_vars(out, vars);
+            encode_formula(cond, out);
+        }
+        Program::InsertWhere { rel, vars, cond } => {
+            out.push(P_INSERT_WHERE);
+            put_str(out, rel);
+            put_vars(out, vars);
+            encode_formula(cond, out);
+        }
+        Program::Assign { rel, vars, body } => {
+            out.push(P_ASSIGN);
+            put_str(out, rel);
+            put_vars(out, vars);
+            encode_formula(body, out);
+        }
+        Program::Seq(ps) => {
+            out.push(P_SEQ);
+            put_u32(out, ps.len() as u32);
+            for q in ps {
+                encode_program(q, out);
+            }
+        }
+        Program::If {
+            cond,
+            then_p,
+            else_p,
+        } => {
+            out.push(P_IF);
+            encode_formula(cond, out);
+            encode_program(then_p, out);
+            encode_program(else_p, out);
+        }
+    }
+}
+
+/// Decodes one program from the cursor (not necessarily consuming all input
+/// — programs are self-delimiting; use [`decode_program_exact`] for
+/// whole-buffer decoding).
+pub fn decode_program(c: &mut Cursor<'_>) -> Result<Program, CodecError> {
+    let at = c.pos();
+    match c.u8("program tag")? {
+        P_SKIP => Ok(Program::Skip),
+        P_INSERT => {
+            let rel = c.str("relation name")?;
+            let n = c.count("insert tuple width")?;
+            let mut tuple = Vec::with_capacity(n);
+            for _ in 0..n {
+                tuple.push(decode_term(c)?);
+            }
+            Ok(Program::Insert { rel, tuple })
+        }
+        P_DELETE_WHERE => Ok(Program::DeleteWhere {
+            rel: c.str("relation name")?,
+            vars: get_vars(c)?,
+            cond: decode_formula(c)?,
+        }),
+        P_INSERT_WHERE => Ok(Program::InsertWhere {
+            rel: c.str("relation name")?,
+            vars: get_vars(c)?,
+            cond: decode_formula(c)?,
+        }),
+        P_ASSIGN => Ok(Program::Assign {
+            rel: c.str("relation name")?,
+            vars: get_vars(c)?,
+            body: decode_formula(c)?,
+        }),
+        P_SEQ => {
+            let n = c.count("sequence length")?;
+            let mut ps = Vec::with_capacity(n);
+            for _ in 0..n {
+                ps.push(decode_program(c)?);
+            }
+            Ok(Program::Seq(ps))
+        }
+        P_IF => Ok(Program::If {
+            cond: decode_formula(c)?,
+            then_p: Box::new(decode_program(c)?),
+            else_p: Box::new(decode_program(c)?),
+        }),
+        tag => Err(CodecError::BadTag {
+            at,
+            what: "program",
+            tag,
+        }),
+    }
+}
+
+/// Encodes a program into a fresh buffer.
+pub fn program_to_bytes(p: &Program) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_program(p, &mut out);
+    out
+}
+
+/// Decodes a program that must occupy the whole buffer.
+pub fn decode_program_exact(bytes: &[u8]) -> Result<Program, CodecError> {
+    let mut c = Cursor::new(bytes);
+    let p = decode_program(&mut c)?;
+    c.finish()?;
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpdt_logic::parse_formula;
+
+    fn menu() -> Vec<Program> {
+        vec![
+            Program::Skip,
+            Program::insert_consts("E", [3, 4]),
+            Program::delete_consts("E", [0, 7]),
+            Program::Insert {
+                rel: "E".into(),
+                tuple: vec![Term::param(0), Term::app("succ", [Term::param(1)])],
+            },
+            Program::seq([
+                Program::insert_consts("E", [1, 2]),
+                Program::If {
+                    cond: parse_formula("exists x. E(x, 5)").expect("parses"),
+                    then_p: Box::new(Program::delete_consts("E", [5, 5])),
+                    else_p: Box::new(Program::Skip),
+                },
+            ]),
+            Program::Assign {
+                rel: "R0".into(),
+                vars: vec![Var::new("x"), Var::new("y")],
+                body: parse_formula("x != y & (R0(x, y) | R0(y, x))").expect("parses"),
+            },
+            Program::InsertWhere {
+                rel: "E".into(),
+                vars: vec![Var::new("x"), Var::new("y")],
+                cond: Formula::CountGe(
+                    NumTerm::Lit(2),
+                    Var::new("z"),
+                    Box::new(parse_formula("E(x, z) & E(z, y)").expect("parses")),
+                ),
+            },
+        ]
+    }
+
+    #[test]
+    fn programs_roundtrip_byte_for_byte() {
+        for p in menu() {
+            let bytes = program_to_bytes(&p);
+            let back = decode_program_exact(&bytes).expect("decodes");
+            assert_eq!(back, p, "value roundtrip for {p:?}");
+            assert_eq!(program_to_bytes(&back), bytes, "byte roundtrip for {p:?}");
+        }
+    }
+
+    #[test]
+    fn formulas_roundtrip_including_counting_syntax() {
+        // counting constructs have no parseable concrete syntax, so the
+        // binary codec is the only stable wire form they have
+        let f = Formula::NumForall(
+            Var::new("i"),
+            Box::new(Formula::Implies(
+                Box::new(Formula::NumLe(NumTerm::One, NumTerm::var("i"))),
+                Box::new(Formula::Bit(NumTerm::var("i"), NumTerm::Max)),
+            )),
+        );
+        let mut bytes = Vec::new();
+        encode_formula(&f, &mut bytes);
+        let mut c = Cursor::new(&bytes);
+        let back = decode_formula(&mut c).expect("decodes");
+        c.finish().expect("fully consumed");
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error_at_every_prefix() {
+        let bytes = program_to_bytes(&menu()[4]);
+        for cut in 0..bytes.len() {
+            match decode_program_exact(&bytes[..cut]) {
+                Err(CodecError::Truncated { .. }) => {}
+                other => panic!("prefix of {cut} bytes: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_tags_and_trailing_bytes_are_typed_errors() {
+        assert!(matches!(
+            decode_program_exact(&[250]),
+            Err(CodecError::BadTag {
+                what: "program",
+                tag: 250,
+                ..
+            })
+        ));
+        let mut bytes = program_to_bytes(&Program::Skip);
+        bytes.push(0);
+        assert!(matches!(
+            decode_program_exact(&bytes),
+            Err(CodecError::Trailing { at: 1 })
+        ));
+        // a corrupt count cannot demand more elements than bytes remain
+        let mut seq = vec![P_SEQ];
+        put_u32(&mut seq, u32::MAX);
+        assert!(matches!(
+            decode_program_exact(&seq),
+            Err(CodecError::Truncated { .. })
+        ));
+    }
+}

@@ -31,6 +31,7 @@
 //! the active domain of the result relations.
 
 pub mod algebra;
+pub mod codec;
 pub mod datalog;
 pub mod program;
 pub mod recursive;

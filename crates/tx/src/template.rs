@@ -55,6 +55,28 @@ impl Template {
         format!("{:?}", self.shape)
     }
 
+    /// Rebuilds a template from a decoded shape program — the durable-log
+    /// path, where shapes come back from disk rather than from
+    /// [`canonicalize`]. The shape must carry exactly the placeholders
+    /// `?0..?{n-1}` for some `n` (contiguous from zero), the invariant
+    /// `canonicalize` guarantees; anything else is rejected so a tampered
+    /// log cannot smuggle in a template whose instantiation would silently
+    /// skip bindings.
+    pub fn from_shape(shape: Program) -> Result<Template, TxError> {
+        let mut params = std::collections::BTreeSet::new();
+        for cond in shape.condition_formulas() {
+            params.extend(vpdt_logic::subst::formula_params(cond));
+        }
+        collect_insert_params(&shape, &mut params);
+        let n = params.len();
+        if params.iter().next_back().is_some_and(|&max| max + 1 != n) {
+            return Err(TxError::Eval(format!(
+                "template shape has non-contiguous placeholders {params:?}"
+            )));
+        }
+        Ok(Template { shape, params: n })
+    }
+
     /// Substitutes `bindings[i]` for every placeholder `?i`, recovering a
     /// ground program. The inverse of [`canonicalize`] on its own output.
     pub fn instantiate(&self, bindings: &[Elem]) -> Result<Program, TxError> {
@@ -125,6 +147,37 @@ fn program_has_params(p: &Program) -> bool {
             then_p,
             else_p,
         } => formula_has_params(cond) || program_has_params(then_p) || program_has_params(else_p),
+    }
+}
+
+/// Collects the placeholder indices occurring in `Insert` tuples (the one
+/// term position [`Program::condition_formulas`] does not cover).
+fn collect_insert_params(p: &Program, out: &mut std::collections::BTreeSet<usize>) {
+    fn term_params(t: &Term, out: &mut std::collections::BTreeSet<usize>) {
+        if let Some(i) = t.as_param() {
+            out.insert(i);
+        } else if let Term::App(_, args) = t {
+            for a in args {
+                term_params(a, out);
+            }
+        }
+    }
+    match p {
+        Program::Insert { tuple, .. } => {
+            for t in tuple {
+                term_params(t, out);
+            }
+        }
+        Program::Seq(ps) => {
+            for q in ps {
+                collect_insert_params(q, out);
+            }
+        }
+        Program::If { then_p, else_p, .. } => {
+            collect_insert_params(then_p, out);
+            collect_insert_params(else_p, out);
+        }
+        _ => {}
     }
 }
 
@@ -274,6 +327,31 @@ mod tests {
             cond: Formula::eq(Term::var("x"), Term::param(2)),
         };
         assert!(canonicalize(&cond).is_err());
+    }
+
+    /// `from_shape` (the durable-log path) accepts exactly the shapes
+    /// `canonicalize` produces and rejects gappy placeholder sets.
+    #[test]
+    fn from_shape_reconstructs_templates() {
+        for p in [
+            Program::insert_consts("E", [3, 4]),
+            Program::delete_consts("E", [0, 7]),
+            Program::seq([
+                Program::insert_consts("E", [1, 2]),
+                Program::delete_consts("F", [3, 4]),
+            ]),
+        ] {
+            let (t, b) = canonicalize(&p).expect("canonicalizes");
+            let rebuilt = Template::from_shape(t.shape().clone()).expect("rebuilds");
+            assert_eq!(rebuilt, t);
+            assert_eq!(rebuilt.instantiate(&b).expect("instantiates"), p);
+        }
+        // ?1 without ?0: instantiation would silently skip a binding
+        let gappy = Program::Insert {
+            rel: "E".into(),
+            tuple: vec![Term::param(1), Term::param(1)],
+        };
+        assert!(matches!(Template::from_shape(gappy), Err(TxError::Eval(_))));
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //! vpdtool guard    --db '…' --constraint '…' --insert E:1,4
 //! vpdtool preserve --constraint '…' --insert E:1,4 --budget 2000
 //! vpdtool store    --workers 4 --clients 8 --txs 200 --rels 4 --universe 6 --seed 42
+//! vpdtool store    --persist ./wal            # durable: write-ahead log + checkpoints
+//! vpdtool store    --persist ./wal --recover  # resume a persisted store and keep serving
+//! vpdtool audit    --log ./wal                # cold audit: recover + replay + verify
 //! ```
 //!
 //! Databases use the textual encoding of `Database::encode`
@@ -134,9 +137,13 @@ fn run(args: &[String]) -> Result<(), String> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err("missing command".into());
     };
-    // `store` has its own flag set; dispatch before the common parser.
+    // `store` and `audit` have their own flag sets; dispatch before the
+    // common parser.
     if cmd == "store" {
         return run_store(rest);
+    }
+    if cmd == "audit" {
+        return run_audit(rest);
     }
     let o = parse_options(rest)?;
     match cmd.as_str() {
@@ -150,7 +157,11 @@ fn run(args: &[String]) -> Result<(), String> {
                  guard    --db ENC --constraint F --insert …    run `if wpc then T else abort`\n  \
                  preserve --constraint F --insert … [--budget N] bounded Preserve(T, F) check\n  \
                  store    [--workers N] [--clients N] [--txs N] [--rels N] [--universe N] [--seed N]\n           \
-                 serve a concurrent workload through StoreServer sessions and audit it\n\n\
+                 [--persist DIR] [--recover]\n           \
+                 serve a concurrent workload through StoreServer sessions and audit it;\n           \
+                 --persist makes it durable (WAL + checkpoints), --recover resumes DIR\n  \
+                 audit    --log DIR [--omega O]                 cold audit of a persisted store:\n           \
+                 recover snapshot + log tail, replay every commit, verify hashes & provenance\n\n\
                  common flags: --schema 'R:2,S:1' (default E:2), --omega empty|order|arithmetic"
             );
             Ok(())
@@ -243,6 +254,9 @@ fn run(args: &[String]) -> Result<(), String> {
 /// `vpdtool store`: a self-contained demonstration of the session-oriented
 /// guarded store — a resident `StoreServer`, one concurrent session per
 /// client, deterministic sharded workload, guard cache, history audit.
+/// `--persist DIR` makes the run durable (write-ahead log + checkpoints);
+/// `--recover` resumes a previously persisted DIR instead of starting
+/// fresh, and the post-run audit then runs *cold*, from the files.
 fn run_store(args: &[String]) -> Result<(), String> {
     let mut workers = 4usize;
     let mut clients = 8u64;
@@ -250,9 +264,16 @@ fn run_store(args: &[String]) -> Result<(), String> {
     let mut rels = 4usize;
     let mut universe = 6u64;
     let mut seed = 42u64;
+    let mut persist: Option<String> = None;
+    let mut recover = false;
     let mut i = 0;
     while i < args.len() {
         let flag = &args[i];
+        if flag == "--recover" {
+            recover = true;
+            i += 1;
+            continue;
+        }
         let value = args
             .get(i + 1)
             .ok_or_else(|| format!("{flag} needs a value"))?;
@@ -264,6 +285,7 @@ fn run_store(args: &[String]) -> Result<(), String> {
             "--rels" => rels = value.parse().map_err(|_| "bad --rels")?,
             "--universe" => universe = value.parse().map_err(|_| "bad --universe")?,
             "--seed" => seed = value.parse().map_err(|_| "bad --seed")?,
+            "--persist" => persist = Some(value.clone()),
             other => return Err(format!("unknown flag {other}")),
         }
         i += 2;
@@ -271,21 +293,51 @@ fn run_store(args: &[String]) -> Result<(), String> {
     if rels == 0 || universe == 0 {
         return Err("--rels and --universe must be positive".into());
     }
+    if recover && persist.is_none() {
+        return Err("--recover needs --persist DIR (the directory to resume)".into());
+    }
 
     use vpdt::store::{audit, workload, StoreBuilder};
-    let alpha = workload::sharded_fd_constraint(rels);
     let omega = Omega::empty();
-    let initial = workload::sharded_initial(seed, rels, universe, 0.5);
-    let server = StoreBuilder::new(initial.clone(), alpha.clone())
-        .omega(omega.clone())
-        .workers(workers)
-        .build()
-        .map_err(|e| format!("server refused to start: {e}"))?;
+    // The fresh in-memory path is the only consumer of (initial, α) — a
+    // persisted run is audited cold, from its own files.
+    let (server, mem_audit_inputs) = if recover {
+        let dir = persist.clone().expect("checked above");
+        let server = StoreBuilder::recover(&dir)
+            .omega(omega.clone())
+            .workers(workers)
+            .build()
+            .map_err(|e| format!("recovery refused: {e}"))?;
+        println!(
+            "recovered {dir} at store version {} ({} history events)",
+            server.version(),
+            server.history_events().len()
+        );
+        (server, None)
+    } else {
+        let alpha = workload::sharded_fd_constraint(rels);
+        let initial = workload::sharded_initial(seed, rels, universe, 0.5);
+        let mut builder = StoreBuilder::new(initial.clone(), alpha.clone())
+            .omega(omega.clone())
+            .workers(workers);
+        if let Some(dir) = &persist {
+            builder = builder.persist(dir);
+        }
+        let server = builder
+            .build()
+            .map_err(|e| format!("server refused to start: {e}"))?;
+        (server, Some((initial, alpha)))
+    };
+
     let jobs = workload::sharded_jobs(seed, clients, txs, rels, universe);
     println!(
         "serving {} transactions from {clients} sessions over {rels} relations \
-         on {workers} workers",
-        jobs.len()
+         on {workers} workers{}",
+        jobs.len(),
+        persist
+            .as_deref()
+            .map(|d| format!(", write-ahead logged to {d}"))
+            .unwrap_or_default()
     );
     let programs = workload::serve_chunked(&server, &jobs, txs);
     let report = server.shutdown();
@@ -300,19 +352,93 @@ fn run_store(args: &[String]) -> Result<(), String> {
         report.exec.guard_hits,
         report.exec.guard_misses,
     );
-    let verdict = audit(
-        &alpha,
-        &omega,
-        &initial,
-        &report.final_db,
-        &report.events,
-        &programs,
-        &report.templates,
-    );
+    // A persisted run is audited *cold*, from the files it left behind —
+    // that also covers history from before a --recover. In-memory runs
+    // audit the live report.
+    let verdict = if let Some(dir) = &persist {
+        cold_audit_dir(dir, &omega)?
+    } else {
+        let (initial, alpha) = mem_audit_inputs.expect("fresh unpersisted run");
+        audit(
+            &alpha,
+            &omega,
+            &initial,
+            &report.final_db,
+            &report.events,
+            &programs,
+            &report.templates,
+        )
+    };
     println!("{verdict}");
     if verdict.ok() && report.exec.failed == 0 {
         Ok(())
     } else {
         Err("store run failed verification".into())
+    }
+}
+
+/// Recovers a persisted directory and runs the full cold audit over it.
+fn cold_audit_dir(dir: &str, omega: &Omega) -> Result<vpdt::store::AuditReport, String> {
+    use vpdt::store::wal::{self, RecoveryOptions};
+    let recovered = wal::recover(dir, omega, RecoveryOptions::default())
+        .map_err(|e| format!("recovery of {dir} failed: {e}"))?;
+    println!(
+        "cold log {dir}: recovered version {} (state hash {:#018x}), {} events, \
+         {} commits replayed from the latest checkpoint{}",
+        recovered.version,
+        recovered.state_hash,
+        recovered.events.len(),
+        recovered.commits_replayed,
+        if recovered.torn_bytes > 0 {
+            format!(", {} torn tail bytes discarded", recovered.torn_bytes)
+        } else {
+            String::new()
+        }
+    );
+    Ok(vpdt::store::cold_audit(
+        &recovered.alpha,
+        omega,
+        &recovered.initial,
+        &recovered.db,
+        &recovered.events,
+        &recovered.templates,
+    ))
+}
+
+/// `vpdtool audit --log DIR`: the cold audit as a standalone command —
+/// everything is reconstructed from the persisted artifacts (constraint,
+/// schema, initial state, shape templates), every commit is replayed
+/// through check-and-rollback, and hashes plus provenance are verified.
+/// Ω interpretations are code, not data, so `--omega` selects the same one
+/// the original server ran with (default: empty).
+fn run_audit(args: &[String]) -> Result<(), String> {
+    let mut log: Option<String> = None;
+    let mut omega_name: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = &args[i];
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--log" => log = Some(value.clone()),
+            "--omega" => omega_name = Some(value.clone()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    let dir = log.ok_or("--log DIR is required")?;
+    let omega = match omega_name.as_deref() {
+        None | Some("empty") => Omega::empty(),
+        Some("order") => Omega::nat_order(),
+        Some("arithmetic") => Omega::arithmetic(),
+        Some(other) => return Err(format!("unknown omega {other} (empty|order|arithmetic)")),
+    };
+    let verdict = cold_audit_dir(&dir, &omega)?;
+    println!("{verdict}");
+    if verdict.ok() {
+        Ok(())
+    } else {
+        Err("cold audit failed".into())
     }
 }

@@ -1,0 +1,499 @@
+//! Crash-recovery tests for the persisted store: kill the log mid-write
+//! (truncate at every byte boundary of the last record), recover, and the
+//! store must reach a prefix-consistent state whose cold audit passes.
+//! Torn or corrupt *tail* records are detected by checksum and cleanly
+//! discarded; corrupt *interior* records are a hard, typed error. A server
+//! dropped without `shutdown()` loses no acknowledged commit — the
+//! durability point of `TxTicket::wait`.
+
+use std::path::{Path, PathBuf};
+use vpdt::eval::Omega;
+use vpdt::store::wal::{self, RecoveryOptions, WalError};
+use vpdt::store::{
+    cold_audit, workload, Event, RecoveryError, Store, StoreBuilder, StoreError, TxOutcome,
+    WalOptions,
+};
+
+const RELS: usize = 3;
+const UNIVERSE: u64 = 4;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "vpdt-recovery-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Test-speed log options: no per-commit fsync (truncation, not power
+/// loss, is what these tests model) and small segments so rotation is
+/// exercised.
+fn fast_wal() -> WalOptions {
+    WalOptions {
+        segment_bytes: 1024,
+        fsync_commits: false,
+    }
+}
+
+/// Serves a deterministic workload through a persisted server. Returns the
+/// acknowledged commit versions (one ticket per submission, all waited) —
+/// the commits durability must preserve. `clean` decides between
+/// `shutdown()` (checkpoint written) and `drop` (crash-shaped exit).
+fn persisted_run(dir: &Path, seed: u64, clients: u64, per_client: usize, clean: bool) -> Vec<u64> {
+    let alpha = workload::sharded_fd_constraint(RELS);
+    let initial = workload::sharded_initial(seed, RELS, UNIVERSE, 0.5);
+    let server = StoreBuilder::new(initial, alpha)
+        .workers(2)
+        .persist_with(dir, fast_wal())
+        .build()
+        .expect("persisted server starts");
+    let jobs = workload::sharded_jobs(seed, clients, per_client, RELS, UNIVERSE);
+    let mut acknowledged = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .chunks(per_client.max(1))
+            .map(|chunk| {
+                let session = server.session();
+                scope.spawn(move || {
+                    let tickets: Vec<_> = chunk
+                        .iter()
+                        .map(|job| session.submit(job.program.clone()))
+                        .collect();
+                    tickets
+                        .iter()
+                        .filter_map(|t| match t.wait() {
+                            TxOutcome::Committed { version } => Some(version),
+                            _ => None,
+                        })
+                        .collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            acknowledged.extend(h.join().expect("session thread"));
+        }
+    });
+    if clean {
+        let report = server.shutdown();
+        assert_eq!(report.exec.failed, 0, "no transaction may fail");
+    } else {
+        drop(server);
+    }
+    acknowledged
+}
+
+/// The byte spans (start, end) of every record in a segment file, walked
+/// with the documented framing: `[u32 len][u64 fnv1a][payload]`.
+fn record_spans(path: &Path) -> Vec<(usize, usize)> {
+    let bytes = std::fs::read(path).expect("reads segment");
+    let mut spans = Vec::new();
+    let mut pos = 0;
+    while pos + 12 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let end = pos + 12 + len;
+        assert!(end <= bytes.len(), "segment ends mid-record at {pos}");
+        spans.push((pos, end));
+        pos = end;
+    }
+    assert_eq!(pos, bytes.len(), "trailing bytes in clean segment");
+    spans
+}
+
+fn last_segment(dir: &Path) -> PathBuf {
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("reads dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".log"))
+        })
+        .collect();
+    segs.sort();
+    segs.pop().expect("at least one segment")
+}
+
+fn copy_dir(from: &Path, tag: &str) -> PathBuf {
+    let to = tmp_dir(tag);
+    std::fs::create_dir_all(&to).expect("mkdir");
+    for entry in std::fs::read_dir(from).expect("reads dir") {
+        let entry = entry.expect("entry");
+        std::fs::copy(entry.path(), to.join(entry.file_name())).expect("copies");
+    }
+    to
+}
+
+/// Recovers and runs the full cold audit over what came back.
+fn recover_and_audit(dir: &Path) -> wal::Recovered {
+    let r = wal::recover(dir, &Omega::empty(), RecoveryOptions::default()).expect("recovers");
+    let verdict = cold_audit(
+        &r.alpha,
+        &Omega::empty(),
+        &r.initial,
+        &r.db,
+        &r.events,
+        &r.templates,
+    );
+    assert!(verdict.ok(), "cold audit failed: {verdict}");
+    r
+}
+
+/// The recorded state hash of the last commit at or below `version`.
+fn hash_at(events: &[Event], version: u64) -> Option<u64> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Commit {
+                version: v,
+                state_hash,
+                ..
+            } if *v <= version => Some((*v, *state_hash)),
+            _ => None,
+        })
+        .max_by_key(|(v, _)| *v)
+        .map(|(_, h)| h)
+}
+
+#[test]
+fn clean_shutdown_recovers_without_replay() {
+    let dir = tmp_dir("clean");
+    persisted_run(&dir, 11, 2, 20, true);
+    let r = recover_and_audit(&dir);
+    assert_eq!(
+        r.commits_replayed, 0,
+        "a clean checkpoint covers the whole log"
+    );
+    assert!(r.version > 0, "the workload committed something");
+    assert_eq!(r.torn_bytes, 0);
+    // Store::recover produces a live store at the same state
+    let (store, meta) = Store::recover(&dir, &Omega::empty()).expect("recovers");
+    assert_eq!(store.version(), r.version);
+    assert_eq!(meta.state_hash, r.state_hash);
+    assert_eq!(store.history().len(), r.events.len());
+}
+
+#[test]
+fn drop_without_shutdown_replays_and_loses_no_acknowledged_commit() {
+    let dir = tmp_dir("drop");
+    // several concurrent sessions — the concurrency satellite
+    let acknowledged = persisted_run(&dir, 23, 4, 25, false);
+    let r = recover_and_audit(&dir);
+    assert!(
+        r.commits_replayed > 0,
+        "no clean checkpoint: recovery must replay the log"
+    );
+    // every acknowledged commit survived...
+    let durable: std::collections::BTreeSet<u64> = r
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Commit { version, .. } => Some(*version),
+            _ => None,
+        })
+        .collect();
+    for v in &acknowledged {
+        assert!(
+            durable.contains(v),
+            "acknowledged commit at version {v} lost by recovery"
+        );
+        assert!(*v <= r.version);
+    }
+    // ...and the recovered state hash is the last durable commit's
+    assert_eq!(Some(r.state_hash), hash_at(&r.events, r.version));
+}
+
+/// The crash harness: truncate the log at **every byte boundary of the
+/// last record** and recover each time. Every cut must yield a
+/// prefix-consistent state whose cold audit passes; no cut may be a hard
+/// error.
+#[test]
+fn truncation_at_every_byte_boundary_recovers_a_consistent_prefix() {
+    let dir = tmp_dir("truncate");
+    persisted_run(&dir, 42, 1, 30, false);
+    let seg = last_segment(&dir);
+    let spans = record_spans(&seg);
+    let (last_start, last_end) = *spans.last().expect("segment has records");
+    let clean_bytes = std::fs::read(&seg).expect("reads");
+    assert_eq!(last_end, clean_bytes.len());
+
+    let baseline = recover_and_audit(&dir);
+    for cut in last_start..last_end {
+        let copy = copy_dir(&dir, "cut");
+        let seg_copy = copy.join(seg.file_name().expect("name"));
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&seg_copy)
+            .expect("opens");
+        f.set_len(cut as u64).expect("truncates");
+        drop(f);
+
+        let r = recover_and_audit(&copy);
+        assert!(r.version <= baseline.version, "cut {cut}: still a prefix");
+        if cut > last_start {
+            assert!(r.torn_bytes > 0, "cut {cut}: the torn record is reported");
+        }
+        assert_eq!(
+            Some(r.state_hash),
+            hash_at(&r.events, r.version).or(Some(r.state_hash)),
+            "cut {cut}: state hash anchors to the last surviving commit"
+        );
+        // a resumed server must also accept the truncated log and serve
+        if cut == last_start || cut == last_start + 5 {
+            let server = StoreBuilder::recover(&copy)
+                .wal_options(fast_wal())
+                .workers(1)
+                .build()
+                .expect("resumes after truncation");
+            let outcome = server.session().submit_sync(
+                workload::sharded_jobs(7, 1, 1, RELS, UNIVERSE)[0]
+                    .program
+                    .clone(),
+            );
+            assert!(
+                !matches!(outcome, TxOutcome::Failed { .. }),
+                "cut {cut}: resumed server must execute, got {outcome:?}"
+            );
+            server.shutdown();
+            recover_and_audit(&copy);
+        }
+    }
+}
+
+#[test]
+fn torn_tail_is_discarded_but_interior_corruption_is_fatal() {
+    let dir = tmp_dir("corrupt");
+    persisted_run(&dir, 5, 1, 25, false);
+    let seg = last_segment(&dir);
+    let clean = std::fs::read(&seg).expect("reads");
+    let spans = record_spans(&seg);
+    let (last_start, _) = *spans.last().expect("records");
+
+    // flip a byte inside the final record: checksum discards it cleanly
+    let tail_copy = copy_dir(&dir, "tailflip");
+    let mut bytes = clean.clone();
+    bytes[last_start + 14] ^= 0xff;
+    std::fs::write(tail_copy.join(seg.file_name().expect("name")), &bytes).expect("writes");
+    let r = recover_and_audit(&tail_copy);
+    assert!(r.torn_bytes > 0);
+
+    // flip a byte inside an interior record: a hard, typed error
+    let mid_copy = copy_dir(&dir, "midflip");
+    let (mid_start, mid_end) = spans[spans.len() / 2];
+    let mut bytes = clean.clone();
+    bytes[(mid_start + mid_end) / 2] ^= 0xff;
+    std::fs::write(mid_copy.join(seg.file_name().expect("name")), &bytes).expect("writes");
+    match wal::recover(&mid_copy, &Omega::empty(), RecoveryOptions::default()) {
+        Err(RecoveryError::Wal(WalError::Corrupt { .. })) => {}
+        other => panic!("interior corruption must be WalError::Corrupt, got {other:?}"),
+    }
+    // ...and the server builder surfaces it as a typed StoreError
+    match StoreBuilder::recover(&mid_copy).build() {
+        Err(StoreError::Recovery(RecoveryError::Wal(WalError::Corrupt { .. }))) => {}
+        other => panic!("builder must surface the corruption, got {other:?}"),
+    }
+}
+
+/// A mid-run checkpoint shortens replay without changing the answer:
+/// recovering from the newest checkpoint is state-hash-equal to replaying
+/// the whole log from genesis.
+#[test]
+fn midrun_checkpoint_equals_full_replay() {
+    let dir = tmp_dir("midckpt");
+    let alpha = workload::sharded_fd_constraint(RELS);
+    let initial = workload::sharded_initial(3, RELS, UNIVERSE, 0.5);
+    let server = StoreBuilder::new(initial, alpha)
+        .workers(2)
+        .persist_with(&dir, fast_wal())
+        .build()
+        .expect("starts");
+    let jobs = workload::sharded_jobs(3, 2, 30, RELS, UNIVERSE);
+    let (first, second) = jobs.split_at(jobs.len() / 2);
+    workload::serve_chunked(&server, first, 15);
+    let offset = server.checkpoint().expect("mid-run checkpoint");
+    assert!(offset > 0);
+    workload::serve_chunked(&server, second, 15);
+    drop(server); // crash-shaped: the checkpoint is mid-log, the tail after it
+
+    let from_ckpt = wal::recover(&dir, &Omega::empty(), RecoveryOptions::default())
+        .expect("recovers from checkpoint");
+    let from_genesis = wal::recover(
+        &dir,
+        &Omega::empty(),
+        RecoveryOptions { from_genesis: true },
+    )
+    .expect("recovers from genesis");
+    assert_eq!(from_ckpt.version, from_genesis.version);
+    assert_eq!(from_ckpt.state_hash, from_genesis.state_hash);
+    assert_eq!(from_ckpt.db, from_genesis.db);
+    assert!(
+        from_ckpt.commits_replayed < from_genesis.commits_replayed,
+        "the checkpoint must actually shorten replay ({} vs {})",
+        from_ckpt.commits_replayed,
+        from_genesis.commits_replayed
+    );
+    assert!(from_ckpt.checkpoint_offset >= offset);
+}
+
+/// A recovered server keeps serving: ids, shapes and versions continue
+/// where the log left off, and the combined history still audits.
+#[test]
+fn recovered_server_resumes_and_extends_the_log() {
+    let dir = tmp_dir("resume");
+    persisted_run(&dir, 17, 2, 15, false);
+    let before = recover_and_audit(&dir);
+
+    let server = StoreBuilder::recover(&dir)
+        .wal_options(fast_wal())
+        .workers(2)
+        .build()
+        .expect("resumes");
+    assert_eq!(server.version(), before.version);
+    let jobs = workload::sharded_jobs(99, 2, 15, RELS, UNIVERSE);
+    workload::serve_chunked(&server, &jobs, 15);
+    let report = server.shutdown();
+    assert_eq!(report.exec.failed, 0);
+    assert!(report.final_version >= before.version);
+
+    let after = recover_and_audit(&dir);
+    assert_eq!(after.version, report.final_version);
+    assert!(after.events.len() > before.events.len());
+    // transaction ids never collide across the restart
+    let mut seen = std::collections::BTreeSet::new();
+    for e in &after.events {
+        if let Event::Begin { tx, .. } = e {
+            assert!(seen.insert(*tx), "tx id {tx} reused across restart");
+        }
+    }
+}
+
+// --- typed errors, one test per variant ------------------------------------
+
+#[test]
+fn missing_log_and_missing_checkpoint_are_typed() {
+    let empty = tmp_dir("nolog");
+    std::fs::create_dir_all(&empty).expect("mkdir");
+    match wal::recover(&empty, &Omega::empty(), RecoveryOptions::default()) {
+        Err(RecoveryError::Wal(WalError::NoLog { .. })) => {}
+        other => panic!("expected NoLog, got {other:?}"),
+    }
+}
+
+#[test]
+fn persisting_over_an_existing_log_is_refused() {
+    let dir = tmp_dir("exists");
+    persisted_run(&dir, 1, 1, 3, true);
+    let alpha = workload::sharded_fd_constraint(RELS);
+    let initial = workload::sharded_initial(1, RELS, UNIVERSE, 0.5);
+    match StoreBuilder::new(initial, alpha).persist(&dir).build() {
+        Err(StoreError::Wal(WalError::AlreadyExists { .. })) => {}
+        other => panic!("expected AlreadyExists, got {other:?}"),
+    }
+}
+
+#[test]
+fn checkpoint_on_unpersisted_server_is_typed() {
+    let alpha = workload::sharded_fd_constraint(RELS);
+    let initial = workload::sharded_initial(2, RELS, UNIVERSE, 0.5);
+    let server = StoreBuilder::new(initial, alpha)
+        .workers(1)
+        .build()
+        .expect("starts");
+    match server.checkpoint() {
+        Err(StoreError::Wal(WalError::NotDurable)) => {}
+        other => panic!("expected NotDurable, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn checkpoint_beyond_log_end_is_divergence() {
+    let dir = tmp_dir("beyond");
+    persisted_run(&dir, 4, 1, 5, true);
+    // forge a checkpoint claiming to cover far more records than exist
+    let genesis = wal::read_genesis(&dir).expect("genesis");
+    let mut forged = genesis.clone();
+    forged.offset = 10_000;
+    wal::write_checkpoint(&dir, &forged).expect("writes");
+    match wal::recover(&dir, &Omega::empty(), RecoveryOptions::default()) {
+        Err(RecoveryError::Divergence { .. }) => {}
+        other => panic!("expected Divergence, got {other:?}"),
+    }
+}
+
+#[test]
+fn forged_commit_hash_is_a_typed_mismatch() {
+    let dir = tmp_dir("forge");
+    persisted_run(&dir, 8, 1, 10, false);
+    // find the last commit record in the last segment and flip its
+    // recorded state hash, re-framing with a *valid* checksum — a forged
+    // log, not a torn one
+    let seg = last_segment(&dir);
+    let bytes = std::fs::read(&seg).expect("reads");
+    let spans = record_spans(&seg);
+    let commit_span = spans
+        .iter()
+        .rev()
+        .find(|(s, _)| {
+            wal::decode_event(&bytes[s + 12..bytes.len().min(s + 12 + record_len(&bytes, *s))])
+                .map(|e| matches!(e, Event::Commit { .. }))
+                .unwrap_or(false)
+        })
+        .copied();
+    let (start, end) = commit_span.expect("a commit record exists");
+    let mut event = wal::decode_event(&bytes[start + 12..end]).expect("decodes");
+    if let Event::Commit { state_hash, .. } = &mut event {
+        *state_hash ^= 0xffff;
+    }
+    let payload = wal::encode_event(&event);
+    let mut framed = Vec::new();
+    framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    framed.extend_from_slice(&vpdt::store::history::fnv1a_64(&payload).to_le_bytes());
+    framed.extend_from_slice(&payload);
+    assert_eq!(framed.len(), end - start, "re-encoding is byte-stable");
+    let mut forged = bytes.clone();
+    forged[start..end].copy_from_slice(&framed);
+    std::fs::write(&seg, &forged).expect("writes");
+
+    match wal::recover(&dir, &Omega::empty(), RecoveryOptions::default()) {
+        Err(RecoveryError::HashMismatch { .. }) => {}
+        other => panic!("expected HashMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn undeclared_shape_is_typed() {
+    let dir = tmp_dir("shape");
+    persisted_run(&dir, 9, 1, 10, false);
+    // append a commit referencing a shape nothing declares
+    let r = wal::recover(&dir, &Omega::empty(), RecoveryOptions::default()).expect("recovers");
+    let payload = wal::encode_event(&Event::Commit {
+        tx: r.next_tx,
+        based_on: r.version,
+        version: r.version + 1,
+        writes: vec!["R0".to_string()],
+        shape: 999,
+        bindings: vec![],
+        state_hash: 0,
+    });
+    let mut framed = Vec::new();
+    framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    framed.extend_from_slice(&vpdt::store::history::fnv1a_64(&payload).to_le_bytes());
+    framed.extend_from_slice(&payload);
+    let seg = last_segment(&dir);
+    let mut bytes = std::fs::read(&seg).expect("reads");
+    bytes.extend_from_slice(&framed);
+    std::fs::write(&seg, &bytes).expect("writes");
+
+    match wal::recover(&dir, &Omega::empty(), RecoveryOptions::default()) {
+        Err(RecoveryError::UnknownShape { shape: 999, .. }) => {}
+        other => panic!("expected UnknownShape, got {other:?}"),
+    }
+}
+
+fn record_len(bytes: &[u8], start: usize) -> usize {
+    u32::from_le_bytes(bytes[start..start + 4].try_into().expect("4 bytes")) as usize
+}
