@@ -13,12 +13,21 @@
 //!   one thread, run each transaction, test `α` on the result, roll back
 //!   on violation;
 //! * **guarded-sessions, persisted** — the session path again, but with
-//!   the write-ahead log attached and fsync on every commit: what
-//!   durability costs. The run is verified by recovering the directory
-//!   and checking the recovered version and state hash against the live
-//!   server's final report. `--persist DIR` keeps the artifacts (CI's
-//!   recovery smoke job then runs `vpdtool audit --log DIR` on them); by
-//!   default a temp directory is used and removed.
+//!   the write-ahead log attached and one fsync per commit
+//!   (`GroupCommitPolicy { max_batch: 1 }`): what naive durability costs.
+//!   The run is verified by recovering the directory and checking the
+//!   recovered version and state hash against the live server's final
+//!   report. `--persist DIR` keeps the artifacts (CI's recovery smoke job
+//!   then runs `vpdtool audit --log DIR` on them); by default a temp
+//!   directory is used and removed;
+//! * **guarded-sessions, group commit** — durability again, but with the
+//!   durable phase batched: workers publish inside the commit critical
+//!   section, a shared flusher coalesces the fsyncs and resolves tickets
+//!   on the covering flush. Reported with the batch-size histogram,
+//!   fsyncs-per-commit, and ticket latency percentiles; gated on exact
+//!   recovery of the group-committed log (artifacts in `DIR-group` when
+//!   `--persist DIR` is given). Both persisted passes retain all segments
+//!   so the kept artifacts support a full from-genesis cold audit.
 //!
 //! It then audits the session history (replaying every commit through the
 //! check-and-rollback path) and writes `BENCH_store.json`. Exit code is
@@ -37,7 +46,8 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::Mutex;
 use std::time::Instant;
 use vpdt_store::{
-    audit, run_jobs, run_serial_rollback, workload, GuardCache, StoreBuilder, VersionedStore,
+    audit, run_jobs, run_serial_rollback, workload, GroupCommitPolicy, GuardCache, StoreBuilder,
+    VersionedStore, WalOptions,
 };
 use vpdt_tx::program::Program;
 
@@ -180,14 +190,14 @@ fn run_sessions_once(
     omega: &vpdt_eval::Omega,
     initial: &vpdt_structure::Database,
     jobs: &[vpdt_store::Job],
-    persist: Option<&std::path::Path>,
+    persist: Option<(&std::path::Path, WalOptions)>,
 ) -> Result<SessionsRun, String> {
     let mut builder = StoreBuilder::new(initial.clone(), alpha.clone())
         .omega(omega.clone())
         .workers(cfg.workers)
         .guard_cache_capacity(cfg.cache_cap);
-    if let Some(dir) = persist {
-        builder = builder.persist(dir);
+    if let Some((dir, opts)) = persist {
+        builder = builder.persist_with(dir, opts);
     }
     let server = builder
         .build()
@@ -421,7 +431,24 @@ fn run(cfg: Config) -> Result<bool, String> {
         serial.committed, serial.aborted, serial_secs, serial_tps,
     );
 
-    // --- guarded-sessions, persisted (WAL + fsync per commit) ---------------
+    // --- guarded-sessions, persisted (WAL + one fsync per commit) -----------
+    // Both persisted passes retain every segment: the kept artifacts are
+    // meant for a full from-genesis cold audit, which retention's
+    // checkpoint-time gc would (correctly, but unhelpfully here) shorten.
+    let per_commit_opts = WalOptions {
+        fsync_commits: true,
+        group_commit: GroupCommitPolicy {
+            max_batch: 1,
+            max_delay: std::time::Duration::ZERO,
+        },
+        retain_segments: true,
+        ..WalOptions::default()
+    };
+    let group_opts = WalOptions {
+        fsync_commits: true,
+        retain_segments: true,
+        ..WalOptions::default()
+    };
     let persist_dir = cfg
         .persist
         .clone()
@@ -429,20 +456,39 @@ fn run(cfg: Config) -> Result<bool, String> {
         .unwrap_or_else(|| {
             std::env::temp_dir().join(format!("vpdt-bench-wal-{}", std::process::id()))
         });
+    let group_dir = {
+        let mut name = persist_dir.as_os_str().to_owned();
+        name.push("-group");
+        std::path::PathBuf::from(name)
+    };
     let _ = std::fs::remove_dir_all(&persist_dir);
-    let persisted = run_sessions_once(&cfg, &alpha, &omega, &initial, &jobs, Some(&persist_dir))?;
+    let _ = std::fs::remove_dir_all(&group_dir);
+
+    // Recover a persisted pass and demand the recovered version and state
+    // hash match what the live server reported — durability verified
+    // end-to-end, not assumed.
+    let verify_recovery = |dir: &std::path::Path, run: &SessionsRun| -> Result<bool, String> {
+        let recovered =
+            vpdt_store::wal::recover(dir, &omega, vpdt_store::RecoveryOptions::default())
+                .map_err(|e| format!("recovering {}: {e}", dir.display()))?;
+        Ok(recovered.version == run.report.final_version
+            && recovered.state_hash == vpdt_store::history::state_hash(&run.report.final_db))
+    };
+
+    let persisted = run_sessions_once(
+        &cfg,
+        &alpha,
+        &omega,
+        &initial,
+        &jobs,
+        Some((&persist_dir, per_commit_opts)),
+    )?;
     let persisted_tps = persisted.report.exec.committed as f64 / persisted.secs;
-    // Verify durability end-to-end: recover the directory and demand the
-    // recovered version and state hash match what the live server reported.
-    let recovered =
-        vpdt_store::wal::recover(&persist_dir, &omega, vpdt_store::RecoveryOptions::default())
-            .map_err(|e| format!("recovering the persisted run: {e}"))?;
-    let recovered_ok = recovered.version == persisted.report.final_version
-        && recovered.state_hash == vpdt_store::history::state_hash(&persisted.report.final_db);
+    let recovered_ok = verify_recovery(&persist_dir, &persisted)?;
     let persisted_vs_memory = persisted_tps / sessions_tps;
     println!(
-        "guarded-sessions (persisted): {} committed / {} aborted / {} failed in {:.3}s \
-         ({:.0} commits/s with fsync, {:.2}x of in-memory, recovery {})",
+        "guarded-sessions (persisted, fsync/commit): {} committed / {} aborted / {} failed \
+         in {:.3}s ({:.0} commits/s, {:.2}x of in-memory, recovery {})",
         persisted.report.exec.committed,
         persisted.report.exec.aborted,
         persisted.report.exec.failed,
@@ -451,10 +497,62 @@ fn run(cfg: Config) -> Result<bool, String> {
         persisted_vs_memory,
         if recovered_ok { "OK" } else { "MISMATCH" },
     );
+
+    // --- guarded-sessions, group commit (publish/durable split) -------------
+    let group = run_sessions_once(
+        &cfg,
+        &alpha,
+        &omega,
+        &initial,
+        &jobs,
+        Some((&group_dir, group_opts)),
+    )?;
+    let group_tps = group.report.exec.committed as f64 / group.secs;
+    let group_recovered_ok = verify_recovery(&group_dir, &group)?;
+    let flush = group
+        .report
+        .flush
+        .clone()
+        .ok_or("group-commit run reports no flush stats")?;
+    let fsyncs_per_commit = if group.report.exec.committed > 0 {
+        flush.fsyncs as f64 / group.report.exec.committed as f64
+    } else {
+        0.0
+    };
+    let group_vs_persisted = group_tps / persisted_tps;
+    let (gp50, gp95, gp99) = (
+        percentile(&group.latencies, 0.50) * 1e3,
+        percentile(&group.latencies, 0.95) * 1e3,
+        percentile(&group.latencies, 0.99) * 1e3,
+    );
+    let max_batch_seen = flush.batch_sizes.keys().max().copied().unwrap_or(0);
+    println!(
+        "guarded-sessions (group commit): {} committed / {} aborted / {} failed in {:.3}s \
+         ({:.0} commits/s, {:.1}x of per-commit fsync, {} fsyncs = {:.4}/commit, largest \
+         batch {}, latency p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms, recovery {})",
+        group.report.exec.committed,
+        group.report.exec.aborted,
+        group.report.exec.failed,
+        group.secs,
+        group_tps,
+        group_vs_persisted,
+        flush.fsyncs,
+        fsyncs_per_commit,
+        max_batch_seen,
+        gp50,
+        gp95,
+        gp99,
+        if group_recovered_ok { "OK" } else { "MISMATCH" },
+    );
     if cfg.persist.is_none() {
         let _ = std::fs::remove_dir_all(&persist_dir);
+        let _ = std::fs::remove_dir_all(&group_dir);
     } else {
-        println!("persisted artifacts kept in {}", persist_dir.display());
+        println!(
+            "persisted artifacts kept in {} (per-commit fsync) and {} (group commit)",
+            persist_dir.display(),
+            group_dir.display()
+        );
     }
 
     // --- audit (of the session history) -------------------------------------
@@ -490,8 +588,10 @@ fn run(cfg: Config) -> Result<bool, String> {
     let shape_bound =
         report.cache.shapes <= 2 * cfg.rels && report.cache.entries <= report.cache.shapes;
     // Durability must not drop or corrupt anything (speed is reported, not
-    // gated: fsync cost is the disk's, not the code's).
+    // gated: fsync cost is the disk's, not the code's) — and the
+    // group-committed log must recover exactly too.
     let persisted_ok = persisted.report.exec.failed == 0 && recovered_ok;
+    let group_ok = group.report.exec.failed == 0 && group_recovered_ok;
     let ok = verdict.ok()
         && report.exec.failed == 0
         && enough_commits
@@ -499,7 +599,17 @@ fn run(cfg: Config) -> Result<bool, String> {
         && beats_baseline
         && sessions_keep_up
         && shape_bound
-        && persisted_ok;
+        && persisted_ok
+        && group_ok;
+
+    let batch_hist = {
+        let entries: Vec<String> = flush
+            .batch_sizes
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        format!("{{{}}}", entries.join(", "))
+    };
 
     let json = format!(
         "{{\n  \"workload\": {{\n    \"transactions\": {},\n    \"relations\": {},\n    \
@@ -518,8 +628,16 @@ fn run(cfg: Config) -> Result<bool, String> {
          \"commits_per_sec\": {:.1}\n  }},\n  \"rollback_serial\": {{\n    \"committed\": {},\n    \
          \"aborted\": {},\n    \"secs\": {:.6},\n    \"commits_per_sec\": {:.1}\n  }},\n  \
          \"persisted\": {{\n    \"committed\": {},\n    \"aborted\": {},\n    \"failed\": {},\n    \
-         \"fsync\": true,\n    \"secs\": {:.6},\n    \"commits_per_sec\": {:.1},\n    \
+         \"fsync\": true,\n    \"group_commit\": false,\n    \"secs\": {:.6},\n    \
+         \"commits_per_sec\": {:.1},\n    \
          \"vs_memory\": {:.3},\n    \"recovered_ok\": {}\n  }},\n  \
+         \"group_commit\": {{\n    \"committed\": {},\n    \"aborted\": {},\n    \
+         \"failed\": {},\n    \"fsync\": true,\n    \"max_batch\": {},\n    \
+         \"secs\": {:.6},\n    \"commits_per_sec\": {:.1},\n    \
+         \"vs_persisted\": {:.3},\n    \"vs_memory\": {:.3},\n    \"fsyncs\": {},\n    \
+         \"fsyncs_per_commit\": {:.6},\n    \"batch_sizes\": {},\n    \
+         \"latency_p50_ms\": {:.4},\n    \"latency_p95_ms\": {:.4},\n    \
+         \"latency_p99_ms\": {:.4},\n    \"recovered_ok\": {}\n  }},\n  \
          \"speedup\": {:.3},\n  \"sessions_vs_batch\": {:.3},\n  \
          \"constraint_violations\": {},\n  \"audit_ok\": {},\n  \
          \"audit_commits_checked\": {},\n  \"audit_aborts_checked\": {},\n  \"accepted\": {}\n}}\n",
@@ -566,6 +684,21 @@ fn run(cfg: Config) -> Result<bool, String> {
         persisted_tps,
         persisted_vs_memory,
         recovered_ok,
+        group.report.exec.committed,
+        group.report.exec.aborted,
+        group.report.exec.failed,
+        vpdt_store::GroupCommitPolicy::default().max_batch,
+        group.secs,
+        group_tps,
+        group_vs_persisted,
+        group_tps / sessions_tps,
+        flush.fsyncs,
+        fsyncs_per_commit,
+        batch_hist,
+        gp50,
+        gp95,
+        gp99,
+        group_recovered_ok,
         speedup,
         session_vs_batch,
         violations,
@@ -611,6 +744,13 @@ fn run(cfg: Config) -> Result<bool, String> {
             "ACCEPTANCE: persisted run must recover to its reported state \
              ({} failed, recovery match: {recovered_ok})",
             persisted.report.exec.failed
+        );
+    }
+    if !group_ok {
+        eprintln!(
+            "ACCEPTANCE: group-commit run must recover to its reported state \
+             ({} failed, recovery match: {group_recovered_ok})",
+            group.report.exec.failed
         );
     }
     Ok(ok)

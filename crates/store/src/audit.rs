@@ -91,6 +91,30 @@ pub fn audit(
     programs: &BTreeMap<u64, Program>,
     templates: &BTreeMap<u64, Template>,
 ) -> AuditReport {
+    audit_from(
+        alpha, omega, 0, initial, final_db, events, programs, templates,
+    )
+}
+
+/// [`audit`] with an explicit base: `initial` is the store at
+/// `base_version` and `events` start there — what auditing a
+/// retention-truncated log needs, where the history before the floor
+/// checkpoint no longer exists on disk. The first replayed commit is
+/// expected at `base_version + 1`; guard/abort cross-checks that would
+/// need a pre-floor snapshot are skipped (their evidence was legitimately
+/// deleted), while everything replay-based — hashes, serialization order,
+/// `α` at every surviving version — is verified in full.
+#[allow(clippy::too_many_arguments)]
+pub fn audit_from(
+    alpha: &Formula,
+    omega: &Omega,
+    base_version: u64,
+    initial: &Database,
+    final_db: &Database,
+    events: &[Event],
+    programs: &BTreeMap<u64, Program>,
+    templates: &BTreeMap<u64, Template>,
+) -> AuditReport {
     let mut problems = Vec::new();
     let mut commits_checked = 0;
     let mut aborts_checked = 0;
@@ -125,7 +149,7 @@ pub fn audit(
                 state_hash: recorded_hash,
             } => {
                 commits_checked += 1;
-                let expected = states.len() as u64;
+                let expected = base_version + states.len() as u64;
                 if *version != expected {
                     problems.push(format!(
                         "commit of tx {tx} has version {version}, expected {expected} \
@@ -150,7 +174,15 @@ pub fn audit(
                     *shape,
                     bindings,
                 );
-                if !passed_guards.contains(&(*tx, *based_on)) {
+                // A commit based at or below the floor may have recorded
+                // its guard evaluation before the floor offset (guard
+                // events are written outside the commit critical section)
+                // — evidence the retention pass legitimately deleted. Only
+                // demand the pairing when nothing was retired
+                // (`base_version == 0`: the full log) or the evaluation
+                // must postdate the floor.
+                let evidence_retired = base_version > 0 && *based_on <= base_version;
+                if !passed_guards.contains(&(*tx, *based_on)) && !evidence_retired {
                     problems.push(format!(
                         "tx {tx} committed at version {version} without a passing guard \
                          evaluation at its base version {based_on}"
@@ -203,10 +235,12 @@ pub fn audit(
             }
             Event::Abort { tx, version, .. } => {
                 // The guard said "would violate α". If we know the state it
-                // observed, check-and-rollback must agree.
-                if let (Some(program), Some(state)) =
-                    (programs.get(tx), states.get(*version as usize))
-                {
+                // observed (versions below the floor are gone), the
+                // check-and-rollback path must agree.
+                let state = version
+                    .checked_sub(base_version)
+                    .and_then(|i| states.get(i as usize));
+                if let (Some(program), Some(state)) = (programs.get(tx), state) {
                     aborts_checked += 1;
                     let checked = RuntimeChecked::new(
                         ProgramTransaction::new("audit", program.clone(), omega.clone()),
@@ -277,6 +311,24 @@ pub fn cold_audit(
     events: &[Event],
     templates: &BTreeMap<u64, Template>,
 ) -> AuditReport {
+    cold_audit_from(alpha, omega, 0, initial, final_db, events, templates)
+}
+
+/// [`cold_audit`] with an explicit base: `initial` is the floor
+/// checkpoint's state at `base_version` and `events` start there — the
+/// form [`wal::recover`](crate::wal::recover) hands back
+/// (`Recovered::{initial, base_version, events}`), correct whether or not
+/// segment retention has deleted a covered prefix of the log.
+#[allow(clippy::too_many_arguments)]
+pub fn cold_audit_from(
+    alpha: &Formula,
+    omega: &Omega,
+    base_version: u64,
+    initial: &Database,
+    final_db: &Database,
+    events: &[Event],
+    templates: &BTreeMap<u64, Template>,
+) -> AuditReport {
     let mut problems = Vec::new();
     let mut programs: BTreeMap<u64, Program> = BTreeMap::new();
     for event in events {
@@ -318,8 +370,15 @@ pub fn cold_audit(
             Err(e) => problems.push(format!("tx {tx}'s bindings do not fit shape {shape}: {e}")),
         }
     }
-    let mut report = audit(
-        alpha, omega, initial, final_db, events, &programs, templates,
+    let mut report = audit_from(
+        alpha,
+        omega,
+        base_version,
+        initial,
+        final_db,
+        events,
+        &programs,
+        templates,
     );
     report.problems.splice(0..0, problems);
     report

@@ -18,6 +18,14 @@
 //!    [`RetryPolicy`](crate::RetryPolicy) (the guard re-evaluates in tens
 //!    of microseconds; the compilation never re-runs).
 //!
+//! `try_commit` returns the **publish**-phase outcome: on a durable server
+//! that fsyncs commits, the worker does *not* resolve the ticket — it
+//! marks it applied and hands it, with the commit record's log offset, to
+//! the group-commit flusher, which fsyncs once for every pending commit
+//! and resolves all the tickets the flush covers (the **durable** phase).
+//! Aborts, failures, and in-memory servers have no durable phase: the
+//! worker resolves those tickets on the spot, exactly as before.
+//!
 //! [`run_serial_rollback`] is the baseline the paper's programme displaces:
 //! one thread, no guard — run the transaction, test `α` on the result, roll
 //! back on violation.
@@ -27,6 +35,7 @@ use crate::history::Event;
 use crate::server::RetryPolicy;
 use crate::session::TicketState;
 use crate::snapshot::{CommitOutcome, CommitRequest, VersionedStore};
+use crate::wal::{GroupCommitFlusher, PendingAck};
 use crate::{AbortReason, StoreError};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -312,8 +321,17 @@ impl OutcomeSink {
 }
 
 /// The worker loop both front doors run: drain the queue, execute each
-/// item, resolve its ticket, record its outcome. Returns when the queue is
+/// item, settle its ticket, record its outcome. Returns when the queue is
 /// closed and empty (server shutdown, or the batch fully drained).
+///
+/// Ticket settlement is two-phased where durability demands it: a commit
+/// on a server with a `group` flusher is only *published* here — the
+/// ticket is marked applied and enqueued (with its log offset) for the
+/// flusher to resolve after the covering fsync. Everything else resolves
+/// immediately. Outcome counters record at publish time: a published
+/// commit is in the serialization order regardless of when its fsync
+/// lands (and a flush failure is fail-stop, reported through every
+/// covered ticket).
 pub(crate) fn worker_loop(
     store: &VersionedStore,
     cache: &GuardCache,
@@ -321,11 +339,29 @@ pub(crate) fn worker_loop(
     queue: &WorkQueue,
     sink: &OutcomeSink,
     conflicts: &AtomicU64,
+    group: Option<&GroupCommitFlusher>,
 ) {
-    while let Some(item) = queue.pop() {
-        let outcome = execute_one(store, cache, retry, &item, conflicts);
-        if let Some(ticket) = &item.ticket {
-            ticket.resolve(outcome.clone());
+    while let Some(mut item) = queue.pop() {
+        let (outcome, wal_offset) = execute_one(store, cache, retry, &item, conflicts);
+        match (&outcome, wal_offset, group) {
+            (TxOutcome::Committed { version }, Some(offset), Some(flusher)) => {
+                // Take the ticket out of the item so the item's drop guard
+                // cannot mistake the durability wait for a lost worker.
+                let ticket = item.ticket.take();
+                if let Some(ticket) = &ticket {
+                    ticket.mark_applied(*version);
+                }
+                flusher.enqueue(PendingAck {
+                    offset,
+                    version: *version,
+                    ticket,
+                });
+            }
+            _ => {
+                if let Some(ticket) = item.ticket.take() {
+                    ticket.resolve(outcome.clone());
+                }
+            }
         }
         sink.record(item.tx, outcome);
     }
@@ -335,16 +371,18 @@ pub(crate) fn worker_loop(
 /// shape), guard, apply, offer to commit; on footprint conflict, retry
 /// under the policy. The compilation is shared per statement shape; the
 /// per-transaction work is one binding substitution plus evaluations.
+/// Returns the publish-phase outcome plus, for a commit on a persisted
+/// store, the commit record's log offset — what the durable phase needs.
 pub(crate) fn execute_one(
     store: &VersionedStore,
     cache: &GuardCache,
     retry: &RetryPolicy,
     item: &WorkItem,
     conflicts: &AtomicU64,
-) -> TxOutcome {
+) -> (TxOutcome, Option<u64>) {
     let prepared = match cache.get_or_compile(&item.program) {
         Ok(p) => p,
-        Err(error) => return TxOutcome::Failed { error },
+        Err(error) => return (TxOutcome::Failed { error }, None),
     };
     let history = store.history();
     // Durable provenance: the statement shape is declared to the log before
@@ -369,9 +407,12 @@ pub(crate) fn execute_one(
         let pass = match holds(&snap.db, cache.omega(), &prepared.guard) {
             Ok(p) => p,
             Err(e) => {
-                return TxOutcome::Failed {
-                    error: StoreError::Eval(e),
-                }
+                return (
+                    TxOutcome::Failed {
+                        error: StoreError::Eval(e),
+                    },
+                    None,
+                )
             }
         };
         history.record(Event::GuardEval {
@@ -389,7 +430,7 @@ pub(crate) fn execute_one(
                 version: snap.version,
                 reason: reason.to_string(),
             });
-            return TxOutcome::Aborted { reason };
+            return (TxOutcome::Aborted { reason }, None);
         }
         // Direct operational semantics on the ground program the item
         // already owns — no per-transaction applier is allocated.
@@ -400,9 +441,12 @@ pub(crate) fn execute_one(
         {
             Ok(db) => db,
             Err(e) => {
-                return TxOutcome::Failed {
-                    error: StoreError::Tx(e),
-                }
+                return (
+                    TxOutcome::Failed {
+                        error: StoreError::Tx(e),
+                    },
+                    None,
+                )
             }
         };
         let req = CommitRequest {
@@ -415,17 +459,27 @@ pub(crate) fn execute_one(
             new_db,
         };
         match store.try_commit(req) {
-            CommitOutcome::Committed { version } => return TxOutcome::Committed { version },
+            CommitOutcome::Committed {
+                version,
+                wal_offset,
+            } => return (TxOutcome::Committed { version }, wal_offset),
             CommitOutcome::Conflict { version } => {
                 conflicts.fetch_add(1, Ordering::Relaxed);
                 if !retry.may_retry(retries) {
-                    return TxOutcome::Failed {
-                        error: StoreError::RetriesExhausted {
-                            retries,
-                            version,
-                            relations: prepared.reads().union(prepared.writes()).cloned().collect(),
+                    return (
+                        TxOutcome::Failed {
+                            error: StoreError::RetriesExhausted {
+                                retries,
+                                version,
+                                relations: prepared
+                                    .reads()
+                                    .union(prepared.writes())
+                                    .cloned()
+                                    .collect(),
+                            },
                         },
-                    };
+                        None,
+                    );
                 }
                 retries += 1;
                 retry.backoff(retries);
@@ -518,7 +572,7 @@ pub fn run_jobs(
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| worker_loop(store, cache, &retry, &queue, &sink, &conflicts));
+            scope.spawn(|| worker_loop(store, cache, &retry, &queue, &sink, &conflicts, None));
         }
     });
 

@@ -12,14 +12,16 @@
 //! [`StoreBuilder::persist`](crate::StoreBuilder::persist)): every event is
 //! then appended to disk inside the same critical section that appends it
 //! to memory, so the on-disk order equals the in-memory order equals (for
-//! commits) the serialization order. Commit events are flushed according to
-//! the log's [fsync policy](crate::wal::WalOptions) *before* `record`
-//! returns — and `record` for a commit runs inside the store's commit
-//! critical section, before the new version is published or any ticket
-//! resolves — which is what makes an acknowledged commit durable. A failed
-//! log write is fail-stop: a store that can no longer write its log must
-//! not keep acknowledging, so `record` panics (poisoning the store) rather
-//! than dropping events silently.
+//! commits) the serialization order. That append is the **publish** phase
+//! of the two-phase commit pipeline: `record` returns the record's log
+//! offset and does **not** fsync — the **durable** phase (the fsync, and
+//! only then the ticket resolution) belongs to the group-commit flusher
+//! ([`crate::wal::GroupCommitFlusher`]), which coalesces the fsyncs of all
+//! concurrently published commits into one. A failed log write is
+//! fail-stop: a store that can no longer write its log must not keep
+//! acknowledging, so `record` panics (poisoning the store) rather than
+//! dropping events silently; a failed *flush* is reported to every covered
+//! ticket as a typed [`StoreError::Wal`](crate::StoreError::Wal) instead.
 
 use crate::wal::DurableLog;
 use std::sync::Mutex;
@@ -146,18 +148,21 @@ impl History {
         inner.durable.as_mut().map(f)
     }
 
-    /// Appends an event — durably first, when a log is attached.
+    /// Appends an event — durably first, when a log is attached. Returns
+    /// the record's global log offset (`None` for in-memory histories):
+    /// the handle the durable phase needs to know which fsync covers it.
     ///
     /// # Panics
-    /// Panics if the attached log fails to append or flush (fail-stop: see
-    /// the module docs).
-    pub fn record(&self, e: Event) {
+    /// Panics if the attached log fails to append (fail-stop: see the
+    /// module docs).
+    pub fn record(&self, e: Event) -> Option<u64> {
         let mut inner = self.inner.lock().expect("history lock poisoned");
-        if let Some(log) = inner.durable.as_mut() {
+        let offset = inner.durable.as_mut().map(|log| {
             log.append_event(&e)
-                .expect("write-ahead log append failed; refusing to continue non-durably");
-        }
+                .expect("write-ahead log append failed; refusing to continue non-durably")
+        });
         inner.events.push(e);
+        offset
     }
 
     /// Declares a statement shape ahead of its first durable use, so a cold

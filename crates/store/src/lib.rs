@@ -77,6 +77,12 @@
 //!   wrapper), plus the serial check-and-rollback baseline it displaces;
 //! * [`history`] — a begin/guard-eval/commit/abort event log with snapshot
 //!   versions, state hashes, and per-transaction session provenance;
+//! * [`wal`] — the write-ahead log that makes history and state durable.
+//!   Commits run in two phases: **publish** (version advanced, record
+//!   appended — inside the commit critical section) and **durable** (the
+//!   record fsync'd by a shared group-commit flusher, which batches all
+//!   concurrently published commits into one fsync and only then resolves
+//!   their tickets — see [`GroupCommitPolicy`]);
 //! * [`audit`] — replays a history through the *rollback* path
 //!   ([`vpdt_core::safe::RuntimeChecked`]), checking that the commit order
 //!   is a gapless serialization, that `α` holds at every committed version,
@@ -105,14 +111,16 @@ pub mod snapshot;
 pub mod wal;
 pub mod workload;
 
-pub use audit::{audit, cold_audit, AuditReport};
+pub use audit::{audit, audit_from, cold_audit, cold_audit_from, AuditReport};
 pub use exec::{run_jobs, run_serial_rollback, ExecReport, Job, Submitter, TxOutcome, TxStatus};
 pub use guard::{CacheStats, GuardCache, PreparedShape, PreparedTx, ShapeStat};
 pub use history::{Event, History};
 pub use server::{RetryPolicy, ServerReport, StoreBuilder, StoreServer};
 pub use session::{Session, TxTicket};
 pub use snapshot::{CommitOutcome, CommitRequest, Snapshot, VersionedStore};
-pub use wal::{Recovered, RecoveryError, RecoveryOptions, WalError, WalOptions};
+pub use wal::{
+    FlushStats, GroupCommitPolicy, Recovered, RecoveryError, RecoveryOptions, WalError, WalOptions,
+};
 
 /// The durable name of the versioned store: `Store::recover(dir, &omega)`
 /// rebuilds one from a persisted directory, replaying snapshot + log tail

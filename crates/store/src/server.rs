@@ -20,7 +20,10 @@ use crate::guard::{CacheStats, GuardCache};
 use crate::history::{state_hash, Event, History};
 use crate::session::{Session, TicketState, TxTicket};
 use crate::snapshot::{Snapshot, VersionedStore};
-use crate::wal::{self, DurableLog, RecoveryError, RecoveryOptions, WalOptions, WalWriter};
+use crate::wal::{
+    self, DurableLog, FlushStats, GroupCommitFlusher, RecoveryError, RecoveryOptions, WalOptions,
+    WalWriter,
+};
 use crate::StoreError;
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
@@ -241,7 +244,14 @@ impl StoreBuilder {
     /// where the log left off, and the log is reopened for appending (its
     /// torn tail, if any, physically truncated).
     pub fn build(self) -> Result<StoreServer, StoreError> {
-        let (store, cache, next_tx) = match self.source {
+        // The durable phase exists exactly when commits must reach stable
+        // storage before acknowledgment: persistence on, fsync policy on.
+        let wants_flusher = self.wal_opts.fsync_commits;
+        let group_policy = self.wal_opts.group_commit.clone();
+        let group = move |durable: bool| -> Option<Arc<GroupCommitFlusher>> {
+            durable.then(|| Arc::new(GroupCommitFlusher::new(group_policy.clone())))
+        };
+        let (store, cache, next_tx, group) = match self.source {
             Source::Fresh { initial, alpha } => {
                 let store = VersionedStore::new(initial);
                 let cache = GuardCache::with_capacity(
@@ -251,6 +261,7 @@ impl StoreBuilder {
                     self.cache_capacity,
                 );
                 exec::check_base_case(&store, &cache)?;
+                let mut flusher = None;
                 if let Some(dir) = self.persist_dir {
                     let writer = WalWriter::create(&dir, self.wal_opts)?;
                     let snap = store.snapshot();
@@ -267,11 +278,14 @@ impl StoreBuilder {
                             templates: BTreeMap::new(),
                         },
                     )?;
-                    store
-                        .history()
-                        .attach_wal(DurableLog::new(writer, BTreeSet::new()));
+                    flusher = group(wants_flusher);
+                    store.history().attach_wal(DurableLog::new(
+                        writer,
+                        BTreeSet::new(),
+                        flusher.clone(),
+                    ));
                 }
-                (store, cache, 0)
+                (store, cache, 0, flusher)
             }
             Source::Recover { dir } => {
                 let recovered = wal::recover(&dir, &self.omega, RecoveryOptions::default())?;
@@ -289,6 +303,7 @@ impl StoreBuilder {
                     recovered.db,
                     recovered.version,
                     History::with_events(recovered.events),
+                    recovered.rel_versions,
                 );
                 let cache = GuardCache::with_capacity(
                     store.schema().clone(),
@@ -299,10 +314,11 @@ impl StoreBuilder {
                 cache.seed_registry(&recovered.templates);
                 exec::check_base_case(&store, &cache)?;
                 let (writer, logged_shapes) = WalWriter::resume(&dir, self.wal_opts)?;
+                let flusher = group(wants_flusher);
                 store
                     .history()
-                    .attach_wal(DurableLog::new(writer, logged_shapes));
-                (store, cache, recovered.next_tx)
+                    .attach_wal(DurableLog::new(writer, logged_shapes, flusher.clone()));
+                (store, cache, recovered.next_tx, flusher)
             }
         };
 
@@ -313,6 +329,14 @@ impl StoreBuilder {
             queue: WorkQueue::new(),
             sink: OutcomeSink::new(self.retain_outcomes, 0),
             conflicts: AtomicU64::new(0),
+            group,
+        });
+        let flusher_thread = shared.group.as_ref().map(|g| {
+            let g = Arc::clone(g);
+            std::thread::Builder::new()
+                .name("vpdt-store-flusher".to_string())
+                .spawn(move || g.run())
+                .expect("spawning the group-commit flusher")
         });
         let workers = (0..self.workers)
             .map(|i| {
@@ -327,6 +351,7 @@ impl StoreBuilder {
                             &shared.queue,
                             &shared.sink,
                             &shared.conflicts,
+                            shared.group.as_deref(),
                         );
                     })
                     .expect("spawning a store worker")
@@ -335,13 +360,15 @@ impl StoreBuilder {
         Ok(StoreServer {
             shared,
             workers,
+            flusher_thread,
             next_tx: AtomicU64::new(next_tx),
             next_session: AtomicU64::new(1),
         })
     }
 }
 
-/// State shared between the server handle and its worker threads.
+/// State shared between the server handle, its worker threads, and the
+/// group-commit flusher.
 struct Shared {
     store: VersionedStore,
     cache: GuardCache,
@@ -349,6 +376,10 @@ struct Shared {
     queue: WorkQueue,
     sink: OutcomeSink,
     conflicts: AtomicU64,
+    /// The durable phase (persisted servers with `fsync_commits` only):
+    /// workers enqueue published commits here; the flusher thread batches
+    /// the fsyncs and resolves the tickets.
+    group: Option<Arc<GroupCommitFlusher>>,
 }
 
 /// A resident, session-oriented transaction server — the front door of
@@ -360,6 +391,10 @@ struct Shared {
 pub struct StoreServer {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    /// The group-commit flusher thread (durable servers only). Spawned in
+    /// [`StoreBuilder::build`]; drained and joined by both `shutdown` and
+    /// `Drop`, so every ticket handed to the durable phase resolves.
+    flusher_thread: Option<JoinHandle<()>>,
     next_tx: AtomicU64,
     next_session: AtomicU64,
 }
@@ -461,18 +496,40 @@ impl StoreServer {
             .map_err(StoreError::Wal)
     }
 
+    /// Counters of the durable phase — fsyncs issued, commits resolved
+    /// per fsync (the batch-size histogram), flush failures. `None` on a
+    /// server without a group-commit flusher (in-memory, or
+    /// `fsync_commits: false`).
+    pub fn flush_stats(&self) -> Option<FlushStats> {
+        self.shared.group.as_ref().map(|g| g.stats())
+    }
+
+    /// Test hook: make the flusher's next fsync fail as if the disk had,
+    /// so the fail-stop fan-out (every covered ticket resolves with a
+    /// typed [`StoreError::Wal`]) can be exercised without a faulty
+    /// device. No-op on a server without a flusher.
+    #[doc(hidden)]
+    pub fn debug_inject_flush_error(&self) {
+        if let Some(g) = &self.shared.group {
+            g.inject_flush_error();
+        }
+    }
+
     /// Closes the submission queue, drains every already-submitted
     /// transaction (outstanding [`TxTicket`]s all resolve), joins the
-    /// worker pool, and returns the final report. Sessions borrow the
-    /// server, so the borrow checker guarantees none are left when this
-    /// runs — but tickets are independent and may be waited on after.
+    /// worker pool, drains the group-commit flusher (published commits get
+    /// their covering fsync; their tickets resolve durable), and returns
+    /// the final report. Sessions borrow the server, so the borrow checker
+    /// guarantees none are left when this runs — but tickets are
+    /// independent and may be waited on after.
     ///
     /// A persisted server also flushes its log and writes a clean
     /// checkpoint, so the next [`StoreBuilder::recover`] starts without
     /// replay. Both are fail-stop: an I/O error here panics rather than
     /// reporting a durability it cannot promise. (Dropping the server
-    /// instead of calling `shutdown` also drains and joins, but skips the
-    /// checkpoint — the crash-shaped exit.)
+    /// instead of calling `shutdown` also drains and joins — workers *and*
+    /// flusher, so no acknowledged-or-pending commit is lost — but skips
+    /// the checkpoint: the crash-shaped exit.)
     pub fn shutdown(mut self) -> ServerReport {
         let next_tx = self.next_tx.load(Ordering::Relaxed);
         // Closing the queue turns it into a drain: workers finish what was
@@ -481,6 +538,16 @@ impl StoreServer {
         for worker in std::mem::take(&mut self.workers) {
             worker.join().expect("store worker panicked");
         }
+        // The workers are gone, so nothing publishes anymore: close the
+        // flusher and let it drain — one final fsync resolves every
+        // ticket still owed a durable acknowledgment.
+        if let Some(group) = &self.shared.group {
+            group.close();
+        }
+        if let Some(flusher) = self.flusher_thread.take() {
+            flusher.join().expect("group-commit flusher panicked");
+        }
+        let flush = self.shared.group.as_ref().map(|g| g.stats());
         let shared = Arc::clone(&self.shared);
         drop(self); // Drop sees an empty worker list and an already-closed queue
         let shared = Arc::into_inner(shared).expect("workers joined, no other owners");
@@ -488,11 +555,12 @@ impl StoreServer {
             log.writer
                 .sync()
                 .expect("write-ahead log flush at shutdown failed");
+            let offset = log.writer.offset();
             let snap = shared.store.snapshot();
             wal::write_checkpoint(
                 log.writer.dir(),
                 &wal::Checkpoint {
-                    offset: log.writer.offset(),
+                    offset,
                     version: snap.version,
                     next_tx,
                     state_hash: state_hash(&snap.db),
@@ -503,6 +571,13 @@ impl StoreServer {
                 },
             )
             .expect("clean checkpoint at shutdown failed");
+            // Best-effort, unlike the sync and checkpoint above: state and
+            // log are already fully durable, and a segment that survives a
+            // failed unlink breaks nothing — the next checkpoint (or
+            // `vpdtool wal gc`) simply retries.
+            if !log.writer.options().retain_segments {
+                let _ = wal::gc_segments(log.writer.dir(), offset);
+            }
         }
         // Cache counters here are server-lifetime totals, so `prepare`
         // warm-ups count too; callers measuring a serving window should
@@ -519,12 +594,15 @@ impl StoreServer {
             final_version: snap.version,
             templates: shared.cache.templates(),
             cache: shared.cache.cache_stats(),
+            flush,
         }
     }
 }
 
 /// Dropping a server without [`StoreServer::shutdown`] still drains the
-/// queue and joins the workers (no thread leaks, every ticket resolves) —
+/// queue, joins the workers, and drains the group-commit flusher (no
+/// thread leaks, every ticket resolves — published commits get their
+/// covering fsync first, so no acknowledged-or-pending commit is lost) —
 /// but writes **no** clean checkpoint. For a persisted server this is the
 /// crash-shaped exit: the next open goes through recovery and replays the
 /// log tail. Acknowledged commits were already on disk before their
@@ -536,6 +614,12 @@ impl Drop for StoreServer {
             // Best-effort during teardown: a panicked worker already
             // resolved its tickets via the work-item drop guard.
             let _ = worker.join();
+        }
+        if let Some(group) = &self.shared.group {
+            group.close();
+        }
+        if let Some(flusher) = self.flusher_thread.take() {
+            let _ = flusher.join();
         }
     }
 }
@@ -567,4 +651,7 @@ pub struct ServerReport {
     pub templates: BTreeMap<u64, Template>,
     /// Final guard-cache counters.
     pub cache: CacheStats,
+    /// Durable-phase counters (`None` without a group-commit flusher):
+    /// fsyncs, flushed commits, the batch-size histogram.
+    pub flush: Option<FlushStats>,
 }

@@ -4,38 +4,84 @@
 //! [`StoreServer`](crate::StoreServer): it stamps each submission with the
 //! session's id (recorded as provenance on the history's `Begin` events)
 //! and hands back a [`TxTicket`] immediately. The ticket is the client's
-//! half of a one-shot completion slot the executing worker resolves with
-//! the typed [`TxOutcome`] — so a session can pipeline many submissions and
-//! collect outcomes later, or use [`Session::submit_sync`] for the
-//! one-call path.
+//! half of a one-shot completion slot that resolves with the typed
+//! [`TxOutcome`] — so a session can pipeline many submissions and collect
+//! outcomes later, or use [`Session::submit_sync`] for the one-call path.
+//!
+//! On a durable server the ticket's life has **two phases**. A commit is
+//! first *published* — its version advanced and its log record appended,
+//! inside the commit critical section — and only later *durable*, when the
+//! group-commit flusher has fsync'd the record
+//! ([`GroupCommitPolicy`](crate::wal::GroupCommitPolicy)). The ticket
+//! tracks both: [`TxTicket::applied`] observes the publish phase,
+//! [`TxTicket::wait`] blocks for the durable resolution. In-memory
+//! servers (and aborts and failures everywhere) have no durable phase:
+//! publishing and resolving coincide.
 //!
 //! Ownership is deliberately asymmetric: a ticket owns its completion slot
 //! independently of the session *and* of the server's queue, so dropping a
 //! `Session` mid-flight loses nothing (its transactions are already queued
 //! and keep their tickets), and tickets taken before
 //! [`StoreServer::shutdown`](crate::StoreServer::shutdown) still resolve
-//! after it — shutdown drains the queue before the workers exit.
+//! after it — shutdown drains the queue **and** the flusher before the
+//! workers exit.
 
 use crate::exec::TxOutcome;
 use crate::server::StoreServer;
 use std::sync::{Arc, Condvar, Mutex};
 use vpdt_tx::program::Program;
 
-/// The shared one-shot completion slot behind a [`TxTicket`].
+/// Where a ticket is in the two-phase commit pipeline.
+#[derive(Debug, Default)]
+enum Phase {
+    /// Not yet executed (or still retrying).
+    #[default]
+    Pending,
+    /// Published: the commit's version is advanced and its log record
+    /// appended, but the covering fsync has not happened yet — the
+    /// durable acknowledgment is still owed.
+    Applied {
+        /// The version the publish phase produced.
+        version: u64,
+    },
+    /// Resolved with its final outcome (for commits: durable).
+    Done(TxOutcome),
+}
+
+/// The shared completion slot behind a [`TxTicket`].
 #[derive(Debug, Default)]
 pub(crate) struct TicketState {
-    slot: Mutex<Option<TxOutcome>>,
+    slot: Mutex<Phase>,
     done: Condvar,
 }
 
 impl TicketState {
-    /// Resolves the ticket (called exactly once, by the executing worker —
-    /// or by the submission path itself when the server is shut down).
+    /// Resolves the ticket (called exactly once — by the executing worker
+    /// for aborts, failures and in-memory commits; by the group-commit
+    /// flusher for durable commits; or by the submission path itself when
+    /// the server is shut down).
     pub(crate) fn resolve(&self, outcome: TxOutcome) {
         let mut slot = self.slot.lock().expect("ticket lock poisoned");
-        debug_assert!(slot.is_none(), "a ticket resolves exactly once");
-        *slot = Some(outcome);
+        debug_assert!(
+            !matches!(*slot, Phase::Done(_)),
+            "a ticket resolves exactly once"
+        );
+        *slot = Phase::Done(outcome);
         self.done.notify_all();
+    }
+
+    /// Marks the publish phase: the commit is applied at `version` and its
+    /// log record appended, durability pending. The ticket stays
+    /// unresolved — [`wait`](TicketState::wait) keeps blocking until the
+    /// flusher resolves it.
+    pub(crate) fn mark_applied(&self, version: u64) {
+        let mut slot = self.slot.lock().expect("ticket lock poisoned");
+        debug_assert!(
+            matches!(*slot, Phase::Pending),
+            "publish happens once, before resolution"
+        );
+        *slot = Phase::Applied { version };
+        // No completion notification: nothing an outcome-waiter can use yet.
     }
 
     /// Resolves the ticket only if nothing resolved it yet — the
@@ -49,8 +95,8 @@ impl TicketState {
             Ok(slot) => slot,
             Err(poisoned) => poisoned.into_inner(),
         };
-        if slot.is_none() {
-            *slot = Some(outcome);
+        if !matches!(*slot, Phase::Done(_)) {
+            *slot = Phase::Done(outcome);
             self.done.notify_all();
         }
     }
@@ -58,7 +104,7 @@ impl TicketState {
     fn wait(&self) -> TxOutcome {
         let mut slot = self.slot.lock().expect("ticket lock poisoned");
         loop {
-            if let Some(outcome) = slot.as_ref() {
+            if let Phase::Done(outcome) = &*slot {
                 return outcome.clone();
             }
             slot = self.done.wait(slot).expect("ticket lock poisoned");
@@ -66,16 +112,30 @@ impl TicketState {
     }
 
     fn peek(&self) -> Option<TxOutcome> {
-        self.slot.lock().expect("ticket lock poisoned").clone()
+        match &*self.slot.lock().expect("ticket lock poisoned") {
+            Phase::Done(outcome) => Some(outcome.clone()),
+            _ => None,
+        }
+    }
+
+    fn applied_version(&self) -> Option<u64> {
+        match &*self.slot.lock().expect("ticket lock poisoned") {
+            Phase::Pending => None,
+            Phase::Applied { version } => Some(*version),
+            Phase::Done(TxOutcome::Committed { version }) => Some(*version),
+            Phase::Done(_) => None,
+        }
     }
 }
 
 /// A claim on one submitted transaction's outcome.
 ///
 /// Returned immediately by [`Session::submit`]; [`TxTicket::wait`] blocks
-/// until a worker resolves it. Tickets are independent of the session and
-/// the server's lifetime — they resolve even if the session is dropped or
-/// the server is shut down after submission.
+/// until the transaction's *final* outcome is known — for a commit on a
+/// durable server, until the covering group fsync has made it durable.
+/// Tickets are independent of the session and the server's lifetime — they
+/// resolve even if the session is dropped or the server is shut down after
+/// submission.
 #[derive(Debug)]
 pub struct TxTicket {
     id: u64,
@@ -99,7 +159,10 @@ impl TxTicket {
         self.session
     }
 
-    /// Blocks until the transaction's typed outcome is known.
+    /// Blocks until the transaction's typed outcome is known. On a durable
+    /// server a `Committed` outcome returned here is **durable**: its log
+    /// record was fsync'd (by the group-commit flusher, or inline under
+    /// `max_batch = 1`) before the ticket resolved.
     pub fn wait(&self) -> TxOutcome {
         self.state.wait()
     }
@@ -107,6 +170,15 @@ impl TxTicket {
     /// The outcome, if already resolved (never blocks).
     pub fn try_outcome(&self) -> Option<TxOutcome> {
         self.state.peek()
+    }
+
+    /// The version at which the commit was *published*, if it has been —
+    /// visible as soon as the publish phase completes, possibly before the
+    /// durable acknowledgment. `None` while pending, and for transactions
+    /// that aborted or failed. An applied-but-unresolved commit is already
+    /// in the serialization order; only its fsync is still owed.
+    pub fn applied(&self) -> Option<u64> {
+        self.state.applied_version()
     }
 }
 

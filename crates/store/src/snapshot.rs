@@ -17,7 +17,12 @@
 //!   [`CommitOutcome::Conflict`] and re-validate on a fresh snapshot.
 //!
 //! Commit events are appended to the store's [`History`] inside the commit
-//! critical section, so log order = serialization order.
+//! critical section, so log order = serialization order. That append is
+//! where [`VersionedStore::try_commit`]'s responsibility ends: it returns
+//! the **publish**-phase outcome — the new version plus the commit
+//! record's log offset — and the **durable** phase (the fsync, batched
+//! across workers by the [`GroupCommitFlusher`](crate::wal), and only then
+//! the ticket resolution) happens outside the critical section.
 
 use crate::history::{state_hash, Event, History};
 use std::collections::{BTreeMap, BTreeSet};
@@ -55,13 +60,20 @@ pub struct CommitRequest {
     pub new_db: Database,
 }
 
-/// The store's answer to a commit offer.
+/// The store's answer to a commit offer — the *publish*-phase outcome.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CommitOutcome {
-    /// Validation passed; the store now holds the new state at `version`.
+    /// Validation passed; the store now holds the new state at `version`
+    /// and (on a persisted store) the commit record is appended at
+    /// `wal_offset`. **Published is not yet durable**: when the store
+    /// fsyncs commits, the caller owes the ticket to the group-commit
+    /// flusher, which resolves it once an fsync covers that offset.
     Committed {
         /// The version assigned to the commit.
         version: u64,
+        /// The commit record's global log offset (`None` on an in-memory
+        /// store, where publishing is the whole story).
+        wal_offset: Option<u64>,
     },
     /// Some footprint relation changed after `based_on`; re-validate
     /// against the current version.
@@ -105,15 +117,26 @@ impl VersionedStore {
     }
 
     /// Resumes a store at a recovered state and version, with a pre-seeded
-    /// history — the durable-recovery path. Every relation's last-writer
-    /// version is set to `version` (conservative: the first post-recovery
-    /// commit of each relation validates against the recovery point, which
-    /// can only *reject* commits a finer record would have accepted).
-    pub(crate) fn resume(db: Database, version: u64, history: History) -> Self {
+    /// history — the durable-recovery path. Each relation's last-writer
+    /// version comes from `rel_seed` — recovery reconstructs it from the
+    /// replayed commit footprints, so post-recovery validation sees real
+    /// history instead of a coarse recovery-point stamp. Relations the
+    /// seed does not name fall back to `version` (conservative: that can
+    /// only *reject* commits a finer record would have accepted, never
+    /// accept one it would have rejected).
+    pub(crate) fn resume(
+        db: Database,
+        version: u64,
+        history: History,
+        rel_seed: BTreeMap<String, u64>,
+    ) -> Self {
         let schema = db.schema().clone();
         let rel_versions = schema
             .iter()
-            .map(|(name, _)| (name.to_string(), version))
+            .map(|(name, _)| {
+                let seeded = rel_seed.get(name).copied().unwrap_or(version);
+                (name.to_string(), seeded.min(version))
+            })
             .collect();
         VersionedStore {
             schema,
@@ -154,7 +177,10 @@ impl VersionedStore {
     /// read-and-write footprint must be unwritten since `based_on`. On
     /// success the written relations are merged into the current state
     /// (other relations keep their latest contents) and a commit event is
-    /// logged; on conflict nothing changes.
+    /// logged — the **publish** phase, whose outcome (version + log
+    /// offset) this returns; making the record durable and resolving the
+    /// ticket is the durable phase's job, outside this critical section.
+    /// On conflict nothing changes.
     pub fn try_commit(&self, req: CommitRequest) -> CommitOutcome {
         let mut s = self.state.write().expect("store lock poisoned");
         let stale = req
@@ -195,7 +221,7 @@ impl VersionedStore {
         }
         let hash = state_hash(&merged);
         s.db = Arc::new(merged);
-        self.history.record(Event::Commit {
+        let wal_offset = self.history.record(Event::Commit {
             tx: req.tx,
             based_on: req.based_on,
             version,
@@ -204,7 +230,10 @@ impl VersionedStore {
             bindings: req.bindings.clone(),
             state_hash: hash,
         });
-        CommitOutcome::Committed { version }
+        CommitOutcome::Committed {
+            version,
+            wal_offset,
+        }
     }
 
     /// Writes a snapshot checkpoint of the *current* state to the attached
@@ -237,6 +266,14 @@ impl VersionedStore {
                         templates,
                     },
                 )?;
+                // Retention: segments the fresh checkpoint fully covers are
+                // dead weight — recovery will never read them again.
+                // Best-effort: the checkpoint itself succeeded, and a
+                // segment that survives a failed unlink only costs disk
+                // until the next pass retries.
+                if !log.writer.options().retain_segments {
+                    let _ = crate::wal::gc_segments(log.writer.dir(), offset);
+                }
                 Ok(offset)
             })
             .unwrap_or(Err(crate::wal::WalError::NotDurable))
@@ -282,10 +319,22 @@ mod tests {
             bindings: vec![],
             new_db: with_edge(&schema, "R1", 7, 8),
         };
-        assert_eq!(store.try_commit(a), CommitOutcome::Committed { version: 1 });
+        assert!(matches!(
+            store.try_commit(a),
+            CommitOutcome::Committed {
+                version: 1,
+                wal_offset: None
+            }
+        ));
         let v1 = store.snapshot();
         // b is stale (based_on 0 < version 1) but its footprint is untouched
-        assert_eq!(store.try_commit(b), CommitOutcome::Committed { version: 2 });
+        assert!(matches!(
+            store.try_commit(b),
+            CommitOutcome::Committed {
+                version: 2,
+                wal_offset: None
+            }
+        ));
         let snap = store.snapshot();
         assert!(snap.db.contains("R0", &[Elem(1), Elem(2)]));
         assert!(snap.db.contains("R1", &[Elem(7), Elem(8)]));
@@ -307,10 +356,10 @@ mod tests {
             bindings: vec![],
             new_db,
         };
-        assert_eq!(
+        assert!(matches!(
             store.try_commit(mk(1, with_edge(&schema, "R0", 1, 2))),
-            CommitOutcome::Committed { version: 1 }
-        );
+            CommitOutcome::Committed { version: 1, .. }
+        ));
         assert_eq!(
             store.try_commit(mk(2, with_edge(&schema, "R0", 3, 4))),
             CommitOutcome::Conflict { version: 1 }

@@ -16,11 +16,20 @@
 //!   at a size budget; each segment opens with a header record carrying the
 //!   format version, its sequence number, and the global offset of its
 //!   first record, so a scan can detect missing or reordered files.
-//! * **Durability point.** Commit records are appended — and, under the
-//!   default [`WalOptions`], fsync'd — inside the store's commit critical
-//!   section, before the new version is published or any
-//!   [`TxTicket`](crate::TxTicket) resolves. An *acknowledged* commit is
-//!   therefore on disk; everything later is best-effort.
+//! * **Two-phase durability: publish, then durable.** Commit records are
+//!   *appended* inside the store's commit critical section — the
+//!   **publish** phase, which fixes the serialization order on disk — but
+//!   the fsync happens outside it, in the **durable** phase: workers hand
+//!   their tickets (with the record's log offset) to a dedicated
+//!   [`GroupCommitFlusher`], which coalesces all pending offsets into one
+//!   fsync and resolves every ticket the flushed offset covers
+//!   ([`GroupCommitPolicy`]). A [`TxTicket`](crate::TxTicket) therefore
+//!   resolves only once its commit record is on stable storage — the
+//!   durability point of `wait` is unchanged — while the disk no longer
+//!   serializes the workers. `max_batch = 1` degenerates to one fsync per
+//!   commit; `fsync_commits: false` skips the durable phase entirely
+//!   (tickets resolve at publish; acknowledged commits then survive a
+//!   process kill but not necessarily power loss).
 //! * **Checkpoints.** A checkpoint file is one checksummed record holding
 //!   the full database encoding, the guard cache's shape identities, the
 //!   constraint, and the log offset it covers. One is written at genesis
@@ -37,13 +46,18 @@
 //!   was tampered with or the disk is lying, and no prefix of it should be
 //!   trusted silently.
 
+use crate::exec::TxOutcome;
 use crate::history::{fnv1a_64, state_hash, Event};
+use crate::session::TicketState;
 use crate::snapshot::VersionedStore;
+use crate::StoreError;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 use vpdt_core::safe::RuntimeChecked;
 use vpdt_eval::Omega;
 use vpdt_logic::{Elem, Formula, Schema};
@@ -461,6 +475,37 @@ fn frame(payload: &[u8]) -> Vec<u8> {
 
 // --- the writer ------------------------------------------------------------
 
+/// How the group-commit flusher batches fsyncs across concurrent commits.
+///
+/// Workers *publish* commits (version advanced, record appended) without
+/// waiting for the disk; the flusher coalesces all pending commits into
+/// one fsync and resolves every covered ticket. The defaults give
+/// *natural* batching: the flusher syncs as soon as anything is pending,
+/// so under light load each commit is fsync'd immediately (per-commit
+/// latency), while under concurrent load everything that published during
+/// the previous fsync forms the next batch (per-batch throughput).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupCommitPolicy {
+    /// Most commits resolved by one fsync. `1` degenerates to one fsync
+    /// per commit — the pre-group-commit behavior, minus the critical
+    /// section it used to run in.
+    pub max_batch: usize,
+    /// How long the flusher may hold an under-full batch open waiting for
+    /// more commits. `Duration::ZERO` (the default) never waits: batches
+    /// form only from commits that published while the previous fsync was
+    /// in flight.
+    pub max_delay: Duration,
+}
+
+impl Default for GroupCommitPolicy {
+    fn default() -> Self {
+        GroupCommitPolicy {
+            max_batch: 256,
+            max_delay: Duration::ZERO,
+        }
+    }
+}
+
 /// Tunables of the durable log.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WalOptions {
@@ -469,10 +514,20 @@ pub struct WalOptions {
     /// Whether commit records are fsync'd before the commit is
     /// acknowledged. `true` (the default) makes
     /// [`TxTicket::wait`](crate::TxTicket::wait) a durability point that
-    /// survives power loss; `false` trades that for speed — acknowledged
-    /// commits then survive a process kill (the bytes are in the page
-    /// cache) but not necessarily a machine crash.
+    /// survives power loss — the fsync runs in the durable phase, batched
+    /// across workers per [`GroupCommitPolicy`]; `false` trades that for
+    /// speed — acknowledged commits then survive a process kill (the bytes
+    /// are in the page cache) but not necessarily a machine crash.
     pub fsync_commits: bool,
+    /// How the durable phase batches fsyncs (only meaningful with
+    /// `fsync_commits: true`).
+    pub group_commit: GroupCommitPolicy,
+    /// Keep segments whose records are entirely covered by a checkpoint.
+    /// `false` (the default) deletes them at checkpoint time — recovery
+    /// and serving never read them again; the price is that a later cold
+    /// audit replays from the oldest *surviving* checkpoint instead of
+    /// genesis. Set `true` to retain the full history on disk.
+    pub retain_segments: bool,
 }
 
 impl Default for WalOptions {
@@ -480,6 +535,8 @@ impl Default for WalOptions {
         WalOptions {
             segment_bytes: 8 * 1024 * 1024,
             fsync_commits: true,
+            group_commit: GroupCommitPolicy::default(),
+            retain_segments: false,
         }
     }
 }
@@ -495,7 +552,11 @@ fn segment_path(dir: &Path, seq: u64) -> PathBuf {
 pub struct WalWriter {
     dir: PathBuf,
     opts: WalOptions,
-    file: File,
+    /// The current segment, shared with the group-commit flusher: appends
+    /// go through the writer (under the history lock), fsyncs go through a
+    /// clone of this handle (outside it), so a flush never blocks a
+    /// publish.
+    file: Arc<File>,
     seg_seq: u64,
     seg_len: u64,
     next_offset: u64,
@@ -528,7 +589,7 @@ impl WalWriter {
         Ok(WalWriter {
             dir,
             opts,
-            file,
+            file: Arc::new(file),
             seg_seq: 0,
             seg_len,
             next_offset: 0,
@@ -560,13 +621,9 @@ impl WalWriter {
         // last segment with no valid header (valid length 0). Rewrite the
         // header before appending — otherwise the appended records would
         // start a header-less segment no later scan could read.
+        let next_offset = scan.base_offset + scan.records.len() as u64;
         let seg_len = if scan.last_seg_valid_len == 0 {
-            write_segment_header(
-                &mut file,
-                &path,
-                scan.last_seg_seq,
-                scan.records.len() as u64,
-            )?
+            write_segment_header(&mut file, &path, scan.last_seg_seq, next_offset)?
         } else {
             scan.last_seg_valid_len
         };
@@ -583,10 +640,10 @@ impl WalWriter {
             WalWriter {
                 dir,
                 opts,
-                file,
+                file: Arc::new(file),
                 seg_seq: scan.last_seg_seq,
                 seg_len,
-                next_offset: scan.records.len() as u64,
+                next_offset,
             },
             shapes,
         ))
@@ -598,9 +655,26 @@ impl WalWriter {
     }
 
     /// Global index of the next record to be appended — equivalently, how
-    /// many records are durable so far.
+    /// many records the log has ever held (records deleted by segment
+    /// retention still count; offsets are never reused).
     pub fn offset(&self) -> u64 {
         self.next_offset
+    }
+
+    /// The options the log was opened with.
+    pub fn options(&self) -> &WalOptions {
+        &self.opts
+    }
+
+    /// A shared handle on the current segment file — what the flusher
+    /// fsyncs without holding the history lock.
+    pub(crate) fn current_file(&self) -> Arc<File> {
+        Arc::clone(&self.file)
+    }
+
+    /// The current segment's path (for error reporting).
+    pub(crate) fn current_path(&self) -> PathBuf {
+        segment_path(&self.dir, self.seg_seq)
     }
 
     /// Appends one record, rotating segments at the size budget. Returns
@@ -618,7 +692,9 @@ impl WalWriter {
         }
         let framed = frame(payload);
         let path = segment_path(&self.dir, self.seg_seq);
-        self.file.write_all(&framed).map_err(|e| io_err(&path, e))?;
+        (&*self.file)
+            .write_all(&framed)
+            .map_err(|e| io_err(&path, e))?;
         self.seg_len += framed.len() as u64;
         let offset = self.next_offset;
         self.next_offset += 1;
@@ -632,10 +708,13 @@ impl WalWriter {
     }
 
     fn rotate(&mut self) -> Result<(), WalError> {
+        // The old segment is fully fsync'd before any record lands in the
+        // new one — the flusher only ever needs to sync the *current*
+        // segment to make every appended record durable.
         self.sync()?;
         self.seg_seq += 1;
         let (file, seg_len) = open_segment(&self.dir, self.seg_seq, self.next_offset)?;
-        self.file = file;
+        self.file = Arc::new(file);
         self.seg_len = seg_len;
         Ok(())
     }
@@ -679,34 +758,56 @@ fn open_segment(dir: &Path, seq: u64, base_offset: u64) -> Result<(File, u64), W
 
 /// The durable attachment a persisted [`History`](crate::History) carries:
 /// the writer plus the bookkeeping of which shapes are already declared on
-/// disk and whether commits fsync.
+/// disk and how commits reach stable storage.
 #[derive(Debug)]
 pub(crate) struct DurableLog {
     pub(crate) writer: WalWriter,
     logged_shapes: BTreeSet<u64>,
     fsync_commits: bool,
+    /// The durable phase, when one is configured: commit appends tell the
+    /// flusher how far the log has grown so its next fsync knows what it
+    /// covers.
+    flusher: Option<Arc<GroupCommitFlusher>>,
 }
 
 impl DurableLog {
-    pub(crate) fn new(writer: WalWriter, logged_shapes: BTreeSet<u64>) -> Self {
+    pub(crate) fn new(
+        writer: WalWriter,
+        logged_shapes: BTreeSet<u64>,
+        flusher: Option<Arc<GroupCommitFlusher>>,
+    ) -> Self {
         let fsync_commits = writer.opts.fsync_commits;
         DurableLog {
             writer,
             logged_shapes,
             fsync_commits,
+            flusher,
         }
     }
 
-    /// Appends an event; commit events are flushed per the fsync policy
-    /// before this returns (the durability point). Encodes the borrowed
-    /// event directly — this runs inside the commit critical section, so
-    /// no clone is taken just to wrap it in a [`Record`].
-    pub(crate) fn append_event(&mut self, e: &Event) -> Result<(), WalError> {
-        self.writer.append_payload(&encode_event(e))?;
-        if self.fsync_commits && matches!(e, Event::Commit { .. }) {
-            self.writer.sync()?;
+    /// Appends an event and returns its global offset — the **publish**
+    /// half of durability: this runs inside the commit critical section
+    /// and never fsyncs there. A commit event instead advances the
+    /// flusher's append watermark, so the durable phase knows which fsync
+    /// will cover it. (Without a flusher — an embedding that attaches a
+    /// log but runs no durable phase — `fsync_commits` falls back to the
+    /// old inline flush so the option's contract still holds.) Encodes
+    /// the borrowed event directly — no clone is taken just to wrap it in
+    /// a [`Record`].
+    pub(crate) fn append_event(&mut self, e: &Event) -> Result<u64, WalError> {
+        let offset = self.writer.append_payload(&encode_event(e))?;
+        if matches!(e, Event::Commit { .. }) {
+            if let Some(flusher) = &self.flusher {
+                flusher.note_append(
+                    self.writer.current_file(),
+                    self.writer.current_path(),
+                    self.writer.offset(),
+                );
+            } else if self.fsync_commits {
+                self.writer.sync()?;
+            }
         }
-        Ok(())
+        Ok(offset)
     }
 
     /// Logs a shape declaration the first time the shape is used durably.
@@ -718,6 +819,296 @@ impl DurableLog {
             self.writer.append_payload(&payload)?;
         }
         Ok(())
+    }
+}
+
+// --- the group-commit flusher ----------------------------------------------
+
+/// Counters of the durable phase — what group commit actually bought.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FlushStats {
+    /// Fsyncs issued by the flusher.
+    pub fsyncs: u64,
+    /// Commit tickets resolved durable (across all fsyncs).
+    pub flushed_commits: u64,
+    /// Flushes that failed (fail-stop: at most 1, after which every
+    /// covered and subsequent ticket resolves with a typed error).
+    pub flush_failures: u64,
+    /// How many batches resolved exactly `k` tickets, by `k` — the
+    /// batch-size histogram. `flushed_commits / fsyncs` is the mean.
+    pub batch_sizes: BTreeMap<usize, u64>,
+}
+
+/// One published commit awaiting its covering fsync.
+pub(crate) struct PendingAck {
+    /// The commit record's global log offset.
+    pub(crate) offset: u64,
+    /// The version the publish phase produced.
+    pub(crate) version: u64,
+    /// The ticket to resolve durable (absent on ticketless paths; the
+    /// commit still counts toward the batch it is flushed with).
+    pub(crate) ticket: Option<Arc<TicketState>>,
+}
+
+struct FlushInner {
+    pending: Vec<PendingAck>,
+    /// When the oldest pending ack arrived (drives `max_delay`).
+    first_at: Option<Instant>,
+    closed: bool,
+    /// The append watermark: the current segment file and the global
+    /// offset the log has grown to, maintained by the publish phase
+    /// ([`DurableLog::append_event`]). Fsyncing `file` makes every record
+    /// below `appended` durable — earlier segments were synced at
+    /// rotation.
+    file: Option<(Arc<File>, PathBuf)>,
+    appended: u64,
+    /// Everything below this offset is on stable storage.
+    durable: u64,
+    /// Fail-stop state: the error every covered and subsequent ticket
+    /// resolves with.
+    failed: Option<WalError>,
+    /// Test hook: makes the next flush fail without touching the disk.
+    inject_error: bool,
+    stats: FlushStats,
+}
+
+/// The shared group-commit flusher: workers enqueue published commits
+/// (ticket + log offset), a dedicated thread coalesces all pending offsets
+/// into one fsync and resolves every covered ticket — the **durable**
+/// phase of the commit pipeline. Owned by the
+/// [`StoreServer`](crate::StoreServer), which spawns the thread at build
+/// and drains it on shutdown *and* drop, so no acknowledged-or-pending
+/// commit is lost even on the crash-shaped exit.
+#[derive(Debug)]
+pub(crate) struct GroupCommitFlusher {
+    policy: GroupCommitPolicy,
+    inner: Mutex<FlushInner>,
+    ready: Condvar,
+}
+
+impl std::fmt::Debug for FlushInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlushInner")
+            .field("pending", &self.pending.len())
+            .field("appended", &self.appended)
+            .field("durable", &self.durable)
+            .field("closed", &self.closed)
+            .field("failed", &self.failed)
+            .finish()
+    }
+}
+
+impl GroupCommitFlusher {
+    pub(crate) fn new(policy: GroupCommitPolicy) -> Self {
+        GroupCommitFlusher {
+            policy,
+            inner: Mutex::new(FlushInner {
+                pending: Vec::new(),
+                first_at: None,
+                closed: false,
+                file: None,
+                appended: 0,
+                durable: 0,
+                failed: None,
+                inject_error: false,
+                stats: FlushStats::default(),
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Advances the append watermark — called by the publish phase, under
+    /// the history lock, after every commit append. Deliberately tiny: the
+    /// flush lock is only ever held for bookkeeping, never across I/O.
+    pub(crate) fn note_append(&self, file: Arc<File>, path: PathBuf, appended: u64) {
+        let mut g = self.inner.lock().expect("flusher lock poisoned");
+        g.file = Some((file, path));
+        g.appended = g.appended.max(appended);
+    }
+
+    /// Hands a published commit to the durable phase. If a covering fsync
+    /// already happened (the flusher raced ahead), the ticket resolves on
+    /// the spot; after a flush failure, it resolves with the typed error
+    /// (fail-stop: the log can no longer promise durability).
+    pub(crate) fn enqueue(&self, ack: PendingAck) {
+        let mut g = self.inner.lock().expect("flusher lock poisoned");
+        if let Some(err) = &g.failed {
+            let error = StoreError::Wal(err.clone());
+            drop(g);
+            if let Some(ticket) = &ack.ticket {
+                ticket.resolve(TxOutcome::Failed { error });
+            }
+            return;
+        }
+        if ack.offset < g.durable {
+            g.stats.flushed_commits += 1;
+            drop(g);
+            if let Some(ticket) = &ack.ticket {
+                ticket.resolve(TxOutcome::Committed {
+                    version: ack.version,
+                });
+            }
+            return;
+        }
+        if g.pending.is_empty() {
+            g.first_at = Some(Instant::now());
+        }
+        g.pending.push(ack);
+        drop(g);
+        self.ready.notify_all();
+    }
+
+    /// Closes the flusher: the run loop drains what is pending (one final
+    /// fsync) and exits. Idempotent.
+    pub(crate) fn close(&self) {
+        self.inner.lock().expect("flusher lock poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Point-in-time counters.
+    pub(crate) fn stats(&self) -> FlushStats {
+        self.inner
+            .lock()
+            .expect("flusher lock poisoned")
+            .stats
+            .clone()
+    }
+
+    /// Test hook: the next flush fails as if the disk had, exercising the
+    /// fail-stop fan-out without needing a faulty device.
+    pub(crate) fn inject_flush_error(&self) {
+        self.inner
+            .lock()
+            .expect("flusher lock poisoned")
+            .inject_error = true;
+    }
+
+    /// The flusher thread's loop: wait for published commits, batch them
+    /// per the policy, fsync once, resolve everything covered. Returns
+    /// when closed and drained.
+    pub(crate) fn run(&self) {
+        loop {
+            let (batch, file, path, appended, inject) = {
+                let mut g = self.inner.lock().expect("flusher lock poisoned");
+                loop {
+                    if !g.pending.is_empty() {
+                        let deadline =
+                            g.first_at.expect("first_at set with pending") + self.policy.max_delay;
+                        let now = Instant::now();
+                        if g.closed
+                            || g.failed.is_some()
+                            || g.pending.len() >= self.policy.max_batch.max(1)
+                            || now >= deadline
+                        {
+                            break;
+                        }
+                        let (next, _) = self
+                            .ready
+                            .wait_timeout(g, deadline - now)
+                            .expect("flusher lock poisoned");
+                        g = next;
+                    } else if g.closed {
+                        return;
+                    } else {
+                        g = self.ready.wait(g).expect("flusher lock poisoned");
+                    }
+                }
+                if let Some(err) = &g.failed {
+                    // Fail-stop: anything that slipped in resolves with
+                    // the same typed error; no further I/O is attempted.
+                    let error = StoreError::Wal(err.clone());
+                    let orphans: Vec<PendingAck> = g.pending.drain(..).collect();
+                    drop(g);
+                    for ack in orphans {
+                        if let Some(ticket) = ack.ticket {
+                            ticket.resolve(TxOutcome::Failed {
+                                error: error.clone(),
+                            });
+                        }
+                    }
+                    continue;
+                }
+                g.pending.sort_by_key(|a| a.offset);
+                let take = g.pending.len().min(self.policy.max_batch.max(1));
+                let batch: Vec<PendingAck> = g.pending.drain(..take).collect();
+                g.first_at = if g.pending.is_empty() {
+                    None
+                } else {
+                    Some(Instant::now())
+                };
+                let (file, path) = g
+                    .file
+                    .clone()
+                    .expect("a commit published before any ack was enqueued");
+                let inject = std::mem::take(&mut g.inject_error);
+                (batch, file, path, g.appended, inject)
+            };
+            // The fsync — off every lock, so publishes keep flowing while
+            // the disk works.
+            let result = if inject {
+                Err(WalError::Io {
+                    path: path.display().to_string(),
+                    message: "injected flush failure".to_string(),
+                })
+            } else {
+                file.sync_data().map_err(|e| io_err(&path, e))
+            };
+            match result {
+                Ok(()) => {
+                    let mut g = self.inner.lock().expect("flusher lock poisoned");
+                    g.durable = g.durable.max(appended);
+                    // The fsync covers every offset below the watermark —
+                    // including acks that overflowed `max_batch` and acks
+                    // enqueued while the fsync was in flight. Resolve them
+                    // all now rather than making already-durable commits
+                    // wait for (and trigger) another flush.
+                    let durable = g.durable;
+                    let mut covered: Vec<PendingAck> = Vec::new();
+                    g.pending.retain_mut(|ack| {
+                        if ack.offset < durable {
+                            covered.push(PendingAck {
+                                offset: ack.offset,
+                                version: ack.version,
+                                ticket: ack.ticket.take(),
+                            });
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    if g.pending.is_empty() {
+                        g.first_at = None;
+                    }
+                    let resolved = batch.len() + covered.len();
+                    g.stats.fsyncs += 1;
+                    g.stats.flushed_commits += resolved as u64;
+                    *g.stats.batch_sizes.entry(resolved).or_insert(0) += 1;
+                    drop(g);
+                    for ack in batch.into_iter().chain(covered) {
+                        if let Some(ticket) = ack.ticket {
+                            ticket.resolve(TxOutcome::Committed {
+                                version: ack.version,
+                            });
+                        }
+                    }
+                }
+                Err(err) => {
+                    let mut g = self.inner.lock().expect("flusher lock poisoned");
+                    g.failed = Some(err.clone());
+                    g.stats.flush_failures += 1;
+                    let rest: Vec<PendingAck> = g.pending.drain(..).collect();
+                    drop(g);
+                    let error = StoreError::Wal(err);
+                    for ack in batch.into_iter().chain(rest) {
+                        if let Some(ticket) = ack.ticket {
+                            ticket.resolve(TxOutcome::Failed {
+                                error: error.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -735,8 +1126,11 @@ pub struct LogRecord {
 /// Everything a scan of the log directory found.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LogScan {
-    /// All valid records across all segments, in log order.
+    /// All surviving records across all segments, in log order.
     pub records: Vec<LogRecord>,
+    /// Global offset of the first surviving record: 0 for a full log,
+    /// larger after segment retention deleted a checkpoint-covered prefix.
+    pub base_offset: u64,
     /// Bytes of torn tail discarded from the last segment (0 = clean end).
     pub torn_bytes: u64,
     /// Sequence number of the last segment.
@@ -746,8 +1140,11 @@ pub struct LogScan {
 }
 
 /// Scans every segment of the log in `dir`, validating checksums and
-/// continuity. A torn tail in the *last* segment is discarded and reported;
-/// damage anywhere else is a hard [`WalError::Corrupt`].
+/// continuity. The segments must be contiguous; they need not start at
+/// `wal-00000000.log` — segment retention deletes checkpoint-covered
+/// prefixes, and the first surviving segment's header tells the scan its
+/// global base offset. A torn tail in the *last* segment is discarded and
+/// reported; damage anywhere else is a hard [`WalError::Corrupt`].
 pub fn scan_log(dir: impl AsRef<Path>) -> Result<LogScan, WalError> {
     let dir = dir.as_ref();
     let mut seqs: Vec<u64> = Vec::new();
@@ -770,17 +1167,22 @@ pub fn scan_log(dir: impl AsRef<Path>) -> Result<LogScan, WalError> {
         });
     }
     seqs.sort_unstable();
+    let first_seq = seqs[0];
     for (i, &seq) in seqs.iter().enumerate() {
-        if seq != i as u64 {
+        if seq != first_seq + i as u64 {
             return Err(WalError::Corrupt {
                 segment: segment_path(dir, seq).display().to_string(),
                 offset: 0,
-                detail: format!("segment sequence gap: expected wal-{:08}.log", i),
+                detail: format!(
+                    "segment sequence gap: expected wal-{:08}.log",
+                    first_seq + i as u64
+                ),
             });
         }
     }
 
     let mut records: Vec<LogRecord> = Vec::new();
+    let mut base_offset: Option<u64> = None;
     let mut torn_bytes = 0u64;
     let mut last_valid_len = 0u64;
     let last_index = seqs.len() - 1;
@@ -868,17 +1270,25 @@ pub fn scan_log(dir: impl AsRef<Path>) -> Result<LogScan, WalError> {
                         })
                     }
                     Ok((_, s, b)) => {
-                        if s != seq || b != records.len() as u64 {
+                        // The first surviving segment *defines* the global
+                        // base (retention may have deleted its
+                        // predecessors); every later segment must continue
+                        // exactly where the scan stands.
+                        let expected_base = match base_offset {
+                            None => b,
+                            Some(base) => base + records.len() as u64,
+                        };
+                        if s != seq || b != expected_base {
                             return Err(WalError::Corrupt {
                                 segment,
                                 offset: pos as u64,
                                 detail: format!(
                                     "segment header (seq {s}, base {b}) does not match its \
-                                     position (seq {seq}, base {})",
-                                    records.len()
+                                     position (seq {seq}, base {expected_base})"
                                 ),
                             });
                         }
+                        base_offset.get_or_insert(b);
                     }
                     Err(e) => {
                         return Err(WalError::Corrupt {
@@ -891,7 +1301,7 @@ pub fn scan_log(dir: impl AsRef<Path>) -> Result<LogScan, WalError> {
             } else {
                 match decode_record(payload) {
                     Ok(record) => records.push(LogRecord {
-                        offset: records.len() as u64,
+                        offset: base_offset.unwrap_or(0) + records.len() as u64,
                         record,
                     }),
                     Err(detail) => {
@@ -917,10 +1327,98 @@ pub fn scan_log(dir: impl AsRef<Path>) -> Result<LogScan, WalError> {
     }
     Ok(LogScan {
         records,
+        base_offset: base_offset.unwrap_or(0),
         torn_bytes,
-        last_seg_seq: last_index as u64,
+        last_seg_seq: first_seq + last_index as u64,
         last_seg_valid_len: last_valid_len,
     })
+}
+
+// --- segment retention -----------------------------------------------------
+
+/// Reads a segment's header and returns the global offset of its first
+/// record.
+fn read_segment_base(path: &Path) -> Result<u64, WalError> {
+    use std::io::Read;
+    let corrupt = |detail: String| WalError::Corrupt {
+        segment: path.display().to_string(),
+        offset: 0,
+        detail,
+    };
+    let mut f = File::open(path).map_err(|e| io_err(path, e))?;
+    let mut framing = [0u8; FRAME_HEADER];
+    f.read_exact(&mut framing)
+        .map_err(|_| corrupt("segment shorter than record framing".to_string()))?;
+    let len = u32::from_le_bytes(framing[0..4].try_into().expect("4 bytes")) as usize;
+    let sum = u64::from_le_bytes(framing[4..12].try_into().expect("8 bytes"));
+    let mut payload = vec![0u8; len];
+    f.read_exact(&mut payload)
+        .map_err(|_| corrupt("segment shorter than its header record".to_string()))?;
+    if fnv1a_64(&payload) != sum {
+        return Err(corrupt("header checksum mismatch".to_string()));
+    }
+    let mut c = Cursor::new(&payload);
+    (|| -> Result<u64, CodecError> {
+        let at = c.pos();
+        let tag = c.u8("segment tag")?;
+        if tag != TAG_SEGMENT {
+            return Err(CodecError::BadTag {
+                at,
+                what: "segment header",
+                tag,
+            });
+        }
+        let _version = c.u32("format version")?;
+        let _seq = c.u64("segment seq")?;
+        let base = c.u64("base offset")?;
+        c.finish()?;
+        Ok(base)
+    })()
+    .map_err(|e| corrupt(format!("bad segment header: {e}")))
+}
+
+/// Deletes every segment whose records are *entirely* below `covered` —
+/// the retention pass run after a checkpoint at offset `covered` (unless
+/// [`WalOptions::retain_segments`] opts out), and by `vpdtool wal gc`.
+/// A segment is deletable when its successor's base offset is at most
+/// `covered` (so every record it holds is checkpoint-covered) — the last
+/// segment is never deleted. Returns the deleted paths.
+pub fn gc_segments(dir: impl AsRef<Path>, covered: u64) -> Result<Vec<PathBuf>, WalError> {
+    let dir = dir.as_ref();
+    let mut seqs: Vec<u64> = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| io_err(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(seq) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".log"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            seqs.push(seq);
+        }
+    }
+    seqs.sort_unstable();
+    let mut deleted = Vec::new();
+    for pair in seqs.windows(2) {
+        let (seq, next) = (pair[0], pair[1]);
+        let next_base = read_segment_base(&segment_path(dir, next))?;
+        if next_base > covered {
+            break;
+        }
+        let path = segment_path(dir, seq);
+        std::fs::remove_file(&path).map_err(|e| io_err(&path, e))?;
+        deleted.push(path);
+    }
+    if !deleted.is_empty() {
+        // Make the deletions themselves durable (best-effort, as for
+        // segment creation).
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(deleted)
 }
 
 // --- checkpoints -----------------------------------------------------------
@@ -1098,9 +1596,11 @@ pub fn read_genesis(dir: impl AsRef<Path>) -> Result<Checkpoint, WalError> {
 /// Knobs of [`recover`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RecoveryOptions {
-    /// Ignore later checkpoints and replay the entire log from the genesis
-    /// checkpoint. Slower; used by audits and by the property test that
-    /// pins `recover(checkpoint + tail)` to the full replay.
+    /// Ignore later checkpoints and replay the entire surviving log from
+    /// the *floor* checkpoint — the genesis for a full log, the oldest
+    /// checkpoint that still covers the first surviving record after
+    /// segment retention. Slower; used by audits and by the property test
+    /// that pins `recover(checkpoint + tail)` to the full replay.
     pub from_genesis: bool,
 }
 
@@ -1118,15 +1618,29 @@ pub struct Recovered {
     pub next_tx: u64,
     /// Every statement shape declared by checkpoint or log, by id.
     pub templates: BTreeMap<u64, Template>,
-    /// The full event history from genesis (shape records excluded).
+    /// The event history from the floor checkpoint onward (shape records
+    /// excluded) — the full history from genesis unless segment retention
+    /// deleted a covered prefix.
     pub events: Vec<Event>,
     /// The constraint recorded at the checkpoint.
     pub alpha: Formula,
     /// The schema recorded at the checkpoint.
     pub schema: Schema,
-    /// The initial state (from the genesis checkpoint) — what a cold audit
-    /// replays from.
+    /// The floor checkpoint's state — what a cold audit replays
+    /// [`events`](Recovered::events) from (the genesis state for a full
+    /// log).
     pub initial: Database,
+    /// The floor checkpoint's version: `initial` is the store at this
+    /// version, and the first event in [`events`](Recovered::events)
+    /// commits at `base_version + 1`. Zero for a full log.
+    pub base_version: u64,
+    /// Each relation's last-writer version, reconstructed from the
+    /// replayed commit footprints (relations not written since the floor
+    /// checkpoint carry `base_version`) — what a resumed store seeds its
+    /// conflict validation with, so the first post-recovery disjoint
+    /// commits validate against real history instead of a coarse
+    /// recovery-point stamp.
+    pub rel_versions: BTreeMap<String, u64>,
     /// Commits replayed (and verified) from the log tail.
     pub commits_replayed: usize,
     /// Log offset of the checkpoint recovery started from.
@@ -1157,52 +1671,77 @@ pub fn recover(
     let (_, latest_path) = cks.last().ok_or_else(|| WalError::NoCheckpoint {
         dir: dir.display().to_string(),
     })?;
-    let genesis = read_genesis(dir)?;
-    if genesis.version != 0 || genesis.offset != 0 {
-        return Err(RecoveryError::Divergence {
-            detail: "genesis checkpoint does not describe version 0 at offset 0".to_string(),
-        });
+    // The *floor* checkpoint: the oldest one that can serve as a replay
+    // base for the surviving log — genesis for a full log, the oldest
+    // checkpoint at or past the first surviving record after segment
+    // retention.
+    let (_, floor_path) = cks
+        .iter()
+        .find(|(off, _)| *off >= scan.base_offset)
+        .ok_or_else(|| RecoveryError::Divergence {
+            detail: format!(
+                "the log starts at offset {} but no checkpoint covers that far",
+                scan.base_offset
+            ),
+        })?;
+    let floor = read_checkpoint(floor_path)?;
+    if scan.base_offset == 0 {
+        if floor.offset != 0 {
+            return Err(WalError::NoCheckpoint {
+                dir: dir.display().to_string(),
+            }
+            .into());
+        }
+        if floor.version != 0 {
+            return Err(RecoveryError::Divergence {
+                detail: "genesis checkpoint does not describe version 0 at offset 0".to_string(),
+            });
+        }
     }
-    let ck = if opts.from_genesis {
-        genesis.clone()
+    let ck = if opts.from_genesis || latest_path == floor_path {
+        // Re-reading (and re-decoding the full database of) the same
+        // checkpoint file would double recovery's startup cost.
+        floor.clone()
     } else {
         read_checkpoint(latest_path)?
     };
 
-    // The checkpoint must be internally consistent...
-    if state_hash(&ck.db) != ck.state_hash {
-        return Err(RecoveryError::Divergence {
-            detail: format!(
-                "checkpoint at offset {} records state hash {:#x} but its state hashes to {:#x}",
-                ck.offset,
-                ck.state_hash,
-                state_hash(&ck.db)
-            ),
-        });
+    // Every checkpoint in play must be internally consistent...
+    for c in [&floor, &ck] {
+        if state_hash(&c.db) != c.state_hash {
+            return Err(RecoveryError::Divergence {
+                detail: format!(
+                    "checkpoint at offset {} records state hash {:#x} but its state hashes \
+                     to {:#x}",
+                    c.offset,
+                    c.state_hash,
+                    state_hash(&c.db)
+                ),
+            });
+        }
     }
-    // ...within the log's extent...
-    if ck.offset as usize > scan.records.len() {
+    // ...within the surviving log's extent...
+    let log_end = scan.base_offset + scan.records.len() as u64;
+    if ck.offset < scan.base_offset || ck.offset > log_end {
         return Err(RecoveryError::Divergence {
             detail: format!(
-                "checkpoint covers {} records but the log holds only {}",
-                ck.offset,
-                scan.records.len()
+                "checkpoint covers {} records but the log holds only offsets {}..{}",
+                ck.offset, scan.base_offset, log_end
             ),
         });
     }
     // ...and anchored to the commit record it claims to cover.
-    let last_commit_covered =
-        scan.records[..ck.offset as usize]
-            .iter()
-            .rev()
-            .find_map(|r| match &r.record {
-                Record::Event(Event::Commit {
-                    version,
-                    state_hash,
-                    ..
-                }) => Some((*version, *state_hash)),
-                _ => None,
-            });
+    let last_commit_covered = scan.records[..(ck.offset - scan.base_offset) as usize]
+        .iter()
+        .rev()
+        .find_map(|r| match &r.record {
+            Record::Event(Event::Commit {
+                version,
+                state_hash,
+                ..
+            }) => Some((*version, *state_hash)),
+            _ => None,
+        });
     match last_commit_covered {
         Some((v, h)) => {
             if v != ck.version || h != ck.state_hash {
@@ -1216,7 +1755,11 @@ pub fn recover(
             }
         }
         None => {
-            if ck.version != 0 {
+            // No covered commit survives. On a full log that means the
+            // checkpoint must be genesis-shaped; after retention the
+            // covering commits may simply have been deleted, and the
+            // self-hash check above remains the anchor.
+            if scan.base_offset == 0 && ck.version != 0 {
                 return Err(RecoveryError::Divergence {
                     detail: format!(
                         "checkpoint claims version {} but covers no commit records",
@@ -1229,7 +1772,18 @@ pub fn recover(
 
     // Shape identities: checkpointed templates plus every declaration in
     // the log. Conflicting declarations of one id are tampering.
-    let mut templates = ck.templates.clone();
+    let mut templates = floor.templates.clone();
+    for (id, template) in &ck.templates {
+        if let Some(prev) = templates.get(id) {
+            if prev != template {
+                return Err(RecoveryError::Divergence {
+                    detail: format!("shape {id} is declared twice with different templates"),
+                });
+            }
+        } else {
+            templates.insert(*id, template.clone());
+        }
+    }
     for r in &scan.records {
         if let Record::Shape { id, template } = &r.record {
             if let Some(prev) = templates.get(id) {
@@ -1248,7 +1802,7 @@ pub fn recover(
     let mut db = ck.db.clone();
     let mut version = ck.version;
     let mut commits_replayed = 0usize;
-    for r in &scan.records[ck.offset as usize..] {
+    for r in &scan.records[(ck.offset - scan.base_offset) as usize..] {
         let Record::Event(Event::Commit {
             tx,
             version: v,
@@ -1319,6 +1873,7 @@ pub fn recover(
     let events: Vec<Event> = scan
         .records
         .iter()
+        .filter(|r| r.offset >= floor.offset)
         .filter_map(|r| match &r.record {
             Record::Event(e) => Some(e.clone()),
             Record::Shape { .. } => None,
@@ -1333,7 +1888,34 @@ pub fn recover(
             | Event::Abort { tx, .. } => *tx,
         })
         .max();
-    let next_tx = ck.next_tx.max(max_tx.map_or(0, |t| t + 1));
+    let next_tx = ck
+        .next_tx
+        .max(floor.next_tx)
+        .max(max_tx.map_or(0, |t| t + 1));
+
+    // Each relation's actual last writer, reconstructed from the commit
+    // footprints since the floor — finer than stamping every relation with
+    // the recovery point, so the first post-recovery disjoint commits
+    // validate against real history. Relations unwritten since the floor
+    // carry the floor version (their true last writer is at or below it,
+    // and every post-resume snapshot is above it, so the seed can only be
+    // exact-or-conservative).
+    let mut rel_versions: BTreeMap<String, u64> = ck
+        .schema
+        .iter()
+        .map(|(name, _)| (name.to_string(), floor.version))
+        .collect();
+    for e in &events {
+        if let Event::Commit {
+            version: v, writes, ..
+        } = e
+        {
+            for w in writes {
+                let slot = rel_versions.entry(w.clone()).or_insert(0);
+                *slot = (*slot).max(*v);
+            }
+        }
+    }
 
     Ok(Recovered {
         state_hash: state_hash(&db),
@@ -1344,7 +1926,9 @@ pub fn recover(
         events,
         alpha: ck.alpha,
         schema: ck.schema,
-        initial: genesis.db,
+        initial: floor.db,
+        base_version: floor.version,
+        rel_versions,
         commits_replayed,
         checkpoint_offset: ck.offset,
         torn_bytes: scan.torn_bytes,
@@ -1368,6 +1952,7 @@ impl VersionedStore {
             r.db.clone(),
             r.version,
             crate::history::History::with_events(r.events.clone()),
+            r.rel_versions.clone(),
         );
         Ok((store, r))
     }
@@ -1445,6 +2030,7 @@ mod tests {
             WalOptions {
                 segment_bytes: 96, // tiny: forces several segments
                 fsync_commits: false,
+                ..WalOptions::default()
             },
         )
         .expect("creates");
@@ -1478,6 +2064,7 @@ mod tests {
             WalOptions {
                 segment_bytes: 96,
                 fsync_commits: false,
+                ..WalOptions::default()
             },
         )
         .expect("resumes");
@@ -1493,6 +2080,7 @@ mod tests {
             WalOptions {
                 segment_bytes: u64::MAX,
                 fsync_commits: false,
+                ..WalOptions::default()
             },
         )
         .expect("creates");
@@ -1607,6 +2195,7 @@ mod tests {
         let opts = WalOptions {
             segment_bytes: u64::MAX,
             fsync_commits: false,
+            ..WalOptions::default()
         };
         let mut w = WalWriter::create(&dir, opts.clone()).expect("creates");
         for e in event_menu() {

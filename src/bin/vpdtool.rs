@@ -10,6 +10,7 @@
 //! vpdtool store    --persist ./wal            # durable: write-ahead log + checkpoints
 //! vpdtool store    --persist ./wal --recover  # resume a persisted store and keep serving
 //! vpdtool audit    --log ./wal                # cold audit: recover + replay + verify
+//! vpdtool wal gc ./wal                        # delete checkpoint-covered log segments
 //! ```
 //!
 //! Databases use the textual encoding of `Database::encode`
@@ -145,6 +146,9 @@ fn run(args: &[String]) -> Result<(), String> {
     if cmd == "audit" {
         return run_audit(rest);
     }
+    if cmd == "wal" {
+        return run_wal(rest);
+    }
     let o = parse_options(rest)?;
     match cmd.as_str() {
         "help" | "--help" | "-h" => {
@@ -161,7 +165,10 @@ fn run(args: &[String]) -> Result<(), String> {
                  serve a concurrent workload through StoreServer sessions and audit it;\n           \
                  --persist makes it durable (WAL + checkpoints), --recover resumes DIR\n  \
                  audit    --log DIR [--omega O]                 cold audit of a persisted store:\n           \
-                 recover snapshot + log tail, replay every commit, verify hashes & provenance\n\n\
+                 recover snapshot + log tail, replay every commit, verify hashes & provenance\n  \
+                 wal gc DIR                                     delete log segments fully covered\n           \
+                 by the newest checkpoint (what a serving store does at checkpoint time unless\n           \
+                 WalOptions::retain_segments opts out)\n\n\
                  common flags: --schema 'R:2,S:1' (default E:2), --omega empty|order|arithmetic"
             );
             Ok(())
@@ -377,17 +384,27 @@ fn run_store(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// Recovers a persisted directory and runs the full cold audit over it.
+/// Recovers a persisted directory and runs the full cold audit over it —
+/// from the genesis state when the whole log survives, from the floor
+/// checkpoint when segment retention has deleted a covered prefix.
 fn cold_audit_dir(dir: &str, omega: &Omega) -> Result<vpdt::store::AuditReport, String> {
     use vpdt::store::wal::{self, RecoveryOptions};
     let recovered = wal::recover(dir, omega, RecoveryOptions::default())
         .map_err(|e| format!("recovery of {dir} failed: {e}"))?;
     println!(
-        "cold log {dir}: recovered version {} (state hash {:#018x}), {} events, \
+        "cold log {dir}: recovered version {} (state hash {:#018x}), {} events{}, \
          {} commits replayed from the latest checkpoint{}",
         recovered.version,
         recovered.state_hash,
         recovered.events.len(),
+        if recovered.base_version > 0 {
+            format!(
+                " (history before version {} retired by segment retention)",
+                recovered.base_version
+            )
+        } else {
+            String::new()
+        },
         recovered.commits_replayed,
         if recovered.torn_bytes > 0 {
             format!(", {} torn tail bytes discarded", recovered.torn_bytes)
@@ -395,14 +412,51 @@ fn cold_audit_dir(dir: &str, omega: &Omega) -> Result<vpdt::store::AuditReport, 
             String::new()
         }
     );
-    Ok(vpdt::store::cold_audit(
+    Ok(vpdt::store::cold_audit_from(
         &recovered.alpha,
         omega,
+        recovered.base_version,
         &recovered.initial,
         &recovered.db,
         &recovered.events,
         &recovered.templates,
     ))
+}
+
+/// `vpdtool wal gc DIR`: the standalone retention pass — delete every log
+/// segment whose records are entirely covered by the newest checkpoint.
+/// The same pass a serving store runs at checkpoint time unless
+/// `WalOptions::retain_segments` opts out; this command serves logs whose
+/// writers retained everything (or that were written before retention
+/// existed).
+fn run_wal(args: &[String]) -> Result<(), String> {
+    use vpdt::store::wal;
+    let (sub, rest) = args.split_first().ok_or("wal needs a subcommand (gc)")?;
+    if sub != "gc" {
+        return Err(format!("unknown wal subcommand {sub} (expected gc)"));
+    }
+    let [dir] = rest else {
+        return Err("wal gc takes exactly one argument: the log directory".into());
+    };
+    let cks = wal::list_checkpoints(dir).map_err(|e| e.to_string())?;
+    let Some((covered, _)) = cks.last() else {
+        return Err(format!(
+            "{dir} holds no checkpoint; nothing is provably covered"
+        ));
+    };
+    let deleted = wal::gc_segments(dir, *covered).map_err(|e| e.to_string())?;
+    for path in &deleted {
+        println!("deleted {}", path.display());
+    }
+    println!(
+        "{}: {} segment(s) deleted (covered through offset {covered})",
+        dir,
+        deleted.len()
+    );
+    // The directory must still recover afterwards — cheap insurance that
+    // the pass never deletes a segment recovery still needs.
+    wal::scan_log(dir).map_err(|e| format!("post-gc scan failed: {e}"))?;
+    Ok(())
 }
 
 /// `vpdtool audit --log DIR`: the cold audit as a standalone command —

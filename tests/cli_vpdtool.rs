@@ -124,6 +124,45 @@ fn store_runs_and_audits_a_concurrent_workload() {
     assert!(out.contains("audit OK"), "{out}");
 }
 
+/// A persisted store run leaves a recoverable directory; `wal gc` deletes
+/// only checkpoint-covered segments (here: nothing — the shutdown
+/// checkpoint's own retention pass already converged), and the cold audit
+/// still verifies the directory afterwards.
+#[test]
+fn wal_gc_preserves_a_recoverable_directory() {
+    let dir = std::env::temp_dir().join(format!("vpdt-cli-walgc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_string_lossy().into_owned();
+    let (out, _, ok) = vpdtool(&[
+        "store",
+        "--threads",
+        "2",
+        "--clients",
+        "2",
+        "--txs",
+        "20",
+        "--rels",
+        "3",
+        "--universe",
+        "3",
+        "--seed",
+        "5",
+        "--persist",
+        &dir_s,
+    ]);
+    assert!(ok, "{out}");
+    let (out, err, ok) = vpdtool(&["wal", "gc", &dir_s]);
+    assert!(ok, "{out}{err}");
+    assert!(out.contains("segment(s) deleted"), "{out}");
+    let (out, _, ok) = vpdtool(&["audit", "--log", &dir_s]);
+    assert!(ok, "{out}");
+    assert!(out.contains("audit OK"), "{out}");
+    let (_, err, ok) = vpdtool(&["wal", "frob", &dir_s]);
+    assert!(!ok);
+    assert!(err.contains("unknown wal subcommand"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn errors_are_reported() {
     let (_, err, ok) = vpdtool(&["check", "--db", "dom:0;E:"]);

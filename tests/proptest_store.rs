@@ -232,7 +232,17 @@ proptest! {
         let initial = workload::sharded_initial(seed, RELS, UNIVERSE, 0.5);
         let server = StoreBuilder::new(initial, alpha)
             .workers(2)
-            .persist_with(&dir, WalOptions { segment_bytes: 2048, fsync_commits: false })
+            .persist_with(
+                &dir,
+                WalOptions {
+                    segment_bytes: 2048,
+                    fsync_commits: false,
+                    // the genesis-replay comparison needs the full log: a
+                    // mid-run checkpoint must not garbage-collect it
+                    retain_segments: true,
+                    ..WalOptions::default()
+                },
+            )
             .build()
             .expect("persisted server starts");
         let jobs = workload::sharded_jobs(seed, 2, per_client, RELS, UNIVERSE);

@@ -30,12 +30,16 @@ fn tmp_dir(tag: &str) -> PathBuf {
 }
 
 /// Test-speed log options: no per-commit fsync (truncation, not power
-/// loss, is what these tests model) and small segments so rotation is
-/// exercised.
+/// loss, is what these tests model), small segments so rotation is
+/// exercised, and full retention — these tests compare against
+/// from-genesis replays, so checkpoints must not garbage-collect covered
+/// segments (retention has its own tests in `store_group_commit.rs`).
 fn fast_wal() -> WalOptions {
     WalOptions {
         segment_bytes: 1024,
         fsync_commits: false,
+        retain_segments: true,
+        ..WalOptions::default()
     }
 }
 
@@ -368,6 +372,77 @@ fn recovered_server_resumes_and_extends_the_log() {
             assert!(seen.insert(*tx), "tx id {tx} reused across restart");
         }
     }
+}
+
+/// Recovery seeds each relation's last-writer version from the replayed
+/// commit footprints, not a coarse recovery-point stamp: a relation never
+/// written since the floor keeps the floor version, a written one carries
+/// its actual last committing version — and two disjoint-relation commits
+/// straight after recovery both succeed on the first attempt (no false
+/// conflict).
+#[test]
+fn recovery_seeds_rel_versions_from_commit_footprints() {
+    let dir = tmp_dir("relvers");
+    let alpha = workload::sharded_fd_constraint(RELS);
+    let initial = workload::sharded_initial(13, RELS, UNIVERSE, 0.5);
+    let server = StoreBuilder::new(initial, alpha)
+        .workers(2)
+        .persist_with(&dir, fast_wal())
+        .build()
+        .expect("persisted server starts");
+    // Touch only R0: R1 and R2 keep their genesis-era last writers.
+    let mut last_commit = 0;
+    {
+        let session = server.session();
+        for a in 0..UNIVERSE {
+            if let TxOutcome::Committed { version } =
+                session.submit_sync(vpdt::tx::program::Program::delete_consts("R0", [a, a]))
+            {
+                last_commit = version;
+            }
+        }
+    }
+    assert!(last_commit > 0, "the deletes committed");
+    drop(server); // crash-shaped exit: recovery replays the log
+
+    let r = wal::recover(&dir, &Omega::empty(), RecoveryOptions::default()).expect("recovers");
+    assert_eq!(
+        r.rel_versions.get("R0").copied(),
+        Some(r.version),
+        "R0's seed is its actual last committing version"
+    );
+    for rel in ["R1", "R2"] {
+        assert_eq!(
+            r.rel_versions.get(rel).copied(),
+            Some(r.base_version),
+            "{rel} was never written since the floor: it keeps the floor version, \
+             not the recovery point {}",
+            r.version
+        );
+    }
+
+    // The regression: straight after recovery, two disjoint-relation
+    // commits both land on the first attempt — zero conflicts retried.
+    let server = StoreBuilder::recover(&dir)
+        .wal_options(fast_wal())
+        .workers(2)
+        .build()
+        .expect("resumes");
+    let (t1, t2) = {
+        let s1 = server.session();
+        let s2 = server.session();
+        (
+            s1.submit(vpdt::tx::program::Program::delete_consts("R1", [0, 0])),
+            s2.submit(vpdt::tx::program::Program::delete_consts("R2", [0, 0])),
+        )
+    };
+    assert!(matches!(t1.wait(), TxOutcome::Committed { .. }));
+    assert!(matches!(t2.wait(), TxOutcome::Committed { .. }));
+    let report = server.shutdown();
+    assert_eq!(
+        report.exec.conflicts, 0,
+        "disjoint post-recovery commits must validate on the first attempt"
+    );
 }
 
 // --- typed errors, one test per variant ------------------------------------
