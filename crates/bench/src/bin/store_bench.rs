@@ -4,8 +4,10 @@
 //!
 //! * **guarded-sessions** — the front door: a resident `StoreServer`, one
 //!   concurrent `Session` per client (windowed pipelining), cached `wpc`
-//!   guards, N workers, relation-granular optimistic commits. Per-session
-//!   client-observed latencies are recorded and reported as percentiles;
+//!   guards, N workers, relation-granular optimistic commits. Latencies
+//!   come from the server's own metrics registry (`store_tx_total_us` and
+//!   the per-stage histograms), measured over the serving window via
+//!   `MetricsSnapshot::delta` against a post-warm-up baseline;
 //! * **guarded-batch** — the legacy closed-batch wrapper (`run_jobs`) over
 //!   the same worker loop, as the regression reference for the session
 //!   path;
@@ -45,9 +47,10 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Mutex;
 use std::time::Instant;
+use vpdt_store::metrics::names;
 use vpdt_store::{
-    audit, run_jobs, run_serial_rollback, workload, GroupCommitPolicy, GuardCache, StoreBuilder,
-    VersionedStore, WalOptions,
+    audit, run_jobs, run_serial_rollback, workload, GroupCommitPolicy, GuardCache, MetricsSnapshot,
+    StoreBuilder, VersionedStore, WalOptions,
 };
 use vpdt_tx::program::Program;
 
@@ -165,12 +168,38 @@ fn main() -> std::process::ExitCode {
     }
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
+/// p50/p95/p99 of a registry histogram from a snapshot, in the
+/// histogram's own unit (µs here). Zeros when the histogram is absent or
+/// empty (e.g. `publish_to_durable` on an in-memory pass).
+fn quantiles(snap: &MetricsSnapshot, name: &str) -> (f64, f64, f64) {
+    match snap.histogram(name) {
+        Some(h) => (
+            h.quantile(0.50).unwrap_or(0.0),
+            h.quantile(0.95).unwrap_or(0.0),
+            h.quantile(0.99).unwrap_or(0.0),
+        ),
+        None => (0.0, 0.0, 0.0),
     }
-    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// The per-stage latency breakdown of one pass, rendered as a JSON object
+/// for the `stage_latencies` section of the bench report.
+fn stage_latencies_json(serving: &MetricsSnapshot) -> String {
+    let stages = [
+        ("queue_wait_us", names::STAGE_QUEUE_WAIT),
+        ("guard_eval_us", names::STAGE_GUARD_EVAL),
+        ("publish_us", names::STAGE_PUBLISH),
+        ("publish_to_durable_us", names::STAGE_PUBLISH_TO_DURABLE),
+        ("total_us", names::TX_TOTAL),
+    ];
+    let entries: Vec<String> = stages
+        .iter()
+        .map(|(label, name)| {
+            let (p50, p95, p99) = quantiles(serving, name);
+            format!("\"{label}\": {{ \"p50\": {p50:.1}, \"p95\": {p95:.1}, \"p99\": {p99:.1} }}")
+        })
+        .collect();
+    format!("{{ {} }}", entries.join(", "))
 }
 
 /// One measured pass of the session front door: a fresh server over
@@ -178,8 +207,9 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 struct SessionsRun {
     report: vpdt_store::ServerReport,
     programs: BTreeMap<u64, Program>,
-    /// Client-observed latencies (submit → outcome in hand), sorted, secs.
-    latencies: Vec<f64>,
+    /// Metrics over the serving window only: the final snapshot delta'd
+    /// against a post-warm-up baseline, so `prepare` traffic is excluded.
+    serving: MetricsSnapshot,
     secs: f64,
     compile_secs: f64,
 }
@@ -195,7 +225,13 @@ fn run_sessions_once(
     let mut builder = StoreBuilder::new(initial.clone(), alpha.clone())
         .omega(omega.clone())
         .workers(cfg.workers)
-        .guard_cache_capacity(cfg.cache_cap);
+        .guard_cache_capacity(cfg.cache_cap)
+        // Metrics (counters + stage histograms) stay on — the bench reads
+        // its latency numbers from them. The per-event trace ring is a
+        // diagnostic, not a meter, and its shard locks cost ~4-5%
+        // throughput on this workload, so the measured passes run
+        // untraced (the default server leaves it on).
+        .trace_capacity(0);
     if let Some((dir, opts)) = persist {
         builder = builder.persist_with(dir, opts);
     }
@@ -212,19 +248,21 @@ fn run_sessions_once(
         server.prepare(&job.program).map_err(|e| e.to_string())?;
     }
     let compile_secs = compile_start.elapsed().as_secs_f64();
-    // Snapshot cache counters so the reported hits/misses cover the
-    // serving section only — ServerReport's are server-lifetime totals,
-    // which would count every warm-up lookup above as execution traffic.
-    let warm = server.cache_stats();
+    // Baseline the metrics registry so the reported counters and
+    // histograms cover the serving section only — everything on a server
+    // is a lifetime total, which would count every warm-up lookup above
+    // as execution traffic. The final snapshot is delta'd against this.
+    let warm = server.metrics();
 
     // One session per client, each on its own thread, submissions pipelined
     // through a bounded window. Hot-path discipline: inside the measured
-    // loop a client only submits, waits, and stamps clocks. The tx-id →
-    // program map the audit needs is reconstructed afterwards from the
-    // retained tickets (ids are assigned at submission, in order, per
-    // chunk).
-    type ClientLog = (Vec<(u64, usize)>, Vec<f64>);
-    let client_logs: Mutex<Vec<(usize, ClientLog)>> = Mutex::new(Vec::new());
+    // loop a client only submits and waits — latency percentiles come from
+    // the server's own `store_tx_total_us` histogram, not client clocks.
+    // The tx-id → program map the audit needs is reconstructed afterwards
+    // from the retained tickets (ids are assigned at submission, in order,
+    // per chunk).
+    type ClientIds = Vec<(u64, usize)>;
+    let client_logs: Mutex<Vec<(usize, ClientIds)>> = Mutex::new(Vec::new());
     let t0 = Instant::now();
     std::thread::scope(|scope| {
         for (c, chunk) in jobs.chunks(cfg.per_client.max(1)).enumerate() {
@@ -232,58 +270,51 @@ fn run_sessions_once(
             let client_logs = &client_logs;
             scope.spawn(move || {
                 let mut ids = Vec::with_capacity(chunk.len());
-                let mut in_flight: VecDeque<(vpdt_store::TxTicket, Instant)> = VecDeque::new();
-                let mut observed = Vec::with_capacity(chunk.len());
+                let mut in_flight: VecDeque<vpdt_store::TxTicket> = VecDeque::new();
                 for (i, job) in chunk.iter().enumerate() {
                     if in_flight.len() >= PIPELINE_WINDOW {
                         // Block for the oldest, then drain everything that
                         // already resolved — one wakeup amortizes over the
                         // whole resolved prefix instead of costing a
                         // context switch per transaction.
-                        let (ticket, since) = in_flight.pop_front().expect("window non-empty");
+                        let ticket = in_flight.pop_front().expect("window non-empty");
                         ticket.wait();
-                        observed.push(since.elapsed().as_secs_f64());
-                        while let Some((front, _)) = in_flight.front() {
+                        while let Some(front) = in_flight.front() {
                             if front.try_outcome().is_none() {
                                 break;
                             }
-                            let (_, since) = in_flight.pop_front().expect("front exists");
-                            observed.push(since.elapsed().as_secs_f64());
+                            in_flight.pop_front();
                         }
                     }
                     let ticket = session.submit(job.program.clone());
                     ids.push((ticket.id(), i));
-                    in_flight.push_back((ticket, Instant::now()));
+                    in_flight.push_back(ticket);
                 }
-                for (ticket, since) in in_flight {
+                for ticket in in_flight {
                     ticket.wait();
-                    observed.push(since.elapsed().as_secs_f64());
                 }
-                client_logs
-                    .lock()
-                    .expect("client log lock")
-                    .push((c, (ids, observed)));
+                client_logs.lock().expect("client log lock").push((c, ids));
             });
         }
     });
     let secs = t0.elapsed().as_secs_f64();
     let mut programs: BTreeMap<u64, Program> = BTreeMap::new();
-    let mut latencies: Vec<f64> = Vec::with_capacity(jobs.len());
-    for (c, (ids, observed)) in client_logs.into_inner().expect("client log lock") {
+    for (c, ids) in client_logs.into_inner().expect("client log lock") {
         let chunk = &jobs[c * cfg.per_client.max(1)..];
         for (tx, i) in ids {
             programs.insert(tx, chunk[i].program.clone());
         }
-        latencies.extend(observed);
     }
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     let mut report = server.shutdown();
-    report.exec.guard_hits -= warm.hits;
-    report.exec.guard_misses -= warm.misses;
+    let serving = report.metrics.delta(&warm);
+    // The exec report's cache counters are lifetime totals too (satellite
+    // view of the same registry); narrow them to the serving window.
+    report.exec.guard_hits = serving.counter(names::GUARD_CACHE_HITS);
+    report.exec.guard_misses = serving.counter(names::GUARD_CACHE_MISSES);
     Ok(SessionsRun {
         report,
         programs,
-        latencies,
+        serving,
         secs,
         compile_secs,
     })
@@ -381,7 +412,7 @@ fn run(cfg: Config) -> Result<bool, String> {
     let SessionsRun {
         report,
         programs,
-        latencies,
+        serving,
         secs: sessions_secs,
         compile_secs,
     } = session_runs.pop().expect("at least one round");
@@ -391,11 +422,12 @@ fn run(cfg: Config) -> Result<bool, String> {
     } else {
         0.0
     };
-    let (p50, p95, p99) = (
-        percentile(&latencies, 0.50) * 1e3,
-        percentile(&latencies, 0.95) * 1e3,
-        percentile(&latencies, 0.99) * 1e3,
-    );
+    // End-to-end latency percentiles from the server's own registry
+    // (enqueue → ticket resolution), µs histograms reported in ms.
+    let (p50, p95, p99) = {
+        let (a, b, c) = quantiles(&serving, names::TX_TOTAL);
+        (a / 1e3, b / 1e3, c / 1e3)
+    };
     println!(
         "guarded-sessions:   {} committed / {} aborted / {} failed in {:.3}s \
          (median {:.0} commits/s, {} conflicts, cache {}h/{}m, {} shapes compiled \
@@ -520,11 +552,10 @@ fn run(cfg: Config) -> Result<bool, String> {
         0.0
     };
     let group_vs_persisted = group_tps / persisted_tps;
-    let (gp50, gp95, gp99) = (
-        percentile(&group.latencies, 0.50) * 1e3,
-        percentile(&group.latencies, 0.95) * 1e3,
-        percentile(&group.latencies, 0.99) * 1e3,
-    );
+    let (gp50, gp95, gp99) = {
+        let (a, b, c) = quantiles(&group.serving, names::TX_TOTAL);
+        (a / 1e3, b / 1e3, c / 1e3)
+    };
     let max_batch_seen = flush.batch_sizes.keys().max().copied().unwrap_or(0);
     println!(
         "guarded-sessions (group commit): {} committed / {} aborted / {} failed in {:.3}s \
@@ -638,6 +669,8 @@ fn run(cfg: Config) -> Result<bool, String> {
          \"fsyncs_per_commit\": {:.6},\n    \"batch_sizes\": {},\n    \
          \"latency_p50_ms\": {:.4},\n    \"latency_p95_ms\": {:.4},\n    \
          \"latency_p99_ms\": {:.4},\n    \"recovered_ok\": {}\n  }},\n  \
+         \"stage_latencies\": {{\n    \"in_memory\": {},\n    \"persisted\": {},\n    \
+         \"group_commit\": {}\n  }},\n  \
          \"speedup\": {:.3},\n  \"sessions_vs_batch\": {:.3},\n  \
          \"constraint_violations\": {},\n  \"audit_ok\": {},\n  \
          \"audit_commits_checked\": {},\n  \"audit_aborts_checked\": {},\n  \"accepted\": {}\n}}\n",
@@ -699,6 +732,9 @@ fn run(cfg: Config) -> Result<bool, String> {
         gp95,
         gp99,
         group_recovered_ok,
+        stage_latencies_json(&serving),
+        stage_latencies_json(&persisted.serving),
+        stage_latencies_json(&group.serving),
         speedup,
         session_vs_batch,
         violations,

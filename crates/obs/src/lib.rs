@@ -1,0 +1,45 @@
+//! # vpdt-obs
+//!
+//! Hand-rolled observability primitives for the vpdt workspace: a lock-cheap
+//! [`MetricsRegistry`] of named counters, gauges, and fixed-bucket latency
+//! histograms, plus a [`TxTrace`] ring buffer recording each transaction's
+//! lifecycle as timestamped stage events. No external dependencies — the
+//! workspace builds offline.
+//!
+//! ## Design
+//!
+//! * **Hot path is atomics only.** A [`Counter`], [`Gauge`], or
+//!   [`Histogram`] handle is resolved once (a registry lookup behind an
+//!   `RwLock`) and then bumped with relaxed atomic operations; histograms
+//!   additionally shard their buckets per worker (thread-assigned
+//!   round-robin) so concurrent observers don't contend on one cache line.
+//!   Shards are merged on read, never on write.
+//! * **Counters are lifetime totals.** Every reading taken from the
+//!   registry is a monotone total since registry creation. Windowed
+//!   readings ("during the serving section") are produced by snapshotting
+//!   twice and calling [`MetricsSnapshot::delta`] — the registry itself is
+//!   never reset.
+//! * **One clock.** The registry owns the epoch (`Instant` at creation);
+//!   [`MetricsRegistry::now_ns`] gives nanoseconds since that epoch, and
+//!   every trace event and stage timing uses it, so timestamps from
+//!   different threads are directly comparable (CLOCK_MONOTONIC is global
+//!   on the platforms we serve).
+//! * **Traces are bounded.** [`TxTrace`] is a fixed-capacity ring sharded
+//!   by transaction id; when a shard fills, the oldest events in that shard
+//!   are overwritten. Events for one transaction land in one shard in
+//!   insertion order, so a transaction's recorded timeline is always
+//!   monotone even when other transactions' events interleave.
+//!
+//! ## Exposition
+//!
+//! [`MetricsSnapshot::render_prometheus`] renders the Prometheus text
+//! format, deterministically (names sorted, histogram buckets in bound
+//! order), so the output can be diffed in CI.
+
+mod registry;
+mod snapshot;
+mod trace;
+
+pub use registry::{Counter, Gauge, Histogram, MetricsRegistry, DEFAULT_LATENCY_BOUNDS_US};
+pub use snapshot::{HistogramSnapshot, MetricsSnapshot};
+pub use trace::{TraceEvent, TraceStage, TxTimeline, TxTrace};

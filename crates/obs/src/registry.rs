@@ -1,0 +1,358 @@
+//! The metrics registry: named counters, gauges, and sharded fixed-bucket
+//! histograms. Handles are resolved once and bumped with relaxed atomics.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use crate::snapshot::{HistogramSnapshot, MetricsSnapshot};
+
+/// Default histogram bucket upper bounds, in microseconds: powers of two
+/// from 1 µs to ~8.4 s. Values above the last bound land in the implicit
+/// `+Inf` overflow bucket.
+pub const DEFAULT_LATENCY_BOUNDS_US: &[u64] = &[
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1_024, 2_048, 4_096, 8_192, 16_384, 32_768, 65_536,
+    131_072, 262_144, 524_288, 1_048_576, 2_097_152, 4_194_304, 8_388_608,
+];
+
+/// Histogram shards per metric: observers are spread round-robin across
+/// shards by thread, so concurrent workers don't contend on one counter.
+const HIST_SHARDS: usize = 16;
+
+/// A monotone counter handle. Cloning shares the underlying cell; all
+/// operations are relaxed atomics. Counters are **lifetime totals** — use
+/// [`MetricsSnapshot::delta`](crate::MetricsSnapshot::delta) for windows.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge handle (e.g. current store version, live cache
+/// entries). Cloning shares the underlying cell.
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// One histogram shard. The atomics a single thread bumps live together;
+/// the 64-byte alignment keeps two shards' hot heads off one cache line.
+#[repr(align(64))]
+#[derive(Debug)]
+struct HistShard {
+    /// Bucket counts; `counts[bounds.len()]` is the `+Inf` overflow bucket.
+    counts: Vec<AtomicU64>,
+    /// Sum of observed values.
+    sum: AtomicU64,
+    /// Number of observations.
+    count: AtomicU64,
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    bounds: Vec<u64>,
+    shards: Vec<HistShard>,
+}
+
+impl HistogramCore {
+    fn new(bounds: &[u64]) -> Self {
+        let mut bounds = bounds.to_vec();
+        bounds.sort_unstable();
+        bounds.dedup();
+        let shards = (0..HIST_SHARDS)
+            .map(|_| HistShard {
+                counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                sum: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            })
+            .collect();
+        HistogramCore { bounds, shards }
+    }
+
+    fn observe(&self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        let shard = &self.shards[thread_shard(self.shards.len())];
+        shard.counts[idx].fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(value, Ordering::Relaxed);
+        shard.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn merged(&self) -> HistogramSnapshot {
+        let mut counts = vec![0u64; self.bounds.len() + 1];
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        for shard in &self.shards {
+            for (acc, c) in counts.iter_mut().zip(&shard.counts) {
+                *acc += c.load(Ordering::Relaxed);
+            }
+            sum += shard.sum.load(Ordering::Relaxed);
+            count += shard.count.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts,
+            sum,
+            count,
+        }
+    }
+}
+
+/// Pick this thread's shard: threads are assigned round-robin on first
+/// observation and keep their slot, so a worker's bumps stay local.
+fn thread_shard(shards: usize) -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SLOT.with(|slot| {
+        let mut v = slot.get();
+        if v == usize::MAX {
+            v = NEXT.fetch_add(1, Ordering::Relaxed);
+            slot.set(v);
+        }
+        v % shards
+    })
+}
+
+/// A fixed-bucket latency histogram handle. Observations are bucketed by
+/// upper bound (`value <= bound`); values beyond the last bound land in the
+/// `+Inf` overflow bucket. The unit is whatever the caller observes —
+/// store metrics observe **microseconds** against
+/// [`DEFAULT_LATENCY_BOUNDS_US`].
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        self.0.observe(value);
+    }
+
+    /// Merge all shards into a point-in-time snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0.merged()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    gauges: BTreeMap<String, Arc<AtomicU64>>,
+    histograms: BTreeMap<String, Arc<HistogramCore>>,
+}
+
+/// A registry of named metrics sharing one clock epoch.
+///
+/// Lookups (`counter`/`gauge`/`histogram`) take a brief `RwLock` and are
+/// meant to happen once, at wiring time; the returned handles are then free
+/// of any lock. Metric names should follow Prometheus conventions
+/// (`snake_case`, `_total` suffix for counters, unit suffix like `_us` for
+/// histograms); an optional label set may be embedded in the name
+/// (`store_wal_flush_batches_total{size="4"}`) — exposition groups such
+/// series under one `# TYPE` family.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    epoch: Instant,
+    inner: RwLock<Inner>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// Create an empty registry; its clock epoch is now.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            epoch: Instant::now(),
+            inner: RwLock::new(Inner::default()),
+        }
+    }
+
+    /// Nanoseconds since the registry was created. Monotone across threads.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.inner.read().unwrap().counters.get(name) {
+            return Counter(Arc::clone(c));
+        }
+        let mut inner = self.inner.write().unwrap();
+        let cell = inner
+            .counters
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Counter(Arc::clone(cell))
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.inner.read().unwrap().gauges.get(name) {
+            return Gauge(Arc::clone(g));
+        }
+        let mut inner = self.inner.write().unwrap();
+        let cell = inner
+            .gauges
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Gauge(Arc::clone(cell))
+    }
+
+    /// Get or create the histogram named `name` with the default
+    /// microsecond latency bounds.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with_bounds(name, DEFAULT_LATENCY_BOUNDS_US)
+    }
+
+    /// Get or create the histogram named `name` with explicit bucket upper
+    /// bounds (sorted and deduplicated internally). If the histogram
+    /// already exists its original bounds win.
+    pub fn histogram_with_bounds(&self, name: &str, bounds: &[u64]) -> Histogram {
+        if let Some(h) = self.inner.read().unwrap().histograms.get(name) {
+            return Histogram(Arc::clone(h));
+        }
+        let mut inner = self.inner.write().unwrap();
+        let core = inner
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(HistogramCore::new(bounds)));
+        Histogram(Arc::clone(core))
+    }
+
+    /// A point-in-time reading of every metric (histogram shards merged).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.read().unwrap();
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.merged()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Observations at exact bucket bounds land in that bucket (bounds are
+    /// inclusive upper bounds), one past lands in the next, and anything
+    /// beyond the last bound lands in `+Inf`.
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram_with_bounds("h", &[10, 100, 1000]);
+        h.observe(0); // <= 10
+        h.observe(10); // <= 10 (inclusive)
+        h.observe(11); // <= 100
+        h.observe(100); // <= 100
+        h.observe(1000); // <= 1000
+        h.observe(1001); // +Inf
+        h.observe(u64::MAX); // +Inf
+        let snap = h.snapshot();
+        assert_eq!(snap.bounds, vec![10, 100, 1000]);
+        assert_eq!(snap.counts, vec![2, 2, 1, 2]);
+        assert_eq!(snap.count, 7);
+    }
+
+    /// Concurrent observers from many threads merge to the exact total:
+    /// sharding must lose nothing.
+    #[test]
+    fn histogram_shard_merging() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let h = reg.histogram_with_bounds("h", &[8, 64]);
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.observe((t * 1000 + i) % 100);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 8000);
+        assert_eq!(snap.counts.iter().sum::<u64>(), 8000);
+        // values 0..100 uniformly: 0..=8 -> first bucket, 9..=64 -> second,
+        // 65..100 -> +Inf; each value appears exactly 80 times
+        assert_eq!(snap.counts, vec![9 * 80, 56 * 80, 35 * 80]);
+    }
+
+    /// Handles for the same name share the cell; bounds of an existing
+    /// histogram win over later registration attempts.
+    #[test]
+    fn registry_get_or_create_shares() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").add(3);
+        reg.counter("c").inc();
+        assert_eq!(reg.counter("c").get(), 4);
+        reg.gauge("g").set(17);
+        assert_eq!(reg.gauge("g").get(), 17);
+        let h1 = reg.histogram_with_bounds("h", &[5, 50]);
+        let h2 = reg.histogram_with_bounds("h", &[999]);
+        h1.observe(40);
+        assert_eq!(h2.snapshot().bounds, vec![5, 50]);
+        assert_eq!(h2.snapshot().count, 1);
+    }
+
+    /// The registry clock is monotone.
+    #[test]
+    fn clock_is_monotone() {
+        let reg = MetricsRegistry::new();
+        let a = reg.now_ns();
+        let b = reg.now_ns();
+        assert!(b >= a);
+    }
+}

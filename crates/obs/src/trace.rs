@@ -1,0 +1,309 @@
+//! The transaction-lifecycle trace: a bounded, sharded ring buffer of
+//! timestamped stage events, cheap enough to leave on in production runs.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Trace ring shards; events shard by `tx % TRACE_SHARDS`, so one
+/// transaction's events stay in one shard, in insertion order.
+const TRACE_SHARDS: usize = 16;
+
+/// One lifecycle stage of a traced transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceStage {
+    /// Submitted: the program entered the server queue.
+    Enqueued,
+    /// A worker popped it off the queue.
+    Dequeued,
+    /// The guard was instantiated and evaluated against snapshot
+    /// `version`; `pass` is the verdict, `cache_hit` whether the prepared
+    /// shape came from the guard cache.
+    GuardEvaluated {
+        /// Snapshot version the guard evaluated against.
+        version: u64,
+        /// Whether the guard held (the transaction may proceed).
+        pass: bool,
+        /// Whether the prepared statement was a guard-cache hit.
+        cache_hit: bool,
+    },
+    /// Footprint validation lost at commit; the transaction re-runs
+    /// against a fresh snapshot.
+    ConflictRetried {
+        /// The store version at the rejected commit attempt.
+        version: u64,
+    },
+    /// Published: version advanced and the record appended to the WAL
+    /// (the commit critical section ended).
+    Published {
+        /// The commit version assigned.
+        version: u64,
+    },
+    /// Durable: the covering fsync completed and the ticket resolved.
+    Durable {
+        /// The commit version made durable.
+        version: u64,
+    },
+    /// Deliberately aborted (guard failed); carries the typed reason's
+    /// rendering.
+    Aborted {
+        /// Why the transaction aborted.
+        reason: String,
+    },
+    /// Failed with an error; carries the error's stable code (see
+    /// `StoreError::code` in `vpdt-store`).
+    Failed {
+        /// The error code.
+        reason: String,
+    },
+}
+
+impl TraceStage {
+    /// A short stable label for the stage, used in renderings.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceStage::Enqueued => "enqueued",
+            TraceStage::Dequeued => "dequeued",
+            TraceStage::GuardEvaluated { .. } => "guard_evaluated",
+            TraceStage::ConflictRetried { .. } => "conflict_retried",
+            TraceStage::Published { .. } => "published",
+            TraceStage::Durable { .. } => "durable",
+            TraceStage::Aborted { .. } => "aborted",
+            TraceStage::Failed { .. } => "failed",
+        }
+    }
+
+    /// Whether this stage can end the transaction's lifecycle.
+    /// `Published` counts: on a store without a durable phase it is the
+    /// final acknowledgment. (On a durable store a transaction observed
+    /// between publish and fsync therefore looks complete — acceptable
+    /// for a diagnostic ring; the `Durable` event extends the timeline
+    /// once it lands.)
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            TraceStage::Published { .. }
+                | TraceStage::Durable { .. }
+                | TraceStage::Aborted { .. }
+                | TraceStage::Failed { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for TraceStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceStage::Enqueued => write!(f, "enqueued"),
+            TraceStage::Dequeued => write!(f, "dequeued"),
+            TraceStage::GuardEvaluated {
+                version,
+                pass,
+                cache_hit,
+            } => write!(
+                f,
+                "guard_evaluated v{version} {} ({})",
+                if *pass { "pass" } else { "fail" },
+                if *cache_hit { "cache hit" } else { "compiled" }
+            ),
+            TraceStage::ConflictRetried { version } => write!(f, "conflict_retried v{version}"),
+            TraceStage::Published { version } => write!(f, "published v{version}"),
+            TraceStage::Durable { version } => write!(f, "durable v{version}"),
+            TraceStage::Aborted { reason } => write!(f, "aborted: {reason}"),
+            TraceStage::Failed { reason } => write!(f, "failed: {reason}"),
+        }
+    }
+}
+
+/// One timestamped stage event of one transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The transaction id the event belongs to.
+    pub tx: u64,
+    /// Nanoseconds since the owning registry's epoch.
+    pub at_ns: u64,
+    /// The lifecycle stage.
+    pub stage: TraceStage,
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s, sharded by transaction id.
+///
+/// * **Capacity** is split evenly across the shards; when a shard fills,
+///   its oldest events are overwritten first (per-shard FIFO). A capacity
+///   of 0 disables tracing entirely — `record` becomes a no-op.
+/// * **Ordering**: events for one transaction always land in one shard in
+///   insertion order, so a reconstructed per-transaction timeline is
+///   monotone in `at_ns` even under overwrite; overwrite can only trim a
+///   timeline's *oldest* events.
+#[derive(Debug)]
+pub struct TxTrace {
+    shards: Vec<Mutex<VecDeque<TraceEvent>>>,
+    per_shard: usize,
+}
+
+impl TxTrace {
+    /// Create a ring holding at most ~`capacity` events in total.
+    pub fn new(capacity: usize) -> Self {
+        let per_shard = capacity.div_ceil(TRACE_SHARDS);
+        TxTrace {
+            shards: (0..TRACE_SHARDS)
+                .map(|_| Mutex::new(VecDeque::with_capacity(per_shard.min(1024))))
+                .collect(),
+            per_shard,
+        }
+    }
+
+    /// Whether tracing is enabled (capacity > 0).
+    pub fn enabled(&self) -> bool {
+        self.per_shard > 0
+    }
+
+    /// Record one event (no-op when capacity is 0).
+    pub fn record(&self, event: TraceEvent) {
+        if self.per_shard == 0 {
+            return;
+        }
+        let shard = &self.shards[(event.tx as usize) % self.shards.len()];
+        let mut ring = shard.lock().unwrap();
+        if ring.len() >= self.per_shard {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+
+    /// All buffered events, grouped into per-transaction timelines.
+    pub fn timelines(&self) -> Vec<TxTimeline> {
+        let mut by_tx: BTreeMap<u64, Vec<TraceEvent>> = BTreeMap::new();
+        for shard in &self.shards {
+            for ev in shard.lock().unwrap().iter() {
+                by_tx.entry(ev.tx).or_default().push(ev.clone());
+            }
+        }
+        by_tx
+            .into_iter()
+            .map(|(tx, events)| TxTimeline { tx, events })
+            .collect()
+    }
+
+    /// The `n` slowest *complete* traced transactions (first event is
+    /// `Enqueued`, last is terminal), by first-to-last event span,
+    /// slowest first.
+    pub fn slowest(&self, n: usize) -> Vec<TxTimeline> {
+        let mut complete: Vec<TxTimeline> = self
+            .timelines()
+            .into_iter()
+            .filter(|t| t.is_complete())
+            .collect();
+        complete.sort_by(|a, b| b.span_ns().cmp(&a.span_ns()).then(a.tx.cmp(&b.tx)));
+        complete.truncate(n);
+        complete
+    }
+}
+
+/// The recorded lifecycle of one transaction, in insertion (and hence
+/// timestamp) order. May be truncated at the front if the ring overwrote
+/// the transaction's oldest events.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TxTimeline {
+    /// The transaction id.
+    pub tx: u64,
+    /// The recorded events, oldest first.
+    pub events: Vec<TraceEvent>,
+}
+
+impl TxTimeline {
+    /// Nanoseconds from the first to the last recorded event.
+    pub fn span_ns(&self) -> u64 {
+        match (self.events.first(), self.events.last()) {
+            (Some(a), Some(b)) => b.at_ns.saturating_sub(a.at_ns),
+            _ => 0,
+        }
+    }
+
+    /// Whether the whole lifecycle was captured: starts at `Enqueued`,
+    /// ends at a terminal stage.
+    pub fn is_complete(&self) -> bool {
+        matches!(self.events.first(), Some(e) if e.stage == TraceStage::Enqueued)
+            && matches!(self.events.last(), Some(e) if e.stage.is_terminal())
+    }
+
+    /// Render the timeline as indented text lines (offsets in µs from the
+    /// first event), for `vpdtool stats` and reports.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let start = self.events.first().map(|e| e.at_ns).unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "tx {} ({} events, {:.1} µs{})",
+            self.tx,
+            self.events.len(),
+            self.span_ns() as f64 / 1_000.0,
+            if self.is_complete() {
+                ""
+            } else {
+                ", truncated"
+            }
+        );
+        for ev in &self.events {
+            let _ = writeln!(
+                out,
+                "  +{:>10.1} µs  {}",
+                ev.at_ns.saturating_sub(start) as f64 / 1_000.0,
+                ev.stage
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(tx: u64, at_ns: u64, stage: TraceStage) -> TraceEvent {
+        TraceEvent { tx, at_ns, stage }
+    }
+
+    /// Per-transaction timelines come back in insertion order, and the
+    /// ring only ever trims a timeline's oldest events.
+    #[test]
+    fn ring_overwrites_oldest_per_shard() {
+        // capacity 16 over 16 shards -> 1 event per shard
+        let trace = TxTrace::new(16);
+        trace.record(ev(0, 10, TraceStage::Enqueued));
+        trace.record(ev(0, 20, TraceStage::Dequeued));
+        let tl = trace.timelines();
+        assert_eq!(tl.len(), 1);
+        assert_eq!(tl[0].events.len(), 1);
+        assert_eq!(tl[0].events[0].stage, TraceStage::Dequeued);
+    }
+
+    /// Zero capacity disables tracing.
+    #[test]
+    fn zero_capacity_is_disabled() {
+        let trace = TxTrace::new(0);
+        assert!(!trace.enabled());
+        trace.record(ev(1, 1, TraceStage::Enqueued));
+        assert!(trace.timelines().is_empty());
+    }
+
+    /// `slowest` ranks complete lifecycles by span and skips truncated
+    /// ones.
+    #[test]
+    fn slowest_ranks_complete_timelines() {
+        let trace = TxTrace::new(1024);
+        trace.record(ev(1, 0, TraceStage::Enqueued));
+        trace.record(ev(1, 5_000, TraceStage::Durable { version: 1 }));
+        trace.record(ev(2, 0, TraceStage::Enqueued));
+        trace.record(ev(2, 9_000, TraceStage::Durable { version: 2 }));
+        // tx 3 is truncated: no Enqueued
+        trace.record(ev(3, 0, TraceStage::Dequeued));
+        trace.record(ev(3, 99_000, TraceStage::Durable { version: 3 }));
+        let slow = trace.slowest(5);
+        assert_eq!(slow.len(), 2);
+        assert_eq!(slow[0].tx, 2);
+        assert_eq!(slow[1].tx, 1);
+        assert_eq!(slow[0].span_ns(), 9_000);
+        assert!(slow[0].render().contains("durable v2"));
+    }
+}

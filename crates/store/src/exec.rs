@@ -32,6 +32,7 @@
 
 use crate::guard::GuardCache;
 use crate::history::Event;
+use crate::metrics::StoreMetrics;
 use crate::server::RetryPolicy;
 use crate::session::TicketState;
 use crate::snapshot::{CommitOutcome, CommitRequest, VersionedStore};
@@ -43,6 +44,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use vpdt_core::safe::RuntimeChecked;
 use vpdt_eval::{holds, Omega};
 use vpdt_logic::Formula;
+use vpdt_obs::TraceStage;
 use vpdt_structure::Database;
 use vpdt_tx::program::{Program, ProgramTransaction};
 use vpdt_tx::traits::{normalize_domain, Transaction, TxError};
@@ -173,6 +175,9 @@ pub(crate) struct WorkItem {
     pub program: Program,
     /// `None` on the batch path — outcomes are only collected in the report.
     pub ticket: Option<Arc<TicketState>>,
+    /// When the item entered the queue (registry ns) — the birth stamp
+    /// queue-wait and end-to-end latency measure from.
+    pub enqueued_at_ns: u64,
 }
 
 /// The no-hang guarantee: however a work item dies — a worker panicking
@@ -338,11 +343,20 @@ pub(crate) fn worker_loop(
     retry: &RetryPolicy,
     queue: &WorkQueue,
     sink: &OutcomeSink,
-    conflicts: &AtomicU64,
+    obs: &StoreMetrics,
     group: Option<&GroupCommitFlusher>,
 ) {
     while let Some(mut item) = queue.pop() {
-        let (outcome, wal_offset) = execute_one(store, cache, retry, &item, conflicts);
+        let dequeued_at_ns = obs.now_ns();
+        obs.queue_wait
+            .observe(dequeued_at_ns.saturating_sub(item.enqueued_at_ns) / 1_000);
+        obs.trace(item.tx, TraceStage::Dequeued);
+        let (outcome, wal_offset) = execute_one(store, cache, retry, &item, obs);
+        match &outcome {
+            TxOutcome::Committed { .. } => obs.committed.inc(),
+            TxOutcome::Aborted { .. } => obs.aborted.inc(),
+            TxOutcome::Failed { .. } => obs.failed.inc(),
+        }
         match (&outcome, wal_offset, group) {
             (TxOutcome::Committed { version }, Some(offset), Some(flusher)) => {
                 // Take the ticket out of the item so the item's drop guard
@@ -351,13 +365,27 @@ pub(crate) fn worker_loop(
                 if let Some(ticket) = &ticket {
                     ticket.mark_applied(*version);
                 }
+                // End-to-end latency for the durable path is observed by
+                // the flusher when the covering fsync resolves the ticket.
                 flusher.enqueue(PendingAck {
                     offset,
                     version: *version,
                     ticket,
+                    tx: item.tx,
+                    enqueued_at_ns: item.enqueued_at_ns,
+                    published_at_ns: obs.now_ns(),
                 });
             }
             _ => {
+                if let TxOutcome::Failed { error } = &outcome {
+                    obs.trace(
+                        item.tx,
+                        TraceStage::Failed {
+                            reason: error.code().to_string(),
+                        },
+                    );
+                }
+                obs.tx_total.observe(obs.us_since(item.enqueued_at_ns));
                 if let Some(ticket) = item.ticket.take() {
                     ticket.resolve(outcome.clone());
                 }
@@ -378,7 +406,7 @@ pub(crate) fn execute_one(
     cache: &GuardCache,
     retry: &RetryPolicy,
     item: &WorkItem,
-    conflicts: &AtomicU64,
+    obs: &StoreMetrics,
 ) -> (TxOutcome, Option<u64>) {
     let prepared = match cache.get_or_compile(&item.program) {
         Ok(p) => p,
@@ -404,6 +432,7 @@ pub(crate) fn execute_one(
             });
             first = false;
         }
+        let guard_started_ns = obs.now_ns();
         let pass = match holds(&snap.db, cache.omega(), &prepared.guard) {
             Ok(p) => p,
             Err(e) => {
@@ -415,6 +444,15 @@ pub(crate) fn execute_one(
                 )
             }
         };
+        obs.guard_eval.observe(obs.us_since(guard_started_ns));
+        obs.trace(
+            item.tx,
+            TraceStage::GuardEvaluated {
+                version: snap.version,
+                pass,
+                cache_hit: prepared.cache_hit,
+            },
+        );
         history.record(Event::GuardEval {
             tx: item.tx,
             version: snap.version,
@@ -430,6 +468,12 @@ pub(crate) fn execute_one(
                 version: snap.version,
                 reason: reason.to_string(),
             });
+            obs.trace(
+                item.tx,
+                TraceStage::Aborted {
+                    reason: reason.to_string(),
+                },
+            );
             return (TxOutcome::Aborted { reason }, None);
         }
         // Direct operational semantics on the ground program the item
@@ -458,13 +502,19 @@ pub(crate) fn execute_one(
             bindings: prepared.bindings.clone(),
             new_db,
         };
+        let publish_started_ns = obs.now_ns();
         match store.try_commit(req) {
             CommitOutcome::Committed {
                 version,
                 wal_offset,
-            } => return (TxOutcome::Committed { version }, wal_offset),
+            } => {
+                obs.publish.observe(obs.us_since(publish_started_ns));
+                obs.trace(item.tx, TraceStage::Published { version });
+                return (TxOutcome::Committed { version }, wal_offset);
+            }
             CommitOutcome::Conflict { version } => {
-                conflicts.fetch_add(1, Ordering::Relaxed);
+                obs.conflicts.inc();
+                obs.trace(item.tx, TraceStage::ConflictRetried { version });
                 if !retry.may_retry(retries) {
                     return (
                         TxOutcome::Failed {
@@ -550,7 +600,9 @@ pub fn run_jobs(
     }
 
     let retry = RetryPolicy::unbounded();
-    let conflicts = AtomicU64::new(0);
+    // A batch run is ephemeral: it gets its own registry (no tracing) so
+    // its counters don't leak into any resident server's.
+    let obs = StoreMetrics::new(0);
     let sink = OutcomeSink::new(true, jobs.len());
     let workers = threads.clamp(1, jobs.len().max(1));
     let (hits0, misses0) = cache.stats();
@@ -563,6 +615,7 @@ pub fn run_jobs(
                 session: BATCH_SESSION,
                 program: job.program.clone(),
                 ticket: None,
+                enqueued_at_ns: obs.now_ns(),
             })
             .unwrap_or_else(|_| unreachable!("queue not yet closed"));
     }
@@ -572,16 +625,12 @@ pub fn run_jobs(
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| worker_loop(store, cache, &retry, &queue, &sink, &conflicts, None));
+            scope.spawn(|| worker_loop(store, cache, &retry, &queue, &sink, &obs, None));
         }
     });
 
     let (hits1, misses1) = cache.stats();
-    sink.into_report(
-        conflicts.load(Ordering::Relaxed),
-        hits1 - hits0,
-        misses1 - misses0,
-    )
+    sink.into_report(obs.conflicts.get(), hits1 - hits0, misses1 - misses0)
 }
 
 /// The deferred-checking baseline: one thread applies each job in order via

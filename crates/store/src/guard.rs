@@ -18,6 +18,7 @@
 //! the history log records and the audit replays, so an audit must be able
 //! to resolve shapes whose compilations have long been evicted.
 
+use crate::metrics::names;
 use crate::StoreError;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -25,6 +26,7 @@ use std::sync::{Arc, RwLock};
 use vpdt_core::safe::{compile_guard_template, GuardCompilation};
 use vpdt_eval::Omega;
 use vpdt_logic::{Elem, Formula, Schema};
+use vpdt_obs::{Counter, MetricsRegistry};
 use vpdt_tx::program::Program;
 use vpdt_tx::template::{canonicalize, Template};
 
@@ -72,6 +74,9 @@ pub struct PreparedTx {
     /// The cheapest sound guard, instantiated with [`bindings`](Self::bindings):
     /// what the executor evaluates per transaction.
     pub guard: Formula,
+    /// Whether the shape came from the cache (`true`) or was compiled for
+    /// this preparation (`false`) — recorded in the transaction's trace.
+    pub cache_hit: bool,
 }
 
 impl PreparedTx {
@@ -142,9 +147,12 @@ pub struct GuardCache {
     map: RwLock<HashMap<String, Entry>>,
     registry: RwLock<Registry>,
     tick: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    // Aggregate counters live on a MetricsRegistry (the server's, via
+    // `with_metrics`, or a private one) so there is exactly one stats
+    // type; `stats()`/`cache_stats()` are thin views over them.
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 impl GuardCache {
@@ -153,8 +161,22 @@ impl GuardCache {
         Self::with_capacity(schema, alpha, omega, DEFAULT_CAPACITY)
     }
 
-    /// An empty cache bounded to `capacity` live compilations (≥ 1).
+    /// An empty cache bounded to `capacity` live compilations (≥ 1),
+    /// counting on a private metrics registry.
     pub fn with_capacity(schema: Schema, alpha: Formula, omega: Omega, capacity: usize) -> Self {
+        Self::with_metrics(schema, alpha, omega, capacity, &MetricsRegistry::new())
+    }
+
+    /// An empty cache whose hit/miss/eviction counters live on `metrics`
+    /// (the server wires its own registry here, so `vpdtool stats` and
+    /// [`CacheStats`] read the same cells).
+    pub fn with_metrics(
+        schema: Schema,
+        alpha: Formula,
+        omega: Omega,
+        capacity: usize,
+        metrics: &MetricsRegistry,
+    ) -> Self {
         assert!(alpha.is_sentence(), "a constraint must be a sentence");
         GuardCache {
             schema,
@@ -164,9 +186,9 @@ impl GuardCache {
             map: RwLock::new(HashMap::new()),
             registry: RwLock::new(Registry::default()),
             tick: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits: metrics.counter(names::GUARD_CACHE_HITS),
+            misses: metrics.counter(names::GUARD_CACHE_MISSES),
+            evictions: metrics.counter(names::GUARD_CACHE_EVICTIONS),
         }
     }
 
@@ -190,20 +212,21 @@ impl GuardCache {
         self.capacity
     }
 
-    /// `(hits, misses)` so far.
+    /// `(hits, misses)` so far — lifetime totals (see
+    /// [`cache_stats`](Self::cache_stats)).
     pub fn stats(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+        (self.hits.get(), self.misses.get())
     }
 
-    /// Aggregate counters plus current sizes.
+    /// Aggregate counters plus current sizes. The counters are **lifetime
+    /// totals** for this cache (never reset); callers measuring a window
+    /// snapshot twice and subtract (or use `MetricsSnapshot::delta` when
+    /// the cache counts on a server registry).
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
             entries: self.map.read().expect("guard cache poisoned").len(),
             shapes: self
                 .registry
@@ -276,10 +299,10 @@ impl GuardCache {
         let (template, bindings) = canonicalize(program)?;
         let key = template.key();
 
-        let shape = if let Some(shape) = self.lookup(&key) {
-            shape
+        let (shape, cache_hit) = if let Some(shape) = self.lookup(&key) {
+            (shape, true)
         } else {
-            self.compile_shape(&key, template)?
+            (self.compile_shape(&key, template)?, false)
         };
 
         let guard = shape.compiled.instantiate_fast(&bindings);
@@ -287,6 +310,7 @@ impl GuardCache {
             shape,
             bindings,
             guard,
+            cache_hit,
         })
     }
 
@@ -297,7 +321,7 @@ impl GuardCache {
             self.tick.fetch_add(1, Ordering::Relaxed) + 1,
             Ordering::Relaxed,
         );
-        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.hits.inc();
         // Per-shape hit counter is shared into the entry's shape, so no
         // registry lock is needed on the hot path.
         entry.shape.hits.fetch_add(1, Ordering::Relaxed);
@@ -309,7 +333,7 @@ impl GuardCache {
         key: &str,
         template: Template,
     ) -> Result<Arc<PreparedShape>, StoreError> {
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
 
         // Compile first: a shape whose compilation fails is never
         // registered, so the registry only ever holds usable statements.
@@ -356,7 +380,7 @@ impl GuardCache {
                 .map(|(k, _)| k.clone())
                 .expect("map over capacity is non-empty");
             map.remove(&oldest);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.inc();
         }
         Ok(winner)
     }

@@ -105,6 +105,7 @@ pub mod audit;
 pub mod exec;
 pub mod guard;
 pub mod history;
+pub mod metrics;
 pub mod server;
 pub mod session;
 pub mod snapshot;
@@ -115,9 +116,14 @@ pub use audit::{audit, audit_from, cold_audit, cold_audit_from, AuditReport};
 pub use exec::{run_jobs, run_serial_rollback, ExecReport, Job, Submitter, TxOutcome, TxStatus};
 pub use guard::{CacheStats, GuardCache, PreparedShape, PreparedTx, ShapeStat};
 pub use history::{Event, History};
+pub use metrics::StoreMetrics;
 pub use server::{RetryPolicy, ServerReport, StoreBuilder, StoreServer};
 pub use session::{Session, TxTicket};
 pub use snapshot::{CommitOutcome, CommitRequest, Snapshot, VersionedStore};
+pub use vpdt_obs::{
+    HistogramSnapshot, MetricsRegistry, MetricsSnapshot, TraceEvent, TraceStage, TxTimeline,
+    TxTrace,
+};
 pub use wal::{
     FlushStats, GroupCommitPolicy, Recovered, RecoveryError, RecoveryOptions, WalError, WalOptions,
 };
@@ -185,6 +191,25 @@ pub enum StoreError {
     /// hash mismatch) — surfaced by
     /// [`StoreBuilder::recover`](crate::StoreBuilder::recover).
     Recovery(RecoveryError),
+}
+
+impl StoreError {
+    /// A short stable code naming the error kind — what trace events and
+    /// metric labels record, so dashboards don't depend on `Display` text.
+    pub fn code(&self) -> &'static str {
+        match self {
+            StoreError::Guard(_) => "guard",
+            StoreError::Tx(_) => "tx",
+            StoreError::Eval(_) => "eval",
+            StoreError::GuardUnsound { .. } => "guard_unsound",
+            StoreError::ConstraintUnevaluable { .. } => "constraint_unevaluable",
+            StoreError::RetriesExhausted { .. } => "retries_exhausted",
+            StoreError::ShutDown => "shutdown",
+            StoreError::WorkerLost => "worker_lost",
+            StoreError::Wal(_) => "wal",
+            StoreError::Recovery(_) => "recovery",
+        }
+    }
 }
 
 impl std::fmt::Display for StoreError {

@@ -18,6 +18,7 @@
 use crate::exec::{self, ExecReport, OutcomeSink, TxOutcome, WorkItem, WorkQueue};
 use crate::guard::{CacheStats, GuardCache};
 use crate::history::{state_hash, Event, History};
+use crate::metrics::StoreMetrics;
 use crate::session::{Session, TicketState, TxTicket};
 use crate::snapshot::{Snapshot, VersionedStore};
 use crate::wal::{
@@ -33,9 +34,18 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 use vpdt_eval::Omega;
 use vpdt_logic::{Formula, Schema};
+use vpdt_obs::{MetricsSnapshot, TraceStage, TxTimeline};
 use vpdt_structure::Database;
 use vpdt_tx::program::Program;
 use vpdt_tx::template::Template;
+
+/// Default capacity of the transaction-lifecycle trace ring
+/// ([`StoreBuilder::trace_capacity`]): enough for the full lifecycles of
+/// the last ~1500 transactions at ~5 events each.
+pub const DEFAULT_TRACE_CAPACITY: usize = 8192;
+
+/// How many of the slowest traced transactions a [`ServerReport`] keeps.
+const SLOWEST_IN_REPORT: usize = 16;
 
 /// How the workers respond to commit-footprint conflicts: how many times a
 /// transaction may re-validate, and how long to back off between attempts
@@ -123,6 +133,7 @@ pub struct StoreBuilder {
     retain_outcomes: bool,
     persist_dir: Option<PathBuf>,
     wal_opts: WalOptions,
+    trace_capacity: usize,
 }
 
 impl StoreBuilder {
@@ -137,6 +148,7 @@ impl StoreBuilder {
             retain_outcomes: true,
             persist_dir: None,
             wal_opts: WalOptions::default(),
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 
@@ -158,6 +170,7 @@ impl StoreBuilder {
             retain_outcomes: true,
             persist_dir: None,
             wal_opts: WalOptions::default(),
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 
@@ -219,6 +232,18 @@ impl StoreBuilder {
         self
     }
 
+    /// Capacity of the transaction-lifecycle trace ring (default:
+    /// [`DEFAULT_TRACE_CAPACITY`]). Events shard by transaction id; a
+    /// full shard overwrites its oldest events first, so recent
+    /// transactions always have complete timelines. `0` disables tracing
+    /// entirely (metrics stay on) — worth it for pure-throughput runs:
+    /// the per-event shard locks cost a few percent on saturated
+    /// all-in-memory workloads (`store_bench` measures untraced).
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
     /// Whether the server keeps every transaction's outcome for the final
     /// [`ServerReport`] (default: `true`). A resident server facing
     /// unbounded traffic should turn this off — memory then stays flat,
@@ -244,21 +269,29 @@ impl StoreBuilder {
     /// where the log left off, and the log is reopened for appending (its
     /// torn tail, if any, physically truncated).
     pub fn build(self) -> Result<StoreServer, StoreError> {
+        // One registry per server: the guard cache, the workers, and the
+        // flusher all count on it, so every reading comes from one place.
+        let obs = StoreMetrics::new(self.trace_capacity);
         // The durable phase exists exactly when commits must reach stable
         // storage before acknowledgment: persistence on, fsync policy on.
         let wants_flusher = self.wal_opts.fsync_commits;
         let group_policy = self.wal_opts.group_commit.clone();
-        let group = move |durable: bool| -> Option<Arc<GroupCommitFlusher>> {
-            durable.then(|| Arc::new(GroupCommitFlusher::new(group_policy.clone())))
+        let group = {
+            let obs = obs.clone();
+            move |durable: bool| -> Option<Arc<GroupCommitFlusher>> {
+                durable
+                    .then(|| Arc::new(GroupCommitFlusher::new(group_policy.clone(), obs.clone())))
+            }
         };
         let (store, cache, next_tx, group) = match self.source {
             Source::Fresh { initial, alpha } => {
                 let store = VersionedStore::new(initial);
-                let cache = GuardCache::with_capacity(
+                let cache = GuardCache::with_metrics(
                     store.schema().clone(),
                     alpha,
                     self.omega,
                     self.cache_capacity,
+                    &obs.registry,
                 );
                 exec::check_base_case(&store, &cache)?;
                 let mut flusher = None;
@@ -278,6 +311,7 @@ impl StoreBuilder {
                             templates: BTreeMap::new(),
                         },
                     )?;
+                    obs.checkpoints.inc();
                     flusher = group(wants_flusher);
                     store.history().attach_wal(DurableLog::new(
                         writer,
@@ -305,11 +339,12 @@ impl StoreBuilder {
                     History::with_events(recovered.events),
                     recovered.rel_versions,
                 );
-                let cache = GuardCache::with_capacity(
+                let cache = GuardCache::with_metrics(
                     store.schema().clone(),
                     recovered.alpha,
                     self.omega,
                     self.cache_capacity,
+                    &obs.registry,
                 );
                 cache.seed_registry(&recovered.templates);
                 exec::check_base_case(&store, &cache)?;
@@ -321,6 +356,7 @@ impl StoreBuilder {
                 (store, cache, recovered.next_tx, flusher)
             }
         };
+        obs.version.set(store.version());
 
         let shared = Arc::new(Shared {
             store,
@@ -328,7 +364,7 @@ impl StoreBuilder {
             retry: self.retry,
             queue: WorkQueue::new(),
             sink: OutcomeSink::new(self.retain_outcomes, 0),
-            conflicts: AtomicU64::new(0),
+            obs,
             group,
         });
         let flusher_thread = shared.group.as_ref().map(|g| {
@@ -350,7 +386,7 @@ impl StoreBuilder {
                             &shared.retry,
                             &shared.queue,
                             &shared.sink,
-                            &shared.conflicts,
+                            &shared.obs,
                             shared.group.as_deref(),
                         );
                     })
@@ -375,7 +411,11 @@ struct Shared {
     retry: RetryPolicy,
     queue: WorkQueue,
     sink: OutcomeSink,
-    conflicts: AtomicU64,
+    /// The server's metrics registry + transaction trace ring. Every
+    /// counter, gauge, histogram, and trace event in the pipeline lands
+    /// here; [`StoreServer::metrics`] and [`ServerReport::metrics`] read
+    /// it out.
+    obs: StoreMetrics,
     /// The durable phase (persisted servers with `fsync_commits` only):
     /// workers enqueue published commits here; the flusher thread batches
     /// the fsyncs and resolves the tickets.
@@ -412,11 +452,14 @@ impl StoreServer {
     pub(crate) fn enqueue(&self, session: u64, program: Program) -> TxTicket {
         let tx = self.next_tx.fetch_add(1, Ordering::Relaxed);
         let state = Arc::new(TicketState::default());
+        self.shared.obs.submitted.inc();
+        self.shared.obs.trace(tx, TraceStage::Enqueued);
         let item = WorkItem {
             tx,
             session,
             program,
             ticket: Some(Arc::clone(&state)),
+            enqueued_at_ns: self.shared.obs.now_ns(),
         };
         if let Err(refused) = self.shared.queue.push(item) {
             // Unreachable through a `Session` (shutdown consumes the
@@ -486,14 +529,52 @@ impl StoreServer {
     /// replay only the tail. `Err(StoreError::Wal(WalError::NotDurable))`
     /// when the server is not persisted.
     pub fn checkpoint(&self) -> Result<u64, StoreError> {
-        self.shared
+        let gc = self
+            .shared
             .store
             .checkpoint_now(
                 self.shared.cache.templates(),
                 self.next_tx.load(Ordering::Relaxed),
                 self.shared.cache.alpha(),
             )
-            .map_err(StoreError::Wal)
+            .map_err(StoreError::Wal)?;
+        self.shared.obs.checkpoints.inc();
+        self.shared
+            .obs
+            .wal_segments_deleted
+            .add(gc.segments_deleted as u64);
+        self.shared
+            .obs
+            .checkpoint_files_deleted
+            .add(gc.checkpoints_deleted as u64);
+        Ok(gc.offset)
+    }
+
+    /// A point-in-time snapshot of every metric the server keeps —
+    /// pipeline counters, stage-latency histograms, cache and WAL
+    /// counters. Counters and histograms are **server-lifetime totals**;
+    /// to measure a window, take two snapshots and
+    /// [`MetricsSnapshot::delta`] them.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.refresh_gauges();
+        self.shared.obs.snapshot()
+    }
+
+    /// The `n` slowest *complete* traced transactions (first event
+    /// `enqueued`, last terminal), slowest first. Empty when tracing is
+    /// disabled ([`StoreBuilder::trace_capacity`] 0) or the ring has
+    /// overwritten every complete timeline.
+    pub fn slowest(&self, n: usize) -> Vec<TxTimeline> {
+        self.shared.obs.trace.slowest(n)
+    }
+
+    /// Gauges sample state rather than accumulate, so they are refreshed
+    /// on read instead of on every commit.
+    fn refresh_gauges(&self) {
+        self.shared.obs.version.set(self.shared.store.version());
+        let cache = self.shared.cache.cache_stats();
+        self.shared.obs.cache_entries.set(cache.entries as u64);
+        self.shared.obs.cache_shapes.set(cache.shapes as u64);
     }
 
     /// Counters of the durable phase — fsyncs issued, commits resolved
@@ -548,6 +629,7 @@ impl StoreServer {
             flusher.join().expect("group-commit flusher panicked");
         }
         let flush = self.shared.group.as_ref().map(|g| g.stats());
+        self.refresh_gauges();
         let shared = Arc::clone(&self.shared);
         drop(self); // Drop sees an empty worker list and an already-closed queue
         let shared = Arc::into_inner(shared).expect("workers joined, no other owners");
@@ -571,22 +653,37 @@ impl StoreServer {
                 },
             )
             .expect("clean checkpoint at shutdown failed");
+            shared.obs.checkpoints.inc();
             // Best-effort, unlike the sync and checkpoint above: state and
-            // log are already fully durable, and a segment that survives a
-            // failed unlink breaks nothing — the next checkpoint (or
-            // `vpdtool wal gc`) simply retries.
+            // log are already fully durable, and a segment or checkpoint
+            // that survives a failed unlink breaks nothing — the next
+            // checkpoint (or `vpdtool wal gc`) simply retries.
             if !log.writer.options().retain_segments {
-                let _ = wal::gc_segments(log.writer.dir(), offset);
+                if let Ok(deleted) = wal::gc_segments(log.writer.dir(), offset) {
+                    shared.obs.wal_segments_deleted.add(deleted.len() as u64);
+                }
+                if let Ok(deleted) = wal::gc_checkpoints(log.writer.dir()) {
+                    shared
+                        .obs
+                        .checkpoint_files_deleted
+                        .add(deleted.len() as u64);
+                }
             }
         }
-        // Cache counters here are server-lifetime totals, so `prepare`
-        // warm-ups count too; callers measuring a serving window should
-        // snapshot `cache_stats()` and subtract.
+        // Every counter in the report — cache, WAL, pipeline — is a
+        // **server-lifetime total**: `prepare` warm-ups count, and nothing
+        // resets between reads. Callers measuring a serving window should
+        // take a [`StoreServer::metrics`] snapshot at the window's start
+        // and [`MetricsSnapshot::delta`] the final one against it.
         let (hits, misses) = shared.cache.stats();
         let exec = shared
             .sink
-            .into_report(shared.conflicts.load(Ordering::Relaxed), hits, misses);
+            .into_report(shared.obs.conflicts.get(), hits, misses);
         let snap = shared.store.snapshot();
+        // Snapshot metrics last so the clean checkpoint and GC above are
+        // included in the report's counters.
+        let metrics = shared.obs.snapshot();
+        let slowest = shared.obs.trace.slowest(SLOWEST_IN_REPORT);
         ServerReport {
             exec,
             events: shared.store.history().events(),
@@ -595,6 +692,8 @@ impl StoreServer {
             templates: shared.cache.templates(),
             cache: shared.cache.cache_stats(),
             flush,
+            metrics,
+            slowest,
         }
     }
 }
@@ -654,4 +753,14 @@ pub struct ServerReport {
     /// Durable-phase counters (`None` without a group-commit flusher):
     /// fsyncs, flushed commits, the batch-size histogram.
     pub flush: Option<FlushStats>,
+    /// The final metrics snapshot — every counter, gauge, and
+    /// stage-latency histogram the server kept, taken after the clean
+    /// checkpoint so shutdown housekeeping is included. All counters are
+    /// server-lifetime totals (see [`MetricsSnapshot::delta`] for
+    /// windows); render with
+    /// [`render_prometheus`](MetricsSnapshot::render_prometheus).
+    pub metrics: MetricsSnapshot,
+    /// The slowest complete traced transactions (up to 16), slowest
+    /// first. Empty when tracing was disabled.
+    pub slowest: Vec<TxTimeline>,
 }

@@ -237,17 +237,19 @@ impl VersionedStore {
     }
 
     /// Writes a snapshot checkpoint of the *current* state to the attached
-    /// write-ahead log's directory, returning the log offset it covers.
-    /// Holding the state read lock across the write keeps the triple
-    /// (state, version, log offset) consistent: commits append their log
-    /// record inside the state *write* lock, so none can land in between.
-    /// Returns `Err(WalError::NotDurable)` when no log is attached.
+    /// write-ahead log's directory, returning the log offset it covers
+    /// plus how many superseded segments and checkpoint files the
+    /// retention pass deleted (so the caller can count them). Holding the
+    /// state read lock across the write keeps the triple (state, version,
+    /// log offset) consistent: commits append their log record inside the
+    /// state *write* lock, so none can land in between. Returns
+    /// `Err(WalError::NotDurable)` when no log is attached.
     pub(crate) fn checkpoint_now(
         &self,
         templates: std::collections::BTreeMap<u64, vpdt_tx::template::Template>,
         next_tx: u64,
         alpha: &vpdt_logic::Formula,
-    ) -> Result<u64, crate::wal::WalError> {
+    ) -> Result<CheckpointGc, crate::wal::WalError> {
         let s = self.state.read().expect("store lock poisoned");
         self.history
             .with_wal(|log| {
@@ -267,17 +269,41 @@ impl VersionedStore {
                     },
                 )?;
                 // Retention: segments the fresh checkpoint fully covers are
-                // dead weight — recovery will never read them again.
-                // Best-effort: the checkpoint itself succeeded, and a
-                // segment that survives a failed unlink only costs disk
-                // until the next pass retries.
+                // dead weight — recovery will never read them again — and
+                // so are the checkpoint files the new one supersedes.
+                // Best-effort: the checkpoint itself succeeded, and a file
+                // that survives a failed unlink only costs disk until the
+                // next pass retries.
+                let mut segments_deleted = 0;
+                let mut checkpoints_deleted = 0;
                 if !log.writer.options().retain_segments {
-                    let _ = crate::wal::gc_segments(log.writer.dir(), offset);
+                    segments_deleted = crate::wal::gc_segments(log.writer.dir(), offset)
+                        .map(|d| d.len())
+                        .unwrap_or(0);
+                    checkpoints_deleted = crate::wal::gc_checkpoints(log.writer.dir())
+                        .map(|d| d.len())
+                        .unwrap_or(0);
                 }
-                Ok(offset)
+                Ok(CheckpointGc {
+                    offset,
+                    segments_deleted,
+                    checkpoints_deleted,
+                })
             })
             .unwrap_or(Err(crate::wal::WalError::NotDurable))
     }
+}
+
+/// What [`VersionedStore::checkpoint_now`] did: the covered offset plus
+/// the retention pass's deletions (for the server's GC counters).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct CheckpointGc {
+    /// The log offset the checkpoint covers.
+    pub(crate) offset: u64,
+    /// WAL segments the retention pass deleted.
+    pub(crate) segments_deleted: usize,
+    /// Superseded checkpoint files the retention pass deleted.
+    pub(crate) checkpoints_deleted: usize,
 }
 
 #[cfg(test)]

@@ -48,6 +48,7 @@
 
 use crate::exec::TxOutcome;
 use crate::history::{fnv1a_64, state_hash, Event};
+use crate::metrics::{names, StoreMetrics};
 use crate::session::TicketState;
 use crate::snapshot::VersionedStore;
 use crate::StoreError;
@@ -61,6 +62,7 @@ use std::time::{Duration, Instant};
 use vpdt_core::safe::RuntimeChecked;
 use vpdt_eval::Omega;
 use vpdt_logic::{Elem, Formula, Schema};
+use vpdt_obs::TraceStage;
 use vpdt_structure::Database;
 use vpdt_tx::codec::{self, CodecError, Cursor};
 use vpdt_tx::program::ProgramTransaction;
@@ -825,6 +827,11 @@ impl DurableLog {
 // --- the group-commit flusher ----------------------------------------------
 
 /// Counters of the durable phase — what group commit actually bought.
+///
+/// Since the metrics unification this is a *view*: the counters live on
+/// the server's [`MetricsRegistry`](vpdt_obs::MetricsRegistry) (names
+/// `store_wal_*`), and [`GroupCommitFlusher`] reconstructs this struct
+/// from them on demand. Values are lifetime totals for the owning server.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FlushStats {
     /// Fsyncs issued by the flusher.
@@ -848,6 +855,14 @@ pub(crate) struct PendingAck {
     /// The ticket to resolve durable (absent on ticketless paths; the
     /// commit still counts toward the batch it is flushed with).
     pub(crate) ticket: Option<Arc<TicketState>>,
+    /// The transaction id, for trace events.
+    pub(crate) tx: u64,
+    /// When the transaction entered the submission queue (registry ns) —
+    /// end-to-end latency is observed at durable resolution.
+    pub(crate) enqueued_at_ns: u64,
+    /// When the publish phase completed (registry ns) — the
+    /// publish→durable stage latency starts here.
+    pub(crate) published_at_ns: u64,
 }
 
 struct FlushInner {
@@ -869,7 +884,6 @@ struct FlushInner {
     failed: Option<WalError>,
     /// Test hook: makes the next flush fail without touching the disk.
     inject_error: bool,
-    stats: FlushStats,
 }
 
 /// The shared group-commit flusher: workers enqueue published commits
@@ -884,6 +898,9 @@ pub(crate) struct GroupCommitFlusher {
     policy: GroupCommitPolicy,
     inner: Mutex<FlushInner>,
     ready: Condvar,
+    /// The server's metric handles: fsync/flush counters, the
+    /// publish→durable and end-to-end histograms, and the trace ring.
+    obs: StoreMetrics,
 }
 
 impl std::fmt::Debug for FlushInner {
@@ -899,7 +916,7 @@ impl std::fmt::Debug for FlushInner {
 }
 
 impl GroupCommitFlusher {
-    pub(crate) fn new(policy: GroupCommitPolicy) -> Self {
+    pub(crate) fn new(policy: GroupCommitPolicy, obs: StoreMetrics) -> Self {
         GroupCommitFlusher {
             policy,
             inner: Mutex::new(FlushInner {
@@ -911,9 +928,49 @@ impl GroupCommitFlusher {
                 durable: 0,
                 failed: None,
                 inject_error: false,
-                stats: FlushStats::default(),
             }),
             ready: Condvar::new(),
+            obs,
+        }
+    }
+
+    /// Resolve one ack durable: observe the publish→durable and
+    /// end-to-end stage latencies, trace the `durable` event, then
+    /// resolve the ticket (if any).
+    fn resolve_durable(&self, ack: PendingAck) {
+        let now = self.obs.now_ns();
+        self.obs
+            .publish_to_durable
+            .observe(now.saturating_sub(ack.published_at_ns) / 1_000);
+        self.obs
+            .tx_total
+            .observe(now.saturating_sub(ack.enqueued_at_ns) / 1_000);
+        self.obs.trace(
+            ack.tx,
+            TraceStage::Durable {
+                version: ack.version,
+            },
+        );
+        if let Some(ticket) = ack.ticket {
+            ticket.resolve(TxOutcome::Committed {
+                version: ack.version,
+            });
+        }
+    }
+
+    /// Resolve one ack failed (flush error, fail-stop): trace the
+    /// `failed` event and resolve the ticket (if any).
+    fn resolve_failed(&self, ack: PendingAck, error: &StoreError) {
+        self.obs.trace(
+            ack.tx,
+            TraceStage::Failed {
+                reason: error.code().to_string(),
+            },
+        );
+        if let Some(ticket) = ack.ticket {
+            ticket.resolve(TxOutcome::Failed {
+                error: error.clone(),
+            });
         }
     }
 
@@ -935,19 +992,13 @@ impl GroupCommitFlusher {
         if let Some(err) = &g.failed {
             let error = StoreError::Wal(err.clone());
             drop(g);
-            if let Some(ticket) = &ack.ticket {
-                ticket.resolve(TxOutcome::Failed { error });
-            }
+            self.resolve_failed(ack, &error);
             return;
         }
         if ack.offset < g.durable {
-            g.stats.flushed_commits += 1;
             drop(g);
-            if let Some(ticket) = &ack.ticket {
-                ticket.resolve(TxOutcome::Committed {
-                    version: ack.version,
-                });
-            }
+            self.obs.wal_flushed_commits.inc();
+            self.resolve_durable(ack);
             return;
         }
         if g.pending.is_empty() {
@@ -965,13 +1016,28 @@ impl GroupCommitFlusher {
         self.ready.notify_all();
     }
 
-    /// Point-in-time counters.
+    /// Point-in-time counters, reconstructed from the metrics registry
+    /// (the exact per-size batch counts come back from the labeled
+    /// `store_wal_flush_batches_total{size="k"}` series).
     pub(crate) fn stats(&self) -> FlushStats {
-        self.inner
-            .lock()
-            .expect("flusher lock poisoned")
-            .stats
-            .clone()
+        let snap = self.obs.registry.snapshot();
+        let prefix = format!("{}{{size=\"", names::WAL_FLUSH_BATCHES);
+        let mut batch_sizes = BTreeMap::new();
+        for (name, v) in &snap.counters {
+            if let Some(k) = name
+                .strip_prefix(&prefix)
+                .and_then(|rest| rest.strip_suffix("\"}"))
+                .and_then(|k| k.parse::<usize>().ok())
+            {
+                batch_sizes.insert(k, *v);
+            }
+        }
+        FlushStats {
+            fsyncs: snap.counter(names::WAL_FSYNCS),
+            flushed_commits: snap.counter(names::WAL_FLUSHED_COMMITS),
+            flush_failures: snap.counter(names::WAL_FLUSH_FAILURES),
+            batch_sizes,
+        }
     }
 
     /// Test hook: the next flush fails as if the disk had, exercising the
@@ -1020,11 +1086,7 @@ impl GroupCommitFlusher {
                     let orphans: Vec<PendingAck> = g.pending.drain(..).collect();
                     drop(g);
                     for ack in orphans {
-                        if let Some(ticket) = ack.ticket {
-                            ticket.resolve(TxOutcome::Failed {
-                                error: error.clone(),
-                            });
-                        }
+                        self.resolve_failed(ack, &error);
                     }
                     continue;
                 }
@@ -1070,6 +1132,9 @@ impl GroupCommitFlusher {
                                 offset: ack.offset,
                                 version: ack.version,
                                 ticket: ack.ticket.take(),
+                                tx: ack.tx,
+                                enqueued_at_ns: ack.enqueued_at_ns,
+                                published_at_ns: ack.published_at_ns,
                             });
                             false
                         } else {
@@ -1080,31 +1145,23 @@ impl GroupCommitFlusher {
                         g.first_at = None;
                     }
                     let resolved = batch.len() + covered.len();
-                    g.stats.fsyncs += 1;
-                    g.stats.flushed_commits += resolved as u64;
-                    *g.stats.batch_sizes.entry(resolved).or_insert(0) += 1;
                     drop(g);
+                    self.obs.wal_fsyncs.inc();
+                    self.obs.wal_flushed_commits.add(resolved as u64);
+                    self.obs.batch_size_counter(resolved).inc();
                     for ack in batch.into_iter().chain(covered) {
-                        if let Some(ticket) = ack.ticket {
-                            ticket.resolve(TxOutcome::Committed {
-                                version: ack.version,
-                            });
-                        }
+                        self.resolve_durable(ack);
                     }
                 }
                 Err(err) => {
                     let mut g = self.inner.lock().expect("flusher lock poisoned");
                     g.failed = Some(err.clone());
-                    g.stats.flush_failures += 1;
                     let rest: Vec<PendingAck> = g.pending.drain(..).collect();
                     drop(g);
+                    self.obs.wal_flush_failures.inc();
                     let error = StoreError::Wal(err);
                     for ack in batch.into_iter().chain(rest) {
-                        if let Some(ticket) = ack.ticket {
-                            ticket.resolve(TxOutcome::Failed {
-                                error: error.clone(),
-                            });
-                        }
+                        self.resolve_failed(ack, &error);
                     }
                 }
             }
@@ -1385,6 +1442,30 @@ fn read_segment_base(path: &Path) -> Result<u64, WalError> {
 /// segment is never deleted. Returns the deleted paths.
 pub fn gc_segments(dir: impl AsRef<Path>, covered: u64) -> Result<Vec<PathBuf>, WalError> {
     let dir = dir.as_ref();
+    let seqs = list_segment_seqs(dir)?;
+    let mut deleted = Vec::new();
+    for pair in seqs.windows(2) {
+        let (seq, next) = (pair[0], pair[1]);
+        let next_base = read_segment_base(&segment_path(dir, next))?;
+        if next_base > covered {
+            break;
+        }
+        let path = segment_path(dir, seq);
+        std::fs::remove_file(&path).map_err(|e| io_err(&path, e))?;
+        deleted.push(path);
+    }
+    if !deleted.is_empty() {
+        // Make the deletions themselves durable (best-effort, as for
+        // segment creation).
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(deleted)
+}
+
+/// The WAL segment sequence numbers present in `dir`, sorted ascending.
+fn list_segment_seqs(dir: &Path) -> Result<Vec<u64>, WalError> {
     let mut seqs: Vec<u64> = Vec::new();
     let entries = std::fs::read_dir(dir).map_err(|e| io_err(dir, e))?;
     for entry in entries {
@@ -1400,20 +1481,52 @@ pub fn gc_segments(dir: impl AsRef<Path>, covered: u64) -> Result<Vec<PathBuf>, 
         }
     }
     seqs.sort_unstable();
+    Ok(seqs)
+}
+
+/// Deletes superseded `checkpoint-*.ckpt` files, keeping exactly what
+/// recovery can still use:
+///
+/// * the **newest** checkpoint (the default recovery start), and
+/// * the **floor** checkpoint — the oldest one whose offset is at or
+///   beyond the first surviving segment's base offset, which
+///   [`recover`] requires (and replays from under
+///   [`RecoveryOptions::from_genesis`]). For an unrotated log (base
+///   offset 0) the floor is the genesis checkpoint, which is therefore
+///   always kept.
+///
+/// Run after [`gc_segments`] (segment retention moves the floor
+/// forward). Returns the deleted paths; deleting nothing is not an
+/// error.
+pub fn gc_checkpoints(dir: impl AsRef<Path>) -> Result<Vec<PathBuf>, WalError> {
+    let dir = dir.as_ref();
+    let cks = list_checkpoints(dir)?;
+    if cks.len() <= 1 {
+        return Ok(Vec::new());
+    }
+    let base = match list_segment_seqs(dir)?.first() {
+        Some(&seq) => read_segment_base(&segment_path(dir, seq))?,
+        // No segments at all: nothing constrains the floor; keep genesis
+        // semantics by treating the base as 0.
+        None => 0,
+    };
+    let floor = cks
+        .iter()
+        .find(|(off, _)| *off >= base)
+        .map(|(_, p)| p.clone())
+        // Every checkpoint is below the surviving log (should not happen:
+        // segment GC keeps a covering segment) — keep the newest only.
+        .unwrap_or_else(|| cks[cks.len() - 1].1.clone());
+    let newest = cks[cks.len() - 1].1.clone();
     let mut deleted = Vec::new();
-    for pair in seqs.windows(2) {
-        let (seq, next) = (pair[0], pair[1]);
-        let next_base = read_segment_base(&segment_path(dir, next))?;
-        if next_base > covered {
-            break;
+    for (_, path) in &cks {
+        if *path == floor || *path == newest {
+            continue;
         }
-        let path = segment_path(dir, seq);
-        std::fs::remove_file(&path).map_err(|e| io_err(&path, e))?;
-        deleted.push(path);
+        std::fs::remove_file(path).map_err(|e| io_err(path, e))?;
+        deleted.push(path.clone());
     }
     if !deleted.is_empty() {
-        // Make the deletions themselves durable (best-effort, as for
-        // segment creation).
         if let Ok(d) = File::open(dir) {
             let _ = d.sync_all();
         }

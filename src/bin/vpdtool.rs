@@ -10,7 +10,9 @@
 //! vpdtool store    --persist ./wal            # durable: write-ahead log + checkpoints
 //! vpdtool store    --persist ./wal --recover  # resume a persisted store and keep serving
 //! vpdtool audit    --log ./wal                # cold audit: recover + replay + verify
-//! vpdtool wal gc ./wal                        # delete checkpoint-covered log segments
+//! vpdtool wal gc ./wal                        # delete covered log segments + stale checkpoints
+//! vpdtool stats ./wal                         # Prometheus-text metrics from a cold log
+//! vpdtool stats --live                        # serve a demo workload, dump live metrics + traces
 //! ```
 //!
 //! Databases use the textual encoding of `Database::encode`
@@ -149,6 +151,9 @@ fn run(args: &[String]) -> Result<(), String> {
     if cmd == "wal" {
         return run_wal(rest);
     }
+    if cmd == "stats" {
+        return run_stats(rest);
+    }
     let o = parse_options(rest)?;
     match cmd.as_str() {
         "help" | "--help" | "-h" => {
@@ -167,8 +172,13 @@ fn run(args: &[String]) -> Result<(), String> {
                  audit    --log DIR [--omega O]                 cold audit of a persisted store:\n           \
                  recover snapshot + log tail, replay every commit, verify hashes & provenance\n  \
                  wal gc DIR                                     delete log segments fully covered\n           \
-                 by the newest checkpoint (what a serving store does at checkpoint time unless\n           \
-                 WalOptions::retain_segments opts out)\n\n\
+                 by the newest checkpoint, then checkpoint files superseded by it (what a\n           \
+                 serving store does at checkpoint time unless WalOptions::retain_segments\n           \
+                 opts out)\n  \
+                 stats DIR | stats --live [--slow N]            Prometheus-text metrics exposition:\n           \
+                 DIR reconstructs counters from a cold persisted log; --live serves the demo\n           \
+                 workload through a traced server and also prints the N slowest transaction\n           \
+                 timelines (default 5)\n\n\
                  common flags: --schema 'R:2,S:1' (default E:2), --omega empty|order|arithmetic"
             );
             Ok(())
@@ -448,14 +458,137 @@ fn run_wal(args: &[String]) -> Result<(), String> {
     for path in &deleted {
         println!("deleted {}", path.display());
     }
+    // With covered segments gone, checkpoint files older than recovery's
+    // floor are dead weight too.
+    let stale = wal::gc_checkpoints(dir).map_err(|e| e.to_string())?;
+    for path in &stale {
+        println!("deleted {}", path.display());
+    }
     println!(
-        "{}: {} segment(s) deleted (covered through offset {covered})",
+        "{}: {} segment(s) and {} checkpoint file(s) deleted (covered through offset {covered})",
         dir,
-        deleted.len()
+        deleted.len(),
+        stale.len()
     );
     // The directory must still recover afterwards — cheap insurance that
     // the pass never deletes a segment recovery still needs.
     wal::scan_log(dir).map_err(|e| format!("post-gc scan failed: {e}"))?;
+    Ok(())
+}
+
+/// `vpdtool stats`: the metrics exposition surface.
+///
+/// * `stats DIR` — **cold**: recover the persisted log and reconstruct
+///   the counters the artifacts can honestly support (commits, version,
+///   shapes, checkpoint files). Aborts, retries, and stage timings are
+///   not persisted, so they are absent rather than zero; no transaction
+///   traces exist cold.
+/// * `stats --live [--slow N]` — serve the same deterministic demo
+///   workload as `vpdtool store` through a traced in-memory server, then
+///   dump its full metrics snapshot plus the N slowest complete
+///   transaction timelines.
+///
+/// Output is Prometheus text exposition (deterministic ordering), so it
+/// can be diffed, scraped, or grepped in CI.
+fn run_stats(args: &[String]) -> Result<(), String> {
+    let mut dir: Option<String> = None;
+    let mut live = false;
+    let mut slow = 5usize;
+    let mut omega_name: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = &args[i];
+        if flag == "--live" {
+            live = true;
+            i += 1;
+            continue;
+        }
+        if !flag.starts_with("--") {
+            dir = Some(flag.clone());
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--slow" => slow = value.parse().map_err(|_| "bad --slow")?,
+            "--omega" => omega_name = Some(value.clone()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    let omega = match omega_name.as_deref() {
+        None | Some("empty") => Omega::empty(),
+        Some("order") => Omega::nat_order(),
+        Some("arithmetic") => Omega::arithmetic(),
+        Some(other) => return Err(format!("unknown omega {other} (empty|order|arithmetic)")),
+    };
+    match (live, dir) {
+        (true, _) => run_stats_live(slow),
+        (false, Some(dir)) => run_stats_cold(&dir, &omega),
+        (false, None) => Err("stats needs a log directory or --live".into()),
+    }
+}
+
+/// Cold half of [`run_stats`]: counters reconstructed from a recovered
+/// persisted directory, rendered as Prometheus text.
+fn run_stats_cold(dir: &str, omega: &Omega) -> Result<(), String> {
+    use vpdt::store::metrics::names;
+    use vpdt::store::wal::{self, RecoveryOptions};
+    use vpdt::store::MetricsRegistry;
+    let recovered = wal::recover(dir, omega, RecoveryOptions::default())
+        .map_err(|e| format!("recovery of {dir} failed: {e}"))?;
+    let checkpoints = wal::list_checkpoints(dir).map_err(|e| e.to_string())?;
+    let registry = MetricsRegistry::new();
+    // Every committed transaction bumped the version by one, so the
+    // recovered version *is* the lifetime commit count.
+    registry.counter(names::TX_COMMITTED).add(recovered.version);
+    registry
+        .counter(names::CHECKPOINTS)
+        .add(checkpoints.len() as u64);
+    registry.gauge(names::VERSION).set(recovered.version);
+    registry
+        .gauge(names::GUARD_CACHE_SHAPES)
+        .set(recovered.templates.len() as u64);
+    print!("{}", registry.snapshot().render_prometheus());
+    eprintln!(
+        "# cold exposition: reconstructed from {dir} ({} commits replayed over the latest \
+         checkpoint). Aborts, retries, stage timings, and traces are not persisted — attach \
+         to a live server (`StoreServer::metrics`) for those.",
+        recovered.commits_replayed
+    );
+    Ok(())
+}
+
+/// Live half of [`run_stats`]: run the deterministic demo workload on a
+/// traced in-memory server and dump everything the registry collected.
+fn run_stats_live(slow: usize) -> Result<(), String> {
+    use vpdt::store::{workload, StoreBuilder};
+    let (workers, clients, txs, rels, universe, seed) =
+        (4usize, 8u64, 200usize, 4usize, 6u64, 42u64);
+    let alpha = workload::sharded_fd_constraint(rels);
+    let initial = workload::sharded_initial(seed, rels, universe, 0.5);
+    let server = StoreBuilder::new(initial, alpha)
+        .omega(Omega::empty())
+        .workers(workers)
+        .build()
+        .map_err(|e| format!("server refused to start: {e}"))?;
+    let jobs = workload::sharded_jobs(seed, clients, txs, rels, universe);
+    workload::serve_chunked(&server, &jobs, txs);
+    let report = server.shutdown();
+    print!("{}", report.metrics.render_prometheus());
+    if slow > 0 {
+        println!();
+        println!(
+            "# {} slowest traced transactions (of {} requested):",
+            report.slowest.len().min(slow),
+            slow
+        );
+        for timeline in report.slowest.iter().take(slow) {
+            print!("{}", timeline.render());
+        }
+    }
     Ok(())
 }
 

@@ -153,14 +153,48 @@ fn wal_gc_preserves_a_recoverable_directory() {
     assert!(ok, "{out}");
     let (out, err, ok) = vpdtool(&["wal", "gc", &dir_s]);
     assert!(ok, "{out}{err}");
-    assert!(out.contains("segment(s) deleted"), "{out}");
+    assert!(out.contains("segment(s) and"), "{out}");
+    assert!(out.contains("checkpoint file(s) deleted"), "{out}");
     let (out, _, ok) = vpdtool(&["audit", "--log", &dir_s]);
     assert!(ok, "{out}");
     assert!(out.contains("audit OK"), "{out}");
+    // The cold stats exposition parses the same artifacts: a non-zero
+    // commit counter and the version gauge must both be present.
+    let (out, _, ok) = vpdtool(&["stats", &dir_s]);
+    assert!(ok, "{out}");
+    assert!(
+        out.lines()
+            .any(|l| l.starts_with("store_tx_committed_total ") && !l.ends_with(" 0")),
+        "{out}"
+    );
+    assert!(out.contains("# TYPE store_version gauge"), "{out}");
     let (_, err, ok) = vpdtool(&["wal", "frob", &dir_s]);
     assert!(!ok);
     assert!(err.contains("unknown wal subcommand"), "{err}");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `stats --live` serves the demo workload through a traced server and
+/// prints the full exposition plus the slowest transaction timelines.
+#[test]
+fn stats_live_prints_exposition_and_traces() {
+    let (out, err, ok) = vpdtool(&["stats", "--live", "--slow", "2"]);
+    assert!(ok, "{out}{err}");
+    assert!(
+        out.contains("# TYPE store_tx_submitted_total counter"),
+        "{out}"
+    );
+    assert!(out.contains("store_tx_submitted_total 1600"), "{out}");
+    assert!(
+        out.contains("# TYPE store_stage_queue_wait_us histogram"),
+        "{out}"
+    );
+    assert!(out.contains("slowest traced transactions"), "{out}");
+    assert!(out.contains("enqueued"), "{out}");
+    // stats without a directory or --live is an error
+    let (_, err, ok) = vpdtool(&["stats"]);
+    assert!(!ok);
+    assert!(err.contains("--live"), "{err}");
 }
 
 #[test]

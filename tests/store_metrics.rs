@@ -1,0 +1,227 @@
+//! Observability integration tests: the metrics registry and transaction
+//! traces threaded through the `StoreServer` pipeline. Covers per-tx trace
+//! ordering under worker concurrency, the lifetime-totals-vs-delta counter
+//! contract, checkpoint-file GC accounting, and the report's metrics view
+//! staying consistent with the legacy counters it mirrors.
+
+use std::path::{Path, PathBuf};
+use vpdt::eval::Omega;
+use vpdt::store::metrics::names;
+use vpdt::store::{wal, workload, StoreBuilder, TraceStage, WalOptions};
+
+const RELS: usize = 2;
+const UNIVERSE: u64 = 4;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "vpdt-metrics-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn traced_server(seed: u64, workers: usize) -> vpdt::store::StoreServer {
+    let alpha = workload::sharded_fd_constraint(RELS);
+    let initial = workload::sharded_initial(seed, RELS, UNIVERSE, 0.4);
+    StoreBuilder::new(initial, alpha)
+        .workers(workers)
+        .build()
+        .expect("consistent initial state")
+}
+
+/// Run a workload through many workers and sessions, then demand every
+/// complete traced timeline is internally consistent: timestamps
+/// monotone, `enqueued` first, `dequeued` second, a terminal stage last —
+/// even though three different threads (submitter, worker, flusher)
+/// append the events.
+#[test]
+fn trace_events_are_monotone_per_transaction() {
+    let server = traced_server(7, 4);
+    let jobs = workload::sharded_jobs(7, 8, 100, RELS, UNIVERSE);
+    workload::serve_chunked(&server, &jobs, 100);
+    let timelines = server.slowest(usize::MAX);
+    assert!(
+        timelines.len() > 100,
+        "expected plenty of complete timelines, got {}",
+        timelines.len()
+    );
+    let report = server.shutdown();
+    for t in &timelines {
+        assert!(t.is_complete(), "slowest() returns complete timelines only");
+        assert!(
+            t.events.windows(2).all(|w| w[0].at_ns <= w[1].at_ns),
+            "tx {} has out-of-order timestamps: {:?}",
+            t.tx,
+            t.events
+        );
+        assert_eq!(t.events[0].stage, TraceStage::Enqueued, "tx {}", t.tx);
+        assert_eq!(t.events[1].stage, TraceStage::Dequeued, "tx {}", t.tx);
+        assert!(
+            t.events.last().expect("non-empty").stage.is_terminal(),
+            "tx {} ends mid-flight: {:?}",
+            t.tx,
+            t.events
+        );
+        assert!(t.events.iter().all(|e| e.tx == t.tx));
+    }
+    // The report carries the slowest few, ranked slowest-first.
+    assert!(!report.slowest.is_empty());
+    assert!(report
+        .slowest
+        .windows(2)
+        .all(|w| w[0].span_ns() >= w[1].span_ns()));
+}
+
+/// The counter contract (satellite of the docs-drift fix): everything on
+/// a server is a lifetime total — warm-up and serving traffic accumulate
+/// — and a window is measured by delta'ing two snapshots, never by the
+/// counters resetting.
+#[test]
+fn counters_are_lifetime_totals_and_delta_gives_windows() {
+    let server = traced_server(11, 2);
+    let batch_a = workload::sharded_jobs(11, 1, 40, RELS, UNIVERSE);
+    let batch_b = workload::sharded_jobs(12, 1, 25, RELS, UNIVERSE);
+    let mid = {
+        let session = server.session();
+        for job in &batch_a {
+            session.submit(job.program.clone()).wait();
+        }
+        let mid = server.metrics();
+        for job in &batch_b {
+            session.submit(job.program.clone()).wait();
+        }
+        mid
+    };
+    assert_eq!(mid.counter(names::TX_SUBMITTED), batch_a.len() as u64);
+    let report = server.shutdown();
+
+    // Lifetime totals: both batches, never reset.
+    let total = report.metrics.counter(names::TX_SUBMITTED);
+    assert_eq!(total, (batch_a.len() + batch_b.len()) as u64);
+    assert_eq!(
+        report.metrics.counter(names::TX_COMMITTED) + report.metrics.counter(names::TX_ABORTED),
+        total,
+        "every submission resolves committed or aborted"
+    );
+    // Windows come from delta, not from resetting counters.
+    let window = report.metrics.delta(&mid);
+    assert_eq!(window.counter(names::TX_SUBMITTED), batch_b.len() as u64);
+    // Histograms window the same way: the delta holds batch B only.
+    let all = report
+        .metrics
+        .histogram(names::TX_TOTAL)
+        .expect("total-latency histogram exists");
+    let windowed = window
+        .histogram(names::TX_TOTAL)
+        .expect("windowed histogram exists");
+    assert_eq!(all.count, total);
+    assert_eq!(windowed.count, batch_b.len() as u64);
+}
+
+/// The report's legacy counters are views over the registry: the exec
+/// report, the cache stats, and the metrics snapshot must agree with each
+/// other and with what the Prometheus rendering says.
+#[test]
+fn report_counters_and_exposition_agree() {
+    let server = traced_server(13, 2);
+    let jobs = workload::sharded_jobs(13, 4, 50, RELS, UNIVERSE);
+    workload::serve_chunked(&server, &jobs, 50);
+    let report = server.shutdown();
+    let m = &report.metrics;
+    assert_eq!(m.counter(names::TX_COMMITTED), report.exec.committed as u64);
+    assert_eq!(m.counter(names::TX_ABORTED), report.exec.aborted as u64);
+    assert_eq!(m.counter(names::TX_FAILED), report.exec.failed as u64);
+    assert_eq!(m.counter(names::TX_CONFLICTS), report.exec.conflicts);
+    assert_eq!(m.counter(names::GUARD_CACHE_HITS), report.cache.hits);
+    assert_eq!(m.counter(names::GUARD_CACHE_MISSES), report.cache.misses);
+    assert_eq!(m.gauge(names::VERSION), report.final_version);
+    assert_eq!(
+        m.gauge(names::GUARD_CACHE_SHAPES),
+        report.cache.shapes as u64
+    );
+
+    let text = m.render_prometheus();
+    assert!(text.contains(&format!(
+        "{} {}\n",
+        names::TX_COMMITTED,
+        report.exec.committed
+    )));
+    assert!(text.contains("# TYPE store_stage_queue_wait_us histogram"));
+    assert_eq!(text, m.render_prometheus(), "exposition is deterministic");
+}
+
+/// Checkpoint-file GC: once segments rotate and later checkpoints cover
+/// the log, superseded checkpoint files are deleted (the recovery floor
+/// and the newest survive), recovery still works, and the deletions are
+/// counted on the registry.
+#[test]
+fn checkpoint_gc_deletes_superseded_files() {
+    let dir = tmp_dir("ckgc");
+    let alpha = workload::sharded_fd_constraint(RELS);
+    let initial = workload::sharded_initial(17, RELS, UNIVERSE, 0.4);
+    let opts = WalOptions {
+        segment_bytes: 512, // rotate aggressively so old segments can go
+        fsync_commits: false,
+        ..WalOptions::default()
+    };
+    let server = StoreBuilder::new(initial, alpha)
+        .workers(2)
+        .persist_with(&dir, opts)
+        .build()
+        .expect("persisted server starts");
+    let mut checkpoints_taken = 1; // genesis
+    {
+        let session = server.session();
+        for round in 0..4u64 {
+            let jobs = workload::sharded_jobs(20 + round, 1, 30, RELS, UNIVERSE);
+            for job in &jobs {
+                session.submit(job.program.clone()).wait();
+            }
+            server.checkpoint().expect("serving checkpoint");
+            checkpoints_taken += 1;
+        }
+    }
+    let final_version = server.version();
+    let report = server.shutdown();
+    checkpoints_taken += 1; // the clean shutdown checkpoint
+
+    assert_eq!(
+        report.metrics.counter(names::CHECKPOINTS),
+        checkpoints_taken
+    );
+    let deleted = report.metrics.counter(names::CHECKPOINT_FILES_DELETED);
+    assert!(deleted > 0, "rotation plus checkpoints must retire files");
+    assert!(report.metrics.counter(names::WAL_SEGMENTS_DELETED) > 0);
+    // What survives on disk: at most the recovery floor and the newest.
+    let remaining = wal::list_checkpoints(&dir).expect("listable");
+    assert!(
+        remaining.len() <= 2,
+        "kept {} checkpoint files",
+        remaining.len()
+    );
+    // Checkpoints at the same covered offset overwrite the same file
+    // (e.g. the clean shutdown checkpoint right after a quiesced serving
+    // one), so files retired + files remaining never exceeds — but may
+    // undercount — checkpoints taken.
+    assert!(
+        deleted + remaining.len() as u64 <= checkpoints_taken,
+        "{deleted} deleted + {} remaining vs {checkpoints_taken} taken",
+        remaining.len()
+    );
+    // And the directory still recovers to the reported state.
+    let recovered = StoreBuilder::recover(&dir)
+        .omega(Omega::empty())
+        .workers(1)
+        .build()
+        .expect("recovery after checkpoint GC");
+    assert_eq!(recovered.version(), final_version);
+    cleanup(&dir);
+}
+
+fn cleanup(dir: &Path) {
+    let _ = std::fs::remove_dir_all(dir);
+}
