@@ -247,6 +247,9 @@ fn eval_numterm(db: &Database, t: &NumTerm, env: &Env) -> Result<u64, EvalError>
         NumTerm::One => Ok(1),
         NumTerm::Max => Ok(db.domain_size() as u64),
         NumTerm::Lit(n) => Ok(*n),
+        NumTerm::Param(i) => Err(EvalError(format!(
+            "un-instantiated numeric placeholder ?{i}#"
+        ))),
     }
 }
 

@@ -23,6 +23,11 @@ pub enum NumTerm {
     /// A numeric literal. Not part of the paper's syntax but definable from
     /// `1` and the order; provided for convenience in tests and examples.
     Lit(u64),
+    /// A numeric placeholder `?i#`: a literal whose value has been lifted
+    /// into a template binding vector (see `canonicalize` in `vpdt-tx`).
+    /// Like first-sort placeholders it is ground — evaluating one before
+    /// instantiation is an error, never a silent default.
+    Param(usize),
 }
 
 impl NumTerm {
@@ -39,6 +44,7 @@ impl fmt::Display for NumTerm {
             NumTerm::One => write!(f, "1#"),
             NumTerm::Max => write!(f, "max#"),
             NumTerm::Lit(n) => write!(f, "{n}#"),
+            NumTerm::Param(i) => write!(f, "?{i}#"),
         }
     }
 }

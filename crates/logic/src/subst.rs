@@ -6,7 +6,7 @@
 //! the `PR ⊆ WPC` embedding (relation atoms are unfolded into prerelation
 //! formulas).
 
-use crate::formula::Formula;
+use crate::formula::{Formula, NumTerm};
 use crate::term::{Term, Var};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -132,33 +132,78 @@ fn bind_elem(
 /// The rewriter is `FnMut`, so stateful rewrites (e.g. the canonicalizer's
 /// constant lifting) can thread an accumulator through the walk.
 pub fn map_terms(f: &Formula, rewrite: &mut dyn FnMut(&Term) -> Term) -> Formula {
+    map_terms_full(f, rewrite, &mut |nt| nt.clone())
+}
+
+/// Like [`map_terms`], but also rewrites the numeric-term positions of the
+/// counting fragment: both sides of `NumLe`/`NumEq`/`Bit` and the bound of
+/// `CountGe`. Both rewriters are threaded through one left-to-right walk,
+/// so a stateful caller (the canonicalizer lifting constants of either
+/// sort into one binding vector) sees every occurrence in program order.
+pub fn map_terms_full(
+    f: &Formula,
+    rewrite: &mut dyn FnMut(&Term) -> Term,
+    rewrite_num: &mut dyn FnMut(&NumTerm) -> NumTerm,
+) -> Formula {
     match f {
-        Formula::True
-        | Formula::False
-        | Formula::NumLe(..)
-        | Formula::NumEq(..)
-        | Formula::Bit(..) => f.clone(),
+        Formula::True | Formula::False => f.clone(),
         Formula::Rel(name, ts) => Formula::Rel(name.clone(), ts.iter().map(rewrite).collect()),
         Formula::Pred(p, ts) => Formula::Pred(p.clone(), ts.iter().map(rewrite).collect()),
         Formula::Eq(a, b) => Formula::Eq(rewrite(a), rewrite(b)),
-        Formula::Not(g) => Formula::Not(Box::new(map_terms(g, rewrite))),
-        Formula::And(gs) => Formula::And(gs.iter().map(|g| map_terms(g, rewrite)).collect()),
-        Formula::Or(gs) => Formula::Or(gs.iter().map(|g| map_terms(g, rewrite)).collect()),
-        Formula::Implies(a, b) => Formula::Implies(
-            Box::new(map_terms(a, rewrite)),
-            Box::new(map_terms(b, rewrite)),
+        Formula::Not(g) => Formula::Not(Box::new(map_terms_full(g, rewrite, rewrite_num))),
+        Formula::And(gs) => Formula::And(
+            gs.iter()
+                .map(|g| map_terms_full(g, rewrite, rewrite_num))
+                .collect(),
         ),
-        Formula::Iff(a, b) => Formula::Iff(
-            Box::new(map_terms(a, rewrite)),
-            Box::new(map_terms(b, rewrite)),
+        Formula::Or(gs) => Formula::Or(
+            gs.iter()
+                .map(|g| map_terms_full(g, rewrite, rewrite_num))
+                .collect(),
         ),
-        Formula::Exists(v, g) => Formula::Exists(v.clone(), Box::new(map_terms(g, rewrite))),
-        Formula::Forall(v, g) => Formula::Forall(v.clone(), Box::new(map_terms(g, rewrite))),
-        Formula::CountGe(i, v, g) => {
-            Formula::CountGe(i.clone(), v.clone(), Box::new(map_terms(g, rewrite)))
+        Formula::Implies(a, b) => {
+            let a = map_terms_full(a, rewrite, rewrite_num);
+            Formula::Implies(
+                Box::new(a),
+                Box::new(map_terms_full(b, rewrite, rewrite_num)),
+            )
         }
-        Formula::NumExists(v, g) => Formula::NumExists(v.clone(), Box::new(map_terms(g, rewrite))),
-        Formula::NumForall(v, g) => Formula::NumForall(v.clone(), Box::new(map_terms(g, rewrite))),
+        Formula::Iff(a, b) => {
+            let a = map_terms_full(a, rewrite, rewrite_num);
+            Formula::Iff(
+                Box::new(a),
+                Box::new(map_terms_full(b, rewrite, rewrite_num)),
+            )
+        }
+        Formula::Exists(v, g) => {
+            Formula::Exists(v.clone(), Box::new(map_terms_full(g, rewrite, rewrite_num)))
+        }
+        Formula::Forall(v, g) => {
+            Formula::Forall(v.clone(), Box::new(map_terms_full(g, rewrite, rewrite_num)))
+        }
+        Formula::CountGe(i, v, g) => Formula::CountGe(
+            rewrite_num(i),
+            v.clone(),
+            Box::new(map_terms_full(g, rewrite, rewrite_num)),
+        ),
+        Formula::NumExists(v, g) => {
+            Formula::NumExists(v.clone(), Box::new(map_terms_full(g, rewrite, rewrite_num)))
+        }
+        Formula::NumForall(v, g) => {
+            Formula::NumForall(v.clone(), Box::new(map_terms_full(g, rewrite, rewrite_num)))
+        }
+        Formula::NumLe(a, b) => {
+            let a = rewrite_num(a);
+            Formula::NumLe(a, rewrite_num(b))
+        }
+        Formula::NumEq(a, b) => {
+            let a = rewrite_num(a);
+            Formula::NumEq(a, rewrite_num(b))
+        }
+        Formula::Bit(a, b) => {
+            let a = rewrite_num(a);
+            Formula::Bit(a, rewrite_num(b))
+        }
     }
 }
 
@@ -183,15 +228,36 @@ pub fn instantiate_params_term(t: &Term, bindings: &[crate::term::Elem]) -> Term
     }
 }
 
-/// Replaces every placeholder `?i` in the formula by `Const(bindings[i])` —
-/// the per-transaction instantiation step of a compiled statement template.
-/// Placeholders are ground, so no capture can occur and the cost is one
-/// structural walk, independent of the database and of the compilation cost.
-pub fn instantiate_params(f: &Formula, bindings: &[crate::term::Elem]) -> Formula {
-    map_terms(f, &mut |t| instantiate_params_term(t, bindings))
+/// Replaces a numeric placeholder `?i#` by the literal `bindings[i]` (an
+/// element value re-read as a number — templates keep one binding vector
+/// for both sorts). Out-of-range indices are left in place, mirroring
+/// [`instantiate_params_term`].
+pub fn instantiate_num_param(t: &NumTerm, bindings: &[crate::term::Elem]) -> NumTerm {
+    if let NumTerm::Param(i) = t {
+        if let Some(e) = bindings.get(*i) {
+            return NumTerm::Lit(e.0);
+        }
+    }
+    t.clone()
 }
 
-/// All placeholder indices occurring in the formula.
+/// Replaces every placeholder — first-sort `?i` by `Const(bindings[i])`,
+/// numeric `?i#` by `Lit(bindings[i])` — the per-transaction instantiation
+/// step of a compiled statement template. Placeholders are ground, so no
+/// capture can occur and the cost is one structural walk, independent of
+/// the database and of the compilation cost.
+pub fn instantiate_params(f: &Formula, bindings: &[crate::term::Elem]) -> Formula {
+    map_terms_full(
+        f,
+        &mut |t| instantiate_params_term(t, bindings),
+        &mut |nt| instantiate_num_param(nt, bindings),
+    )
+}
+
+/// All placeholder indices occurring in the formula — in either sort:
+/// first-sort `?i` in atoms and Ω-applications, numeric `?i#` in counting
+/// bounds and numeric atoms. The two sorts share one index space (one
+/// binding vector per template).
 pub fn formula_params(f: &Formula) -> BTreeSet<usize> {
     fn term_params(t: &Term, out: &mut BTreeSet<usize>) {
         if let Some(i) = t.as_param() {
@@ -200,6 +266,11 @@ pub fn formula_params(f: &Formula) -> BTreeSet<usize> {
             for a in args {
                 term_params(a, out);
             }
+        }
+    }
+    fn num_param(t: &NumTerm, out: &mut BTreeSet<usize>) {
+        if let NumTerm::Param(i) = t {
+            out.insert(*i);
         }
     }
     let mut out = BTreeSet::new();
@@ -212,6 +283,11 @@ pub fn formula_params(f: &Formula) -> BTreeSet<usize> {
         Formula::Eq(a, b) => {
             term_params(a, &mut out);
             term_params(b, &mut out);
+        }
+        Formula::CountGe(i, _, _) => num_param(i, &mut out),
+        Formula::NumLe(a, b) | Formula::NumEq(a, b) | Formula::Bit(a, b) => {
+            num_param(a, &mut out);
+            num_param(b, &mut out);
         }
         _ => {}
     });

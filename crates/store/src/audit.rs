@@ -7,7 +7,7 @@
 //! ([`RuntimeChecked`]) and demands that the two agree everywhere:
 //!
 //! * commit versions are gapless and in log order — the log order *is* a
-//!   serialization, and replaying it must reproduce every recorded state
+//!   serialization, and replaying it must reproduce every recorded root
 //!   hash and the final state;
 //! * every replayed commit passes the deferred `α` check (so `α` holds at
 //!   every committed version — zero constraint violations);
@@ -23,7 +23,7 @@
 //! guard never passed, a forged binding — is rejected with a concrete
 //! complaint.
 
-use crate::history::{state_hash, Event};
+use crate::history::{root_hash, Event};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use vpdt_core::safe::RuntimeChecked;
@@ -146,7 +146,7 @@ pub fn audit_from(
                 writes,
                 shape,
                 bindings,
-                state_hash: recorded_hash,
+                root_hash: recorded_hash,
             } => {
                 commits_checked += 1;
                 let expected = base_version + states.len() as u64;
@@ -210,12 +210,12 @@ pub fn audit_from(
                 );
                 match checked.apply(prev) {
                     Ok(next) => {
-                        if state_hash(&next) != *recorded_hash {
+                        if root_hash(&next) != *recorded_hash {
                             problems.push(format!(
-                                "replaying tx {tx} at version {version} produces state hash \
+                                "replaying tx {tx} at version {version} produces root hash \
                                  {:#x}, history records {recorded_hash:#x} (reordered or \
                                  tampered history)",
-                                state_hash(&next)
+                                root_hash(&next)
                             ));
                         }
                         states.push(next);
@@ -296,7 +296,7 @@ pub fn audit_from(
 /// the events' own `(shape, bindings)` provenance instead (two events of
 /// one transaction that derive different programs draw a complaint), then
 /// the full [`audit`] replay runs: gapless serialization, `α` at every
-/// version, state hashes, write sets, guard/rollback agreement. The
+/// version, root hashes, write sets, guard/rollback agreement. The
 /// derived programs make the *provenance* sub-check tautological — what
 /// still bites is everything replay-based, which is exactly what a cold
 /// log can prove.

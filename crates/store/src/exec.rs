@@ -493,6 +493,22 @@ pub(crate) fn execute_one(
                 )
             }
         };
+        // Pre-encode the commit's WAL payload here, outside the store's
+        // write lock: every field except the assigned version and the root
+        // hash is already known, and those two are 16 fixed bytes the lock
+        // patches in place. Re-encoded per attempt (based_on changes on
+        // retry); skipped entirely for in-memory stores.
+        let encoded = history.is_durable().then(|| {
+            crate::wal::encode_event(&Event::Commit {
+                tx: item.tx,
+                based_on: snap.version,
+                version: 0,
+                writes: prepared.writes().iter().cloned().collect(),
+                shape: prepared.shape.id,
+                bindings: prepared.bindings.clone(),
+                root_hash: 0,
+            })
+        });
         let req = CommitRequest {
             tx: item.tx,
             based_on: snap.version,
@@ -501,9 +517,12 @@ pub(crate) fn execute_one(
             shape: prepared.shape.id,
             bindings: prepared.bindings.clone(),
             new_db,
+            encoded,
         };
         let publish_started_ns = obs.now_ns();
-        match store.try_commit(req) {
+        let (outcome, lock_held) = store.try_commit_timed(req);
+        obs.publish_lock.observe(lock_held.as_micros() as u64);
+        match outcome {
             CommitOutcome::Committed {
                 version,
                 wal_offset,

@@ -3,9 +3,10 @@
 //! Every pipeline step appends an [`Event`]. Commit events are appended
 //! *inside* the store's commit critical section, so their order in the log
 //! is the serialization order (and their `version`s are gapless); the other
-//! events interleave freely. Each commit records an [FNV-1a](fnv1a_64) hash
-//! of the full post-state encoding, which is what lets the audit detect a
-//! tampered or reordered log.
+//! events interleave freely. Each commit records a [root hash](root_hash)
+//! of the post-state — an FNV-1a combine over per-relation content
+//! commitments — which is what lets the audit detect a tampered or
+//! reordered log without re-encoding the whole database on every commit.
 //!
 //! A history can be made *durable* by attaching a write-ahead log
 //! ([`History::attach_wal`], done by
@@ -77,8 +78,9 @@ pub enum Event {
         shape: u64,
         /// The constants bound to the shape's placeholders.
         bindings: Vec<Elem>,
-        /// FNV-1a hash of the committed state's encoding.
-        state_hash: u64,
+        /// [Root hash](root_hash) of the committed state: the
+        /// domain-separated combine over per-relation content commitments.
+        root_hash: u64,
     },
     /// The transaction aborted (guard failed) at snapshot `version`.
     Abort {
@@ -165,6 +167,41 @@ impl History {
         offset
     }
 
+    /// Appends a commit event whose WAL payload was already encoded
+    /// *outside* the commit critical section. When a log is attached and
+    /// `encoded` is present, the pre-built payload is framed and appended
+    /// as-is — the lock never pays the encoding cost; the caller must have
+    /// patched the payload's version and root-hash fields to match `e`
+    /// (see [`crate::wal::patch_commit_payload`]). Falls back to
+    /// [`History::record`] semantics otherwise.
+    ///
+    /// # Panics
+    /// Panics if the attached log fails to append (fail-stop: see the
+    /// module docs).
+    pub fn record_commit(&self, e: Event, encoded: Option<Vec<u8>>) -> Option<u64> {
+        debug_assert!(matches!(e, Event::Commit { .. }));
+        let mut inner = self.inner.lock().expect("history lock poisoned");
+        let offset = inner.durable.as_mut().map(|log| {
+            match &encoded {
+                Some(payload) => log.append_commit_payload(payload),
+                None => log.append_event(&e),
+            }
+            .expect("write-ahead log append failed; refusing to continue non-durably")
+        });
+        inner.events.push(e);
+        offset
+    }
+
+    /// Whether a write-ahead log is attached — commits then benefit from
+    /// pre-encoding their WAL payload before entering the critical section.
+    pub fn is_durable(&self) -> bool {
+        self.inner
+            .lock()
+            .expect("history lock poisoned")
+            .durable
+            .is_some()
+    }
+
     /// Declares a statement shape ahead of its first durable use, so a cold
     /// recovery can resolve the `(shape, bindings)` provenance of every
     /// event that follows. A no-op without an attached log, or when the
@@ -206,17 +243,102 @@ impl History {
 
 /// FNV-1a over a byte string.
 pub fn fnv1a_64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
 }
 
-/// The state hash recorded by commits: FNV-1a of the stable encoding.
+/// A streaming FNV-1a hasher: fold bytes in as they are produced instead
+/// of materializing the full input first. Implements [`std::fmt::Write`]
+/// so any `Display`-style encoder can stream straight into it.
+#[derive(Clone, Debug)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds `bytes` into the running hash.
+    #[inline]
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    /// The hash of everything folded in so far.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl std::fmt::Write for Fnv64 {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.update(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// The legacy full-state hash: FNV-1a of the stable encoding, streamed
+/// through the hasher without allocating the encoding. Retained as the
+/// checkpoint self-check (a checkpoint carries a materialized database, so
+/// hashing its exact encoding guards against snapshot corruption) and as
+/// the from-scratch oracle the incremental [`root_hash`] is tested against.
 pub fn state_hash(db: &Database) -> u64 {
-    fnv1a_64(db.encode().as_bytes())
+    let mut h = Fnv64::new();
+    db.encode_to(&mut h)
+        .expect("hashing an encoding cannot fail");
+    h.finish()
+}
+
+/// Domain separator for the commit root hash. Bumped together with the WAL
+/// format version whenever the combine below changes shape.
+const ROOT_DOMAIN_SEP: &[u8] = b"vpdt-root-v2";
+
+/// The root hash recorded by commits: a deterministic FNV-1a combine over
+/// the per-relation content commitments that
+/// [`Relation`](vpdt_structure::Relation) maintains incrementally, plus
+/// the domain elements not implied by any tuple.
+///
+/// Per relation in schema order the combine folds in the name, a `0`
+/// separator byte, and the arity, tuple count, and cached
+/// [`content_hash`](vpdt_structure::Relation::content_hash) as
+/// little-endian `u64`s; then the count and sorted values of
+/// [`domain_excess`](Database::domain_excess). Every input the encoding
+/// exposes is committed (names, arities, cardinalities, tuples, isolated
+/// domain elements), so two databases with equal root hashes encode
+/// identically modulo FNV collisions — but unlike [`state_hash`] the cost
+/// is O(#relations), not O(#tuples), because the per-tuple work already
+/// happened incrementally at mutation time.
+pub fn root_hash(db: &Database) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(ROOT_DOMAIN_SEP);
+    for (name, _) in db.schema().iter() {
+        let rel = db.rel(name);
+        h.update(name.as_bytes());
+        h.update(&[0u8]);
+        h.update(&(rel.arity() as u64).to_le_bytes());
+        h.update(&(rel.len() as u64).to_le_bytes());
+        h.update(&rel.content_hash().to_le_bytes());
+    }
+    let excess = db.domain_excess();
+    h.update(&(excess.len() as u64).to_le_bytes());
+    for e in &excess {
+        h.update(&e.0.to_le_bytes());
+    }
+    h.finish()
 }
 
 #[cfg(test)]
@@ -248,5 +370,31 @@ mod tests {
         let b = Database::graph([(1, 0)]);
         assert_ne!(state_hash(&a), state_hash(&b));
         assert_eq!(state_hash(&a), state_hash(&a.clone()));
+        // streaming must agree with hashing the materialized encoding
+        assert_eq!(state_hash(&a), fnv1a_64(a.encode().as_bytes()));
+    }
+
+    #[test]
+    fn root_hash_commits_to_every_encoded_input() {
+        use vpdt_logic::Elem;
+        let a = Database::graph([(0, 1)]);
+        let b = Database::graph([(1, 0)]);
+        assert_ne!(root_hash(&a), root_hash(&b));
+        assert_eq!(root_hash(&a), root_hash(&a.clone()));
+        // isolated domain elements are part of the commitment
+        let c = Database::graph_with_domain([7], [(0, 1)]);
+        assert_ne!(root_hash(&a), root_hash(&c));
+        // representation independence: materializing the domain view or
+        // shrinking it back must not move the hash
+        let mut d = a.clone();
+        let _ = d.domain();
+        assert_eq!(root_hash(&a), root_hash(&d));
+        d.shrink_domain_to_active();
+        assert_eq!(root_hash(&a), root_hash(&d));
+        // a removal that pins an element in the domain moves the hash
+        let mut e = a.clone();
+        e.remove("E", &[Elem(0), Elem(1)]);
+        assert_ne!(root_hash(&a), root_hash(&e));
+        assert_ne!(root_hash(&Database::graph([])), root_hash(&e));
     }
 }

@@ -76,7 +76,8 @@
 //!   resident server pool, and the [`run_jobs`] batch-compatibility
 //!   wrapper), plus the serial check-and-rollback baseline it displaces;
 //! * [`history`] — a begin/guard-eval/commit/abort event log with snapshot
-//!   versions, state hashes, and per-transaction session provenance;
+//!   versions, per-relation commitment root hashes, and per-transaction
+//!   session provenance;
 //! * [`wal`] — the write-ahead log that makes history and state durable.
 //!   Commits run in two phases: **publish** (version advanced, record
 //!   appended — inside the commit critical section) and **durable** (the

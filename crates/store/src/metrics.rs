@@ -57,8 +57,13 @@ pub mod names {
     pub const STAGE_QUEUE_WAIT: &str = "store_stage_queue_wait_us";
     /// Guard instantiation + evaluation, µs (per attempt).
     pub const STAGE_GUARD_EVAL: &str = "store_stage_guard_eval_us";
-    /// Commit critical section (validate + version bump + WAL append), µs.
+    /// Publish phase as the worker sees it (lock wait + critical
+    /// section), µs.
     pub const STAGE_PUBLISH: &str = "store_stage_publish_us";
+    /// Commit critical section only — time the store's write lock is
+    /// *held* (validate + merge + version bump + root hash + WAL append),
+    /// µs. `STAGE_PUBLISH` minus this is lock wait.
+    pub const STAGE_PUBLISH_LOCK: &str = "store_publish_critical_section_us";
     /// Publish → covering fsync resolved the ticket, µs.
     pub const STAGE_PUBLISH_TO_DURABLE: &str = "store_stage_publish_to_durable_us";
     /// Submit → final outcome, µs.
@@ -107,6 +112,8 @@ pub struct StoreMetrics {
     pub guard_eval: Histogram,
     /// [`names::STAGE_PUBLISH`].
     pub publish: Histogram,
+    /// [`names::STAGE_PUBLISH_LOCK`].
+    pub publish_lock: Histogram,
     /// [`names::STAGE_PUBLISH_TO_DURABLE`].
     pub publish_to_durable: Histogram,
     /// [`names::TX_TOTAL`].
@@ -137,6 +144,7 @@ impl StoreMetrics {
             queue_wait: registry.histogram(names::STAGE_QUEUE_WAIT),
             guard_eval: registry.histogram(names::STAGE_GUARD_EVAL),
             publish: registry.histogram(names::STAGE_PUBLISH),
+            publish_lock: registry.histogram(names::STAGE_PUBLISH_LOCK),
             publish_to_durable: registry.histogram(names::STAGE_PUBLISH_TO_DURABLE),
             tx_total: registry.histogram(names::TX_TOTAL),
             registry,

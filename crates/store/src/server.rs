@@ -17,7 +17,7 @@
 
 use crate::exec::{self, ExecReport, OutcomeSink, TxOutcome, WorkItem, WorkQueue};
 use crate::guard::{CacheStats, GuardCache};
-use crate::history::{state_hash, Event, History};
+use crate::history::{root_hash, state_hash, Event, History};
 use crate::metrics::StoreMetrics;
 use crate::session::{Session, TicketState, TxTicket};
 use crate::snapshot::{Snapshot, VersionedStore};
@@ -305,6 +305,7 @@ impl StoreBuilder {
                             version: 0,
                             next_tx: 0,
                             state_hash: state_hash(&snap.db),
+                            root_hash: root_hash(&snap.db),
                             alpha: cache.alpha().clone(),
                             schema: store.schema().clone(),
                             db: (*snap.db).clone(),
@@ -646,6 +647,7 @@ impl StoreServer {
                     version: snap.version,
                     next_tx,
                     state_hash: state_hash(&snap.db),
+                    root_hash: root_hash(&snap.db),
                     alpha: shared.cache.alpha().clone(),
                     schema: shared.store.schema().clone(),
                     db: (*snap.db).clone(),

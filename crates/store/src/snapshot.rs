@@ -24,7 +24,7 @@
 //! across workers by the [`GroupCommitFlusher`](crate::wal), and only then
 //! the ticket resolution) happens outside the critical section.
 
-use crate::history::{state_hash, Event, History};
+use crate::history::{root_hash, state_hash, Event, History};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, RwLock};
 use vpdt_logic::Schema;
@@ -58,6 +58,13 @@ pub struct CommitRequest {
     pub bindings: Vec<vpdt_logic::Elem>,
     /// The computed post-state (its `writes` relations are authoritative).
     pub new_db: Database,
+    /// The commit's WAL payload, pre-encoded *outside* the critical
+    /// section with placeholder `version`/`root_hash` fields (zeros);
+    /// the store patches those 16 bytes under the lock and appends the
+    /// payload as-is. `None` makes the append encode under the lock — the
+    /// correct-but-slower path for in-memory stores and embeddings that
+    /// do not pre-encode.
+    pub encoded: Option<Vec<u8>>,
 }
 
 /// The store's answer to a commit offer — the *publish*-phase outcome.
@@ -182,20 +189,39 @@ impl VersionedStore {
     /// ticket is the durable phase's job, outside this critical section.
     /// On conflict nothing changes.
     pub fn try_commit(&self, req: CommitRequest) -> CommitOutcome {
+        self.try_commit_timed(req).0
+    }
+
+    /// [`try_commit`](Self::try_commit), also reporting how long the
+    /// store's write lock was **held** (not how long the caller waited to
+    /// acquire it) — the commit critical section the
+    /// `store_publish_critical_section_us` histogram tracks.
+    pub fn try_commit_timed(&self, req: CommitRequest) -> (CommitOutcome, std::time::Duration) {
+        let CommitRequest {
+            tx,
+            based_on,
+            reads,
+            writes,
+            shape,
+            bindings,
+            new_db,
+            mut encoded,
+        } = req;
         let mut s = self.state.write().expect("store lock poisoned");
-        let stale = req
-            .reads
+        let held = std::time::Instant::now();
+        let stale = reads
             .iter()
-            .chain(req.writes.iter())
-            .any(|rel| s.rel_versions.get(rel).copied().unwrap_or(0) > req.based_on);
+            .chain(writes.iter())
+            .any(|rel| s.rel_versions.get(rel).copied().unwrap_or(0) > based_on);
         if stale {
-            return CommitOutcome::Conflict { version: s.version };
+            let outcome = CommitOutcome::Conflict { version: s.version };
+            return (outcome, held.elapsed());
         }
 
-        let merged = if s.version == req.based_on {
+        let merged = if s.version == based_on {
             // Fast path: nothing moved at all; the computed state is the
             // next state verbatim.
-            req.new_db
+            new_db
         } else {
             // Disjoint interleaving: keep the current contents of
             // unwritten relations, take the written ones from the
@@ -205,9 +231,9 @@ impl VersionedStore {
             // it only marks the domain as the deferred active-domain view,
             // which materializes lazily from the relations' cached domains
             // if some later reader (a guard quantifier, an audit) asks.
-            let mut out = req.new_db;
+            let mut out = new_db;
             for (rel, _) in self.schema.iter() {
-                if !req.writes.contains(rel) {
+                if !writes.contains(rel) {
                     out.set_rel_handle(rel, s.db.rel_handle(rel));
                 }
             }
@@ -216,24 +242,38 @@ impl VersionedStore {
 
         s.version += 1;
         let version = s.version;
-        for rel in &req.writes {
+        for rel in &writes {
             s.rel_versions.insert(rel.clone(), version);
         }
-        let hash = state_hash(&merged);
+        // The commitment root: an O(#relations) combine over the cached
+        // per-relation content hashes. Unwritten relations arrived by
+        // pointer swap carrying their hash with them, so nothing here
+        // rehashes a tuple — the per-tuple work happened incrementally at
+        // mutation time, outside this lock.
+        let hash = root_hash(&merged);
         s.db = Arc::new(merged);
-        let wal_offset = self.history.record(Event::Commit {
-            tx: req.tx,
-            based_on: req.based_on,
-            version,
-            writes: req.writes.iter().cloned().collect(),
-            shape: req.shape,
-            bindings: req.bindings.clone(),
-            state_hash: hash,
-        });
-        CommitOutcome::Committed {
+        // With a pre-encoded payload the append is a 16-byte patch plus a
+        // buffered write; otherwise the history encodes under the lock.
+        if let Some(payload) = encoded.as_mut() {
+            crate::wal::patch_commit_payload(payload, version, hash);
+        }
+        let wal_offset = self.history.record_commit(
+            Event::Commit {
+                tx,
+                based_on,
+                version,
+                writes: writes.into_iter().collect(),
+                shape,
+                bindings,
+                root_hash: hash,
+            },
+            encoded,
+        );
+        let outcome = CommitOutcome::Committed {
             version,
             wal_offset,
-        }
+        };
+        (outcome, held.elapsed())
     }
 
     /// Writes a snapshot checkpoint of the *current* state to the attached
@@ -262,6 +302,7 @@ impl VersionedStore {
                         version: s.version,
                         next_tx,
                         state_hash: state_hash(&s.db),
+                        root_hash: root_hash(&s.db),
                         alpha: alpha.clone(),
                         schema: self.schema.clone(),
                         db: (*s.db).clone(),
@@ -335,6 +376,7 @@ mod tests {
             shape: 0,
             bindings: vec![],
             new_db: with_edge(&schema, "R0", 1, 2),
+            encoded: None,
         };
         let b = CommitRequest {
             tx: 2,
@@ -344,6 +386,7 @@ mod tests {
             shape: 1,
             bindings: vec![],
             new_db: with_edge(&schema, "R1", 7, 8),
+            encoded: None,
         };
         assert!(matches!(
             store.try_commit(a),
@@ -381,6 +424,7 @@ mod tests {
             shape: 0,
             bindings: vec![],
             new_db,
+            encoded: None,
         };
         assert!(matches!(
             store.try_commit(mk(1, with_edge(&schema, "R0", 1, 2))),
@@ -409,6 +453,7 @@ mod tests {
                 shape: 0,
                 bindings: vec![],
                 new_db: with_edge(&schema, "R0", i, i + 1),
+                encoded: None,
             };
             assert!(matches!(
                 store.try_commit(req),

@@ -2,8 +2,8 @@
 //! audit.
 //!
 //! The store's history events already carry everything a verifier needs —
-//! FNV-1a state hashes, gapless commit versions, `(shape, bindings)`
-//! prepared-statement provenance. This module gives them a crash-safe home
+//! per-relation commitment [root hashes](crate::history::root_hash), gapless
+//! commit versions, `(shape, bindings)` prepared-statement provenance. This module gives them a crash-safe home
 //! so both the *state* and the *evidence* survive a kill:
 //!
 //! * **Records.** Every event (and every first-use statement-shape
@@ -40,14 +40,14 @@
 //!   replays the log tail through the *rollback* path
 //!   ([`RuntimeChecked`]): every replayed commit must re-derive from its
 //!   recorded provenance, pass the deferred constraint check, and
-//!   reproduce its recorded state hash. A torn tail (a record the crash
+//!   reproduce its recorded root hash. A torn tail (a record the crash
 //!   cut short) is detected by checksum and cleanly discarded; a corrupt
 //!   *interior* record is a hard, typed [`WalError::Corrupt`] — that log
 //!   was tampered with or the disk is lying, and no prefix of it should be
 //!   trusted silently.
 
 use crate::exec::TxOutcome;
-use crate::history::{fnv1a_64, state_hash, Event};
+use crate::history::{fnv1a_64, root_hash, state_hash, Event};
 use crate::metrics::{names, StoreMetrics};
 use crate::session::TicketState;
 use crate::snapshot::VersionedStore;
@@ -69,8 +69,13 @@ use vpdt_tx::program::ProgramTransaction;
 use vpdt_tx::template::Template;
 use vpdt_tx::traits::{Transaction, TxError};
 
-/// On-disk format version; bumped on any incompatible change.
-pub const FORMAT_VERSION: u32 = 1;
+/// On-disk format version; bumped on any incompatible change. Version 2
+/// redefined the commit hash: commit records (and checkpoint anchors) now
+/// carry the per-relation commitment [root hash](crate::history::root_hash)
+/// instead of the monolithic full-encoding hash, so version-1 artifacts are
+/// rejected with a typed [`WalError::Version`] rather than silently
+/// re-interpreted.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Bytes of record framing: `u32` length + `u64` checksum.
 const FRAME_HEADER: usize = 12;
@@ -207,7 +212,7 @@ pub enum RecoveryError {
         /// What was wrong.
         detail: String,
     },
-    /// Replaying a committed transaction produced a different state hash
+    /// Replaying a committed transaction produced a different root hash
     /// than the log recorded — a tampered or reordered log.
     HashMismatch {
         /// The transaction.
@@ -337,14 +342,14 @@ pub fn encode_event(e: &Event) -> Vec<u8> {
             writes,
             shape,
             bindings,
-            state_hash,
+            root_hash,
         } => {
             out.push(TAG_COMMIT);
             codec::put_u64(&mut out, *tx);
             codec::put_u64(&mut out, *based_on);
             codec::put_u64(&mut out, *version);
             codec::put_u64(&mut out, *shape);
-            codec::put_u64(&mut out, *state_hash);
+            codec::put_u64(&mut out, *root_hash);
             codec::put_u32(&mut out, writes.len() as u32);
             for w in writes {
                 codec::put_str(&mut out, w);
@@ -363,6 +368,35 @@ pub fn encode_event(e: &Event) -> Vec<u8> {
         }
     }
     out
+}
+
+/// Byte offset of the `version` field inside an encoded commit payload:
+/// tag (1) + tx (8) + based_on (8).
+const COMMIT_VERSION_OFFSET: usize = 17;
+/// Byte offset of the `root_hash` field inside an encoded commit payload:
+/// [`COMMIT_VERSION_OFFSET`] + version (8) + shape (8).
+const COMMIT_ROOT_HASH_OFFSET: usize = 33;
+
+/// Stamps the two commit-time fields — `version` and `root_hash` — into a
+/// commit payload that was pre-encoded *outside* the commit critical
+/// section (with placeholder zeros). Every other field of a commit record
+/// is known before the store's write lock is taken; these two exist only
+/// once the commit wins validation, so the lock patches 16 bytes instead
+/// of encoding the whole record.
+///
+/// # Panics
+/// Panics if `payload` is not a commit payload (wrong tag or too short) —
+/// that is a caller bug, not an I/O condition.
+pub(crate) fn patch_commit_payload(payload: &mut [u8], version: u64, root_hash: u64) {
+    assert_eq!(
+        payload.first(),
+        Some(&TAG_COMMIT),
+        "patching a non-commit payload"
+    );
+    payload[COMMIT_VERSION_OFFSET..COMMIT_VERSION_OFFSET + 8]
+        .copy_from_slice(&version.to_le_bytes());
+    payload[COMMIT_ROOT_HASH_OFFSET..COMMIT_ROOT_HASH_OFFSET + 8]
+        .copy_from_slice(&root_hash.to_le_bytes());
 }
 
 /// Decodes an event payload: the exact inverse of [`encode_event`].
@@ -409,7 +443,7 @@ fn decode_event_body(c: &mut Cursor<'_>) -> Result<Event, CodecError> {
             let based_on = c.u64("based_on")?;
             let version = c.u64("version")?;
             let shape = c.u64("shape id")?;
-            let state_hash = c.u64("state hash")?;
+            let root_hash = c.u64("root hash")?;
             let n = c.count("write set")?;
             let mut writes = Vec::with_capacity(n);
             for _ in 0..n {
@@ -422,7 +456,7 @@ fn decode_event_body(c: &mut Cursor<'_>) -> Result<Event, CodecError> {
                 writes,
                 shape,
                 bindings: get_bindings(c)?,
-                state_hash,
+                root_hash,
             })
         }
         TAG_ABORT => Ok(Event::Abort {
@@ -808,6 +842,25 @@ impl DurableLog {
             } else if self.fsync_commits {
                 self.writer.sync()?;
             }
+        }
+        Ok(offset)
+    }
+
+    /// Appends a commit record whose payload was pre-encoded (and patched,
+    /// see [`patch_commit_payload`]) outside the critical section — the
+    /// same publish contract as [`DurableLog::append_event`] for a commit,
+    /// minus the encoding cost under the lock.
+    pub(crate) fn append_commit_payload(&mut self, payload: &[u8]) -> Result<u64, WalError> {
+        debug_assert_eq!(payload.first(), Some(&TAG_COMMIT));
+        let offset = self.writer.append_payload(payload)?;
+        if let Some(flusher) = &self.flusher {
+            flusher.note_append(
+                self.writer.current_file(),
+                self.writer.current_path(),
+                self.writer.offset(),
+            );
+        } else if self.fsync_commits {
+            self.writer.sync()?;
         }
         Ok(offset)
     }
@@ -1547,9 +1600,14 @@ pub struct Checkpoint {
     pub version: u64,
     /// The next transaction id (so a resumed server never reuses ids).
     pub next_tx: u64,
-    /// FNV-1a hash of `db`'s stable encoding — self-check, and the link to
-    /// the commit record the checkpoint claims to cover.
+    /// FNV-1a hash of `db`'s stable encoding — the checkpoint's
+    /// *self-check*: a checkpoint carries a materialized database, so
+    /// hashing its exact bytes guards against snapshot corruption.
     pub state_hash: u64,
+    /// [Root hash](crate::history::root_hash) of `db` — the *anchor*: the
+    /// value the last covered commit record must have recorded, linking
+    /// the checkpoint to its place in the log.
+    pub root_hash: u64,
     /// The constraint `α` the store guards.
     pub alpha: Formula,
     /// The schema.
@@ -1573,6 +1631,7 @@ pub fn write_checkpoint(dir: &Path, ck: &Checkpoint) -> Result<PathBuf, WalError
     codec::put_u64(&mut payload, ck.version);
     codec::put_u64(&mut payload, ck.next_tx);
     codec::put_u64(&mut payload, ck.state_hash);
+    codec::put_u64(&mut payload, ck.root_hash);
     codec::encode_formula(&ck.alpha, &mut payload);
     codec::put_str(&mut payload, &ck.schema.encode());
     codec::put_str(&mut payload, &ck.db.encode());
@@ -1624,23 +1683,26 @@ pub fn read_checkpoint(path: impl AsRef<Path>) -> Result<Checkpoint, WalError> {
         return Err(bad("checksum mismatch".to_string()));
     }
     let mut c = Cursor::new(payload);
+    let tag = c.u8("checkpoint tag").map_err(|e| bad(e.to_string()))?;
+    if tag != TAG_CHECKPOINT {
+        return Err(bad(format!("not a checkpoint record (tag {tag:#04x})")));
+    }
+    // A version mismatch is its own typed error, not a decode failure:
+    // callers (and operators) must be able to tell "old format, migrate or
+    // regenerate" apart from "damaged file".
+    let v = c.u32("format version").map_err(|e| bad(e.to_string()))?;
+    if v != FORMAT_VERSION {
+        return Err(WalError::Version {
+            found: v,
+            expected: FORMAT_VERSION,
+        });
+    }
     (|| -> Result<Checkpoint, String> {
-        let tag = c.u8("checkpoint tag").map_err(|e| e.to_string())?;
-        if tag != TAG_CHECKPOINT {
-            return Err(format!("not a checkpoint record (tag {tag:#04x})"));
-        }
-        let v = c.u32("format version").map_err(|e| e.to_string())?;
-        if v != FORMAT_VERSION {
-            return Err(WalError::Version {
-                found: v,
-                expected: FORMAT_VERSION,
-            }
-            .to_string());
-        }
         let offset = c.u64("offset").map_err(|e| e.to_string())?;
         let version = c.u64("version").map_err(|e| e.to_string())?;
         let next_tx = c.u64("next_tx").map_err(|e| e.to_string())?;
         let state_hash = c.u64("state hash").map_err(|e| e.to_string())?;
+        let root_hash = c.u64("root hash").map_err(|e| e.to_string())?;
         let alpha = codec::decode_formula(&mut c).map_err(|e| e.to_string())?;
         let schema = Schema::decode(&c.str("schema").map_err(|e| e.to_string())?)?;
         let db = Database::decode(
@@ -1661,6 +1723,7 @@ pub fn read_checkpoint(path: impl AsRef<Path>) -> Result<Checkpoint, WalError> {
             version,
             next_tx,
             state_hash,
+            root_hash,
             alpha,
             schema,
             db,
@@ -1724,9 +1787,12 @@ pub struct Recovered {
     pub db: Database,
     /// The recovered store version.
     pub version: u64,
-    /// FNV-1a hash of the recovered state — matches the last durable
-    /// commit's recorded `state_hash`.
+    /// FNV-1a hash of the recovered state's full encoding (the
+    /// [`state_hash`](crate::history::state_hash) self-check value).
     pub state_hash: u64,
+    /// [Root hash](crate::history::root_hash) of the recovered state —
+    /// matches the last durable commit's recorded `root_hash`.
+    pub root_hash: u64,
     /// The next transaction id a resumed server should assign.
     pub next_tx: u64,
     /// Every statement shape declared by checkpoint or log, by id.
@@ -1819,7 +1885,9 @@ pub fn recover(
         read_checkpoint(latest_path)?
     };
 
-    // Every checkpoint in play must be internally consistent...
+    // Every checkpoint in play must be internally consistent: the full
+    // encoding hash (snapshot integrity) and the commitment root (the
+    // anchor value commits record) must both match its state.
     for c in [&floor, &ck] {
         if state_hash(&c.db) != c.state_hash {
             return Err(RecoveryError::Divergence {
@@ -1829,6 +1897,17 @@ pub fn recover(
                     c.offset,
                     c.state_hash,
                     state_hash(&c.db)
+                ),
+            });
+        }
+        if root_hash(&c.db) != c.root_hash {
+            return Err(RecoveryError::Divergence {
+                detail: format!(
+                    "checkpoint at offset {} records root hash {:#x} but its state's root \
+                     is {:#x}",
+                    c.offset,
+                    c.root_hash,
+                    root_hash(&c.db)
                 ),
             });
         }
@@ -1849,20 +1928,18 @@ pub fn recover(
         .rev()
         .find_map(|r| match &r.record {
             Record::Event(Event::Commit {
-                version,
-                state_hash,
-                ..
-            }) => Some((*version, *state_hash)),
+                version, root_hash, ..
+            }) => Some((*version, *root_hash)),
             _ => None,
         });
     match last_commit_covered {
         Some((v, h)) => {
-            if v != ck.version || h != ck.state_hash {
+            if v != ck.version || h != ck.root_hash {
                 return Err(RecoveryError::Divergence {
                     detail: format!(
-                        "checkpoint claims version {} (hash {:#x}) but the last covered \
-                         commit is version {v} (hash {h:#x})",
-                        ck.version, ck.state_hash
+                        "checkpoint claims version {} (root hash {:#x}) but the last covered \
+                         commit is version {v} (root hash {h:#x})",
+                        ck.version, ck.root_hash
                     ),
                 });
             }
@@ -1921,7 +1998,7 @@ pub fn recover(
             version: v,
             shape,
             bindings,
-            state_hash: recorded,
+            root_hash: recorded,
             ..
         }) = &r.record
         else {
@@ -1953,7 +2030,7 @@ pub fn recover(
         );
         match checked.apply(&db) {
             Ok(next) => {
-                let computed = state_hash(&next);
+                let computed = root_hash(&next);
                 if computed != *recorded {
                     return Err(RecoveryError::HashMismatch {
                         tx: *tx,
@@ -2032,6 +2109,7 @@ pub fn recover(
 
     Ok(Recovered {
         state_hash: state_hash(&db),
+        root_hash: root_hash(&db),
         db,
         version,
         next_tx,
@@ -2115,7 +2193,7 @@ mod tests {
                 writes: vec!["R0".into(), "R1".into()],
                 shape: 3,
                 bindings: vec![Elem(5)],
-                state_hash: 0xdead_beef_cafe_f00d,
+                root_hash: 0xdead_beef_cafe_f00d,
             },
             Event::Abort {
                 tx: 2,
@@ -2133,6 +2211,35 @@ mod tests {
             assert_eq!(back, e);
             assert_eq!(encode_event(&back), bytes);
         }
+    }
+
+    /// Pre-encoding a commit with placeholder version/root-hash and
+    /// patching the two fields under the lock must produce the exact bytes
+    /// a direct encoding of the final event would — the off-lock encoding
+    /// path changes where the work happens, never what lands on disk.
+    #[test]
+    fn patched_commit_payload_equals_direct_encoding() {
+        let placeholder = Event::Commit {
+            tx: 9,
+            based_on: 4,
+            version: 0,
+            writes: vec!["E".into(), "R17".into()],
+            shape: 2,
+            bindings: vec![Elem(1), Elem(7)],
+            root_hash: 0,
+        };
+        let direct = Event::Commit {
+            tx: 9,
+            based_on: 4,
+            version: 5,
+            writes: vec!["E".into(), "R17".into()],
+            shape: 2,
+            bindings: vec![Elem(1), Elem(7)],
+            root_hash: 0x1234_5678_9abc_def0,
+        };
+        let mut pre = encode_event(&placeholder);
+        patch_commit_payload(&mut pre, 5, 0x1234_5678_9abc_def0);
+        assert_eq!(pre, encode_event(&direct));
     }
 
     #[test]
@@ -2245,6 +2352,7 @@ mod tests {
             version: 7,
             next_tx: 19,
             state_hash: state_hash(&db),
+            root_hash: root_hash(&db),
             alpha: vpdt_logic::parse_formula("forall x y z. E(x, y) & E(x, z) -> y = z")
                 .expect("parses"),
             schema: db.schema().clone(),
@@ -2268,6 +2376,44 @@ mod tests {
         assert!(matches!(
             read_checkpoint(&path),
             Err(WalError::BadCheckpoint { .. })
+        ));
+    }
+
+    /// A checkpoint written by an older format (for instance the version-1
+    /// monolithic-hash scheme) is rejected with the typed version error —
+    /// not a decode failure — even when its framing checksum is intact.
+    #[test]
+    fn old_format_checkpoint_is_rejected_with_typed_version_error() {
+        let dir = tmp_dir("ckpt-version");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let db = Database::graph([(0, 1)]);
+        let ck = Checkpoint {
+            offset: 0,
+            version: 0,
+            next_tx: 0,
+            state_hash: state_hash(&db),
+            root_hash: root_hash(&db),
+            alpha: Formula::True,
+            schema: db.schema().clone(),
+            db,
+            templates: BTreeMap::new(),
+        };
+        let path = write_checkpoint(&dir, &ck).expect("writes");
+        // Rewrite the format-version field (payload bytes 1..5, after the
+        // tag) to claim version 1, and re-checksum so only the version
+        // check can object.
+        let mut bytes = std::fs::read(&path).expect("reads");
+        let v_at = FRAME_HEADER + 1;
+        bytes[v_at..v_at + 4].copy_from_slice(&1u32.to_le_bytes());
+        let sum = fnv1a_64(&bytes[FRAME_HEADER..]);
+        bytes[4..12].copy_from_slice(&sum.to_le_bytes());
+        std::fs::write(&path, &bytes).expect("writes");
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(WalError::Version {
+                found: 1,
+                expected: FORMAT_VERSION
+            })
         ));
     }
 

@@ -83,6 +83,39 @@ pub fn sharded_jobs(
     submitter.into_jobs()
 }
 
+/// A deterministic batch for **large** configurations: `clients ×
+/// per_client` jobs sampled directly (relation, pair, insert-or-delete)
+/// from each client's derived stream, without materializing the
+/// `2 · rels · universe²` statement menu [`sharded_jobs`] picks from. The
+/// distribution is the same uniform one; only the generation cost changes
+/// — O(jobs) instead of O(rels · universe²) — which is what makes
+/// `--scale` bench configurations (universe ≥ 64, ≥ 32 relations)
+/// practical to set up.
+pub fn scaled_jobs(
+    base_seed: u64,
+    clients: u64,
+    per_client: usize,
+    rels: usize,
+    universe: u64,
+) -> Vec<Job> {
+    let mut submitter = Submitter::new();
+    for client in 0..clients {
+        let mut rng = StdRng::seed_from_u64(client_seed(base_seed, client));
+        for _ in 0..per_client {
+            let rel = format!("R{}", rng.gen_range(0..rels));
+            let a = rng.gen_range(0..universe);
+            let b = rng.gen_range(0..universe);
+            let program = if rng.gen_bool(0.5) {
+                Program::insert_consts(rel, [a, b])
+            } else {
+                Program::delete_consts(rel, [a, b])
+            };
+            submitter.submit(program);
+        }
+    }
+    submitter.into_jobs()
+}
+
 /// The canonical way to drive a job list through a running server: one
 /// session per `per_client`-sized chunk, each submitting from its own
 /// thread (pipelined — every ticket first, then every wait, so the worker

@@ -20,14 +20,31 @@ use vpdt_logic::{Elem, Schema};
 
 /// A finite relation: a set of tuples of fixed arity over `U`.
 ///
-/// `adom` caches the active domain as occurrence counts; it is derived
-/// data (a pure function of `tuples`), so the derived `Eq`/`Ord` over all
-/// fields remain consistent with tuple-set identity.
+/// `adom` caches the active domain as occurrence counts and `content`
+/// caches a commutative content hash; both are derived data (pure
+/// functions of `tuples`), so the derived `Eq`/`Ord` over all fields
+/// remain consistent with tuple-set identity.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Relation {
     arity: usize,
     tuples: BTreeSet<Vec<Elem>>,
     adom: BTreeMap<Elem, u32>,
+    /// XOR of every tuple's [`tuple_hash`] — maintained incrementally
+    /// (O(tuple) per mutation, XOR being its own inverse), so a state
+    /// commitment over the relation never rescans the tuple set.
+    content: u64,
+}
+
+/// FNV-1a over the tuple's elements in 8-byte little-endian encoding —
+/// the per-tuple unit of [`Relation::content_hash`].
+fn tuple_hash(tuple: &[Elem]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for e in tuple {
+        for b in e.0.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
 }
 
 impl Relation {
@@ -37,6 +54,7 @@ impl Relation {
             arity,
             tuples: BTreeSet::new(),
             adom: BTreeMap::new(),
+            content: 0,
         }
     }
 
@@ -67,6 +85,7 @@ impl Relation {
         for e in &tuple {
             *self.adom.entry(*e).or_insert(0) += 1;
         }
+        self.content ^= tuple_hash(&tuple);
         self.tuples.insert(tuple)
     }
 
@@ -83,6 +102,7 @@ impl Relation {
                     None => unreachable!("adom undercount for {e}"),
                 }
             }
+            self.content ^= tuple_hash(tuple);
         }
         removed
     }
@@ -101,6 +121,17 @@ impl Relation {
     /// cache: O(distinct elements), not O(tuples).
     pub fn active_domain(&self) -> BTreeSet<Elem> {
         self.adom.keys().copied().collect()
+    }
+
+    /// The relation's content commitment: the XOR of the FNV-1a hash of
+    /// every tuple (elements in 8-byte little-endian). A pure,
+    /// order-independent function of the tuple set, maintained
+    /// incrementally by [`insert`](Relation::insert) and
+    /// [`remove`](Relation::remove) — reading it is O(1) however many
+    /// tuples are resident, which is what lets a versioned store commit a
+    /// state commitment over only the relations a transaction touched.
+    pub fn content_hash(&self) -> u64 {
+        self.content
     }
 }
 
@@ -264,6 +295,26 @@ impl Database {
         self.domain_mut().insert(e)
     }
 
+    /// The domain elements occurring in **no** tuple — what the domain
+    /// holds beyond the active domain (isolated nodes, elements pinned by
+    /// a removal). For a freshly normalized database
+    /// ([`shrink_domain_to_active`](Database::shrink_domain_to_active)
+    /// with the flat set not yet materialized) this is empty by
+    /// definition and answered in O(1) without materializing anything —
+    /// the versioned store's commit path relies on that, since every
+    /// transaction output is normalized.
+    pub fn domain_excess(&self) -> BTreeSet<Elem> {
+        let set = match &self.domain {
+            DomainRepr::Active(cell) => match cell.get() {
+                None => return BTreeSet::new(),
+                Some(set) => set,
+            },
+            DomainRepr::Explicit(set) => set,
+        };
+        let active = self.active_domain();
+        set.difference(&active).copied().collect()
+    }
+
     /// Restricts the domain to the active domain, dropping isolated
     /// elements. O(1): the flat set is not rebuilt here — the domain merely
     /// switches to the deferred active-domain view, and materializes from
@@ -424,31 +475,38 @@ impl Database {
     /// languages in the paper are formalized as recursive functions on such
     /// encodings (Section 2); [`Database::decode`] inverts it.
     pub fn encode(&self) -> String {
-        use std::fmt::Write;
         let mut s = String::new();
-        let _ = write!(
-            s,
-            "dom:{}",
-            self.domain()
-                .iter()
-                .map(|e| e.0.to_string())
-                .collect::<Vec<_>>()
-                .join(",")
-        );
-        for (rel, store) in self.schema.rels().iter().zip(&self.rels) {
-            let _ = write!(s, ";{}:", rel.name);
-            let tuples: Vec<String> = store
-                .iter()
-                .map(|t| {
-                    t.iter()
-                        .map(|e| e.0.to_string())
-                        .collect::<Vec<_>>()
-                        .join(" ")
-                })
-                .collect();
-            let _ = write!(s, "{}", tuples.join(","));
-        }
+        self.encode_to(&mut s)
+            .expect("writing to a String cannot fail");
         s
+    }
+
+    /// Streams the [`encode`](Database::encode) bytes into any
+    /// [`fmt::Write`] sink without building intermediate strings — a
+    /// hasher can consume the whole encoding allocation-free.
+    pub fn encode_to(&self, out: &mut impl fmt::Write) -> fmt::Result {
+        out.write_str("dom:")?;
+        for (i, e) in self.domain().iter().enumerate() {
+            if i > 0 {
+                out.write_char(',')?;
+            }
+            write!(out, "{}", e.0)?;
+        }
+        for (rel, store) in self.schema.rels().iter().zip(&self.rels) {
+            write!(out, ";{}:", rel.name)?;
+            for (i, t) in store.iter().enumerate() {
+                if i > 0 {
+                    out.write_char(',')?;
+                }
+                for (j, e) in t.iter().enumerate() {
+                    if j > 0 {
+                        out.write_char(' ')?;
+                    }
+                    write!(out, "{}", e.0)?;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Parses the encoding produced by [`Database::encode`] against a schema.
@@ -585,6 +643,56 @@ mod tests {
         r.insert(vec![Elem(3), Elem(4)]);
         r.remove(&[Elem(4), Elem(3)]);
         assert_eq!(r.active_domain(), BTreeSet::from([Elem(3), Elem(4)]));
+    }
+
+    /// The incremental content hash is a pure function of the tuple set:
+    /// insertion order and intervening removals never matter, so equal
+    /// relations hash equal (and derived `Eq` over the cached field stays
+    /// consistent).
+    #[test]
+    fn content_hash_is_order_independent_and_exact() {
+        let mut a = Relation::empty(2);
+        a.insert(vec![Elem(1), Elem(2)]);
+        a.insert(vec![Elem(3), Elem(4)]);
+        let mut b = Relation::empty(2);
+        b.insert(vec![Elem(3), Elem(4)]);
+        b.insert(vec![Elem(5), Elem(6)]);
+        b.remove(&[Elem(5), Elem(6)]);
+        b.insert(vec![Elem(1), Elem(2)]);
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert_eq!(a, b);
+        // duplicate insert / absent removal leave the hash alone
+        let h = a.content_hash();
+        a.insert(vec![Elem(1), Elem(2)]);
+        a.remove(&[Elem(9), Elem(9)]);
+        assert_eq!(a.content_hash(), h);
+        // element order within a tuple matters; emptying returns to 0
+        let mut c = Relation::empty(2);
+        c.insert(vec![Elem(2), Elem(1)]);
+        assert_ne!(c.content_hash(), {
+            let mut d = Relation::empty(2);
+            d.insert(vec![Elem(1), Elem(2)]);
+            d.content_hash()
+        });
+        a.remove(&[Elem(1), Elem(2)]);
+        a.remove(&[Elem(3), Elem(4)]);
+        assert_eq!(a.content_hash(), 0);
+    }
+
+    /// `domain_excess` names exactly the isolated elements, answers O(1)
+    /// for a freshly normalized (unmaterialized) database, and reflects
+    /// the pinned domain after removals.
+    #[test]
+    fn domain_excess_tracks_isolated_elements() {
+        let mut db = Database::graph_with_domain([9], [(1, 2)]);
+        assert_eq!(db.domain_excess(), BTreeSet::from([Elem(9)]));
+        db.shrink_domain_to_active();
+        assert!(db.domain_excess().is_empty()); // unmaterialized view
+        let _ = db.domain(); // materialize the flat set
+        assert!(db.domain_excess().is_empty());
+        let mut d = Database::graph([(1, 2)]);
+        d.remove("E", &[Elem(1), Elem(2)]);
+        assert_eq!(d.domain_excess(), BTreeSet::from([Elem(1), Elem(2)]));
     }
 
     /// `shrink_domain_to_active` defers the flat set: the domain read back

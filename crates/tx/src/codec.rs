@@ -225,6 +225,7 @@ const NUM_VAR: u8 = 0;
 const NUM_ONE: u8 = 1;
 const NUM_MAX: u8 = 2;
 const NUM_LIT: u8 = 3;
+const NUM_PARAM: u8 = 4;
 
 fn encode_num_term(t: &NumTerm, out: &mut Vec<u8>) {
     match t {
@@ -238,6 +239,10 @@ fn encode_num_term(t: &NumTerm, out: &mut Vec<u8>) {
             out.push(NUM_LIT);
             put_u64(out, *n);
         }
+        NumTerm::Param(i) => {
+            out.push(NUM_PARAM);
+            put_u64(out, *i as u64);
+        }
     }
 }
 
@@ -248,6 +253,7 @@ fn decode_num_term(c: &mut Cursor<'_>) -> Result<NumTerm, CodecError> {
         NUM_ONE => Ok(NumTerm::One),
         NUM_MAX => Ok(NumTerm::Max),
         NUM_LIT => Ok(NumTerm::Lit(c.u64("numeric literal")?)),
+        NUM_PARAM => Ok(NumTerm::Param(c.u64("numeric placeholder")? as usize)),
         tag => Err(CodecError::BadTag {
             at,
             what: "numeric term",
@@ -627,6 +633,16 @@ mod tests {
                     NumTerm::Lit(2),
                     Var::new("z"),
                     Box::new(parse_formula("E(x, z) & E(z, y)").expect("parses")),
+                ),
+            },
+            // a template shape with a lifted counting threshold
+            Program::DeleteWhere {
+                rel: "E".into(),
+                vars: vec![Var::new("x"), Var::new("y")],
+                cond: Formula::CountGe(
+                    NumTerm::Param(0),
+                    Var::new("z"),
+                    Box::new(Formula::NumEq(NumTerm::Param(1), NumTerm::Max)),
                 ),
             },
         ]

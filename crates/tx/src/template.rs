@@ -14,9 +14,10 @@
 //! ```
 //!
 //! Two ground programs canonicalize to the same template exactly when they
-//! differ only in constants, so a guard cache keyed by templates holds one
-//! entry per statement *shape* — O(1) in the size of the universe — instead
-//! of one entry per ground program.
+//! differ only in constants — element constants in terms *or* numeric
+//! literals in condition formulas — so a guard cache keyed by templates
+//! holds one entry per statement *shape* — O(1) in the size of the
+//! universe — instead of one entry per ground program.
 //!
 //! Placeholders are ground terms (nullary applications of the reserved
 //! symbol `?i`), so a template's shape is itself a well-formed [`Program`]
@@ -27,7 +28,8 @@
 use crate::program::Program;
 use crate::traits::TxError;
 use std::fmt;
-use vpdt_logic::subst::map_terms;
+use vpdt_logic::formula::NumTerm;
+use vpdt_logic::subst::map_terms_full;
 use vpdt_logic::{Elem, Formula, Term};
 
 /// A canonicalized statement shape: a program whose constants have been
@@ -87,9 +89,11 @@ impl Template {
                 bindings.len()
             )));
         }
-        Ok(map_program_terms(&self.shape, &mut |t| {
-            vpdt_logic::subst::instantiate_params_term(t, bindings)
-        }))
+        Ok(map_program_terms(
+            &self.shape,
+            &mut |t| vpdt_logic::subst::instantiate_params_term(t, bindings),
+            &mut |nt| vpdt_logic::subst::instantiate_num_param(nt, bindings),
+        ))
     }
 }
 
@@ -106,6 +110,12 @@ impl fmt::Display for Template {
 /// placeholders), which maximizes shape sharing: `insert E(3,3)` and
 /// `insert E(3,4)` are the same prepared statement with different bindings.
 ///
+/// Numeric literals in condition formulas (counting bounds, `NumLe`/`NumEq`/
+/// `Bit` operands) are value-normalized the same way, into the *same*
+/// binding vector — so guards differing only in a threshold (`∃≥2` vs
+/// `∃≥9`) share one compiled shape. The structural constants `1#` and
+/// `max#` are part of the logic's syntax, not values, and stay in place.
+///
 /// A program that already contains placeholder terms is **rejected**: the
 /// lifted indices would collide with the pre-existing `?i`, breaking the
 /// roundtrip invariant (the guard would verify a different program than
@@ -117,8 +127,15 @@ pub fn canonicalize(p: &Program) -> Result<(Template, Vec<Elem>), TxError> {
             "cannot canonicalize a program that already contains placeholder terms".to_string(),
         ));
     }
-    let mut bindings = Vec::new();
-    let shape = map_program_terms(p, &mut |t| lift_term(t, &mut bindings));
+    // Both sorts share one index space, so the two rewriters push into the
+    // same vector; the RefCell lets the closures alias it.
+    let bindings = std::cell::RefCell::new(Vec::new());
+    let shape = map_program_terms(
+        p,
+        &mut |t| lift_term(t, &mut bindings.borrow_mut()),
+        &mut |nt| lift_num_term(nt, &mut bindings.borrow_mut()),
+    );
+    let bindings = bindings.into_inner();
     Ok((
         Template {
             shape,
@@ -195,9 +212,26 @@ fn lift_term(t: &Term, bindings: &mut Vec<Elem>) -> Term {
     }
 }
 
-/// Rewrites every term position of a program (insert tuples and all
-/// condition formulas) with `rewrite`.
-fn map_program_terms(p: &Program, rewrite: &mut dyn FnMut(&Term) -> Term) -> Program {
+fn lift_num_term(t: &NumTerm, bindings: &mut Vec<Elem>) -> NumTerm {
+    match t {
+        NumTerm::Lit(n) => {
+            bindings.push(Elem(*n));
+            NumTerm::Param(bindings.len() - 1)
+        }
+        // `1#` and `max#` are syntax, not values — lifting them would make
+        // shapes depend on the universe size; variables stay bound.
+        NumTerm::Var(_) | NumTerm::One | NumTerm::Max | NumTerm::Param(_) => t.clone(),
+    }
+}
+
+/// Rewrites every term position of a program — insert tuples and all
+/// condition formulas, numeric-term positions included — with the two
+/// rewriters.
+fn map_program_terms(
+    p: &Program,
+    rewrite: &mut dyn FnMut(&Term) -> Term,
+    rewrite_num: &mut dyn FnMut(&NumTerm) -> NumTerm,
+) -> Program {
     match p {
         Program::Skip => Program::Skip,
         Program::Insert { rel, tuple } => Program::Insert {
@@ -207,29 +241,31 @@ fn map_program_terms(p: &Program, rewrite: &mut dyn FnMut(&Term) -> Term) -> Pro
         Program::DeleteWhere { rel, vars, cond } => Program::DeleteWhere {
             rel: rel.clone(),
             vars: vars.clone(),
-            cond: map_terms(cond, rewrite),
+            cond: map_terms_full(cond, rewrite, rewrite_num),
         },
         Program::InsertWhere { rel, vars, cond } => Program::InsertWhere {
             rel: rel.clone(),
             vars: vars.clone(),
-            cond: map_terms(cond, rewrite),
+            cond: map_terms_full(cond, rewrite, rewrite_num),
         },
         Program::Assign { rel, vars, body } => Program::Assign {
             rel: rel.clone(),
             vars: vars.clone(),
-            body: map_terms(body, rewrite),
+            body: map_terms_full(body, rewrite, rewrite_num),
         },
-        Program::Seq(ps) => {
-            Program::Seq(ps.iter().map(|q| map_program_terms(q, rewrite)).collect())
-        }
+        Program::Seq(ps) => Program::Seq(
+            ps.iter()
+                .map(|q| map_program_terms(q, rewrite, rewrite_num))
+                .collect(),
+        ),
         Program::If {
             cond,
             then_p,
             else_p,
         } => Program::If {
-            cond: map_terms(cond, rewrite),
-            then_p: Box::new(map_program_terms(then_p, rewrite)),
-            else_p: Box::new(map_program_terms(else_p, rewrite)),
+            cond: map_terms_full(cond, rewrite, rewrite_num),
+            then_p: Box::new(map_program_terms(then_p, rewrite, rewrite_num)),
+            else_p: Box::new(map_program_terms(else_p, rewrite, rewrite_num)),
         },
     }
 }
@@ -327,6 +363,60 @@ mod tests {
             cond: Formula::eq(Term::var("x"), Term::param(2)),
         };
         assert!(canonicalize(&cond).is_err());
+        // ...and numeric placeholders in condition formulas
+        let num = Program::DeleteWhere {
+            rel: "E".into(),
+            vars: vec![Var::new("x"), Var::new("y")],
+            cond: Formula::NumLe(NumTerm::Param(0), NumTerm::Max),
+        };
+        assert!(canonicalize(&num).is_err());
+    }
+
+    /// Numeric literals in condition formulas are value-normalized into the
+    /// same binding vector as element constants, in one occurrence order —
+    /// so guards differing only in a counting threshold share a shape.
+    #[test]
+    fn numeric_literals_lift_into_the_shared_binding_vector() {
+        let guarded = |n: u64, e: u64| Program::If {
+            cond: Formula::count_ge(
+                NumTerm::Lit(n),
+                "x",
+                Formula::rel("E", [Term::var("x"), Term::cst(e)]),
+            ),
+            then_p: Box::new(Program::insert_consts("E", [7, 8])),
+            else_p: Box::new(Program::Skip),
+        };
+        roundtrips(&guarded(2, 4));
+        let (a, ba) = canonicalize(&guarded(2, 4)).expect("canonicalizes");
+        let (b, bb) = canonicalize(&guarded(9, 5)).expect("canonicalizes");
+        assert_eq!(a, b, "thresholds no longer split shapes");
+        assert_eq!(ba, vec![Elem(2), Elem(4), Elem(7), Elem(8)]);
+        assert_eq!(bb, vec![Elem(9), Elem(5), Elem(7), Elem(8)]);
+        // the shape carries a numeric placeholder where the threshold was
+        match a.shape() {
+            Program::If { cond, .. } => match cond {
+                Formula::CountGe(i, _, _) => assert_eq!(i, &NumTerm::Param(0)),
+                other => panic!("expected CountGe, got {other}"),
+            },
+            other => panic!("expected If, got {other:?}"),
+        }
+        // `1#` and `max#` are structural and stay in place; repeated numeric
+        // literals lift positionally, like repeated element constants
+        let structural = Program::DeleteWhere {
+            rel: "E".into(),
+            vars: vec![Var::new("x"), Var::new("y")],
+            cond: Formula::and([
+                Formula::NumLe(NumTerm::One, NumTerm::Max),
+                Formula::NumEq(NumTerm::Lit(3), NumTerm::Lit(3)),
+            ]),
+        };
+        roundtrips(&structural);
+        let (t, bs) = canonicalize(&structural).expect("canonicalizes");
+        assert_eq!(bs, vec![Elem(3), Elem(3)]);
+        // the durable-log path accepts numeric placeholders too
+        let rebuilt = Template::from_shape(t.shape().clone()).expect("rebuilds");
+        assert_eq!(rebuilt, t);
+        assert_eq!(rebuilt.instantiate(&bs).expect("instantiates"), structural);
     }
 
     /// `from_shape` (the durable-log path) accepts exactly the shapes

@@ -402,10 +402,10 @@ fn cold_audit_dir(dir: &str, omega: &Omega) -> Result<vpdt::store::AuditReport, 
     let recovered = wal::recover(dir, omega, RecoveryOptions::default())
         .map_err(|e| format!("recovery of {dir} failed: {e}"))?;
     println!(
-        "cold log {dir}: recovered version {} (state hash {:#018x}), {} events{}, \
+        "cold log {dir}: recovered version {} (root hash {:#018x}), {} events{}, \
          {} commits replayed from the latest checkpoint{}",
         recovered.version,
-        recovered.state_hash,
+        recovered.root_hash,
         recovered.events.len(),
         if recovered.base_version > 0 {
             format!(

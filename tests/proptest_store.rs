@@ -45,8 +45,76 @@ fn run(seed: u64, clients: u64, per_client: usize, workers: usize) -> Run {
     }
 }
 
+/// From-first-principles recompute of the commitment root: re-derives
+/// every per-relation content hash by walking the tuples, and the domain
+/// excess by re-walking every tuple's elements — deliberately independent
+/// of the incremental caches `Relation` maintains, so cache drift (a
+/// missed XOR on some mutation or merge path) cannot cancel out of the
+/// comparison.
+fn root_from_scratch(db: &Database) -> u64 {
+    fn fnv(h: &mut u64, bytes: &[u8]) {
+        for &b in bytes {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h = OFFSET;
+    fnv(&mut h, b"vpdt-root-v2");
+    let mut active = std::collections::BTreeSet::new();
+    for (name, arity) in db.schema().iter() {
+        let rel = db.rel(name);
+        fnv(&mut h, name.as_bytes());
+        fnv(&mut h, &[0u8]);
+        fnv(&mut h, &(arity as u64).to_le_bytes());
+        fnv(&mut h, &(rel.len() as u64).to_le_bytes());
+        let mut content = 0u64;
+        for tuple in rel.iter() {
+            let mut th = OFFSET;
+            for e in tuple {
+                fnv(&mut th, &e.0.to_le_bytes());
+            }
+            content ^= th;
+            active.extend(tuple.iter().copied());
+        }
+        fnv(&mut h, &content.to_le_bytes());
+    }
+    let excess: Vec<Elem> = db
+        .domain()
+        .iter()
+        .filter(|e| !active.contains(e))
+        .copied()
+        .collect();
+    fnv(&mut h, &(excess.len() as u64).to_le_bytes());
+    for e in excess {
+        fnv(&mut h, &e.0.to_le_bytes());
+    }
+    h
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The incrementally maintained commitment root — per-relation XOR
+    /// content caches carried through inserts, removes, and the commit
+    /// path's pointer-swap merges — always equals a from-scratch recompute
+    /// over the final state, whatever concurrent commit/merge interleaving
+    /// the run produced; and it is exactly what the last commit recorded.
+    #[test]
+    fn incremental_root_matches_from_scratch_recompute(seed in 0u64..10_000, clients in 1u64..4,
+                                                       per_client in 1usize..12,
+                                                       workers in 1usize..5) {
+        let r = run(seed, clients, per_client, workers);
+        let incremental = vpdt::store::history::root_hash(&r.report.final_db);
+        prop_assert_eq!(incremental, root_from_scratch(&r.report.final_db), "seed {}", seed);
+        let last_recorded = r.report.events.iter().rev().find_map(|e| match e {
+            Event::Commit { root_hash, .. } => Some(*root_hash),
+            _ => None,
+        });
+        if let Some(h) = last_recorded {
+            prop_assert_eq!(h, incremental, "seed {}", seed);
+        }
+    }
 
     /// Whatever the seed, session count and parallelism, the audit accepts
     /// the history the server actually produced.
@@ -77,18 +145,18 @@ proptest! {
     fn audit_rejects_truncated_histories(seed in 0u64..10_000) {
         let r = run(seed, 3, 10, 4);
         let mut events = r.report.events.clone();
-        let initial_hash = vpdt::store::history::state_hash(&r.initial);
+        let initial_hash = vpdt::store::history::root_hash(&r.initial);
         // index of the last commit whose post-state differs from its
         // predecessor's — commits after it (if any) are all no-ops, so
         // cutting here guarantees the replayed final state is wrong
         let mut prev = initial_hash;
         let mut cut = None;
         for (i, e) in events.iter().enumerate() {
-            if let Event::Commit { state_hash, .. } = e {
-                if *state_hash != prev {
+            if let Event::Commit { root_hash, .. } = e {
+                if *root_hash != prev {
                     cut = Some(i);
                 }
-                prev = *state_hash;
+                prev = *root_hash;
             }
         }
         let Some(cut) = cut else {
@@ -155,7 +223,7 @@ fn arb_event() -> BoxedStrategy<Event> {
                     .collect(),
                 shape: b % 7,
                 bindings: bindings_from(h),
-                state_hash: h,
+                root_hash: h,
             }
         }),
         (0u64..1000, 0u64..64, 0u64..4).prop_map(|(tx, version, r)| Event::Abort {

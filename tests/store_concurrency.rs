@@ -229,8 +229,8 @@ fn audit_rejects_tampered_hashes() {
         .iter()
         .position(|e| matches!(e, Event::Commit { .. }))
         .expect("has a commit");
-    if let Event::Commit { state_hash, .. } = &mut events[pos] {
-        *state_hash ^= 1;
+    if let Event::Commit { root_hash, .. } = &mut events[pos] {
+        *root_hash ^= 1;
     }
     let report = audit(
         &r.alpha,

@@ -153,9 +153,9 @@ fn hash_at(events: &[Event], version: u64) -> Option<u64> {
         .filter_map(|e| match e {
             Event::Commit {
                 version: v,
-                state_hash,
+                root_hash,
                 ..
-            } if *v <= version => Some((*v, *state_hash)),
+            } if *v <= version => Some((*v, *root_hash)),
             _ => None,
         })
         .max_by_key(|(v, _)| *v)
@@ -206,8 +206,8 @@ fn drop_without_shutdown_replays_and_loses_no_acknowledged_commit() {
         );
         assert!(*v <= r.version);
     }
-    // ...and the recovered state hash is the last durable commit's
-    assert_eq!(Some(r.state_hash), hash_at(&r.events, r.version));
+    // ...and the recovered root hash is the last durable commit's
+    assert_eq!(Some(r.root_hash), hash_at(&r.events, r.version));
 }
 
 /// The crash harness: truncate the log at **every byte boundary of the
@@ -241,9 +241,9 @@ fn truncation_at_every_byte_boundary_recovers_a_consistent_prefix() {
             assert!(r.torn_bytes > 0, "cut {cut}: the torn record is reported");
         }
         assert_eq!(
-            Some(r.state_hash),
-            hash_at(&r.events, r.version).or(Some(r.state_hash)),
-            "cut {cut}: state hash anchors to the last surviving commit"
+            Some(r.root_hash),
+            hash_at(&r.events, r.version).or(Some(r.root_hash)),
+            "cut {cut}: root hash anchors to the last surviving commit"
         );
         // a resumed server must also accept the truncated log and serve
         if cut == last_start || cut == last_start + 5 {
@@ -520,8 +520,8 @@ fn forged_commit_hash_is_a_typed_mismatch() {
         .copied();
     let (start, end) = commit_span.expect("a commit record exists");
     let mut event = wal::decode_event(&bytes[start + 12..end]).expect("decodes");
-    if let Event::Commit { state_hash, .. } = &mut event {
-        *state_hash ^= 0xffff;
+    if let Event::Commit { root_hash, .. } = &mut event {
+        *root_hash ^= 0xffff;
     }
     let payload = wal::encode_event(&event);
     let mut framed = Vec::new();
@@ -552,7 +552,7 @@ fn undeclared_shape_is_typed() {
         writes: vec!["R0".to_string()],
         shape: 999,
         bindings: vec![],
-        state_hash: 0,
+        root_hash: 0,
     });
     let mut framed = Vec::new();
     framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
