@@ -46,9 +46,19 @@
 //! the lock p99 staying bounded — publish work must be proportional to
 //! the footprint, not the database.
 //!
+//! With `--net`, the session workload runs once more through the
+//! `vpdt-net` loopback front door: a resident `NetServer` on a TCP
+//! listener, one pipelined `NetClient` per client thread, every
+//! submission crossing the wire as a checksummed frame and every
+//! outcome returning with the committed version and commitment root.
+//! The report gains a `networked` section (commits/s, client-observed
+//! latency percentiles, connection/byte counters) and the run is gated
+//! on networked throughput holding at least half the in-process
+//! session rate on the identical workload.
+//!
 //! ```text
 //! cargo run --release -p vpdt-bench --bin store_bench
-//! cargo run --release -p vpdt-bench --bin store_bench -- --smoke --scale
+//! cargo run --release -p vpdt-bench --bin store_bench -- --smoke --scale --net
 //! cargo run --release -p vpdt-bench --bin store_bench -- \
 //!     --workers 8 --clients 16 --per-client 2000 --rels 8 --universe 6
 //! ```
@@ -56,6 +66,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Mutex;
 use std::time::Instant;
+use vpdt_net::{names as net_names, NetClient, NetError, NetOptions, NetServer, WireOutcome};
 use vpdt_store::metrics::names;
 use vpdt_store::{
     audit, run_jobs, run_serial_rollback, workload, GroupCommitPolicy, GuardCache, MetricsSnapshot,
@@ -98,6 +109,12 @@ const SCALED_LOCK_P99_BOUND_US: f64 = 250.0;
 /// rather than gated.
 const SCALED_BASELINE_MONOLITHIC_TPS: f64 = 2025.0;
 
+/// Acceptance floor for `--net`: loopback networked throughput as a
+/// fraction of the in-process session rate on the identical workload.
+/// Frame encode/decode, FNV checksums, and the per-connection resolver
+/// round trip are the budget being gated.
+const NET_VS_SESSIONS_FLOOR: f64 = 0.5;
+
 struct Config {
     workers: usize,
     clients: u64,
@@ -111,6 +128,9 @@ struct Config {
     /// (`SCALED_RELS` relations, universe `SCALED_UNIVERSE`) proving the
     /// publish critical section is footprint-proportional.
     scale: bool,
+    /// Run the additional `--net` pass: the session workload driven
+    /// through pipelined `NetClient`s over a loopback `NetServer`.
+    net: bool,
     out: String,
     /// Directory for the persisted run's artifacts; kept when given
     /// (anything already there is removed first), temp + removed otherwise.
@@ -129,6 +149,7 @@ impl Default for Config {
             cache_cap: vpdt_store::guard::DEFAULT_CAPACITY,
             smoke: false,
             scale: false,
+            net: false,
             out: "BENCH_store.json".to_string(),
             persist: None,
         }
@@ -149,6 +170,11 @@ fn parse_args() -> Result<Config, String> {
         }
         if flag == "--scale" {
             cfg.scale = true;
+            i += 1;
+            continue;
+        }
+        if flag == "--net" {
+            cfg.net = true;
             i += 1;
             continue;
         }
@@ -394,6 +420,135 @@ fn run_batch_once(
     Ok((report, t.elapsed().as_secs_f64()))
 }
 
+/// One measured pass of the network front door: the identical session
+/// workload, but every submission crosses a loopback TCP connection as
+/// a checksummed frame and every outcome returns with the committed
+/// version and commitment root. Latency samples are client clocks
+/// (submit → outcome), so unlike the in-process pass they include the
+/// wire, the codec, and the server's per-connection resolver.
+struct NetRun {
+    report: vpdt_store::ServerReport,
+    committed: u64,
+    aborted: u64,
+    failed: u64,
+    secs: f64,
+    /// Client-side submit→outcome samples, µs, sorted ascending.
+    latencies_us: Vec<u64>,
+}
+
+fn run_networked_once(
+    cfg: &Config,
+    alpha: &vpdt_logic::Formula,
+    omega: &vpdt_eval::Omega,
+    initial: &vpdt_structure::Database,
+    jobs: &[vpdt_store::Job],
+) -> Result<NetRun, String> {
+    let server = StoreBuilder::new(initial.clone(), alpha.clone())
+        .omega(omega.clone())
+        .workers(cfg.workers)
+        .guard_cache_capacity(cfg.cache_cap)
+        .trace_capacity(0)
+        .build()
+        .map_err(|e| format!("server refused to start: {e}"))?;
+    // Same warm-up discipline as the in-process pass: the measured
+    // window starts with every statement shape already compiled.
+    for job in jobs {
+        server.prepare(&job.program).map_err(|e| e.to_string())?;
+    }
+    let net = NetServer::bind(server, "127.0.0.1:0", NetOptions::default())
+        .map_err(|e| format!("binding loopback listener: {e}"))?;
+    let handle = net.handle();
+    let addr = handle.addr();
+    let serving = std::thread::spawn(move || net.serve());
+
+    type ClientTally = Result<(u64, u64, u64, Vec<u64>), String>;
+    let tallies: Mutex<Vec<ClientTally>> = Mutex::new(Vec::new());
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for (c, chunk) in jobs.chunks(cfg.per_client.max(1)).enumerate() {
+            let tallies = &tallies;
+            scope.spawn(move || {
+                let outcome = drive_net_client(addr, c, chunk);
+                tallies
+                    .lock()
+                    .expect("net tally lock")
+                    .push(outcome.map_err(|e| format!("net client {c}: {e}")));
+            });
+        }
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    handle.stop();
+    let report = serving.join().map_err(|_| "net server thread panicked")?;
+
+    let (mut committed, mut aborted, mut failed) = (0u64, 0u64, 0u64);
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(jobs.len());
+    for tally in tallies.into_inner().expect("net tally lock") {
+        let (c, a, f, lats) = tally?;
+        committed += c;
+        aborted += a;
+        failed += f;
+        latencies_us.extend(lats);
+    }
+    latencies_us.sort_unstable();
+    Ok(NetRun {
+        report,
+        committed,
+        aborted,
+        failed,
+        secs,
+        latencies_us,
+    })
+}
+
+/// One bench client: a `NetClient` pipelining its chunk through a
+/// `PIPELINE_WINDOW`-deep window (mirroring the in-process driver:
+/// block for the oldest once the window fills), timing each submission
+/// to its outcome and tallying the wire outcomes.
+fn drive_net_client(
+    addr: std::net::SocketAddr,
+    c: usize,
+    chunk: &[vpdt_store::Job],
+) -> Result<(u64, u64, u64, Vec<u64>), NetError> {
+    let mut client = NetClient::connect(addr, &format!("store_bench client {c}"))?;
+    let (mut committed, mut aborted, mut failed) = (0u64, 0u64, 0u64);
+    let mut latencies = Vec::with_capacity(chunk.len());
+    let mut starts: VecDeque<Instant> = VecDeque::new();
+    for job in chunk {
+        if client.inflight() >= PIPELINE_WINDOW {
+            let (_, _, outcome) = client.next_outcome()?;
+            let started = starts.pop_front().expect("window non-empty");
+            latencies.push(started.elapsed().as_micros() as u64);
+            tally_wire(&outcome, &mut committed, &mut aborted, &mut failed);
+        }
+        client.submit(&job.program)?;
+        starts.push_back(Instant::now());
+    }
+    while client.inflight() > 0 {
+        let (_, _, outcome) = client.next_outcome()?;
+        let started = starts.pop_front().expect("one start per submission");
+        latencies.push(started.elapsed().as_micros() as u64);
+        tally_wire(&outcome, &mut committed, &mut aborted, &mut failed);
+    }
+    client.goodbye()?;
+    Ok((committed, aborted, failed, latencies))
+}
+
+fn tally_wire(outcome: &WireOutcome, committed: &mut u64, aborted: &mut u64, failed: &mut u64) {
+    match outcome {
+        WireOutcome::Committed { .. } => *committed += 1,
+        WireOutcome::GuardAborted { .. } | WireOutcome::RolledBack { .. } => *aborted += 1,
+        WireOutcome::Failed { .. } => *failed += 1,
+    }
+}
+
+/// Quantile of a sorted µs sample, reported in ms. Zero when empty.
+fn sample_quantile_ms(sorted_us: &[u64], q: f64) -> f64 {
+    match sorted_us.len() {
+        0 => 0.0,
+        n => sorted_us[((n - 1) as f64 * q).round() as usize] as f64 / 1e3,
+    }
+}
+
 fn median(xs: &mut [f64]) -> f64 {
     xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     if xs.is_empty() {
@@ -635,6 +790,46 @@ fn run(cfg: Config) -> Result<bool, String> {
         );
     }
 
+    // --- networked workload (--net): the front door over loopback -----------
+    // The identical session workload once more, but through `vpdt-net`:
+    // every submission framed and checksummed over TCP, every outcome
+    // returning with version and commitment root. What it proves: the
+    // wire protocol and per-connection resolver keep the workers
+    // saturated — remote sessions are not a second-class path.
+    struct Networked {
+        run: NetRun,
+        tps: f64,
+        vs_sessions: f64,
+    }
+    let networked: Option<Networked> = if cfg.net {
+        let run = run_networked_once(&cfg, &alpha, &omega, &initial, &jobs)?;
+        let tps = run.committed as f64 / run.secs;
+        let vs_sessions = tps / sessions_tps;
+        println!(
+            "networked (loopback, {} clients, window {}): {} committed / {} aborted / \
+             {} failed in {:.3}s ({:.0} commits/s, {:.2}x of in-process sessions, \
+             latency p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms)",
+            cfg.clients,
+            PIPELINE_WINDOW,
+            run.committed,
+            run.aborted,
+            run.failed,
+            run.secs,
+            tps,
+            vs_sessions,
+            sample_quantile_ms(&run.latencies_us, 0.50),
+            sample_quantile_ms(&run.latencies_us, 0.95),
+            sample_quantile_ms(&run.latencies_us, 0.99),
+        );
+        Some(Networked {
+            run,
+            tps,
+            vs_sessions,
+        })
+    } else {
+        None
+    };
+
     // --- scaled workload (--scale): publish cost at a real database size ----
     // A separate in-memory pass over a much larger store (SCALED_RELS
     // relations, universe SCALED_UNIVERSE, thousands of resident tuples)
@@ -668,6 +863,7 @@ fn run(cfg: Config) -> Result<bool, String> {
             cache_cap: cfg.cache_cap,
             smoke: cfg.smoke,
             scale: true,
+            net: false,
             out: cfg.out.clone(),
             persist: None,
         };
@@ -765,6 +961,15 @@ fn run(cfg: Config) -> Result<bool, String> {
             && s.run.report.exec.committed > 0
             && s.lock_p99 <= SCALED_LOCK_P99_BOUND_US
     });
+    // The networked pass gates on the throughput ratio (smoke runs are
+    // too small to amortize connection setup, so there only failures
+    // gate): crossing the loopback front door must not halve the
+    // pipeline.
+    let networked_ok = networked.as_ref().is_none_or(|n| {
+        n.run.failed == 0
+            && n.run.committed > 0
+            && (cfg.smoke || n.vs_sessions >= NET_VS_SESSIONS_FLOOR)
+    });
     let ok = verdict.ok()
         && report.exec.failed == 0
         && enough_commits
@@ -774,7 +979,8 @@ fn run(cfg: Config) -> Result<bool, String> {
         && shape_bound
         && persisted_ok
         && group_ok
-        && scaled_ok;
+        && scaled_ok
+        && networked_ok;
 
     let batch_hist = {
         let entries: Vec<String> = flush
@@ -825,6 +1031,41 @@ fn run(cfg: Config) -> Result<bool, String> {
         }
     };
 
+    let networked_json = match &networked {
+        None => "null".to_string(),
+        Some(n) => format!(
+            "{{\n    \"clients\": {},\n    \"pipeline_window\": {},\n    \
+             \"committed\": {},\n    \"aborted\": {},\n    \"failed\": {},\n    \
+             \"secs\": {:.6},\n    \"commits_per_sec\": {:.1},\n    \
+             \"vs_sessions\": {:.3},\n    \"vs_sessions_floor\": {:.2},\n    \
+             \"latency_p50_ms\": {:.4},\n    \"latency_p95_ms\": {:.4},\n    \
+             \"latency_p99_ms\": {:.4},\n    \"connections\": {},\n    \
+             \"bytes_in\": {},\n    \"bytes_out\": {},\n    \"frame_errors\": {}\n  }}",
+            cfg.clients,
+            PIPELINE_WINDOW,
+            n.run.committed,
+            n.run.aborted,
+            n.run.failed,
+            n.run.secs,
+            n.tps,
+            n.vs_sessions,
+            NET_VS_SESSIONS_FLOOR,
+            sample_quantile_ms(&n.run.latencies_us, 0.50),
+            sample_quantile_ms(&n.run.latencies_us, 0.95),
+            sample_quantile_ms(&n.run.latencies_us, 0.99),
+            n.run
+                .report
+                .metrics
+                .counter(net_names::NET_CONNECTIONS_TOTAL),
+            n.run.report.metrics.counter(net_names::NET_BYTES_IN_TOTAL),
+            n.run.report.metrics.counter(net_names::NET_BYTES_OUT_TOTAL),
+            n.run
+                .report
+                .metrics
+                .counter(net_names::NET_FRAME_ERRORS_TOTAL),
+        ),
+    };
+
     let json = format!(
         "{{\n  \"workload\": {{\n    \"transactions\": {},\n    \"relations\": {},\n    \
          \"universe\": {},\n    \"workers\": {},\n    \"clients\": {},\n    \"seed\": {},\n    \
@@ -852,7 +1093,7 @@ fn run(cfg: Config) -> Result<bool, String> {
          \"fsyncs_per_commit\": {:.6},\n    \"batch_sizes\": {},\n    \
          \"latency_p50_ms\": {:.4},\n    \"latency_p95_ms\": {:.4},\n    \
          \"latency_p99_ms\": {:.4},\n    \"recovered_ok\": {}\n  }},\n  \
-         \"scaled\": {},\n  \
+         \"networked\": {},\n  \"scaled\": {},\n  \
          \"stage_latencies\": {{\n    \"in_memory\": {},\n    \"persisted\": {},\n    \
          \"group_commit\": {}\n  }},\n  \
          \"speedup\": {:.3},\n  \"sessions_vs_batch\": {:.3},\n  \
@@ -916,6 +1157,7 @@ fn run(cfg: Config) -> Result<bool, String> {
         gp95,
         gp99,
         group_recovered_ok,
+        networked_json,
         scaled_json,
         stage_latencies_json(&serving),
         stage_latencies_json(&persisted.serving),
@@ -983,6 +1225,17 @@ fn run(cfg: Config) -> Result<bool, String> {
             s.run.report.exec.committed,
             s.lock_p99,
             SCALED_LOCK_P99_BOUND_US
+        );
+    }
+    if !networked_ok {
+        let n = networked
+            .as_ref()
+            .expect("networked gate only fails when run");
+        eprintln!(
+            "ACCEPTANCE: networked pass must hold >= {NET_VS_SESSIONS_FLOOR}x of the \
+             in-process session rate ({} failed, {} committed, {:.0}/s over the wire \
+             vs {:.0}/s in-process = {:.2}x)",
+            n.run.failed, n.run.committed, n.tps, sessions_tps, n.vs_sessions
         );
     }
     Ok(ok)

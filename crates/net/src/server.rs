@@ -1,0 +1,579 @@
+//! The resident front door: TCP connections demultiplexed onto store
+//! sessions.
+//!
+//! [`NetServer`] wraps a running [`StoreServer`] and a bound listener.
+//! [`NetServer::serve`] owns the accept loop: each connection gets its
+//! own [`Session`](vpdt_store::Session) and a pair of threads —
+//!
+//! * the **reader** (the connection's own thread) polls frames off the
+//!   socket, decodes requests, and submits programs to the worker pool,
+//!   pushing each [`TxTicket`] onto a FIFO resolver queue;
+//! * the **resolver** pops tickets in submission order, blocks on
+//!   [`TxTicket::wait`] (which resolves only after durability on a
+//!   persisted store), and writes the [`Response::Outcome`] frame back.
+//!
+//! Because the queue is FIFO and outcome frames are written only after
+//! `wait`, responses to one connection arrive in submission order and
+//! **an acknowledged networked commit is durable by construction**.
+//! `Wait` barriers ride the same queue, so `Synced` is ordered after
+//! every prior outcome.
+//!
+//! A malformed frame (truncated, oversized, corrupt, undecodable) tears
+//! down *that connection only* — the reader answers with a typed
+//! [`Response::Error`] where the stream is still coherent, bumps the
+//! frame-error counter, drains its resolver, and exits. Other
+//! connections never observe it: a bad client must never poison the
+//! server.
+//!
+//! Shutdown (the [`ServerHandle`] stop flag, or a permitted remote
+//! [`Request::Shutdown`]) stops accepting, lets every connection drain
+//! its in-flight outcomes, then shuts the store down — the final
+//! [`ServerReport`] covers everything the front door acknowledged.
+
+use crate::frame::{write_frame, FramePoll, FrameReader};
+use crate::proto::{NetError, Request, Response, WireOutcome, PROTOCOL_VERSION};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+use vpdt_obs::{Counter, Gauge, Histogram};
+use vpdt_store::{AbortReason, ServerReport, StoreServer, TxOutcome, TxTicket};
+
+/// Knobs for [`NetServer::bind`].
+#[derive(Clone, Debug)]
+pub struct NetOptions {
+    /// Honor [`Request::Shutdown`] from clients. Off by default: a
+    /// remote peer should not be able to stop a server unless the
+    /// operator opted in (`vpdtool serve --allow-shutdown`).
+    pub allow_remote_shutdown: bool,
+    /// Socket read timeout — the cadence at which reader threads notice
+    /// the stop flag. Not a protocol deadline: a partial frame survives
+    /// any number of timeouts.
+    pub read_timeout: Duration,
+}
+
+impl Default for NetOptions {
+    fn default() -> Self {
+        NetOptions {
+            allow_remote_shutdown: false,
+            read_timeout: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Front-door instruments, registered on the **store's** registry so
+/// one snapshot — and the final [`ServerReport`] — covers both layers.
+#[derive(Clone, Debug)]
+struct NetMetrics {
+    connections: Gauge,
+    connections_total: Counter,
+    bytes_in: Counter,
+    bytes_out: Counter,
+    frame_errors: Counter,
+    request_us: Histogram,
+    requests: Vec<(&'static str, Counter)>,
+}
+
+/// Metric names the front door registers (exported so dashboards and
+/// tests don't hard-code strings).
+pub mod names {
+    /// Gauge: connections currently open.
+    pub const NET_CONNECTIONS: &str = "net_connections";
+    /// Counter: connections ever accepted.
+    pub const NET_CONNECTIONS_TOTAL: &str = "net_connections_total";
+    /// Counter: payload + framing bytes received.
+    pub const NET_BYTES_IN_TOTAL: &str = "net_bytes_in_total";
+    /// Counter: payload + framing bytes sent.
+    pub const NET_BYTES_OUT_TOTAL: &str = "net_bytes_out_total";
+    /// Counter: frames rejected as truncated/oversized/corrupt/undecodable.
+    pub const NET_FRAME_ERRORS_TOTAL: &str = "net_frame_errors_total";
+    /// Histogram: microseconds from request decode to response write.
+    pub const NET_REQUEST_US: &str = "net_request_us";
+    /// Counter family: requests served, labeled by kind.
+    pub const NET_REQUESTS_TOTAL: &str = "net_requests_total";
+}
+
+impl NetMetrics {
+    fn new(store: &StoreServer) -> Self {
+        let registry = store.metrics_registry();
+        let kinds = [
+            "hello",
+            "submit",
+            "wait",
+            "checkpoint",
+            "stats",
+            "goodbye",
+            "shutdown",
+        ];
+        NetMetrics {
+            connections: registry.gauge(names::NET_CONNECTIONS),
+            connections_total: registry.counter(names::NET_CONNECTIONS_TOTAL),
+            bytes_in: registry.counter(names::NET_BYTES_IN_TOTAL),
+            bytes_out: registry.counter(names::NET_BYTES_OUT_TOTAL),
+            frame_errors: registry.counter(names::NET_FRAME_ERRORS_TOTAL),
+            request_us: registry.histogram(names::NET_REQUEST_US),
+            requests: kinds
+                .into_iter()
+                .map(|kind| {
+                    let name = format!("{}{{kind=\"{kind}\"}}", names::NET_REQUESTS_TOTAL);
+                    (kind, registry.counter(&name))
+                })
+                .collect(),
+        }
+    }
+
+    /// The per-kind request counter (`vpdt_net_requests_total{kind="…"}`).
+    fn requests(&self, kind: &str) -> &Counter {
+        &self
+            .requests
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .expect("every request kind is pre-registered")
+            .1
+    }
+
+    /// Frame-level damage (truncated / oversized / corrupt / undecodable)
+    /// bumps the error counter; higher-level protocol errors do not.
+    fn note_error(&self, e: &NetError) {
+        if matches!(
+            e,
+            NetError::Truncated { .. }
+                | NetError::Oversized { .. }
+                | NetError::Corrupt { .. }
+                | NetError::Codec(_)
+        ) {
+            self.frame_errors.inc();
+        }
+    }
+}
+
+/// A remote-stop handle: cheap to clone out of [`NetServer::handle`]
+/// before `serve` consumes the server.
+#[derive(Clone, Debug)]
+pub struct ServerHandle {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the serve loop to stop: accepting ends, connections drain,
+    /// the store shuts down, [`NetServer::serve`] returns.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+/// A bound front door around a running [`StoreServer`].
+#[derive(Debug)]
+pub struct NetServer {
+    store: StoreServer,
+    listener: TcpListener,
+    opts: NetOptions,
+    stop: Arc<AtomicBool>,
+}
+
+impl NetServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) in front of `store`.
+    pub fn bind(store: StoreServer, addr: &str, opts: NetOptions) -> Result<Self, NetError> {
+        let listener = TcpListener::bind(addr).map_err(NetError::io)?;
+        listener.set_nonblocking(true).map_err(NetError::io)?;
+        Ok(NetServer {
+            store,
+            listener,
+            opts,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("listener has an address")
+    }
+
+    /// A stop handle usable from another thread while `serve` runs.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            stop: Arc::clone(&self.stop),
+            addr: self.local_addr(),
+        }
+    }
+
+    /// Serves until stopped, then drains and shuts the store down.
+    ///
+    /// Blocks the calling thread. Every accepted connection runs on its
+    /// own scoped thread; when the stop flag rises the accept loop
+    /// ends, connection threads finish draining their in-flight
+    /// outcomes, and the wrapped store's
+    /// [`shutdown`](StoreServer::shutdown) report — front-door metrics
+    /// included — is returned.
+    pub fn serve(self) -> ServerReport {
+        let NetServer {
+            store,
+            listener,
+            opts,
+            stop,
+        } = self;
+        let metrics = NetMetrics::new(&store);
+        std::thread::scope(|s| {
+            while !stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let conn = Connection {
+                            store: &store,
+                            opts: &opts,
+                            stop: &stop,
+                            metrics: metrics.clone(),
+                        };
+                        s.spawn(move || conn.run(stream));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+            // Scope exit joins every connection thread: each notices the
+            // stop flag within one read timeout, drains its resolver
+            // queue (writing every owed outcome), and returns.
+        });
+        store.shutdown()
+    }
+}
+
+/// Work the reader hands the resolver, in submission order.
+enum Work {
+    /// A submitted transaction awaiting its outcome frame.
+    Outcome {
+        request_id: u64,
+        ticket: TxTicket,
+        started: Instant,
+    },
+    /// A `Wait` barrier: write `Synced` after everything before it.
+    Sync { started: Instant },
+    /// A `Goodbye`/teardown marker: drain ends here.
+    Stop,
+}
+
+/// Everything one connection's threads share.
+struct Connection<'a> {
+    store: &'a StoreServer,
+    opts: &'a NetOptions,
+    stop: &'a AtomicBool,
+    metrics: NetMetrics,
+}
+
+impl Connection<'_> {
+    /// The connection's reader loop; owns the socket until teardown.
+    fn run(self, stream: TcpStream) {
+        self.metrics.connections.inc();
+        self.metrics.connections_total.inc();
+        let _ = self.serve_conn(&stream);
+        self.metrics.connections.dec();
+    }
+
+    fn serve_conn(&self, stream: &TcpStream) -> Result<(), NetError> {
+        stream.set_nodelay(true).map_err(NetError::io)?;
+        stream
+            .set_read_timeout(Some(self.opts.read_timeout))
+            .map_err(NetError::io)?;
+        let writer = Mutex::new(CountingWriter {
+            stream: stream.try_clone().map_err(NetError::io)?,
+            bytes_out: self.metrics.bytes_out.clone(),
+        });
+        let mut reader = MeteredReader {
+            frames: FrameReader::new(),
+            stream,
+            bytes_in: self.metrics.bytes_in.clone(),
+        };
+
+        let session = self.store.session();
+
+        // Handshake: the first frame must be a version-matched Hello.
+        match self.handshake(&mut reader, &writer, session.id()) {
+            Ok(()) => {}
+            Err(e) => {
+                self.metrics.note_error(&e);
+                let _ = send(&writer, &error_response(0, &e));
+                return Err(e);
+            }
+        }
+
+        let (queue, work) = mpsc::channel::<Work>();
+        std::thread::scope(|s| {
+            let resolver = s.spawn(|| self.resolve_loop(work, &writer));
+            let result = self.read_loop(&mut reader, &writer, &session, &queue);
+            // Whatever ended the loop, the resolver drains every owed
+            // outcome before the connection dies: FIFO queue, Stop last.
+            let _ = queue.send(Work::Stop);
+            drop(queue);
+            let _ = resolver.join();
+            match result {
+                Ok(farewell) => {
+                    if farewell {
+                        let _ = send(&writer, &Response::Bye);
+                    }
+                    Ok(())
+                }
+                Err(e) => {
+                    self.metrics.note_error(&e);
+                    let _ = send(&writer, &error_response(0, &e));
+                    Err(e)
+                }
+            }
+        })
+    }
+
+    /// Reads and answers the Hello. Everything else first is a protocol
+    /// violation; a version mismatch is typed.
+    fn handshake(
+        &self,
+        reader: &mut MeteredReader<'_>,
+        writer: &Mutex<CountingWriter>,
+        session: u64,
+    ) -> Result<(), NetError> {
+        let payload = loop {
+            match reader.poll()? {
+                FramePoll::Frame(p) => break p,
+                FramePoll::Eof => {
+                    return Err(NetError::Protocol("closed before Hello".into()));
+                }
+                FramePoll::Pending => {
+                    if self.stop.load(Ordering::SeqCst) {
+                        return Err(NetError::Protocol("server stopping".into()));
+                    }
+                }
+            }
+        };
+        match Request::decode(&payload)? {
+            Request::Hello { version, client: _ } if version == PROTOCOL_VERSION => {
+                self.metrics.requests("hello").inc();
+                send(
+                    writer,
+                    &Response::Welcome {
+                        version: PROTOCOL_VERSION,
+                        store_version: self.store.version(),
+                        session,
+                    },
+                )
+            }
+            Request::Hello { version, .. } => Err(NetError::Version {
+                ours: PROTOCOL_VERSION,
+                theirs: version,
+            }),
+            other => Err(NetError::Protocol(format!(
+                "expected Hello, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Decodes requests until goodbye, disconnect, error, or server
+    /// stop. `Ok(true)` means an orderly farewell (Bye owed).
+    fn read_loop(
+        &self,
+        reader: &mut MeteredReader<'_>,
+        writer: &Mutex<CountingWriter>,
+        session: &vpdt_store::Session<'_>,
+        queue: &mpsc::Sender<Work>,
+    ) -> Result<bool, NetError> {
+        loop {
+            let payload = match reader.poll()? {
+                FramePoll::Frame(p) => p,
+                FramePoll::Eof => return Ok(false),
+                FramePoll::Pending => {
+                    if self.stop.load(Ordering::SeqCst) {
+                        // Stopping: drain owed outcomes, say Bye, close.
+                        return Ok(true);
+                    }
+                    continue;
+                }
+            };
+            let started = Instant::now();
+            let request = Request::decode(&payload)?;
+            self.metrics.requests(request.kind()).inc();
+            match request {
+                Request::Hello { .. } => {
+                    return Err(NetError::Protocol("repeated Hello".into()));
+                }
+                Request::Submit {
+                    request_id,
+                    program,
+                } => {
+                    let ticket = session.submit(program);
+                    let _ = queue.send(Work::Outcome {
+                        request_id,
+                        ticket,
+                        started,
+                    });
+                }
+                Request::Wait => {
+                    let _ = queue.send(Work::Sync { started });
+                }
+                Request::Checkpoint => {
+                    let resp = match self.store.checkpoint() {
+                        Ok(offset) => Response::CheckpointDone { offset },
+                        Err(e) => Response::Error {
+                            request_id: 0,
+                            code: e.code().into(),
+                            detail: e.to_string(),
+                        },
+                    };
+                    send(writer, &resp)?;
+                    self.observe(started);
+                }
+                Request::Stats => {
+                    let text = self.store.metrics().render_prometheus();
+                    send(writer, &Response::StatsText { text })?;
+                    self.observe(started);
+                }
+                Request::Goodbye => return Ok(true),
+                Request::Shutdown => {
+                    if self.opts.allow_remote_shutdown {
+                        self.stop.store(true, Ordering::SeqCst);
+                        return Ok(true);
+                    }
+                    send(
+                        writer,
+                        &Response::Error {
+                            request_id: 0,
+                            code: "forbidden".into(),
+                            detail: "server started without --allow-shutdown".into(),
+                        },
+                    )?;
+                }
+            }
+        }
+    }
+
+    /// The resolver: pops work FIFO, waits tickets to their final (for
+    /// commits: durable) outcome, writes response frames.
+    fn resolve_loop(&self, work: mpsc::Receiver<Work>, writer: &Mutex<CountingWriter>) {
+        while let Ok(item) = work.recv() {
+            match item {
+                Work::Outcome {
+                    request_id,
+                    ticket,
+                    started,
+                } => {
+                    let outcome = self.wire_outcome(ticket.wait());
+                    let _ = send(
+                        writer,
+                        &Response::Outcome {
+                            request_id,
+                            tx: ticket.id(),
+                            outcome,
+                        },
+                    );
+                    self.observe(started);
+                }
+                Work::Sync { started } => {
+                    let _ = send(
+                        writer,
+                        &Response::Synced {
+                            version: self.store.version(),
+                        },
+                    );
+                    self.observe(started);
+                }
+                Work::Stop => break,
+            }
+        }
+    }
+
+    /// Projects a store outcome onto the wire, pairing a commit with
+    /// the root hash recorded at its version.
+    fn wire_outcome(&self, outcome: TxOutcome) -> WireOutcome {
+        match outcome {
+            TxOutcome::Committed { version } => WireOutcome::Committed {
+                version,
+                root_hash: self.store.commit_root(version).unwrap_or(0),
+            },
+            TxOutcome::Aborted {
+                reason: AbortReason::GuardFailed { version, shape },
+            } => WireOutcome::GuardAborted { version, shape },
+            TxOutcome::Aborted {
+                reason: AbortReason::RolledBack { reason },
+            } => WireOutcome::RolledBack { reason },
+            TxOutcome::Failed { error } => WireOutcome::Failed {
+                code: error.code().into(),
+                detail: error.to_string(),
+            },
+        }
+    }
+
+    fn observe(&self, started: Instant) {
+        self.metrics
+            .request_us
+            .observe(started.elapsed().as_micros() as u64);
+    }
+}
+
+/// Encodes and writes one response under the shared writer lock.
+fn send(writer: &Mutex<CountingWriter>, resp: &Response) -> Result<(), NetError> {
+    let mut payload = Vec::new();
+    resp.encode(&mut payload);
+    let mut w = writer.lock().expect("writer lock poisoned");
+    write_frame(&mut *w, &payload)
+}
+
+fn error_response(request_id: u64, e: &NetError) -> Response {
+    Response::Error {
+        request_id,
+        code: e.code().into(),
+        detail: e.to_string(),
+    }
+}
+
+/// A socket writer that meters bytes out.
+struct CountingWriter {
+    stream: TcpStream,
+    bytes_out: Counter,
+}
+
+impl Write for CountingWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.stream.write(buf)?;
+        self.bytes_out.add(n as u64);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.stream.flush()
+    }
+}
+
+/// A frame poller that meters bytes in.
+struct MeteredReader<'a> {
+    frames: FrameReader,
+    stream: &'a TcpStream,
+    bytes_in: Counter,
+}
+
+impl MeteredReader<'_> {
+    fn poll(&mut self) -> Result<FramePoll, NetError> {
+        let mut counted = CountingReader {
+            stream: self.stream,
+            bytes_in: &self.bytes_in,
+        };
+        self.frames.poll(&mut counted)
+    }
+}
+
+struct CountingReader<'a> {
+    stream: &'a TcpStream,
+    bytes_in: &'a Counter,
+}
+
+impl std::io::Read for CountingReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.stream.read(buf)?;
+        self.bytes_in.add(n as u64);
+        Ok(n)
+    }
+}

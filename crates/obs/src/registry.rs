@@ -59,6 +59,24 @@ impl Gauge {
         self.0.store(v, Ordering::Relaxed);
     }
 
+    /// Increment by one — for gauges tracking a live population (open
+    /// connections, in-flight requests) rather than a sampled reading.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrement by one (saturating at zero, so a racy double-close can
+    /// never wrap the reading to 2^64).
+    #[inline]
+    pub fn dec(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {

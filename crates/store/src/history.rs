@@ -97,6 +97,32 @@ pub enum Event {
 struct Inner {
     events: Vec<Event>,
     durable: Option<DurableLog>,
+    /// Commit root hashes by version: `roots[i]` is the root hash recorded
+    /// at version `root_base + 1 + i`. Commit versions are gapless, so a
+    /// flat vector indexes them O(1) — what lets a networked outcome carry
+    /// its state commitment without scanning the event log per commit.
+    roots: Vec<u64>,
+    /// The version just before the first indexed root (non-zero on a
+    /// server recovered from a retention-truncated log).
+    root_base: u64,
+}
+
+impl Inner {
+    /// Index a commit's root hash for O(1) lookup by version. Commit
+    /// versions are assigned gaplessly under the exec lock, so each new
+    /// commit lands exactly one past the end of the index.
+    fn index_root(&mut self, e: &Event) {
+        if let Event::Commit {
+            version, root_hash, ..
+        } = e
+        {
+            if self.roots.is_empty() {
+                self.root_base = version - 1;
+            }
+            debug_assert_eq!(*version, self.root_base + self.roots.len() as u64 + 1);
+            self.roots.push(*root_hash);
+        }
+    }
 }
 
 /// An append-only, thread-safe event log, optionally backed by a
@@ -116,10 +142,25 @@ impl History {
     /// A log seeded with recovered events (the durable-recovery path: the
     /// resumed server's history continues where the on-disk log ends).
     pub(crate) fn with_events(events: Vec<Event>) -> Self {
+        let mut roots = Vec::new();
+        let mut root_base = 0;
+        for e in &events {
+            if let Event::Commit {
+                version, root_hash, ..
+            } = e
+            {
+                if roots.is_empty() {
+                    root_base = version - 1;
+                }
+                roots.push(*root_hash);
+            }
+        }
         History {
             inner: Mutex::new(Inner {
                 events,
                 durable: None,
+                roots,
+                root_base,
             }),
         }
     }
@@ -163,6 +204,7 @@ impl History {
             log.append_event(&e)
                 .expect("write-ahead log append failed; refusing to continue non-durably")
         });
+        inner.index_root(&e);
         inner.events.push(e);
         offset
     }
@@ -188,8 +230,21 @@ impl History {
             }
             .expect("write-ahead log append failed; refusing to continue non-durably")
         });
+        inner.index_root(&e);
         inner.events.push(e);
         offset
+    }
+
+    /// The [root hash](root_hash) the commit at `version` recorded — the
+    /// per-relation state commitment of the post-state. `None` for version
+    /// 0 (genesis has no commit event), for versions not yet committed,
+    /// and for versions retired by segment retention on a recovered
+    /// server. O(1): commit versions are gapless, so the index is a flat
+    /// vector.
+    pub fn commit_root(&self, version: u64) -> Option<u64> {
+        let inner = self.inner.lock().expect("history lock poisoned");
+        let idx = version.checked_sub(inner.root_base + 1)?;
+        inner.roots.get(idx as usize).copied()
     }
 
     /// Whether a write-ahead log is attached — commits then benefit from

@@ -512,6 +512,21 @@ impl StoreServer {
         self.shared.store.history().events()
     }
 
+    /// The root hash the commit at `version` recorded — the per-relation
+    /// state commitment a remote client pairs with its committed version.
+    /// `None` for version 0, uncommitted versions, and versions retired by
+    /// segment retention on a recovered server. O(1) per call.
+    pub fn commit_root(&self, version: u64) -> Option<u64> {
+        self.shared.store.history().commit_root(version)
+    }
+
+    /// The metrics registry every pipeline counter lives on. A front door
+    /// wrapping this server registers its own instruments here so one
+    /// snapshot — and the final [`ServerReport`] — covers both.
+    pub fn metrics_registry(&self) -> Arc<vpdt_obs::MetricsRegistry> {
+        Arc::clone(&self.shared.obs.registry)
+    }
+
     /// Guard-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.shared.cache.cache_stats()

@@ -13,6 +13,10 @@
 //! vpdtool wal gc ./wal                        # delete covered log segments + stale checkpoints
 //! vpdtool stats ./wal                         # Prometheus-text metrics from a cold log
 //! vpdtool stats --live                        # serve a demo workload, dump live metrics + traces
+//! vpdtool serve --addr 127.0.0.1:7712 --persist ./wal   # network front door over a store
+//! vpdtool net drive --addr 127.0.0.1:7712     # pipelined remote sessions against a serve
+//! vpdtool stats --remote 127.0.0.1:7712       # fetch the metrics exposition over the wire
+//! vpdtool net stop 127.0.0.1:7712             # remote shutdown (needs --allow-shutdown)
 //! ```
 //!
 //! Databases use the textual encoding of `Database::encode`
@@ -154,6 +158,12 @@ fn run(args: &[String]) -> Result<(), String> {
     if cmd == "stats" {
         return run_stats(rest);
     }
+    if cmd == "serve" {
+        return run_serve(rest);
+    }
+    if cmd == "net" {
+        return run_net(rest);
+    }
     let o = parse_options(rest)?;
     match cmd.as_str() {
         "help" | "--help" | "-h" => {
@@ -175,10 +185,20 @@ fn run(args: &[String]) -> Result<(), String> {
                  by the newest checkpoint, then checkpoint files superseded by it (what a\n           \
                  serving store does at checkpoint time unless WalOptions::retain_segments\n           \
                  opts out)\n  \
-                 stats DIR | stats --live [--slow N]            Prometheus-text metrics exposition:\n           \
-                 DIR reconstructs counters from a cold persisted log; --live serves the demo\n           \
-                 workload through a traced server and also prints the N slowest transaction\n           \
-                 timelines (default 5)\n\n\
+                 stats DIR | stats --live [--slow N] | stats --remote ADDR\n           \
+                 Prometheus-text metrics exposition: DIR reconstructs counters from a cold\n           \
+                 persisted log; --live serves the demo workload through a traced server and\n           \
+                 also prints the N slowest transaction timelines (default 5); --remote\n           \
+                 fetches the exposition from a running `vpdtool serve` over the wire\n  \
+                 serve    --addr HOST:PORT [--persist DIR] [--recover] [--workers N] [--rels N]\n           \
+                 [--universe N] [--seed N] [--allow-shutdown]\n           \
+                 resident network front door: accept framed TCP sessions onto a store and\n           \
+                 serve until killed (or until a client sends Shutdown, with --allow-shutdown)\n  \
+                 net drive --addr ADDR [--clients N] [--txs N] [--seed N] [--rels N]\n           \
+                 [--universe N] [--window N]\n           \
+                 drive pipelined remote sessions against a running serve and report outcomes\n  \
+                 net stop ADDR                                  ask a serve to shut down\n           \
+                 (requires --allow-shutdown on the server)\n\n\
                  common flags: --schema 'R:2,S:1' (default E:2), --omega empty|order|arithmetic"
             );
             Ok(())
@@ -394,6 +414,256 @@ fn run_store(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// `vpdtool serve`: the resident network front door. Builds (or
+/// recovers) a store exactly like `vpdtool store`, binds the framed TCP
+/// protocol in front of it, and serves until the process is killed — or
+/// until a client sends `Shutdown`, when `--allow-shutdown` opted in
+/// (that's how CI stops it cleanly). On shutdown the store drains and a
+/// persisted run leaves artifacts `vpdtool audit` verifies cold.
+fn run_serve(args: &[String]) -> Result<(), String> {
+    let mut addr = "127.0.0.1:7712".to_string();
+    let mut workers = 4usize;
+    let mut rels = 4usize;
+    let mut universe = 6u64;
+    let mut seed = 42u64;
+    let mut persist: Option<String> = None;
+    let mut recover = false;
+    let mut allow_shutdown = false;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = &args[i];
+        if flag == "--recover" {
+            recover = true;
+            i += 1;
+            continue;
+        }
+        if flag == "--allow-shutdown" {
+            allow_shutdown = true;
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--addr" => addr = value.clone(),
+            "--workers" => workers = value.parse().map_err(|_| "bad --workers")?,
+            "--rels" => rels = value.parse().map_err(|_| "bad --rels")?,
+            "--universe" => universe = value.parse().map_err(|_| "bad --universe")?,
+            "--seed" => seed = value.parse().map_err(|_| "bad --seed")?,
+            "--persist" => persist = Some(value.clone()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    if recover && persist.is_none() {
+        return Err("--recover needs --persist DIR (the directory to resume)".into());
+    }
+
+    use vpdt::net::{NetOptions, NetServer};
+    use vpdt::store::{workload, StoreBuilder};
+    let omega = Omega::empty();
+    let store = if recover {
+        let dir = persist.clone().expect("checked above");
+        let server = StoreBuilder::recover(&dir)
+            .omega(omega.clone())
+            .workers(workers)
+            .build()
+            .map_err(|e| format!("recovery refused: {e}"))?;
+        println!(
+            "recovered {dir} at store version {} ({} history events)",
+            server.version(),
+            server.history_events().len()
+        );
+        server
+    } else {
+        let alpha = workload::sharded_fd_constraint(rels);
+        let initial = workload::sharded_initial(seed, rels, universe, 0.5);
+        let mut builder = StoreBuilder::new(initial, alpha)
+            .omega(omega.clone())
+            .workers(workers);
+        if let Some(dir) = &persist {
+            builder = builder.persist(dir);
+        }
+        builder
+            .build()
+            .map_err(|e| format!("server refused to start: {e}"))?
+    };
+
+    let net = NetServer::bind(
+        store,
+        &addr,
+        NetOptions {
+            allow_remote_shutdown: allow_shutdown,
+            ..NetOptions::default()
+        },
+    )
+    .map_err(|e| format!("bind {addr} failed: {e}"))?;
+    println!(
+        "serving on {} ({} workers, {} relations over universe {}{}{})",
+        net.local_addr(),
+        workers,
+        rels,
+        universe,
+        persist
+            .as_deref()
+            .map(|d| format!(", write-ahead logged to {d}"))
+            .unwrap_or_default(),
+        if allow_shutdown {
+            ", remote shutdown allowed"
+        } else {
+            ""
+        }
+    );
+    let report = net.serve();
+    println!(
+        "front door closed: committed {} / aborted {} / failed {} at store version {} \
+         ({} connections served, {} frame errors)",
+        report.exec.committed,
+        report.exec.aborted,
+        report.exec.failed,
+        report.final_version,
+        report
+            .metrics
+            .counter(vpdt::net::names::NET_CONNECTIONS_TOTAL),
+        report
+            .metrics
+            .counter(vpdt::net::names::NET_FRAME_ERRORS_TOTAL),
+    );
+    if report.exec.failed > 0 {
+        return Err("transactions failed while serving".into());
+    }
+    Ok(())
+}
+
+/// `vpdtool net`: client-side verbs against a running `vpdtool serve`.
+fn run_net(args: &[String]) -> Result<(), String> {
+    let (sub, rest) = args
+        .split_first()
+        .ok_or("net needs a subcommand (drive|stop)")?;
+    match sub.as_str() {
+        "drive" => run_net_drive(rest),
+        "stop" => {
+            let [addr] = rest else {
+                return Err("net stop takes exactly one argument: the server address".into());
+            };
+            let client = vpdt::net::NetClient::connect(addr.as_str(), "vpdtool-stop")
+                .map_err(|e| format!("connect {addr} failed: {e}"))?;
+            client
+                .shutdown_server()
+                .map_err(|e| format!("shutdown refused: {e}"))?;
+            println!("server at {addr} acknowledged shutdown");
+            Ok(())
+        }
+        other => Err(format!("unknown net subcommand {other} (drive|stop)")),
+    }
+}
+
+/// `vpdtool net drive`: N pipelined remote sessions submitting the same
+/// deterministic sharded workload `vpdtool store` serves in-process —
+/// the round-trip half of the loopback smoke test.
+fn run_net_drive(args: &[String]) -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut clients = 4u64;
+    let mut txs = 50usize;
+    let mut rels = 4usize;
+    let mut universe = 6u64;
+    let mut seed = 42u64;
+    let mut window = 32usize;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = &args[i];
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--addr" => addr = Some(value.clone()),
+            "--clients" => clients = value.parse().map_err(|_| "bad --clients")?,
+            "--txs" => txs = value.parse().map_err(|_| "bad --txs")?,
+            "--rels" => rels = value.parse().map_err(|_| "bad --rels")?,
+            "--universe" => universe = value.parse().map_err(|_| "bad --universe")?,
+            "--seed" => seed = value.parse().map_err(|_| "bad --seed")?,
+            "--window" => window = value.parse().map_err(|_| "bad --window")?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    let addr = addr.ok_or("--addr HOST:PORT is required")?;
+    let window = window.max(1);
+
+    use vpdt::net::{NetClient, WireOutcome};
+    use vpdt::store::workload;
+    let jobs = workload::sharded_jobs(seed, clients, txs, rels, universe);
+    let chunks: Vec<_> = jobs.chunks(txs.max(1)).collect();
+    let mut committed = 0usize;
+    let mut aborted = 0usize;
+    let mut last_root = 0u64;
+    std::thread::scope(|scope| -> Result<(), String> {
+        let handles: Vec<_> = chunks
+            .iter()
+            .enumerate()
+            .map(|(c, chunk)| {
+                let addr = addr.clone();
+                scope.spawn(move || -> Result<(usize, usize, u64, u64), String> {
+                    let mut client = NetClient::connect(addr.as_str(), &format!("drive-{c}"))
+                        .map_err(|e| format!("connect failed: {e}"))?;
+                    let (mut committed, mut aborted) = (0usize, 0usize);
+                    let (mut top_version, mut top_root) = (0u64, 0u64);
+                    let mut tally = |outcome: WireOutcome| match outcome {
+                        WireOutcome::Committed { version, root_hash } => {
+                            committed += 1;
+                            if version > top_version {
+                                top_version = version;
+                                top_root = root_hash;
+                            }
+                        }
+                        WireOutcome::GuardAborted { .. } | WireOutcome::RolledBack { .. } => {
+                            aborted += 1;
+                        }
+                        WireOutcome::Failed { code, detail } => {
+                            eprintln!("drive-{c}: transaction failed [{code}] {detail}");
+                        }
+                    };
+                    for job in *chunk {
+                        if client.inflight() >= window {
+                            let (_req, _tx, outcome) =
+                                client.next_outcome().map_err(|e| e.to_string())?;
+                            tally(outcome);
+                        }
+                        client.submit(&job.program).map_err(|e| e.to_string())?;
+                    }
+                    client
+                        .sync(|_req, _tx, outcome| tally(outcome))
+                        .map_err(|e| e.to_string())?;
+                    client.goodbye().map_err(|e| e.to_string())?;
+                    Ok((committed, aborted, top_version, top_root))
+                })
+            })
+            .collect();
+        let mut top_version = 0u64;
+        for h in handles {
+            let (c, a, v, r) = h.join().expect("drive thread")?;
+            committed += c;
+            aborted += a;
+            if v > top_version {
+                top_version = v;
+                last_root = r;
+            }
+        }
+        Ok(())
+    })?;
+    println!(
+        "drove {} transactions over {} sessions: committed {committed} / aborted {aborted} \
+         (latest commitment root {last_root:#018x})",
+        jobs.len(),
+        chunks.len(),
+    );
+    if committed == 0 {
+        return Err("no transaction committed".into());
+    }
+    Ok(())
+}
+
 /// Recovers a persisted directory and runs the full cold audit over it —
 /// from the genesis state when the whole log survives, from the floor
 /// checkpoint when segment retention has deleted a covered prefix.
@@ -493,6 +763,7 @@ fn run_wal(args: &[String]) -> Result<(), String> {
 fn run_stats(args: &[String]) -> Result<(), String> {
     let mut dir: Option<String> = None;
     let mut live = false;
+    let mut remote: Option<String> = None;
     let mut slow = 5usize;
     let mut omega_name: Option<String> = None;
     let mut i = 0;
@@ -514,9 +785,22 @@ fn run_stats(args: &[String]) -> Result<(), String> {
         match flag.as_str() {
             "--slow" => slow = value.parse().map_err(|_| "bad --slow")?,
             "--omega" => omega_name = Some(value.clone()),
+            "--remote" => remote = Some(value.clone()),
             other => return Err(format!("unknown flag {other}")),
         }
         i += 2;
+    }
+    if let Some(addr) = remote {
+        // Remote exposition: one Stats round trip against a running
+        // `vpdtool serve`; the server renders its own snapshot.
+        let mut client = vpdt::net::NetClient::connect(addr.as_str(), "vpdtool-stats")
+            .map_err(|e| format!("connect {addr} failed: {e}"))?;
+        let text = client
+            .stats()
+            .map_err(|e| format!("stats request failed: {e}"))?;
+        print!("{text}");
+        client.goodbye().map_err(|e| e.to_string())?;
+        return Ok(());
     }
     let omega = match omega_name.as_deref() {
         None | Some("empty") => Omega::empty(),

@@ -39,6 +39,8 @@ pub use vpdt_core as core;
 pub use vpdt_eval as eval;
 pub use vpdt_games as games;
 pub use vpdt_logic as logic;
+pub use vpdt_net as net;
+pub use vpdt_obs as obs;
 pub use vpdt_store as store;
 pub use vpdt_structure as structure;
 pub use vpdt_tx as tx;

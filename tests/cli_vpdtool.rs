@@ -206,3 +206,88 @@ fn errors_are_reported() {
     assert!(!ok2);
     assert!(err2.contains("unknown command"));
 }
+
+/// The networked lifecycle end to end: `serve --persist` in the
+/// background, `net drive` round trips, `stats --remote` over the wire,
+/// `net stop`, then a cold audit of the artifacts the front door left.
+#[test]
+fn serve_drive_remote_stats_stop_and_cold_audit() {
+    let dir = std::env::temp_dir().join(format!("vpdt-cli-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().expect("utf-8 temp path").to_string();
+
+    // Port 0 is not knowable from outside, so derive a per-process port.
+    let port = 20000 + (std::process::id() % 20000) as u16;
+    let addr = format!("127.0.0.1:{port}");
+    let mut server = Command::new(env!("CARGO_BIN_EXE_vpdtool"))
+        .args([
+            "serve",
+            "--addr",
+            &addr,
+            "--persist",
+            &dir_s,
+            "--allow-shutdown",
+            "--workers",
+            "2",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+
+    // Wait for the listener (the bind happens after store construction).
+    let mut up = false;
+    for _ in 0..100 {
+        if std::net::TcpStream::connect(&addr).is_ok() {
+            up = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    assert!(up, "serve never opened {addr}");
+
+    let (out, err, ok) = vpdtool(&[
+        "net",
+        "drive",
+        "--addr",
+        &addr,
+        "--clients",
+        "2",
+        "--txs",
+        "20",
+    ]);
+    assert!(ok, "{out}{err}");
+    assert!(out.contains("committed"), "{out}");
+    assert!(out.contains("commitment root 0x"), "{out}");
+
+    let (out, err, ok) = vpdtool(&["stats", "--remote", &addr]);
+    assert!(ok, "{out}{err}");
+    assert!(out.contains("# TYPE net_connections gauge"), "{out}");
+    assert!(out.contains("net_connections_total"), "{out}");
+    assert!(out.contains("store_tx_committed_total"), "{out}");
+
+    let (out, err, ok) = vpdtool(&["net", "stop", &addr]);
+    assert!(ok, "{out}{err}");
+    let status = server.wait().expect("serve exits");
+    assert!(status.success(), "serve exits cleanly after remote stop");
+
+    // The artifact set the networked run left behind passes a cold audit.
+    let (out, err, ok) = vpdtool(&["audit", "--log", &dir_s]);
+    assert!(ok, "{out}{err}");
+    assert!(out.contains("audit OK"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `net drive` and `stats --remote` fail typed (not hang) with no server.
+#[test]
+fn net_verbs_error_cleanly_without_a_server() {
+    let (_, err, ok) = vpdtool(&["net", "drive", "--addr", "127.0.0.1:1", "--txs", "1"]);
+    assert!(!ok);
+    assert!(err.contains("connect failed"), "{err}");
+    let (_, err, ok) = vpdtool(&["stats", "--remote", "127.0.0.1:1"]);
+    assert!(!ok);
+    assert!(err.contains("connect"), "{err}");
+    let (_, err, ok) = vpdtool(&["net", "frob"]);
+    assert!(!ok);
+    assert!(err.contains("unknown net subcommand"), "{err}");
+}
