@@ -52,8 +52,10 @@
 //! submission crossing the wire as a checksummed frame and every
 //! outcome returning with the committed version and commitment root.
 //! The report gains a `networked` section (commits/s, client-observed
-//! latency percentiles, connection/byte counters) and the run is gated
-//! on networked throughput holding at least half the in-process
+//! latency percentiles, connection/byte counters, and a
+//! `connection_scaling` probe: the process thread delta from parking a
+//! fleet of idle connections on the running server) and the run is
+//! gated on networked throughput holding at least half the in-process
 //! session rate on the identical workload.
 //!
 //! ```text
@@ -111,9 +113,15 @@ const SCALED_BASELINE_MONOLITHIC_TPS: f64 = 2025.0;
 
 /// Acceptance floor for `--net`: loopback networked throughput as a
 /// fraction of the in-process session rate on the identical workload.
-/// Frame encode/decode, FNV checksums, and the per-connection resolver
-/// round trip are the budget being gated.
+/// Frame encode/decode, FNV checksums, and the reactor/writer-pool
+/// round trip (outbox stamping included) are the budget being gated.
 const NET_VS_SESSIONS_FLOOR: f64 = 0.5;
+
+/// Idle-connection fleet size for the `--net` connection-scaling probe.
+/// Multiplexed connections ride the fixed reactor/writer pools, so the
+/// probe's thread delta should stay O(1) however large this is; the old
+/// thread-per-connection design added two threads per socket.
+const NET_SCALING_IDLE_CONNS: usize = 128;
 
 struct Config {
     workers: usize,
@@ -425,7 +433,8 @@ fn run_batch_once(
 /// a checksummed frame and every outcome returns with the committed
 /// version and commitment root. Latency samples are client clocks
 /// (submit → outcome), so unlike the in-process pass they include the
-/// wire, the codec, and the server's per-connection resolver.
+/// wire, the codec, and the server's reactor/writer pools with their
+/// per-connection outboxes.
 struct NetRun {
     report: vpdt_store::ServerReport,
     committed: u64,
@@ -434,6 +443,11 @@ struct NetRun {
     secs: f64,
     /// Client-side submit→outcome samples, µs, sorted ascending.
     latencies_us: Vec<u64>,
+    /// Idle connections parked for the connection-scaling probe.
+    scaling_idle_conns: usize,
+    /// Process thread delta while the idle fleet was connected; `None`
+    /// where `/proc/self/status` is unavailable (non-Linux).
+    scaling_thread_delta: Option<u64>,
 }
 
 fn run_networked_once(
@@ -477,6 +491,31 @@ fn run_networked_once(
         }
     });
     let secs = t0.elapsed().as_secs_f64();
+
+    // Connection-scaling probe: after the measured window (so the
+    // latency samples are untouched), park a fleet of idle connections
+    // on the still-running server and read the process thread count
+    // before and after. Multiplexed connections ride the fixed
+    // reactor/writer pools, so the delta stays O(1) regardless of
+    // fleet size.
+    let baseline_threads = os_thread_count();
+    let mut fleet = Vec::with_capacity(NET_SCALING_IDLE_CONNS);
+    for i in 0..NET_SCALING_IDLE_CONNS {
+        let client = NetClient::connect(addr, &format!("scaling-idle-{i}"))
+            .map_err(|e| format!("scaling probe connection {i}: {e}"))?;
+        fleet.push(client);
+    }
+    let scaling_idle_conns = fleet.len();
+    let scaling_thread_delta = match (baseline_threads, os_thread_count()) {
+        (Some(before), Some(during)) => Some(during.saturating_sub(before)),
+        _ => None,
+    };
+    for client in fleet {
+        client
+            .goodbye()
+            .map_err(|e| format!("scaling probe goodbye: {e}"))?;
+    }
+
     handle.stop();
     let report = serving.join().map_err(|_| "net server thread panicked")?;
 
@@ -497,7 +536,20 @@ fn run_networked_once(
         failed,
         secs,
         latencies_us,
+        scaling_idle_conns,
+        scaling_thread_delta,
     })
+}
+
+/// The `Threads:` field of `/proc/self/status` — every OS thread in the
+/// process. `None` where procfs is unavailable, in which case the
+/// connection-scaling numbers are reported as null.
+fn os_thread_count() -> Option<u64> {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()?
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
 }
 
 /// One bench client: a `NetClient` pipelining its chunk through a
@@ -794,8 +846,10 @@ fn run(cfg: Config) -> Result<bool, String> {
     // The identical session workload once more, but through `vpdt-net`:
     // every submission framed and checksummed over TCP, every outcome
     // returning with version and commitment root. What it proves: the
-    // wire protocol and per-connection resolver keep the workers
-    // saturated — remote sessions are not a second-class path.
+    // wire protocol and the reactor/writer pools keep the workers
+    // saturated — remote sessions are not a second-class path — and the
+    // connection-scaling probe shows idle connections cost pool slots,
+    // not threads.
     struct Networked {
         run: NetRun,
         tps: f64,
@@ -821,6 +875,20 @@ fn run(cfg: Config) -> Result<bool, String> {
             sample_quantile_ms(&run.latencies_us, 0.95),
             sample_quantile_ms(&run.latencies_us, 0.99),
         );
+        match run.scaling_thread_delta {
+            Some(delta) => println!(
+                "connection scaling: {} idle connections cost {} extra threads \
+                 ({:.3} threads/connection)",
+                run.scaling_idle_conns,
+                delta,
+                delta as f64 / run.scaling_idle_conns.max(1) as f64,
+            ),
+            None => println!(
+                "connection scaling: {} idle connections parked (thread count \
+                 unavailable on this platform)",
+                run.scaling_idle_conns,
+            ),
+        }
         Some(Networked {
             run,
             tps,
@@ -1033,37 +1101,56 @@ fn run(cfg: Config) -> Result<bool, String> {
 
     let networked_json = match &networked {
         None => "null".to_string(),
-        Some(n) => format!(
-            "{{\n    \"clients\": {},\n    \"pipeline_window\": {},\n    \
-             \"committed\": {},\n    \"aborted\": {},\n    \"failed\": {},\n    \
-             \"secs\": {:.6},\n    \"commits_per_sec\": {:.1},\n    \
-             \"vs_sessions\": {:.3},\n    \"vs_sessions_floor\": {:.2},\n    \
-             \"latency_p50_ms\": {:.4},\n    \"latency_p95_ms\": {:.4},\n    \
-             \"latency_p99_ms\": {:.4},\n    \"connections\": {},\n    \
-             \"bytes_in\": {},\n    \"bytes_out\": {},\n    \"frame_errors\": {}\n  }}",
-            cfg.clients,
-            PIPELINE_WINDOW,
-            n.run.committed,
-            n.run.aborted,
-            n.run.failed,
-            n.run.secs,
-            n.tps,
-            n.vs_sessions,
-            NET_VS_SESSIONS_FLOOR,
-            sample_quantile_ms(&n.run.latencies_us, 0.50),
-            sample_quantile_ms(&n.run.latencies_us, 0.95),
-            sample_quantile_ms(&n.run.latencies_us, 0.99),
-            n.run
-                .report
-                .metrics
-                .counter(net_names::NET_CONNECTIONS_TOTAL),
-            n.run.report.metrics.counter(net_names::NET_BYTES_IN_TOTAL),
-            n.run.report.metrics.counter(net_names::NET_BYTES_OUT_TOTAL),
-            n.run
-                .report
-                .metrics
-                .counter(net_names::NET_FRAME_ERRORS_TOTAL),
-        ),
+        Some(n) => {
+            // Threads-per-connection from the idle-fleet probe; null
+            // where the platform offers no thread count.
+            let (delta_json, per_conn_json) = match n.run.scaling_thread_delta {
+                Some(delta) => (
+                    delta.to_string(),
+                    format!(
+                        "{:.4}",
+                        delta as f64 / n.run.scaling_idle_conns.max(1) as f64
+                    ),
+                ),
+                None => ("null".to_string(), "null".to_string()),
+            };
+            format!(
+                "{{\n    \"clients\": {},\n    \"pipeline_window\": {},\n    \
+                 \"committed\": {},\n    \"aborted\": {},\n    \"failed\": {},\n    \
+                 \"secs\": {:.6},\n    \"commits_per_sec\": {:.1},\n    \
+                 \"vs_sessions\": {:.3},\n    \"vs_sessions_floor\": {:.2},\n    \
+                 \"latency_p50_ms\": {:.4},\n    \"latency_p95_ms\": {:.4},\n    \
+                 \"latency_p99_ms\": {:.4},\n    \"connections\": {},\n    \
+                 \"bytes_in\": {},\n    \"bytes_out\": {},\n    \"frame_errors\": {},\n    \
+                 \"connection_scaling\": {{\n      \"idle_connections\": {},\n      \
+                 \"thread_delta\": {},\n      \"threads_per_connection\": {}\n    }}\n  }}",
+                cfg.clients,
+                PIPELINE_WINDOW,
+                n.run.committed,
+                n.run.aborted,
+                n.run.failed,
+                n.run.secs,
+                n.tps,
+                n.vs_sessions,
+                NET_VS_SESSIONS_FLOOR,
+                sample_quantile_ms(&n.run.latencies_us, 0.50),
+                sample_quantile_ms(&n.run.latencies_us, 0.95),
+                sample_quantile_ms(&n.run.latencies_us, 0.99),
+                n.run
+                    .report
+                    .metrics
+                    .counter(net_names::NET_CONNECTIONS_TOTAL),
+                n.run.report.metrics.counter(net_names::NET_BYTES_IN_TOTAL),
+                n.run.report.metrics.counter(net_names::NET_BYTES_OUT_TOTAL),
+                n.run
+                    .report
+                    .metrics
+                    .counter(net_names::NET_FRAME_ERRORS_TOTAL),
+                n.run.scaling_idle_conns,
+                delta_json,
+                per_conn_json,
+            )
+        }
     };
 
     let json = format!(

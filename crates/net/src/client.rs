@@ -8,10 +8,10 @@
 //! session driver, which keeps `PIPELINE_WINDOW` tickets open and
 //! drains the resolved prefix.
 //!
-//! Responses to one connection's submissions arrive in submission
-//! order (the server's resolver queue is FIFO), so a pipelining client
-//! needs no reordering buffer: `next_outcome` returns outcomes exactly
-//! in the order `submit` assigned request ids.
+//! Responses on one connection arrive strictly in request order (the
+//! server's per-connection outbox is sequence-numbered at decode time),
+//! so a pipelining client needs no reordering buffer: `next_outcome`
+//! returns outcomes exactly in the order `submit` assigned request ids.
 //!
 //! [`submit_sync`]: NetClient::submit_sync
 //! [`submit`]: NetClient::submit

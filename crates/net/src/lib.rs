@@ -14,13 +14,19 @@
 //! * **envelopes** ([`proto`]) — tagged request/response types encoded
 //!   with the same codec primitives as programs, version-negotiated by
 //!   a single `u32` in the mandatory `Hello`;
-//! * **server** ([`server`]) — a resident [`NetServer`] accepting
+//! * **server** ([`server`]) — a resident [`NetServer`] multiplexing
 //!   connections onto per-connection sessions backed by the existing
-//!   worker pool, streaming outcomes back in submission order as
-//!   tickets resolve. A committed outcome carries the version's root
-//!   hash, so a remote client holds the same per-relation state
-//!   commitment an in-process caller could compute — and on a durable
-//!   store an acknowledged commit is durable by construction;
+//!   worker pool. A bounded reactor pool owns the (nonblocking) read
+//!   side, completion hooks
+//!   ([`TxTicket::on_resolve`](vpdt_store::TxTicket::on_resolve)) stamp
+//!   resolved outcomes into per-connection sequence-numbered outboxes,
+//!   and a shared writer pool flushes ready prefixes — so C mostly-idle
+//!   connections cost O(pool size) threads, and every response (stats
+//!   and checkpoints included) goes back in request order. A committed
+//!   outcome carries the version's root hash, so a remote client holds
+//!   the same per-relation state commitment an in-process caller could
+//!   compute — and on a durable store an acknowledged commit is durable
+//!   by construction;
 //! * **client** ([`client`]) — [`NetClient`] with sync submit/wait and
 //!   a pipelined window mode mirroring the bench's session driver.
 //!

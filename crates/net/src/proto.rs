@@ -22,8 +22,11 @@
 //! on the matching [`Response::Outcome`] (and on request-scoped
 //! errors). The server's own transaction id rides alongside, so a
 //! client can correlate its pipeline without coordinating id spaces
-//! with the server. Responses to one connection's submissions always
-//! arrive in submission order.
+//! with the server. Responses on one connection arrive strictly in
+//! request order — for *every* request kind, not just submissions: a
+//! `StatsText` answering a `Stats` sent after two `Submit`s arrives
+//! after those two outcomes. The server enforces this with a
+//! per-connection sequence-numbered outbox.
 
 use vpdt_tx::codec::{
     decode_program, encode_program, put_str, put_u32, put_u64, CodecError, Cursor,
@@ -32,7 +35,11 @@ use vpdt_tx::program::Program;
 
 /// The protocol version this build speaks. Bumped on any change to the
 /// envelope encodings; there is no cross-version compatibility.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// History: v1 encoded `Committed.root_hash` as a bare u64 with `0`
+/// standing in for "unavailable" — indistinguishable from a real zero
+/// commitment. v2 adds a presence byte so an absent root is typed.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Everything that can go wrong on the network boundary, typed.
 ///
@@ -263,9 +270,13 @@ pub enum WireOutcome {
     Committed {
         /// The version the commit produced.
         version: u64,
-        /// The root hash recorded at that version (0 if the server has
-        /// already retired the version's history segment).
-        root_hash: u64,
+        /// The root hash recorded at that version — the per-relation
+        /// state commitment. `None` when the server no longer holds a
+        /// commitment for the version (its history segment was retired
+        /// before the outcome was written back): explicitly absent on
+        /// the wire, never a fabricated zero a verifying client could
+        /// mistake for a real commitment.
+        root_hash: Option<u64>,
     },
     /// The guard aborted the transaction: it would have violated `α`.
     GuardAborted {
@@ -306,7 +317,13 @@ fn encode_outcome(o: &WireOutcome, out: &mut Vec<u8>) {
         WireOutcome::Committed { version, root_hash } => {
             out.push(OUT_COMMITTED);
             put_u64(out, *version);
-            put_u64(out, *root_hash);
+            match root_hash {
+                Some(root) => {
+                    out.push(1);
+                    put_u64(out, *root);
+                }
+                None => out.push(0),
+            }
         }
         WireOutcome::GuardAborted { version, shape } => {
             out.push(OUT_GUARD_ABORTED);
@@ -327,10 +344,21 @@ fn encode_outcome(o: &WireOutcome, out: &mut Vec<u8>) {
 
 fn decode_outcome(c: &mut Cursor<'_>) -> Result<WireOutcome, CodecError> {
     Ok(match c.u8("outcome tag")? {
-        OUT_COMMITTED => WireOutcome::Committed {
-            version: c.u64("commit version")?,
-            root_hash: c.u64("root hash")?,
-        },
+        OUT_COMMITTED => {
+            let version = c.u64("commit version")?;
+            let root_hash = match c.u8("root presence")? {
+                0 => None,
+                1 => Some(c.u64("root hash")?),
+                tag => {
+                    return Err(CodecError::BadTag {
+                        what: "root presence",
+                        tag,
+                        at: c.pos() - 1,
+                    })
+                }
+            };
+            WireOutcome::Committed { version, root_hash }
+        }
         OUT_GUARD_ABORTED => WireOutcome::GuardAborted {
             version: c.u64("abort version")?,
             shape: c.u64("shape id")?,
@@ -551,7 +579,11 @@ mod tests {
         for outcome in [
             WireOutcome::Committed {
                 version: 9,
-                root_hash: 0xdead_beef,
+                root_hash: Some(0xdead_beef),
+            },
+            WireOutcome::Committed {
+                version: 10,
+                root_hash: None,
             },
             WireOutcome::GuardAborted {
                 version: 8,
@@ -592,6 +624,28 @@ mod tests {
         assert!(matches!(
             Request::decode(&buf),
             Err(CodecError::Trailing { .. })
+        ));
+    }
+
+    #[test]
+    fn bogus_root_presence_byte_is_rejected() {
+        let mut buf = Vec::new();
+        Response::Outcome {
+            request_id: 1,
+            tx: 2,
+            outcome: WireOutcome::Committed {
+                version: 3,
+                root_hash: None,
+            },
+        }
+        .encode(&mut buf);
+        *buf.last_mut().expect("presence byte") = 7;
+        assert!(matches!(
+            Response::decode(&buf),
+            Err(CodecError::BadTag {
+                what: "root presence",
+                ..
+            })
         ));
     }
 

@@ -1,44 +1,61 @@
-//! The resident front door: TCP connections demultiplexed onto store
-//! sessions.
+//! The resident front door: TCP connections multiplexed onto store
+//! sessions by a bounded reactor pool, with completion-driven writes.
 //!
 //! [`NetServer`] wraps a running [`StoreServer`] and a bound listener.
-//! [`NetServer::serve`] owns the accept loop: each connection gets its
-//! own [`Session`](vpdt_store::Session) and a pair of threads —
+//! [`NetServer::serve`] owns the accept loop and two small fixed pools —
+//! serving C connections costs O(pool size) threads, not O(C):
 //!
-//! * the **reader** (the connection's own thread) polls frames off the
-//!   socket, decodes requests, and submits programs to the worker pool,
-//!   pushing each [`TxTicket`] onto a FIFO resolver queue;
-//! * the **resolver** pops tickets in submission order, blocks on
-//!   [`TxTicket::wait`] (which resolves only after durability on a
-//!   persisted store), and writes the [`Response::Outcome`] frame back.
+//! * **reactors** ([`NetOptions::reactor_threads`]) own the read side.
+//!   Each accepted socket is made nonblocking and handed to one reactor,
+//!   which sweeps its connections for readable frames, decodes requests,
+//!   and submits programs to the worker pool. No reactor thread ever
+//!   blocks on a socket or a ticket.
+//! * **writers** ([`NetOptions::writer_threads`]) own the write side.
+//!   Every response is stamped into the connection's sequence-numbered
+//!   **outbox** — a slot per request, reserved at decode time in request
+//!   order — and a writer flushes each outbox's *ready prefix* strictly
+//!   in sequence order.
 //!
-//! Because the queue is FIFO and outcome frames are written only after
-//! `wait`, responses to one connection arrive in submission order and
-//! **an acknowledged networked commit is durable by construction**.
-//! `Wait` barriers ride the same queue, so `Synced` is ordered after
-//! every prior outcome.
+//! The bridge between them is completion-driven: a `Submit`'s
+//! [`TxTicket`](vpdt_store::TxTicket) gets an
+//! [`on_resolve`](vpdt_store::TxTicket::on_resolve) hook that stamps the
+//! outcome into its reserved outbox slot when the ticket resolves (for
+//! commits on a persisted store: after the covering fsync). No thread
+//! parks per ticket.
+//!
+//! Because slots are reserved in request order and written in sequence
+//! order, responses on one connection arrive strictly in request order —
+//! for **every** request kind (`Stats` and `Checkpoint` ride the outbox
+//! like everything else) — and **an acknowledged networked commit is
+//! durable by construction**. `Wait` barriers, checkpoint offsets, and
+//! sync versions are *evaluated at write time*, after every earlier
+//! response on that connection has been written, which is exactly the
+//! barrier the protocol promises.
 //!
 //! A malformed frame (truncated, oversized, corrupt, undecodable) tears
-//! down *that connection only* — the reader answers with a typed
-//! [`Response::Error`] where the stream is still coherent, bumps the
-//! frame-error counter, drains its resolver, and exits. Other
-//! connections never observe it: a bad client must never poison the
-//! server.
+//! down *that connection only*: a typed [`Response::Error`] is stamped at
+//! the connection's next sequence slot, the outbox is end-marked, and the
+//! connection drains. Other connections never observe it — a bad client
+//! must never poison the server. Transient `accept` failures
+//! (`ECONNABORTED`, `EMFILE`, …) are counted and retried with bounded
+//! backoff; only the stop flag ends the accept loop.
 //!
 //! Shutdown (the [`ServerHandle`] stop flag, or a permitted remote
-//! [`Request::Shutdown`]) stops accepting, lets every connection drain
-//! its in-flight outcomes, then shuts the store down — the final
-//! [`ServerReport`] covers everything the front door acknowledged.
+//! [`Request::Shutdown`]) stops accepting, stamps a `Bye` into every
+//! serving connection's outbox, lets the writers drain every owed
+//! response, then shuts the store down — the final [`ServerReport`]
+//! covers everything the front door acknowledged.
 
 use crate::frame::{write_frame, FramePoll, FrameReader};
 use crate::proto::{NetError, Request, Response, WireOutcome, PROTOCOL_VERSION};
-use std::io::Write;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use vpdt_obs::{Counter, Gauge, Histogram};
-use vpdt_store::{AbortReason, ServerReport, StoreServer, TxOutcome, TxTicket};
+use vpdt_store::{AbortReason, ServerReport, Session, StoreServer, TxOutcome};
 
 /// Knobs for [`NetServer::bind`].
 #[derive(Clone, Debug)]
@@ -47,17 +64,31 @@ pub struct NetOptions {
     /// remote peer should not be able to stop a server unless the
     /// operator opted in (`vpdtool serve --allow-shutdown`).
     pub allow_remote_shutdown: bool,
-    /// Socket read timeout — the cadence at which reader threads notice
-    /// the stop flag. Not a protocol deadline: a partial frame survives
-    /// any number of timeouts.
-    pub read_timeout: Duration,
+    /// Reader threads. Each reactor owns a share of the connections and
+    /// sweeps them for readable frames; the thread cost of serving is
+    /// `reactor_threads + writer_threads`, independent of connection
+    /// count (`vpdtool serve --reactors`).
+    pub reactor_threads: usize,
+    /// Writer threads flushing ready outbox prefixes, shared by all
+    /// connections (`vpdtool serve --writers`).
+    pub writer_threads: usize,
+    /// How long an idle reactor sleeps between readiness sweeps — the
+    /// latency floor for noticing new frames and the stop flag.
+    pub sweep_interval: Duration,
+    /// How long a writer keeps retrying a back-pressured socket before
+    /// declaring the connection dead. Not a protocol deadline: it only
+    /// fires when the peer stops draining its receive buffer.
+    pub write_timeout: Duration,
 }
 
 impl Default for NetOptions {
     fn default() -> Self {
         NetOptions {
             allow_remote_shutdown: false,
-            read_timeout: Duration::from_millis(50),
+            reactor_threads: 2,
+            writer_threads: 2,
+            sweep_interval: Duration::from_millis(2),
+            write_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -68,6 +99,10 @@ impl Default for NetOptions {
 struct NetMetrics {
     connections: Gauge,
     connections_total: Counter,
+    accept_errors: Counter,
+    reactor_threads: Gauge,
+    writer_threads: Gauge,
+    outbox_pending: Gauge,
     bytes_in: Counter,
     bytes_out: Counter,
     frame_errors: Counter,
@@ -82,6 +117,14 @@ pub mod names {
     pub const NET_CONNECTIONS: &str = "net_connections";
     /// Counter: connections ever accepted.
     pub const NET_CONNECTIONS_TOTAL: &str = "net_connections_total";
+    /// Counter: transient `accept` failures retried with backoff.
+    pub const NET_ACCEPT_ERRORS_TOTAL: &str = "net_accept_errors_total";
+    /// Gauge: reactor (read-side) pool threads while serving.
+    pub const NET_REACTOR_THREADS: &str = "net_reactor_threads";
+    /// Gauge: writer (write-side) pool threads while serving.
+    pub const NET_WRITER_THREADS: &str = "net_writer_threads";
+    /// Gauge: responses reserved in outboxes but not yet written.
+    pub const NET_OUTBOX_PENDING: &str = "net_outbox_pending";
     /// Counter: payload + framing bytes received.
     pub const NET_BYTES_IN_TOTAL: &str = "net_bytes_in_total";
     /// Counter: payload + framing bytes sent.
@@ -109,6 +152,10 @@ impl NetMetrics {
         NetMetrics {
             connections: registry.gauge(names::NET_CONNECTIONS),
             connections_total: registry.counter(names::NET_CONNECTIONS_TOTAL),
+            accept_errors: registry.counter(names::NET_ACCEPT_ERRORS_TOTAL),
+            reactor_threads: registry.gauge(names::NET_REACTOR_THREADS),
+            writer_threads: registry.gauge(names::NET_WRITER_THREADS),
+            outbox_pending: registry.gauge(names::NET_OUTBOX_PENDING),
             bytes_in: registry.counter(names::NET_BYTES_IN_TOTAL),
             bytes_out: registry.counter(names::NET_BYTES_OUT_TOTAL),
             frame_errors: registry.counter(names::NET_FRAME_ERRORS_TOTAL),
@@ -206,12 +253,14 @@ impl NetServer {
 
     /// Serves until stopped, then drains and shuts the store down.
     ///
-    /// Blocks the calling thread. Every accepted connection runs on its
-    /// own scoped thread; when the stop flag rises the accept loop
-    /// ends, connection threads finish draining their in-flight
-    /// outcomes, and the wrapped store's
-    /// [`shutdown`](StoreServer::shutdown) report — front-door metrics
-    /// included — is returned.
+    /// Blocks the calling thread (which runs the accept loop). The
+    /// reactor and writer pools are spawned once, up front — accepted
+    /// connections are distributed round-robin over the reactors and
+    /// never get threads of their own. When the stop flag rises the
+    /// accept loop ends, every serving connection is given a `Bye` and
+    /// drains its owed responses through the writer pool, and the
+    /// wrapped store's [`shutdown`](StoreServer::shutdown) report —
+    /// front-door metrics included — is returned.
     pub fn serve(self) -> ServerReport {
         let NetServer {
             store,
@@ -220,306 +269,799 @@ impl NetServer {
             stop,
         } = self;
         let metrics = NetMetrics::new(&store);
+        let reactors = opts.reactor_threads.max(1);
+        let writers = opts.writer_threads.max(1);
+        let pool = Arc::new(WriterPool::new(reactors));
+        let inboxes: Vec<Inbox> = (0..reactors).map(|_| Inbox::default()).collect();
+        metrics.reactor_threads.set(reactors as u64);
+        metrics.writer_threads.set(writers as u64);
+
         std::thread::scope(|s| {
+            for _ in 0..writers {
+                let pool = Arc::clone(&pool);
+                let store = &store;
+                let metrics = &metrics;
+                s.spawn(move || writer_loop(&pool, store, metrics));
+            }
+            for inbox in &inboxes {
+                let ctx = Ctx {
+                    store: &store,
+                    opts: &opts,
+                    stop: &stop,
+                    metrics: &metrics,
+                    pool: Arc::clone(&pool),
+                };
+                s.spawn(move || reactor_loop(ctx, inbox));
+            }
+
+            // The accept loop. Transient failures (ECONNABORTED, EMFILE,
+            // …) are counted and retried with bounded exponential
+            // backoff — only the stop flag ends the front door.
+            let mut next = 0usize;
+            let mut backoff = ACCEPT_BACKOFF_FLOOR;
             while !stop.load(Ordering::SeqCst) {
                 match listener.accept() {
                     Ok((stream, _)) => {
-                        let conn = Connection {
-                            store: &store,
-                            opts: &opts,
-                            stop: &stop,
-                            metrics: metrics.clone(),
-                        };
-                        s.spawn(move || conn.run(stream));
+                        backoff = ACCEPT_BACKOFF_FLOOR;
+                        inboxes[next % reactors].push(stream);
+                        next += 1;
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(5));
                     }
-                    Err(_) => break,
+                    Err(_) => {
+                        metrics.accept_errors.inc();
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(ACCEPT_BACKOFF_CEIL);
+                    }
                 }
             }
-            // Scope exit joins every connection thread: each notices the
-            // stop flag within one read timeout, drains its resolver
-            // queue (writing every owed outcome), and returns.
+            // Scope exit joins the pools: reactors notice the stop flag
+            // within one sweep, drain their connections (every owed
+            // response written, via the writers), and count themselves
+            // out; writers exit once the last reactor is gone and the
+            // flush queue is empty.
         });
+        metrics.reactor_threads.set(0);
+        metrics.writer_threads.set(0);
         store.shutdown()
     }
 }
 
-/// Work the reader hands the resolver, in submission order.
-enum Work {
-    /// A submitted transaction awaiting its outcome frame.
-    Outcome {
-        request_id: u64,
-        ticket: TxTicket,
-        started: Instant,
-    },
-    /// A `Wait` barrier: write `Synced` after everything before it.
-    Sync { started: Instant },
-    /// A `Goodbye`/teardown marker: drain ends here.
-    Stop,
-}
+const ACCEPT_BACKOFF_FLOOR: Duration = Duration::from_millis(1);
+const ACCEPT_BACKOFF_CEIL: Duration = Duration::from_secs(1);
 
-/// Everything one connection's threads share.
-struct Connection<'a> {
+/// Frames one reactor drains from one connection per sweep before moving
+/// on — a firehose client must not starve its reactor-mates.
+const MAX_FRAMES_PER_PUMP: usize = 32;
+
+/// Everything a reactor (and its connections) borrows from `serve`.
+struct Ctx<'a> {
     store: &'a StoreServer,
     opts: &'a NetOptions,
     stop: &'a AtomicBool,
-    metrics: NetMetrics,
+    metrics: &'a NetMetrics,
+    pool: Arc<WriterPool>,
 }
 
-impl Connection<'_> {
-    /// The connection's reader loop; owns the socket until teardown.
-    fn run(self, stream: TcpStream) {
-        self.metrics.connections.inc();
-        self.metrics.connections_total.inc();
-        let _ = self.serve_conn(&stream);
-        self.metrics.connections.dec();
+/// Hand-off slot from the accept loop to one reactor.
+#[derive(Default)]
+struct Inbox {
+    streams: Mutex<Vec<TcpStream>>,
+}
+
+impl Inbox {
+    fn push(&self, stream: TcpStream) {
+        self.streams
+            .lock()
+            .expect("inbox lock poisoned")
+            .push(stream);
     }
 
-    fn serve_conn(&self, stream: &TcpStream) -> Result<(), NetError> {
-        stream.set_nodelay(true).map_err(NetError::io)?;
-        stream
-            .set_read_timeout(Some(self.opts.read_timeout))
-            .map_err(NetError::io)?;
-        let writer = Mutex::new(CountingWriter {
-            stream: stream.try_clone().map_err(NetError::io)?,
-            bytes_out: self.metrics.bytes_out.clone(),
-        });
-        let mut reader = MeteredReader {
-            frames: FrameReader::new(),
-            stream,
-            bytes_in: self.metrics.bytes_in.clone(),
+    fn drain(&self) -> Vec<TcpStream> {
+        let mut g = self.streams.lock().expect("inbox lock poisoned");
+        std::mem::take(&mut *g)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.streams.lock().expect("inbox lock poisoned").is_empty()
+    }
+}
+
+/// The shared flush queue: outboxes with a writable prefix, FIFO.
+struct WriterPool {
+    queue: Mutex<VecDeque<Arc<Outbox>>>,
+    ready: Condvar,
+    /// Reactors still running. Writers exit only after the last reactor
+    /// is gone (every connection finished, so no outbox will ever be
+    /// scheduled again) *and* the queue is empty.
+    reactors_live: AtomicUsize,
+}
+
+impl WriterPool {
+    fn new(reactors: usize) -> Self {
+        WriterPool {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            reactors_live: AtomicUsize::new(reactors),
+        }
+    }
+
+    fn push(&self, outbox: Arc<Outbox>) {
+        self.queue
+            .lock()
+            .expect("writer queue poisoned")
+            .push_back(outbox);
+        self.ready.notify_one();
+    }
+
+    fn reactor_done(&self) {
+        self.reactors_live.fetch_sub(1, Ordering::SeqCst);
+        self.ready.notify_all();
+    }
+}
+
+/// One writer: pop an outbox with a ready prefix, flush it, repeat.
+fn writer_loop(pool: &WriterPool, store: &StoreServer, metrics: &NetMetrics) {
+    loop {
+        let outbox = {
+            let mut q = pool.queue.lock().expect("writer queue poisoned");
+            loop {
+                if let Some(outbox) = q.pop_front() {
+                    break Some(outbox);
+                }
+                if pool.reactors_live.load(Ordering::SeqCst) == 0 {
+                    break None;
+                }
+                // Timed wait: robust against a notification racing the
+                // last reactor's exit.
+                let (g, _) = pool
+                    .ready
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .expect("writer queue poisoned");
+                q = g;
+            }
         };
+        match outbox {
+            Some(outbox) => drain_outbox(&outbox, store, metrics),
+            None => return,
+        }
+    }
+}
 
-        let session = self.store.session();
-
-        // Handshake: the first frame must be a version-matched Hello.
-        match self.handshake(&mut reader, &writer, session.id()) {
-            Ok(()) => {}
-            Err(e) => {
-                self.metrics.note_error(&e);
-                let _ = send(&writer, &error_response(0, &e));
-                return Err(e);
+/// Flushes one outbox's ready prefix in sequence order. Deferred
+/// entries (`Synced`, `Checkpoint`, `Stats`) are realized *here*, after
+/// every earlier response on the connection has been written — that is
+/// what makes them barriers.
+fn drain_outbox(outbox: &Arc<Outbox>, store: &StoreServer, metrics: &NetMetrics) {
+    loop {
+        let batch = {
+            let mut g = outbox.inner.lock().expect("outbox lock poisoned");
+            let mut batch = Vec::new();
+            loop {
+                let seq = g.next_write;
+                match g.ready.remove(&seq) {
+                    Some(slot) => {
+                        g.next_write += 1;
+                        batch.push(slot);
+                    }
+                    None => break,
+                }
+            }
+            if batch.is_empty() {
+                g.scheduled = false;
+                if g.end == Some(g.next_write) {
+                    g.closed = true;
+                }
+                return;
+            }
+            batch
+        };
+        let mut written = 0usize;
+        let mut broken = false;
+        for slot in &batch {
+            let resp = realize(store, &slot.entry);
+            if outbox.write_response(&resp).is_err() {
+                broken = true;
+                break;
+            }
+            written += 1;
+            outbox.pending.dec();
+            if let Some(started) = slot.started {
+                metrics
+                    .request_us
+                    .observe(started.elapsed().as_micros() as u64);
             }
         }
+        if broken {
+            let abandoned = (batch.len() - written) as u64;
+            outbox.kill(abandoned);
+            return;
+        }
+    }
+}
 
-        let (queue, work) = mpsc::channel::<Work>();
-        std::thread::scope(|s| {
-            let resolver = s.spawn(|| self.resolve_loop(work, &writer));
-            let result = self.read_loop(&mut reader, &writer, &session, &queue);
-            // Whatever ended the loop, the resolver drains every owed
-            // outcome before the connection dies: FIFO queue, Stop last.
-            let _ = queue.send(Work::Stop);
-            drop(queue);
-            let _ = resolver.join();
-            match result {
-                Ok(farewell) => {
-                    if farewell {
-                        let _ = send(&writer, &Response::Bye);
-                    }
-                    Ok(())
+/// Materializes an outbox entry into the frame to write.
+fn realize(store: &StoreServer, entry: &Entry) -> Response {
+    match entry {
+        Entry::Ready(resp) => resp.clone(),
+        Entry::Outcome {
+            request_id,
+            tx,
+            outcome,
+        } => Response::Outcome {
+            request_id: *request_id,
+            tx: *tx,
+            outcome: wire_outcome(store, outcome.clone()),
+        },
+        Entry::Synced => Response::Synced {
+            version: store.version(),
+        },
+        Entry::Checkpoint => match store.checkpoint() {
+            Ok(offset) => Response::CheckpointDone { offset },
+            Err(e) => Response::Error {
+                request_id: 0,
+                code: e.code().into(),
+                detail: e.to_string(),
+            },
+        },
+        Entry::Stats => Response::StatsText {
+            text: store.metrics().render_prometheus(),
+        },
+    }
+}
+
+/// Projects a store outcome onto the wire, pairing a commit with the
+/// root hash recorded at its version. A missing commitment (the
+/// version's history segment was retired before write-back) is an
+/// explicit `None` on the wire — never a fabricated zero.
+fn wire_outcome(store: &StoreServer, outcome: TxOutcome) -> WireOutcome {
+    match outcome {
+        TxOutcome::Committed { version } => WireOutcome::Committed {
+            version,
+            root_hash: store.commit_root(version),
+        },
+        TxOutcome::Aborted {
+            reason: AbortReason::GuardFailed { version, shape },
+        } => WireOutcome::GuardAborted { version, shape },
+        TxOutcome::Aborted {
+            reason: AbortReason::RolledBack { reason },
+        } => WireOutcome::RolledBack { reason },
+        TxOutcome::Failed { error } => WireOutcome::Failed {
+            code: error.code().into(),
+            detail: error.to_string(),
+        },
+    }
+}
+
+/// One response owed at one outbox sequence slot.
+enum Entry {
+    /// Fully formed at decode/resolve time.
+    Ready(Response),
+    /// A resolved transaction outcome; projected onto the wire (root
+    /// commitment attached) at write time.
+    Outcome {
+        request_id: u64,
+        tx: u64,
+        outcome: TxOutcome,
+    },
+    /// A `Wait` barrier: the version is read at write time, after every
+    /// earlier response was written.
+    Synced,
+    /// A checkpoint request: executed at write time, in FIFO position.
+    Checkpoint,
+    /// A stats request: rendered at write time, in FIFO position.
+    Stats,
+}
+
+struct Slot {
+    entry: Entry,
+    /// Decode time, for the request latency histogram (handshake and
+    /// teardown frames don't carry one).
+    started: Option<Instant>,
+}
+
+/// The write half of one connection: a sequence-numbered response
+/// ledger plus the socket the writer pool flushes it to.
+///
+/// Sequence slots are **reserved** by the reactor at request-decode
+/// time (so reservation order is request order) and **completed** when
+/// the response is known — immediately for most requests, at ticket
+/// resolution for submits. Writers flush the contiguous ready prefix,
+/// so the wire order is the reservation order, always.
+struct Outbox {
+    stream: TcpStream,
+    write_timeout: Duration,
+    inner: Mutex<OutboxInner>,
+    pool: Arc<WriterPool>,
+    /// The shared `net_outbox_pending` gauge (reserved, not yet written).
+    pending: Gauge,
+    bytes_out: Counter,
+}
+
+#[derive(Default)]
+struct OutboxInner {
+    /// Next sequence number to reserve.
+    next_seq: u64,
+    /// Next sequence number to write.
+    next_write: u64,
+    /// Completed slots waiting their turn.
+    ready: BTreeMap<u64, Slot>,
+    /// One past the last sequence this connection will ever write; the
+    /// outbox closes when `next_write` reaches it.
+    end: Option<u64>,
+    /// A writer currently owns (or is queued to own) this outbox.
+    scheduled: bool,
+    /// Every owed response written (or the socket died): the connection
+    /// can be retired.
+    closed: bool,
+}
+
+impl Outbox {
+    fn new(
+        stream: TcpStream,
+        pool: Arc<WriterPool>,
+        metrics: &NetMetrics,
+        write_timeout: Duration,
+    ) -> Self {
+        Outbox {
+            stream,
+            write_timeout,
+            inner: Mutex::new(OutboxInner::default()),
+            pool,
+            pending: metrics.outbox_pending.clone(),
+            bytes_out: metrics.bytes_out.clone(),
+        }
+    }
+
+    /// Reserves the next sequence slot (request order). On a closed
+    /// outbox the reservation is moot — the slot is handed out but no
+    /// longer counts as pending.
+    fn reserve(&self) -> u64 {
+        let mut g = self.inner.lock().expect("outbox lock poisoned");
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        if !g.closed {
+            self.pending.inc();
+        }
+        seq
+    }
+
+    /// Stamps `slot` at `seq` and schedules a flush if the ready prefix
+    /// grew. Called from reactors (immediate responses) and from ticket
+    /// completions (whichever store thread resolved the ticket) — never
+    /// under any store lock. On a closed outbox this is a silent no-op.
+    fn complete(self: &Arc<Self>, seq: u64, slot: Slot) {
+        let schedule = {
+            let mut g = self.inner.lock().expect("outbox lock poisoned");
+            if g.closed {
+                return;
+            }
+            g.ready.insert(seq, slot);
+            if !g.scheduled && g.ready.contains_key(&g.next_write) {
+                g.scheduled = true;
+                true
+            } else {
+                false
+            }
+        };
+        if schedule {
+            self.pool.push(Arc::clone(self));
+        }
+    }
+
+    /// Declares `end` (one past the final sequence). If everything owed
+    /// is already written, the outbox closes on the spot.
+    fn set_end(&self, end: u64) {
+        let mut g = self.inner.lock().expect("outbox lock poisoned");
+        if g.closed {
+            return;
+        }
+        debug_assert!(g.end.is_none(), "a connection ends once");
+        g.end = Some(end);
+        if !g.scheduled && g.next_write == end {
+            g.closed = true;
+        }
+    }
+
+    /// Ends the outbox right after everything already reserved — the
+    /// orderly-EOF path, where no farewell frame is owed.
+    fn end_now(&self) {
+        let mut g = self.inner.lock().expect("outbox lock poisoned");
+        if g.closed {
+            return;
+        }
+        debug_assert!(g.end.is_none(), "a connection ends once");
+        g.end = Some(g.next_seq);
+        if !g.scheduled && g.next_write == g.next_seq {
+            g.closed = true;
+        }
+    }
+
+    /// Declares the socket dead: everything reserved-but-unwritten is
+    /// abandoned (`extra` covers slots a writer had already popped when
+    /// the write failed). Late completions become no-ops.
+    fn kill(&self, extra: u64) {
+        let mut g = self.inner.lock().expect("outbox lock poisoned");
+        if g.closed {
+            return;
+        }
+        g.closed = true;
+        let abandoned = g.next_seq - g.next_write + extra;
+        g.next_write = g.next_seq;
+        g.ready.clear();
+        self.pending.sub(abandoned);
+    }
+
+    fn is_closed(&self) -> bool {
+        self.inner.lock().expect("outbox lock poisoned").closed
+    }
+
+    /// Encodes and writes one frame, riding out `WouldBlock` (the
+    /// socket is nonblocking — it is shared with the read side) up to
+    /// the write timeout.
+    fn write_response(&self, resp: &Response) -> Result<(), NetError> {
+        let mut payload = Vec::new();
+        resp.encode(&mut payload);
+        let mut w = PatientWriter {
+            stream: &self.stream,
+            deadline: Instant::now() + self.write_timeout,
+            bytes_out: &self.bytes_out,
+        };
+        write_frame(&mut w, &payload)
+    }
+}
+
+/// A writer over a nonblocking socket that waits out transient
+/// back-pressure instead of failing, up to a deadline.
+struct PatientWriter<'a> {
+    stream: &'a TcpStream,
+    deadline: Instant,
+    bytes_out: &'a Counter,
+}
+
+impl Write for PatientWriter<'_> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        loop {
+            let mut stream = self.stream;
+            match stream.write(buf) {
+                Ok(n) => {
+                    self.bytes_out.add(n as u64);
+                    return Ok(n);
                 }
-                Err(e) => {
-                    self.metrics.note_error(&e);
-                    let _ = send(&writer, &error_response(0, &e));
-                    Err(e)
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= self.deadline {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "peer stopped draining its receive buffer",
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        let mut stream = self.stream;
+        stream.flush()
+    }
+}
+
+/// One reactor: adopt sockets from the inbox, sweep connections for
+/// readable frames, retire finished connections. Exits when the stop
+/// flag is up and every connection has drained.
+fn reactor_loop<'a>(ctx: Ctx<'a>, inbox: &Inbox) {
+    let mut conns: Vec<Conn<'a>> = Vec::new();
+    loop {
+        for stream in inbox.drain() {
+            match Conn::adopt(stream, &ctx) {
+                Ok(conn) => {
+                    ctx.metrics.connections.inc();
+                    ctx.metrics.connections_total.inc();
+                    conns.push(conn);
+                }
+                Err(_) => {
+                    // Socket setup failed before the connection existed
+                    // observably; nothing to account.
                 }
             }
+        }
+        let stopping = ctx.stop.load(Ordering::SeqCst);
+        let mut progressed = false;
+        for conn in conns.iter_mut() {
+            if stopping {
+                conn.begin_stop();
+            }
+            progressed |= conn.pump(&ctx);
+        }
+        let before = conns.len();
+        conns.retain(|c| {
+            if c.outbox.is_closed() {
+                ctx.metrics.connections.dec();
+                false
+            } else {
+                true
+            }
+        });
+        progressed |= conns.len() != before;
+        if stopping && conns.is_empty() && inbox.is_empty() {
+            break;
+        }
+        if !progressed {
+            std::thread::sleep(ctx.opts.sweep_interval);
+        }
+    }
+    ctx.pool.reactor_done();
+}
+
+/// Where a connection is in its life.
+#[derive(PartialEq)]
+enum ConnPhase {
+    /// Waiting for the version-matched Hello.
+    Hello,
+    /// Serving requests.
+    Serving,
+    /// No more requests will be read; owed responses are flushing.
+    Draining,
+}
+
+/// One connection, owned by one reactor.
+struct Conn<'a> {
+    stream: TcpStream,
+    frames: FrameReader,
+    outbox: Arc<Outbox>,
+    session: Session<'a>,
+    phase: ConnPhase,
+}
+
+impl<'a> Conn<'a> {
+    fn adopt(stream: TcpStream, ctx: &Ctx<'a>) -> Result<Self, NetError> {
+        stream.set_nodelay(true).map_err(NetError::io)?;
+        stream.set_nonblocking(true).map_err(NetError::io)?;
+        let write_half = stream.try_clone().map_err(NetError::io)?;
+        let outbox = Arc::new(Outbox::new(
+            write_half,
+            Arc::clone(&ctx.pool),
+            ctx.metrics,
+            ctx.opts.write_timeout,
+        ));
+        Ok(Conn {
+            stream,
+            frames: FrameReader::new(),
+            outbox,
+            session: ctx.store.session(),
+            phase: ConnPhase::Hello,
         })
     }
 
-    /// Reads and answers the Hello. Everything else first is a protocol
-    /// violation; a version mismatch is typed.
-    fn handshake(
-        &self,
-        reader: &mut MeteredReader<'_>,
-        writer: &Mutex<CountingWriter>,
-        session: u64,
-    ) -> Result<(), NetError> {
-        let payload = loop {
-            match reader.poll()? {
-                FramePoll::Frame(p) => break p,
-                FramePoll::Eof => {
-                    return Err(NetError::Protocol("closed before Hello".into()));
+    /// Server-initiated teardown: serving connections get a Bye; a
+    /// connection still in handshake just closes.
+    fn begin_stop(&mut self) {
+        match self.phase {
+            ConnPhase::Serving => {
+                let seq = self.outbox.reserve();
+                self.outbox.complete(
+                    seq,
+                    Slot {
+                        entry: Entry::Ready(Response::Bye),
+                        started: None,
+                    },
+                );
+                self.outbox.set_end(seq + 1);
+                self.phase = ConnPhase::Draining;
+            }
+            ConnPhase::Hello => {
+                let seq = self.outbox.reserve();
+                self.fail(seq, &NetError::Protocol("server stopping".into()));
+            }
+            ConnPhase::Draining => {}
+        }
+    }
+
+    /// Drains readable frames (bounded per sweep). Returns whether any
+    /// progress was made.
+    fn pump(&mut self, ctx: &Ctx<'a>) -> bool {
+        if self.phase == ConnPhase::Draining {
+            return false;
+        }
+        let mut progressed = false;
+        for _ in 0..MAX_FRAMES_PER_PUMP {
+            let mut reader = CountingReader {
+                stream: &self.stream,
+                bytes_in: &ctx.metrics.bytes_in,
+            };
+            match self.frames.poll(&mut reader) {
+                Ok(FramePoll::Frame(payload)) => {
+                    progressed = true;
+                    self.handle_frame(&payload, ctx);
                 }
-                FramePoll::Pending => {
-                    if self.stop.load(Ordering::SeqCst) {
-                        return Err(NetError::Protocol("server stopping".into()));
-                    }
+                Ok(FramePoll::Eof) => {
+                    progressed = true;
+                    self.outbox.end_now();
+                    self.phase = ConnPhase::Draining;
                 }
+                Ok(FramePoll::Pending) => break,
+                Err(e) => {
+                    progressed = true;
+                    ctx.metrics.note_error(&e);
+                    let seq = self.outbox.reserve();
+                    self.fail(seq, &e);
+                }
+            }
+            if self.phase == ConnPhase::Draining {
+                break;
+            }
+        }
+        progressed
+    }
+
+    /// Stamps a typed error at `seq`, ends the outbox there, drains.
+    fn fail(&mut self, seq: u64, e: &NetError) {
+        self.outbox.complete(
+            seq,
+            Slot {
+                entry: Entry::Ready(error_response(0, e)),
+                started: None,
+            },
+        );
+        self.outbox.set_end(seq + 1);
+        self.phase = ConnPhase::Draining;
+    }
+
+    fn handle_frame(&mut self, payload: &[u8], ctx: &Ctx<'a>) {
+        let started = Instant::now();
+        let request = match Request::decode(payload) {
+            Ok(request) => request,
+            Err(e) => {
+                let e = NetError::from(e);
+                ctx.metrics.note_error(&e);
+                let seq = self.outbox.reserve();
+                self.fail(seq, &e);
+                return;
             }
         };
-        match Request::decode(&payload)? {
-            Request::Hello { version, client: _ } if version == PROTOCOL_VERSION => {
-                self.metrics.requests("hello").inc();
-                send(
-                    writer,
-                    &Response::Welcome {
-                        version: PROTOCOL_VERSION,
-                        store_version: self.store.version(),
-                        session,
-                    },
-                )
-            }
-            Request::Hello { version, .. } => Err(NetError::Version {
-                ours: PROTOCOL_VERSION,
-                theirs: version,
-            }),
-            other => Err(NetError::Protocol(format!(
-                "expected Hello, got {}",
-                other.kind()
-            ))),
-        }
-    }
+        ctx.metrics.requests(request.kind()).inc();
 
-    /// Decodes requests until goodbye, disconnect, error, or server
-    /// stop. `Ok(true)` means an orderly farewell (Bye owed).
-    fn read_loop(
-        &self,
-        reader: &mut MeteredReader<'_>,
-        writer: &Mutex<CountingWriter>,
-        session: &vpdt_store::Session<'_>,
-        queue: &mpsc::Sender<Work>,
-    ) -> Result<bool, NetError> {
-        loop {
-            let payload = match reader.poll()? {
-                FramePoll::Frame(p) => p,
-                FramePoll::Eof => return Ok(false),
-                FramePoll::Pending => {
-                    if self.stop.load(Ordering::SeqCst) {
-                        // Stopping: drain owed outcomes, say Bye, close.
-                        return Ok(true);
-                    }
-                    continue;
-                }
-            };
-            let started = Instant::now();
-            let request = Request::decode(&payload)?;
-            self.metrics.requests(request.kind()).inc();
+        if self.phase == ConnPhase::Hello {
+            let seq = self.outbox.reserve();
             match request {
-                Request::Hello { .. } => {
-                    return Err(NetError::Protocol("repeated Hello".into()));
-                }
-                Request::Submit {
-                    request_id,
-                    program,
-                } => {
-                    let ticket = session.submit(program);
-                    let _ = queue.send(Work::Outcome {
-                        request_id,
-                        ticket,
-                        started,
-                    });
-                }
-                Request::Wait => {
-                    let _ = queue.send(Work::Sync { started });
-                }
-                Request::Checkpoint => {
-                    let resp = match self.store.checkpoint() {
-                        Ok(offset) => Response::CheckpointDone { offset },
-                        Err(e) => Response::Error {
-                            request_id: 0,
-                            code: e.code().into(),
-                            detail: e.to_string(),
+                Request::Hello { version, client: _ } if version == PROTOCOL_VERSION => {
+                    self.outbox.complete(
+                        seq,
+                        Slot {
+                            entry: Entry::Ready(Response::Welcome {
+                                version: PROTOCOL_VERSION,
+                                store_version: ctx.store.version(),
+                                session: self.session.id(),
+                            }),
+                            started: None,
                         },
-                    };
-                    send(writer, &resp)?;
-                    self.observe(started);
+                    );
+                    self.phase = ConnPhase::Serving;
                 }
-                Request::Stats => {
-                    let text = self.store.metrics().render_prometheus();
-                    send(writer, &Response::StatsText { text })?;
-                    self.observe(started);
-                }
-                Request::Goodbye => return Ok(true),
-                Request::Shutdown => {
-                    if self.opts.allow_remote_shutdown {
-                        self.stop.store(true, Ordering::SeqCst);
-                        return Ok(true);
-                    }
-                    send(
-                        writer,
-                        &Response::Error {
-                            request_id: 0,
-                            code: "forbidden".into(),
-                            detail: "server started without --allow-shutdown".into(),
+                Request::Hello { version, .. } => {
+                    self.fail(
+                        seq,
+                        &NetError::Version {
+                            ours: PROTOCOL_VERSION,
+                            theirs: version,
                         },
-                    )?;
+                    );
+                }
+                other => {
+                    self.fail(
+                        seq,
+                        &NetError::Protocol(format!("expected Hello, got {}", other.kind())),
+                    );
+                }
+            }
+            return;
+        }
+
+        match request {
+            Request::Hello { .. } => {
+                let seq = self.outbox.reserve();
+                self.fail(seq, &NetError::Protocol("repeated Hello".into()));
+            }
+            Request::Submit {
+                request_id,
+                program,
+            } => {
+                // Reserve *before* submitting: the completion must have
+                // its slot no matter how fast the ticket resolves.
+                let seq = self.outbox.reserve();
+                let ticket = self.session.submit(program);
+                let tx = ticket.id();
+                let outbox = Arc::clone(&self.outbox);
+                ticket.on_resolve(move |outcome| {
+                    outbox.complete(
+                        seq,
+                        Slot {
+                            entry: Entry::Outcome {
+                                request_id,
+                                tx,
+                                outcome,
+                            },
+                            started: Some(started),
+                        },
+                    );
+                });
+            }
+            Request::Wait => {
+                let seq = self.outbox.reserve();
+                self.outbox.complete(
+                    seq,
+                    Slot {
+                        entry: Entry::Synced,
+                        started: Some(started),
+                    },
+                );
+            }
+            Request::Checkpoint => {
+                let seq = self.outbox.reserve();
+                self.outbox.complete(
+                    seq,
+                    Slot {
+                        entry: Entry::Checkpoint,
+                        started: Some(started),
+                    },
+                );
+            }
+            Request::Stats => {
+                let seq = self.outbox.reserve();
+                self.outbox.complete(
+                    seq,
+                    Slot {
+                        entry: Entry::Stats,
+                        started: Some(started),
+                    },
+                );
+            }
+            Request::Goodbye => {
+                let seq = self.outbox.reserve();
+                self.outbox.complete(
+                    seq,
+                    Slot {
+                        entry: Entry::Ready(Response::Bye),
+                        started: None,
+                    },
+                );
+                self.outbox.set_end(seq + 1);
+                self.phase = ConnPhase::Draining;
+            }
+            Request::Shutdown => {
+                if ctx.opts.allow_remote_shutdown {
+                    ctx.stop.store(true, Ordering::SeqCst);
+                    let seq = self.outbox.reserve();
+                    self.outbox.complete(
+                        seq,
+                        Slot {
+                            entry: Entry::Ready(Response::Bye),
+                            started: None,
+                        },
+                    );
+                    self.outbox.set_end(seq + 1);
+                    self.phase = ConnPhase::Draining;
+                } else {
+                    let seq = self.outbox.reserve();
+                    self.outbox.complete(
+                        seq,
+                        Slot {
+                            entry: Entry::Ready(Response::Error {
+                                request_id: 0,
+                                code: "forbidden".into(),
+                                detail: "server started without --allow-shutdown".into(),
+                            }),
+                            started: None,
+                        },
+                    );
                 }
             }
         }
     }
-
-    /// The resolver: pops work FIFO, waits tickets to their final (for
-    /// commits: durable) outcome, writes response frames.
-    fn resolve_loop(&self, work: mpsc::Receiver<Work>, writer: &Mutex<CountingWriter>) {
-        while let Ok(item) = work.recv() {
-            match item {
-                Work::Outcome {
-                    request_id,
-                    ticket,
-                    started,
-                } => {
-                    let outcome = self.wire_outcome(ticket.wait());
-                    let _ = send(
-                        writer,
-                        &Response::Outcome {
-                            request_id,
-                            tx: ticket.id(),
-                            outcome,
-                        },
-                    );
-                    self.observe(started);
-                }
-                Work::Sync { started } => {
-                    let _ = send(
-                        writer,
-                        &Response::Synced {
-                            version: self.store.version(),
-                        },
-                    );
-                    self.observe(started);
-                }
-                Work::Stop => break,
-            }
-        }
-    }
-
-    /// Projects a store outcome onto the wire, pairing a commit with
-    /// the root hash recorded at its version.
-    fn wire_outcome(&self, outcome: TxOutcome) -> WireOutcome {
-        match outcome {
-            TxOutcome::Committed { version } => WireOutcome::Committed {
-                version,
-                root_hash: self.store.commit_root(version).unwrap_or(0),
-            },
-            TxOutcome::Aborted {
-                reason: AbortReason::GuardFailed { version, shape },
-            } => WireOutcome::GuardAborted { version, shape },
-            TxOutcome::Aborted {
-                reason: AbortReason::RolledBack { reason },
-            } => WireOutcome::RolledBack { reason },
-            TxOutcome::Failed { error } => WireOutcome::Failed {
-                code: error.code().into(),
-                detail: error.to_string(),
-            },
-        }
-    }
-
-    fn observe(&self, started: Instant) {
-        self.metrics
-            .request_us
-            .observe(started.elapsed().as_micros() as u64);
-    }
-}
-
-/// Encodes and writes one response under the shared writer lock.
-fn send(writer: &Mutex<CountingWriter>, resp: &Response) -> Result<(), NetError> {
-    let mut payload = Vec::new();
-    resp.encode(&mut payload);
-    let mut w = writer.lock().expect("writer lock poisoned");
-    write_frame(&mut *w, &payload)
 }
 
 fn error_response(request_id: u64, e: &NetError) -> Response {
@@ -530,49 +1072,16 @@ fn error_response(request_id: u64, e: &NetError) -> Response {
     }
 }
 
-/// A socket writer that meters bytes out.
-struct CountingWriter {
-    stream: TcpStream,
-    bytes_out: Counter,
-}
-
-impl Write for CountingWriter {
-    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        let n = self.stream.write(buf)?;
-        self.bytes_out.add(n as u64);
-        Ok(n)
-    }
-
-    fn flush(&mut self) -> std::io::Result<()> {
-        self.stream.flush()
-    }
-}
-
-/// A frame poller that meters bytes in.
-struct MeteredReader<'a> {
-    frames: FrameReader,
-    stream: &'a TcpStream,
-    bytes_in: Counter,
-}
-
-impl MeteredReader<'_> {
-    fn poll(&mut self) -> Result<FramePoll, NetError> {
-        let mut counted = CountingReader {
-            stream: self.stream,
-            bytes_in: &self.bytes_in,
-        };
-        self.frames.poll(&mut counted)
-    }
-}
-
+/// A frame-source that meters bytes in.
 struct CountingReader<'a> {
     stream: &'a TcpStream,
     bytes_in: &'a Counter,
 }
 
-impl std::io::Read for CountingReader<'_> {
+impl Read for CountingReader<'_> {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        let n = self.stream.read(buf)?;
+        let mut stream = self.stream;
+        let n = stream.read(buf)?;
         self.bytes_in.add(n as u64);
         Ok(n)
     }

@@ -70,10 +70,23 @@ impl Gauge {
     /// never wrap the reading to 2^64).
     #[inline]
     pub fn dec(&self) {
+        self.sub(1);
+    }
+
+    /// Increment by `n` — bulk admission into a live population.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Decrement by `n`, saturating at zero — bulk retirement (e.g. a
+    /// connection dying with several responses still pending).
+    #[inline]
+    pub fn sub(&self, n: u64) {
         let _ = self
             .0
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
-                Some(v.saturating_sub(1))
+                Some(v.saturating_sub(n))
             });
     }
 

@@ -26,6 +26,15 @@
 //! Aborts, failures, and in-memory servers have no durable phase: the
 //! worker resolves those tickets on the spot, exactly as before.
 //!
+//! Every one of these resolution paths — worker, flusher, and the
+//! drop-guard on a dying work item — funnels through the ticket's
+//! completion slot, so a callback registered with
+//! [`TxTicket::on_resolve`](crate::TxTicket::on_resolve) fires no matter
+//! which path resolves the ticket. The callback runs on the resolving
+//! thread *after* the ticket lock is dropped: the off-lock discipline of
+//! the commit critical section is untouched (no user code ever runs
+//! inside `try_commit` or under the flusher's batch lock).
+//!
 //! [`run_serial_rollback`] is the baseline the paper's programme displaces:
 //! one thread, no guard — run the transaction, test `α` on the result, roll
 //! back on violation.

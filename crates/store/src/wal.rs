@@ -989,7 +989,11 @@ impl GroupCommitFlusher {
 
     /// Resolve one ack durable: observe the publish→durable and
     /// end-to-end stage latencies, trace the `durable` event, then
-    /// resolve the ticket (if any).
+    /// resolve the ticket (if any). Callers invoke this *after* dropping
+    /// the flusher's batch lock — resolution may fire a completion
+    /// registered with [`TxTicket::on_resolve`](crate::TxTicket::on_resolve)
+    /// on this thread, and that callback must never run under the lock
+    /// that gates the next fsync batch.
     fn resolve_durable(&self, ack: PendingAck) {
         let now = self.obs.now_ns();
         self.obs

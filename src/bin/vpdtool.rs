@@ -429,6 +429,8 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     let mut persist: Option<String> = None;
     let mut recover = false;
     let mut allow_shutdown = false;
+    let mut reactors = 2usize;
+    let mut writers = 2usize;
     let mut i = 0;
     while i < args.len() {
         let flag = &args[i];
@@ -452,6 +454,8 @@ fn run_serve(args: &[String]) -> Result<(), String> {
             "--universe" => universe = value.parse().map_err(|_| "bad --universe")?,
             "--seed" => seed = value.parse().map_err(|_| "bad --seed")?,
             "--persist" => persist = Some(value.clone()),
+            "--reactors" => reactors = value.parse().map_err(|_| "bad --reactors")?,
+            "--writers" => writers = value.parse().map_err(|_| "bad --writers")?,
             other => return Err(format!("unknown flag {other}")),
         }
         i += 2;
@@ -495,14 +499,18 @@ fn run_serve(args: &[String]) -> Result<(), String> {
         &addr,
         NetOptions {
             allow_remote_shutdown: allow_shutdown,
+            reactor_threads: reactors,
+            writer_threads: writers,
             ..NetOptions::default()
         },
     )
     .map_err(|e| format!("bind {addr} failed: {e}"))?;
     println!(
-        "serving on {} ({} workers, {} relations over universe {}{}{})",
+        "serving on {} ({} workers, {} reactors, {} writers, {} relations over universe {}{}{})",
         net.local_addr(),
         workers,
+        reactors.max(1),
+        writers.max(1),
         rels,
         universe,
         persist
@@ -597,47 +605,50 @@ fn run_net_drive(args: &[String]) -> Result<(), String> {
     let chunks: Vec<_> = jobs.chunks(txs.max(1)).collect();
     let mut committed = 0usize;
     let mut aborted = 0usize;
-    let mut last_root = 0u64;
+    let mut last_root: Option<u64> = None;
     std::thread::scope(|scope| -> Result<(), String> {
         let handles: Vec<_> = chunks
             .iter()
             .enumerate()
             .map(|(c, chunk)| {
                 let addr = addr.clone();
-                scope.spawn(move || -> Result<(usize, usize, u64, u64), String> {
-                    let mut client = NetClient::connect(addr.as_str(), &format!("drive-{c}"))
-                        .map_err(|e| format!("connect failed: {e}"))?;
-                    let (mut committed, mut aborted) = (0usize, 0usize);
-                    let (mut top_version, mut top_root) = (0u64, 0u64);
-                    let mut tally = |outcome: WireOutcome| match outcome {
-                        WireOutcome::Committed { version, root_hash } => {
-                            committed += 1;
-                            if version > top_version {
-                                top_version = version;
-                                top_root = root_hash;
+                scope.spawn(
+                    move || -> Result<(usize, usize, u64, Option<u64>), String> {
+                        let mut client = NetClient::connect(addr.as_str(), &format!("drive-{c}"))
+                            .map_err(|e| format!("connect failed: {e}"))?;
+                        let (mut committed, mut aborted) = (0usize, 0usize);
+                        let mut top_version = 0u64;
+                        let mut top_root: Option<u64> = None;
+                        let mut tally = |outcome: WireOutcome| match outcome {
+                            WireOutcome::Committed { version, root_hash } => {
+                                committed += 1;
+                                if version > top_version {
+                                    top_version = version;
+                                    top_root = root_hash;
+                                }
                             }
+                            WireOutcome::GuardAborted { .. } | WireOutcome::RolledBack { .. } => {
+                                aborted += 1;
+                            }
+                            WireOutcome::Failed { code, detail } => {
+                                eprintln!("drive-{c}: transaction failed [{code}] {detail}");
+                            }
+                        };
+                        for job in *chunk {
+                            if client.inflight() >= window {
+                                let (_req, _tx, outcome) =
+                                    client.next_outcome().map_err(|e| e.to_string())?;
+                                tally(outcome);
+                            }
+                            client.submit(&job.program).map_err(|e| e.to_string())?;
                         }
-                        WireOutcome::GuardAborted { .. } | WireOutcome::RolledBack { .. } => {
-                            aborted += 1;
-                        }
-                        WireOutcome::Failed { code, detail } => {
-                            eprintln!("drive-{c}: transaction failed [{code}] {detail}");
-                        }
-                    };
-                    for job in *chunk {
-                        if client.inflight() >= window {
-                            let (_req, _tx, outcome) =
-                                client.next_outcome().map_err(|e| e.to_string())?;
-                            tally(outcome);
-                        }
-                        client.submit(&job.program).map_err(|e| e.to_string())?;
-                    }
-                    client
-                        .sync(|_req, _tx, outcome| tally(outcome))
-                        .map_err(|e| e.to_string())?;
-                    client.goodbye().map_err(|e| e.to_string())?;
-                    Ok((committed, aborted, top_version, top_root))
-                })
+                        client
+                            .sync(|_req, _tx, outcome| tally(outcome))
+                            .map_err(|e| e.to_string())?;
+                        client.goodbye().map_err(|e| e.to_string())?;
+                        Ok((committed, aborted, top_version, top_root))
+                    },
+                )
             })
             .collect();
         let mut top_version = 0u64;
@@ -652,9 +663,16 @@ fn run_net_drive(args: &[String]) -> Result<(), String> {
         }
         Ok(())
     })?;
+    // An absent root is typed on the wire (protocol v2): the commit's
+    // history segment was retired before write-back. Surface it as such
+    // rather than printing a fake zero commitment.
+    let root_text = match last_root {
+        Some(root) => format!("{root:#018x}"),
+        None => "retired before write-back".to_string(),
+    };
     println!(
         "drove {} transactions over {} sessions: committed {committed} / aborted {aborted} \
-         (latest commitment root {last_root:#018x})",
+         (latest commitment root {root_text})",
         jobs.len(),
         chunks.len(),
     );

@@ -57,6 +57,74 @@ fn tickets_resolve_after_shutdown() {
     }
 }
 
+/// `on_resolve` completions fire exactly once per ticket with the same
+/// outcome `wait` observes — on the resolving thread for in-flight
+/// tickets, immediately for already-resolved ones — and a ticket whose
+/// completion fired is observably resolved (`try_outcome` is `Some`).
+#[test]
+fn on_resolve_fires_once_with_the_waited_outcome() {
+    use std::sync::mpsc;
+
+    let (server, _) = server(3, 2);
+    let programs = [
+        Program::insert_consts("R0", [0, 1]),
+        Program::insert_consts("R1", [2, 3]),
+        Program::insert_consts("R0", [0, 2]), // FD violation: guard-aborts
+        Program::delete_consts("R0", [0, 1]),
+    ];
+    let (tx, rx) = mpsc::channel::<(u64, TxOutcome)>();
+    let tickets: Vec<_> = {
+        let session = server.session();
+        programs
+            .iter()
+            .map(|p| {
+                let ticket = session.submit(p.clone());
+                let id = ticket.id();
+                let tx = tx.clone();
+                ticket.on_resolve(move |outcome| {
+                    let _ = tx.send((id, outcome));
+                });
+                ticket
+            })
+            .collect()
+    };
+    drop(tx);
+    let mut delivered = BTreeMap::new();
+    while let Ok((id, outcome)) = rx.recv() {
+        assert!(
+            delivered.insert(id, outcome).is_none(),
+            "each completion fires exactly once"
+        );
+    }
+    assert_eq!(delivered.len(), tickets.len(), "every ticket completed");
+    for ticket in &tickets {
+        assert_eq!(
+            delivered.get(&ticket.id()),
+            Some(&ticket.wait()),
+            "completion and wait observe the same outcome"
+        );
+        assert!(
+            ticket.try_outcome().is_some(),
+            "a completed ticket is resolved"
+        );
+    }
+
+    // Registering on an already-resolved ticket fires immediately, on
+    // the calling thread.
+    let late = &tickets[0];
+    let expected = late.wait();
+    let (tx, rx) = mpsc::channel();
+    late.on_resolve(move |outcome| {
+        let _ = tx.send(outcome);
+    });
+    assert_eq!(
+        rx.try_recv().expect("fired synchronously on registration"),
+        expected
+    );
+
+    server.shutdown();
+}
+
 /// Dropping a session mid-flight neither loses nor duplicates its
 /// transactions: everything it submitted is executed exactly once and
 /// shows up in the final report (and history) even though the session —
