@@ -239,18 +239,28 @@ pub fn compile_guard(
     let mut reads: BTreeSet<String> = program.read_relations();
     let mut all_conjuncts_independent = true;
     for conjunct in alpha.conjuncts() {
-        let w = wpc_sentence(&pre, conjunct)?;
         let independent = is_domain_independent(conjunct);
         all_conjuncts_independent &= independent;
-        if !(independent && conjunct.relations_used().is_disjoint(&writes)) {
-            fast_parts.push(fast_guard_for(conjunct, &w, single.as_ref(), independent));
-            kept.push(w.clone());
-            // The conjunct's own relations — not its wpc's. The wpc
-            // mentions every relation through Γ-relativization of its
-            // quantifiers, but by exactness its verdict only depends on
-            // the conjunct's relations in the transaction's output.
-            reads.extend(conjunct.relations_used());
+        if independent && conjunct.relations_used().is_disjoint(&writes) {
+            // Untouched and domain-independent: `T(D)` agrees with `D` on
+            // the conjunct's relations, and the conjunct's truth ignores
+            // the ambient domain, so `wpc(T, αᵢ) ≡ αᵢ` on *every* state —
+            // the conjunct itself is the exact translation. Skipping the
+            // `WPC[γ]` pass here is load-bearing: for multi-statement
+            // programs its output grows steeply, and a wide constraint
+            // would pay that cost once per conjunct it cannot even
+            // disturb.
+            full.push(conjunct.clone());
+            continue;
         }
+        let w = wpc_sentence(&pre, conjunct)?;
+        fast_parts.push(fast_guard_for(conjunct, &w, single.as_ref(), independent));
+        kept.push(w.clone());
+        // The conjunct's own relations — not its wpc's. The wpc
+        // mentions every relation through Γ-relativization of its
+        // quantifiers, but by exactness its verdict only depends on
+        // the conjunct's relations in the transaction's output.
+        reads.extend(conjunct.relations_used());
         full.push(w);
     }
     // wpc distributes over conjunction (both sides say "α's conjuncts all

@@ -96,6 +96,17 @@ struct Ctx<'a> {
     pre: &'a Prerelation,
     /// Variables that must not be captured by generated quantifiers.
     avoid: BTreeSet<Var>,
+    /// Whether quantifiers must be relativized to the *new* active domain
+    /// through `newadom`. A domain-independent `γ` doesn't need it: the
+    /// Γ-term image of the old domain is a superset of the new active
+    /// domain (the candidate-space property of prerelations), and a
+    /// domain-independent sentence evaluates identically over any
+    /// superset — so the `newadom` filter, whose size is a disjunction
+    /// over *every* relation and position of the schema per quantifier,
+    /// can be dropped wholesale. This is the difference between guard
+    /// compilation scaling with the transaction and scaling with the
+    /// schema.
+    relativize: bool,
 }
 
 impl<'a> Ctx<'a> {
@@ -108,7 +119,12 @@ impl<'a> Ctx<'a> {
         for t in pre.gamma() {
             avoid.extend(t.vars());
         }
-        Ctx { pre, avoid }
+        let relativize = !vpdt_logic::domain::is_domain_independent(gamma);
+        Ctx {
+            pre,
+            avoid,
+            relativize,
+        }
     }
 
     fn translate(&self, f: &Formula) -> Result<Formula, WpcError> {
@@ -170,14 +186,25 @@ impl<'a> Ctx<'a> {
         let mut cases = Vec::new();
         for tau in self.pre.gamma() {
             let (tau2, zs) = freshen_term(tau, &mut avoid);
-            let membership = vpdt_logic::simplify::normalize(&self.new_adom(&tau2, &avoid)?);
             let mut map = BTreeMap::new();
-            map.insert(v.clone(), tau2);
+            map.insert(v.clone(), tau2.clone());
             let instantiated = substitute_many(&w_body, &map);
-            let case = if existential {
-                Formula::exists_many(zs, Formula::and([membership, instantiated]))
+            let case = if !self.relativize {
+                // Domain-independent γ: quantify over the Γ-term image of
+                // the old domain directly (a superset of the new active
+                // domain) — see `Ctx::relativize`.
+                if existential {
+                    Formula::exists_many(zs, instantiated)
+                } else {
+                    Formula::forall_many(zs, instantiated)
+                }
             } else {
-                Formula::forall_many(zs, Formula::implies(membership, instantiated))
+                let membership = vpdt_logic::simplify::normalize(&self.new_adom(&tau2, &avoid)?);
+                if existential {
+                    Formula::exists_many(zs, Formula::and([membership, instantiated]))
+                } else {
+                    Formula::forall_many(zs, Formula::implies(membership, instantiated))
+                }
             };
             cases.push(case);
         }

@@ -203,6 +203,16 @@ pub fn normalize(f: &Formula) -> Formula {
     simplify(&normalize_bound(f, 0))
 }
 
+/// Just the canonical bound-variable renaming from [`normalize`], without
+/// the simplification pass: two α-equivalent formulas become syntactically
+/// equal while the formula's structure stays exactly as written. This is
+/// the right tool when the formula is part of a larger syntactic identity
+/// — statement templates, for instance, must not have their conditions
+/// rewritten, only made name-insensitive.
+pub fn normalize_bound_vars(f: &Formula) -> Formula {
+    normalize_bound(f, 0)
+}
+
 fn normalize_bound(f: &Formula, depth: usize) -> Formula {
     use crate::subst::substitute;
     use crate::term::Var;

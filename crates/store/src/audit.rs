@@ -161,9 +161,9 @@ pub fn audit_from(
                     problems.push(format!("commit of unknown tx {tx}"));
                     continue;
                 };
-                // Provenance: the recorded (shape, bindings) must
-                // instantiate to exactly the submitted program, so a log
-                // with forged bindings or a swapped statement shape cannot
+                // Provenance: the submitted program must canonicalize to
+                // exactly the recorded (shape, bindings), so a log with
+                // forged bindings or a swapped statement shape cannot
                 // masquerade as the original run.
                 check_provenance(
                     &mut problems,
@@ -202,36 +202,80 @@ pub fn audit_from(
                 }
                 // The cross-check: the deferred check-and-rollback path
                 // must accept the same transaction at the same point.
-                let prev = states.last().expect("states never empty");
-                let checked = RuntimeChecked::new(
-                    ProgramTransaction::new("audit", program.clone(), omega.clone()),
-                    alpha.clone(),
-                    omega.clone(),
+                replay_one(
+                    &mut problems,
+                    &mut states,
+                    alpha,
+                    omega,
+                    *tx,
+                    *version,
+                    program,
+                    *recorded_hash,
                 );
-                match checked.apply(prev) {
-                    Ok(next) => {
-                        if root_hash(&next) != *recorded_hash {
-                            problems.push(format!(
-                                "replaying tx {tx} at version {version} produces root hash \
-                                 {:#x}, history records {recorded_hash:#x} (reordered or \
-                                 tampered history)",
-                                root_hash(&next)
-                            ));
-                        }
-                        states.push(next);
-                    }
-                    Err(TxError::Aborted(reason)) => {
-                        problems.push(format!(
-                            "tx {tx} committed at version {version}, but check-and-rollback \
-                             aborts it there: {reason}"
-                        ));
-                        states.push(prev.clone());
-                    }
-                    Err(e) => {
-                        problems.push(format!("tx {tx} fails to replay at version {version}: {e}"));
-                        states.push(prev.clone());
-                    }
+            }
+            Event::Cross {
+                tx,
+                version,
+                writes,
+                shape,
+                bindings,
+                root_hash: recorded_hash,
+                ..
+            } => {
+                // A cross-shard branch commit replays like any commit: its
+                // recorded `(shape, bindings)` provenance reconstructs the
+                // shard-local delta program, which must re-derive the
+                // recorded root and pass the deferred constraint check.
+                // What it does *not* need is a paired `GuardEval` — the
+                // global guard ran on the coordinator's union snapshot, and
+                // its evidence lives in the decision log, cross-checked by
+                // the sharded audit (`shard::cold_audit_sharded`).
+                commits_checked += 1;
+                let expected = base_version + states.len() as u64;
+                if *version != expected {
+                    problems.push(format!(
+                        "cross commit of tx {tx} has version {version}, expected {expected} \
+                         (reordered or dropped commit)"
+                    ));
+                    continue;
                 }
+                let Some(template) = templates.get(shape) else {
+                    problems.push(format!(
+                        "cross commit of tx {tx} references unknown statement shape {shape}"
+                    ));
+                    continue;
+                };
+                let program = match template.instantiate(bindings) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        problems.push(format!(
+                            "cross commit of tx {tx}: bindings do not fit shape {shape}: {e}"
+                        ));
+                        continue;
+                    }
+                };
+                if program
+                    .touched_relations()
+                    .iter()
+                    .cloned()
+                    .collect::<Vec<_>>()
+                    != *writes
+                {
+                    problems.push(format!(
+                        "cross tx {tx} recorded writes {writes:?} but its delta touches {:?}",
+                        program.touched_relations()
+                    ));
+                }
+                replay_one(
+                    &mut problems,
+                    &mut states,
+                    alpha,
+                    omega,
+                    *tx,
+                    *version,
+                    &program,
+                    *recorded_hash,
+                );
             }
             Event::Abort { tx, version, .. } => {
                 // The guard said "would violate α". If we know the state it
@@ -344,6 +388,12 @@ pub fn cold_audit_from(
                 shape,
                 bindings,
                 ..
+            }
+            | Event::Cross {
+                tx,
+                shape,
+                bindings,
+                ..
             } => (*tx, *shape, bindings),
             Event::GuardEval { .. } | Event::Abort { .. } => continue,
         };
@@ -384,10 +434,60 @@ pub fn cold_audit_from(
     report
 }
 
+/// Replays one committed program at `version` through the deferred
+/// check-and-rollback path, verifying acceptance and the recorded root
+/// hash, and advancing `states` (a rejected or unreplayable commit keeps
+/// the previous state so later versions still line up).
+#[allow(clippy::too_many_arguments)]
+fn replay_one(
+    problems: &mut Vec<String>,
+    states: &mut Vec<Database>,
+    alpha: &Formula,
+    omega: &Omega,
+    tx: u64,
+    version: u64,
+    program: &Program,
+    recorded_hash: u64,
+) {
+    let prev = states.last().expect("states never empty");
+    let checked = RuntimeChecked::new(
+        ProgramTransaction::new("audit", program.clone(), omega.clone()),
+        alpha.clone(),
+        omega.clone(),
+    );
+    match checked.apply(prev) {
+        Ok(next) => {
+            if root_hash(&next) != recorded_hash {
+                problems.push(format!(
+                    "replaying tx {tx} at version {version} produces root hash \
+                     {:#x}, history records {recorded_hash:#x} (reordered or \
+                     tampered history)",
+                    root_hash(&next)
+                ));
+            }
+            states.push(next);
+        }
+        Err(TxError::Aborted(reason)) => {
+            problems.push(format!(
+                "tx {tx} committed at version {version}, but check-and-rollback \
+                 aborts it there: {reason}"
+            ));
+            states.push(prev.clone());
+        }
+        Err(e) => {
+            problems.push(format!("tx {tx} fails to replay at version {version}: {e}"));
+            states.push(prev.clone());
+        }
+    }
+}
+
 /// Checks one event's recorded `(shape, bindings)` provenance against the
-/// submitted program: the statement shape must be known and must
-/// instantiate to exactly what the client submitted. Unknown transaction
-/// ids are skipped here — commits of unknown txs draw their own complaint.
+/// submitted program: the statement shape must be known and the submitted
+/// program must canonicalize to exactly that `(shape, bindings)` pair.
+/// Comparing canonical forms (rather than instantiations) makes the check
+/// insensitive to the α-renaming `canonicalize` performs while still
+/// refusing forged bindings or a swapped shape. Unknown transaction ids
+/// are skipped here — commits of unknown txs draw their own complaint.
 fn check_provenance(
     problems: &mut Vec<String>,
     programs: &BTreeMap<u64, Program>,
@@ -404,18 +504,18 @@ fn check_provenance(
         None => problems.push(format!(
             "{what} of tx {tx} references unknown statement shape {shape}"
         )),
-        Some(template) => match template.instantiate(bindings) {
-            Ok(ground) => {
-                if &ground != program {
+        Some(template) => match vpdt_tx::template::canonicalize(program) {
+            Ok((canonical, ground_bindings)) => {
+                if &canonical != template || ground_bindings != bindings {
                     problems.push(format!(
                         "tx {tx}'s {what} records statement (shape {shape}, bindings \
-                         {bindings:?}) which instantiates to {ground:?}, not the \
-                         submitted program {program:?}"
+                         {bindings:?}), but the submitted program {program:?} \
+                         canonicalizes to ({canonical}, {ground_bindings:?})"
                     ));
                 }
             }
             Err(e) => problems.push(format!(
-                "tx {tx}'s {what} bindings do not fit shape {shape}: {e}"
+                "tx {tx}'s {what}: submitted program does not canonicalize: {e}"
             )),
         },
     }

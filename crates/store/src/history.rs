@@ -91,6 +91,33 @@ pub enum Event {
         /// Human-readable reason.
         reason: String,
     },
+    /// A cross-shard transaction's commit on *this* shard: the shard-local
+    /// delta of a two-phase commit whose global guard evaluation and
+    /// decision live in the coordinator's decision log, referenced by
+    /// `decision`. One atomic record — the decision reference and the
+    /// commit are never split across frames, so a torn tail can never
+    /// leave a shard half-knowing whether it applied a decision. Replays
+    /// exactly like [`Event::Commit`] (the `(shape, bindings)` provenance
+    /// reconstructs the shard-local delta program); the audit skips the
+    /// guard-evidence pairing, which the decision log carries instead.
+    Cross {
+        /// Shard-local transaction id.
+        tx: u64,
+        /// Id of the decision record in the coordinator's decision log.
+        decision: u64,
+        /// Snapshot version the prepare held (and validated against).
+        based_on: u64,
+        /// The new store version (always the previous version + 1).
+        version: u64,
+        /// Relations the shard-local delta wrote.
+        writes: Vec<String>,
+        /// Id of the canonicalized shape of the shard-local delta program.
+        shape: u64,
+        /// The constants bound to the shape's placeholders.
+        bindings: Vec<Elem>,
+        /// [Root hash](root_hash) of the committed shard state.
+        root_hash: u64,
+    },
 }
 
 #[derive(Debug, Default)]
@@ -113,6 +140,9 @@ impl Inner {
     /// commit lands exactly one past the end of the index.
     fn index_root(&mut self, e: &Event) {
         if let Event::Commit {
+            version, root_hash, ..
+        }
+        | Event::Cross {
             version, root_hash, ..
         } = e
         {
@@ -146,6 +176,9 @@ impl History {
         let mut root_base = 0;
         for e in &events {
             if let Event::Commit {
+                version, root_hash, ..
+            }
+            | Event::Cross {
                 version, root_hash, ..
             } = e
             {
@@ -221,7 +254,7 @@ impl History {
     /// Panics if the attached log fails to append (fail-stop: see the
     /// module docs).
     pub fn record_commit(&self, e: Event, encoded: Option<Vec<u8>>) -> Option<u64> {
-        debug_assert!(matches!(e, Event::Commit { .. }));
+        debug_assert!(matches!(e, Event::Commit { .. } | Event::Cross { .. }));
         let mut inner = self.inner.lock().expect("history lock poisoned");
         let offset = inner.durable.as_mut().map(|log| {
             match &encoded {

@@ -109,6 +109,7 @@ pub mod history;
 pub mod metrics;
 pub mod server;
 pub mod session;
+pub mod shard;
 pub mod snapshot;
 pub mod wal;
 pub mod workload;
@@ -120,6 +121,10 @@ pub use history::{Event, History};
 pub use metrics::StoreMetrics;
 pub use server::{RetryPolicy, ServerReport, StoreBuilder, StoreServer};
 pub use session::{Session, TxTicket};
+pub use shard::{
+    cold_audit_sharded, is_sharded_layout, CrossOutcome, Routed, ShardedAuditReport,
+    ShardedBuilder, ShardedReport, ShardedStore,
+};
 pub use snapshot::{CommitOutcome, CommitRequest, Snapshot, VersionedStore};
 pub use vpdt_obs::{
     HistogramSnapshot, MetricsRegistry, MetricsSnapshot, TraceEvent, TraceStage, TxTimeline,
@@ -192,6 +197,20 @@ pub enum StoreError {
     /// hash mismatch) — surfaced by
     /// [`StoreBuilder::recover`](crate::StoreBuilder::recover).
     Recovery(RecoveryError),
+    /// The configuration cannot be sharded: a constraint conjunct spans
+    /// shards or is not domain-independent, the shard count exceeds the
+    /// relation count, or a persisted directory is not a sharded layout.
+    /// Surfaced by [`ShardedBuilder::build`](crate::ShardedBuilder::build).
+    Unshardable {
+        /// What exactly was refused.
+        detail: String,
+    },
+    /// A debug crash point fired inside the cross-shard commit path (see
+    /// `ShardedStore::debug_set_crash_point`): the store stopped exactly
+    /// where a crash would have, so recovery tests can exercise each 2PC
+    /// window deterministically. Never produced outside tests.
+    #[doc(hidden)]
+    DebugCrashPoint,
 }
 
 impl StoreError {
@@ -209,6 +228,8 @@ impl StoreError {
             StoreError::WorkerLost => "worker_lost",
             StoreError::Wal(_) => "wal",
             StoreError::Recovery(_) => "recovery",
+            StoreError::Unshardable { .. } => "unshardable",
+            StoreError::DebugCrashPoint => "debug_crash_point",
         }
     }
 }
@@ -247,6 +268,10 @@ impl std::fmt::Display for StoreError {
             }
             StoreError::Wal(e) => write!(f, "write-ahead log: {e}"),
             StoreError::Recovery(e) => write!(f, "recovery: {e}"),
+            StoreError::Unshardable { detail } => {
+                write!(f, "configuration cannot be sharded: {detail}")
+            }
+            StoreError::DebugCrashPoint => write!(f, "debug crash point fired"),
         }
     }
 }

@@ -68,6 +68,21 @@ pub mod names {
     pub const STAGE_PUBLISH_TO_DURABLE: &str = "store_stage_publish_to_durable_us";
     /// Submit → final outcome, µs.
     pub const TX_TOTAL: &str = "store_tx_total_us";
+    /// The group-commit flusher's auto-tuned batching delay, µs (gauge;
+    /// zero when `GroupCommitPolicy::target_batch` is off).
+    pub const WAL_FLUSH_EFFECTIVE_DELAY: &str = "store_wal_flush_effective_delay_us";
+    /// Cross-shard transactions committed by the 2PC coordinator.
+    pub const CROSS_COMMITTED: &str = "store_cross_committed_total";
+    /// Cross-shard transactions aborted (global guard failed).
+    pub const CROSS_ABORTED: &str = "store_cross_aborted_total";
+    /// Prepare rounds retried because a shard's footprint was held.
+    pub const CROSS_PREPARE_RETRIES: &str = "store_cross_prepare_retries_total";
+    /// 2PC prepare phase (all shards held + union snapshot), µs.
+    pub const CROSS_STAGE_PREPARE: &str = "store_cross_prepare_us";
+    /// 2PC decide phase (guard + run + decision append/fsync), µs.
+    pub const CROSS_STAGE_DECIDE: &str = "store_cross_decide_us";
+    /// Cross-shard submit → every branch committed, µs.
+    pub const CROSS_TOTAL: &str = "store_cross_total_us";
 }
 
 /// Pre-resolved handles for every store metric, plus the shared trace

@@ -482,6 +482,40 @@ impl StoreServer {
         self.shared.cache.get_or_compile(program).map(|_| ())
     }
 
+    /// Reserves a transaction id without enqueueing anything — the
+    /// cross-shard coordinator assigns branch ids up front so the decision
+    /// record can name them before any branch commits.
+    pub(crate) fn reserve_tx(&self) -> u64 {
+        self.next_tx.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The underlying versioned store — the cross-shard coordinator drives
+    /// `prepare_hold`/`commit_prepared`/`abort_prepared` on it directly.
+    pub(crate) fn store(&self) -> &VersionedStore {
+        &self.shared.store
+    }
+
+    /// The shard's guard cache — the coordinator canonicalizes each
+    /// cross-shard branch delta against it so the shape ids recorded in
+    /// `Cross` events are this shard's own (and stay resolvable across
+    /// this shard's recoveries).
+    pub(crate) fn cache(&self) -> &GuardCache {
+        &self.shared.cache
+    }
+
+    /// Flushes the shard's write-ahead log to stable storage now. The
+    /// cross-shard commit path calls this after `commit_prepared`: `Cross`
+    /// records bypass the group-commit flusher's watermark (which only
+    /// tracks ordinary commits), so the coordinator owns their fsync.
+    /// No-op on an in-memory shard.
+    pub(crate) fn sync_wal(&self) -> Result<(), wal::WalError> {
+        self.shared
+            .store
+            .history()
+            .with_wal(|log| log.writer.sync())
+            .unwrap_or(Ok(()))
+    }
+
     /// The store's schema.
     pub fn schema(&self) -> &Schema {
         self.shared.store.schema()

@@ -95,6 +95,14 @@ struct State {
     db: Arc<Database>,
     /// Last version that wrote each relation.
     rel_versions: BTreeMap<String, u64>,
+    /// Relations held by in-flight cross-shard prepares, by decision id.
+    /// A held relation blocks every ordinary commit that touches it
+    /// (reported as a [`CommitOutcome::Conflict`], so the worker's retry
+    /// loop re-validates after the hold releases) and blocks a second
+    /// prepare from holding it. Holds are in-memory only: a crash drops
+    /// them, which is exactly presumed-abort — an undecided prepare must
+    /// leak nothing durable.
+    held: BTreeMap<String, u64>,
 }
 
 /// A thread-safe, versioned, in-memory store.
@@ -118,6 +126,7 @@ impl VersionedStore {
                 version: 0,
                 db: Arc::new(initial),
                 rel_versions,
+                held: BTreeMap::new(),
             }),
             history: History::new(),
         }
@@ -151,6 +160,7 @@ impl VersionedStore {
                 version,
                 db: Arc::new(db),
                 rel_versions,
+                held: BTreeMap::new(),
             }),
             history,
         }
@@ -209,10 +219,20 @@ impl VersionedStore {
         } = req;
         let mut s = self.state.write().expect("store lock poisoned");
         let held = std::time::Instant::now();
-        let stale = reads
-            .iter()
-            .chain(writes.iter())
-            .any(|rel| s.rel_versions.get(rel).copied().unwrap_or(0) > based_on);
+        // A relation held by an in-flight cross-shard prepare conflicts
+        // like a concurrent writer: the worker re-validates after the
+        // 2PC decision releases the hold. The `is_empty` guard keeps the
+        // common (no cross traffic) case at one branch.
+        let blocked = !s.held.is_empty()
+            && reads
+                .iter()
+                .chain(writes.iter())
+                .any(|rel| s.held.contains_key(rel));
+        let stale = blocked
+            || reads
+                .iter()
+                .chain(writes.iter())
+                .any(|rel| s.rel_versions.get(rel).copied().unwrap_or(0) > based_on);
         if stale {
             let outcome = CommitOutcome::Conflict { version: s.version };
             return (outcome, held.elapsed());
@@ -274,6 +294,105 @@ impl VersionedStore {
             wal_offset,
         };
         (outcome, held.elapsed())
+    }
+
+    /// Phase one of a cross-shard two-phase commit: atomically checks that
+    /// none of `rels` is already held by another prepare, records them as
+    /// held by `decision`, and returns the current snapshot — the shard's
+    /// contribution to the coordinator's union snapshot. Because the hold
+    /// is taken under the same write lock that assigns commit versions,
+    /// the returned snapshot *is* the prepare's `based_on`: no commit can
+    /// touch a held relation until the decision releases it, so the
+    /// coordinator never validates against a stale read. Returns `None`
+    /// (try again) when any relation is already held. Non-blocking by
+    /// design — the caller backs off and retries, so two coordinators
+    /// can never deadlock on overlapping footprints.
+    pub(crate) fn prepare_hold(&self, decision: u64, rels: &BTreeSet<String>) -> Option<Snapshot> {
+        let mut s = self.state.write().expect("store lock poisoned");
+        if rels.iter().any(|rel| s.held.contains_key(rel)) {
+            return None;
+        }
+        for rel in rels {
+            s.held.insert(rel.clone(), decision);
+        }
+        Some(Snapshot {
+            version: s.version,
+            db: Arc::clone(&s.db),
+        })
+    }
+
+    /// Phase two, commit side: applies a decided cross-shard delta. The
+    /// footprint is held by `decision` (taken by
+    /// [`prepare_hold`](Self::prepare_hold)), so validation cannot fail —
+    /// holds blocked every conflicting commit since `based_on` — and the
+    /// merge is the same disjoint pointer-swap as
+    /// [`try_commit`](Self::try_commit). Records an [`Event::Cross`]
+    /// carrying the decision id (one atomic record: commit and decision
+    /// reference can never be torn apart), then releases every relation
+    /// the decision held. Returns the new version plus the record's log
+    /// offset.
+    pub(crate) fn commit_prepared(&self, decision: u64, req: CommitRequest) -> (u64, Option<u64>) {
+        let CommitRequest {
+            tx,
+            based_on,
+            reads: _,
+            writes,
+            shape,
+            bindings,
+            new_db,
+            encoded,
+        } = req;
+        let mut s = self.state.write().expect("store lock poisoned");
+        debug_assert!(
+            writes.iter().all(|rel| s.held.get(rel) == Some(&decision)),
+            "commit_prepared without holding the write footprint"
+        );
+        debug_assert!(
+            writes
+                .iter()
+                .all(|rel| s.rel_versions.get(rel).copied().unwrap_or(0) <= based_on),
+            "a held relation moved between prepare and commit"
+        );
+        let merged = if s.version == based_on {
+            new_db
+        } else {
+            let mut out = new_db;
+            for (rel, _) in self.schema.iter() {
+                if !writes.contains(rel) {
+                    out.set_rel_handle(rel, s.db.rel_handle(rel));
+                }
+            }
+            normalize_domain(out)
+        };
+        s.version += 1;
+        let version = s.version;
+        for rel in &writes {
+            s.rel_versions.insert(rel.clone(), version);
+        }
+        let hash = root_hash(&merged);
+        s.db = Arc::new(merged);
+        let wal_offset = self.history.record_commit(
+            Event::Cross {
+                tx,
+                decision,
+                based_on,
+                version,
+                writes: writes.into_iter().collect(),
+                shape,
+                bindings,
+                root_hash: hash,
+            },
+            encoded,
+        );
+        s.held.retain(|_, d| *d != decision);
+        (version, wal_offset)
+    }
+
+    /// Phase two, abort side: releases every relation held by `decision`
+    /// without touching the state. Idempotent.
+    pub(crate) fn abort_prepared(&self, decision: u64) {
+        let mut s = self.state.write().expect("store lock poisoned");
+        s.held.retain(|_, d| *d != decision);
     }
 
     /// Writes a snapshot checkpoint of the *current* state to the attached

@@ -65,7 +65,7 @@ use vpdt_logic::{Elem, Formula, Schema};
 use vpdt_obs::TraceStage;
 use vpdt_structure::Database;
 use vpdt_tx::codec::{self, CodecError, Cursor};
-use vpdt_tx::program::ProgramTransaction;
+use vpdt_tx::program::{Program, ProgramTransaction};
 use vpdt_tx::template::Template;
 use vpdt_tx::traits::{Transaction, TxError};
 
@@ -87,6 +87,8 @@ const TAG_ABORT: u8 = 4;
 const TAG_SHAPE: u8 = 5;
 const TAG_SEGMENT: u8 = 6;
 const TAG_CHECKPOINT: u8 = 7;
+const TAG_CROSS: u8 = 8;
+const TAG_DECISION: u8 = 9;
 
 // --- errors ----------------------------------------------------------------
 
@@ -308,6 +310,73 @@ pub enum Record {
         /// The canonicalized template.
         template: Template,
     },
+    /// A cross-shard commit decision — the atom of the two-phase commit.
+    /// Lives in the coordinator's decision log (a separate WAL directory);
+    /// its fsync is the cross-shard commit point: once durable, recovery
+    /// rolls every branch forward; a prepare with no durable decision
+    /// aborts (presumed abort).
+    Decision(DecisionRecord),
+}
+
+/// One branch of a cross-shard decision: which shard applies what.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecisionBranch {
+    /// Index of the shard this branch belongs to.
+    pub shard: u32,
+    /// The shard-local transaction id reserved for the branch's commit.
+    pub tx: u64,
+    /// The shard snapshot version the prepare held (the branch commit's
+    /// `based_on`).
+    pub based_on: u64,
+    /// The ground shard-local delta program: a sequence of constant
+    /// inserts/deletes reconstructing exactly this shard's slice of the
+    /// global post-state. Recovery replays it like any committed program;
+    /// the shard's `Cross` event records its canonicalized
+    /// `(shape, bindings)` provenance.
+    pub program: Program,
+}
+
+/// A durable global commit decision for one cross-shard transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecisionRecord {
+    /// Globally unique decision id (what shard `Cross` events reference).
+    pub id: u64,
+    /// The coordinator-level transaction id (tracing/metrics only).
+    pub tx: u64,
+    /// Per-shard branches, one per touched shard, ascending by shard.
+    pub branches: Vec<DecisionBranch>,
+}
+
+fn encode_decision(d: &DecisionRecord) -> Vec<u8> {
+    let mut out = vec![TAG_DECISION];
+    codec::put_u64(&mut out, d.id);
+    codec::put_u64(&mut out, d.tx);
+    codec::put_u32(&mut out, d.branches.len() as u32);
+    for b in &d.branches {
+        codec::put_u32(&mut out, b.shard);
+        codec::put_u64(&mut out, b.tx);
+        codec::put_u64(&mut out, b.based_on);
+        codec::encode_program(&b.program, &mut out);
+    }
+    out
+}
+
+fn decode_decision(bytes: &[u8]) -> Result<DecisionRecord, String> {
+    let mut c = Cursor::new(&bytes[1..]);
+    let id = c.u64("decision id").map_err(|e| e.to_string())?;
+    let tx = c.u64("decision tx").map_err(|e| e.to_string())?;
+    let n = c.count("branch count").map_err(|e| e.to_string())?;
+    let mut branches = Vec::with_capacity(n);
+    for _ in 0..n {
+        branches.push(DecisionBranch {
+            shard: c.u32("shard index").map_err(|e| e.to_string())?,
+            tx: c.u64("branch tx").map_err(|e| e.to_string())?,
+            based_on: c.u64("branch based_on").map_err(|e| e.to_string())?,
+            program: codec::decode_program(&mut c).map_err(|e| e.to_string())?,
+        });
+    }
+    c.finish().map_err(|e| e.to_string())?;
+    Ok(DecisionRecord { id, tx, branches })
 }
 
 /// Encodes an event payload (without record framing). Deterministic:
@@ -365,6 +434,29 @@ pub fn encode_event(e: &Event) -> Vec<u8> {
             codec::put_u64(&mut out, *tx);
             codec::put_u64(&mut out, *version);
             codec::put_str(&mut out, reason);
+        }
+        Event::Cross {
+            tx,
+            decision,
+            based_on,
+            version,
+            writes,
+            shape,
+            bindings,
+            root_hash,
+        } => {
+            out.push(TAG_CROSS);
+            codec::put_u64(&mut out, *tx);
+            codec::put_u64(&mut out, *decision);
+            codec::put_u64(&mut out, *based_on);
+            codec::put_u64(&mut out, *version);
+            codec::put_u64(&mut out, *shape);
+            codec::put_u64(&mut out, *root_hash);
+            codec::put_u32(&mut out, writes.len() as u32);
+            for w in writes {
+                codec::put_str(&mut out, w);
+            }
+            put_bindings(&mut out, bindings);
         }
     }
     out
@@ -464,6 +556,29 @@ fn decode_event_body(c: &mut Cursor<'_>) -> Result<Event, CodecError> {
             version: c.u64("version")?,
             reason: c.str("abort reason")?,
         }),
+        TAG_CROSS => {
+            let tx = c.u64("tx id")?;
+            let decision = c.u64("decision id")?;
+            let based_on = c.u64("based_on")?;
+            let version = c.u64("version")?;
+            let shape = c.u64("shape id")?;
+            let root_hash = c.u64("root hash")?;
+            let n = c.count("write set")?;
+            let mut writes = Vec::with_capacity(n);
+            for _ in 0..n {
+                writes.push(c.str("write relation")?);
+            }
+            Ok(Event::Cross {
+                tx,
+                decision,
+                based_on,
+                version,
+                writes,
+                shape,
+                bindings: get_bindings(c)?,
+                root_hash,
+            })
+        }
         tag => Err(CodecError::BadTag {
             at,
             what: "event",
@@ -481,11 +596,13 @@ fn encode_record(r: &Record) -> Vec<u8> {
             codec::encode_program(template.shape(), &mut out);
             out
         }
+        Record::Decision(d) => encode_decision(d),
     }
 }
 
-/// Decodes a record payload (an event or a shape declaration). Segment
-/// headers and checkpoints are handled by their own readers.
+/// Decodes a record payload (an event, a shape declaration, or a
+/// cross-shard decision). Segment headers and checkpoints are handled by
+/// their own readers.
 fn decode_record(bytes: &[u8]) -> Result<Record, String> {
     if bytes.first() == Some(&TAG_SHAPE) {
         let mut c = Cursor::new(&bytes[1..]);
@@ -494,6 +611,8 @@ fn decode_record(bytes: &[u8]) -> Result<Record, String> {
         c.finish().map_err(|e| e.to_string())?;
         let template = Template::from_shape(shape).map_err(|e| e.to_string())?;
         Ok(Record::Shape { id, template })
+    } else if bytes.first() == Some(&TAG_DECISION) {
+        decode_decision(bytes).map(Record::Decision)
     } else {
         decode_event(bytes)
             .map(Record::Event)
@@ -529,8 +648,21 @@ pub struct GroupCommitPolicy {
     /// How long the flusher may hold an under-full batch open waiting for
     /// more commits. `Duration::ZERO` (the default) never waits: batches
     /// form only from commits that published while the previous fsync was
-    /// in flight.
+    /// in flight. With `target_batch > 0` this is the *ceiling* of the
+    /// auto-tuned wait — the bound on durable tail latency.
     pub max_delay: Duration,
+    /// Auto-tune target: `0` (the default) disables it — the flusher
+    /// waits exactly `max_delay` as before. Non-zero makes the flusher
+    /// adapt an *effective* delay between zero and `max_delay` toward
+    /// fsync batches of about this size: each under-target batch grows
+    /// the wait (more coalescing next round), each over-target batch
+    /// shrinks it (the disk is the bottleneck; stop adding latency).
+    /// This is what keeps N shard flushers sharing one disk fair — a
+    /// lightly loaded shard converges to near-zero wait while a hot one
+    /// batches aggressively, instead of every shard pessimistically
+    /// holding batches open. The current effective delay is reported in
+    /// [`FlushStats::effective_delay_us`].
+    pub target_batch: usize,
 }
 
 impl Default for GroupCommitPolicy {
@@ -538,6 +670,7 @@ impl Default for GroupCommitPolicy {
         GroupCommitPolicy {
             max_batch: 256,
             max_delay: Duration::ZERO,
+            target_batch: 0,
         }
     }
 }
@@ -669,7 +802,7 @@ impl WalWriter {
             .iter()
             .filter_map(|r| match &r.record {
                 Record::Shape { id, .. } => Some(*id),
-                Record::Event(_) => None,
+                Record::Event(_) | Record::Decision(_) => None,
             })
             .collect();
         Ok((
@@ -897,6 +1030,11 @@ pub struct FlushStats {
     /// How many batches resolved exactly `k` tickets, by `k` — the
     /// batch-size histogram. `flushed_commits / fsyncs` is the mean.
     pub batch_sizes: BTreeMap<usize, u64>,
+    /// The auto-tuned effective batching delay, µs — what the flusher
+    /// currently waits before fsyncing an under-full batch. `0` unless
+    /// [`GroupCommitPolicy::target_batch`] enabled the auto-tune (and the
+    /// load has pushed the wait above zero).
+    pub effective_delay_us: u64,
 }
 
 /// One published commit awaiting its covering fsync.
@@ -951,6 +1089,14 @@ pub(crate) struct GroupCommitFlusher {
     policy: GroupCommitPolicy,
     inner: Mutex<FlushInner>,
     ready: Condvar,
+    /// The auto-tuned batching delay, ns (see
+    /// [`GroupCommitPolicy::target_batch`]). Read by the run loop when
+    /// computing its deadline, written after every flush; both off the
+    /// batch lock.
+    effective_delay_ns: std::sync::atomic::AtomicU64,
+    /// [`names::WAL_FLUSH_EFFECTIVE_DELAY`], mirroring
+    /// `effective_delay_ns` in µs for exposition.
+    delay_gauge: vpdt_obs::Gauge,
     /// The server's metric handles: fsync/flush counters, the
     /// publish→durable and end-to-end histograms, and the trace ring.
     obs: StoreMetrics,
@@ -971,6 +1117,11 @@ impl std::fmt::Debug for FlushInner {
 impl GroupCommitFlusher {
     pub(crate) fn new(policy: GroupCommitPolicy, obs: StoreMetrics) -> Self {
         GroupCommitFlusher {
+            // Auto-tune starts eager (zero wait) and grows only when
+            // observed batches run under target — a lightly loaded store
+            // never pays latency for throughput it is not getting.
+            effective_delay_ns: std::sync::atomic::AtomicU64::new(0),
+            delay_gauge: obs.registry.gauge(names::WAL_FLUSH_EFFECTIVE_DELAY),
             policy,
             inner: Mutex::new(FlushInner {
                 pending: Vec::new(),
@@ -984,6 +1135,44 @@ impl GroupCommitFlusher {
             }),
             ready: Condvar::new(),
             obs,
+        }
+    }
+
+    /// The wait the run loop grants an under-full batch: the fixed
+    /// `max_delay` without auto-tune, the adapted value (capped by
+    /// `max_delay`) with it.
+    fn batch_delay(&self) -> Duration {
+        if self.policy.target_batch == 0 {
+            return self.policy.max_delay;
+        }
+        Duration::from_nanos(
+            self.effective_delay_ns
+                .load(std::sync::atomic::Ordering::Relaxed),
+        )
+    }
+
+    /// One auto-tune step after a flush that resolved `resolved` tickets:
+    /// under-target batches grow the wait multiplicatively (plus a 10µs
+    /// floor-breaker so zero can grow at all), over-target batches shrink
+    /// it — multiplicative increase *and* decrease converges near the
+    /// target without oscillating to the rails, and the cap keeps
+    /// `max_delay` an honest tail-latency bound.
+    fn retune(&self, resolved: usize) {
+        use std::sync::atomic::Ordering;
+        let target = self.policy.target_batch;
+        if target == 0 {
+            return;
+        }
+        let cap = u64::try_from(self.policy.max_delay.as_nanos()).unwrap_or(u64::MAX);
+        let cur = self.effective_delay_ns.load(Ordering::Relaxed);
+        let next = match resolved.cmp(&target) {
+            std::cmp::Ordering::Less => (cur + cur / 2 + 10_000).min(cap),
+            std::cmp::Ordering::Greater => cur / 2,
+            std::cmp::Ordering::Equal => cur,
+        };
+        if next != cur {
+            self.effective_delay_ns.store(next, Ordering::Relaxed);
+            self.delay_gauge.set(next / 1_000);
         }
     }
 
@@ -1094,6 +1283,7 @@ impl GroupCommitFlusher {
             flushed_commits: snap.counter(names::WAL_FLUSHED_COMMITS),
             flush_failures: snap.counter(names::WAL_FLUSH_FAILURES),
             batch_sizes,
+            effective_delay_us: snap.gauge(names::WAL_FLUSH_EFFECTIVE_DELAY),
         }
     }
 
@@ -1116,7 +1306,7 @@ impl GroupCommitFlusher {
                 loop {
                     if !g.pending.is_empty() {
                         let deadline =
-                            g.first_at.expect("first_at set with pending") + self.policy.max_delay;
+                            g.first_at.expect("first_at set with pending") + self.batch_delay();
                         let now = Instant::now();
                         if g.closed
                             || g.failed.is_some()
@@ -1203,6 +1393,7 @@ impl GroupCommitFlusher {
                     }
                     let resolved = batch.len() + covered.len();
                     drop(g);
+                    self.retune(resolved);
                     self.obs.wal_fsyncs.inc();
                     self.obs.wal_flushed_commits.add(resolved as u64);
                     self.obs.batch_size_counter(resolved).inc();
@@ -1931,9 +2122,14 @@ pub fn recover(
         .iter()
         .rev()
         .find_map(|r| match &r.record {
-            Record::Event(Event::Commit {
-                version, root_hash, ..
-            }) => Some((*version, *root_hash)),
+            Record::Event(
+                Event::Commit {
+                    version, root_hash, ..
+                }
+                | Event::Cross {
+                    version, root_hash, ..
+                },
+            ) => Some((*version, *root_hash)),
             _ => None,
         });
     match last_commit_covered {
@@ -1997,14 +2193,29 @@ pub fn recover(
     let mut version = ck.version;
     let mut commits_replayed = 0usize;
     for r in &scan.records[(ck.offset - scan.base_offset) as usize..] {
-        let Record::Event(Event::Commit {
-            tx,
-            version: v,
-            shape,
-            bindings,
-            root_hash: recorded,
-            ..
-        }) = &r.record
+        // A `Cross` record replays exactly like a `Commit`: its
+        // `(shape, bindings)` provenance reconstructs the shard-local
+        // delta program, which must re-derive, pass check-and-rollback,
+        // and reproduce the recorded root — the decision id it carries is
+        // cross-checked against the decision log by the sharded recovery.
+        let Record::Event(
+            Event::Commit {
+                tx,
+                version: v,
+                shape,
+                bindings,
+                root_hash: recorded,
+                ..
+            }
+            | Event::Cross {
+                tx,
+                version: v,
+                shape,
+                bindings,
+                root_hash: recorded,
+                ..
+            },
+        ) = &r.record
         else {
             continue;
         };
@@ -2070,7 +2281,7 @@ pub fn recover(
         .filter(|r| r.offset >= floor.offset)
         .filter_map(|r| match &r.record {
             Record::Event(e) => Some(e.clone()),
-            Record::Shape { .. } => None,
+            Record::Shape { .. } | Record::Decision(_) => None,
         })
         .collect();
     let max_tx = events
@@ -2079,7 +2290,8 @@ pub fn recover(
             Event::Begin { tx, .. }
             | Event::GuardEval { tx, .. }
             | Event::Commit { tx, .. }
-            | Event::Abort { tx, .. } => *tx,
+            | Event::Abort { tx, .. }
+            | Event::Cross { tx, .. } => *tx,
         })
         .max();
     let next_tx = ck
@@ -2101,6 +2313,9 @@ pub fn recover(
         .collect();
     for e in &events {
         if let Event::Commit {
+            version: v, writes, ..
+        }
+        | Event::Cross {
             version: v, writes, ..
         } = e
         {

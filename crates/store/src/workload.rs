@@ -155,6 +155,110 @@ pub fn serve_chunked(
     programs.into_inner().expect("programs lock poisoned")
 }
 
+/// A deterministic batch with a controlled **cross-shard fraction**: like
+/// [`scaled_jobs`], each client samples single-relation inserts/deletes
+/// from its own stream, but with probability `cross_fraction` it emits a
+/// two-relation sequence over two *distinct* relations instead. Under
+/// round-robin striping, two distinct relations land on distinct shards
+/// whenever `rels` is a multiple of the shard count and the pair differs
+/// mod shards — the generator picks the second relation at a stride of 1,
+/// so with ≥ 2 shards every pair really is cross-shard.
+pub fn cross_mix_jobs(
+    base_seed: u64,
+    clients: u64,
+    per_client: usize,
+    rels: usize,
+    universe: u64,
+    cross_fraction: f64,
+) -> Vec<Job> {
+    assert!(rels >= 2, "a cross mix needs at least two relations");
+    let mut submitter = Submitter::new();
+    for client in 0..clients {
+        let mut rng = StdRng::seed_from_u64(client_seed(base_seed, client));
+        for _ in 0..per_client {
+            let r = rng.gen_range(0..rels);
+            let a = rng.gen_range(0..universe);
+            let b = rng.gen_range(0..universe);
+            let program = if rng.gen_bool(cross_fraction) {
+                let r2 = (r + 1) % rels;
+                let c = rng.gen_range(0..universe);
+                let d = rng.gen_range(0..universe);
+                let first = if rng.gen_bool(0.5) {
+                    Program::insert_consts(format!("R{r}"), [a, b])
+                } else {
+                    Program::delete_consts(format!("R{r}"), [a, b])
+                };
+                let second = if rng.gen_bool(0.5) {
+                    Program::insert_consts(format!("R{r2}"), [c, d])
+                } else {
+                    Program::delete_consts(format!("R{r2}"), [c, d])
+                };
+                Program::seq([first, second])
+            } else if rng.gen_bool(0.5) {
+                Program::insert_consts(format!("R{r}"), [a, b])
+            } else {
+                Program::delete_consts(format!("R{r}"), [a, b])
+            };
+            submitter.submit(program);
+        }
+    }
+    submitter.into_jobs()
+}
+
+/// How a [`serve_sharded_chunked`] run split between the two paths.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardedDrive {
+    /// Jobs routed to a single shard's ordinary pipeline.
+    pub single: u64,
+    /// Jobs that took the cross-shard two-phase-commit path.
+    pub cross: u64,
+    /// Submissions refused by the router or coordinator with an error.
+    pub errors: u64,
+}
+
+/// The sharded analogue of [`serve_chunked`]: drives a job list through
+/// the router, one session per `per_client`-sized chunk on its own thread,
+/// pipelining single-shard tickets (submit everything, then wait) while
+/// cross-shard jobs resolve inline. Outcome totals land in the per-shard
+/// [`ServerReport`](crate::ServerReport)s and the coordinator's metrics;
+/// this returns just the routing split.
+pub fn serve_sharded_chunked(
+    store: &crate::ShardedStore,
+    jobs: &[Job],
+    per_client: usize,
+) -> ShardedDrive {
+    use crate::Routed;
+    let totals = Mutex::new(ShardedDrive::default());
+    std::thread::scope(|scope| {
+        for chunk in jobs.chunks(per_client.max(1)) {
+            let session = store.session();
+            let totals = &totals;
+            scope.spawn(move || {
+                let mut local = ShardedDrive::default();
+                let mut tickets = Vec::new();
+                for job in chunk {
+                    match store.submit(session, job.program.clone()) {
+                        Ok(Routed::Single { ticket, .. }) => {
+                            local.single += 1;
+                            tickets.push(ticket);
+                        }
+                        Ok(Routed::Cross(_)) => local.cross += 1,
+                        Err(_) => local.errors += 1,
+                    }
+                }
+                for ticket in &tickets {
+                    ticket.wait();
+                }
+                let mut t = totals.lock().expect("totals lock poisoned");
+                t.single += local.single;
+                t.cross += local.cross;
+                t.errors += local.errors;
+            });
+        }
+    });
+    totals.into_inner().expect("totals lock poisoned")
+}
+
 /// A consistent initial state for the sharded schema: each relation gets a
 /// deterministic partial function on `0..universe` (so the per-relation fd
 /// holds by construction).
@@ -203,6 +307,26 @@ mod tests {
             let db = sharded_initial(seed, 4, 6, 0.6);
             assert!(holds_pure(&db, &alpha).expect("evaluates"), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn cross_mix_is_reproducible_with_the_requested_fraction() {
+        let a = cross_mix_jobs(7, 4, 50, 4, 8, 0.25);
+        let b = cross_mix_jobs(7, 4, 50, 4, 8, 0.25);
+        assert_eq!(a.len(), 200);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.program == y.program));
+        let crosses = a
+            .iter()
+            .filter(|j| j.program.touched_relations().len() == 2)
+            .count();
+        assert!(
+            (20..=80).contains(&crosses),
+            "~25% of 200 jobs should span two relations, got {crosses}"
+        );
+        let none = cross_mix_jobs(7, 4, 50, 4, 8, 0.0);
+        assert!(none
+            .iter()
+            .all(|j| j.program.touched_relations().len() == 1));
     }
 
     #[test]

@@ -7,17 +7,21 @@
 //! that sharing explicit: it lifts every constant occurring in a program to
 //! a placeholder term ([`Term::param`]) in first-occurrence order, yielding
 //! a constant-free [`Template`] plus the binding vector of lifted values.
-//! [`Template::instantiate`] is its exact inverse:
+//! [`Template::instantiate`] inverts the lifting up to the canonical
+//! variable renaming `canonicalize` also performs:
 //!
 //! ```text
-//! canonicalize(p) = (t, b)   ⟹   t.instantiate(&b) = p        (roundtrip)
+//! canonicalize(p) = (t, b)   ⟹   canonicalize(t.instantiate(&b)) = (t, b)
 //! ```
+//!
+//! with `t.instantiate(&b)` α-equivalent to `p` (same semantics, canonical
+//! variable spelling).
 //!
 //! Two ground programs canonicalize to the same template exactly when they
 //! differ only in constants — element constants in terms *or* numeric
-//! literals in condition formulas — so a guard cache keyed by templates
-//! holds one entry per statement *shape* — O(1) in the size of the
-//! universe — instead of one entry per ground program.
+//! literals in condition formulas — or in variable names, so a guard cache
+//! keyed by templates holds one entry per statement *shape* — O(1) in the
+//! size of the universe — instead of one entry per ground program.
 //!
 //! Placeholders are ground terms (nullary applications of the reserved
 //! symbol `?i`), so a template's shape is itself a well-formed [`Program`]
@@ -30,7 +34,7 @@ use crate::traits::TxError;
 use std::fmt;
 use vpdt_logic::formula::NumTerm;
 use vpdt_logic::subst::map_terms_full;
-use vpdt_logic::{Elem, Formula, Term};
+use vpdt_logic::{Elem, Formula, Term, Var};
 
 /// A canonicalized statement shape: a program whose constants have been
 /// lifted to placeholders `?0, ?1, …` in first-occurrence order.
@@ -116,6 +120,26 @@ impl fmt::Display for Template {
 /// `∃≥9`) share one compiled shape. The structural constants `1#` and
 /// `max#` are part of the logic's syntax, not values, and stay in place.
 ///
+/// Variable *names* are normalized away too: statement binders are renamed
+/// positionally to `v0, v1, …` and quantified variables in condition
+/// formulas to `b0, b1, …` by nesting depth, so α-equivalent programs —
+/// `delete E where (x,y): x = 3` and `delete E where (a,b): a = 7` — share
+/// one shape instead of splitting the cache per spelling. Renaming is
+/// skipped (never unsound, just less sharing) in the degenerate cases
+/// where it could capture: a canonical name already free in the condition,
+/// or duplicate binder names.
+///
+/// Because of the renaming, the roundtrip lands on the *canonical
+/// spelling* of the input, not its original one:
+///
+/// ```text
+/// canonicalize(p) = (t, b)   ⟹   canonicalize(t.instantiate(&b)) = (t, b)
+/// ```
+///
+/// with `t.instantiate(&b)` α-equivalent (hence semantically identical) to
+/// `p`. Checks that tie a recorded `(shape, bindings)` back to a submitted
+/// program must therefore compare canonical forms, not instantiations.
+///
 /// A program that already contains placeholder terms is **rejected**: the
 /// lifted indices would collide with the pre-existing `?i`, breaking the
 /// roundtrip invariant (the guard would verify a different program than
@@ -127,11 +151,12 @@ pub fn canonicalize(p: &Program) -> Result<(Template, Vec<Elem>), TxError> {
             "cannot canonicalize a program that already contains placeholder terms".to_string(),
         ));
     }
+    let renamed = alpha_normalize(p);
     // Both sorts share one index space, so the two rewriters push into the
     // same vector; the RefCell lets the closures alias it.
     let bindings = std::cell::RefCell::new(Vec::new());
     let shape = map_program_terms(
-        p,
+        &renamed,
         &mut |t| lift_term(t, &mut bindings.borrow_mut()),
         &mut |nt| lift_num_term(nt, &mut bindings.borrow_mut()),
     );
@@ -143,6 +168,87 @@ pub fn canonicalize(p: &Program) -> Result<(Template, Vec<Elem>), TxError> {
         },
         bindings,
     ))
+}
+
+/// Canonically renames the program's variables: statement binders become
+/// `v0, v1, …` positionally, quantified variables in every condition
+/// formula become `b0, b1, …` by nesting depth (via
+/// [`normalize_bound_vars`]). Statement renaming is simultaneous and
+/// capture-checked; when a canonical name is already free in the condition
+/// (and is not one of the binders being renamed) or the binder list has
+/// duplicates, the statement keeps its original names — correctness never
+/// depends on the rename, only cache sharing does.
+fn alpha_normalize(p: &Program) -> Program {
+    use vpdt_logic::simplify::normalize_bound_vars;
+    match p {
+        Program::Skip => Program::Skip,
+        Program::Insert { rel, tuple } => Program::Insert {
+            rel: rel.clone(),
+            tuple: tuple.clone(),
+        },
+        Program::DeleteWhere { rel, vars, cond } => {
+            let (vars, cond) = rename_statement_vars(vars, cond);
+            Program::DeleteWhere {
+                rel: rel.clone(),
+                vars,
+                cond: normalize_bound_vars(&cond),
+            }
+        }
+        Program::InsertWhere { rel, vars, cond } => {
+            let (vars, cond) = rename_statement_vars(vars, cond);
+            Program::InsertWhere {
+                rel: rel.clone(),
+                vars,
+                cond: normalize_bound_vars(&cond),
+            }
+        }
+        Program::Assign { rel, vars, body } => {
+            let (vars, body) = rename_statement_vars(vars, body);
+            Program::Assign {
+                rel: rel.clone(),
+                vars,
+                body: normalize_bound_vars(&body),
+            }
+        }
+        Program::Seq(ps) => Program::Seq(ps.iter().map(alpha_normalize).collect()),
+        Program::If {
+            cond,
+            then_p,
+            else_p,
+        } => Program::If {
+            cond: normalize_bound_vars(cond),
+            then_p: Box::new(alpha_normalize(then_p)),
+            else_p: Box::new(alpha_normalize(else_p)),
+        },
+    }
+}
+
+/// Simultaneously renames `vars` to `v0..v{n-1}` in `cond`. Bails out
+/// (returning the originals) when the rename could capture or conflate:
+/// duplicate binders, or a canonical name free in `cond` that is not
+/// itself one of the binders.
+fn rename_statement_vars(vars: &[Var], cond: &Formula) -> (Vec<Var>, Formula) {
+    let targets: Vec<Var> = (0..vars.len()).map(|i| Var::new(format!("v{i}"))).collect();
+    if targets == vars {
+        return (vars.to_vec(), cond.clone());
+    }
+    let distinct: std::collections::BTreeSet<&Var> = vars.iter().collect();
+    if distinct.len() != vars.len() {
+        return (vars.to_vec(), cond.clone());
+    }
+    let free = cond.free_vars();
+    if targets
+        .iter()
+        .any(|t| free.contains(t) && !distinct.contains(t))
+    {
+        return (vars.to_vec(), cond.clone());
+    }
+    let map: std::collections::BTreeMap<Var, Term> = vars
+        .iter()
+        .cloned()
+        .zip(targets.iter().cloned().map(Term::Var))
+        .collect();
+    (targets, vpdt_logic::subst::substitute_many(cond, &map))
 }
 
 /// Whether any placeholder term occurs in the program (insert tuples or
@@ -277,7 +383,12 @@ mod tests {
 
     fn roundtrips(p: &Program) {
         let (t, b) = canonicalize(p).expect("canonicalizes");
-        assert_eq!(&t.instantiate(&b).expect("instantiates"), p, "{p:?}");
+        // The roundtrip lands on the canonical spelling of `p`:
+        // re-canonicalizing the instantiation is a fixpoint.
+        let ground = t.instantiate(&b).expect("instantiates");
+        let (t2, b2) = canonicalize(&ground).expect("re-canonicalizes");
+        assert_eq!(t2, t, "{p:?}");
+        assert_eq!(b2, b, "{p:?}");
     }
 
     #[test]
@@ -416,7 +527,87 @@ mod tests {
         // the durable-log path accepts numeric placeholders too
         let rebuilt = Template::from_shape(t.shape().clone()).expect("rebuilds");
         assert_eq!(rebuilt, t);
-        assert_eq!(rebuilt.instantiate(&bs).expect("instantiates"), structural);
+        // the instantiation is the canonical (α-renamed) spelling
+        assert_eq!(
+            canonicalize(&rebuilt.instantiate(&bs).expect("instantiates")).expect("canonicalizes"),
+            (t, bs)
+        );
+    }
+
+    /// α-equivalent programs — differing only in how their binders are
+    /// spelled — canonicalize to one shape, for statement binders and for
+    /// quantified condition variables alike. This is what keeps a guard
+    /// cache from splitting per client naming convention.
+    #[test]
+    fn alpha_equivalent_programs_share_a_shape() {
+        // statement binders: delete E where (x,y): x = 3  vs  (a,b): a = 7
+        let delete = |u: &str, v: &str, k: u64| Program::DeleteWhere {
+            rel: "E".into(),
+            vars: vec![Var::new(u), Var::new(v)],
+            cond: Formula::eq(Term::var(u), Term::cst(k)),
+        };
+        roundtrips(&delete("x", "y", 3));
+        let (a, ba) = canonicalize(&delete("x", "y", 3)).expect("canonicalizes");
+        let (b, bb) = canonicalize(&delete("a", "b", 7)).expect("canonicalizes");
+        assert_eq!(a, b, "binder spelling no longer splits shapes");
+        assert_eq!(ba, vec![Elem(3)]);
+        assert_eq!(bb, vec![Elem(7)]);
+        // quantified condition variables: If (exists x. E(x,5)) vs (exists q. E(q,9))
+        let guarded = |name: &str, k: u64| Program::If {
+            cond: Formula::exists(name, Formula::rel("E", [Term::var(name), Term::cst(k)])),
+            then_p: Box::new(Program::insert_consts("E", [1, 2])),
+            else_p: Box::new(Program::Skip),
+        };
+        roundtrips(&guarded("x", 5));
+        let (c, _) = canonicalize(&guarded("x", 5)).expect("canonicalizes");
+        let (d, _) = canonicalize(&guarded("q", 9)).expect("canonicalizes");
+        assert_eq!(c, d, "quantifier spelling no longer splits shapes");
+        // ...and the two renamings compose in one statement
+        let both = |u: &str, w: &str| Program::DeleteWhere {
+            rel: "E".into(),
+            vars: vec![Var::new(u), Var::new("y2")],
+            cond: Formula::exists(w, Formula::rel("E", [Term::var(u), Term::var(w)])),
+        };
+        roundtrips(&both("x", "z"));
+        let (e, _) = canonicalize(&both("x", "z")).expect("canonicalizes");
+        let (f, _) = canonicalize(&both("p", "q")).expect("canonicalizes");
+        assert_eq!(e, f);
+    }
+
+    /// The capture bail-outs: renaming is skipped (not botched) when a
+    /// canonical name is already taken or binders repeat.
+    #[test]
+    fn alpha_renaming_bails_out_rather_than_capture() {
+        // `v1` is free in the condition but is NOT one of the binders:
+        // renaming y→v1 would conflate it with the free v1.
+        let clash = Program::DeleteWhere {
+            rel: "E".into(),
+            vars: vec![Var::new("x"), Var::new("y")],
+            cond: Formula::rel("E", [Term::var("x"), Term::var("v1")]),
+        };
+        let (t, _) = canonicalize(&clash).expect("canonicalizes");
+        match t.shape() {
+            Program::DeleteWhere { vars, .. } => {
+                assert_eq!(vars, &[Var::new("x"), Var::new("y")], "rename skipped");
+            }
+            other => panic!("expected DeleteWhere, got {other:?}"),
+        }
+        roundtrips(&clash);
+        // duplicate binders: positional renaming would decouple the two
+        // occurrences, so the spelling stays.
+        let dup = Program::DeleteWhere {
+            rel: "E".into(),
+            vars: vec![Var::new("x"), Var::new("x")],
+            cond: Formula::eq(Term::var("x"), Term::cst(3u64)),
+        };
+        let (t, _) = canonicalize(&dup).expect("canonicalizes");
+        match t.shape() {
+            Program::DeleteWhere { vars, .. } => {
+                assert_eq!(vars, &[Var::new("x"), Var::new("x")], "rename skipped");
+            }
+            other => panic!("expected DeleteWhere, got {other:?}"),
+        }
+        roundtrips(&dup);
     }
 
     /// `from_shape` (the durable-log path) accepts exactly the shapes
@@ -434,7 +625,12 @@ mod tests {
             let (t, b) = canonicalize(&p).expect("canonicalizes");
             let rebuilt = Template::from_shape(t.shape().clone()).expect("rebuilds");
             assert_eq!(rebuilt, t);
-            assert_eq!(rebuilt.instantiate(&b).expect("instantiates"), p);
+            // instantiation is the canonical spelling of `p`
+            assert_eq!(
+                canonicalize(&rebuilt.instantiate(&b).expect("instantiates"))
+                    .expect("canonicalizes"),
+                (t, b)
+            );
         }
         // ?1 without ?0: instantiation would silently skip a binding
         let gappy = Program::Insert {

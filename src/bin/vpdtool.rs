@@ -176,11 +176,15 @@ fn run(args: &[String]) -> Result<(), String> {
                  guard    --db ENC --constraint F --insert …    run `if wpc then T else abort`\n  \
                  preserve --constraint F --insert … [--budget N] bounded Preserve(T, F) check\n  \
                  store    [--workers N] [--clients N] [--txs N] [--rels N] [--universe N] [--seed N]\n           \
-                 [--persist DIR] [--recover]\n           \
+                 [--persist DIR] [--recover] [--shards N]\n           \
                  serve a concurrent workload through StoreServer sessions and audit it;\n           \
-                 --persist makes it durable (WAL + checkpoints), --recover resumes DIR\n  \
+                 --persist makes it durable (WAL + checkpoints), --recover resumes DIR;\n           \
+                 --shards partitions the relations across N shard stores behind a footprint\n           \
+                 router (a slice of the workload then commits via cross-shard 2PC)\n  \
                  audit    --log DIR [--omega O]                 cold audit of a persisted store:\n           \
-                 recover snapshot + log tail, replay every commit, verify hashes & provenance\n  \
+                 recover snapshot + log tail, replay every commit, verify hashes & provenance\n           \
+                 (a sharded layout — shard-0/, decisions/ — is detected and cross-checked\n           \
+                 against its decision log automatically)\n  \
                  wal gc DIR                                     delete log segments fully covered\n           \
                  by the newest checkpoint, then checkpoint files superseded by it (what a\n           \
                  serving store does at checkpoint time unless WalOptions::retain_segments\n           \
@@ -303,6 +307,7 @@ fn run_store(args: &[String]) -> Result<(), String> {
     let mut seed = 42u64;
     let mut persist: Option<String> = None;
     let mut recover = false;
+    let mut shards = 0usize;
     let mut i = 0;
     while i < args.len() {
         let flag = &args[i];
@@ -323,6 +328,7 @@ fn run_store(args: &[String]) -> Result<(), String> {
             "--universe" => universe = value.parse().map_err(|_| "bad --universe")?,
             "--seed" => seed = value.parse().map_err(|_| "bad --seed")?,
             "--persist" => persist = Some(value.clone()),
+            "--shards" => shards = value.parse().map_err(|_| "bad --shards")?,
             other => return Err(format!("unknown flag {other}")),
         }
         i += 2;
@@ -332,6 +338,17 @@ fn run_store(args: &[String]) -> Result<(), String> {
     }
     if recover && persist.is_none() {
         return Err("--recover needs --persist DIR (the directory to resume)".into());
+    }
+    // A sharded layout is sharded forever: --recover on one re-enters the
+    // sharded path whether or not --shards was repeated.
+    let recovering_sharded = recover
+        && persist
+            .as_deref()
+            .is_some_and(|d| vpdt::store::is_sharded_layout(std::path::Path::new(d)));
+    if shards >= 2 || recovering_sharded {
+        return run_store_sharded(
+            workers, clients, txs, rels, universe, seed, shards, persist, recover,
+        );
     }
 
     use vpdt::store::{audit, workload, StoreBuilder};
@@ -411,6 +428,138 @@ fn run_store(args: &[String]) -> Result<(), String> {
         Ok(())
     } else {
         Err("store run failed verification".into())
+    }
+}
+
+/// `vpdtool store --shards N`: the horizontal scale-out path. Relations
+/// stripe round-robin across N shard stores behind a footprint router;
+/// the workload mixes single-relation transactions (each takes its
+/// shard's ordinary pipeline) with two-relation ones that commit through
+/// the cross-shard two-phase coordinator and its decision log. A
+/// persisted run leaves `shard-I/` WALs plus `decisions/`, which the
+/// sharded cold audit verifies end to end; `--recover` resumes such a
+/// layout (rolling decided-but-unapplied branches forward first).
+#[allow(clippy::too_many_arguments)]
+fn run_store_sharded(
+    workers: usize,
+    clients: u64,
+    txs: usize,
+    rels: usize,
+    universe: u64,
+    seed: u64,
+    shards: usize,
+    persist: Option<String>,
+    recover: bool,
+) -> Result<(), String> {
+    use vpdt::store::metrics::names;
+    use vpdt::store::{cold_audit_sharded, workload, ShardedBuilder};
+    const CROSS_FRACTION: f64 = 0.1;
+    let omega = Omega::empty();
+    let store = if recover {
+        let dir = persist.clone().ok_or("--recover needs --persist DIR")?;
+        let store = ShardedBuilder::recover(&dir)
+            .omega(omega.clone())
+            .workers_per_shard(workers)
+            .build()
+            .map_err(|e| format!("sharded recovery refused: {e}"))?;
+        println!(
+            "recovered {dir}: {} shards at versions [{}]",
+            store.num_shards(),
+            (0..store.num_shards())
+                .map(|i| store.shard(i).version().to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        store
+    } else {
+        if rels < shards {
+            return Err(format!(
+                "--rels {rels} cannot cover --shards {shards}: every shard needs \
+                 at least one relation"
+            ));
+        }
+        let alpha = workload::sharded_fd_constraint(rels);
+        let initial = workload::sharded_initial(seed, rels, universe, 0.5);
+        let mut builder = ShardedBuilder::new(initial, alpha, shards)
+            .omega(omega.clone())
+            .workers_per_shard(workers);
+        if let Some(dir) = &persist {
+            builder = builder.persist(dir);
+        }
+        builder
+            .build()
+            .map_err(|e| format!("sharded store refused to start: {e}"))?
+    };
+
+    let rels = store.schema().iter().count();
+    if rels < 2 {
+        return Err("a sharded run needs at least two relations".into());
+    }
+    let jobs = workload::cross_mix_jobs(seed, clients, txs, rels, universe, CROSS_FRACTION);
+    println!(
+        "serving {} transactions ({:.0}% spanning two shards) from {clients} sessions \
+         over {rels} relations on {} shards x {workers} workers{}",
+        jobs.len(),
+        CROSS_FRACTION * 100.0,
+        store.num_shards(),
+        persist
+            .as_deref()
+            .map(|d| format!(", write-ahead logged to {d}"))
+            .unwrap_or_default()
+    );
+    let drive = workload::serve_sharded_chunked(&store, &jobs, txs);
+    let report = store.shutdown();
+    let committed = report
+        .shards
+        .iter()
+        .map(|s| s.exec.committed)
+        .sum::<usize>() as u64
+        + report.coordinator.counter(names::CROSS_COMMITTED);
+    let aborted = report.shards.iter().map(|s| s.exec.aborted).sum::<usize>() as u64
+        + report.coordinator.counter(names::CROSS_ABORTED);
+    let failed = report.shards.iter().map(|s| s.exec.failed).sum::<usize>() as u64;
+    println!(
+        "routed {} single-shard / {} cross-shard ({} errors); committed {committed} / \
+         aborted {aborted} / failed {failed}; {} decision ids issued, shard versions [{}]",
+        drive.single,
+        drive.cross,
+        drive.errors,
+        report.decisions,
+        report
+            .shards
+            .iter()
+            .map(|s| s.final_version.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let audited_ok = if let Some(dir) = &persist {
+        let audit = cold_audit_sharded(std::path::Path::new(dir), &omega)
+            .map_err(|e| format!("sharded cold audit of {dir} failed to run: {e}"))?;
+        println!(
+            "sharded cold audit: {} shards, {} decisions, {} cross events, {} problem(s)",
+            audit.shards.len(),
+            audit.decisions,
+            audit.cross_events,
+            audit.problems.len()
+        );
+        for verdict in &audit.shards {
+            println!("  {verdict}");
+        }
+        for problem in &audit.problems {
+            println!("  problem: {problem}");
+        }
+        audit.ok()
+    } else {
+        println!(
+            "in-memory sharded run: full provenance auditing needs --persist DIR \
+             (the cold sharded audit cross-checks shard WALs against the decision log)"
+        );
+        true
+    };
+    if audited_ok && failed == 0 && drive.errors == 0 {
+        Ok(())
+    } else {
+        Err("sharded store run failed verification".into())
     }
 }
 
@@ -923,6 +1072,31 @@ fn run_audit(args: &[String]) -> Result<(), String> {
         Some("arithmetic") => Omega::arithmetic(),
         Some(other) => return Err(format!("unknown omega {other} (empty|order|arithmetic)")),
     };
+    // A sharded layout (shard-0/, decisions/) audits every shard's log
+    // plus the coordinator's decision log; a plain layout audits as one
+    // store.
+    if vpdt::store::is_sharded_layout(std::path::Path::new(&dir)) {
+        let audit = vpdt::store::cold_audit_sharded(std::path::Path::new(&dir), &omega)
+            .map_err(|e| format!("sharded cold audit of {dir} failed to run: {e}"))?;
+        println!(
+            "sharded layout {dir}: {} shards, {} decisions, {} cross events, {} problem(s)",
+            audit.shards.len(),
+            audit.decisions,
+            audit.cross_events,
+            audit.problems.len()
+        );
+        for verdict in &audit.shards {
+            println!("  {verdict}");
+        }
+        for problem in &audit.problems {
+            println!("  problem: {problem}");
+        }
+        return if audit.ok() {
+            Ok(())
+        } else {
+            Err("sharded cold audit failed".into())
+        };
+    }
     let verdict = cold_audit_dir(&dir, &omega)?;
     println!("{verdict}");
     if verdict.ok() {

@@ -278,7 +278,13 @@ proptest! {
             let shape = vpdt::tx::codec::decode_program_exact(&bytes).expect("decodes");
             let back = vpdt::tx::template::Template::from_shape(shape).expect("rebuilds");
             prop_assert_eq!(&back, &template);
-            prop_assert_eq!(back.instantiate(&bindings).expect("instantiates"), job.program);
+            // canonicalize α-renames binders, so the instantiation is the
+            // *canonical spelling* of the program, not its original one;
+            // the roundtrip invariant is the re-canonicalization fixpoint
+            let ground = back.instantiate(&bindings).expect("instantiates");
+            let (t2, b2) = vpdt::tx::template::canonicalize(&ground).expect("re-canonicalizes");
+            prop_assert_eq!(&t2, &template);
+            prop_assert_eq!(b2, bindings);
         }
     }
 }

@@ -48,6 +48,7 @@ fn group_wal(max_batch: usize) -> WalOptions {
         group_commit: GroupCommitPolicy {
             max_batch,
             max_delay: Duration::ZERO,
+            target_batch: 0,
         },
         retain_segments: true,
     }
@@ -289,6 +290,7 @@ fn one_fsync_covers_a_full_batch() {
                 group_commit: GroupCommitPolicy {
                     max_batch: burst,
                     max_delay: Duration::from_secs(5),
+                    target_batch: 0,
                 },
                 retain_segments: true,
             },

@@ -1,0 +1,220 @@
+//! Cross-shard two-phase commit under crash fire.
+//!
+//! Each test drives a `ShardedStore` into a specific crash window via the
+//! coordinator's debug crash points, abandons it without a clean shutdown
+//! (no checkpoint, no watermark — exactly what a killed process leaves
+//! behind), recovers from the shard WALs plus the decision log, and then
+//! demands the recovery-semantics table from the `shard` module docs:
+//!
+//! * killed **after prepare** (no decision record): nothing is durable,
+//!   and the crashed coordinator's in-memory holds leak into nothing —
+//!   the recovered store immediately accepts a new transaction on the
+//!   same footprint;
+//! * killed **after the decision fsync** (no branch applied): recovery
+//!   rolls every branch forward;
+//! * killed **between shard commits** (first branch applied): the missing
+//!   branch is completed and the applied one is not duplicated;
+//! * every *acknowledged* cross-shard commit survives;
+//!
+//! and after each recovery the sharded cold audit (per-shard replay plus
+//! decision-log cross-checks) passes on the final artifacts.
+
+use std::path::{Path, PathBuf};
+use vpdt::eval::Omega;
+use vpdt::logic::Elem;
+use vpdt::store::shard::{CrossCrashPoint, ROUTED_SESSION};
+use vpdt::store::{
+    cold_audit_sharded, workload, CrossOutcome, Event, Routed, ShardedBuilder, ShardedStore,
+    StoreError, WalOptions,
+};
+use vpdt::tx::program::Program;
+
+const RELS: usize = 2;
+const SHARDS: usize = 2;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "vpdt-shard-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Test-speed log options: no per-commit fsync (the crash these tests
+/// model is a killed process, not power loss — written bytes survive),
+/// full retention so the final cold audit replays from genesis.
+fn fast_wal() -> WalOptions {
+    WalOptions {
+        fsync_commits: false,
+        retain_segments: true,
+        ..WalOptions::default()
+    }
+}
+
+/// A fresh two-shard store over an empty database (every insert below is
+/// then guard-clean under the per-relation fd constraint).
+fn fresh(dir: &Path) -> ShardedStore {
+    let initial = workload::sharded_initial(11, RELS, 6, 0.0);
+    let alpha = workload::sharded_fd_constraint(RELS);
+    ShardedBuilder::new(initial, alpha, SHARDS)
+        .workers_per_shard(1)
+        .persist_with(dir, fast_wal())
+        .build()
+        .expect("sharded store builds")
+}
+
+fn recover(dir: &Path) -> ShardedStore {
+    ShardedBuilder::recover(dir)
+        .workers_per_shard(1)
+        .wal_options(fast_wal())
+        .build()
+        .expect("sharded store recovers")
+}
+
+fn audit_ok(dir: &Path) {
+    let report = cold_audit_sharded(dir, &Omega::empty()).expect("cold audit runs");
+    assert!(report.ok(), "sharded cold audit failed: {report:?}");
+}
+
+/// A two-shard transaction: `R0(a, b)` on shard 0, `R1(c, d)` on shard 1.
+fn cross(a: u64, b: u64, c: u64, d: u64) -> Program {
+    Program::seq([
+        Program::insert_consts("R0", [a, b]),
+        Program::insert_consts("R1", [c, d]),
+    ])
+}
+
+fn t(a: u64, b: u64) -> [Elem; 2] {
+    [Elem(a), Elem(b)]
+}
+
+#[test]
+fn crash_after_prepare_leaves_nothing_durable_and_no_leaked_holds() {
+    let dir = tmp_dir("after-prepare");
+    let store = fresh(&dir);
+    // One acknowledged cross commit first, so recovery has real history.
+    let acked = store
+        .submit(ROUTED_SESSION, cross(10, 11, 12, 13))
+        .expect("first cross commit");
+    assert!(matches!(
+        acked,
+        Routed::Cross(CrossOutcome::Committed { .. })
+    ));
+    store.debug_set_crash_point(CrossCrashPoint::AfterPrepare);
+    let err = store
+        .submit(ROUTED_SESSION, cross(20, 21, 22, 23))
+        .unwrap_err();
+    assert!(matches!(err, StoreError::DebugCrashPoint), "{err}");
+    drop(store); // the crash: holds vanish with the process
+
+    let recovered = recover(&dir);
+    assert!(recovered.shard(0).snapshot().db.contains("R0", &t(10, 11)));
+    // No decision record was written, so the prepared transaction never
+    // existed as far as durability is concerned.
+    assert!(!recovered.shard(0).snapshot().db.contains("R0", &t(20, 21)));
+    assert!(!recovered.shard(1).snapshot().db.contains("R1", &t(22, 23)));
+    // And the undecided prepare leaked no footprint: the same relations
+    // accept a new cross transaction immediately, no backoff needed.
+    let again = recovered
+        .submit(ROUTED_SESSION, cross(20, 21, 22, 23))
+        .expect("footprint is free after recovery");
+    assert!(
+        matches!(again, Routed::Cross(CrossOutcome::Committed { .. })),
+        "{again:?}"
+    );
+    recovered.shutdown();
+    audit_ok(&dir);
+}
+
+#[test]
+fn crash_after_decision_rolls_every_branch_forward() {
+    let dir = tmp_dir("after-decision");
+    let store = fresh(&dir);
+    store.debug_set_crash_point(CrossCrashPoint::AfterDecision);
+    let err = store.submit(ROUTED_SESSION, cross(1, 2, 3, 4)).unwrap_err();
+    assert!(matches!(err, StoreError::DebugCrashPoint), "{err}");
+    // Decided but not applied anywhere yet.
+    assert!(!store.shard(0).snapshot().db.contains("R0", &t(1, 2)));
+    assert!(!store.shard(1).snapshot().db.contains("R1", &t(3, 4)));
+    drop(store);
+
+    let recovered = recover(&dir);
+    // The decision is durable, so recovery must roll it forward on both
+    // shards — presumed-abort stops at the decision fsync, not before.
+    assert!(recovered.shard(0).snapshot().db.contains("R0", &t(1, 2)));
+    assert!(recovered.shard(1).snapshot().db.contains("R1", &t(3, 4)));
+    recovered.shutdown();
+    audit_ok(&dir);
+}
+
+#[test]
+fn crash_between_shard_commits_completes_the_missing_branch() {
+    let dir = tmp_dir("between-commits");
+    let store = fresh(&dir);
+    store.debug_set_crash_point(CrossCrashPoint::BetweenShardCommits);
+    let err = store.submit(ROUTED_SESSION, cross(5, 6, 7, 8)).unwrap_err();
+    assert!(matches!(err, StoreError::DebugCrashPoint), "{err}");
+    // Branches commit in ascending shard order, so shard 0 applied and
+    // shard 1 did not.
+    assert!(store.shard(0).snapshot().db.contains("R0", &t(5, 6)));
+    assert!(!store.shard(1).snapshot().db.contains("R1", &t(7, 8)));
+    drop(store);
+
+    let recovered = recover(&dir);
+    assert!(recovered.shard(0).snapshot().db.contains("R0", &t(5, 6)));
+    assert!(recovered.shard(1).snapshot().db.contains("R1", &t(7, 8)));
+    // The already-applied branch must not be applied twice: exactly one
+    // Cross event for this decision in shard 0's history.
+    let cross_events = recovered
+        .shard(0)
+        .history_events()
+        .iter()
+        .filter(|e| matches!(e, Event::Cross { decision: 0, .. }))
+        .count();
+    assert_eq!(cross_events, 1, "roll-forward must be idempotent");
+    assert_eq!(recovered.shard(0).version(), 1);
+    assert_eq!(recovered.shard(1).version(), 1);
+    recovered.shutdown();
+    audit_ok(&dir);
+}
+
+#[test]
+fn acknowledged_cross_commits_survive_an_unclean_exit() {
+    let dir = tmp_dir("acked");
+    let store = fresh(&dir);
+    let mut acked_versions = Vec::new();
+    for i in 0..5u64 {
+        let (a, b) = (2 * i, 2 * i + 1);
+        let routed = store
+            .submit(ROUTED_SESSION, cross(a, b, a, b))
+            .expect("cross commit");
+        let Routed::Cross(CrossOutcome::Committed { versions, .. }) = routed else {
+            panic!("expected a cross commit, got {routed:?}");
+        };
+        acked_versions = versions;
+    }
+    drop(store); // no shutdown: no checkpoint, no watermark
+
+    let recovered = recover(&dir);
+    for i in 0..5u64 {
+        let (a, b) = (2 * i, 2 * i + 1);
+        assert!(
+            recovered.shard(0).snapshot().db.contains("R0", &t(a, b)),
+            "acknowledged R0({a}, {b}) must survive"
+        );
+        assert!(
+            recovered.shard(1).snapshot().db.contains("R1", &t(a, b)),
+            "acknowledged R1({a}, {b}) must survive"
+        );
+    }
+    // The recovered shards sit exactly at the last acknowledged versions.
+    for &(shard, version) in &acked_versions {
+        assert_eq!(recovered.shard(shard as usize).version(), version);
+    }
+    recovered.shutdown();
+    audit_ok(&dir);
+}
