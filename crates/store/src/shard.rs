@@ -61,6 +61,13 @@
 //! end because a decision's holds release only after its shard append:
 //! no later commit conflicting with the missing branch can exist.
 //!
+//! Pending decisions replay in decision-log **append** order, not id
+//! order: ids are allocated before the prepare loop, so a coordinator
+//! that waited out another's holds appends its (lower-id) decision after
+//! the (higher-id) one it waited for. Append order is the order holds
+//! released — the real conflict order — and replaying any other order
+//! could reconstruct a state the coordinators never decided.
+//!
 //! The `decisions/applied-through` watermark (written at clean shutdown,
 //! *before* the shard checkpoints GC their segments) records the decision
 //! id below which every branch is known applied, so recovery never
@@ -79,7 +86,7 @@ use crate::wal::{
 use crate::{metrics::names, AbortReason, GuardCache, StoreError};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use vpdt_eval::{holds, Omega};
 use vpdt_logic::{domain::is_domain_independent, Elem, Formula, Schema};
@@ -405,12 +412,16 @@ impl ShardedBuilder {
         let alpha = Formula::and(servers.iter().map(|s| s.alpha().clone()));
 
         let (writer, _) = WalWriter::resume(&decisions_dir, self.wal_opts.clone())?;
+        // `decisions` is in append order, and neither ids nor tx ids are
+        // monotone in it (both are allocated before the log lock), so take
+        // explicit maxima rather than trusting the tail record.
         let next_decision = decisions
-            .last()
+            .iter()
             .map(|d| d.id + 1)
+            .max()
             .unwrap_or(0)
             .max(watermark);
-        let next_cross_tx = decisions.last().map(|d| d.tx + 1).unwrap_or(0);
+        let next_cross_tx = decisions.iter().map(|d| d.tx + 1).max().unwrap_or(0);
 
         Ok(ShardedStore::assemble(
             servers,
@@ -520,6 +531,10 @@ pub struct ShardedStore {
     cross_decide_us: Histogram,
     cross_total_us: Histogram,
     crash_point: AtomicU8,
+    /// Whether a debug crash point actually fired: the store may then hold
+    /// a durable-but-unapplied decision, and [`shutdown`](Self::shutdown)
+    /// must refuse to advance the watermark over it.
+    crash_fired: AtomicBool,
 }
 
 impl ShardedStore {
@@ -564,6 +579,7 @@ impl ShardedStore {
             cross_decide_us: registry.histogram(names::CROSS_STAGE_DECIDE),
             cross_total_us: registry.histogram(names::CROSS_TOTAL),
             crash_point: AtomicU8::new(CrossCrashPoint::None as u8),
+            crash_fired: AtomicBool::new(false),
             registry,
         }
     }
@@ -646,14 +662,20 @@ impl ShardedStore {
 
     /// Test hook: make the next cross-shard commit stop at `point` as if
     /// the process had crashed there (holds left held, later phases
-    /// skipped). One-shot per set; `CrossCrashPoint::None` disarms.
+    /// skipped). One-shot per set; `CrossCrashPoint::None` disarms. Once a
+    /// point has *fired*, the store must be dropped and recovered, not
+    /// [`shutdown`](Self::shutdown) — see there.
     #[doc(hidden)]
     pub fn debug_set_crash_point(&self, point: CrossCrashPoint) {
         self.crash_point.store(point as u8, Ordering::Relaxed);
     }
 
     fn crash_at(&self, point: CrossCrashPoint) -> bool {
-        self.crash_point.load(Ordering::Relaxed) == point as u8
+        let fires = self.crash_point.load(Ordering::Relaxed) == point as u8;
+        if fires {
+            self.crash_fired.store(true, Ordering::Relaxed);
+        }
+        fires
     }
 
     /// Submits one program under `session` provenance: classifies its
@@ -937,7 +959,21 @@ impl ShardedStore {
     /// checkpoints can GC any segment, so recovery never confuses a
     /// retired `Cross` record with a missing one. Consuming `self`
     /// guarantees no cross-shard commit is in flight.
+    ///
+    /// # Panics
+    ///
+    /// After a [`CrossCrashPoint`] has fired, the store may hold a
+    /// durable decision whose branches never applied; advancing the
+    /// watermark (and letting the shard checkpoints GC segments) would
+    /// mark it applied forever, so this refuses. Drop the store and
+    /// [`ShardedBuilder::recover`] from its root instead — exactly what a
+    /// real crash requires.
     pub fn shutdown(self) -> ShardedReport {
+        assert!(
+            !self.crash_fired.load(Ordering::Relaxed),
+            "shutdown() after a DebugCrashPoint would mark a durable-but-unapplied \
+             decision as applied; drop the store and recover from its root instead"
+        );
         let decisions_issued = self.next_decision.load(Ordering::Relaxed);
         if let Some(log) = &self.decisions {
             log.lock()
@@ -1013,20 +1049,23 @@ pub fn is_sharded_layout(root: &Path) -> bool {
     root.join("shard-0").is_dir() && root.join("decisions").is_dir()
 }
 
-/// Reads every decision record in the coordinator's log, ascending by id.
-/// A torn decision tail is simply absent — exactly presumed-abort.
+/// Reads every decision record in the coordinator's log, in **append
+/// order** — deliberately not id order. Ids are allocated at the top of
+/// `commit_cross`, before the prepare loop, so a coordinator that waited
+/// out another's holds can append a lower id *after* a higher one; the
+/// log's append order is the order holds released, i.e. the true conflict
+/// order, and roll-forward must replay in it. A torn decision tail is
+/// simply absent — exactly presumed-abort.
 fn read_decisions(dir: &Path) -> Result<Vec<DecisionRecord>, StoreError> {
     let scan = wal::scan_log(dir).map_err(StoreError::Wal)?;
-    let mut decisions: Vec<DecisionRecord> = scan
+    Ok(scan
         .records
         .into_iter()
         .filter_map(|r| match r.record {
             Record::Decision(d) => Some(d),
             _ => None,
         })
-        .collect();
-    decisions.sort_by_key(|d| d.id);
-    Ok(decisions)
+        .collect())
 }
 
 fn read_watermark(dir: &Path) -> u64 {
@@ -1049,12 +1088,14 @@ fn write_watermark(dir: &Path, through: u64) -> std::io::Result<()> {
 
 /// Rolls decided-but-unapplied branches forward into `shard`'s log:
 /// replays the recovered state, applies each missing decision's ground
-/// delta in decision order, and appends the corresponding
-/// [`Event::Cross`] (and any unseen shape declaration). Appending at the
-/// tail is sound because the decision's holds blocked every conflicting
-/// commit until the branch applied — a branch missing from the log has no
-/// successor that contradicts it. Returns how many branches were rolled
-/// forward.
+/// delta in decision-log **append order** (the order the decisions' holds
+/// released — see [`read_decisions`]; id order can invert it and would
+/// reconstruct a state the coordinators never decided), and appends the
+/// corresponding [`Event::Cross`] (and any unseen shape declaration).
+/// Appending at the tail is sound because the decision's holds blocked
+/// every conflicting commit until the branch applied — a branch missing
+/// from the log has no successor that contradicts it. Returns how many
+/// branches were rolled forward.
 fn roll_forward_shard(
     dir: &Path,
     shard: u32,

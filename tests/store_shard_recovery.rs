@@ -23,6 +23,7 @@ use std::path::{Path, PathBuf};
 use vpdt::eval::Omega;
 use vpdt::logic::Elem;
 use vpdt::store::shard::{CrossCrashPoint, ROUTED_SESSION};
+use vpdt::store::wal::{DecisionBranch, DecisionRecord, Record, WalWriter};
 use vpdt::store::{
     cold_audit_sharded, workload, CrossOutcome, Event, Routed, ShardedBuilder, ShardedStore,
     StoreError, WalOptions,
@@ -180,6 +181,80 @@ fn crash_between_shard_commits_completes_the_missing_branch() {
     assert_eq!(recovered.shard(1).version(), 1);
     recovered.shutdown();
     audit_ok(&dir);
+}
+
+/// Decision ids are allocated before the prepare loop, so a coordinator
+/// that waited out another's holds appends its lower-id decision *after*
+/// the higher-id one it waited for. Roll-forward must replay in append
+/// order — the order holds released — not id order. This crafts exactly
+/// that inverted log (id 1 inserts a tuple, id 0 — appended later —
+/// deletes it again) with both shard `Cross` tails "lost", and demands
+/// the recovered state reflect append order: the tuple is gone.
+#[test]
+fn roll_forward_replays_decisions_in_append_order_not_id_order() {
+    let dir = tmp_dir("append-order");
+    let store = fresh(&dir);
+    store.shutdown();
+
+    let tuple = Program::insert_consts("R0", [9, 9]);
+    let undo = Program::delete_consts("R0", [9, 9]);
+    let (mut decisions, _) =
+        WalWriter::resume(dir.join("decisions"), fast_wal()).expect("decision log resumes");
+    // First appended: the decision that won the race for the holds, with
+    // the *higher* id (its coordinator allocated after the loser).
+    decisions
+        .append(&Record::Decision(DecisionRecord {
+            id: 1,
+            tx: 0,
+            branches: vec![DecisionBranch {
+                shard: 0,
+                tx: 0,
+                based_on: 0,
+                program: tuple.clone(),
+            }],
+        }))
+        .expect("appends");
+    // Second appended: the lower-id decision that blocked on the first
+    // one's holds and saw its committed state (based_on 1).
+    decisions
+        .append(&Record::Decision(DecisionRecord {
+            id: 0,
+            tx: 1,
+            branches: vec![DecisionBranch {
+                shard: 0,
+                tx: 1,
+                based_on: 1,
+                program: undo,
+            }],
+        }))
+        .expect("appends");
+    decisions.sync().expect("syncs");
+    drop(decisions);
+
+    let recovered = recover(&dir);
+    // Append order: insert then delete — the tuple must be gone. Id-order
+    // replay would run the delete first (a no-op) and leave it present.
+    assert!(
+        !recovered.shard(0).snapshot().db.contains("R0", &t(9, 9)),
+        "replay must follow decision-log append order, not id order"
+    );
+    assert_eq!(recovered.shard(0).version(), 2, "both branches applied");
+    recovered.shutdown();
+    audit_ok(&dir);
+}
+
+/// After a crash point has fired, the store may hold a durable decision
+/// whose branches never applied; `shutdown()` would stamp the watermark
+/// over it and the decision would never roll forward. It must refuse.
+#[test]
+#[should_panic(expected = "DebugCrashPoint")]
+fn shutdown_refuses_after_a_fired_crash_point() {
+    let dir = tmp_dir("shutdown-after-crash");
+    let store = fresh(&dir);
+    store.debug_set_crash_point(CrossCrashPoint::AfterDecision);
+    let err = store.submit(ROUTED_SESSION, cross(1, 2, 3, 4)).unwrap_err();
+    assert!(matches!(err, StoreError::DebugCrashPoint), "{err}");
+    store.shutdown(); // must panic: the decision is durable but unapplied
 }
 
 #[test]
